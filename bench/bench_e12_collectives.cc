@@ -1,0 +1,92 @@
+// bench_e12_collectives - Experiment E12 (extension): collective operations
+// over the VIA substrate.
+//
+// The paper family lists collectives as the next work item ("VIA as well as
+// SCI offer excellent features for the implementation of e.g. a barrier or
+// a broadcast"). This bench reports virtual cost vs. rank count for
+// barrier / broadcast / allreduce / alltoall, and the message counts that
+// show the binomial algorithms doing their O(log N) work.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "msg/mesh.h"
+#include "util/table.h"
+
+namespace vialock {
+namespace {
+
+struct CollectiveTimes {
+  Nanos barrier = 0;
+  Nanos broadcast = 0;
+  Nanos allreduce = 0;
+  Nanos alltoall = 0;
+  std::uint64_t bcast_msgs = 0;
+};
+
+CollectiveTimes measure(std::uint32_t ranks) {
+  via::Cluster cluster;
+  std::vector<via::NodeId> nodes;
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    via::NodeSpec spec = bench::eval_node(via::PolicyKind::Kiobuf);
+    spec.kernel.frames = 2048;  // smaller nodes: many of them
+    nodes.push_back(cluster.add_node(spec));
+  }
+  msg::Mesh::Config cfg;
+  cfg.channel.user_heap_bytes = 256 * 1024;
+  msg::Mesh mesh(cluster, nodes, cfg);
+  if (!ok(mesh.init())) std::abort();
+
+  constexpr std::uint32_t kPayload = 64 * 1024;
+  std::vector<std::byte> data(kPayload, std::byte{0x5A});
+  if (!ok(mesh.stage_rank(0, 0, data))) std::abort();
+
+  CollectiveTimes t;
+  Clock& clock = cluster.clock();
+
+  // Warm-up (registration caches, eager credits).
+  if (!ok(mesh.barrier())) std::abort();
+
+  Nanos t0 = clock.now();
+  if (!ok(mesh.barrier())) std::abort();
+  t.barrier = clock.now() - t0;
+
+  const auto msgs_before = mesh.stats().p2p_msgs;
+  t0 = clock.now();
+  if (!ok(mesh.broadcast(0, 0, kPayload))) std::abort();
+  t.broadcast = clock.now() - t0;
+  t.bcast_msgs = mesh.stats().p2p_msgs - msgs_before;
+
+  t0 = clock.now();
+  if (!ok(mesh.allreduce_sum(0, 256))) std::abort();  // 2 KB vectors
+  t.allreduce = clock.now() - t0;
+
+  t0 = clock.now();
+  if (!ok(mesh.alltoall(128 * 1024, 8 * 1024))) std::abort();
+  t.alltoall = clock.now() - t0;
+  return t;
+}
+
+}  // namespace
+}  // namespace vialock
+
+int main() {
+  using namespace vialock;
+  std::cout << "E12 (extension): collective operations vs. rank count\n"
+            << "(64 KB broadcast, 2 KB allreduce vectors, 8 KB alltoall "
+            << "blocks;\nsequentialised rounds - virtual times are upper "
+            << "bounds)\n\n";
+  Table table({"ranks", "barrier", "broadcast 64KB", "bcast msgs",
+               "allreduce 2KB", "alltoall 8KB"});
+  for (const std::uint32_t ranks : {2u, 3u, 4u, 6u, 8u}) {
+    const auto t = measure(ranks);
+    table.row({Table::num(std::uint64_t{ranks}), Table::nanos(t.barrier),
+               Table::nanos(t.broadcast), Table::num(t.bcast_msgs),
+               Table::nanos(t.allreduce), Table::nanos(t.alltoall)});
+  }
+  table.print();
+  std::cout << "\nShape: broadcast ships N-1 messages over a binomial tree\n"
+               "(log-depth); alltoall grows as N(N-1) blocks; barrier as\n"
+               "N*ceil(log2 N) tokens.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// bench_e14_mp_matching - Experiment E14 (extension): message-matching costs
+// at the MPI-flavoured layer.
+//
+// The collection's MPI papers explain why receive timing matters: a posted
+// receive lets the eager message land with one copy; an unexpected message
+// buys an extra buffering copy; a rendezvous send parks only a descriptor
+// until the receive appears, then pulls zero-copy. This bench measures all
+// six combinations (eager/rendezvous x receiver-first/sender-first) plus the
+// ANY_SOURCE wildcard penalty.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "mp/comm.h"
+#include "util/table.h"
+
+namespace vialock {
+namespace {
+
+struct Rig {
+  Rig() {
+    nodes.push_back(cluster.add_node(bench::eval_node(via::PolicyKind::Kiobuf)));
+    nodes.push_back(cluster.add_node(bench::eval_node(via::PolicyKind::Kiobuf)));
+    comm = std::make_unique<mp::Comm>(cluster, nodes);
+    if (!ok(comm->init())) std::abort();
+    std::vector<std::byte> data(1 << 20, std::byte{0x33});
+    if (!ok(comm->stage(0, 0, data))) std::abort();
+  }
+  via::Cluster cluster;
+  std::vector<via::NodeId> nodes;
+  std::unique_ptr<mp::Comm> comm;
+};
+
+/// One message, timed; receiver posts first or last.
+Nanos one_message(Rig& rig, std::uint32_t len, bool receiver_first,
+                  std::int32_t recv_source) {
+  static std::int32_t tag = 100;
+  ++tag;
+  Clock& clock = rig.cluster.clock();
+  const Nanos t0 = clock.now();
+  if (receiver_first) {
+    const auto r = rig.comm->irecv(1, recv_source, tag, 0, 1 << 20);
+    const auto s = rig.comm->isend(0, 1, tag, 0, len);
+    if (!rig.comm->wait(r) || !rig.comm->wait(s)) std::abort();
+  } else {
+    const auto s = rig.comm->isend(0, 1, tag, 0, len);
+    const auto r = rig.comm->irecv(1, recv_source, tag, 0, 1 << 20);
+    if (!rig.comm->wait(r) || !rig.comm->wait(s)) std::abort();
+  }
+  return clock.now() - t0;
+}
+
+Nanos median_of_5(Rig& rig, std::uint32_t len, bool receiver_first,
+                  std::int32_t source) {
+  std::vector<Nanos> times;
+  for (int i = 0; i < 5; ++i)
+    times.push_back(one_message(rig, len, receiver_first, source));
+  std::sort(times.begin(), times.end());
+  return times[2];
+}
+
+}  // namespace
+}  // namespace vialock
+
+int main() {
+  using namespace vialock;
+  std::cout << "E14 (extension): receive-timing and wildcard costs at the\n"
+            << "message-matching layer (median of 5, virtual time)\n\n";
+  Rig rig;
+  Table table({"message", "protocol", "recv posted first", "sender first "
+               "(unexpected)", "unexpected penalty"});
+  for (const std::uint32_t len : {256u, 2048u, 16u * 1024, 256u * 1024}) {
+    const bool eager = len <= 4096;
+    const Nanos expected = median_of_5(rig, len, true, 0);
+    const Nanos unexpected = median_of_5(rig, len, false, 0);
+    table.row({Table::bytes(len), eager ? "eager" : "rendezvous",
+               Table::nanos(expected), Table::nanos(unexpected),
+               Table::fp(static_cast<double>(unexpected) /
+                             static_cast<double>(expected),
+                         2) + "x"});
+  }
+  table.print();
+
+  std::cout << "\nANY_SOURCE wildcard (256 B eager, receiver first):\n";
+  Table wc({"receive mode", "median time"});
+  wc.row({"exact source", Table::nanos(median_of_5(rig, 256, true, 0))});
+  wc.row({"MPI_ANY_SOURCE",
+          Table::nanos(median_of_5(rig, 256, true, mp::kAnySource))});
+  wc.print();
+
+  std::cout << "\nShape: sender-first eager pays the unexpected-queue\n"
+               "buffering copy; sender-first rendezvous pays almost nothing\n"
+               "extra (only a descriptor parks - the payload moves zero-copy\n"
+               "either way once the receive appears).\n";
+  return 0;
+}

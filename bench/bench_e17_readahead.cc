@@ -1,0 +1,83 @@
+// bench_e17_readahead - Experiment E17 (ablation): swap read-ahead.
+//
+// Substrate ablation: the cost a victim process pays to recover its working
+// set after memory pressure, as a function of the read-ahead window
+// (page_cluster). This is the flip side of E11: whenever registration does
+// NOT pin (U-Net/MM, or an unregistered working set), swap-in costs dominate
+// and the read-ahead window is the kernel's only lever.
+#include <iostream>
+
+#include "bench_util.h"
+#include "util/table.h"
+#include "via/node.h"
+
+namespace vialock {
+namespace {
+
+using simkern::kPageSize;
+using simkern::Pid;
+using simkern::VAddr;
+
+struct Recovery {
+  Nanos sequential = 0;
+  Nanos random = 0;
+  std::uint64_t readahead_pages = 0;
+  std::uint64_t wasted = 0;  ///< speculative pages evicted unused
+};
+
+Recovery measure(std::uint32_t readahead) {
+  Recovery out;
+  for (const bool sequential : {true, false}) {
+    Clock clock;
+    simkern::KernelConfig cfg = bench::eval_node(via::PolicyKind::Kiobuf).kernel;
+    cfg.swap_readahead = readahead;
+    simkern::Kernel kern(cfg, clock);
+    const Pid pid = kern.create_task("victim");
+    constexpr int kPages = 256;
+    const VAddr a = *kern.sys_mmap_anon(
+        pid, kPages * kPageSize, simkern::VmFlag::Read | simkern::VmFlag::Write);
+    for (int p = 0; p < kPages; ++p)
+      (void)kern.touch(pid, a + p * kPageSize, true);
+    for (int p = 0; p < kPages; ++p)
+      kern.task(pid).mm.pt.walk(a + p * kPageSize)->accessed = false;
+    (void)kern.try_to_free_pages(kPages);
+
+    const Nanos t0 = clock.now();
+    if (sequential) {
+      for (int p = 0; p < kPages; ++p)
+        (void)kern.touch(pid, a + p * kPageSize, false);
+      out.sequential = clock.now() - t0;
+      out.readahead_pages = kern.stats().readahead_pages;
+    } else {
+      // Strided access defeats the window: every 9th page, wrapping.
+      for (int i = 0; i < kPages; ++i) {
+        const int p = (i * 9) % kPages;
+        (void)kern.touch(pid, a + p * kPageSize, false);
+      }
+      out.random = clock.now() - t0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace vialock
+
+int main() {
+  using namespace vialock;
+  std::cout << "E17 (ablation): swap read-ahead window vs. working-set\n"
+            << "recovery time (256 pages evicted, then touched)\n\n";
+  Table table({"read-ahead", "sequential recovery", "strided recovery",
+               "speculative pages"});
+  for (const std::uint32_t ra : {0u, 2u, 4u, 8u, 16u}) {
+    const Recovery r = measure(ra);
+    table.row({Table::num(std::uint64_t{ra}), Table::nanos(r.sequential),
+               Table::nanos(r.random), Table::num(r.readahead_pages)});
+  }
+  table.print();
+  std::cout << "\nShape: sequential recovery improves ~linearly with the\n"
+               "window (one seek amortised over 1+N pages) and saturates;\n"
+               "strided access defeats read-ahead, so the window must not be\n"
+               "chosen too aggressively - the classic page_cluster trade.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// bench_e3_regcost - Experiment E3: registration cost vs. region size.
+//
+// The performance face of the mechanism: what does VipRegisterMem cost, per
+// policy, for cold memory (pages faulted in during registration) and warm
+// memory (already resident)? The paper promises the kiobuf mechanism costs
+// in the same class as the page-table-walking alternatives while being the
+// only conformant one; registration is dominated by fault-in for cold
+// buffers and stays linear in pages when warm.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "util/table.h"
+#include "via/node.h"
+
+namespace vialock {
+namespace {
+
+using simkern::kPageShift;
+using simkern::kPageSize;
+
+struct Cost {
+  Nanos reg = 0;
+  Nanos dereg = 0;
+};
+
+Cost measure(via::PolicyKind policy, std::uint64_t bytes, bool warm) {
+  Clock clock;
+  CostModel costs;
+  via::Node node(bench::eval_node(policy), clock, costs);
+  auto& kern = node.kernel();
+  auto& agent = node.agent();
+  const auto pid = kern.create_task("app");
+  const auto addr = *kern.sys_mmap_anon(
+      pid, bytes, simkern::VmFlag::Read | simkern::VmFlag::Write);
+  if (warm) {
+    for (std::uint64_t off = 0; off < bytes; off += kPageSize)
+      (void)kern.touch(pid, addr + off, /*write=*/true);
+  }
+  const auto tag = agent.create_ptag(pid);
+  via::MemHandle mh;
+  const Nanos t0 = clock.now();
+  (void)agent.register_mem(pid, addr, bytes, tag, mh);
+  const Nanos t1 = clock.now();
+  (void)agent.deregister_mem(mh);
+  const Nanos t2 = clock.now();
+  return Cost{t1 - t0, t2 - t1};
+}
+
+constexpr std::uint64_t kSizes[] = {4096,        16 * 1024,  64 * 1024,
+                                    256 * 1024,  1024 * 1024, 4 * 1024 * 1024};
+
+void print_table(bool warm, bool dereg) {
+  Table table({"size", "pages", "refcount", "pageflag", "mlock", "mlock+track",
+               "kiobuf", "kiobuf overhead vs refcount"});
+  for (const std::uint64_t size : kSizes) {
+    std::vector<std::string> row{Table::bytes(size),
+                                 Table::num(size >> kPageShift)};
+    Nanos refcount_ns = 0;
+    Nanos kiobuf_ns = 0;
+    for (const via::PolicyKind policy : via::kAllPolicies) {
+      const Cost c = measure(policy, size, warm);
+      const Nanos ns = dereg ? c.dereg : c.reg;
+      if (policy == via::PolicyKind::Refcount) refcount_ns = ns;
+      if (policy == via::PolicyKind::Kiobuf) kiobuf_ns = ns;
+      row.push_back(Table::nanos(ns));
+    }
+    row.push_back(
+        refcount_ns
+            ? Table::fp(static_cast<double>(kiobuf_ns) /
+                            static_cast<double>(refcount_ns),
+                        2) + "x"
+            : "-");
+    table.row(std::move(row));
+  }
+  table.print();
+}
+
+}  // namespace
+}  // namespace vialock
+
+int main() {
+  using namespace vialock;
+  std::cout << "E3: VipRegisterMem cost vs. region size (virtual time)\n";
+  std::cout << "\n--- warm buffers (pages already resident) ---\n";
+  print_table(/*warm=*/true, /*dereg=*/false);
+  std::cout << "\n--- cold buffers (registration faults pages in) ---\n";
+  print_table(/*warm=*/false, /*dereg=*/false);
+  std::cout << "\nShape: linear in pages for every policy; cold registration\n"
+               "dominated by demand-zero faults; the kiobuf mechanism adds\n"
+               "only its per-page pin bookkeeping over the naive walker.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// bench_e6_pressure - Experiment E6: relocation vs. memory-pressure level.
+//
+// How much pressure does it take before refcount-only "locking" goes stale?
+// Sweep the allocator footprint from well-under-RAM to 3x RAM and report,
+// per policy, how many of the 64 registered pages were relocated (the paper
+// notes the failure shows "in most cases" - i.e. it needs real pressure).
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "experiments/locktest.h"
+#include "util/table.h"
+
+int main() {
+  using namespace vialock;
+  std::cout
+      << "E6: registered-page relocation vs. memory pressure\n"
+      << "(64-page registration on a 4096-frame node; allocator footprint\n"
+      << "as a multiple of RAM; cells: pages relocated of 64)\n\n";
+
+  const std::vector<double> factors = {0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0};
+  Table table({"policy \\ pressure", "0.25x", "0.5x", "0.75x", "1.0x", "1.25x",
+               "1.5x", "2.0x", "3.0x"});
+  for (const via::PolicyKind policy : via::kAllPolicies) {
+    std::vector<std::string> row{std::string(to_string(policy))};
+    for (const double factor : factors) {
+      Clock clock;
+      CostModel costs;
+      via::Node node(bench::eval_node(policy), clock, costs);
+      experiments::LocktestConfig cfg;
+      cfg.region_pages = 64;
+      cfg.pressure_factor = factor;
+      const auto r = experiments::run_locktest(node, cfg);
+      row.push_back(ok(r.status) ? Table::num(std::uint64_t{r.pages_relocated})
+                                 : std::string(to_string(r.status)));
+    }
+    table.row(std::move(row));
+  }
+  table.print();
+  std::cout << "\nShape: below ~1x RAM nothing swaps and even the broken\n"
+               "policy looks fine - the treachery of refcount locking is that\n"
+               "it only fails once memory gets tight. At and above ~1.25x the\n"
+               "refcount row saturates at 64/64 while every real locking\n"
+               "mechanism stays at 0.\n";
+  return 0;
+}

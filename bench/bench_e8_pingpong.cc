@@ -1,0 +1,120 @@
+// bench_e8_pingpong - Experiment E8: end-to-end ping-pong over the VIA
+// substrate (the NetPIPE-style figure of the paper family).
+//
+// Half-round-trip latency and bandwidth vs. message size for the three
+// protocols the locking mechanism enables:
+//   eager          - bounce-buffer copies, no registration on the path
+//   rendezvous     - dynamic registration through the cache (warm)
+//   preregistered  - persistent buffers, pure RDMA
+// Shape target: eager wins for small messages, zero-copy wins past a
+// crossover in the few-KB range (the paper family switches at 4 KB).
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "bench_util.h"
+#include "msg/transport.h"
+#include "util/table.h"
+
+namespace vialock {
+namespace {
+
+using msg::Channel;
+using msg::Protocol;
+
+struct PingPongRig {
+  PingPongRig()
+      : n0(cluster.add_node(bench::eval_node(via::PolicyKind::Kiobuf))),
+        n1(cluster.add_node(bench::eval_node(via::PolicyKind::Kiobuf))),
+        fwd(cluster, n0, n1, config()),
+        rev(cluster, n1, n0, config()) {
+    if (!ok(fwd.init()) || !ok(rev.init())) std::abort();
+  }
+
+  static Channel::Config config() {
+    Channel::Config cfg;
+    cfg.preregister_heaps = true;
+    // Two pre-registered heaps live on each node (forward sender + reverse
+    // receiver); keep them small enough that the pinned pages fit in RAM.
+    cfg.user_heap_bytes = 2ULL << 20;
+    return cfg;
+  }
+
+  /// One ping-pong round; returns the virtual round-trip time.
+  Nanos round(Protocol proto, std::uint32_t len) {
+    const Nanos t0 = cluster.clock().now();
+    if (!ok(fwd.transfer(proto, 0, 0, len))) std::abort();
+    if (!ok(rev.transfer(proto, 0, 0, len))) std::abort();
+    return cluster.clock().now() - t0;
+  }
+
+  via::Cluster cluster;
+  via::NodeId n0;
+  via::NodeId n1;
+  Channel fwd;
+  Channel rev;
+};
+
+struct Point {
+  std::optional<Nanos> half_rtt;
+};
+
+Point measure(PingPongRig& rig, Protocol proto, std::uint32_t len) {
+  if (proto == Protocol::Eager && len > rig.fwd.config().eager_slot_size)
+    return {};
+  (void)rig.round(proto, len);  // warm-up (registration, caches)
+  constexpr int kRounds = 5;
+  Nanos total = 0;
+  for (int i = 0; i < kRounds; ++i) total += rig.round(proto, len);
+  return {total / (2 * kRounds)};
+}
+
+}  // namespace
+}  // namespace vialock
+
+int main() {
+  using namespace vialock;
+  std::cout << "E8: ping-pong half-round-trip latency and bandwidth vs size\n"
+            << "(warm caches; eager limited to its 8 KB bounce slots)\n\n";
+
+  PingPongRig rig;
+  Table lat({"message", "eager", "rendezvous (warm)", "pio-rendezvous",
+             "preregistered", "best"});
+  Table bw({"message", "eager", "rendezvous (warm)", "pio-rendezvous",
+            "preregistered"});
+  std::optional<std::uint32_t> crossover;
+
+  for (const std::uint32_t len : {64u, 256u, 1024u, 2048u, 4096u, 8192u,
+                                  16u * 1024, 64u * 1024, 256u * 1024,
+                                  1024u * 1024}) {
+    const Point e = measure(rig, Protocol::Eager, len);
+    const Point r = measure(rig, Protocol::Rendezvous, len);
+    const Point pr = measure(rig, Protocol::PioRendezvous, len);
+    const Point p = measure(rig, Protocol::Preregistered, len);
+    const char* best = "-";
+    if (e.half_rtt && *e.half_rtt <= *r.half_rtt) {
+      best = "eager";
+    } else {
+      best = "zero-copy";
+      if (!crossover) crossover = len;
+    }
+    auto cell = [](const Point& pt) {
+      return pt.half_rtt ? Table::nanos(*pt.half_rtt) : std::string("-");
+    };
+    auto rate_cell = [len](const Point& pt) {
+      return pt.half_rtt ? Table::rate(len, *pt.half_rtt) : std::string("-");
+    };
+    lat.row({Table::bytes(len), cell(e), cell(r), cell(pr), cell(p), best});
+    bw.row({Table::bytes(len), rate_cell(e), rate_cell(r), rate_cell(pr),
+            rate_cell(p)});
+  }
+  std::cout << "--- half-round-trip latency ---\n";
+  lat.print();
+  std::cout << "\n--- bandwidth ---\n";
+  bw.print();
+  if (crossover) {
+    std::cout << "\nEager -> zero-copy crossover at " << Table::bytes(*crossover)
+              << " (paper family's MPI libraries switch protocols at 4 KB).\n";
+  }
+  return 0;
+}

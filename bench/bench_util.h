@@ -1,0 +1,31 @@
+// bench_util.h - shared configuration and formatting for the experiment
+// benches. Every binary prints the table(s) of one experiment from
+// EXPERIMENTS.md; virtual times come from the simulation's deterministic
+// clock, so outputs are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "via/node.h"
+
+namespace vialock::bench {
+
+/// The standard evaluation platform: 16 MB RAM / 64 MB swap / 8k-entry TPT
+/// (a 2000-era compute node in miniature; sizes scaled for simulation speed).
+inline via::NodeSpec eval_node(via::PolicyKind policy) {
+  via::NodeSpec spec;
+  spec.kernel.frames = 4096;
+  spec.kernel.reserved_low = 16;
+  spec.kernel.swap_slots = 16384;
+  spec.kernel.free_pages_min = 16;
+  spec.kernel.swap_cluster = 32;
+  spec.nic.tpt_entries = 8192;
+  spec.policy = policy;
+  return spec;
+}
+
+inline std::string yesno(bool b) { return b ? "yes" : "NO"; }
+inline std::string passfail(bool b) { return b ? "PASS" : "FAIL"; }
+
+}  // namespace vialock::bench

@@ -1,0 +1,80 @@
+// pio_counter.cpp - the SCI shared-memory idiom: a producer increments a
+// sequence counter and publishes records into a consumer's exported buffer
+// with plain remote stores - no descriptors, no doorbells, no kernel. The
+// "simple memory reference" communication style the combined VIA/SCI papers
+// pair with descriptor DMA.
+//
+//   ./build/examples/pio_counter
+#include <cstdio>
+#include <span>
+
+#include "via/node.h"
+#include "via/remote_window.h"
+#include "via/vipl.h"
+
+using namespace vialock;
+
+int main() {
+  via::Cluster cluster;
+  via::NodeSpec spec;
+  spec.policy = via::PolicyKind::Kiobuf;
+  const via::NodeId producer_node = cluster.add_node(spec);
+  const via::NodeId consumer_node = cluster.add_node(spec);
+
+  // The consumer exports (registers) a record buffer...
+  simkern::Kernel& ck = cluster.node(consumer_node).kernel();
+  const simkern::Pid consumer = ck.create_task("consumer");
+  via::Vipl consumer_lib(cluster.node(consumer_node).agent(), consumer);
+  if (!ok(consumer_lib.open())) return 1;
+  const auto buf = *ck.sys_mmap_anon(
+      consumer, 16 * simkern::kPageSize,
+      simkern::VmFlag::Read | simkern::VmFlag::Write);
+  via::MemHandle exported;
+  if (!ok(consumer_lib.register_mem(buf, 16 * simkern::kPageSize, exported)))
+    return 1;
+
+  // ...and the producer imports it as a PIO window.
+  auto window = via::RemoteWindow::import(cluster.fabric(), producer_node,
+                                          consumer_node, exported);
+  if (!window) return 1;
+
+  // Publish 100 records: payload first, sequence counter last (the classic
+  // SCI ordering: the posted stores arrive in order, so a consumer polling
+  // the counter sees complete records).
+  struct Record {
+    std::uint64_t seq;
+    std::uint64_t value;
+  };
+  const Nanos t0 = cluster.clock().now();
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    const std::uint64_t value = i * i;
+    const std::uint64_t slot = 64 + (i % 16) * sizeof(Record);
+    if (!ok(window->store(slot + 8, std::as_bytes(std::span{&value, 1}))))
+      return 1;
+    if (!ok(window->store(slot, std::as_bytes(std::span{&i, 1})))) return 1;
+    if (!ok(window->store(0, std::as_bytes(std::span{&i, 1})))) return 1;
+  }
+  const Nanos elapsed = cluster.clock().now() - t0;
+
+  // The consumer reads everything with plain loads of its own memory.
+  std::uint64_t head = 0;
+  if (!ok(ck.read_user(consumer, buf,
+                       std::as_writable_bytes(std::span{&head, 1}))))
+    return 1;
+  std::uint64_t last_value = 0;
+  const std::uint64_t slot = 64 + (head % 16) * sizeof(Record);
+  if (!ok(ck.read_user(consumer, buf + slot + 8,
+                       std::as_writable_bytes(std::span{&last_value, 1}))))
+    return 1;
+
+  std::printf("pio_counter: head=%llu, last record value=%llu (expect %llu)\n",
+              static_cast<unsigned long long>(head),
+              static_cast<unsigned long long>(last_value),
+              static_cast<unsigned long long>(head * head));
+  std::printf("300 remote stores in %.2f us virtual time (%.0f ns/store) -\n"
+              "no descriptor, no doorbell, no syscall on the data path.\n",
+              static_cast<double>(elapsed) / 1e3,
+              static_cast<double>(elapsed) / 300.0);
+  if (!ok(consumer_lib.deregister_mem(exported))) return 1;
+  return head == 100 && last_value == 100 * 100 ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// quickstart.cpp - smallest complete use of the vialock library:
+// bring up a two-node cluster, register memory reliably (kiobuf mechanism),
+// and move a message with VIA send/receive.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <span>
+
+#include "via/node.h"
+#include "via/vipl.h"
+
+using namespace vialock;
+
+int main() {
+  // A cluster of two nodes; every node runs the simulated Linux kernel, a
+  // VIA NIC and a kernel agent using the paper's kiobuf locking mechanism.
+  via::Cluster cluster;
+  via::NodeSpec spec;
+  spec.policy = via::PolicyKind::Kiobuf;
+  const via::NodeId n0 = cluster.add_node(spec);
+  const via::NodeId n1 = cluster.add_node(spec);
+
+  // One process per node.
+  simkern::Kernel& k0 = cluster.node(n0).kernel();
+  simkern::Kernel& k1 = cluster.node(n1).kernel();
+  const simkern::Pid p0 = k0.create_task("sender");
+  const simkern::Pid p1 = k1.create_task("receiver");
+
+  // Each process opens the VI provider library (creates its protection tag).
+  via::Vipl sender(cluster.node(n0).agent(), p0);
+  via::Vipl receiver(cluster.node(n1).agent(), p1);
+  if (!ok(sender.open()) || !ok(receiver.open())) return 1;
+
+  // Allocate and register a 4-page communication buffer on each side. The
+  // registration pins the pages (map_user_kiobuf) and programs the NIC TPT.
+  const auto prot = simkern::VmFlag::Read | simkern::VmFlag::Write;
+  const simkern::VAddr b0 = *k0.sys_mmap_anon(p0, 4 * simkern::kPageSize, prot);
+  const simkern::VAddr b1 = *k1.sys_mmap_anon(p1, 4 * simkern::kPageSize, prot);
+  via::MemHandle mh0, mh1;
+  if (!ok(sender.register_mem(b0, 4 * simkern::kPageSize, mh0))) return 1;
+  if (!ok(receiver.register_mem(b1, 4 * simkern::kPageSize, mh1))) return 1;
+
+  // Create and connect a VI pair.
+  const via::ViId vi0 = sender.create_vi();
+  const via::ViId vi1 = receiver.create_vi();
+  if (!ok(cluster.fabric().connect(n0, vi0, n1, vi1))) return 1;
+
+  // The receiver pre-posts a descriptor (VIA requires this), the sender
+  // writes a message into its registered buffer and posts the send.
+  const char msg[] = "hello from a reliably locked buffer";
+  if (!ok(k0.write_user(p0, b0, std::as_bytes(std::span{msg})))) return 1;
+  if (!ok(receiver.post_recv(vi1, mh1, b1, sizeof msg))) return 1;
+  if (!ok(sender.post_send(vi0, mh0, b0, sizeof msg))) return 1;
+
+  // Poll completions and read the message out of the receiver's memory.
+  const auto sc = sender.send_done(vi0);
+  const auto rc = receiver.recv_done(vi1);
+  if (!sc || !sc->done_ok() || !rc || !rc->done_ok()) return 1;
+
+  char out[sizeof msg] = {};
+  if (!ok(k1.read_user(p1, b1, std::as_writable_bytes(std::span{out})))) return 1;
+
+  std::printf("received: \"%s\" (%u bytes, %.2f us virtual time)\n", out,
+              rc->transferred,
+              static_cast<double>(cluster.clock().now()) / 1000.0);
+  std::printf("sender NIC: %llu bytes tx; receiver pinned pages survive any "
+              "memory pressure.\n",
+              static_cast<unsigned long long>(
+                  cluster.node(n0).nic().stats().bytes_tx));
+
+  // RAII-free teardown (explicit in this C-style example).
+  if (!ok(sender.deregister_mem(mh0)) || !ok(receiver.deregister_mem(mh1)))
+    return 1;
+  std::puts("quickstart OK");
+  return 0;
+}

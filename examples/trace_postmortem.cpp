@@ -1,0 +1,69 @@
+// trace_postmortem.cpp - use the kernel's event-trace ring to watch the
+// refcount-locking failure unfold: the exact swap-out that detaches the
+// registered frame, and the major fault that re-homes the page elsewhere.
+//
+//   ./build/examples/trace_postmortem
+#include <cstdio>
+#include <span>
+
+#include "experiments/pressure.h"
+#include "via/node.h"
+
+using namespace vialock;
+
+int main() {
+  Clock clock;
+  CostModel costs;
+  via::NodeSpec spec;
+  spec.kernel.frames = 1024;
+  spec.kernel.swap_slots = 4096;
+  spec.policy = via::PolicyKind::Refcount;  // the broken driver
+  via::Node node(spec, clock, costs);
+  simkern::Kernel& kern = node.kernel();
+
+  const simkern::Pid pid = kern.create_task("victim");
+  const auto addr = *kern.sys_mmap_anon(
+      pid, 4 * simkern::kPageSize,
+      simkern::VmFlag::Read | simkern::VmFlag::Write);
+  const std::uint64_t v = 1;
+  (void)kern.write_user(pid, addr, std::as_bytes(std::span{&v, 1}));
+
+  const auto tag = node.agent().create_ptag(pid);
+  via::MemHandle mh;
+  if (!ok(node.agent().register_mem(pid, addr, 4 * simkern::kPageSize, tag,
+                                    mh))) {
+    return 1;
+  }
+  const auto registered_frame = node.agent().lock_handle(mh.id)->pfns[0];
+  std::printf("registered page 0 -> frame %u (refcount policy: no pin!)\n\n",
+              registered_frame);
+
+  // Arm the flight recorder, apply pressure, touch the page back in.
+  kern.trace().enable(true);
+  const auto pr = experiments::apply_memory_pressure(kern, 1.3);
+  (void)kern.touch(pid, addr, /*write=*/true);
+  kern.trace().enable(false);
+
+  // Post-mortem: find the events that concern our page.
+  std::printf("flight recorder (events touching pid %u at 0x%llx):\n", pid,
+              static_cast<unsigned long long>(addr));
+  int shown = 0;
+  for (const auto& e : kern.trace().tail()) {
+    if (e.pid != pid || e.addr != addr) continue;
+    std::printf("  %s\n", e.to_string().c_str());
+    ++shown;
+  }
+  std::printf("(%d events; %llu recorded in total during %llu swap-outs)\n\n",
+              shown, static_cast<unsigned long long>(kern.trace().size()),
+              static_cast<unsigned long long>(kern.stats().pages_swapped_out));
+
+  const auto now = kern.resolve(pid, addr);
+  std::printf("verdict: NIC still targets frame %u; the process now lives in "
+              "frame %u -> %s\n",
+              registered_frame, now ? *now : 0,
+              (now && *now == registered_frame) ? "consistent"
+                                                : "STALE TPT (the paper's bug)");
+  (void)node.agent().deregister_mem(mh);
+  kern.exit_task(pr.allocator_pid);
+  return 0;
+}

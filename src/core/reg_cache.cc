@@ -1,0 +1,117 @@
+#include "core/reg_cache.h"
+
+#include <cassert>
+#include <limits>
+
+namespace vialock::core {
+
+std::map<std::uint64_t, RegistrationCache::Entry>::iterator
+RegistrationCache::find_covering(simkern::VAddr addr, std::uint64_t len) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    const via::MemHandle& h = it->second.handle;
+    if (h.vaddr <= addr && addr + len <= h.vaddr + h.length) return it;
+  }
+  return entries_.end();
+}
+
+KStatus RegistrationCache::acquire(simkern::VAddr addr, std::uint64_t len,
+                                   via::MemHandle& out) {
+  if (len == 0) return KStatus::Inval;
+  ++tick_;
+  auto it = find_covering(addr, len);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    ++it->second.refs;
+    it->second.last_use = tick_;
+    out = it->second.handle;
+    return KStatus::Ok;
+  }
+
+  ++stats_.misses;
+  // Register the exact (page-spanned) range. Retry under TPT pressure after
+  // evicting idle cached registrations.
+  for (;;) {
+    via::MemHandle handle;
+    const KStatus st = vipl_.register_mem(addr, len, handle);
+    if (ok(st)) {
+      ++stats_.registrations;
+      Entry e;
+      e.handle = handle;
+      e.refs = 1;
+      e.last_use = tick_;
+      e.seq = ++seq_;
+      entries_.emplace(handle.id, std::move(e));
+      out = handle;
+      return KStatus::Ok;
+    }
+    // NoSpc: TPT entries exhausted. Again: the kernel's pin budget is hit.
+    // Both are relieved by evicting idle cached registrations.
+    if (st != KStatus::NoSpc && st != KStatus::Again) return st;
+    if (!evict_one()) return st;
+  }
+}
+
+void RegistrationCache::release(const via::MemHandle& handle) {
+  auto it = entries_.find(handle.id);
+  assert(it != entries_.end() && "release of unknown handle");
+  assert(it->second.refs > 0);
+  ++tick_;
+  it->second.last_use = tick_;
+  if (--it->second.refs == 0) {
+    if (config_.policy == EvictionPolicy::None) {
+      (void)vipl_.deregister_mem(it->second.handle);
+      ++stats_.deregistrations;
+      entries_.erase(it);
+    } else {
+      enforce_idle_cap();
+    }
+  }
+}
+
+bool RegistrationCache::evict_one() {
+  auto victim = entries_.end();
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.refs != 0) continue;
+    const std::uint64_t key =
+        config_.policy == EvictionPolicy::Fifo ? it->second.seq
+                                               : it->second.last_use;
+    if (key < best) {
+      best = key;
+      victim = it;
+    }
+  }
+  if (victim == entries_.end()) return false;
+  (void)vipl_.deregister_mem(victim->second.handle);
+  ++stats_.deregistrations;
+  ++stats_.evictions;
+  entries_.erase(victim);
+  return true;
+}
+
+void RegistrationCache::enforce_idle_cap() {
+  while (idle_cached() > config_.max_idle) {
+    if (!evict_one()) break;
+  }
+}
+
+void RegistrationCache::flush() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.refs == 0) {
+      (void)vipl_.deregister_mem(it->second.handle);
+      ++stats_.deregistrations;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t RegistrationCache::idle_cached() const {
+  std::size_t n = 0;
+  for (const auto& [id, e] : entries_)
+    if (e.refs == 0) ++n;
+  return n;
+}
+
+}  // namespace vialock::core

@@ -1,0 +1,102 @@
+// reg_cache.h - registration caching for dynamic zero-copy protocols.
+//
+// The paper's introduction: dynamic registration is unavoidable for zero-copy
+// MPI ("the buffers must be registered on the fly... the bad effects can be
+// remedied by 'caching' registered regions, i.e. by keeping them registered
+// as long as possible"). RegistrationCache implements exactly that over the
+// VIPL: acquire() reuses a live or idle cached registration that covers the
+// request; release() keeps idle registrations cached; TPT exhaustion evicts
+// idle entries by a pluggable policy (the E9 ablation).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string_view>
+
+#include "util/status.h"
+#include "via/vipl.h"
+
+namespace vialock::core {
+
+enum class EvictionPolicy : std::uint8_t {
+  None,  ///< never cache: deregister as soon as the last user releases
+  Lru,   ///< evict the least recently used idle registration
+  Fifo,  ///< evict the oldest idle registration
+};
+
+[[nodiscard]] constexpr std::string_view to_string(EvictionPolicy p) {
+  switch (p) {
+    case EvictionPolicy::None: return "none";
+    case EvictionPolicy::Lru: return "LRU";
+    case EvictionPolicy::Fifo: return "FIFO";
+  }
+  return "?";
+}
+
+struct RegCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t registrations = 0;
+  std::uint64_t deregistrations = 0;
+};
+
+class RegistrationCache {
+ public:
+  struct Config {
+    EvictionPolicy policy = EvictionPolicy::Lru;
+    /// Cap on idle cached registrations (on top of TPT pressure eviction).
+    std::size_t max_idle = 1024;
+  };
+
+  explicit RegistrationCache(via::Vipl& vipl)
+      : RegistrationCache(vipl, Config{}) {}
+  RegistrationCache(via::Vipl& vipl, Config config)
+      : vipl_(vipl), config_(config) {}
+
+  RegistrationCache(const RegistrationCache&) = delete;
+  RegistrationCache& operator=(const RegistrationCache&) = delete;
+  ~RegistrationCache() { flush(); }
+
+  /// Hand out a registration covering [addr, addr+len), registering on miss.
+  /// Evicts idle entries and retries when the TPT is full.
+  [[nodiscard]] KStatus acquire(simkern::VAddr addr, std::uint64_t len,
+                                via::MemHandle& out);
+
+  /// Return a handle obtained from acquire(). The registration stays cached
+  /// (policy != None) until evicted.
+  void release(const via::MemHandle& handle);
+
+  /// Deregister every idle cached entry.
+  void flush();
+
+  [[nodiscard]] const RegCacheStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t idle_cached() const;
+  [[nodiscard]] std::size_t live() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    via::MemHandle handle;
+    std::uint32_t refs = 0;
+    std::uint64_t last_use = 0;  ///< LRU tick
+    std::uint64_t seq = 0;       ///< FIFO sequence
+  };
+
+  /// Find a cached entry covering the aligned range, or entries_.end().
+  [[nodiscard]] std::map<std::uint64_t, Entry>::iterator find_covering(
+      simkern::VAddr addr, std::uint64_t len);
+
+  /// Evict one idle entry per policy; false if none is evictable.
+  bool evict_one();
+  void enforce_idle_cap();
+
+  via::Vipl& vipl_;
+  Config config_;
+  RegCacheStats stats_;
+  std::map<std::uint64_t, Entry> entries_;  ///< keyed by registration id
+  std::uint64_t tick_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace vialock::core

@@ -1,0 +1,45 @@
+#include "core/registry.h"
+
+#include <cassert>
+
+namespace vialock::core {
+
+PinnedRegion& PinnedRegion::operator=(PinnedRegion&& other) noexcept {
+  if (this != &other) {
+    reset();
+    locker_ = other.locker_;
+    kiobuf_ = std::move(other.kiobuf_);
+    other.locker_ = nullptr;
+    other.kiobuf_ = simkern::Kiobuf{};
+  }
+  return *this;
+}
+
+PinnedRegion::~PinnedRegion() { reset(); }
+
+void PinnedRegion::reset() {
+  if (locker_) {
+    locker_->unlock(kiobuf_);
+    locker_ = nullptr;
+    kiobuf_ = simkern::Kiobuf{};
+  }
+}
+
+KStatus ReliableLocker::lock(simkern::Pid pid, simkern::VAddr addr,
+                             std::uint64_t len, PinnedRegion& out) {
+  simkern::Kiobuf kiobuf = kern_.alloc_kiovec();
+  const KStatus st = kern_.map_user_kiobuf(pid, kiobuf, addr, len);
+  if (!ok(st)) return st;
+  ++live_pins_;
+  ++total_locks_;
+  out = PinnedRegion{this, std::move(kiobuf)};
+  return KStatus::Ok;
+}
+
+void ReliableLocker::unlock(simkern::Kiobuf& kiobuf) {
+  assert(live_pins_ > 0);
+  kern_.unmap_kiobuf(kiobuf);
+  --live_pins_;
+}
+
+}  // namespace vialock::core

@@ -1,0 +1,81 @@
+// registry.h - the paper's proposal packaged as a standalone library.
+//
+// "Although the proposed locking mechanism has been developed for a VIA
+// implementation it can be utilized for any type of user level
+// communication" (abstract). ReliableLocker is that packaging: a kiobuf-
+// backed pinning service over the simulated kernel, independent of the VIA
+// agent, handing out RAII PinnedRegion handles. Each PinnedRegion holds one
+// kiobuf pin, so overlapping and repeated locks of the same range nest
+// correctly and release independently - the two properties the paper shows
+// the mlock- and flag-based approaches lack.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "simkern/kernel.h"
+#include "util/status.h"
+
+namespace vialock::core {
+
+class ReliableLocker;
+
+/// RAII handle over one pinned user range. Movable, not copyable; unpins on
+/// destruction.
+class PinnedRegion {
+ public:
+  PinnedRegion() = default;
+  PinnedRegion(const PinnedRegion&) = delete;
+  PinnedRegion& operator=(const PinnedRegion&) = delete;
+  PinnedRegion(PinnedRegion&& other) noexcept { *this = std::move(other); }
+  PinnedRegion& operator=(PinnedRegion&& other) noexcept;
+  ~PinnedRegion();
+
+  [[nodiscard]] bool valid() const { return locker_ != nullptr; }
+  [[nodiscard]] simkern::VAddr addr() const { return kiobuf_.addr; }
+  [[nodiscard]] std::uint64_t length() const { return kiobuf_.length; }
+  [[nodiscard]] simkern::Pid pid() const { return kiobuf_.pid; }
+  /// The pinned physical frames, in range order - safe to hand to a DMA
+  /// engine for as long as this handle lives.
+  [[nodiscard]] const std::vector<simkern::Pfn>& pfns() const {
+    return kiobuf_.pfns;
+  }
+
+  /// Explicit early release.
+  void reset();
+
+ private:
+  friend class ReliableLocker;
+  PinnedRegion(ReliableLocker* locker, simkern::Kiobuf kiobuf)
+      : locker_(locker), kiobuf_(std::move(kiobuf)) {}
+
+  ReliableLocker* locker_ = nullptr;
+  simkern::Kiobuf kiobuf_;
+};
+
+class ReliableLocker {
+ public:
+  explicit ReliableLocker(simkern::Kernel& kern) : kern_(kern) {}
+
+  ReliableLocker(const ReliableLocker&) = delete;
+  ReliableLocker& operator=(const ReliableLocker&) = delete;
+
+  /// Pin [addr, addr+len) of `pid`. On success `out` owns the pin.
+  [[nodiscard]] KStatus lock(simkern::Pid pid, simkern::VAddr addr,
+                             std::uint64_t len, PinnedRegion& out);
+
+  [[nodiscard]] std::uint64_t live_pins() const { return live_pins_; }
+  [[nodiscard]] std::uint64_t total_locks() const { return total_locks_; }
+  [[nodiscard]] simkern::Kernel& kernel() { return kern_; }
+
+ private:
+  friend class PinnedRegion;
+  void unlock(simkern::Kiobuf& kiobuf);
+
+  simkern::Kernel& kern_;
+  std::uint64_t live_pins_ = 0;
+  std::uint64_t total_locks_ = 0;
+};
+
+}  // namespace vialock::core

@@ -1,0 +1,162 @@
+#include "experiments/locktest.h"
+
+#include <cstring>
+#include <vector>
+
+#include "experiments/pressure.h"
+
+namespace vialock::experiments {
+
+using simkern::kPageShift;
+using simkern::kPageSize;
+using simkern::Pfn;
+using simkern::Pid;
+using simkern::VAddr;
+
+namespace {
+
+/// Per-page stamp written in step 1 / step 4 (deterministic, distinct).
+std::uint64_t stamp(std::uint32_t page, std::uint32_t round) {
+  return 0xC0FFEE0000000000ULL ^ (static_cast<std::uint64_t>(round) << 32) ^
+         page * 0x9E3779B97F4A7C15ULL;
+}
+
+constexpr std::uint64_t kDmaMagic = 0xD1AD1AD1AD1AD1ADULL;
+constexpr std::uint64_t kDmaOffset = 16;  ///< where step 5 writes in page 0
+
+}  // namespace
+
+LocktestResult run_locktest(via::Node& node, const LocktestConfig& config) {
+  LocktestResult r;
+  r.pages = config.region_pages;
+  simkern::Kernel& kern = node.kernel();
+  via::KernelAgent& agent = node.agent();
+
+  const Pid pid = kern.create_task("locktest");
+  const auto prot = simkern::VmFlag::Read | simkern::VmFlag::Write;
+  const std::uint64_t len =
+      static_cast<std::uint64_t>(config.region_pages) << kPageShift;
+
+  // Step 1: allocate and fill - every page gets a distinct physical frame.
+  const auto addr_opt = kern.sys_mmap_anon(pid, len, prot);
+  if (!addr_opt) {
+    r.status = KStatus::NoMem;
+    return r;
+  }
+  const VAddr addr = *addr_opt;
+  for (std::uint32_t p = 0; p < config.region_pages; ++p) {
+    const std::uint64_t v = stamp(p, 1);
+    if (const KStatus st = kern.write_user(
+            pid, addr + (static_cast<std::uint64_t>(p) << kPageShift),
+            std::as_bytes(std::span{&v, 1}));
+        !ok(st)) {
+      r.status = st;
+      return r;
+    }
+  }
+
+  // Step 2: register; the TPT now stores the physical addresses.
+  const via::ProtectionTag tag = agent.create_ptag(pid);
+  via::MemHandle mh;
+  if (const KStatus st = agent.register_mem(pid, addr, len, tag, mh); !ok(st)) {
+    r.status = st;
+    return r;
+  }
+  const via::LockHandle* lh = agent.lock_handle(mh.id);
+  const std::vector<Pfn> original_pfns = lh->pfns;
+
+  // Step 3: the allocator process forces swapping.
+  Pid allocator = simkern::kInvalidPid;
+  if (config.run_pressure) {
+    const std::uint64_t before = kern.stats().pages_swapped_out;
+    const PressureResult pr =
+        apply_memory_pressure(kern, config.pressure_factor);
+    allocator = pr.allocator_pid;
+    r.allocator_pages = pr.pages_touched;
+    r.pages_swapped_out = kern.stats().pages_swapped_out - before;
+  }
+
+  // Step 4: locktest writes again to each page of the memory block.
+  for (std::uint32_t p = 0; p < config.region_pages; ++p) {
+    const std::uint64_t v = stamp(p, 2);
+    if (const KStatus st = kern.write_user(
+            pid, addr + (static_cast<std::uint64_t>(p) << kPageShift) + 8,
+            std::as_bytes(std::span{&v, 1}));
+        !ok(st)) {
+      r.status = st;
+      return r;
+    }
+  }
+
+  // Step 5: the NIC DMA-writes kDmaMagic into the first page through the
+  // physical address it learned at registration time.
+  {
+    const std::uint64_t magic = kDmaMagic;
+    if (const KStatus st = node.nic().dma_write_local(
+            mh, addr + kDmaOffset, std::as_bytes(std::span{&magic, 1}));
+        !ok(st)) {
+      r.status = st;
+      return r;
+    }
+  }
+  // NIC-side read check: does a gather through the TPT see the step-4 data?
+  {
+    std::uint64_t seen = 0;
+    if (const KStatus st = node.nic().dma_read_local(
+            mh, addr + 8, std::as_writable_bytes(std::span{&seen, 1}));
+        !ok(st)) {
+      r.status = st;
+      return r;
+    }
+    r.nic_read_current = seen == stamp(0, 2);
+  }
+
+  // Step 6: derive the physical addresses again and compare.
+  for (std::uint32_t p = 0; p < config.region_pages; ++p) {
+    const auto pfn = kern.resolve(
+        pid, addr + (static_cast<std::uint64_t>(p) << kPageShift));
+    if (!pfn || *pfn != original_pfns[p]) {
+      ++r.pages_relocated;
+      // A relocated page leaves the registration-time frame detached but
+      // still referenced (leaked for the registration's lifetime).
+      if (kern.phys().page(original_pfns[p]).count > 0) ++r.frames_detached;
+    }
+  }
+
+  // Data-integrity side check: both stamps survived the swap round-trip.
+  for (std::uint32_t p = 0; p < config.region_pages && r.data_intact; ++p) {
+    std::uint64_t v1 = 0;
+    std::uint64_t v2 = 0;
+    const VAddr pa = addr + (static_cast<std::uint64_t>(p) << kPageShift);
+    if (!ok(kern.read_user(pid, pa, std::as_writable_bytes(std::span{&v1, 1}))) ||
+        !ok(kern.read_user(pid, pa + 8,
+                           std::as_writable_bytes(std::span{&v2, 1})))) {
+      r.data_intact = false;
+      break;
+    }
+    if (v1 != stamp(p, 1) || v2 != stamp(p, 2)) r.data_intact = false;
+  }
+
+  // Step 8 (before step 7, so the registration still pins what it pins):
+  // does the process see the NIC's write?
+  {
+    std::uint64_t seen = 0;
+    if (const KStatus st =
+            kern.read_user(pid, addr + kDmaOffset,
+                           std::as_writable_bytes(std::span{&seen, 1}));
+        !ok(st)) {
+      r.status = st;
+      return r;
+    }
+    r.dma_write_visible = seen == kDmaMagic;
+  }
+
+  // Step 7: deregister (returns any detached frames to the allocator).
+  if (const KStatus st = agent.deregister_mem(mh); !ok(st)) r.status = st;
+
+  if (allocator != simkern::kInvalidPid) kern.exit_task(allocator);
+  kern.exit_task(pid);
+  return r;
+}
+
+}  // namespace vialock::experiments

@@ -1,0 +1,60 @@
+// locktest.h - the paper's experiment, section 3.1, steps 1-8:
+//
+//   1. locktest allocates memory and fills it with data (each virtual page
+//      maps a distinct physical page).
+//   2. Registration is performed (under the node's locking policy); the
+//      physical addresses are stored (in the NIC's TPT).
+//   3. An allocator process dirties as much memory as possible, forcing a
+//      large amount of pages to be swapped out.
+//   4. locktest writes again to each page of the block.
+//   5. The kernel agent writes a value to the first page using the physical
+//      address obtained during registration - "simulating a DMA operation of
+//      the NIC" (here: an actual DMA through the simulated NIC's TPT).
+//   6. The physical addresses of all pages are derived from the page tables
+//      again and compared to those acquired during registration.
+//   7. The block is deregistered.
+//   8. The contents of the first page is inspected: did the process see the
+//      DMA write?
+//
+// For a correct locking mechanism nothing relocates and the DMA write is
+// visible; for refcount-only locking "all physical addresses had changed and
+// the first page still contained its original value".
+#pragma once
+
+#include <cstdint>
+
+#include "util/status.h"
+#include "via/node.h"
+
+namespace vialock::experiments {
+
+struct LocktestConfig {
+  std::uint32_t region_pages = 64;  ///< size of the registered block
+  double pressure_factor = 1.5;     ///< allocator dirties frames x factor
+  bool run_pressure = true;         ///< step 3 can be disabled as a control
+};
+
+struct LocktestResult {
+  KStatus status = KStatus::Ok;   ///< infrastructure status (not the verdict)
+  std::uint32_t pages = 0;
+  std::uint32_t pages_relocated = 0;   ///< step 6: physical address changed
+  bool dma_write_visible = false;      ///< step 8: process saw the NIC write
+  bool nic_read_current = false;       ///< NIC gather returns the step-4 data
+  bool data_intact = true;             ///< swap round-trip preserved contents
+  std::uint32_t frames_detached = 0;   ///< stale frames still held at step 6
+  std::uint64_t pages_swapped_out = 0; ///< kernel-wide, during pressure
+  std::uint64_t allocator_pages = 0;
+
+  /// The verdict of the experiment: registration kept NIC and MMU views
+  /// consistent under memory pressure.
+  [[nodiscard]] bool consistent() const {
+    return pages_relocated == 0 && dma_write_visible && nic_read_current;
+  }
+};
+
+/// Run the locktest experiment on `node` (whose kernel agent carries the
+/// locking policy under test).
+[[nodiscard]] LocktestResult run_locktest(via::Node& node,
+                                          const LocktestConfig& config = {});
+
+}  // namespace vialock::experiments

@@ -1,0 +1,51 @@
+#include "experiments/pressure.h"
+
+#include <algorithm>
+
+namespace vialock::experiments {
+
+using simkern::kPageShift;
+using simkern::kPageSize;
+using simkern::VAddr;
+
+PressureResult apply_memory_pressure(simkern::Kernel& kern, double factor) {
+  PressureResult result;
+  result.allocator_pid = kern.create_task("allocator");
+  const std::uint64_t swap_outs_before = kern.stats().pages_swapped_out;
+
+  const auto target_pages = static_cast<std::uint64_t>(
+      static_cast<double>(kern.phys().num_frames()) * factor);
+  const auto prot = simkern::VmFlag::Read | simkern::VmFlag::Write;
+
+  // Map in 4 MB chunks and dirty every page (a calloc-and-touch loop).
+  constexpr std::uint64_t kChunkPages = 1024;
+  std::uint64_t touched = 0;
+  while (touched < target_pages) {
+    const std::uint64_t chunk = std::min(kChunkPages, target_pages - touched);
+    const auto addr =
+        kern.sys_mmap_anon(result.allocator_pid, chunk << kPageShift, prot);
+    if (!addr) {
+      result.status = KStatus::NoMem;
+      break;
+    }
+    bool oom = false;
+    for (std::uint64_t i = 0; i < chunk; ++i) {
+      const KStatus st =
+          kern.touch(result.allocator_pid, *addr + (i << kPageShift),
+                     /*write=*/true);
+      if (!ok(st)) {
+        result.status = st;
+        oom = true;
+        break;
+      }
+      ++touched;
+    }
+    if (oom) break;
+  }
+
+  result.pages_touched = touched;
+  result.swap_outs = kern.stats().pages_swapped_out - swap_outs_before;
+  return result;
+}
+
+}  // namespace vialock::experiments

@@ -1,0 +1,27 @@
+// pressure.h - the "allocator process" of the paper's locktest experiment:
+// "allocates as much memory as possible forcing a large amount of pages to be
+// swapped out" (section 3.1, step 3). Due to demand paging it must write to
+// every page to actually consume physical memory.
+#pragma once
+
+#include <cstdint>
+
+#include "simkern/kernel.h"
+#include "util/status.h"
+
+namespace vialock::experiments {
+
+struct PressureResult {
+  simkern::Pid allocator_pid = simkern::kInvalidPid;
+  std::uint64_t pages_touched = 0;
+  std::uint64_t swap_outs = 0;  ///< pages the kernel pushed to swap meanwhile
+  KStatus status = KStatus::Ok;
+};
+
+/// Create an allocator task and have it dirty `factor` x total-frames pages.
+/// The task is left alive (its residency keeps the pressure standing); the
+/// caller exits it via Kernel::exit_task when done measuring.
+[[nodiscard]] PressureResult apply_memory_pressure(simkern::Kernel& kern,
+                                                   double factor);
+
+}  // namespace vialock::experiments

@@ -1,0 +1,121 @@
+#include "mp/collectives.h"
+
+#include <span>
+#include <vector>
+
+namespace vialock::mp {
+
+namespace {
+
+/// One matched exchange: irecv at `to`, isend at `from`, wait both.
+[[nodiscard]] KStatus exchange(Comm& comm, Rank from, Rank to,
+                               std::int32_t tag, std::uint64_t src_off,
+                               std::uint64_t dst_off, std::uint32_t len) {
+  const ReqId r = comm.irecv_internal(to, static_cast<std::int32_t>(from), tag,
+                                      dst_off, len);
+  const ReqId s = comm.isend_internal(from, to, tag, src_off, len);
+  if (!comm.wait(r)) return KStatus::Proto;
+  if (!comm.wait(s)) return KStatus::Proto;
+  return KStatus::Ok;
+}
+
+}  // namespace
+
+KStatus barrier(Comm& comm, std::uint64_t scratch_offset) {
+  const Rank n = comm.size();
+  for (Rank k = 1; k < n; k <<= 1) {
+    for (Rank r = 0; r < n; ++r) {
+      const Rank to = (r + k) % n;
+      if (const KStatus st = exchange(comm, r, to, kBarrierTag,
+                                      scratch_offset, scratch_offset + 8, 8);
+          !ok(st)) {
+        return st;
+      }
+    }
+  }
+  return KStatus::Ok;
+}
+
+KStatus broadcast(Comm& comm, Rank root, std::uint64_t offset,
+                  std::uint32_t len) {
+  const Rank n = comm.size();
+  for (Rank k = 1; k < n; k <<= 1) {
+    for (Rank rel = 0; rel < k && rel + k < n; ++rel) {
+      const Rank from = (root + rel) % n;
+      const Rank to = (root + rel + k) % n;
+      if (const KStatus st =
+              exchange(comm, from, to, kBcastTag, offset, offset, len);
+          !ok(st)) {
+        return st;
+      }
+    }
+  }
+  return KStatus::Ok;
+}
+
+KStatus reduce_sum(Comm& comm, Rank root, std::uint64_t offset,
+                   std::uint32_t count, std::uint64_t scratch_offset) {
+  const Rank n = comm.size();
+  const std::uint32_t bytes = count * 8;
+  std::vector<std::uint64_t> acc(count);
+  std::vector<std::uint64_t> incoming(count);
+
+  // Reduce along a binomial tree rooted (virtually) at rank 0 in root-
+  // relative coordinates: ascending round k folds rel r+k into rel r.
+  auto abs_rank = [&](Rank rel) { return (root + rel) % n; };
+  for (Rank k = 1; k < n; k <<= 1) {
+    for (Rank rel = 0; rel + k < n; rel += 2 * k) {
+      const Rank dst = abs_rank(rel);
+      const Rank src = abs_rank(rel + k);
+      if (const KStatus st = exchange(comm, src, dst, kReduceTag, offset,
+                                      scratch_offset, bytes);
+          !ok(st)) {
+        return st;
+      }
+      // Fold at dst.
+      if (const KStatus st = comm.fetch(
+              dst, offset, std::as_writable_bytes(std::span{acc}));
+          !ok(st)) {
+        return st;
+      }
+      if (const KStatus st = comm.fetch(
+              dst, scratch_offset, std::as_writable_bytes(std::span{incoming}));
+          !ok(st)) {
+        return st;
+      }
+      for (std::uint32_t i = 0; i < count; ++i) acc[i] += incoming[i];
+      if (const KStatus st =
+              comm.stage(dst, offset, std::as_bytes(std::span{acc}));
+          !ok(st)) {
+        return st;
+      }
+    }
+  }
+  return KStatus::Ok;
+}
+
+KStatus allreduce_sum(Comm& comm, std::uint64_t offset, std::uint32_t count,
+                      std::uint64_t scratch_offset) {
+  if (const KStatus st = reduce_sum(comm, 0, offset, count, scratch_offset);
+      !ok(st)) {
+    return st;
+  }
+  return broadcast(comm, 0, offset, count * 8);
+}
+
+KStatus gather(Comm& comm, Rank root, std::uint64_t offset,
+               std::uint32_t block) {
+  const Rank n = comm.size();
+  for (Rank r = 0; r < n; ++r) {
+    if (r == root) continue;
+    if (const KStatus st =
+            exchange(comm, r, root, kGatherTag, offset,
+                     offset + static_cast<std::uint64_t>(r) * block, block);
+        !ok(st)) {
+      return st;
+    }
+  }
+  return KStatus::Ok;
+}
+
+}  // namespace vialock::mp

@@ -1,0 +1,199 @@
+#include "msg/mesh.h"
+
+#include <cassert>
+#include <span>
+
+namespace vialock::msg {
+
+using simkern::Pid;
+using simkern::VAddr;
+
+Mesh::Mesh(via::Cluster& cluster, std::vector<via::NodeId> nodes, Config config)
+    : cluster_(cluster), nodes_(std::move(nodes)), config_(config) {}
+
+Mesh::~Mesh() = default;
+
+KStatus Mesh::init() {
+  assert(!initialised_);
+  if (nodes_.size() < 2) return KStatus::Inval;
+
+  // One process and one rank heap per node.
+  const auto prot = simkern::VmFlag::Read | simkern::VmFlag::Write;
+  for (Rank r = 0; r < size(); ++r) {
+    const Pid pid =
+        kern(r).create_task("rank" + std::to_string(r));
+    pids_.push_back(pid);
+    const auto heap =
+        kern(r).sys_mmap_anon(pid, config_.rank_heap_bytes, prot);
+    if (!heap) return KStatus::NoMem;
+    rank_heaps_.push_back(*heap);
+  }
+
+  // A channel per ordered pair, attached to the rank processes.
+  for (Rank i = 0; i < size(); ++i) {
+    for (Rank j = 0; j < size(); ++j) {
+      if (i == j) continue;
+      Channel::Config cfg = config_.channel;
+      cfg.sender_pid = pids_[i];
+      cfg.receiver_pid = pids_[j];
+      auto ch = std::make_unique<Channel>(cluster_, nodes_[i], nodes_[j], cfg);
+      if (const KStatus st = ch->init(); !ok(st)) return st;
+      channels_.emplace(std::make_pair(i, j), std::move(ch));
+    }
+  }
+  initialised_ = true;
+  return KStatus::Ok;
+}
+
+Channel& Mesh::channel(Rank from, Rank to) {
+  auto it = channels_.find(std::make_pair(from, to));
+  assert(it != channels_.end());
+  return *it->second;
+}
+
+KStatus Mesh::stage_rank(Rank rank, std::uint64_t offset,
+                         std::span<const std::byte> data) {
+  return kern(rank).write_user(pids_[rank], rank_heaps_[rank] + offset, data);
+}
+
+KStatus Mesh::fetch_rank(Rank rank, std::uint64_t offset,
+                         std::span<std::byte> out) {
+  return kern(rank).read_user(pids_[rank], rank_heaps_[rank] + offset, out);
+}
+
+KStatus Mesh::send(Rank from, Rank to, std::uint64_t offset,
+                   std::uint32_t len) {
+  assert(initialised_ && from != to && from < size() && to < size());
+  Channel& ch = channel(from, to);
+  // rank heap -> channel source heap (one local copy in `from`'s process)...
+  if (const KStatus st = kern(from).copy_user(
+          pids_[from], ch.sender_heap(), rank_heaps_[from] + offset, len);
+      !ok(st)) {
+    return st;
+  }
+  // ...across the wire (protocol by size)...
+  if (const KStatus st = ch.transfer_auto(0, 0, len); !ok(st)) return st;
+  // ...channel destination heap -> rank heap (one local copy in `to`).
+  if (const KStatus st = kern(to).copy_user(
+          pids_[to], rank_heaps_[to] + offset, ch.receiver_heap(), len);
+      !ok(st)) {
+    return st;
+  }
+  ++stats_.p2p_msgs;
+  return KStatus::Ok;
+}
+
+KStatus Mesh::barrier() {
+  // Dissemination barrier: in round k every rank signals (rank + 2^k) mod N.
+  const Rank n = size();
+  for (Rank k = 1; k < n; k <<= 1) {
+    for (Rank r = 0; r < n; ++r) {
+      const Rank to = (r + k) % n;
+      if (const KStatus st = send(r, to, /*offset=*/0, /*len=*/8); !ok(st))
+        return st;
+    }
+  }
+  ++stats_.barriers;
+  return KStatus::Ok;
+}
+
+KStatus Mesh::broadcast(Rank root, std::uint64_t offset, std::uint32_t len) {
+  // Binomial tree over ranks relative to the root: in round k, ranks with
+  // relative id < 2^k forward to relative id + 2^k.
+  const Rank n = size();
+  for (Rank k = 1; k < n; k <<= 1) {
+    for (Rank rel = 0; rel < k && rel + k < n; ++rel) {
+      const Rank from = (root + rel) % n;
+      const Rank to = (root + rel + k) % n;
+      if (const KStatus st = send(from, to, offset, len); !ok(st)) return st;
+    }
+  }
+  ++stats_.broadcasts;
+  return KStatus::Ok;
+}
+
+KStatus Mesh::allreduce_sum(std::uint64_t offset, std::uint32_t count) {
+  const Rank n = size();
+  const std::uint32_t bytes = count * 8;
+  std::vector<std::uint64_t> acc(count);
+  std::vector<std::uint64_t> incoming(count);
+
+  // Reduce to rank 0 along a binomial tree: in round k (ascending, so every
+  // sender has already folded its own subtree), rank r+k sends its partial
+  // to rank r, which folds it in.
+  for (Rank k = 1; k < n; k <<= 1) {
+    for (Rank r = 0; r + k < n; r += 2 * k) {
+      const Rank src = r + k;
+      // The partial travels into a scratch area above the payload.
+      const std::uint64_t scratch = offset + bytes;
+      // Move src's payload into dst's scratch.
+      if (const KStatus st = kern(src).copy_user(
+              pids_[src], rank_heaps_[src] + scratch,
+              rank_heaps_[src] + offset, bytes);
+          !ok(st)) {
+        return st;
+      }
+      if (const KStatus st = send(src, r, scratch, bytes); !ok(st)) return st;
+      // Fold: dst reads both vectors, adds, writes back (CPU work in dst).
+      if (const KStatus st = fetch_at(r, offset, acc); !ok(st)) return st;
+      if (const KStatus st = fetch_at(r, scratch, incoming); !ok(st)) return st;
+      for (std::uint32_t i = 0; i < count; ++i) acc[i] += incoming[i];
+      if (const KStatus st = kern(r).write_user(
+              pids_[r], rank_heaps_[r] + offset,
+              std::as_bytes(std::span{acc}));
+          !ok(st)) {
+        return st;
+      }
+    }
+  }
+  // Broadcast the result back out.
+  if (const KStatus st = broadcast(/*root=*/0, offset, bytes); !ok(st))
+    return st;
+  ++stats_.allreduces;
+  return KStatus::Ok;
+}
+
+KStatus Mesh::alltoall(std::uint64_t offset, std::uint32_t block) {
+  // Block j of rank i becomes block i of rank j. In-place exchange would let
+  // early sends overwrite blocks their owners have not shipped yet, so phase
+  // 1 snapshots every rank's outgoing blocks into an outbox region laid out
+  // after the N data blocks; phase 2 exchanges out of the outboxes.
+  const Rank n = size();
+  const std::uint64_t outbox = offset + static_cast<std::uint64_t>(n) * block;
+  for (Rank r = 0; r < n; ++r) {
+    if (const KStatus st = kern(r).copy_user(
+            pids_[r], rank_heaps_[r] + outbox, rank_heaps_[r] + offset,
+            static_cast<std::uint64_t>(n) * block);
+        !ok(st)) {
+      return st;
+    }
+  }
+  for (Rank i = 0; i < n; ++i) {
+    for (Rank j = 0; j < n; ++j) {
+      if (i == j) continue;
+      // Ship outbox block j of rank i; it lands in rank j's outbox slot j
+      // (whose own content is the unused to-self copy), then settles as
+      // data block i.
+      const std::uint64_t slot = outbox + static_cast<std::uint64_t>(j) * block;
+      if (const KStatus st = send(i, j, slot, block); !ok(st)) return st;
+      if (const KStatus st = kern(j).copy_user(
+              pids_[j],
+              rank_heaps_[j] + offset + static_cast<std::uint64_t>(i) * block,
+              rank_heaps_[j] + slot, block);
+          !ok(st)) {
+        return st;
+      }
+    }
+  }
+  ++stats_.alltoalls;
+  return KStatus::Ok;
+}
+
+// private helper used by allreduce_sum
+KStatus Mesh::fetch_at(Rank rank, std::uint64_t offset,
+                       std::span<std::uint64_t> out) {
+  return kern(rank).read_user(pids_[rank], rank_heaps_[rank] + offset,
+                              std::as_writable_bytes(out));
+}
+
+}  // namespace vialock::msg

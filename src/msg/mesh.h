@@ -1,0 +1,108 @@
+// mesh.h - an N-rank communicator and the collective operations the paper
+// family names as future work ("the implementation of collective operations,
+// because VIA as well as SCI offer excellent features for e.g. a barrier or
+// a broadcast").
+//
+// One process per rank (node); an all-pairs set of Channels between them;
+// each rank owns a canonical "rank heap" holding its application data.
+// Point-to-point hops go rank heap -> channel -> rank heap with one local
+// copy on each end (eager-style) or zero-copy through the channel's
+// rendezvous path for large payloads. Collectives:
+//   barrier()        - dissemination pattern, ceil(log2 N) rounds
+//   broadcast()      - binomial tree from the root
+//   allreduce_sum()  - reduce-to-root (binomial) + broadcast, u64 vectors
+//   alltoall()       - pairwise exchange rounds
+//
+// The simulation is synchronous, so collective "rounds" execute sequentially
+// against the shared virtual clock; reported times are an upper bound (no
+// overlap between peers within a round).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "msg/transport.h"
+
+namespace vialock::msg {
+
+class Mesh {
+ public:
+  using Rank = std::uint32_t;
+
+  struct Config {
+    Channel::Config channel;  ///< applied to every pairwise channel
+    std::uint64_t rank_heap_bytes = 2ULL << 20;
+  };
+
+  Mesh(via::Cluster& cluster, std::vector<via::NodeId> nodes, Config config);
+  Mesh(via::Cluster& cluster, std::vector<via::NodeId> nodes)
+      : Mesh(cluster, std::move(nodes), Config{}) {}
+  ~Mesh();
+
+  Mesh(const Mesh&) = delete;
+  Mesh& operator=(const Mesh&) = delete;
+
+  [[nodiscard]] KStatus init();
+  [[nodiscard]] Rank size() const { return static_cast<Rank>(nodes_.size()); }
+
+  // --- application data in rank heaps ------------------------------------------
+  [[nodiscard]] KStatus stage_rank(Rank rank, std::uint64_t offset,
+                                   std::span<const std::byte> data);
+  [[nodiscard]] KStatus fetch_rank(Rank rank, std::uint64_t offset,
+                                   std::span<std::byte> out);
+
+  // --- point-to-point -------------------------------------------------------------
+  /// Move `len` bytes at heap `offset` from rank `from` to the same offset
+  /// in rank `to`'s heap (protocol chosen by size).
+  [[nodiscard]] KStatus send(Rank from, Rank to, std::uint64_t offset,
+                             std::uint32_t len);
+
+  // --- collectives ------------------------------------------------------------------
+  [[nodiscard]] KStatus barrier();
+  /// After return, every rank's heap holds the root's `len` bytes at `offset`.
+  [[nodiscard]] KStatus broadcast(Rank root, std::uint64_t offset,
+                                  std::uint32_t len);
+  /// Element-wise sum of each rank's `count` u64s at `offset`; the result
+  /// lands in every rank's heap.
+  [[nodiscard]] KStatus allreduce_sum(std::uint64_t offset,
+                                      std::uint32_t count);
+  /// Each rank holds N blocks of `block` bytes at `offset`; block j of rank i
+  /// ends up as block i of rank j.
+  [[nodiscard]] KStatus alltoall(std::uint64_t offset, std::uint32_t block);
+
+  struct MeshStats {
+    std::uint64_t p2p_msgs = 0;
+    std::uint64_t barriers = 0;
+    std::uint64_t broadcasts = 0;
+    std::uint64_t allreduces = 0;
+    std::uint64_t alltoalls = 0;
+  };
+  [[nodiscard]] const MeshStats& stats() const { return stats_; }
+  [[nodiscard]] simkern::Pid rank_pid(Rank r) const { return pids_[r]; }
+  [[nodiscard]] via::Node& rank_node(Rank r) {
+    return cluster_.node(nodes_[r]);
+  }
+
+ private:
+  [[nodiscard]] Channel& channel(Rank from, Rank to);
+  /// Read `out.size()` u64s from a rank heap (allreduce folding).
+  [[nodiscard]] KStatus fetch_at(Rank rank, std::uint64_t offset,
+                                 std::span<std::uint64_t> out);
+  [[nodiscard]] simkern::Kernel& kern(Rank r) {
+    return cluster_.node(nodes_[r]).kernel();
+  }
+
+  via::Cluster& cluster_;
+  std::vector<via::NodeId> nodes_;
+  Config config_;
+  MeshStats stats_;
+  std::vector<simkern::Pid> pids_;
+  std::vector<simkern::VAddr> rank_heaps_;
+  std::map<std::pair<Rank, Rank>, std::unique_ptr<Channel>> channels_;
+  bool initialised_ = false;
+};
+
+}  // namespace vialock::msg

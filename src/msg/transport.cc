@@ -1,0 +1,430 @@
+#include "msg/transport.h"
+
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "via/remote_window.h"
+
+namespace vialock::msg {
+
+using simkern::VAddr;
+using via::Descriptor;
+using via::MemHandle;
+
+namespace {
+
+/// Rendezvous control messages (sent through the eager path).
+struct RndzReq {
+  std::uint32_t len = 0;
+  std::uint64_t dst_off = 0;
+};
+
+struct RndzAck {
+  MemHandle dst_handle;  ///< POD handle, "communicated out of band"
+  VAddr dst_addr = 0;
+};
+
+template <typename T>
+std::span<const std::byte> as_bytes_of(const T& v) {
+  return {reinterpret_cast<const std::byte*>(&v), sizeof(T)};
+}
+
+}  // namespace
+
+/// Per-process endpoint state.
+struct Channel::Side {
+  Side(via::Node& node, simkern::Pid pid) : vipl(node.agent(), pid) {}
+
+  via::Vipl vipl;
+  via::ViId vi = via::kInvalidVi;
+  VAddr slots = 0;          ///< eager bounce buffer array
+  MemHandle slots_mh;       ///< its registration
+  std::uint32_t num_slots = 0;
+  std::uint32_t slot_size = 0;
+  MemHandle heap_mh;        ///< whole-heap registration (Preregistered mode)
+  bool heap_registered = false;
+  std::unique_ptr<core::RegistrationCache> cache;
+  std::map<std::uint64_t, via::RemoteWindow> imports;  ///< PIO import cache
+
+  [[nodiscard]] VAddr slot_addr(std::uint32_t i) const {
+    return slots + static_cast<std::uint64_t>(i) * slot_size;
+  }
+
+  /// Re-arm receive descriptor for slot `i`.
+  [[nodiscard]] KStatus repost(std::uint32_t i) {
+    return vipl.post_recv(vi, slots_mh, slot_addr(i), slot_size, /*cookie=*/i);
+  }
+};
+
+Channel::Channel(via::Cluster& cluster, via::NodeId sender,
+                 via::NodeId receiver, Config config)
+    : cluster_(cluster),
+      sender_id_(sender),
+      receiver_id_(receiver),
+      config_(config) {}
+
+Channel::~Channel() = default;
+
+KStatus Channel::init() {
+  assert(!initialised_);
+  via::Node& sn = cluster_.node(sender_id_);
+  via::Node& rn = cluster_.node(receiver_id_);
+
+  src_pid_ = config_.sender_pid != simkern::kInvalidPid
+                 ? config_.sender_pid
+                 : sn.kernel().create_task("msg-sender");
+  dst_pid_ = config_.receiver_pid != simkern::kInvalidPid
+                 ? config_.receiver_pid
+                 : rn.kernel().create_task("msg-receiver");
+
+  const auto prot = simkern::VmFlag::Read | simkern::VmFlag::Write;
+  const auto sh = sn.kernel().sys_mmap_anon(src_pid_, config_.user_heap_bytes, prot);
+  const auto dh = rn.kernel().sys_mmap_anon(dst_pid_, config_.user_heap_bytes, prot);
+  if (!sh || !dh) return KStatus::NoMem;
+  src_heap_ = *sh;
+  dst_heap_ = *dh;
+
+  src_ = std::make_unique<Side>(sn, src_pid_);
+  dst_ = std::make_unique<Side>(rn, dst_pid_);
+
+  for (Side* s : {src_.get(), dst_.get()}) {
+    if (const KStatus st = s->vipl.open(); !ok(st)) return st;
+    s->vi = s->vipl.create_vi();
+    if (s->vi == via::kInvalidVi) return KStatus::NoMem;
+    s->slot_size = config_.eager_slot_size;
+    s->num_slots = config_.eager_credits;
+  }
+  if (const KStatus st = cluster_.fabric().connect(sender_id_, src_->vi,
+                                                   receiver_id_, dst_->vi);
+      !ok(st)) {
+    return st;
+  }
+
+  // Eager bounce buffers: mmap + register once, pre-post all receive slots.
+  struct SideSetup {
+    Side* side;
+    via::Node* node;
+    simkern::Pid pid;
+  };
+  for (auto [side, node, pid] : {SideSetup{src_.get(), &sn, src_pid_},
+                                 SideSetup{dst_.get(), &rn, dst_pid_}}) {
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(side->slot_size) * side->num_slots;
+    const auto addr = node->kernel().sys_mmap_anon(pid, bytes, prot);
+    if (!addr) return KStatus::NoMem;
+    side->slots = *addr;
+    if (const KStatus st = side->vipl.register_mem(side->slots, bytes,
+                                                   side->slots_mh);
+        !ok(st)) {
+      return st;
+    }
+    for (std::uint32_t i = 0; i < side->num_slots; ++i) {
+      if (const KStatus st = side->repost(i); !ok(st)) return st;
+    }
+    side->cache = std::make_unique<core::RegistrationCache>(
+        side->vipl, core::RegistrationCache::Config{
+                        .policy = config_.cache_policy,
+                        .max_idle = config_.cache_max_idle});
+  }
+
+  if (config_.preregister_heaps) {
+    if (const KStatus st = src_->vipl.register_mem(
+            src_heap_, config_.user_heap_bytes, src_->heap_mh);
+        !ok(st)) {
+      return st;
+    }
+    if (const KStatus st = dst_->vipl.register_mem(
+            dst_heap_, config_.user_heap_bytes, dst_->heap_mh);
+        !ok(st)) {
+      return st;
+    }
+    src_->heap_registered = dst_->heap_registered = true;
+  }
+
+  initialised_ = true;
+  return KStatus::Ok;
+}
+
+// ---------------------------------------------------------------------------
+// Untimed helpers
+// ---------------------------------------------------------------------------
+
+KStatus Channel::stage(std::uint64_t src_off, std::span<const std::byte> payload) {
+  return sender_node().kernel().write_user(src_pid_, src_heap_ + src_off,
+                                           payload);
+}
+
+KStatus Channel::fetch(std::uint64_t dst_off, std::span<std::byte> out) {
+  return receiver_node().kernel().read_user(dst_pid_, dst_heap_ + dst_off, out);
+}
+
+// ---------------------------------------------------------------------------
+// Eager path
+// ---------------------------------------------------------------------------
+
+KStatus Channel::eager_push(Side& from, Side& to,
+                            std::span<const std::byte> msg,
+                            Descriptor& completion) {
+  assert(msg.size() <= from.slot_size);
+  // Copy into the sender's bounce slot 0 (single in-flight message in the
+  // synchronous model) via one user-space copy... except the source here is
+  // library-internal bytes, so write_user models the copy into the
+  // registered buffer.
+  via::Node& fn = from.vipl.pid() == src_pid_ ? sender_node() : receiver_node();
+  if (const KStatus st =
+          fn.kernel().write_user(from.vipl.pid(), from.slot_addr(0), msg);
+      !ok(st)) {
+    return st;
+  }
+  if (const KStatus st =
+          from.vipl.post_send(from.vi, from.slots_mh, from.slot_addr(0),
+                              static_cast<std::uint32_t>(msg.size()));
+      !ok(st)) {
+    return st;
+  }
+  const auto sc = from.vipl.send_done(from.vi);
+  if (!sc || !sc->done_ok()) return KStatus::Proto;
+  const auto rc = to.vipl.recv_done(to.vi);
+  if (!rc || !rc->done_ok()) return KStatus::Proto;
+  completion = *rc;
+  // Re-arm the consumed slot.
+  return to.repost(static_cast<std::uint32_t>(rc->cookie));
+}
+
+KStatus Channel::eager(std::uint64_t src_off, std::uint64_t dst_off,
+                       std::uint32_t len) {
+  if (len > config_.eager_slot_size) return KStatus::Inval;
+  simkern::Kernel& sk = sender_node().kernel();
+  simkern::Kernel& rk = receiver_node().kernel();
+
+  // Sender: one copy user buffer -> registered bounce slot.
+  if (const KStatus st =
+          sk.copy_user(src_pid_, src_->slot_addr(0), src_heap_ + src_off, len);
+      !ok(st)) {
+    return st;
+  }
+  if (const KStatus st = src_->vipl.post_send(src_->vi, src_->slots_mh,
+                                              src_->slot_addr(0), len);
+      !ok(st)) {
+    return st;
+  }
+  const auto sc = src_->vipl.send_done(src_->vi);
+  if (!sc || !sc->done_ok()) return KStatus::Proto;
+  const auto rc = dst_->vipl.recv_done(dst_->vi);
+  if (!rc || !rc->done_ok()) return KStatus::Proto;
+
+  // Receiver: one copy bounce slot -> user buffer, then re-arm the slot.
+  const auto slot = static_cast<std::uint32_t>(rc->cookie);
+  if (const KStatus st = rk.copy_user(dst_pid_, dst_heap_ + dst_off,
+                                      dst_->slot_addr(slot), len);
+      !ok(st)) {
+    return st;
+  }
+  if (const KStatus st = dst_->repost(slot); !ok(st)) return st;
+
+  ++stats_.eager_msgs;
+  stats_.bytes_moved += len;
+  return KStatus::Ok;
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous path (dynamic registration, true zero-copy)
+// ---------------------------------------------------------------------------
+
+KStatus Channel::rendezvous(std::uint64_t src_off, std::uint64_t dst_off,
+                            std::uint32_t len) {
+  // 1. Sender -> receiver: REQ control message.
+  const RndzReq req{len, dst_off};
+  Descriptor comp;
+  if (const KStatus st = eager_push(*src_, *dst_, as_bytes_of(req), comp);
+      !ok(st)) {
+    return st;
+  }
+  ++stats_.control_msgs;
+
+  // 2. Receiver registers (or cache-hits) the destination buffer and ACKs
+  //    with its memory handle.
+  RndzAck ack;
+  ack.dst_addr = dst_heap_ + dst_off;
+  if (const KStatus st = dst_->cache->acquire(ack.dst_addr, len,
+                                              ack.dst_handle);
+      !ok(st)) {
+    return st;
+  }
+  if (const KStatus st = eager_push(*dst_, *src_, as_bytes_of(ack), comp);
+      !ok(st)) {
+    return st;
+  }
+  ++stats_.control_msgs;
+
+  // 3. Sender registers (or cache-hits) the source buffer and RDMA-writes
+  //    straight into the receiver's user buffer.
+  MemHandle src_mh;
+  if (const KStatus st = src_->cache->acquire(src_heap_ + src_off, len, src_mh);
+      !ok(st)) {
+    return st;
+  }
+  if (const KStatus st = src_->vipl.rdma_write(
+          src_->vi, src_mh, src_heap_ + src_off, len, ack.dst_handle,
+          ack.dst_addr, /*cookie=*/0, /*immediate=*/std::uint32_t{len});
+      !ok(st)) {
+    return st;
+  }
+  const auto sc = src_->vipl.send_done(src_->vi);
+  if (!sc || !sc->done_ok()) return KStatus::Proto;
+  // The immediate-data completion consumed one receiver slot: harvest + re-arm.
+  const auto rc = dst_->vipl.recv_done(dst_->vi);
+  if (!rc || !rc->done_ok()) return KStatus::Proto;
+  if (const KStatus st = dst_->repost(static_cast<std::uint32_t>(rc->cookie));
+      !ok(st)) {
+    return st;
+  }
+
+  src_->cache->release(src_mh);
+  dst_->cache->release(ack.dst_handle);
+
+  ++stats_.rendezvous_msgs;
+  stats_.bytes_moved += len;
+  return KStatus::Ok;
+}
+
+// ---------------------------------------------------------------------------
+// Preregistered path
+// ---------------------------------------------------------------------------
+
+KStatus Channel::preregistered(std::uint64_t src_off, std::uint64_t dst_off,
+                               std::uint32_t len) {
+  if (!src_->heap_registered || !dst_->heap_registered) return KStatus::Proto;
+  if (const KStatus st = src_->vipl.rdma_write(
+          src_->vi, src_->heap_mh, src_heap_ + src_off, len, dst_->heap_mh,
+          dst_heap_ + dst_off, /*cookie=*/0, /*immediate=*/std::uint32_t{len});
+      !ok(st)) {
+    return st;
+  }
+  const auto sc = src_->vipl.send_done(src_->vi);
+  if (!sc || !sc->done_ok()) return KStatus::Proto;
+  const auto rc = dst_->vipl.recv_done(dst_->vi);
+  if (!rc || !rc->done_ok()) return KStatus::Proto;
+  if (const KStatus st = dst_->repost(static_cast<std::uint32_t>(rc->cookie));
+      !ok(st)) {
+    return st;
+  }
+  ++stats_.prereg_msgs;
+  stats_.bytes_moved += len;
+  return KStatus::Ok;
+}
+
+// ---------------------------------------------------------------------------
+// Improved rendezvous (PIO) path - figure 5 of the Memory Management paper
+// ---------------------------------------------------------------------------
+
+KStatus Channel::pio_rendezvous(std::uint64_t src_off, std::uint64_t dst_off,
+                                std::uint32_t len) {
+  // 1. Sender -> receiver: REQ ("the sender informs the receiver as usual").
+  const RndzReq req{len, dst_off};
+  Descriptor comp;
+  if (const KStatus st = eager_push(*src_, *dst_, as_bytes_of(req), comp);
+      !ok(st)) {
+    return st;
+  }
+  ++stats_.control_msgs;
+
+  // 2. Receiver checks whether the destination "is already exported to the
+  //    sender" (registration cache) and acknowledges with its handle.
+  RndzAck ack;
+  ack.dst_addr = dst_heap_ + dst_off;
+  if (const KStatus st =
+          dst_->cache->acquire(ack.dst_addr, len, ack.dst_handle);
+      !ok(st)) {
+    return st;
+  }
+  if (const KStatus st = eager_push(*dst_, *src_, as_bytes_of(ack), comp);
+      !ok(st)) {
+    return st;
+  }
+  ++stats_.control_msgs;
+
+  // 3. Sender imports the exported memory (cached across transfers) and
+  //    copies the payload with programmed I/O directly into the receiving
+  //    process's private memory - no sender-side registration.
+  auto it = src_->imports.find(ack.dst_handle.id);
+  if (it == src_->imports.end()) {
+    auto window = via::RemoteWindow::import(cluster_.fabric(), sender_id_,
+                                            receiver_id_, ack.dst_handle);
+    if (!window) return KStatus::Fault;
+    it = src_->imports.emplace(ack.dst_handle.id, *window).first;
+    ++stats_.window_imports;
+  }
+  simkern::Kernel& sk = sender_node().kernel();
+  std::vector<std::byte> chunk(64 * 1024);
+  std::uint32_t done = 0;
+  while (done < len) {
+    const auto n = std::min<std::uint32_t>(
+        len - done, static_cast<std::uint32_t>(chunk.size()));
+    // CPU loads from the source buffer... (faults charged via the kernel)
+    if (const KStatus st = sk.read_user(src_pid_, src_heap_ + src_off + done,
+                                        std::span(chunk).first(n));
+        !ok(st)) {
+      return st;
+    }
+    // ...and stores through the imported window.
+    const std::uint64_t window_off = ack.dst_addr - ack.dst_handle.vaddr;
+    if (const KStatus st =
+            it->second.store(window_off + done, std::span(chunk).first(n));
+        !ok(st)) {
+      return st;
+    }
+    done += n;
+  }
+
+  // 4. Completion notice (the protocol's finishing message).
+  const RndzReq fin{len, dst_off};
+  if (const KStatus st = eager_push(*src_, *dst_, as_bytes_of(fin), comp);
+      !ok(st)) {
+    return st;
+  }
+  ++stats_.control_msgs;
+  dst_->cache->release(ack.dst_handle);
+
+  ++stats_.pio_msgs;
+  stats_.bytes_moved += len;
+  return KStatus::Ok;
+}
+
+// ---------------------------------------------------------------------------
+
+KStatus Channel::transfer(Protocol proto, std::uint64_t src_off,
+                          std::uint64_t dst_off, std::uint32_t len) {
+  assert(initialised_);
+  if (len == 0) return KStatus::Inval;
+  if (src_off + len > config_.user_heap_bytes ||
+      dst_off + len > config_.user_heap_bytes) {
+    return KStatus::Inval;
+  }
+  switch (proto) {
+    case Protocol::Eager: return eager(src_off, dst_off, len);
+    case Protocol::Rendezvous: return rendezvous(src_off, dst_off, len);
+    case Protocol::Preregistered: return preregistered(src_off, dst_off, len);
+    case Protocol::PioRendezvous: return pio_rendezvous(src_off, dst_off, len);
+  }
+  return KStatus::Inval;
+}
+
+KStatus Channel::transfer_auto(std::uint64_t src_off, std::uint64_t dst_off,
+                               std::uint32_t len) {
+  return transfer(len < config_.eager_threshold ? Protocol::Eager
+                                                : Protocol::Rendezvous,
+                  src_off, dst_off, len);
+}
+
+const core::RegCacheStats& Channel::sender_cache_stats() const {
+  return src_->cache->stats();
+}
+
+const core::RegCacheStats& Channel::receiver_cache_stats() const {
+  return dst_->cache->stats();
+}
+
+}  // namespace vialock::msg

@@ -1,0 +1,157 @@
+// transport.h - a zero-copy message layer over the VIA substrate.
+//
+// Implements the three transfer protocols of the paper family (the MPI
+// libraries the locking mechanism exists to serve):
+//
+//   Eager          - copy through pre-registered bounce buffers; one copy on
+//                    each side; no registration on the critical path. Best
+//                    for small messages.
+//   Rendezvous     - dynamic registration: REQ control message, receiver
+//                    registers its destination buffer (through the
+//                    RegistrationCache) and answers with its memory handle,
+//                    sender registers the source buffer and RDMA-writes the
+//                    payload directly user-buffer to user-buffer (true
+//                    zero-copy). Registration cost amortises via the cache.
+//   Preregistered  - whole heaps registered at channel setup; pure RDMA on
+//                    the critical path (the persistent-buffer upper bound).
+//
+// A Channel co-ordinates one sender process and one receiver process on two
+// cluster nodes; the simulation is synchronous, so each transfer runs both
+// sides inline against the shared virtual clock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "core/reg_cache.h"
+#include "via/node.h"
+#include "via/vipl.h"
+
+namespace vialock::msg {
+
+enum class Protocol : std::uint8_t {
+  Eager,
+  Rendezvous,
+  Preregistered,
+  /// The "Improved Rendezvous-Protocol" of the Memory Management paper's
+  /// figure 5: the receiver exports (registers) its destination buffer, the
+  /// sender imports it and copies the payload with programmed I/O straight
+  /// into the receiver's user memory - "the sender copies data from private
+  /// memory of the sending process directly into private memory of the
+  /// receiving process". No sender-side registration at all.
+  PioRendezvous,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Protocol p) {
+  switch (p) {
+    case Protocol::Eager: return "eager";
+    case Protocol::Rendezvous: return "rendezvous";
+    case Protocol::Preregistered: return "preregistered";
+    case Protocol::PioRendezvous: return "pio-rendezvous";
+  }
+  return "?";
+}
+
+struct ChannelStats {
+  std::uint64_t eager_msgs = 0;
+  std::uint64_t rendezvous_msgs = 0;
+  std::uint64_t prereg_msgs = 0;
+  std::uint64_t pio_msgs = 0;
+  std::uint64_t bytes_moved = 0;
+  std::uint64_t control_msgs = 0;
+  std::uint64_t window_imports = 0;  ///< PIO imports (cached thereafter)
+};
+
+class Channel {
+ public:
+  struct Config {
+    std::uint32_t eager_slot_size = 8 * 1024;
+    std::uint32_t eager_credits = 16;
+    std::uint32_t eager_threshold = 4 * 1024;  ///< auto(): eager below this
+    core::EvictionPolicy cache_policy = core::EvictionPolicy::Lru;
+    std::size_t cache_max_idle = 1024;
+    std::uint64_t user_heap_bytes = 8ULL << 20;  ///< per-process message heap
+    bool preregister_heaps = false;  ///< enable the Preregistered protocol
+    /// Existing processes to attach to (kInvalidPid: create fresh tasks).
+    /// Lets several channels share one process per node (Mesh does this).
+    simkern::Pid sender_pid = simkern::kInvalidPid;
+    simkern::Pid receiver_pid = simkern::kInvalidPid;
+  };
+
+  Channel(via::Cluster& cluster, via::NodeId sender, via::NodeId receiver,
+          Config config);
+  Channel(via::Cluster& cluster, via::NodeId sender, via::NodeId receiver)
+      : Channel(cluster, sender, receiver, Config{}) {}
+  ~Channel();
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Build tasks, VIs, bounce buffers, caches; must be called once.
+  [[nodiscard]] KStatus init();
+
+  // --- untimed application-side helpers -----------------------------------------
+  /// Place payload bytes at sender-heap offset `src_off`.
+  [[nodiscard]] KStatus stage(std::uint64_t src_off,
+                              std::span<const std::byte> payload);
+  /// Read back bytes from receiver-heap offset `dst_off`.
+  [[nodiscard]] KStatus fetch(std::uint64_t dst_off, std::span<std::byte> out);
+
+  // --- timed transfer paths ------------------------------------------------------
+  [[nodiscard]] KStatus transfer(Protocol proto, std::uint64_t src_off,
+                                 std::uint64_t dst_off, std::uint32_t len);
+  /// Protocol chosen by the eager threshold (the MPI/Pro-style switch).
+  [[nodiscard]] KStatus transfer_auto(std::uint64_t src_off,
+                                      std::uint64_t dst_off, std::uint32_t len);
+
+  // --- introspection --------------------------------------------------------------
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  [[nodiscard]] const core::RegCacheStats& sender_cache_stats() const;
+  [[nodiscard]] const core::RegCacheStats& receiver_cache_stats() const;
+  [[nodiscard]] simkern::VAddr sender_heap() const { return src_heap_; }
+  [[nodiscard]] simkern::VAddr receiver_heap() const { return dst_heap_; }
+  [[nodiscard]] simkern::Pid sender_pid() const { return src_pid_; }
+  [[nodiscard]] simkern::Pid receiver_pid() const { return dst_pid_; }
+  [[nodiscard]] via::Node& sender_node() { return cluster_.node(sender_id_); }
+  [[nodiscard]] via::Node& receiver_node() { return cluster_.node(receiver_id_); }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  struct Side;  // everything per-process
+
+  [[nodiscard]] KStatus eager(std::uint64_t src_off, std::uint64_t dst_off,
+                              std::uint32_t len);
+  [[nodiscard]] KStatus rendezvous(std::uint64_t src_off, std::uint64_t dst_off,
+                                   std::uint32_t len);
+  [[nodiscard]] KStatus preregistered(std::uint64_t src_off,
+                                      std::uint64_t dst_off, std::uint32_t len);
+  [[nodiscard]] KStatus pio_rendezvous(std::uint64_t src_off,
+                                       std::uint64_t dst_off,
+                                       std::uint32_t len);
+
+  /// Move `len` bytes of control/eager payload from `from`'s staging area
+  /// into `to`'s next matched receive; returns the receive completion.
+  [[nodiscard]] KStatus eager_push(Side& from, Side& to,
+                                   std::span<const std::byte> msg,
+                                   via::Descriptor& completion);
+
+  via::Cluster& cluster_;
+  via::NodeId sender_id_;
+  via::NodeId receiver_id_;
+  Config config_;
+  ChannelStats stats_;
+
+  simkern::Pid src_pid_ = simkern::kInvalidPid;
+  simkern::Pid dst_pid_ = simkern::kInvalidPid;
+  simkern::VAddr src_heap_ = 0;
+  simkern::VAddr dst_heap_ = 0;
+
+  std::unique_ptr<Side> src_;
+  std::unique_ptr<Side> dst_;
+  bool initialised_ = false;
+};
+
+}  // namespace vialock::msg

@@ -1,0 +1,61 @@
+// buddy.h - the buddy page-frame allocator behind get_free_pages().
+//
+// A faithful order-based buddy system: free frames live on per-order free
+// lists; allocation splits higher orders, freeing coalesces with the buddy
+// when it is also free. The allocator only tracks *which* frames are free -
+// Page::count transitions (0 <-> 1) are performed here so that the page map
+// and the free lists can never disagree.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "simkern/page.h"
+#include "simkern/types.h"
+
+namespace vialock::simkern {
+
+class BuddyAllocator {
+ public:
+  static constexpr std::uint32_t kMaxOrder = 10;  // up to 4 MB blocks
+
+  /// Builds free lists over all frames of `mem` except the first
+  /// `reserved_low` frames, which are marked PG_reserved (kernel text, BIOS
+  /// holes - mirrors how mem_map treats low memory).
+  BuddyAllocator(PhysicalMemory& mem, std::uint32_t reserved_low);
+
+  BuddyAllocator(const BuddyAllocator&) = delete;
+  BuddyAllocator& operator=(const BuddyAllocator&) = delete;
+
+  /// Allocate 2^order contiguous frames; returns first pfn or kInvalidPfn.
+  /// On success every frame in the block has count == 1.
+  [[nodiscard]] Pfn alloc(std::uint32_t order = 0);
+
+  /// Free a block previously returned by alloc() (count of each frame must
+  /// already be 0 when called from __free_page; this sets list membership).
+  void free(Pfn pfn, std::uint32_t order = 0);
+
+  [[nodiscard]] std::uint32_t free_frames() const { return free_frames_; }
+  [[nodiscard]] std::uint32_t total_frames() const { return total_frames_; }
+
+  /// Number of blocks currently on the free list of `order`.
+  [[nodiscard]] std::uint32_t free_blocks(std::uint32_t order) const;
+
+ private:
+  struct FrameState {
+    bool free = false;
+    std::uint8_t order = 0;  ///< valid only for the head frame of a free block
+  };
+
+  void push_free(Pfn pfn, std::uint32_t order);
+  void remove_free(Pfn pfn, std::uint32_t order);
+
+  PhysicalMemory& mem_;
+  std::array<std::vector<Pfn>, kMaxOrder + 1> free_lists_;
+  std::vector<FrameState> state_;
+  std::uint32_t free_frames_ = 0;
+  std::uint32_t total_frames_ = 0;
+};
+
+}  // namespace vialock::simkern

@@ -1,0 +1,152 @@
+// filecache.cc - simulated files and the page cache over them.
+//
+// Gives shrink_mmap() its real job: "The first units to be shrunk are the
+// buffer cache and the page cache" (paper section 2.2). read()/write() move
+// data between user memory and cache frames; a cache frame holds one
+// reference (the cache's own), is PG_locked for the duration of its disk
+// I/O, and is discarded by the clock scan when old - unless PG_locked,
+// pinned or extra-referenced, exactly the skip conditions the paper lists.
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "simkern/kernel.h"
+
+namespace vialock::simkern {
+
+namespace {
+
+constexpr std::uint64_t cache_key(FileId file, std::uint32_t index) {
+  return (static_cast<std::uint64_t>(file) << 32) | index;
+}
+
+}  // namespace
+
+FileId Kernel::create_file(std::uint64_t bytes) {
+  files_.push_back(SimFile{std::vector<std::byte>(bytes)});
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+Pfn Kernel::cache_page_in(FileId file, std::uint32_t index) {
+  const auto key = cache_key(file, index);
+  if (auto it = page_cache_.find(key); it != page_cache_.end()) {
+    ++stats_.pagecache_hits;
+    phys_.page(it->second).flags |= PageFlag::Referenced;
+    return it->second;
+  }
+  ++stats_.pagecache_misses;
+  const Pfn pfn = get_free_page();
+  if (pfn == kInvalidPfn) return kInvalidPfn;
+  Page& pg = phys_.page(pfn);
+  // Disk read with the page locked for I/O, as ll_rw_block would do it.
+  pg.flags |= PageFlag::Locked;
+  const auto& file_bytes = files_[file].bytes;
+  const std::uint64_t off = static_cast<std::uint64_t>(index) * kPageSize;
+  const std::uint64_t n =
+      off < file_bytes.size()
+          ? std::min<std::uint64_t>(kPageSize, file_bytes.size() - off)
+          : 0;
+  phys_.zero_frame(pfn);
+  if (n) std::memcpy(phys_.frame(pfn).data(), file_bytes.data() + off, n);
+  clock_.advance(costs_.swap_io(kPageSize));  // same disk as the swap device
+  pg.flags &= ~PageFlag::Locked;
+  pg.flags |= PageFlag::Referenced;
+  pg.cache_file = file;
+  pg.cache_index = index;
+  page_cache_.emplace(key, pfn);
+  return pfn;
+}
+
+void Kernel::drop_cache_page(Pfn pfn) {
+  Page& pg = phys_.page(pfn);
+  assert(pg.in_page_cache());
+  if (has(pg.flags, PageFlag::Dirty)) {
+    // Write-back before the frame is reused.
+    auto& file_bytes = files_[pg.cache_file].bytes;
+    const std::uint64_t off =
+        static_cast<std::uint64_t>(pg.cache_index) * kPageSize;
+    const std::uint64_t n =
+        off < file_bytes.size()
+            ? std::min<std::uint64_t>(kPageSize, file_bytes.size() - off)
+            : 0;
+    if (n) std::memcpy(file_bytes.data() + off, phys_.frame(pfn).data(), n);
+    clock_.advance(costs_.swap_io(kPageSize));
+    ++stats_.pagecache_writebacks;
+  }
+  page_cache_.erase(cache_key(pg.cache_file, pg.cache_index));
+  pg.cache_file = kInvalidFile;
+  pg.cache_index = 0;
+  pg.flags &= ~PageFlag::Dirty;
+  put_page(pfn);  // drop the cache's reference
+}
+
+void Kernel::sync_file(FileId file) {
+  for (const auto& [key, pfn] : page_cache_) {
+    Page& pg = phys_.page(pfn);
+    if (pg.cache_file != file || !has(pg.flags, PageFlag::Dirty)) continue;
+    auto& file_bytes = files_[file].bytes;
+    const std::uint64_t off =
+        static_cast<std::uint64_t>(pg.cache_index) * kPageSize;
+    const std::uint64_t n =
+        off < file_bytes.size()
+            ? std::min<std::uint64_t>(kPageSize, file_bytes.size() - off)
+            : 0;
+    if (n) std::memcpy(file_bytes.data() + off, phys_.frame(pfn).data(), n);
+    clock_.advance(costs_.swap_io(kPageSize));
+    pg.flags &= ~PageFlag::Dirty;
+    ++stats_.pagecache_writebacks;
+  }
+}
+
+KStatus Kernel::file_io(Pid pid, FileId file, std::uint64_t offset, VAddr buf,
+                        std::uint64_t len, bool write) {
+  if (file >= files_.size()) return KStatus::NoEnt;
+  if (offset + len > files_[file].bytes.size()) return KStatus::Inval;
+  if (!task_exists(pid)) return KStatus::NoEnt;
+  ++stats_.syscalls;
+  clock_.advance(costs_.syscall);
+
+  std::uint64_t done = 0;
+  while (done < len) {
+    const std::uint64_t at = offset + done;
+    const auto index = static_cast<std::uint32_t>(at >> kPageShift);
+    const std::uint64_t in_page =
+        std::min(len - done, kPageSize - (at & kPageMask));
+    const Pfn pfn = cache_page_in(file, index);
+    if (pfn == kInvalidPfn) return KStatus::NoMem;
+    // Hold a transient reference so a reclaim triggered by the user-side
+    // fault cannot steal the cache page mid-copy.
+    get_page(pfn);
+    auto frame = phys_.frame(pfn);
+    KStatus st;
+    if (write) {
+      st = read_user(pid, buf + done,
+                     frame.subspan(at & kPageMask, in_page));
+      if (ok(st)) phys_.page(pfn).flags |= PageFlag::Dirty;
+    } else {
+      st = write_user(pid, buf + done,
+                      std::span<const std::byte>(
+                          frame.subspan(at & kPageMask, in_page)));
+    }
+    put_page(pfn);
+    if (!ok(st)) return st;
+    done += in_page;
+  }
+  if (write)
+    ++stats_.file_writes;
+  else
+    ++stats_.file_reads;
+  return KStatus::Ok;
+}
+
+KStatus Kernel::file_read(Pid pid, FileId file, std::uint64_t offset, VAddr buf,
+                          std::uint64_t len) {
+  return file_io(pid, file, offset, buf, len, /*write=*/false);
+}
+
+KStatus Kernel::file_write(Pid pid, FileId file, std::uint64_t offset,
+                           VAddr buf, std::uint64_t len) {
+  return file_io(pid, file, offset, buf, len, /*write=*/true);
+}
+
+}  // namespace vialock::simkern

@@ -1,0 +1,35 @@
+// kiobuf.h - kernel I/O buffers, the mechanism the paper builds its proposal on.
+//
+// Modelled on Stephen Tweedie's RAW-I/O kiobufs (section 4.2 of the paper):
+// map_user_kiobuf() faults the user range in, takes a reference on every
+// frame, records the frames in the kiobuf, *and pins them against reclaim*
+// (Page::pin_count) - giving a driver the physical pages of a user buffer
+// without ever walking page tables itself, the property that makes the
+// mechanism acceptable for mainline kernels (section 4.1).
+//
+// Because each map_user_kiobuf() call carries its own pin, the mechanism
+// nests naturally: N registrations of the same range produce N kiobufs and a
+// per-page pin count of N - unlike mlock(), where a single munlock cancels
+// every lock on the range (section 3.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simkern/types.h"
+
+namespace vialock::simkern {
+
+struct Kiobuf {
+  Pid pid = kInvalidPid;
+  VAddr addr = 0;          ///< start of the mapped user range (unaligned ok)
+  std::uint64_t length = 0;
+  std::uint32_t offset = 0;  ///< offset of `addr` inside the first page
+  std::vector<Pfn> pfns;   ///< the pinned frames, in range order
+  bool mapped = false;
+  bool io_locked = false;  ///< PG_locked held via lock_kiovec()
+
+  [[nodiscard]] std::uint64_t num_pages() const { return pfns.size(); }
+};
+
+}  // namespace vialock::simkern

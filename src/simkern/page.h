@@ -1,0 +1,117 @@
+// page.h - physical frames and the page map (the kernel's mem_map_t array).
+//
+// Mirrors the structure the paper describes in section 2.1: one descriptor per
+// physical page with a reference counter and a flag field. PG_locked marks
+// pages under kernel I/O; PG_reserved marks pages withheld from the system.
+// We add `pin_count`, the accounting used by the proposed kiobuf-based
+// mechanism (map_user_kiobuf pins; the reclaim path honours it) - this is the
+// paper's contribution expressed as page-map state.
+//
+// Frames carry real bytes: the simulated NIC DMA engine reads and writes frame
+// contents directly by physical address, so a stale translation produces a
+// visibly wrong value exactly as in the paper's locktest.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "simkern/types.h"
+#include "util/flags.h"
+
+namespace vialock::simkern {
+
+/// Page-map flag bits (subset of Linux 2.2 PG_* relevant to the paper).
+enum class PageFlag : std::uint16_t {
+  None = 0,
+  Locked = 1 << 0,     ///< PG_locked: page under (kernel) I/O; reclaim skips it
+  Reserved = 1 << 1,   ///< PG_reserved: invisible to the memory system
+  Dirty = 1 << 2,      ///< modified since last write-back
+  Referenced = 1 << 3, ///< touched since last clock-scan pass
+  SwapCache = 1 << 4,  ///< page also lives in the swap cache
+};
+
+}  // namespace vialock::simkern
+
+template <>
+inline constexpr bool vialock::enable_flag_ops<vialock::simkern::PageFlag> = true;
+
+namespace vialock::simkern {
+
+/// File identifier in the simulated file store (filecache.cc).
+using FileId = std::uint32_t;
+inline constexpr FileId kInvalidFile = static_cast<FileId>(-1);
+
+/// One mem_map_t entry: metadata the kernel keeps per physical frame.
+struct Page {
+  std::uint32_t count = 0;     ///< reference counter; 0 == frame is free
+  PageFlag flags = PageFlag::None;
+  std::uint32_t pin_count = 0; ///< kiobuf pins (proposed mechanism's state)
+  SwapSlot swap_slot = kInvalidSwapSlot;  ///< backing slot while in swap cache
+  Pid mapped_pid = kInvalidPid;           ///< owner task (anonymous pages)
+  VAddr mapped_vaddr = 0;                 ///< where the owner maps it
+  FileId cache_file = kInvalidFile;       ///< page-cache membership
+  std::uint32_t cache_index = 0;          ///< file page index when cached
+
+  [[nodiscard]] bool in_page_cache() const { return cache_file != kInvalidFile; }
+
+  [[nodiscard]] bool free() const { return count == 0; }
+  [[nodiscard]] bool locked() const { return has(flags, PageFlag::Locked); }
+  [[nodiscard]] bool reserved() const { return has(flags, PageFlag::Reserved); }
+  [[nodiscard]] bool pinned() const { return pin_count > 0; }
+};
+
+/// Physical memory: the frame store plus the page map over it.
+///
+/// This is deliberately *not* an allocator; the buddy allocator (buddy.h)
+/// owns free-frame bookkeeping and manipulates Page::count through here.
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(std::uint32_t num_frames)
+      : pages_(num_frames), bytes_(static_cast<std::size_t>(num_frames) * kPageSize) {}
+
+  [[nodiscard]] std::uint32_t num_frames() const {
+    return static_cast<std::uint32_t>(pages_.size());
+  }
+
+  [[nodiscard]] Page& page(Pfn pfn) { return pages_[pfn]; }
+  [[nodiscard]] const Page& page(Pfn pfn) const { return pages_[pfn]; }
+
+  [[nodiscard]] bool valid(Pfn pfn) const { return pfn < pages_.size(); }
+
+  /// Raw bytes of a frame (what a DMA engine or CPU store actually hits).
+  [[nodiscard]] std::span<std::byte> frame(Pfn pfn) {
+    return {bytes_.data() + static_cast<std::size_t>(pfn) * kPageSize, kPageSize};
+  }
+  [[nodiscard]] std::span<const std::byte> frame(Pfn pfn) const {
+    return {bytes_.data() + static_cast<std::size_t>(pfn) * kPageSize, kPageSize};
+  }
+
+  void zero_frame(Pfn pfn) {
+    std::memset(bytes_.data() + static_cast<std::size_t>(pfn) * kPageSize, 0,
+                kPageSize);
+  }
+
+  void copy_frame(Pfn dst, Pfn src) {
+    std::memcpy(bytes_.data() + static_cast<std::size_t>(dst) * kPageSize,
+                bytes_.data() + static_cast<std::size_t>(src) * kPageSize, kPageSize);
+  }
+
+  /// get_page(): take a reference on an in-use frame.
+  void get(Pfn pfn) { ++pages_[pfn].count; }
+
+  /// Count frames currently free (count == 0 and not reserved).
+  [[nodiscard]] std::uint32_t count_free() const {
+    std::uint32_t n = 0;
+    for (const auto& p : pages_)
+      if (p.free() && !has(p.flags, PageFlag::Reserved)) ++n;
+    return n;
+  }
+
+ private:
+  std::vector<Page> pages_;
+  std::vector<std::byte> bytes_;
+};
+
+}  // namespace vialock::simkern

@@ -1,0 +1,57 @@
+#include "simkern/pagetable.h"
+
+#include <cassert>
+
+namespace vialock::simkern {
+
+Pte* PageTable::walk(VAddr vaddr) {
+  assert(vaddr < kUserTop);
+  auto& table = pgd_[pgd_index(vaddr)];
+  if (!table) return nullptr;
+  return &(*table)[pte_index(vaddr)];
+}
+
+const Pte* PageTable::walk(VAddr vaddr) const {
+  assert(vaddr < kUserTop);
+  const auto& table = pgd_[pgd_index(vaddr)];
+  if (!table) return nullptr;
+  return &(*table)[pte_index(vaddr)];
+}
+
+Pte& PageTable::ensure(VAddr vaddr, std::uint32_t* levels_allocated) {
+  assert(vaddr < kUserTop);
+  if (levels_allocated) *levels_allocated = 0;
+  auto& table = pgd_[pgd_index(vaddr)];
+  if (!table) {
+    table = std::make_unique<PteTable>(kPteEntries);
+    if (levels_allocated) *levels_allocated = 1;
+  }
+  return (*table)[pte_index(vaddr)];
+}
+
+void PageTable::for_each_in(VAddr start, VAddr end,
+                            const std::function<void(VAddr, Pte&)>& fn) {
+  for (VAddr v = page_align_down(start); v < end; v += kPageSize) {
+    Pte* pte = walk(v);
+    if (pte && !pte->none()) fn(v, *pte);
+  }
+}
+
+void PageTable::clear_range(VAddr start, VAddr end,
+                            const std::function<void(VAddr, Pte&)>& on_drop) {
+  for (VAddr v = page_align_down(start); v < end; v += kPageSize) {
+    Pte* pte = walk(v);
+    if (!pte || pte->none()) continue;
+    on_drop(v, *pte);
+    *pte = Pte{};
+  }
+}
+
+std::uint32_t PageTable::second_level_tables() const {
+  std::uint32_t n = 0;
+  for (const auto& t : pgd_)
+    if (t) ++n;
+  return n;
+}
+
+}  // namespace vialock::simkern

@@ -1,0 +1,85 @@
+#include "simkern/procfs.h"
+
+#include <sstream>
+
+namespace vialock::simkern {
+
+namespace {
+
+void line(std::ostringstream& os, const char* key, std::uint64_t pages) {
+  os << key << ": " << (pages * kPageSize) / 1024 << " kB\n";
+}
+
+}  // namespace
+
+std::string meminfo(const Kernel& kern) {
+  std::ostringstream os;
+  const auto& phys = kern.phys();
+  std::uint64_t cached = 0;
+  std::uint64_t pinned = 0;
+  std::uint64_t locked = 0;
+  std::uint64_t reserved = 0;
+  for (Pfn pfn = 0; pfn < phys.num_frames(); ++pfn) {
+    const Page& pg = phys.page(pfn);
+    if (pg.in_page_cache()) ++cached;
+    if (pg.pinned()) ++pinned;
+    if (pg.locked()) ++locked;
+    if (pg.reserved()) ++reserved;
+  }
+  line(os, "MemTotal", kern.config().frames);
+  line(os, "MemFree", kern.free_frames());
+  line(os, "Cached", cached);
+  line(os, "Pinned", pinned);
+  line(os, "PinBudget", kern.pin_budget());
+  line(os, "PG_locked", locked);
+  line(os, "Reserved", reserved);
+  line(os, "SwapTotal", kern.swap().num_slots());
+  line(os, "SwapUsed", kern.swap().used_slots());
+  return os.str();
+}
+
+std::string vmstat(const Kernel& kern) {
+  std::ostringstream os;
+  const KernelStats& s = kern.stats();
+  os << "pgfault_minor " << s.minor_faults << "\n"
+     << "pgfault_major " << s.major_faults << "\n"
+     << "cow_breaks " << s.cow_breaks << "\n"
+     << "pswpout " << s.pages_swapped_out << "\n"
+     << "pswpin " << s.pages_swapped_in << "\n"
+     << "readahead " << s.readahead_pages << "\n"
+     << "reclaim_runs " << s.reclaim_runs << "\n"
+     << "clock_scanned " << s.clock_scanned << "\n"
+     << "pgcache_hit " << s.pagecache_hits << "\n"
+     << "pgcache_miss " << s.pagecache_misses << "\n"
+     << "pgcache_reclaimed " << s.pagecache_reclaimed << "\n"
+     << "kiobuf_maps " << s.kiobuf_maps << "\n"
+     << "kiobuf_pins " << s.kiobuf_pages_pinned << "\n"
+     << "syscalls " << s.syscalls << "\n";
+  return os.str();
+}
+
+std::string task_status(const Kernel& kern, Pid pid) {
+  std::ostringstream os;
+  if (!kern.task_exists(pid)) {
+    os << "pid " << pid << ": no such task\n";
+    return os.str();
+  }
+  const Task& t = kern.task(pid);
+  std::uint64_t vm_pages = 0;
+  std::uint64_t locked_vmas = 0;
+  t.mm.vmas.for_each([&](const Vma& vma) {
+    vm_pages += vma.pages();
+    if (has(vma.flags, VmFlag::Locked)) locked_vmas += vma.pages();
+  });
+  os << "Name: " << t.name << "\n"
+     << "Pid: " << t.pid << "\n";
+  line(os, "VmSize", vm_pages);
+  line(os, "VmRSS", t.mm.rss);
+  line(os, "VmLck", locked_vmas);
+  os << "Vmas: " << t.mm.vmas.count() << "\n"
+     << "CapIpcLock: " << (t.capable(Capability::IpcLock) ? "yes" : "no")
+     << "\n";
+  return os.str();
+}
+
+}  // namespace vialock::simkern

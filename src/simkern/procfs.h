@@ -1,0 +1,20 @@
+// procfs.h - /proc-style text reports over the simulated kernel, for
+// examples, debugging sessions and bench headers.
+#pragma once
+
+#include <string>
+
+#include "simkern/kernel.h"
+
+namespace vialock::simkern {
+
+/// /proc/meminfo: totals, free, pinned, page cache, swap.
+[[nodiscard]] std::string meminfo(const Kernel& kern);
+
+/// /proc/vmstat: fault/reclaim/swap event counters.
+[[nodiscard]] std::string vmstat(const Kernel& kern);
+
+/// /proc/<pid>/status: one task's memory footprint.
+[[nodiscard]] std::string task_status(const Kernel& kern, Pid pid);
+
+}  // namespace vialock::simkern

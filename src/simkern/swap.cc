@@ -1,0 +1,58 @@
+#include "simkern/swap.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace vialock::simkern {
+
+SwapSlot SwapDevice::alloc() {
+  const auto n = static_cast<std::uint32_t>(map_.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const SwapSlot slot = (scan_hint_ + i) % n;
+    if (map_[slot] == 0) {
+      map_[slot] = 1;
+      ++used_;
+      scan_hint_ = (slot + 1) % n;
+      return slot;
+    }
+  }
+  return kInvalidSwapSlot;
+}
+
+void SwapDevice::dup(SwapSlot slot) {
+  assert(slot < map_.size() && map_[slot] > 0);
+  ++map_[slot];
+}
+
+void SwapDevice::free(SwapSlot slot) {
+  assert(slot < map_.size() && map_[slot] > 0);
+  if (--map_[slot] == 0) --used_;
+}
+
+void SwapDevice::write(SwapSlot slot, std::span<const std::byte> page) {
+  assert(slot < map_.size() && page.size() == kPageSize);
+  std::memcpy(bytes_.data() + static_cast<std::size_t>(slot) * kPageSize,
+              page.data(), kPageSize);
+  clock_.advance(costs_.swap_io(kPageSize));
+  ++writes_;
+}
+
+void SwapDevice::read(SwapSlot slot, std::span<std::byte> page) {
+  assert(slot < map_.size() && page.size() == kPageSize);
+  std::memcpy(page.data(),
+              bytes_.data() + static_cast<std::size_t>(slot) * kPageSize,
+              kPageSize);
+  clock_.advance(costs_.swap_io(kPageSize));
+  ++reads_;
+}
+
+void SwapDevice::read_sequential(SwapSlot slot, std::span<std::byte> page) {
+  assert(slot < map_.size() && page.size() == kPageSize);
+  std::memcpy(page.data(),
+              bytes_.data() + static_cast<std::size_t>(slot) * kPageSize,
+              kPageSize);
+  clock_.advance(costs_.swap_per_byte * kPageSize);  // stream, no seek
+  ++reads_;
+}
+
+}  // namespace vialock::simkern

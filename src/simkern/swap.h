@@ -1,0 +1,67 @@
+// swap.h - the swap partition: swap map (per-slot refcounts) plus a simulated
+// disk that really stores page contents and charges virtual seek/stream time.
+//
+// Slot lifecycle mirrors Linux's swap_map: a slot is allocated with count 1
+// when try_to_swap_out() writes a page, duplicated when a swapped PTE is
+// shared by fork, and released on swap-in or PTE teardown.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simkern/types.h"
+#include "util/clock.h"
+#include "util/cost_model.h"
+
+namespace vialock::simkern {
+
+class SwapDevice {
+ public:
+  SwapDevice(std::uint32_t num_slots, Clock& clock, const CostModel& costs)
+      : map_(num_slots, 0),
+        bytes_(static_cast<std::size_t>(num_slots) * kPageSize),
+        clock_(clock),
+        costs_(costs) {}
+
+  [[nodiscard]] std::uint32_t num_slots() const {
+    return static_cast<std::uint32_t>(map_.size());
+  }
+
+  /// get_swap_page(): allocate a slot with refcount 1, or kInvalidSwapSlot.
+  [[nodiscard]] SwapSlot alloc();
+
+  /// swap_duplicate(): another PTE now references this slot.
+  void dup(SwapSlot slot);
+
+  /// swap_free(): drop one reference; slot becomes reusable at zero.
+  void free(SwapSlot slot);
+
+  [[nodiscard]] std::uint32_t refcount(SwapSlot slot) const { return map_[slot]; }
+
+  /// rw_swap_page(WRITE): store a page, charging disk time.
+  void write(SwapSlot slot, std::span<const std::byte> page);
+
+  /// rw_swap_page(READ): load a page, charging disk time.
+  void read(SwapSlot slot, std::span<std::byte> page);
+
+  /// Sequential follow-up read in the same disk pass (read-ahead): charges
+  /// streaming time only, no seek.
+  void read_sequential(SwapSlot slot, std::span<std::byte> page);
+
+  [[nodiscard]] std::uint32_t used_slots() const { return used_; }
+  [[nodiscard]] std::uint64_t total_writes() const { return writes_; }
+  [[nodiscard]] std::uint64_t total_reads() const { return reads_; }
+
+ private:
+  std::vector<std::uint16_t> map_;  ///< per-slot reference counts
+  std::vector<std::byte> bytes_;
+  Clock& clock_;
+  const CostModel& costs_;
+  std::uint32_t used_ = 0;
+  std::uint32_t scan_hint_ = 0;  ///< next-fit allocation cursor
+  std::uint64_t writes_ = 0;
+  std::uint64_t reads_ = 0;
+};
+
+}  // namespace vialock::simkern

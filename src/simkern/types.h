@@ -1,0 +1,36 @@
+// types.h - fundamental types of the simulated Linux 2.2/2.3 memory subsystem.
+#pragma once
+
+#include <cstdint>
+
+namespace vialock::simkern {
+
+/// Physical page frame number.
+using Pfn = std::uint32_t;
+inline constexpr Pfn kInvalidPfn = static_cast<Pfn>(-1);
+
+/// User virtual address.
+using VAddr = std::uint64_t;
+
+/// Slot index inside the swap partition's swap map.
+using SwapSlot = std::uint32_t;
+inline constexpr SwapSlot kInvalidSwapSlot = static_cast<SwapSlot>(-1);
+
+/// Task (process) identifier.
+using Pid = std::uint32_t;
+inline constexpr Pid kInvalidPid = static_cast<Pid>(-1);
+
+inline constexpr std::uint64_t kPageShift = 12;
+inline constexpr std::uint64_t kPageSize = 1ULL << kPageShift;  // 4 KB, i386
+inline constexpr std::uint64_t kPageMask = kPageSize - 1;
+
+[[nodiscard]] constexpr VAddr page_align_down(VAddr a) { return a & ~kPageMask; }
+[[nodiscard]] constexpr VAddr page_align_up(VAddr a) {
+  return (a + kPageMask) & ~kPageMask;
+}
+[[nodiscard]] constexpr std::uint64_t pages_spanned(VAddr addr, std::uint64_t len) {
+  if (len == 0) return 0;
+  return (page_align_up(addr + len) - page_align_down(addr)) >> kPageShift;
+}
+
+}  // namespace vialock::simkern

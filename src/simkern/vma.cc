@@ -1,0 +1,132 @@
+#include "simkern/vma.h"
+
+#include <cassert>
+
+namespace vialock::simkern {
+
+const Vma* VmaSet::find(VAddr addr) const {
+  auto it = vmas_.upper_bound(addr);
+  if (it == vmas_.begin()) return nullptr;
+  --it;
+  return it->second.contains(addr) ? &it->second : nullptr;
+}
+
+Vma* VmaSet::find(VAddr addr) {
+  return const_cast<Vma*>(static_cast<const VmaSet*>(this)->find(addr));
+}
+
+bool VmaSet::insert(VAddr start, VAddr end, VmFlag flags) {
+  assert(start < end);
+  assert((start & kPageMask) == 0 && (end & kPageMask) == 0);
+  // Overlap check: the VMA at or before `start`, and any VMA starting in range.
+  if (find(start) != nullptr) return false;
+  auto it = vmas_.lower_bound(start);
+  if (it != vmas_.end() && it->first < end) return false;
+  vmas_.emplace(start, Vma{start, end, flags});
+  return true;
+}
+
+bool VmaSet::split_at(VAddr addr) {
+  Vma* vma = find(addr);
+  if (!vma || vma->start == addr) return false;
+  Vma tail = *vma;  // inherit flags AND backing (shm) of the original
+  tail.start = addr;
+  tail.shm_pgoff += static_cast<std::uint32_t>((addr - vma->start) >> kPageShift);
+  vma->end = addr;
+  vmas_.emplace(addr, tail);
+  return true;
+}
+
+std::uint32_t VmaSet::remove_range(VAddr start, VAddr end) {
+  std::uint32_t ops = 0;
+  if (split_at(start)) ++ops;
+  if (split_at(end)) ++ops;
+  auto it = vmas_.lower_bound(start);
+  while (it != vmas_.end() && it->second.start < end) {
+    assert(it->second.end <= end);
+    it = vmas_.erase(it);
+    ++ops;
+  }
+  return ops;
+}
+
+bool VmaSet::covered(VAddr start, VAddr end) const {
+  VAddr at = start;
+  while (at < end) {
+    const Vma* vma = find(at);
+    if (!vma) return false;
+    at = vma->end;
+  }
+  return true;
+}
+
+bool VmaSet::set_flags_range(VAddr start, VAddr end, VmFlag set, VmFlag clear,
+                             std::uint32_t* vma_ops) {
+  if (!covered(start, end)) return false;
+  std::uint32_t ops = 0;
+  if (split_at(start)) ++ops;
+  if (split_at(end)) ++ops;
+  auto it = vmas_.lower_bound(start);
+  assert(it != vmas_.end());
+  // If `start` falls mid-VMA that couldn't be split (start was a boundary) we
+  // are positioned correctly: covered() + split_at guarantee exact alignment.
+  while (it != vmas_.end() && it->second.start < end) {
+    it->second.flags |= set;
+    it->second.flags &= ~clear;
+    ++ops;
+    ++it;
+  }
+  // Merge pass over the affected neighbourhood.
+  auto mit = vmas_.lower_bound(start);
+  if (mit != vmas_.begin()) --mit;
+  while (mit != vmas_.end() && mit->second.start <= end) {
+    if (!try_merge_after(mit, &ops)) ++mit;  // only advance when nothing merged
+  }
+  if (vma_ops) *vma_ops += ops;
+  return true;
+}
+
+bool VmaSet::try_merge_after(std::map<VAddr, Vma>::iterator it,
+                             std::uint32_t* vma_ops) {
+  if (it == vmas_.end()) return false;
+  auto next = std::next(it);
+  if (next == vmas_.end()) return false;
+  // Anonymous VMAs merge freely; shm-backed ones only when the segment page
+  // indexing stays contiguous across the seam (i.e. they are fragments of
+  // one attachment, not two distinct attaches that happen to abut).
+  const bool shm_compatible =
+      it->second.shm == next->second.shm &&
+      (it->second.shm == kInvalidShm ||
+       next->second.shm_pgoff ==
+           it->second.shm_pgoff +
+               static_cast<std::uint32_t>(it->second.pages()));
+  if (it->second.end == next->second.start &&
+      it->second.flags == next->second.flags && shm_compatible) {
+    it->second.end = next->second.end;
+    vmas_.erase(next);
+    if (vma_ops) ++*vma_ops;
+    return true;
+  }
+  return false;
+}
+
+std::optional<VAddr> VmaSet::find_free_range(std::uint64_t len, VAddr lo,
+                                             VAddr hi) const {
+  VAddr candidate = lo;
+  for (const auto& [start, vma] : vmas_) {
+    if (vma.end <= candidate) continue;
+    if (start >= candidate && start - candidate >= len) break;
+    candidate = vma.end;
+  }
+  if (candidate + len <= hi) return candidate;
+  return std::nullopt;
+}
+
+std::vector<const Vma*> VmaSet::in_order() const {
+  std::vector<const Vma*> out;
+  out.reserve(vmas_.size());
+  for (const auto& [start, vma] : vmas_) out.push_back(&vma);
+  return out;
+}
+
+}  // namespace vialock::simkern

@@ -1,0 +1,105 @@
+// vma.h - vm_area_struct and the per-address-space VMA set.
+//
+// Carries VM_LOCKED, the per-VMA locking hook of the paper's section 2.2:
+// swap_out_vma() skips any VMA with VM_LOCKED set. do_mlock() (mlock.h) works
+// by splitting VMAs at the range edges and setting the flag, exactly as
+// described in the paper's section 3.2.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "simkern/types.h"
+#include "util/flags.h"
+
+namespace vialock::simkern {
+
+enum class VmFlag : std::uint16_t {
+  None = 0,
+  Read = 1 << 0,
+  Write = 1 << 1,
+  Locked = 1 << 2,    ///< VM_LOCKED: exempt from swapping
+  Io = 1 << 3,        ///< VM_IO: device mapping (doorbells), never swapped
+  Shared = 1 << 4,    ///< shared rather than private (no COW)
+  DontFork = 1 << 5,  ///< VM_DONTCOPY: not inherited by fork (MADV_DONTFORK);
+                      ///< the standard fix for fork vs. pinned DMA buffers
+};
+
+}  // namespace vialock::simkern
+
+template <>
+inline constexpr bool vialock::enable_flag_ops<vialock::simkern::VmFlag> = true;
+
+namespace vialock::simkern {
+
+/// Shared-memory segment identifier (simkern shm_* calls).
+using ShmId = std::uint32_t;
+inline constexpr ShmId kInvalidShm = static_cast<ShmId>(-1);
+
+struct Vma {
+  VAddr start = 0;  ///< inclusive, page aligned
+  VAddr end = 0;    ///< exclusive, page aligned
+  VmFlag flags = VmFlag::None;
+  ShmId shm = kInvalidShm;      ///< backing segment for VM_SHARED mappings
+  std::uint32_t shm_pgoff = 0;  ///< segment page index of `start` (survives
+                                ///< splits, cf. vm_pgoff in Linux)
+
+  [[nodiscard]] bool contains(VAddr a) const { return a >= start && a < end; }
+  [[nodiscard]] std::uint64_t pages() const { return (end - start) >> kPageShift; }
+};
+
+/// Sorted, non-overlapping set of VMAs for one address space.
+class VmaSet {
+ public:
+  /// find_vma(): the VMA covering `addr`, or nullptr.
+  [[nodiscard]] const Vma* find(VAddr addr) const;
+  [[nodiscard]] Vma* find(VAddr addr);
+
+  /// Insert a new region; fails (returns false) if it overlaps an existing one.
+  bool insert(VAddr start, VAddr end, VmFlag flags);
+
+  /// Remove every VMA piece inside [start, end), splitting edges as needed.
+  /// Returns the number of vm_area_struct operations performed (for costing).
+  std::uint32_t remove_range(VAddr start, VAddr end);
+
+  /// Apply `set` / clear `clear` flag bits over [start, end), splitting at the
+  /// edges and merging adjacent identical neighbours afterwards - the engine
+  /// behind do_mlock()/do_munlock(). Fails with false if any byte of the range
+  /// is not covered by a VMA (mlock on unmapped memory => ENOMEM in Linux).
+  /// `vma_ops` (optional) counts split/merge operations for cost accounting.
+  bool set_flags_range(VAddr start, VAddr end, VmFlag set, VmFlag clear,
+                       std::uint32_t* vma_ops = nullptr);
+
+  /// True iff [start, end) is fully covered by VMAs.
+  [[nodiscard]] bool covered(VAddr start, VAddr end) const;
+
+  /// Lowest gap of at least `len` bytes in [lo, hi) for mmap placement.
+  [[nodiscard]] std::optional<VAddr> find_free_range(std::uint64_t len, VAddr lo,
+                                                     VAddr hi) const;
+
+  [[nodiscard]] std::size_t count() const { return vmas_.size(); }
+
+  /// Snapshot in address order (swap_out_process iterates this).
+  [[nodiscard]] std::vector<const Vma*> in_order() const;
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [start, vma] : vmas_) fn(vma);
+  }
+
+ private:
+  /// Split the VMA containing `addr` so that a boundary falls exactly at
+  /// `addr`. No-op if `addr` already is a boundary or is uncovered.
+  /// Returns true if a split happened.
+  bool split_at(VAddr addr);
+
+  /// Merge `it` with its successor if contiguous with equal flags.
+  /// Returns true if a merge happened (iterator `it` stays valid either way).
+  bool try_merge_after(std::map<VAddr, Vma>::iterator it, std::uint32_t* vma_ops);
+
+  std::map<VAddr, Vma> vmas_;  ///< keyed by start address
+};
+
+}  // namespace vialock::simkern

@@ -1,0 +1,176 @@
+// vmscan.cc - page reclaim: do_try_to_free_pages -> shrink_mmap -> swap_out,
+// following the structure the paper lays out in section 2.2.
+//
+// The decisive details (all from the paper's text):
+//   * shrink_mmap() runs a clock algorithm over the page map but "does not
+//     touch user pages of a process"; pages with PG_locked and pages with a
+//     reference counter other than one are skipped. In this simulation its
+//     observable effect is ageing (clearing PG_referenced).
+//   * swap_out() walks tasks' VMA lists. VMAs with VM_LOCKED are skipped
+//     entirely - the hook mlock-based locking relies on.
+//   * try_to_swap_out(): pages with PG_locked or PG_reserved are skipped -
+//     the hook the Giganet-style driver relies on. Pages with an elevated
+//     reference count are NOT skipped: the PTE is rewritten to a swap entry
+//     and __free_page() is called; if a driver held an extra reference the
+//     frame quietly survives, detached from the virtual page - the
+//     Berkeley-VIA / M-VIA failure the locktest experiment demonstrates.
+//   * Pages with pin_count > 0 (kiobuf pins) are skipped - this is the
+//     contract of the paper's proposed mechanism.
+#include <cassert>
+
+#include "simkern/kernel.h"
+
+namespace vialock::simkern {
+
+std::uint32_t Kernel::try_to_free_pages(std::uint32_t target) {
+  ++stats_.reclaim_runs;
+  // Like do_try_to_free_pages(): shrink the page cache first, escalating the
+  // scan until either the target is met or the clock hand has swept the
+  // whole page map twice (one ageing pass + one freeing pass). Only then
+  // resort to swapping process pages.
+  const std::uint32_t budget =
+      std::max(1u, config_.frames / config_.reclaim_scan_divisor);
+  std::uint32_t freed = 0;
+  std::uint32_t scanned = 0;
+  do {  // at least one ageing pass, even for a zero target (kswapd tick)
+    freed += shrink_mmap(budget);
+    scanned += budget;
+  } while (freed < target && scanned < 2 * config_.frames);
+  while (freed < target) {
+    const std::uint32_t n = swap_out(target - freed);
+    if (n == 0) break;
+    freed += n;
+  }
+  return freed;
+}
+
+std::uint32_t Kernel::shrink_mmap(std::uint32_t budget) {
+  // Clock scan over the page map: age pages by clearing PG_referenced and
+  // discard old page-cache pages. User (process) pages are never touched
+  // here - "it does not touch user pages of a process"; those are left to
+  // swap_out().
+  const std::uint32_t frames = phys_.num_frames();
+  if (frames == 0) return 0;
+  std::uint32_t freed = 0;
+  for (std::uint32_t i = 0; i < budget; ++i) {
+    clock_hand_ = (clock_hand_ + 1) % frames;
+    clock_.advance(costs_.reclaim_scan_page);
+    ++stats_.clock_scanned;
+    Page& pg = phys_.page(clock_hand_);
+    if (pg.free() || pg.reserved() || pg.locked()) continue;
+    if (pg.count != 1) continue;  // "pages with a reference counter other
+                                  //  than one are skipped"
+    if (pg.pinned()) continue;
+    if (has(pg.flags, PageFlag::Referenced)) {
+      pg.flags &= ~PageFlag::Referenced;
+      continue;
+    }
+    if (pg.in_page_cache()) {
+      // An old, unreferenced, unlocked cache page: discard it (writing it
+      // back first if dirty).
+      drop_cache_page(clock_hand_);
+      ++stats_.pagecache_reclaimed;
+      ++freed;
+    }
+  }
+  return freed;
+}
+
+std::uint32_t Kernel::swap_out(std::uint32_t target) {
+  if (task_order_.empty()) return 0;
+  std::uint32_t freed = 0;
+  // Visit each task at most once per invocation, starting at the rotor.
+  for (std::size_t i = 0; i < task_order_.size() && freed < target; ++i) {
+    const Pid pid = task_order_[swap_rotor_ % task_order_.size()];
+    swap_rotor_ = (swap_rotor_ + 1) % task_order_.size();
+    auto it = tasks_.find(pid);
+    if (it == tasks_.end() || !it->second->alive) continue;
+    freed += swap_out_task(*it->second, target - freed);
+  }
+  return freed;
+}
+
+std::uint32_t Kernel::swap_out_task(Task& t, std::uint32_t target) {
+  std::uint32_t freed = 0;
+  const auto vmas = t.mm.vmas.in_order();
+  if (vmas.empty()) return 0;
+
+  // One full pass over the address space, resuming at (and wrapping around)
+  // the task's swap cursor, like task->swap_address in 2.2.
+  const std::size_t nv = vmas.size();
+  std::size_t start_idx = 0;
+  for (std::size_t i = 0; i < nv; ++i) {
+    if (vmas[i]->end > t.swap_cursor) {
+      start_idx = i;
+      break;
+    }
+  }
+
+  for (std::size_t step = 0; step < nv && freed < target; ++step) {
+    const Vma& vma = *vmas[(start_idx + step) % nv];
+    if (has(vma.flags, VmFlag::Locked) || has(vma.flags, VmFlag::Io)) {
+      stats_.swap_skip_vma_locked += vma.pages();
+      continue;
+    }
+    if (has(vma.flags, VmFlag::Shared)) {
+      // Shared segments are not swapped in this model (2.2's shm_swap path
+      // is out of scope); their frames are multiply referenced anyway.
+      continue;
+    }
+    VAddr v = vma.start;
+    if (step == 0 && t.swap_cursor > vma.start && t.swap_cursor < vma.end) {
+      v = t.swap_cursor;
+    }
+    for (; v < vma.end && freed < target; v += kPageSize) {
+      clock_.advance(costs_.reclaim_scan_page);
+      Pte* pte = t.mm.pt.walk(v);
+      if (!pte || !pte->present) continue;
+      Page& pg = phys_.page(pte->pfn);
+      if (pg.reserved()) {
+        ++stats_.swap_skip_reserved;
+        continue;
+      }
+      if (pg.locked()) {
+        ++stats_.swap_skip_page_locked;
+        continue;
+      }
+      if (pg.pinned()) {
+        ++stats_.swap_skip_pinned;  // the proposed mechanism's guarantee
+        continue;
+      }
+      if (pte->cow) continue;  // COW-shared frames stay until broken
+      if (pte->accessed) {
+        pte->accessed = false;  // ageing: one round of grace for hot pages
+        ++stats_.swap_skip_referenced;
+        continue;
+      }
+
+      // try_to_swap_out(): write to swap, redirect the PTE, free the page.
+      const SwapSlot slot = swap_.alloc();
+      if (slot == kInvalidSwapSlot) {
+        t.swap_cursor = v;
+        return freed;  // swap partition full
+      }
+      notify_invalidate(t.pid, v, pte->pfn);
+      trace_.record(clock_.now(), TraceEvent::SwapOut, t.pid, v, pte->pfn);
+      swap_.write(slot, phys_.frame(pte->pfn));
+      const Pfn old_pfn = pte->pfn;
+      pte->present = false;
+      pte->pfn = kInvalidPfn;
+      pte->swap = slot;
+      pte->dirty = false;
+      if (pg.mapped_pid == t.pid) pg.mapped_pid = kInvalidPid;
+      --t.mm.rss;
+      ++stats_.pages_swapped_out;
+
+      const bool was_last_ref = phys_.page(old_pfn).count == 1;
+      put_page(old_pfn);  // __free_page(): only actually frees at count 0
+      if (was_last_ref) ++freed;
+      t.swap_cursor = v + kPageSize;
+    }
+  }
+  if (freed < target) t.swap_cursor = 0;  // completed a full pass
+  return freed;
+}
+
+}  // namespace vialock::simkern

@@ -1,0 +1,44 @@
+// clock.h - deterministic virtual time base for the whole simulation.
+//
+// Every component (memory subsystem, swap device, NIC DMA engine, wire) charges
+// its costs against one shared Clock, so experiment timings are exactly
+// reproducible run-to-run and independent of the host machine.
+#pragma once
+
+#include <cstdint>
+
+namespace vialock {
+
+/// Virtual nanoseconds.
+using Nanos = std::uint64_t;
+
+/// Monotonic virtual clock. Components advance() it by modelled costs.
+class Clock {
+ public:
+  Clock() = default;
+
+  /// Charge `cost` virtual nanoseconds.
+  void advance(Nanos cost) { now_ += cost; }
+
+  [[nodiscard]] Nanos now() const { return now_; }
+
+  /// Reset to t=0 (used between benchmark repetitions).
+  void reset() { now_ = 0; }
+
+ private:
+  Nanos now_ = 0;
+};
+
+/// Scoped stopwatch over a Clock: measures virtual time spent in a region.
+class VirtualStopwatch {
+ public:
+  explicit VirtualStopwatch(const Clock& clock) : clock_(clock), start_(clock.now()) {}
+
+  [[nodiscard]] Nanos elapsed() const { return clock_.now() - start_; }
+
+ private:
+  const Clock& clock_;
+  Nanos start_;
+};
+
+}  // namespace vialock

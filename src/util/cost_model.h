@@ -1,0 +1,76 @@
+// cost_model.h - virtual-time costs of the simulated platform.
+//
+// Constants are loosely calibrated to the paper family's test bed (450 MHz
+// Pentium III, 33 MHz/32-bit PCI, 2000-era IDE/SCSI swap disk, Dolphin D310 /
+// Giganet cLAN class NICs). Benchmarks report event counts (platform-free) as
+// well as virtual times; only the *shape* of timing results is meaningful.
+// All values are overridable per-simulation so ablations can sweep them.
+#pragma once
+
+#include <cstdint>
+
+#include "util/clock.h"
+
+namespace vialock {
+
+struct CostModel {
+  // --- CPU / memory system -------------------------------------------------
+  Nanos cycle = 2;                 ///< ~450 MHz
+  Nanos mem_copy_per_byte = 6;     ///< ~160 MB/s effective memcpy (PC100 SDRAM)
+  Nanos mem_touch = 180;           ///< single cache-missing word access
+  Nanos zero_page = 10'000;        ///< clear one 4 KB page
+
+  // --- kernel paths ----------------------------------------------------------
+  Nanos syscall = 900;             ///< int 0x80 entry + exit
+  Nanos pte_walk_level = 30;       ///< one page-table level lookup
+  Nanos fault_entry = 1'400;       ///< trap + find_vma + dispatch
+  Nanos vma_op = 700;              ///< split/merge/insert one vm_area_struct
+  Nanos page_alloc = 600;          ///< buddy allocator hit
+  Nanos reclaim_scan_page = 90;    ///< clock-algorithm look at one page map entry
+  Nanos kiobuf_setup = 1'100;      ///< alloc_kiovec bookkeeping
+  Nanos kiobuf_per_page = 260;     ///< map_user_kiobuf per-page pin + record
+
+  // --- swap device -----------------------------------------------------------
+  Nanos swap_seek = 6'000'000;     ///< disk seek + rotational latency (~6 ms)
+  Nanos swap_per_byte = 60;        ///< ~16 MB/s streaming to swap partition
+
+  // --- NIC / PCI -------------------------------------------------------------
+  Nanos pci_reg_write = 120;       ///< posted write to a NIC register (TPT entry, doorbell)
+  Nanos pci_reg_read = 900;        ///< PCI read (flushes posting)
+  Nanos doorbell = 250;            ///< ring a doorbell (user-space store)
+  Nanos dma_startup = 1'000;       ///< descriptor fetch + engine start
+  Nanos dma_per_byte = 13;         ///< ~75 MB/s PCI DMA streaming
+  Nanos descriptor_build = 400;    ///< user library fills a descriptor
+  Nanos nic_page_fault = 18'000;   ///< U-Net/MM-style NIC fault: interrupt +
+                                   ///< driver handler (excl. any page-in)
+  Nanos interrupt_wakeup = 11'000; ///< waiting-mode completion: interrupt +
+                                   ///< scheduler reawakening the process
+
+  // --- wire (node-to-node link) ----------------------------------------------
+  Nanos wire_latency = 1'800;      ///< cLAN-class switch + serdes
+  Nanos wire_per_byte = 8;         ///< ~125 MB/s raw link
+  /// End-to-end streaming rate of a descriptor transfer (source DMA, wire
+  /// and sink DMA are cut-through pipelined; the slowest stage governs):
+  /// ~87 MB/s, cLAN/D310 class.
+  Nanos dma_path_per_byte = 11;
+
+  // --- SCI-style programmed I/O (remote memory window) -------------------------
+  Nanos pio_store_latency = 300;   ///< posted remote store overhead per access
+  Nanos pio_per_byte = 12;         ///< ~80 MB/s sustained remote stores
+  Nanos pio_read_rtt = 4'600;      ///< remote read round trip ("expensive")
+
+  [[nodiscard]] constexpr Nanos copy(std::uint64_t bytes) const {
+    return mem_copy_per_byte * bytes;
+  }
+  [[nodiscard]] constexpr Nanos swap_io(std::uint64_t bytes) const {
+    return swap_seek + swap_per_byte * bytes;
+  }
+  [[nodiscard]] constexpr Nanos dma(std::uint64_t bytes) const {
+    return dma_startup + dma_per_byte * bytes;
+  }
+  [[nodiscard]] constexpr Nanos wire(std::uint64_t bytes) const {
+    return wire_latency + wire_per_byte * bytes;
+  }
+};
+
+}  // namespace vialock

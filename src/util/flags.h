@@ -1,0 +1,50 @@
+// flags.h - type-safe bit-flag operations for enum class flag sets.
+#pragma once
+
+#include <type_traits>
+
+namespace vialock {
+
+/// Opt-in trait: specialize to `true` to enable bit operators for an enum class.
+template <typename E>
+inline constexpr bool enable_flag_ops = false;
+
+template <typename E>
+concept FlagEnum = std::is_enum_v<E> && enable_flag_ops<E>;
+
+template <FlagEnum E>
+constexpr E operator|(E a, E b) {
+  using U = std::underlying_type_t<E>;
+  return static_cast<E>(static_cast<U>(a) | static_cast<U>(b));
+}
+
+template <FlagEnum E>
+constexpr E operator&(E a, E b) {
+  using U = std::underlying_type_t<E>;
+  return static_cast<E>(static_cast<U>(a) & static_cast<U>(b));
+}
+
+template <FlagEnum E>
+constexpr E operator~(E a) {
+  using U = std::underlying_type_t<E>;
+  return static_cast<E>(~static_cast<U>(a));
+}
+
+template <FlagEnum E>
+constexpr E& operator|=(E& a, E b) {
+  return a = a | b;
+}
+
+template <FlagEnum E>
+constexpr E& operator&=(E& a, E b) {
+  return a = a & b;
+}
+
+/// True if any bit of `bit` is set in `set`.
+template <FlagEnum E>
+[[nodiscard]] constexpr bool has(E set, E bit) {
+  using U = std::underlying_type_t<E>;
+  return (static_cast<U>(set) & static_cast<U>(bit)) != 0;
+}
+
+}  // namespace vialock

@@ -1,0 +1,98 @@
+// stats.h - streaming summary statistics and fixed-bucket histograms.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace vialock {
+
+/// Welford streaming accumulator: count / mean / variance / min / max.
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double total() const { return mean_ * static_cast<double>(n_); }
+
+  void merge(const Summary& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double d = other.mean_ - mean_;
+    mean_ += d * nb / (na + nb);
+    m2_ += other.m2_ + d * d * na * nb / (na + nb);
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Log2-bucketed histogram for latency-like quantities.
+class Log2Histogram {
+ public:
+  void add(std::uint64_t v) {
+    ++buckets_[bucket_of(v)];
+    ++count_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+  /// Value at quantile q in [0,1]; returns the upper bound of the bucket.
+  [[nodiscard]] std::uint64_t quantile(double q) const {
+    if (count_ == 0) return 0;
+    const auto target =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen > target) return upper_bound(i);
+    }
+    return upper_bound(kBuckets - 1);
+  }
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+  static constexpr std::size_t num_buckets() { return kBuckets; }
+
+  static constexpr std::size_t bucket_of(std::uint64_t v) {
+    if (v == 0) return 0;
+    return static_cast<std::size_t>(64 - __builtin_clzll(v));
+  }
+  static constexpr std::uint64_t upper_bound(std::size_t i) {
+    return i == 0 ? 0 : (i >= 64 ? ~0ULL : (1ULL << i) - 1);
+  }
+
+ private:
+  static constexpr std::size_t kBuckets = 65;
+  std::uint64_t buckets_[kBuckets]{};
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace vialock

@@ -1,0 +1,47 @@
+// status.h - errno-style status codes used across the simulated kernel boundary.
+//
+// The simulated Linux kernel (simkern) and the VIA kernel agent never throw:
+// every fallible entry point returns a KStatus, mirroring how a real driver
+// reports errors to user space. [[nodiscard]] forces callers to look at it.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace vialock {
+
+/// errno-style result of a simulated kernel or driver operation.
+enum class KStatus : std::int8_t {
+  Ok = 0,
+  Perm,        ///< EPERM   - capability check failed (e.g. mlock without CAP_IPC_LOCK)
+  NoEnt,       ///< ENOENT  - no such object (handle, task, region)
+  Again,       ///< EAGAIN  - transient resource shortage
+  NoMem,       ///< ENOMEM  - out of frames / swap / table entries
+  Fault,       ///< EFAULT  - bad user address (no VMA, protection violation)
+  Busy,        ///< EBUSY   - object in use (page locked by kernel I/O)
+  Inval,       ///< EINVAL  - malformed arguments
+  NoSpc,       ///< ENOSPC  - table full (TPT, swap map)
+  Proto,       ///< EPROTO  - VIA protocol violation (bad state transition)
+  NoLck,       ///< ENOLCK  - lock accounting underflow / unlock of unlocked range
+};
+
+[[nodiscard]] constexpr bool ok(KStatus s) { return s == KStatus::Ok; }
+
+[[nodiscard]] constexpr std::string_view to_string(KStatus s) {
+  switch (s) {
+    case KStatus::Ok: return "OK";
+    case KStatus::Perm: return "EPERM";
+    case KStatus::NoEnt: return "ENOENT";
+    case KStatus::Again: return "EAGAIN";
+    case KStatus::NoMem: return "ENOMEM";
+    case KStatus::Fault: return "EFAULT";
+    case KStatus::Busy: return "EBUSY";
+    case KStatus::Inval: return "EINVAL";
+    case KStatus::NoSpc: return "ENOSPC";
+    case KStatus::Proto: return "EPROTO";
+    case KStatus::NoLck: return "ENOLCK";
+  }
+  return "E???";
+}
+
+}  // namespace vialock

@@ -1,0 +1,93 @@
+// table.h - fixed-width ASCII table printer for experiment output.
+//
+// Every bench binary reproduces a paper table/figure by printing rows through
+// this printer, so `bench_output.txt` is directly comparable to the paper.
+#pragma once
+
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace vialock {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    widths_.reserve(headers_.size());
+    for (const auto& h : headers_) widths_.push_back(h.size());
+  }
+
+  Table& row(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    print_rule(os);
+    print_row(os, headers_);
+    print_rule(os);
+    for (const auto& r : rows_) print_row(os, r);
+    print_rule(os);
+  }
+
+  // -- cell formatting helpers -----------------------------------------------
+  static std::string num(std::uint64_t v) { return std::to_string(v); }
+  static std::string num(std::int64_t v) { return std::to_string(v); }
+  static std::string fp(double v, int prec = 2) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(prec) << v;
+    return ss.str();
+  }
+  /// Virtual nanoseconds with a human unit.
+  static std::string nanos(std::uint64_t ns) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(2);
+    if (ns < 10'000ULL) ss << ns << " ns";
+    else if (ns < 10'000'000ULL) ss << static_cast<double>(ns) / 1e3 << " us";
+    else if (ns < 10'000'000'000ULL) ss << static_cast<double>(ns) / 1e6 << " ms";
+    else ss << static_cast<double>(ns) / 1e9 << " s";
+    return ss.str();
+  }
+  /// Bytes with a human unit.
+  static std::string bytes(std::uint64_t b) {
+    std::ostringstream ss;
+    if (b < 1024) ss << b << " B";
+    else if (b < 1024 * 1024) ss << b / 1024 << " KB";
+    else ss << b / (1024 * 1024) << " MB";
+    return ss.str();
+  }
+  /// MB/s from bytes over virtual nanoseconds.
+  static std::string rate(std::uint64_t b, std::uint64_t ns) {
+    if (ns == 0) return "inf";
+    const double mbps = static_cast<double>(b) * 1e9 / static_cast<double>(ns) /
+                        (1024.0 * 1024.0);
+    return fp(mbps, 2) + " MB/s";
+  }
+
+ private:
+  void print_rule(std::ostream& os) const {
+    os << '+';
+    for (auto w : widths_) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  }
+  void print_row(std::ostream& os, const std::vector<std::string>& cells) const {
+    os << '|';
+    for (std::size_t i = 0; i < widths_.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << ' ' << c << std::string(widths_[i] - c.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vialock

@@ -1,0 +1,92 @@
+// descriptor.h - VIA work-queue descriptors.
+//
+// "VIA communication is completely based on explicit descriptor processing"
+// (companion paper in the same collection): a send/receive needs a descriptor
+// on each side; RDMA needs one at the active node only. Descriptors carry
+// virtual addresses qualified by memory handles; the NIC validates them
+// against the TPT when the descriptor is processed.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string_view>
+#include <vector>
+
+#include "simkern/types.h"
+#include "via/memory_handle.h"
+
+namespace vialock::via {
+
+using ViId = std::uint32_t;
+inline constexpr ViId kInvalidVi = static_cast<ViId>(-1);
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+enum class DescOp : std::uint8_t { Send, Recv, RdmaWrite, RdmaRead };
+
+enum class DescStatus : std::uint8_t {
+  Pending,
+  Done,
+  ErrProtection,   ///< TPT tag / validity / RDMA-enable check failed
+  ErrNoRecvDesc,   ///< receiver had no posted descriptor (connection broken)
+  ErrLength,       ///< receive buffer smaller than the incoming message
+  ErrDisconnected, ///< VI not connected
+};
+
+[[nodiscard]] constexpr std::string_view to_string(DescStatus s) {
+  switch (s) {
+    case DescStatus::Pending: return "PENDING";
+    case DescStatus::Done: return "DONE";
+    case DescStatus::ErrProtection: return "ERR_PROTECTION";
+    case DescStatus::ErrNoRecvDesc: return "ERR_NO_RECV_DESC";
+    case DescStatus::ErrLength: return "ERR_LENGTH";
+    case DescStatus::ErrDisconnected: return "ERR_DISCONNECTED";
+  }
+  return "ERR_?";
+}
+
+struct DataSegment {
+  MemHandle handle;
+  simkern::VAddr addr = 0;
+  std::uint32_t length = 0;
+};
+
+struct RemoteSegment {
+  MemHandle handle;  ///< communicated out of band by the peer
+  simkern::VAddr addr = 0;
+};
+
+struct Descriptor {
+  /// VIA descriptors carry a segment count; four is a typical NIC limit.
+  static constexpr std::size_t kMaxSegments = 4;
+
+  std::uint64_t cookie = 0;  ///< caller-chosen identifier, returned on poll
+  DescOp op = DescOp::Send;
+  DataSegment local;               ///< single-segment fast path
+  std::vector<DataSegment> extra;  ///< additional gather/scatter segments
+  RemoteSegment remote;            ///< RDMA ops only
+  std::uint32_t immediate = 0;
+  bool has_immediate = false;
+
+  // Completion fields, filled by the NIC.
+  DescStatus status = DescStatus::Pending;
+  std::uint32_t transferred = 0;
+
+  [[nodiscard]] bool done_ok() const { return status == DescStatus::Done; }
+
+  [[nodiscard]] std::size_t num_segments() const { return 1 + extra.size(); }
+  [[nodiscard]] const DataSegment& segment(std::size_t i) const {
+    return i == 0 ? local : extra[i - 1];
+  }
+  /// Total bytes across all segments.
+  [[nodiscard]] std::uint64_t total_length() const {
+    return std::accumulate(extra.begin(), extra.end(),
+                           static_cast<std::uint64_t>(local.length),
+                           [](std::uint64_t acc, const DataSegment& s) {
+                             return acc + s.length;
+                           });
+  }
+};
+
+}  // namespace vialock::via

@@ -1,0 +1,97 @@
+#include "via/fabric.h"
+
+#include <cassert>
+
+namespace vialock::via {
+
+NodeId Fabric::attach(Nic& nic) {
+  const auto id = static_cast<NodeId>(nics_.size());
+  nics_.push_back(&nic);
+  nic.attach(this, id);
+  return id;
+}
+
+KStatus Fabric::connect(NodeId node_a, ViId vi_a, NodeId node_b, ViId vi_b) {
+  if (node_a >= nics_.size() || node_b >= nics_.size()) return KStatus::Inval;
+  Nic& na = *nics_[node_a];
+  Nic& nb = *nics_[node_b];
+  if (!na.vi_exists(vi_a) || !nb.vi_exists(vi_b)) return KStatus::Inval;
+  Vi& a = na.vi(vi_a);
+  Vi& b = nb.vi(vi_b);
+  if (a.connected() || b.connected()) return KStatus::Busy;
+  a.state = ViState::Connected;
+  a.peer_node = node_b;
+  a.peer_vi = vi_b;
+  b.state = ViState::Connected;
+  b.peer_node = node_a;
+  b.peer_vi = vi_a;
+  return KStatus::Ok;
+}
+
+KStatus Fabric::listen(NodeId node, std::uint64_t discriminator, ViId vi) {
+  if (node >= nics_.size() || !nics_[node]->vi_exists(vi)) return KStatus::Inval;
+  if (nics_[node]->vi(vi).connected()) return KStatus::Busy;
+  const auto key = std::make_pair(node, discriminator);
+  if (listeners_.contains(key)) return KStatus::Busy;
+  listeners_.emplace(key, Listener{node, vi});
+  return KStatus::Ok;
+}
+
+KStatus Fabric::connect_request(NodeId client_node, ViId client_vi,
+                                NodeId server_node,
+                                std::uint64_t discriminator) {
+  if (client_node >= nics_.size() || server_node >= nics_.size())
+    return KStatus::Inval;
+  if (!nics_[client_node]->vi_exists(client_vi)) return KStatus::Inval;
+  // A connect request crosses the wire even when it is refused.
+  clock_.advance(costs_.wire(64));
+  const auto key = std::make_pair(server_node, discriminator);
+  auto it = listeners_.find(key);
+  if (it == listeners_.end()) return KStatus::Again;
+  const Listener server = it->second;
+  const KStatus st = connect(client_node, client_vi, server.node, server.vi);
+  if (!ok(st)) return st;
+  listeners_.erase(it);
+  clock_.advance(costs_.wire(64));  // accept response
+  return KStatus::Ok;
+}
+
+KStatus Fabric::disconnect(NodeId node, ViId vi) {
+  if (node >= nics_.size() || !nics_[node]->vi_exists(vi)) return KStatus::Inval;
+  Vi& v = nics_[node]->vi(vi);
+  if (!v.connected()) return KStatus::Proto;
+  Nic& peer_nic = *nics_[v.peer_node];
+  if (peer_nic.vi_exists(v.peer_vi)) {
+    Vi& peer = peer_nic.vi(v.peer_vi);
+    if (peer.connected() && peer.peer_node == node && peer.peer_vi == vi) {
+      peer.state = ViState::Error;  // the peer sees a broken connection
+    }
+  }
+  v.state = ViState::Idle;
+  v.peer_node = kInvalidNode;
+  v.peer_vi = kInvalidVi;
+  return KStatus::Ok;
+}
+
+DescStatus Fabric::transmit(Nic::Packet& pkt, std::vector<std::byte>* read_back) {
+  // Find the destination: the source VI's connection names the peer node.
+  assert(pkt.src_node < nics_.size());
+  const Vi& src = nics_[pkt.src_node]->vi(pkt.src_vi);
+  if (!src.connected()) return DescStatus::ErrDisconnected;
+  const NodeId dst = src.peer_node;
+  assert(dst < nics_.size());
+
+  // Cut-through pipeline: source DMA, wire and sink DMA stream
+  // concurrently; one latency plus the slowest stage's per-byte rate.
+  const std::uint64_t bytes =
+      pkt.op == DescOp::RdmaRead ? pkt.read_length : pkt.payload.size();
+  clock_.advance(costs_.wire_latency + bytes * costs_.dma_path_per_byte);
+  const DescStatus st = nics_[dst]->deliver(pkt, read_back);
+  if (pkt.op == DescOp::RdmaRead && st == DescStatus::Done) {
+    // The response path carries the data back.
+    clock_.advance(costs_.wire_latency + bytes * costs_.dma_path_per_byte);
+  }
+  return st;
+}
+
+}  // namespace vialock::via

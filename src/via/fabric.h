@@ -1,0 +1,69 @@
+// fabric.h - the switched interconnect between NICs.
+//
+// Synchronous delivery against the shared virtual clock: transmit() charges
+// wire latency + streaming time, then hands the packet to the destination
+// NIC. Connection setup pairs two VIs (the VIA point-to-point model).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/cost_model.h"
+#include "util/status.h"
+#include "via/nic.h"
+
+namespace vialock::via {
+
+class Fabric {
+ public:
+  Fabric(Clock& clock, const CostModel& costs) : clock_(clock), costs_(costs) {}
+
+  /// Attach a NIC; returns its node id.
+  NodeId attach(Nic& nic);
+
+  /// Connect vi_a on node_a with vi_b on node_b (both become Connected).
+  /// The out-of-band variant used when both endpoints are known.
+  [[nodiscard]] KStatus connect(NodeId node_a, ViId vi_a, NodeId node_b,
+                                ViId vi_b);
+
+  // --- VIA client/server connection model -------------------------------------
+  /// VipConnectWait: park `vi` on `discriminator`, awaiting a client.
+  [[nodiscard]] KStatus listen(NodeId node, std::uint64_t discriminator,
+                               ViId vi);
+  /// VipConnectRequest: match a listener on (server_node, discriminator) and
+  /// connect; Again when nobody is listening (a real client would retry).
+  [[nodiscard]] KStatus connect_request(NodeId client_node, ViId client_vi,
+                                        NodeId server_node,
+                                        std::uint64_t discriminator);
+  /// VipDisconnect: tear the connection down; the peer VI goes to Error (it
+  /// learns of the disconnect the next time it is used), this one to Idle.
+  [[nodiscard]] KStatus disconnect(NodeId node, ViId vi);
+
+  /// Wire transfer + remote delivery; returns the sender-side status.
+  [[nodiscard]] DescStatus transmit(Nic::Packet& pkt,
+                                    std::vector<std::byte>* read_back);
+
+  [[nodiscard]] Nic& nic(NodeId id) { return *nics_.at(id); }
+  [[nodiscard]] std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(nics_.size());
+  }
+  [[nodiscard]] Clock& clock() { return clock_; }
+  [[nodiscard]] const CostModel& costs() const { return costs_; }
+
+ private:
+  struct Listener {
+    NodeId node;
+    ViId vi;
+  };
+
+  Clock& clock_;
+  const CostModel& costs_;
+  std::vector<Nic*> nics_;
+  /// (server node, discriminator) -> parked VI.
+  std::map<std::pair<NodeId, std::uint64_t>, Listener> listeners_;
+};
+
+}  // namespace vialock::via

@@ -1,0 +1,119 @@
+#include "via/kernel_agent.h"
+
+#include <cassert>
+
+namespace vialock::via {
+
+ProtectionTag KernelAgent::create_ptag(simkern::Pid pid) {
+  kern_.clock().advance(kern_.costs().syscall);
+  ++kern_.mutable_stats().syscalls;
+  if (!kern_.task_exists(pid)) return kInvalidTag;
+  return next_tag_++;
+}
+
+std::optional<simkern::VAddr> KernelAgent::map_doorbell(simkern::Pid pid,
+                                                        ViId vi) {
+  if (!nic_.vi_exists(vi)) return std::nullopt;
+  // Doorbell register pages live in the reserved low frames (the platform's
+  // device aperture); frame 0 stays untouchable.
+  const simkern::Pfn frame = 1 + vi;
+  if (frame >= kern_.config().reserved_low) return std::nullopt;
+  return kern_.map_device_page(
+      pid, frame, simkern::VmFlag::Read | simkern::VmFlag::Write);
+}
+
+KStatus KernelAgent::register_mem(simkern::Pid pid, simkern::VAddr addr,
+                                  std::uint64_t len, ProtectionTag tag,
+                                  MemHandle& out, RegisterOptions opts) {
+  kern_.clock().advance(kern_.costs().syscall);  // the registration ioctl
+  ++kern_.mutable_stats().syscalls;
+  if (tag == kInvalidTag || len == 0) return KStatus::Inval;
+
+  Registration reg;
+  reg.opts = opts;
+  const KStatus st = policy_.lock(pid, addr, len, reg.lock);
+  if (!ok(st)) {
+    ++stats_.lock_failures;
+    return st;
+  }
+
+  const auto pages = static_cast<std::uint32_t>(reg.lock.pfns.size());
+  const TptIndex base = nic_.tpt().alloc(pages);
+  if (base == kInvalidTptIndex) {
+    policy_.unlock(reg.lock);
+    ++stats_.tpt_full;
+    return KStatus::NoSpc;
+  }
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    nic_.program_tpt(base + i, TptEntry{.valid = true,
+                                        .pfn = reg.lock.pfns[i],
+                                        .tag = tag,
+                                        .rdma_write_enable = opts.rdma_write,
+                                        .rdma_read_enable = opts.rdma_read});
+  }
+
+  out = MemHandle{.tpt_base = base,
+                  .pages = pages,
+                  .vaddr = addr,
+                  .length = len,
+                  .tag = tag,
+                  .id = next_reg_id_++};
+  reg.handle = out;
+  regs_.emplace(out.id, std::move(reg));
+  ++stats_.registrations;
+  stats_.pages_registered += pages;
+  kern_.trace().record(kern_.clock().now(),
+                       vialock::TraceEvent::RegionRegistered, pid, addr,
+                       base);
+  return KStatus::Ok;
+}
+
+KStatus KernelAgent::deregister_mem(const MemHandle& handle) {
+  kern_.clock().advance(kern_.costs().syscall);
+  ++kern_.mutable_stats().syscalls;
+  auto it = regs_.find(handle.id);
+  if (it == regs_.end()) return KStatus::NoEnt;
+  Registration& reg = it->second;
+  nic_.tpt().release(reg.handle.tpt_base, reg.handle.pages);
+  policy_.unlock(reg.lock);
+  regs_.erase(it);
+  ++stats_.deregistrations;
+  kern_.trace().record(kern_.clock().now(),
+                       vialock::TraceEvent::RegionDeregistered, 0,
+                       handle.vaddr, handle.tpt_base);
+  return KStatus::Ok;
+}
+
+KStatus KernelAgent::refresh_tpt(const MemHandle& handle) {
+  kern_.clock().advance(kern_.costs().syscall);
+  ++kern_.mutable_stats().syscalls;
+  auto it = regs_.find(handle.id);
+  if (it == regs_.end()) return KStatus::NoEnt;
+  Registration& reg = it->second;
+
+  // Semantically a re-registration that keeps its TPT slots: drop the old
+  // pin and take a fresh one, so the policy's reference accounting follows
+  // the pages wherever they live now.
+  const simkern::Pid pid = reg.lock.pid;
+  const simkern::VAddr addr = reg.lock.addr;
+  const std::uint64_t len = reg.lock.len;
+  policy_.unlock(reg.lock);
+  reg.lock = LockHandle{};
+  const KStatus st = policy_.lock(pid, addr, len, reg.lock);
+  if (!ok(st)) return st;
+  if (reg.lock.pfns.size() != reg.handle.pages) return KStatus::Fault;
+
+  for (std::uint32_t i = 0; i < reg.handle.pages; ++i) {
+    TptEntry e = nic_.tpt().get(reg.handle.tpt_base + i);
+    e.pfn = reg.lock.pfns[i];
+    nic_.program_tpt(reg.handle.tpt_base + i, e);
+  }
+  return KStatus::Ok;
+}
+
+const LockHandle* KernelAgent::lock_handle(std::uint64_t reg_id) const {
+  auto it = regs_.find(reg_id);
+  return it == regs_.end() ? nullptr : &it->second.lock;
+}
+
+}  // namespace vialock::via

@@ -1,0 +1,99 @@
+// kernel_agent.h - the VI Kernel Agent: the device driver half of VIA.
+//
+// Performs the privileged operations of the VI Architecture - protection-tag
+// creation and memory registration/deregistration - on behalf of user
+// processes (each entry models an ioctl, so it charges syscall cost). Memory
+// registration is where the paper lives: the agent asks its LockPolicy to pin
+// the user range and learn its physical pages, then programs the NIC's TPT
+// over PCI. Whether those TPT entries stay truthful under memory pressure is
+// entirely the policy's doing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "simkern/kernel.h"
+#include "util/status.h"
+#include "via/lock_policy.h"
+#include "via/nic.h"
+
+namespace vialock::via {
+
+struct AgentStats {
+  std::uint64_t registrations = 0;
+  std::uint64_t deregistrations = 0;
+  std::uint64_t pages_registered = 0;
+  std::uint64_t lock_failures = 0;
+  std::uint64_t tpt_full = 0;
+};
+
+class KernelAgent {
+ public:
+  struct RegisterOptions {
+    bool rdma_write = true;
+    bool rdma_read = true;
+  };
+
+  KernelAgent(simkern::Kernel& kern, Nic& nic, LockPolicy& policy)
+      : kern_(kern), nic_(nic), policy_(policy) {}
+
+  KernelAgent(const KernelAgent&) = delete;
+  KernelAgent& operator=(const KernelAgent&) = delete;
+
+  /// VipCreatePtag: mint a protection tag for `pid`.
+  [[nodiscard]] ProtectionTag create_ptag(simkern::Pid pid);
+
+  /// Map the doorbell page of `vi` into `pid`'s address space as a VM_IO
+  /// mapping. "The size of a doorbell is equal to the page size of the host
+  /// computer and so the handling which process may access which doorbell
+  /// can be simply realized by the host's virtual memory management system"
+  /// (paper section on VIA protection). One page per VI, carved out of the
+  /// platform's reserved device-register frames.
+  [[nodiscard]] std::optional<simkern::VAddr> map_doorbell(simkern::Pid pid,
+                                                           ViId vi);
+
+  /// VipRegisterMem: pin [addr, addr+len) and enter it into the TPT.
+  [[nodiscard]] KStatus register_mem(simkern::Pid pid, simkern::VAddr addr,
+                                     std::uint64_t len, ProtectionTag tag,
+                                     MemHandle& out, RegisterOptions opts);
+  [[nodiscard]] KStatus register_mem(simkern::Pid pid, simkern::VAddr addr,
+                                     std::uint64_t len, ProtectionTag tag,
+                                     MemHandle& out) {
+    return register_mem(pid, addr, len, tag, out, RegisterOptions{});
+  }
+
+  /// VipDeregisterMem: release TPT entries and undo the pin.
+  [[nodiscard]] KStatus deregister_mem(const MemHandle& handle);
+
+  /// Refresh the TPT entries of a live registration from the *current* page
+  /// tables. This is the "TLB-consistency" repair a U-Net/MM-style system
+  /// would do; exposed so experiments can measure what re-registration costs.
+  [[nodiscard]] KStatus refresh_tpt(const MemHandle& handle);
+
+  [[nodiscard]] LockPolicy& policy() { return policy_; }
+  [[nodiscard]] const AgentStats& stats() const { return stats_; }
+  [[nodiscard]] Nic& nic() { return nic_; }
+  [[nodiscard]] simkern::Kernel& kern() { return kern_; }
+
+  /// The lock handle of a live registration (experiment introspection).
+  [[nodiscard]] const LockHandle* lock_handle(std::uint64_t reg_id) const;
+  [[nodiscard]] std::size_t live_registrations() const { return regs_.size(); }
+
+ private:
+  struct Registration {
+    MemHandle handle;
+    LockHandle lock;
+    RegisterOptions opts;
+  };
+
+  simkern::Kernel& kern_;
+  Nic& nic_;
+  LockPolicy& policy_;
+  AgentStats stats_;
+  std::unordered_map<std::uint64_t, Registration> regs_;
+  std::uint64_t next_reg_id_ = 1;
+  ProtectionTag next_tag_ = 1;
+};
+
+}  // namespace vialock::via

@@ -1,0 +1,40 @@
+// memory_handle.h - the user-visible result of VipRegisterMem.
+//
+// A memory handle names a contiguous TPT entry range covering the registered
+// virtual range. Descriptors address buffers as (handle, virtual address);
+// the NIC turns that into a TPT offset and translates/checks per page.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "simkern/types.h"
+#include "via/tpt.h"
+
+namespace vialock::via {
+
+struct MemHandle {
+  TptIndex tpt_base = kInvalidTptIndex;
+  std::uint32_t pages = 0;          ///< TPT entries occupied
+  simkern::VAddr vaddr = 0;         ///< registered start (may be unaligned)
+  std::uint64_t length = 0;
+  ProtectionTag tag = kInvalidTag;
+  std::uint64_t id = 0;             ///< kernel agent registration id
+
+  [[nodiscard]] bool valid() const { return tpt_base != kInvalidTptIndex; }
+
+  /// Page-aligned start of the region the TPT entries cover.
+  [[nodiscard]] simkern::VAddr region_start() const {
+    return simkern::page_align_down(vaddr);
+  }
+
+  /// Byte offset of `addr` into the TPT entry range, or nullopt when `addr`
+  /// (+ len) is outside the registered range.
+  [[nodiscard]] std::optional<std::uint64_t> offset_of(simkern::VAddr addr,
+                                                       std::uint64_t len) const {
+    if (addr < vaddr || addr + len > vaddr + length) return std::nullopt;
+    return addr - region_start();
+  }
+};
+
+}  // namespace vialock::via

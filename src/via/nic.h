@@ -1,0 +1,150 @@
+// nic.h - the simulated VIA NIC.
+//
+// Register-level model of a native VIA network interface (Giganet-cLAN /
+// VIA-capable PCI-SCI bridge class): virtual interfaces with work queues and
+// doorbells, a TPT, and a DMA engine. The crucial fidelity point: the DMA
+// engine addresses *physical frames* of the host's memory through the TPT.
+// It has no view of page tables, so when the swapper relocates a page that a
+// broken locking policy failed to pin, the NIC keeps using the old frame -
+// silently, with no fault - which is exactly the behaviour the paper's
+// locktest experiment exposes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "simkern/kernel.h"
+#include "via/descriptor.h"
+#include "via/tpt.h"
+#include "via/vi.h"
+
+namespace vialock::via {
+
+class Fabric;
+
+struct NicConfig {
+  std::uint32_t tpt_entries = 8192;  ///< 32 MB of registerable memory
+  std::uint32_t max_vis = 256;
+};
+
+struct NicStats {
+  std::uint64_t doorbells = 0;
+  std::uint64_t sends_posted = 0;
+  std::uint64_t recvs_posted = 0;
+  std::uint64_t sends_ok = 0;
+  std::uint64_t recvs_ok = 0;
+  std::uint64_t rdma_writes = 0;
+  std::uint64_t rdma_reads = 0;
+  std::uint64_t protection_errors = 0;
+  std::uint64_t no_recv_desc = 0;
+  std::uint64_t length_errors = 0;
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t bytes_rx = 0;
+  std::uint64_t tpt_writes = 0;
+};
+
+class Nic {
+ public:
+  Nic(simkern::Kernel& host, Clock& clock, const CostModel& costs,
+      NicConfig config = {});
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  // --- fabric attachment -----------------------------------------------------
+  void attach(Fabric* fabric, NodeId node_id) {
+    fabric_ = fabric;
+    node_id_ = node_id;
+  }
+  [[nodiscard]] NodeId node_id() const { return node_id_; }
+
+  // --- VI management -----------------------------------------------------------
+  [[nodiscard]] ViId create_vi(ProtectionTag tag, bool reliable = true);
+  [[nodiscard]] Vi& vi(ViId id);
+  [[nodiscard]] const Vi& vi(ViId id) const;
+  [[nodiscard]] bool vi_exists(ViId id) const;
+
+  // --- work queues (doorbell-triggered, executed synchronously) ----------------
+  [[nodiscard]] KStatus post_send(ViId id, Descriptor desc);
+  [[nodiscard]] KStatus post_recv(ViId id, Descriptor desc);
+  [[nodiscard]] std::optional<Descriptor> poll_send(ViId id);
+  [[nodiscard]] std::optional<Descriptor> poll_recv(ViId id);
+
+  // --- completion queues (VipCreateCQ / VipCQDone) ------------------------------
+  struct CqEntry {
+    ViId vi = kInvalidVi;
+    bool is_send = false;
+    Descriptor desc;
+  };
+  [[nodiscard]] CqId create_cq();
+  /// Route a VI's send / receive completions to a CQ (before any traffic).
+  [[nodiscard]] KStatus attach_send_cq(ViId vi, CqId cq);
+  [[nodiscard]] KStatus attach_recv_cq(ViId vi, CqId cq);
+  [[nodiscard]] std::optional<CqEntry> poll_cq(CqId cq);
+
+  // --- TPT (programmed by the kernel agent over PCI) ----------------------------
+  [[nodiscard]] Tpt& tpt() { return tpt_; }
+  [[nodiscard]] const Tpt& tpt() const { return tpt_; }
+  /// Write one TPT entry, charging the PCI register-write cost.
+  void program_tpt(TptIndex idx, const TptEntry& e);
+
+  // --- raw local DMA (used by locktest step 5: the kernel agent pokes the
+  //     physical page the NIC believes belongs to the registration) ------------
+  [[nodiscard]] KStatus dma_write_local(const MemHandle& mh, simkern::VAddr addr,
+                                        std::span<const std::byte> data);
+  [[nodiscard]] KStatus dma_read_local(const MemHandle& mh, simkern::VAddr addr,
+                                       std::span<std::byte> out);
+
+  // --- fabric-facing receive path ----------------------------------------------
+  struct Packet {
+    NodeId src_node = kInvalidNode;
+    ViId src_vi = kInvalidVi;
+    ViId dst_vi = kInvalidVi;
+    DescOp op = DescOp::Send;
+    std::vector<std::byte> payload;
+    RemoteSegment remote;  ///< RDMA target / source
+    std::uint32_t read_length = 0;  ///< RdmaRead: bytes requested
+    std::uint32_t immediate = 0;
+    bool has_immediate = false;
+  };
+
+  /// Deliver a packet arriving from the wire. Returns the status the sender's
+  /// descriptor completes with; for RdmaRead fills `read_back`.
+  [[nodiscard]] DescStatus deliver(Packet& pkt,
+                                   std::vector<std::byte>* read_back);
+
+  [[nodiscard]] const NicStats& stats() const { return stats_; }
+  [[nodiscard]] simkern::Kernel& host() { return host_; }
+
+ private:
+  /// Gather `seg` (under `tag`) from host physical memory, appending to `out`.
+  [[nodiscard]] bool gather(const DataSegment& seg, ProtectionTag tag,
+                            std::vector<std::byte>& out);
+  /// Gather every segment of `desc` in order.
+  [[nodiscard]] bool gather_desc(const Descriptor& desc, ProtectionTag tag,
+                                 std::vector<std::byte>& out);
+  /// Scatter `data` into `seg` (under `tag`) in host physical memory.
+  [[nodiscard]] bool scatter(const DataSegment& seg, ProtectionTag tag,
+                             std::span<const std::byte> data);
+  /// Scatter `data` across the segments of `desc` in order.
+  [[nodiscard]] bool scatter_desc(const Descriptor& desc, ProtectionTag tag,
+                                  std::span<const std::byte> data);
+  void complete_send(Vi& v, Descriptor desc, DescStatus st);
+  void complete_recv(Vi& v, Descriptor desc);
+  void break_vi(Vi& v);
+
+  simkern::Kernel& host_;
+  Clock& clock_;
+  const CostModel& costs_;
+  NicConfig config_;
+  Tpt tpt_;
+  std::vector<Vi> vis_;
+  std::vector<std::deque<CqEntry>> cqs_;
+  Fabric* fabric_ = nullptr;
+  NodeId node_id_ = kInvalidNode;
+  NicStats stats_;
+};
+
+}  // namespace vialock::via

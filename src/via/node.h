@@ -1,0 +1,69 @@
+// node.h - one cluster node (kernel + NIC + agent) and the Cluster helper
+// that wires several of them onto a shared fabric and virtual clock.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simkern/kernel.h"
+#include "util/clock.h"
+#include "util/cost_model.h"
+#include "via/fabric.h"
+#include "via/kernel_agent.h"
+#include "via/nic.h"
+#include "via/policy_factory.h"
+
+namespace vialock::via {
+
+struct NodeSpec {
+  simkern::KernelConfig kernel;
+  NicConfig nic;
+  PolicyKind policy = PolicyKind::Kiobuf;
+};
+
+/// A host: simulated kernel, VIA NIC, kernel agent with its lock policy.
+class Node {
+ public:
+  Node(const NodeSpec& spec, Clock& clock, const CostModel& costs)
+      : kernel_(spec.kernel, clock, costs),
+        nic_(kernel_, clock, costs, spec.nic),
+        policy_(make_policy(spec.policy, kernel_)),
+        agent_(kernel_, nic_, *policy_) {}
+
+  [[nodiscard]] simkern::Kernel& kernel() { return kernel_; }
+  [[nodiscard]] Nic& nic() { return nic_; }
+  [[nodiscard]] LockPolicy& policy() { return *policy_; }
+  [[nodiscard]] KernelAgent& agent() { return agent_; }
+
+ private:
+  simkern::Kernel kernel_;
+  Nic nic_;
+  std::unique_ptr<LockPolicy> policy_;
+  KernelAgent agent_;
+};
+
+/// A set of nodes on one fabric, sharing the virtual clock.
+class Cluster {
+ public:
+  explicit Cluster(CostModel costs = {}) : costs_(costs), fabric_(clock_, costs_) {}
+
+  NodeId add_node(const NodeSpec& spec) {
+    nodes_.push_back(std::make_unique<Node>(spec, clock_, costs_));
+    return fabric_.attach(nodes_.back()->nic());
+  }
+
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] Fabric& fabric() { return fabric_; }
+  [[nodiscard]] Clock& clock() { return clock_; }
+  [[nodiscard]] const CostModel& costs() const { return costs_; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+ private:
+  Clock clock_;
+  CostModel costs_;
+  Fabric fabric_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace vialock::via

@@ -1,0 +1,55 @@
+// policy_factory.h - enumerate and construct the locking policies by name,
+// so experiments can sweep over all of them uniformly.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string_view>
+
+#include "via/lock_policy.h"
+
+namespace vialock::via {
+
+enum class PolicyKind : std::uint8_t {
+  Refcount,      ///< Berkeley-VIA / M-VIA
+  PageFlag,      ///< Giganet cLAN
+  Mlock,         ///< VMA-based, no driver-side range tracking
+  MlockTracked,  ///< VMA-based with driver-side range refcounting
+  Kiobuf,        ///< the paper's proposal
+};
+
+inline constexpr std::array<PolicyKind, 5> kAllPolicies = {
+    PolicyKind::Refcount, PolicyKind::PageFlag, PolicyKind::Mlock,
+    PolicyKind::MlockTracked, PolicyKind::Kiobuf};
+
+[[nodiscard]] constexpr std::string_view to_string(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::Refcount: return "refcount (Berkeley/M-VIA)";
+    case PolicyKind::PageFlag: return "pageflag (Giganet)";
+    case PolicyKind::Mlock: return "mlock (VMA)";
+    case PolicyKind::MlockTracked: return "mlock+track (VMA)";
+    case PolicyKind::Kiobuf: return "kiobuf (proposed)";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline std::unique_ptr<LockPolicy> make_policy(
+    PolicyKind kind, simkern::Kernel& kern) {
+  switch (kind) {
+    case PolicyKind::Refcount:
+      return std::make_unique<RefcountLockPolicy>(kern);
+    case PolicyKind::PageFlag:
+      return std::make_unique<PageFlagLockPolicy>(kern);
+    case PolicyKind::Mlock:
+      return std::make_unique<MlockLockPolicy>(kern);
+    case PolicyKind::MlockTracked:
+      return std::make_unique<MlockLockPolicy>(
+          kern, MlockLockPolicy::Options{.userdma_patch = false,
+                                         .track_ranges = true});
+    case PolicyKind::Kiobuf:
+      return std::make_unique<KiobufLockPolicy>(kern);
+  }
+  return nullptr;
+}
+
+}  // namespace vialock::via

@@ -1,0 +1,71 @@
+#include "via/remote_window.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace vialock::via {
+
+using simkern::kPageSize;
+
+std::optional<RemoteWindow> RemoteWindow::import(Fabric& fabric,
+                                                 NodeId local_node,
+                                                 NodeId remote_node,
+                                                 const MemHandle& exported) {
+  if (local_node >= fabric.num_nodes() || remote_node >= fabric.num_nodes())
+    return std::nullopt;
+  if (!exported.valid() || exported.length == 0) return std::nullopt;
+  // Import = set up the downstream translation; validated against the
+  // exporter's live TPT state (first page suffices: contiguous range).
+  const Tpt& tpt = fabric.nic(remote_node).tpt();
+  const auto base_off = exported.offset_of(exported.vaddr, 1);
+  if (!base_off) return std::nullopt;
+  if (!tpt.translate(exported.tpt_base, exported.pages, *base_off,
+                     exported.tag, false, false)) {
+    return std::nullopt;
+  }
+  fabric.clock().advance(fabric.costs().syscall);  // the mapping ioctl
+  return RemoteWindow(fabric, local_node, remote_node, exported);
+}
+
+KStatus RemoteWindow::access(std::uint64_t offset, std::span<std::byte> rd,
+                             std::span<const std::byte> wr) {
+  const std::uint64_t len = rd.empty() ? wr.size() : rd.size();
+  if (len == 0) return KStatus::Ok;
+  if (offset + len > handle_.length) return KStatus::Inval;
+  Nic& remote_nic = fabric_->nic(remote_);
+  const auto base_off = handle_.offset_of(handle_.vaddr + offset, len);
+  if (!base_off) return KStatus::Fault;
+
+  std::uint64_t done = 0;
+  while (done < len) {
+    const auto tr = remote_nic.tpt().translate(
+        handle_.tpt_base, handle_.pages, *base_off + done, handle_.tag,
+        /*rdma_write=*/false, /*rdma_read=*/false);
+    if (!tr) return KStatus::Fault;  // deregistered or protection change
+    const auto chunk =
+        std::min<std::uint64_t>(len - done, kPageSize - tr->page_offset);
+    auto frame = remote_nic.host().phys().frame(tr->pfn);
+    if (!wr.empty()) {
+      std::memcpy(frame.data() + tr->page_offset, wr.data() + done, chunk);
+    } else {
+      std::memcpy(rd.data() + done, frame.data() + tr->page_offset, chunk);
+    }
+    done += chunk;
+  }
+  const CostModel& c = fabric_->costs();
+  fabric_->clock().advance(wr.empty()
+                               ? c.pio_read_rtt + len * c.pio_per_byte
+                               : c.pio_store_latency + len * c.pio_per_byte);
+  return KStatus::Ok;
+}
+
+KStatus RemoteWindow::store(std::uint64_t offset,
+                            std::span<const std::byte> data) {
+  return access(offset, {}, data);
+}
+
+KStatus RemoteWindow::load(std::uint64_t offset, std::span<std::byte> out) {
+  return access(offset, out, {});
+}
+
+}  // namespace vialock::via

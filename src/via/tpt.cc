@@ -1,0 +1,51 @@
+#include "via/tpt.h"
+
+#include <cassert>
+
+namespace vialock::via {
+
+TptIndex Tpt::alloc(std::uint32_t count) {
+  if (count == 0 || count > capacity()) return kInvalidTptIndex;
+  std::uint32_t run = 0;
+  for (std::uint32_t i = 0; i < capacity(); ++i) {
+    run = allocated_[i] ? 0 : run + 1;
+    if (run == count) {
+      const TptIndex base = i + 1 - count;
+      for (std::uint32_t j = base; j <= i; ++j) allocated_[j] = true;
+      used_ += count;
+      return base;
+    }
+  }
+  return kInvalidTptIndex;
+}
+
+void Tpt::release(TptIndex base, std::uint32_t count) {
+  assert(base + count <= capacity());
+  for (std::uint32_t j = base; j < base + count; ++j) {
+    assert(allocated_[j] && "releasing unallocated TPT entry");
+    allocated_[j] = false;
+    entries_[j] = TptEntry{};
+  }
+  used_ -= count;
+}
+
+std::optional<Tpt::Translation> Tpt::translate(TptIndex base,
+                                               std::uint32_t count,
+                                               std::uint64_t offset,
+                                               ProtectionTag tag,
+                                               bool rdma_write,
+                                               bool rdma_read) const {
+  const auto page = static_cast<std::uint32_t>(offset >> simkern::kPageShift);
+  if (page >= count) return std::nullopt;
+  const TptIndex idx = base + page;
+  if (idx >= capacity()) return std::nullopt;
+  const TptEntry& e = entries_[idx];
+  if (!e.valid) return std::nullopt;
+  if (e.tag != tag) return std::nullopt;  // the protection-tag check
+  if (rdma_write && !e.rdma_write_enable) return std::nullopt;
+  if (rdma_read && !e.rdma_read_enable) return std::nullopt;
+  return Translation{e.pfn,
+                     static_cast<std::uint32_t>(offset & simkern::kPageMask)};
+}
+
+}  // namespace vialock::via

@@ -1,0 +1,76 @@
+// tpt.h - the NIC's Translation and Protection Table.
+//
+// Registered communication memory lives here: one entry per user page holding
+// the physical frame number and the protection tag of the owning process
+// (VIA spec sections the paper summarises in its introduction). Every DMA
+// access the NIC performs is translated and checked through this table - so
+// a stale entry (frame relocated by the swapper) makes the NIC silently DMA
+// to the wrong physical page, the failure mode of the whole paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "simkern/types.h"
+#include "util/status.h"
+
+namespace vialock::via {
+
+/// Protection tag: one per process (created at VipCreatePtag). Tag 0 invalid.
+using ProtectionTag = std::uint32_t;
+inline constexpr ProtectionTag kInvalidTag = 0;
+
+/// Index into the TPT; a registered region occupies a contiguous entry range.
+using TptIndex = std::uint32_t;
+inline constexpr TptIndex kInvalidTptIndex = static_cast<TptIndex>(-1);
+
+struct TptEntry {
+  bool valid = false;
+  simkern::Pfn pfn = simkern::kInvalidPfn;
+  ProtectionTag tag = kInvalidTag;
+  bool rdma_write_enable = false;
+  bool rdma_read_enable = false;
+};
+
+class Tpt {
+ public:
+  explicit Tpt(std::uint32_t num_entries) : entries_(num_entries) {}
+
+  [[nodiscard]] std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(entries_.size());
+  }
+  [[nodiscard]] std::uint32_t used() const { return used_; }
+  [[nodiscard]] std::uint32_t free_entries() const { return capacity() - used_; }
+
+  /// Allocate `count` contiguous entries (first-fit); kInvalidTptIndex if full.
+  [[nodiscard]] TptIndex alloc(std::uint32_t count);
+
+  /// Release a range previously returned by alloc().
+  void release(TptIndex base, std::uint32_t count);
+
+  void set(TptIndex idx, const TptEntry& e) { entries_[idx] = e; }
+  [[nodiscard]] const TptEntry& get(TptIndex idx) const { return entries_[idx]; }
+  [[nodiscard]] TptEntry& get_mutable(TptIndex idx) { return entries_[idx]; }
+
+  struct Translation {
+    simkern::Pfn pfn;
+    std::uint32_t page_offset;
+  };
+
+  /// Translate (base entry, byte offset) under `tag`; checks validity, tag
+  /// match and - when `rdma_write`/`rdma_read` - the RDMA enable attributes.
+  [[nodiscard]] std::optional<Translation> translate(TptIndex base,
+                                                     std::uint32_t count,
+                                                     std::uint64_t offset,
+                                                     ProtectionTag tag,
+                                                     bool rdma_write,
+                                                     bool rdma_read) const;
+
+ private:
+  std::vector<TptEntry> entries_;
+  std::vector<bool> allocated_ = std::vector<bool>(entries_.size(), false);
+  std::uint32_t used_ = 0;
+};
+
+}  // namespace vialock::via

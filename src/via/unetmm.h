@@ -1,0 +1,88 @@
+// unetmm.h - the U-Net/MM design point, implemented for comparison.
+//
+// The paper's introduction contrasts VIA's mandatory pinning with its
+// predecessor U-Net/MM, which "allows communication memory to be swapped out
+// by maintaining a Translation Lookaside Buffer on the NIC, which is kept
+// consistent with the kernel page tables", noting that VIA's pinning "saves
+// the expensive page-in operations during communication".
+//
+// UnetMmAgent registers memory WITHOUT pinning: the TPT acts as the NIC TLB.
+// An MmuNotifier subscription invalidates TPT entries whenever the kernel
+// tears a translation down (swap-out, COW, munmap). When the NIC then
+// touches an invalid entry, the access faults to the host: the driver pages
+// the memory back in, reprograms the entry and retries - correct, but paying
+// an interrupt plus (possibly) a disk read on the data path, which is
+// exactly the cost VIA's pinning avoids. Experiment E11 quantifies the trade.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "simkern/kernel.h"
+#include "util/status.h"
+#include "via/nic.h"
+
+namespace vialock::via {
+
+struct UnetMmStats {
+  std::uint64_t registrations = 0;
+  std::uint64_t invalidations = 0;   ///< TPT entries shot down by the kernel
+  std::uint64_t nic_faults = 0;      ///< DMA accesses that hit invalid entries
+  std::uint64_t repair_pageins = 0;  ///< repairs that required swap-ins
+};
+
+class UnetMmAgent final : public simkern::MmuNotifier {
+ public:
+  UnetMmAgent(simkern::Kernel& kern, Nic& nic);
+  ~UnetMmAgent() override;
+
+  UnetMmAgent(const UnetMmAgent&) = delete;
+  UnetMmAgent& operator=(const UnetMmAgent&) = delete;
+
+  [[nodiscard]] ProtectionTag create_ptag(simkern::Pid pid);
+
+  /// Register without pinning: fault the range in, fill the TPT (the "TLB").
+  [[nodiscard]] KStatus register_mem(simkern::Pid pid, simkern::VAddr addr,
+                                     std::uint64_t len, ProtectionTag tag,
+                                     MemHandle& out);
+  [[nodiscard]] KStatus deregister_mem(const MemHandle& handle);
+
+  /// NIC-side DMA with the fault-and-repair path: on an invalid TPT entry
+  /// the "NIC" interrupts, the driver pages in + reprograms, and the access
+  /// retries. These wrap Nic::dma_*_local the way the U-Net/MM firmware
+  /// would.
+  [[nodiscard]] KStatus dma_write(const MemHandle& handle, simkern::VAddr addr,
+                                  std::span<const std::byte> data);
+  [[nodiscard]] KStatus dma_read(const MemHandle& handle, simkern::VAddr addr,
+                                 std::span<std::byte> out);
+
+  // MmuNotifier:
+  void on_invalidate(simkern::Pid pid, simkern::VAddr vaddr,
+                     simkern::Pfn old_pfn) override;
+
+  [[nodiscard]] const UnetMmStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t live_registrations() const { return regs_.size(); }
+
+ private:
+  struct Registration {
+    MemHandle handle;
+    simkern::Pid pid;
+  };
+
+  /// Re-validate the invalid TPT entries covering [addr, addr+len) (page-in
+  /// + reprogram), charging the NIC-fault cost once. Per-access repair, like
+  /// a real fault handler - repairing the whole registration at once would
+  /// thrash under the very pressure that caused the fault.
+  [[nodiscard]] KStatus repair(Registration& reg, simkern::VAddr addr,
+                               std::uint64_t len);
+
+  simkern::Kernel& kern_;
+  Nic& nic_;
+  UnetMmStats stats_;
+  std::unordered_map<std::uint64_t, Registration> regs_;
+  std::uint64_t next_reg_id_ = 1;
+  ProtectionTag next_tag_ = 1;
+};
+
+}  // namespace vialock::via

@@ -1,0 +1,40 @@
+// vi.h - Virtual Interfaces: per-process protected channels into the NIC.
+//
+// A VI is a pair of work queues plus doorbells, bound to one protection tag.
+// The tag binding is how VIA enforces that a process can only move memory it
+// registered itself: descriptors posted on this VI are checked against the
+// TPT under this tag.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "via/descriptor.h"
+#include "via/tpt.h"
+
+namespace vialock::via {
+
+enum class ViState : std::uint8_t { Idle, Connected, Error };
+
+/// Completion queue identifier (VIs may direct completions to shared CQs).
+using CqId = std::uint32_t;
+inline constexpr CqId kInvalidCq = static_cast<CqId>(-1);
+
+struct Vi {
+  ViId id = kInvalidVi;
+  ProtectionTag tag = kInvalidTag;
+  ViState state = ViState::Idle;
+  NodeId peer_node = kInvalidNode;
+  ViId peer_vi = kInvalidVi;
+  bool reliable = true;  ///< reliable delivery: errors break the connection
+  CqId send_cq = kInvalidCq;  ///< send completions route here when set
+  CqId recv_cq = kInvalidCq;  ///< receive completions route here when set
+
+  std::deque<Descriptor> recv_queue;      ///< posted, not yet consumed
+  std::deque<Descriptor> send_completed;  ///< completions awaiting poll
+  std::deque<Descriptor> recv_completed;
+
+  [[nodiscard]] bool connected() const { return state == ViState::Connected; }
+};
+
+}  // namespace vialock::via

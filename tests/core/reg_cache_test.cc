@@ -1,0 +1,210 @@
+// reg_cache_test.cc - registration caching: hits, idle retention, eviction
+// policies and behaviour under TPT exhaustion.
+#include "core/reg_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "../via/via_util.h"
+
+namespace vialock::core {
+namespace {
+
+using simkern::kPageSize;
+using test::must_mmap;
+
+struct CacheBox {
+  explicit CacheBox(std::uint32_t tpt_entries = 64,
+                    RegistrationCache::Config cfg = {})
+      : node(test::small_node(via::PolicyKind::Kiobuf, 512, tpt_entries),
+             clock, costs),
+        pid(node.kernel().create_task("app")),
+        vipl(node.agent(), pid) {
+    EXPECT_TRUE(ok(vipl.open()));
+    cache = std::make_unique<RegistrationCache>(vipl, cfg);
+  }
+  Clock clock;
+  CostModel costs;
+  via::Node node;
+  simkern::Pid pid;
+  via::Vipl vipl;
+  std::unique_ptr<RegistrationCache> cache;
+};
+
+TEST(RegCache, MissRegistersHitReuses) {
+  CacheBox box;
+  const auto a = must_mmap(box.node.kernel(), box.pid, 8);
+  via::MemHandle h1;
+  ASSERT_TRUE(ok(box.cache->acquire(a, 4 * kPageSize, h1)));
+  EXPECT_EQ(box.cache->stats().misses, 1u);
+  box.cache->release(h1);
+  via::MemHandle h2;
+  ASSERT_TRUE(ok(box.cache->acquire(a, 4 * kPageSize, h2)));
+  EXPECT_EQ(box.cache->stats().hits, 1u);
+  EXPECT_EQ(h2.id, h1.id) << "same registration reused";
+  EXPECT_EQ(box.cache->stats().registrations, 1u);
+  box.cache->release(h2);
+}
+
+TEST(RegCache, SubRangeOfCachedRegionHits) {
+  CacheBox box;
+  const auto a = must_mmap(box.node.kernel(), box.pid, 8);
+  via::MemHandle big;
+  ASSERT_TRUE(ok(box.cache->acquire(a, 8 * kPageSize, big)));
+  via::MemHandle sub;
+  ASSERT_TRUE(ok(box.cache->acquire(a + kPageSize, 2 * kPageSize, sub)));
+  EXPECT_EQ(box.cache->stats().hits, 1u);
+  EXPECT_EQ(sub.id, big.id);
+  box.cache->release(big);
+  box.cache->release(sub);
+  EXPECT_EQ(box.cache->idle_cached(), 1u);
+}
+
+TEST(RegCache, DisjointRangesRegisterSeparately) {
+  CacheBox box;
+  const auto a = must_mmap(box.node.kernel(), box.pid, 16);
+  via::MemHandle h1;
+  via::MemHandle h2;
+  ASSERT_TRUE(ok(box.cache->acquire(a, 2 * kPageSize, h1)));
+  ASSERT_TRUE(ok(box.cache->acquire(a + 8 * kPageSize, 2 * kPageSize, h2)));
+  EXPECT_EQ(box.cache->stats().registrations, 2u);
+  box.cache->release(h1);
+  box.cache->release(h2);
+}
+
+TEST(RegCache, PolicyNoneDeregistersImmediately) {
+  RegistrationCache::Config cfg;
+  cfg.policy = EvictionPolicy::None;
+  CacheBox box(64, cfg);
+  const auto a = must_mmap(box.node.kernel(), box.pid, 4);
+  via::MemHandle h;
+  ASSERT_TRUE(ok(box.cache->acquire(a, 2 * kPageSize, h)));
+  box.cache->release(h);
+  EXPECT_EQ(box.cache->idle_cached(), 0u);
+  EXPECT_EQ(box.cache->stats().deregistrations, 1u);
+  EXPECT_EQ(box.node.nic().tpt().used(), 0u);
+  // Next acquire is a miss again.
+  ASSERT_TRUE(ok(box.cache->acquire(a, 2 * kPageSize, h)));
+  EXPECT_EQ(box.cache->stats().misses, 2u);
+  box.cache->release(h);
+}
+
+TEST(RegCache, TptPressureEvictsIdleEntries) {
+  CacheBox box(/*tpt_entries=*/16);
+  const auto a = must_mmap(box.node.kernel(), box.pid, 32);
+  // Fill the TPT with idle cached registrations (4 x 4 pages = 16 entries).
+  for (int i = 0; i < 4; ++i) {
+    via::MemHandle h;
+    ASSERT_TRUE(
+        ok(box.cache->acquire(a + i * 4 * kPageSize, 4 * kPageSize, h)));
+    box.cache->release(h);
+  }
+  EXPECT_EQ(box.node.nic().tpt().free_entries(), 0u);
+  // A new range must evict to make room.
+  via::MemHandle h;
+  ASSERT_TRUE(ok(box.cache->acquire(a + 16 * kPageSize, 4 * kPageSize, h)));
+  EXPECT_GE(box.cache->stats().evictions, 1u);
+  box.cache->release(h);
+}
+
+TEST(RegCache, LiveEntriesAreNeverEvicted) {
+  CacheBox box(/*tpt_entries=*/8);
+  const auto a = must_mmap(box.node.kernel(), box.pid, 32);
+  via::MemHandle live;
+  ASSERT_TRUE(ok(box.cache->acquire(a, 8 * kPageSize, live)));  // fills TPT
+  via::MemHandle h;
+  EXPECT_EQ(box.cache->acquire(a + 16 * kPageSize, 4 * kPageSize, h),
+            KStatus::NoSpc)
+      << "nothing evictable: the only entry is live";
+  box.cache->release(live);
+}
+
+TEST(RegCache, LruEvictsLeastRecentlyUsed) {
+  CacheBox box(/*tpt_entries=*/8);
+  const auto a = must_mmap(box.node.kernel(), box.pid, 32);
+  via::MemHandle h1;
+  via::MemHandle h2;
+  ASSERT_TRUE(ok(box.cache->acquire(a, 4 * kPageSize, h1)));
+  ASSERT_TRUE(ok(box.cache->acquire(a + 8 * kPageSize, 4 * kPageSize, h2)));
+  box.cache->release(h1);
+  box.cache->release(h2);
+  // Touch h1's range so h2 becomes LRU.
+  via::MemHandle tmp;
+  ASSERT_TRUE(ok(box.cache->acquire(a, kPageSize, tmp)));
+  box.cache->release(tmp);
+  // New range forces one eviction: h2's range must go, h1's must survive.
+  via::MemHandle h3;
+  ASSERT_TRUE(ok(box.cache->acquire(a + 16 * kPageSize, 4 * kPageSize, h3)));
+  via::MemHandle again;
+  ASSERT_TRUE(ok(box.cache->acquire(a, kPageSize, again)));
+  EXPECT_EQ(again.id, h1.id) << "recently-used entry survived LRU eviction";
+  box.cache->release(h3);
+  box.cache->release(again);
+}
+
+TEST(RegCache, FifoEvictsOldest) {
+  RegistrationCache::Config cfg;
+  cfg.policy = EvictionPolicy::Fifo;
+  CacheBox box(/*tpt_entries=*/8, cfg);
+  const auto a = must_mmap(box.node.kernel(), box.pid, 32);
+  via::MemHandle h1;
+  via::MemHandle h2;
+  ASSERT_TRUE(ok(box.cache->acquire(a, 4 * kPageSize, h1)));
+  box.cache->release(h1);
+  ASSERT_TRUE(ok(box.cache->acquire(a + 8 * kPageSize, 4 * kPageSize, h2)));
+  box.cache->release(h2);
+  // Re-touching h1 does NOT save it under FIFO.
+  via::MemHandle tmp;
+  ASSERT_TRUE(ok(box.cache->acquire(a, kPageSize, tmp)));
+  box.cache->release(tmp);
+  via::MemHandle h3;
+  ASSERT_TRUE(ok(box.cache->acquire(a + 16 * kPageSize, 4 * kPageSize, h3)));
+  via::MemHandle probe;
+  ASSERT_TRUE(ok(box.cache->acquire(a + 8 * kPageSize, kPageSize, probe)));
+  EXPECT_EQ(probe.id, h2.id) << "second-registered entry should have survived";
+  box.cache->release(h3);
+  box.cache->release(probe);
+}
+
+TEST(RegCache, FlushDropsIdleKeepsLive) {
+  CacheBox box;
+  const auto a = must_mmap(box.node.kernel(), box.pid, 16);
+  via::MemHandle live;
+  via::MemHandle idle;
+  ASSERT_TRUE(ok(box.cache->acquire(a, 2 * kPageSize, live)));
+  ASSERT_TRUE(ok(box.cache->acquire(a + 8 * kPageSize, 2 * kPageSize, idle)));
+  box.cache->release(idle);
+  box.cache->flush();
+  EXPECT_EQ(box.cache->live(), 1u);
+  EXPECT_EQ(box.cache->idle_cached(), 0u);
+  box.cache->release(live);
+}
+
+TEST(RegCache, MaxIdleCapEnforced) {
+  RegistrationCache::Config cfg;
+  cfg.max_idle = 2;
+  CacheBox box(/*tpt_entries=*/64, cfg);
+  const auto a = must_mmap(box.node.kernel(), box.pid, 32);
+  for (int i = 0; i < 5; ++i) {
+    via::MemHandle h;
+    ASSERT_TRUE(ok(box.cache->acquire(a + i * 4 * kPageSize, kPageSize, h)));
+    box.cache->release(h);
+  }
+  EXPECT_LE(box.cache->idle_cached(), 2u);
+}
+
+TEST(RegCache, RefcountedAcquireReleaseBalance) {
+  CacheBox box;
+  const auto a = must_mmap(box.node.kernel(), box.pid, 8);
+  via::MemHandle h1;
+  via::MemHandle h2;
+  ASSERT_TRUE(ok(box.cache->acquire(a, 4 * kPageSize, h1)));
+  ASSERT_TRUE(ok(box.cache->acquire(a, 4 * kPageSize, h2)));  // hit, refs=2
+  box.cache->release(h1);
+  // Still live: not evictable, not idle.
+  EXPECT_EQ(box.cache->idle_cached(), 0u);
+  box.cache->release(h2);
+  EXPECT_EQ(box.cache->idle_cached(), 1u);
+}
+
+}  // namespace
+}  // namespace vialock::core

@@ -1,0 +1,87 @@
+// determinism_test.cc - the whole simulation is a pure function of its
+// inputs: identical scenarios produce bit-identical virtual times, stats and
+// experiment outcomes. This is what makes the benches reproducible anywhere.
+#include <gtest/gtest.h>
+
+#include "experiments/locktest.h"
+#include "msg/transport.h"
+#include "via/via_util.h"
+
+namespace vialock {
+namespace {
+
+struct LocktestFingerprint {
+  std::uint32_t relocated;
+  std::uint64_t swapped;
+  Nanos final_time;
+  std::uint64_t syscalls;
+
+  bool operator==(const LocktestFingerprint&) const = default;
+};
+
+LocktestFingerprint run_locktest_once(via::PolicyKind policy) {
+  Clock clock;
+  CostModel costs;
+  via::Node node(test::small_node(policy, /*frames=*/1024), clock, costs);
+  node.kernel().mutable_stats() = simkern::KernelStats{};
+  const auto r = experiments::run_locktest(node, {});
+  return {r.pages_relocated, r.pages_swapped_out, clock.now(),
+          node.kernel().stats().syscalls};
+}
+
+TEST(Determinism, LocktestIsBitReproducible) {
+  for (const via::PolicyKind policy :
+       {via::PolicyKind::Refcount, via::PolicyKind::Kiobuf}) {
+    const auto a = run_locktest_once(policy);
+    const auto b = run_locktest_once(policy);
+    EXPECT_EQ(a, b) << "policy " << to_string(policy);
+    EXPECT_GT(a.final_time, 0u);
+  }
+}
+
+Nanos run_transfer_scenario() {
+  via::Cluster cluster;
+  const auto n0 = cluster.add_node(test::small_node());
+  const auto n1 = cluster.add_node(test::small_node());
+  msg::Channel::Config cfg;
+  cfg.user_heap_bytes = 512 * 1024;
+  cfg.preregister_heaps = true;
+  msg::Channel ch(cluster, n0, n1, cfg);
+  EXPECT_TRUE(ok(ch.init()));
+  std::vector<std::byte> data(48 * 1024, std::byte{0x42});
+  EXPECT_TRUE(ok(ch.stage(0, data)));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ok(ch.transfer_auto(0, 0, 48 * 1024)));
+    EXPECT_TRUE(ok(ch.transfer(msg::Protocol::Eager, 0, 0, 512)));
+  }
+  return cluster.clock().now();
+}
+
+TEST(Determinism, TransferScenarioIsBitReproducible) {
+  const Nanos a = run_transfer_scenario();
+  const Nanos b = run_transfer_scenario();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, CostModelChangesMoveTheClockPredictably) {
+  // Doubling the path streaming cost must increase a transfer's time by
+  // exactly the payload's share - the cost model composes linearly.
+  auto run = [](Nanos path_per_byte) {
+    CostModel costs;
+    costs.dma_path_per_byte = path_per_byte;
+    via::Cluster cluster(costs);
+    const auto n0 = cluster.add_node(test::small_node());
+    const auto n1 = cluster.add_node(test::small_node());
+    msg::Channel ch(cluster, n0, n1, msg::Channel::Config{});
+    EXPECT_TRUE(ok(ch.init()));
+    const Nanos before = cluster.clock().now();
+    EXPECT_TRUE(ok(ch.transfer(msg::Protocol::Eager, 0, 0, 4096)));
+    return cluster.clock().now() - before;
+  };
+  const Nanos base = run(11);
+  const Nanos doubled = run(22);
+  EXPECT_EQ(doubled - base, 11u * 4096u);
+}
+
+}  // namespace
+}  // namespace vialock

@@ -1,0 +1,141 @@
+// locktest_test.cc - the paper's headline experiment as a test matrix:
+// refcount locking fails under pressure, all real locking survives, and the
+// no-pressure control passes for everyone.
+#include "experiments/locktest.h"
+
+#include <gtest/gtest.h>
+
+#include "../via/via_util.h"
+#include "experiments/pressure.h"
+
+namespace vialock::experiments {
+namespace {
+
+using via::PolicyKind;
+
+via::NodeSpec locktest_node(PolicyKind policy) {
+  via::NodeSpec spec;
+  spec.kernel.frames = 1024;       // 4 MB
+  spec.kernel.reserved_low = 8;
+  spec.kernel.swap_slots = 4096;   // 16 MB swap
+  spec.kernel.free_pages_min = 8;
+  spec.kernel.swap_cluster = 16;
+  spec.nic.tpt_entries = 256;
+  spec.policy = policy;
+  return spec;
+}
+
+LocktestResult run(PolicyKind policy, const LocktestConfig& cfg = {}) {
+  Clock clock;
+  CostModel costs;
+  via::Node node(locktest_node(policy), clock, costs);
+  return run_locktest(node, cfg);
+}
+
+TEST(Locktest, RefcountPolicyFailsUnderPressure) {
+  const LocktestResult r = run(PolicyKind::Refcount);
+  ASSERT_TRUE(ok(r.status));
+  // "In most cases we observed ... all physical addresses had changed and
+  // the first page still contained its original value."
+  EXPECT_FALSE(r.consistent());
+  EXPECT_GT(r.pages_relocated, 0u);
+  EXPECT_FALSE(r.dma_write_visible);
+  EXPECT_FALSE(r.nic_read_current);
+  // "the system stability is not affected by this lapse": data is intact and
+  // the stale frames were merely leaked, not corrupted.
+  EXPECT_TRUE(r.data_intact);
+  EXPECT_EQ(r.frames_detached, r.pages_relocated);
+  EXPECT_GT(r.pages_swapped_out, 0u);
+}
+
+TEST(Locktest, RefcountPolicyPassesWithoutPressure) {
+  LocktestConfig cfg;
+  cfg.run_pressure = false;
+  const LocktestResult r = run(PolicyKind::Refcount, cfg);
+  ASSERT_TRUE(ok(r.status));
+  EXPECT_TRUE(r.consistent()) << "without swapping nothing relocates";
+}
+
+class ReliableLocktest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(ReliableLocktest, SurvivesPressure) {
+  const LocktestResult r = run(GetParam());
+  ASSERT_TRUE(ok(r.status));
+  EXPECT_TRUE(r.consistent()) << "policy must hold TPT and MMU consistent";
+  EXPECT_EQ(r.pages_relocated, 0u);
+  EXPECT_TRUE(r.dma_write_visible);
+  EXPECT_TRUE(r.data_intact);
+  EXPECT_GT(r.pages_swapped_out, 0u)
+      << "pressure must actually have caused swapping elsewhere";
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ReliableLocktest,
+                         ::testing::Values(PolicyKind::PageFlag,
+                                           PolicyKind::Mlock,
+                                           PolicyKind::MlockTracked,
+                                           PolicyKind::Kiobuf),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case PolicyKind::PageFlag: return "pageflag";
+                             case PolicyKind::Mlock: return "mlock";
+                             case PolicyKind::MlockTracked: return "mlocktrack";
+                             case PolicyKind::Kiobuf: return "kiobuf";
+                             default: return "other";
+                           }
+                         });
+
+class LocktestSizeSweep
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LocktestSizeSweep, KiobufConsistentAcrossRegionSizes) {
+  LocktestConfig cfg;
+  cfg.region_pages = GetParam();
+  const LocktestResult r = run(PolicyKind::Kiobuf, cfg);
+  ASSERT_TRUE(ok(r.status));
+  EXPECT_TRUE(r.consistent());
+}
+
+TEST_P(LocktestSizeSweep, RefcountRelocatesAcrossRegionSizes) {
+  LocktestConfig cfg;
+  cfg.region_pages = GetParam();
+  const LocktestResult r = run(PolicyKind::Refcount, cfg);
+  ASSERT_TRUE(ok(r.status));
+  EXPECT_GT(r.pages_relocated, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pages, LocktestSizeSweep,
+                         ::testing::Values(1u, 8u, 64u, 200u));
+
+TEST(Pressure, AllocatorForcesSwappingAndReportsCounts) {
+  Clock clock;
+  simkern::Kernel kern(test::small_config(256, 2048), clock);
+  const auto victim = kern.create_task("victim");
+  const auto a = test::must_mmap(kern, victim, 32);
+  for (int p = 0; p < 32; ++p)
+    ASSERT_TRUE(ok(kern.touch(victim, a + p * simkern::kPageSize, true)));
+  const PressureResult pr = apply_memory_pressure(kern, 1.5);
+  EXPECT_TRUE(ok(pr.status));
+  EXPECT_GE(pr.pages_touched,
+            static_cast<std::uint64_t>(256 * 1.5) - 1);
+  EXPECT_GT(pr.swap_outs, 0u);
+  // The victim's cold pages were among those evicted.
+  EXPECT_LT(kern.task(victim).mm.rss, 32u);
+  kern.exit_task(pr.allocator_pid);
+}
+
+TEST(Pressure, FactorScalesSwapActivity) {
+  auto swap_outs_at = [](double factor) {
+    Clock clock;
+    simkern::Kernel kern(test::small_config(256, 4096), clock);
+    const PressureResult pr = apply_memory_pressure(kern, factor);
+    EXPECT_TRUE(ok(pr.status));
+    return pr.swap_outs;
+  };
+  const auto low = swap_outs_at(0.5);   // fits in RAM: no swapping
+  const auto high = swap_outs_at(2.0);  // double RAM: heavy swapping
+  EXPECT_EQ(low, 0u);
+  EXPECT_GT(high, 256u);
+}
+
+}  // namespace
+}  // namespace vialock::experiments

@@ -1,0 +1,212 @@
+// integration_test.cc - whole-system scenarios: end-to-end transfers under
+// real memory pressure, per locking policy; fork interactions; multi-process
+// isolation with reclaim in the loop.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "experiments/pressure.h"
+#include "msg/transport.h"
+#include "util/rng.h"
+#include "via/via_util.h"
+
+namespace vialock {
+namespace {
+
+using simkern::kPageSize;
+using test::must_mmap;
+
+std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next() & 0xFF);
+  return out;
+}
+
+/// Build a channel on nodes running `policy`, pre-register heaps, stage a
+/// payload, apply memory pressure on BOTH nodes, re-stage a fresh payload,
+/// transfer over the (old) registrations and compare.
+/// Returns true iff the received data matches what the sender staged.
+bool transfer_correct_under_pressure(via::PolicyKind policy) {
+  via::Cluster cluster;
+  via::NodeSpec spec;
+  spec.kernel.frames = 2048;
+  spec.kernel.swap_slots = 8192;
+  spec.nic.tpt_entries = 2048;
+  spec.policy = policy;
+  const auto n0 = cluster.add_node(spec);
+  const auto n1 = cluster.add_node(spec);
+  msg::Channel::Config cfg;
+  cfg.user_heap_bytes = 512 * 1024;  // 128 pages, pre-registered
+  cfg.preregister_heaps = true;
+  msg::Channel channel(cluster, n0, n1, cfg);
+  EXPECT_TRUE(ok(channel.init()));
+
+  constexpr std::uint32_t kLen = 256 * 1024;
+  const auto warmup = pattern(kLen, 1);
+  EXPECT_TRUE(ok(channel.stage(0, warmup)));
+
+  // Memory pressure on both hosts: with a broken policy the registered
+  // heaps are swapped out and relocate on the next touch.
+  const auto pr0 =
+      experiments::apply_memory_pressure(cluster.node(n0).kernel(), 1.5);
+  const auto pr1 =
+      experiments::apply_memory_pressure(cluster.node(n1).kernel(), 1.5);
+  EXPECT_TRUE(ok(pr0.status));
+  EXPECT_TRUE(ok(pr1.status));
+
+  // Fresh payload: the stage() faults the (possibly relocated) pages in.
+  const auto payload = pattern(kLen, 2);
+  EXPECT_TRUE(ok(channel.stage(0, payload)));
+
+  // Pure RDMA over the registrations made at init time.
+  if (!ok(channel.transfer(msg::Protocol::Preregistered, 0, 0, kLen)))
+    return false;
+  std::vector<std::byte> out(kLen);
+  EXPECT_TRUE(ok(channel.fetch(0, out)));
+  return out == payload;
+}
+
+TEST(Integration, KiobufTransfersStayCorrectUnderPressure) {
+  EXPECT_TRUE(transfer_correct_under_pressure(via::PolicyKind::Kiobuf));
+}
+
+TEST(Integration, MlockTransfersStayCorrectUnderPressure) {
+  EXPECT_TRUE(transfer_correct_under_pressure(via::PolicyKind::Mlock));
+}
+
+TEST(Integration, RefcountTransfersSilentlyCorruptUnderPressure) {
+  // The end-to-end consequence of the locktest result: the NIC moves bytes
+  // from/into stale frames - the transfer "succeeds" but carries wrong data.
+  EXPECT_FALSE(transfer_correct_under_pressure(via::PolicyKind::Refcount));
+}
+
+TEST(Integration, ForkAfterRegistrationPinsTheParentCopy) {
+  // The classic fork-vs-pinned-pages interaction (the reason real RDMA
+  // stacks grew MADV_DONTFORK): registration pins the frame; fork marks the
+  // PTEs COW; the *first writer* gets a new frame. If the parent writes
+  // after fork, the NIC - still targeting the pinned original - sees the
+  // child's copy, not the parent's.
+  Clock clock;
+  CostModel costs;
+  via::Node n(test::small_node(via::PolicyKind::Kiobuf), clock, costs);
+  via::Node* node = &n;
+  auto& kern = node->kernel();
+  const auto parent = kern.create_task("parent");
+  const auto a = must_mmap(kern, parent, 1);
+  ASSERT_TRUE(ok(test::poke64(kern, parent, a, 100)));
+  const auto tag = node->agent().create_ptag(parent);
+  via::MemHandle mh;
+  ASSERT_TRUE(
+      ok(node->agent().register_mem(parent, a, kPageSize, tag, mh)));
+  const auto pinned = node->agent().lock_handle(mh.id)->pfns[0];
+
+  const auto child = kern.fork_task(parent);
+  ASSERT_TRUE(ok(test::poke64(kern, parent, a, 200)));  // parent COW-breaks
+  EXPECT_NE(*kern.resolve(parent, a), pinned)
+      << "parent moved off the pinned frame";
+  EXPECT_EQ(*kern.resolve(child, a), pinned)
+      << "child inherited the pinned original";
+  // The NIC still reads the pinned frame: it sees the pre-fork value.
+  std::uint64_t nic_view = 0;
+  ASSERT_TRUE(ok(node->nic().dma_read_local(
+      mh, a, std::as_writable_bytes(std::span{&nic_view, 1}))));
+  EXPECT_EQ(nic_view, 100u);
+  ASSERT_TRUE(ok(node->agent().deregister_mem(mh)));
+  kern.exit_task(child);
+}
+
+TEST(Integration, ManyProcessesRegisterAndCommunicateUnderReclaim) {
+  // Four processes on one node, each with its own tag and registration,
+  // while an allocator churns memory; all registrations stay consistent.
+  Clock clock;
+  CostModel costs;
+  via::NodeSpec spec = test::small_node(via::PolicyKind::Kiobuf,
+                                        /*frames=*/1024,
+                                        /*tpt_entries=*/512);
+  spec.kernel.swap_slots = 8192;
+  via::Node node(spec, clock, costs);
+  auto& kern = node.kernel();
+
+  struct Proc {
+    simkern::Pid pid;
+    simkern::VAddr buf;
+    via::MemHandle mh;
+    std::vector<simkern::Pfn> pfns;
+  };
+  std::vector<Proc> procs;
+  for (int i = 0; i < 4; ++i) {
+    Proc p;
+    p.pid = kern.create_task("worker" + std::to_string(i));
+    p.buf = must_mmap(kern, p.pid, 8);
+    const auto tag = node.agent().create_ptag(p.pid);
+    ASSERT_TRUE(ok(
+        node.agent().register_mem(p.pid, p.buf, 8 * kPageSize, tag, p.mh)));
+    p.pfns = node.agent().lock_handle(p.mh.id)->pfns;
+    procs.push_back(std::move(p));
+  }
+
+  const auto pr = experiments::apply_memory_pressure(kern, 1.5);
+  ASSERT_TRUE(ok(pr.status));
+  EXPECT_GT(kern.stats().pages_swapped_out, 0u);
+
+  for (const auto& p : procs) {
+    for (int pg = 0; pg < 8; ++pg) {
+      EXPECT_EQ(*kern.resolve(p.pid, p.buf + pg * kPageSize), p.pfns[pg]);
+    }
+    ASSERT_TRUE(ok(node.agent().deregister_mem(p.mh)));
+  }
+  kern.exit_task(pr.allocator_pid);
+}
+
+TEST(Integration, DeregisteredMemoryBecomesEvictableAgain) {
+  Clock clock;
+  CostModel costs;
+  via::Node node(test::small_node(), clock, costs);
+  auto& kern = node.kernel();
+  const auto pid = kern.create_task("t");
+  const auto a = must_mmap(kern, pid, 8);
+  const auto tag = node.agent().create_ptag(pid);
+  via::MemHandle mh;
+  ASSERT_TRUE(ok(node.agent().register_mem(pid, a, 8 * kPageSize, tag, mh)));
+  // Pinned: reclaim cannot take these.
+  for (int p = 0; p < 8; ++p)
+    kern.task(pid).mm.pt.walk(a + p * kPageSize)->accessed = false;
+  EXPECT_EQ(kern.try_to_free_pages(8), 0u);
+  ASSERT_TRUE(ok(node.agent().deregister_mem(mh)));
+  // Unpinned: reclaim takes them now.
+  for (int p = 0; p < 8; ++p)
+    kern.task(pid).mm.pt.walk(a + p * kPageSize)->accessed = false;
+  EXPECT_GE(kern.try_to_free_pages(8), 8u);
+}
+
+TEST(Integration, MunmapOfRegisteredRegionLeavesPinnedFramesAlive) {
+  // A process munmaps (or exits) while the NIC still holds a registration:
+  // the kiobuf references keep the frames allocated until deregistration -
+  // no use-after-free for the DMA engine.
+  Clock clock;
+  CostModel costs;
+  via::Node node(test::small_node(), clock, costs);
+  auto& kern = node.kernel();
+  const auto pid = kern.create_task("t");
+  const auto a = must_mmap(kern, pid, 4);
+  const auto tag = node.agent().create_ptag(pid);
+  via::MemHandle mh;
+  ASSERT_TRUE(ok(node.agent().register_mem(pid, a, 4 * kPageSize, tag, mh)));
+  const auto pfns = node.agent().lock_handle(mh.id)->pfns;
+  ASSERT_TRUE(ok(kern.sys_munmap(pid, a, 4 * kPageSize)));
+  for (const auto pfn : pfns) {
+    EXPECT_FALSE(kern.phys().page(pfn).free())
+        << "registered frame freed while the NIC can still DMA to it";
+    EXPECT_TRUE(kern.phys().page(pfn).pinned());
+  }
+  // The NIC can still write (into orphaned but owned frames).
+  const std::uint64_t v = 42;
+  EXPECT_TRUE(ok(
+      node.nic().dma_write_local(mh, a, std::as_bytes(std::span{&v, 1}))));
+  ASSERT_TRUE(ok(node.agent().deregister_mem(mh)));
+  for (const auto pfn : pfns) EXPECT_TRUE(kern.phys().page(pfn).free());
+}
+
+}  // namespace
+}  // namespace vialock

@@ -1,0 +1,182 @@
+// multidevice_test.cc - the multidevice routing: same-node ranks communicate
+// over shared memory, cross-node ranks over the VIA fabric, behind one
+// matching API (the collection's first paper in miniature).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../via/via_util.h"
+#include "mp/comm.h"
+#include "util/rng.h"
+
+namespace vialock::mp {
+namespace {
+
+/// Two nodes, two ranks each: ranks 0,1 on node A; ranks 2,3 on node B.
+struct HybridBox {
+  explicit HybridBox(Comm::Config cfg = Comm::Config{}) {
+    const auto a = cluster.add_node(test::small_node(
+        via::PolicyKind::Kiobuf, /*frames=*/2048, /*tpt_entries=*/2048));
+    const auto b = cluster.add_node(test::small_node(
+        via::PolicyKind::Kiobuf, /*frames=*/2048, /*tpt_entries=*/2048));
+    comm = std::make_unique<Comm>(
+        cluster, std::vector<via::NodeId>{a, a, b, b}, cfg);
+    EXPECT_TRUE(ok(comm->init()));
+  }
+  via::Cluster cluster;
+  std::unique_ptr<Comm> comm;
+};
+
+std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next() & 0xFF);
+  return out;
+}
+
+TEST(Multidevice, ConnectiontableRoutesByNode) {
+  HybridBox box;
+  EXPECT_TRUE(box.comm->uses_shm(0, 1));   // same node
+  EXPECT_TRUE(box.comm->uses_shm(2, 3));
+  EXPECT_FALSE(box.comm->uses_shm(0, 2));  // cross node
+  EXPECT_FALSE(box.comm->uses_shm(1, 3));
+}
+
+TEST(Multidevice, LocalEagerGoesThroughSharedMemory) {
+  HybridBox box;
+  const auto payload = pattern(512, 1);
+  ASSERT_TRUE(ok(box.comm->stage(0, 0, payload)));
+  const auto nic_sends_before =
+      box.cluster.node(0).nic().stats().sends_posted;
+  const ReqId r = box.comm->irecv(1, 0, 1, 0, 4096);
+  ASSERT_TRUE(box.comm->wait(box.comm->isend(0, 1, 1, 0, 512)));
+  ASSERT_TRUE(box.comm->wait(r));
+  std::vector<std::byte> out(512);
+  ASSERT_TRUE(ok(box.comm->fetch(1, 0, out)));
+  EXPECT_EQ(payload, out);
+  EXPECT_EQ(box.cluster.node(0).nic().stats().sends_posted, nic_sends_before)
+      << "local traffic must not touch the NIC";
+  EXPECT_GE(box.comm->stats().local_msgs, 1u);
+}
+
+TEST(Multidevice, LocalLargeMessagePipelinesThroughShm) {
+  HybridBox box;
+  const auto payload = pattern(300 * 1024, 2);  // 5 bounce chunks
+  ASSERT_TRUE(ok(box.comm->stage(0, 0, payload)));
+  const ReqId r = box.comm->irecv(1, 0, 2, 0, 512 * 1024);
+  const ReqId s = box.comm->isend(0, 1, 2, 0, 300 * 1024);
+  ASSERT_TRUE(box.comm->wait(r));
+  ASSERT_TRUE(box.comm->wait(s));
+  std::vector<std::byte> out(payload.size());
+  ASSERT_TRUE(ok(box.comm->fetch(1, 0, out)));
+  EXPECT_EQ(payload, out);
+  EXPECT_EQ(box.comm->stats().local_pulls, 1u);
+  EXPECT_EQ(box.comm->stats().rdma_pulls, 0u) << "no NIC involved";
+}
+
+TEST(Multidevice, CrossNodeStillUsesTheFabric) {
+  HybridBox box;
+  const auto payload = pattern(64 * 1024, 3);
+  ASSERT_TRUE(ok(box.comm->stage(0, 0, payload)));
+  const ReqId r = box.comm->irecv(2, 0, 3, 0, 128 * 1024);
+  const ReqId s = box.comm->isend(0, 2, 3, 0, 64 * 1024);
+  ASSERT_TRUE(box.comm->wait(r));
+  ASSERT_TRUE(box.comm->wait(s));
+  std::vector<std::byte> out(payload.size());
+  ASSERT_TRUE(ok(box.comm->fetch(2, 0, out)));
+  EXPECT_EQ(payload, out);
+  EXPECT_EQ(box.comm->stats().rdma_pulls, 1u);
+}
+
+TEST(Multidevice, AnySourceSpansBothDevices) {
+  // One local and one remote sender; a wildcard receive takes both, in
+  // arrival order - the exact scenario the multidevice paper's AnyQueue
+  // machinery exists for.
+  HybridBox box;
+  const std::uint64_t from_local = 0x10CA1;
+  const std::uint64_t from_remote = 0x2E307E;
+  ASSERT_TRUE(ok(box.comm->stage(0, 0, test::bytes_of(from_local))));
+  ASSERT_TRUE(ok(box.comm->stage(2, 0, test::bytes_of(from_remote))));
+  ASSERT_TRUE(box.comm->wait(box.comm->isend(0, 1, 9, 0, 8)));
+  ASSERT_TRUE(box.comm->wait(box.comm->isend(2, 1, 9, 0, 8)));
+  MpStatus st1, st2;
+  ASSERT_TRUE(ok(box.comm->recv(1, kAnySource, 9, 0, 64, &st1)));
+  std::uint64_t g1 = 0;
+  ASSERT_TRUE(
+      ok(box.comm->fetch(1, 0, std::as_writable_bytes(std::span{&g1, 1}))));
+  ASSERT_TRUE(ok(box.comm->recv(1, kAnySource, 9, 0, 64, &st2)));
+  std::uint64_t g2 = 0;
+  ASSERT_TRUE(
+      ok(box.comm->fetch(1, 0, std::as_writable_bytes(std::span{&g2, 1}))));
+  // Both arrived; sources distinct; values match their senders.
+  EXPECT_NE(st1.source, st2.source);
+  EXPECT_EQ(g1, st1.source == 0 ? from_local : from_remote);
+  EXPECT_EQ(g2, st2.source == 0 ? from_local : from_remote);
+}
+
+TEST(Multidevice, LocalIsFasterThanCrossNode) {
+  HybridBox box;
+  const auto payload = pattern(2048, 4);
+  ASSERT_TRUE(ok(box.comm->stage(0, 0, payload)));
+  Clock& clock = box.cluster.clock();
+
+  const ReqId rl = box.comm->irecv(1, 0, 5, 0, 4096);
+  const Nanos t0 = clock.now();
+  ASSERT_TRUE(box.comm->wait(box.comm->isend(0, 1, 5, 0, 2048)));
+  ASSERT_TRUE(box.comm->wait(rl));
+  const Nanos local = clock.now() - t0;
+
+  const ReqId rr = box.comm->irecv(2, 0, 5, 0, 4096);
+  const Nanos t1 = clock.now();
+  ASSERT_TRUE(box.comm->wait(box.comm->isend(0, 2, 5, 0, 2048)));
+  ASSERT_TRUE(box.comm->wait(rr));
+  const Nanos remote = clock.now() - t1;
+
+  EXPECT_LT(local, remote) << "shm path must beat the NIC path intra-node";
+}
+
+TEST(Multidevice, DisablingShmFallsBackToNicLoopback) {
+  Comm::Config cfg;
+  cfg.shm_for_local = false;
+  HybridBox box(cfg);
+  EXPECT_FALSE(box.comm->uses_shm(0, 1));
+  const auto payload = pattern(256, 5);
+  ASSERT_TRUE(ok(box.comm->stage(0, 0, payload)));
+  const ReqId r = box.comm->irecv(1, 0, 7, 0, 4096);
+  ASSERT_TRUE(box.comm->wait(box.comm->isend(0, 1, 7, 0, 256)));
+  ASSERT_TRUE(box.comm->wait(r));
+  std::vector<std::byte> out(256);
+  ASSERT_TRUE(ok(box.comm->fetch(1, 0, out)));
+  EXPECT_EQ(payload, out);
+  EXPECT_GT(box.cluster.node(0).nic().stats().sends_posted, 0u);
+}
+
+TEST(Multidevice, MixedTrafficStressStaysIntact) {
+  HybridBox box;
+  Rng rng(777);
+  for (int i = 0; i < 40; ++i) {
+    const Rank from = static_cast<Rank>(rng.below(4));
+    Rank to;
+    do {
+      to = static_cast<Rank>(rng.below(4));
+    } while (to == from);
+    const auto payload = pattern(64 + rng.below(12000), 2000 + i);
+    ASSERT_TRUE(ok(box.comm->stage(from, 0, payload)));
+    const ReqId r = box.comm->irecv(to, static_cast<std::int32_t>(from), i,
+                                    16384, 64 * 1024);
+    const ReqId s = box.comm->isend(
+        from, to, i, 0, static_cast<std::uint32_t>(payload.size()));
+    MpStatus st;
+    ASSERT_TRUE(box.comm->wait(r, &st)) << "message " << i;
+    ASSERT_TRUE(box.comm->wait(s)) << "message " << i;
+    ASSERT_EQ(st.len, payload.size());
+    std::vector<std::byte> out(payload.size());
+    ASSERT_TRUE(ok(box.comm->fetch(to, 16384, out)));
+    ASSERT_EQ(out, payload) << "message " << i;
+  }
+  EXPECT_GT(box.comm->stats().local_msgs, 0u);
+  EXPECT_GT(box.comm->stats().rdma_pulls + box.comm->stats().local_pulls, 0u);
+}
+
+}  // namespace
+}  // namespace vialock::mp

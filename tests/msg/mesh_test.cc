@@ -1,0 +1,203 @@
+// mesh_test.cc - N-rank collectives over the VIA substrate.
+#include "msg/mesh.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../via/via_util.h"
+#include "util/rng.h"
+
+namespace vialock::msg {
+namespace {
+
+using simkern::kPageSize;
+
+struct MeshBox {
+  explicit MeshBox(std::uint32_t ranks = 4) {
+    std::vector<via::NodeId> nodes;
+    for (std::uint32_t i = 0; i < ranks; ++i) {
+      nodes.push_back(cluster.add_node(test::small_node(
+          via::PolicyKind::Kiobuf, /*frames=*/2048, /*tpt_entries=*/2048)));
+    }
+    Mesh::Config cfg;
+    cfg.channel.user_heap_bytes = 256 * 1024;
+    cfg.rank_heap_bytes = 1ULL << 20;
+    mesh = std::make_unique<Mesh>(cluster, nodes, cfg);
+    EXPECT_TRUE(ok(mesh->init()));
+  }
+  via::Cluster cluster;
+  std::unique_ptr<Mesh> mesh;
+};
+
+std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next() & 0xFF);
+  return out;
+}
+
+TEST(Mesh, PointToPointMovesRankData) {
+  MeshBox box(3);
+  const auto payload = pattern(10'000, 1);
+  ASSERT_TRUE(ok(box.mesh->stage_rank(0, 64, payload)));
+  ASSERT_TRUE(ok(box.mesh->send(0, 2, 64,
+                                static_cast<std::uint32_t>(payload.size()))));
+  std::vector<std::byte> out(payload.size());
+  ASSERT_TRUE(ok(box.mesh->fetch_rank(2, 64, out)));
+  EXPECT_EQ(payload, out);
+  EXPECT_EQ(box.mesh->stats().p2p_msgs, 1u);
+}
+
+TEST(Mesh, BroadcastReachesEveryRank) {
+  MeshBox box(4);
+  const auto payload = pattern(20'000, 2);
+  ASSERT_TRUE(ok(box.mesh->stage_rank(1, 0, payload)));
+  ASSERT_TRUE(ok(box.mesh->broadcast(
+      /*root=*/1, 0, static_cast<std::uint32_t>(payload.size()))));
+  for (Mesh::Rank r = 0; r < 4; ++r) {
+    std::vector<std::byte> out(payload.size());
+    ASSERT_TRUE(ok(box.mesh->fetch_rank(r, 0, out)));
+    EXPECT_EQ(payload, out) << "rank " << r;
+  }
+}
+
+TEST(Mesh, BroadcastFromEveryRootWorks) {
+  MeshBox box(3);
+  for (Mesh::Rank root = 0; root < 3; ++root) {
+    const auto payload = pattern(512, 100 + root);
+    ASSERT_TRUE(ok(box.mesh->stage_rank(root, 0, payload)));
+    ASSERT_TRUE(ok(box.mesh->broadcast(root, 0, 512)));
+    for (Mesh::Rank r = 0; r < 3; ++r) {
+      std::vector<std::byte> out(512);
+      ASSERT_TRUE(ok(box.mesh->fetch_rank(r, 0, out)));
+      EXPECT_EQ(payload, out) << "root " << root << " rank " << r;
+    }
+  }
+}
+
+TEST(Mesh, BinomialBroadcastUsesLogRounds) {
+  // 4 ranks: binomial tree = 3 messages (1 + 2), not N-1 rounds of N.
+  MeshBox box(4);
+  const auto payload = pattern(256, 3);
+  ASSERT_TRUE(ok(box.mesh->stage_rank(0, 0, payload)));
+  const auto msgs_before = box.mesh->stats().p2p_msgs;
+  ASSERT_TRUE(ok(box.mesh->broadcast(0, 0, 256)));
+  EXPECT_EQ(box.mesh->stats().p2p_msgs - msgs_before, 3u);
+}
+
+TEST(Mesh, AllreduceSumsAcrossRanks) {
+  MeshBox box(4);
+  constexpr std::uint32_t kCount = 16;
+  std::array<std::uint64_t, kCount> expect{};
+  for (Mesh::Rank r = 0; r < 4; ++r) {
+    std::array<std::uint64_t, kCount> vals;
+    for (std::uint32_t i = 0; i < kCount; ++i) {
+      vals[i] = (r + 1) * 1000 + i;
+      expect[i] += vals[i];
+    }
+    ASSERT_TRUE(ok(box.mesh->stage_rank(r, 0, std::as_bytes(std::span{vals}))));
+  }
+  ASSERT_TRUE(ok(box.mesh->allreduce_sum(0, kCount)));
+  for (Mesh::Rank r = 0; r < 4; ++r) {
+    std::array<std::uint64_t, kCount> got{};
+    ASSERT_TRUE(ok(box.mesh->fetch_rank(
+        r, 0, std::as_writable_bytes(std::span{got}))));
+    EXPECT_EQ(got, expect) << "rank " << r;
+  }
+}
+
+TEST(Mesh, AllreduceWithNonPowerOfTwoRanks) {
+  MeshBox box(3);
+  std::uint64_t expect = 0;
+  for (Mesh::Rank r = 0; r < 3; ++r) {
+    const std::uint64_t v = 7 + r * 11;
+    expect += v;
+    ASSERT_TRUE(ok(box.mesh->stage_rank(r, 0, test::bytes_of(v))));
+  }
+  ASSERT_TRUE(ok(box.mesh->allreduce_sum(0, 1)));
+  for (Mesh::Rank r = 0; r < 3; ++r) {
+    std::uint64_t got = 0;
+    ASSERT_TRUE(ok(box.mesh->fetch_rank(
+        r, 0, std::as_writable_bytes(std::span{&got, 1}))));
+    EXPECT_EQ(got, expect) << "rank " << r;
+  }
+}
+
+TEST(Mesh, AlltoallTransposesBlocks) {
+  MeshBox box(3);
+  constexpr std::uint32_t kBlock = 4096;
+  // Block j of rank i carries the marker (i, j).
+  for (Mesh::Rank i = 0; i < 3; ++i) {
+    for (Mesh::Rank j = 0; j < 3; ++j) {
+      const std::uint64_t marker = 0xB0000000ULL + i * 100 + j;
+      ASSERT_TRUE(ok(box.mesh->stage_rank(
+          i, static_cast<std::uint64_t>(j) * kBlock, test::bytes_of(marker))));
+    }
+  }
+  ASSERT_TRUE(ok(box.mesh->alltoall(0, kBlock)));
+  for (Mesh::Rank j = 0; j < 3; ++j) {
+    for (Mesh::Rank i = 0; i < 3; ++i) {
+      std::uint64_t got = 0;
+      ASSERT_TRUE(ok(box.mesh->fetch_rank(
+          j, static_cast<std::uint64_t>(i) * kBlock,
+          std::as_writable_bytes(std::span{&got, 1}))));
+      EXPECT_EQ(got, 0xB0000000ULL + i * 100 + j)
+          << "rank " << j << " block " << i;
+    }
+  }
+}
+
+TEST(Mesh, AlltoallWithTwoRanks) {
+  MeshBox box(2);
+  for (Mesh::Rank i = 0; i < 2; ++i) {
+    for (Mesh::Rank j = 0; j < 2; ++j) {
+      const std::uint64_t marker = 0xAA00 + i * 16 + j;
+      ASSERT_TRUE(ok(box.mesh->stage_rank(
+          i, static_cast<std::uint64_t>(j) * 4096, test::bytes_of(marker))));
+    }
+  }
+  ASSERT_TRUE(ok(box.mesh->alltoall(0, 4096)));
+  for (Mesh::Rank j = 0; j < 2; ++j) {
+    for (Mesh::Rank i = 0; i < 2; ++i) {
+      std::uint64_t got = 0;
+      ASSERT_TRUE(ok(box.mesh->fetch_rank(
+          j, static_cast<std::uint64_t>(i) * 4096,
+          std::as_writable_bytes(std::span{&got, 1}))));
+      EXPECT_EQ(got, 0xAA00u + i * 16 + j);
+    }
+  }
+}
+
+TEST(Mesh, LargeBroadcastUsesRendezvousPath) {
+  MeshBox box(3);
+  const auto payload = pattern(100'000, 77);  // > eager threshold
+  ASSERT_TRUE(ok(box.mesh->stage_rank(0, 0, payload)));
+  ASSERT_TRUE(ok(box.mesh->broadcast(0, 0, 100'000)));
+  for (Mesh::Rank r = 1; r < 3; ++r) {
+    std::vector<std::byte> out(payload.size());
+    ASSERT_TRUE(ok(box.mesh->fetch_rank(r, 0, out)));
+    EXPECT_EQ(payload, out) << "rank " << r;
+  }
+}
+
+TEST(Mesh, BarrierCompletesAndChargesTime) {
+  MeshBox box(4);
+  const Nanos before = box.cluster.clock().now();
+  ASSERT_TRUE(ok(box.mesh->barrier()));
+  EXPECT_GT(box.cluster.clock().now(), before);
+  EXPECT_EQ(box.mesh->stats().barriers, 1u);
+}
+
+TEST(Mesh, TwoRankMeshIsMinimal) {
+  MeshBox box(2);
+  const auto payload = pattern(100, 9);
+  ASSERT_TRUE(ok(box.mesh->stage_rank(0, 0, payload)));
+  ASSERT_TRUE(ok(box.mesh->broadcast(0, 0, 100)));
+  std::vector<std::byte> out(100);
+  ASSERT_TRUE(ok(box.mesh->fetch_rank(1, 0, out)));
+  EXPECT_EQ(payload, out);
+}
+
+}  // namespace
+}  // namespace vialock::msg

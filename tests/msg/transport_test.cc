@@ -1,0 +1,270 @@
+// transport_test.cc - eager / rendezvous / preregistered protocols: data
+// integrity, protocol mechanics, cache amortisation.
+#include "msg/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../via/via_util.h"
+#include "util/rng.h"
+
+namespace vialock::msg {
+namespace {
+
+using simkern::kPageSize;
+
+struct ChannelBox {
+  explicit ChannelBox(Channel::Config cfg = default_config())
+      : a(cluster.add_node(test::small_node(via::PolicyKind::Kiobuf,
+                                            /*frames=*/2048,
+                                            /*tpt_entries=*/2048))),
+        b(cluster.add_node(test::small_node(via::PolicyKind::Kiobuf,
+                                            /*frames=*/2048,
+                                            /*tpt_entries=*/2048))),
+        channel(cluster, a, b, cfg) {
+    EXPECT_TRUE(ok(channel.init()));
+  }
+
+  static Channel::Config default_config() {
+    Channel::Config cfg;
+    cfg.user_heap_bytes = 1ULL << 20;  // 1 MB heaps keep the test light
+    cfg.preregister_heaps = true;
+    return cfg;
+  }
+
+  via::Cluster cluster;
+  via::NodeId a;
+  via::NodeId b;
+  Channel channel;
+};
+
+std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next() & 0xFF);
+  return out;
+}
+
+class TransportProtocolTest
+    : public ::testing::TestWithParam<std::tuple<Protocol, std::uint32_t>> {};
+
+TEST_P(TransportProtocolTest, RoundTripPreservesData) {
+  const auto [proto, len] = GetParam();
+  ChannelBox box;
+  const auto payload = pattern(len, 42 + len);
+  ASSERT_TRUE(ok(box.channel.stage(0, payload)));
+  ASSERT_TRUE(ok(box.channel.transfer(proto, 0, 128, len)));
+  std::vector<std::byte> out(len);
+  ASSERT_TRUE(ok(box.channel.fetch(128, out)));
+  EXPECT_EQ(payload, out);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TransportProtocolTest,
+    ::testing::Combine(::testing::Values(Protocol::Eager, Protocol::Rendezvous,
+                                         Protocol::Preregistered,
+                                         Protocol::PioRendezvous),
+                       ::testing::Values(1u, 64u, 1024u, 4096u, 8192u)),
+    [](const auto& info) {
+      std::string name = std::string(to_string(std::get<0>(info.param))) +
+                         "_" + std::to_string(std::get<1>(info.param)) + "B";
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(Transport, PioRendezvousCachesTheImport) {
+  ChannelBox box;
+  const auto payload = pattern(32 * 1024, 11);
+  ASSERT_TRUE(ok(box.channel.stage(0, payload)));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        ok(box.channel.transfer(Protocol::PioRendezvous, 0, 0, 32 * 1024)));
+  }
+  std::vector<std::byte> out(payload.size());
+  ASSERT_TRUE(ok(box.channel.fetch(0, out)));
+  EXPECT_EQ(payload, out);
+  EXPECT_EQ(box.channel.stats().pio_msgs, 5u);
+  EXPECT_EQ(box.channel.stats().window_imports, 1u)
+      << "the imported window must be reused across transfers";
+  EXPECT_EQ(box.channel.sender_cache_stats().registrations, 0u)
+      << "figure 5's point: NO sender-side registration";
+}
+
+TEST(Transport, PioRendezvousNeedsNoSenderRegistration) {
+  // Large message crossing many pages, sender heap never registered.
+  ChannelBox box;
+  const auto payload = pattern(300 * 1024, 12);
+  ASSERT_TRUE(ok(box.channel.stage(0, payload)));
+  ASSERT_TRUE(
+      ok(box.channel.transfer(Protocol::PioRendezvous, 0, 0, 300 * 1024)));
+  std::vector<std::byte> out(payload.size());
+  ASSERT_TRUE(ok(box.channel.fetch(0, out)));
+  EXPECT_EQ(payload, out);
+}
+
+TEST(Transport, EagerRejectsOversizedMessages) {
+  ChannelBox box;
+  EXPECT_EQ(box.channel.transfer(Protocol::Eager, 0, 0, 64 * 1024),
+            KStatus::Inval);
+}
+
+TEST(Transport, LargeRendezvousSpansManyPages) {
+  ChannelBox box;
+  constexpr std::uint32_t kLen = 256 * 1024;
+  const auto payload = pattern(kLen, 7);
+  ASSERT_TRUE(ok(box.channel.stage(0, payload)));
+  ASSERT_TRUE(ok(box.channel.transfer(Protocol::Rendezvous, 0, 0, kLen)));
+  std::vector<std::byte> out(kLen);
+  ASSERT_TRUE(ok(box.channel.fetch(0, out)));
+  EXPECT_EQ(payload, out);
+}
+
+TEST(Transport, BackToBackMessagesKeepOrderAndContent) {
+  ChannelBox box;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    const auto payload = pattern(512 + i * 37, i);
+    ASSERT_TRUE(ok(box.channel.stage(0, payload)));
+    ASSERT_TRUE(ok(box.channel.transfer_auto(
+        0, 0, static_cast<std::uint32_t>(payload.size()))));
+    std::vector<std::byte> out(payload.size());
+    ASSERT_TRUE(ok(box.channel.fetch(0, out)));
+    ASSERT_EQ(payload, out) << "message " << i;
+  }
+}
+
+TEST(Transport, AutoSwitchesProtocolAtThreshold) {
+  ChannelBox box;
+  const auto small = pattern(100, 1);
+  ASSERT_TRUE(ok(box.channel.stage(0, small)));
+  ASSERT_TRUE(ok(box.channel.transfer_auto(0, 0, 100)));
+  EXPECT_EQ(box.channel.stats().eager_msgs, 1u);
+  EXPECT_EQ(box.channel.stats().rendezvous_msgs, 0u);
+  const auto big = pattern(16 * 1024, 2);
+  ASSERT_TRUE(ok(box.channel.stage(0, big)));
+  ASSERT_TRUE(ok(box.channel.transfer_auto(0, 0, 16 * 1024)));
+  EXPECT_EQ(box.channel.stats().rendezvous_msgs, 1u);
+}
+
+TEST(Transport, RendezvousReusesCachedRegistrations) {
+  ChannelBox box;
+  const auto payload = pattern(32 * 1024, 3);
+  ASSERT_TRUE(ok(box.channel.stage(0, payload)));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ok(box.channel.transfer(Protocol::Rendezvous, 0, 0,
+                                        32 * 1024)));
+  }
+  // Same buffers every time: 1 miss, 9 hits per side.
+  EXPECT_EQ(box.channel.sender_cache_stats().misses, 1u);
+  EXPECT_EQ(box.channel.sender_cache_stats().hits, 9u);
+  EXPECT_EQ(box.channel.receiver_cache_stats().misses, 1u);
+  EXPECT_EQ(box.channel.receiver_cache_stats().hits, 9u);
+}
+
+TEST(Transport, RendezvousRotatingBuffersMissesWithoutReuse) {
+  ChannelBox box;
+  const auto payload = pattern(16 * 1024, 4);
+  ASSERT_TRUE(ok(box.channel.stage(0, payload)));
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t off = static_cast<std::uint64_t>(i) * 64 * 1024;
+    ASSERT_TRUE(ok(box.channel.stage(off, payload)));
+    ASSERT_TRUE(
+        ok(box.channel.transfer(Protocol::Rendezvous, off, off, 16 * 1024)));
+  }
+  EXPECT_EQ(box.channel.sender_cache_stats().misses, 8u);
+  EXPECT_EQ(box.channel.sender_cache_stats().hits, 0u);
+}
+
+TEST(Transport, PreregisteredIsFasterThanColdRendezvous) {
+  ChannelBox box;
+  constexpr std::uint32_t kLen = 64 * 1024;
+  const auto payload = pattern(kLen, 5);
+  ASSERT_TRUE(ok(box.channel.stage(0, payload)));
+
+  Clock& clock = box.cluster.clock();
+  const Nanos t0 = clock.now();
+  ASSERT_TRUE(ok(box.channel.transfer(Protocol::Rendezvous, 0, 0, kLen)));
+  const Nanos rndz_cold = clock.now() - t0;
+
+  const Nanos t1 = clock.now();
+  ASSERT_TRUE(ok(box.channel.transfer(Protocol::Preregistered, 0, 0, kLen)));
+  const Nanos prereg = clock.now() - t1;
+
+  EXPECT_LT(prereg, rndz_cold)
+      << "registration cost must show up on the cold rendezvous path";
+}
+
+TEST(Transport, WarmRendezvousApproachesPreregistered) {
+  ChannelBox box;
+  constexpr std::uint32_t kLen = 64 * 1024;
+  const auto payload = pattern(kLen, 6);
+  ASSERT_TRUE(ok(box.channel.stage(0, payload)));
+  ASSERT_TRUE(ok(box.channel.transfer(Protocol::Rendezvous, 0, 0, kLen)));
+
+  Clock& clock = box.cluster.clock();
+  const Nanos t0 = clock.now();
+  ASSERT_TRUE(ok(box.channel.transfer(Protocol::Rendezvous, 0, 0, kLen)));
+  const Nanos rndz_warm = clock.now() - t0;
+
+  const Nanos t1 = clock.now();
+  ASSERT_TRUE(ok(box.channel.transfer(Protocol::Preregistered, 0, 0, kLen)));
+  const Nanos prereg = clock.now() - t1;
+
+  // Warm rendezvous pays only the two control messages extra; it must be
+  // within 2x of the pure-RDMA path at this size.
+  EXPECT_LT(rndz_warm, prereg * 2);
+}
+
+/// Property: any interleaving of protocols, sizes and offsets preserves
+/// every payload bit-exactly.
+class TransportFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransportFuzz, RandomProtocolMixKeepsDataIntact) {
+  ChannelBox box;
+  Rng rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    const int pick = static_cast<int>(rng.below(4));
+    const Protocol proto = pick == 0   ? Protocol::Eager
+                           : pick == 1 ? Protocol::Rendezvous
+                           : pick == 2 ? Protocol::Preregistered
+                                       : Protocol::PioRendezvous;
+    const std::uint32_t max_len =
+        proto == Protocol::Eager ? 8000u : 100'000u;
+    const auto len = static_cast<std::uint32_t>(rng.between(1, max_len));
+    const std::uint64_t src_off = rng.below(8) * 4096;
+    const std::uint64_t dst_off = rng.below(8) * 4096;
+    const auto payload = pattern(len, 9000 + i);
+    ASSERT_TRUE(ok(box.channel.stage(src_off, payload))) << i;
+    ASSERT_TRUE(ok(box.channel.transfer(proto, src_off, dst_off, len)))
+        << i << " proto " << to_string(proto) << " len " << len;
+    std::vector<std::byte> out(len);
+    ASSERT_TRUE(ok(box.channel.fetch(dst_off, out))) << i;
+    ASSERT_EQ(out, payload) << i << " proto " << to_string(proto);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransportFuzz,
+                         ::testing::Values(5, 77, 901, 424242));
+
+TEST(Transport, EagerBeatsRendezvousForTinyMessages) {
+  ChannelBox box;
+  const auto payload = pattern(64, 8);
+  ASSERT_TRUE(ok(box.channel.stage(0, payload)));
+  Clock& clock = box.cluster.clock();
+
+  // Warm both paths first.
+  ASSERT_TRUE(ok(box.channel.transfer(Protocol::Eager, 0, 0, 64)));
+  ASSERT_TRUE(ok(box.channel.transfer(Protocol::Rendezvous, 0, 0, 64)));
+
+  const Nanos t0 = clock.now();
+  ASSERT_TRUE(ok(box.channel.transfer(Protocol::Eager, 0, 0, 64)));
+  const Nanos eager = clock.now() - t0;
+  const Nanos t1 = clock.now();
+  ASSERT_TRUE(ok(box.channel.transfer(Protocol::Rendezvous, 0, 0, 64)));
+  const Nanos rndz = clock.now() - t1;
+  EXPECT_LT(eager, rndz) << "64 B: copy beats control-message round trip";
+}
+
+}  // namespace
+}  // namespace vialock::msg

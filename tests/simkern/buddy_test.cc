@@ -1,0 +1,137 @@
+// buddy_test.cc - unit and property tests for the buddy page-frame allocator.
+#include "simkern/buddy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "simkern/page.h"
+#include "util/rng.h"
+
+namespace vialock::simkern {
+namespace {
+
+TEST(Buddy, ReservedLowFramesAreMarkedAndUnavailable) {
+  PhysicalMemory mem(256);
+  BuddyAllocator buddy(mem, 16);
+  EXPECT_EQ(buddy.total_frames(), 240u);
+  EXPECT_EQ(buddy.free_frames(), 240u);
+  for (Pfn pfn = 0; pfn < 16; ++pfn) {
+    EXPECT_TRUE(mem.page(pfn).reserved());
+    EXPECT_EQ(mem.page(pfn).count, 1u);
+  }
+}
+
+TEST(Buddy, AllocSetsCountAndFreeClears) {
+  PhysicalMemory mem(128);
+  BuddyAllocator buddy(mem, 0);
+  const Pfn pfn = buddy.alloc(0);
+  ASSERT_NE(pfn, kInvalidPfn);
+  EXPECT_EQ(mem.page(pfn).count, 1u);
+  EXPECT_EQ(buddy.free_frames(), 127u);
+  mem.page(pfn).count = 0;
+  buddy.free(pfn, 0);
+  EXPECT_EQ(buddy.free_frames(), 128u);
+}
+
+TEST(Buddy, AllocatesDistinctFrames) {
+  PhysicalMemory mem(128);
+  BuddyAllocator buddy(mem, 0);
+  std::set<Pfn> seen;
+  for (int i = 0; i < 128; ++i) {
+    const Pfn pfn = buddy.alloc(0);
+    ASSERT_NE(pfn, kInvalidPfn);
+    EXPECT_TRUE(seen.insert(pfn).second) << "duplicate frame " << pfn;
+  }
+  EXPECT_EQ(buddy.free_frames(), 0u);
+  EXPECT_EQ(buddy.alloc(0), kInvalidPfn);
+}
+
+TEST(Buddy, HigherOrderAllocationIsAlignedAndContiguous) {
+  PhysicalMemory mem(256);
+  BuddyAllocator buddy(mem, 0);
+  const Pfn pfn = buddy.alloc(4);  // 16 frames
+  ASSERT_NE(pfn, kInvalidPfn);
+  EXPECT_EQ(pfn % 16, 0u);
+  for (Pfn f = pfn; f < pfn + 16; ++f) EXPECT_EQ(mem.page(f).count, 1u);
+  EXPECT_EQ(buddy.free_frames(), 240u);
+}
+
+TEST(Buddy, CoalescingRestoresMaxOrderBlocks) {
+  PhysicalMemory mem(1024);
+  BuddyAllocator buddy(mem, 0);
+  const std::uint32_t max_before = buddy.free_blocks(BuddyAllocator::kMaxOrder);
+  std::vector<Pfn> frames;
+  for (int i = 0; i < 1024; ++i) frames.push_back(buddy.alloc(0));
+  EXPECT_EQ(buddy.free_frames(), 0u);
+  for (const Pfn pfn : frames) {
+    mem.page(pfn).count = 0;
+    buddy.free(pfn, 0);
+  }
+  EXPECT_EQ(buddy.free_frames(), 1024u);
+  EXPECT_EQ(buddy.free_blocks(BuddyAllocator::kMaxOrder), max_before);
+}
+
+TEST(Buddy, ExhaustionReturnsInvalidWithoutCorruption) {
+  PhysicalMemory mem(64);
+  BuddyAllocator buddy(mem, 0);
+  std::vector<Pfn> frames;
+  for (;;) {
+    const Pfn pfn = buddy.alloc(0);
+    if (pfn == kInvalidPfn) break;
+    frames.push_back(pfn);
+  }
+  EXPECT_EQ(frames.size(), 64u);
+  // Free half, allocate order-1 blocks again.
+  for (std::size_t i = 0; i < frames.size(); i += 2) {
+    mem.page(frames[i]).count = 0;
+    buddy.free(frames[i], 0);
+  }
+  EXPECT_EQ(buddy.free_frames(), 32u);
+}
+
+/// Property: random alloc/free sequences keep free-frame accounting exact and
+/// never hand out an in-use frame.
+class BuddyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BuddyPropertyTest, RandomAllocFreeKeepsInvariants) {
+  PhysicalMemory mem(512);
+  BuddyAllocator buddy(mem, 4);
+  Rng rng(GetParam());
+  struct Block {
+    Pfn pfn;
+    std::uint32_t order;
+  };
+  std::vector<Block> live;
+  std::uint32_t live_frames = 0;
+
+  for (int step = 0; step < 4000; ++step) {
+    if (live.empty() || rng.chance(0.55)) {
+      const auto order = static_cast<std::uint32_t>(rng.below(4));
+      const Pfn pfn = buddy.alloc(order);
+      if (pfn == kInvalidPfn) continue;
+      for (Pfn f = pfn; f < pfn + (1U << order); ++f) {
+        ASSERT_EQ(mem.page(f).count, 1u) << "frame handed out twice";
+      }
+      live.push_back({pfn, order});
+      live_frames += 1U << order;
+    } else {
+      const std::size_t i = rng.below(live.size());
+      const Block b = live[i];
+      live[i] = live.back();
+      live.pop_back();
+      for (Pfn f = b.pfn; f < b.pfn + (1U << b.order); ++f)
+        mem.page(f).count = 0;
+      buddy.free(b.pfn, b.order);
+      live_frames -= 1U << b.order;
+    }
+    ASSERT_EQ(buddy.free_frames() + live_frames, buddy.total_frames());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+}  // namespace
+}  // namespace vialock::simkern

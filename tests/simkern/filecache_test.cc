@@ -1,0 +1,151 @@
+// filecache_test.cc - simulated files and the page cache: read/write paths,
+// caching, write-back, and reclaim through shrink_mmap.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../test_util.h"
+
+namespace vialock::simkern {
+namespace {
+
+using test::KernelBox;
+using test::must_mmap;
+
+std::vector<std::byte> seq_bytes(std::size_t n, int bias = 0) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::byte>((i * 13 + 7 + bias) & 0xFF);
+  return v;
+}
+
+struct FileBox : KernelBox {
+  FileBox() : KernelBox() {
+    pid = kern.create_task("app");
+    buf = must_mmap(kern, pid, 16);
+    file = kern.create_file(16 * kPageSize);
+  }
+  Pid pid;
+  VAddr buf;
+  FileId file;
+};
+
+TEST(FileCache, WriteThenReadRoundTrips) {
+  FileBox box;
+  const auto data = seq_bytes(3 * kPageSize + 123);
+  ASSERT_TRUE(ok(box.kern.write_user(box.pid, box.buf, data)));
+  ASSERT_TRUE(ok(box.kern.file_write(box.pid, box.file, 100, box.buf,
+                                     data.size())));
+  std::vector<std::byte> out(data.size());
+  const VAddr buf2 = box.buf + 8 * kPageSize;
+  ASSERT_TRUE(ok(box.kern.file_read(box.pid, box.file, 100, buf2,
+                                    data.size())));
+  ASSERT_TRUE(ok(box.kern.read_user(box.pid, buf2, out)));
+  EXPECT_EQ(data, out);
+}
+
+TEST(FileCache, RepeatedReadsHitTheCache) {
+  FileBox box;
+  ASSERT_TRUE(ok(box.kern.file_read(box.pid, box.file, 0, box.buf, kPageSize)));
+  const auto misses = box.kern.stats().pagecache_misses;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        ok(box.kern.file_read(box.pid, box.file, 0, box.buf, kPageSize)));
+  }
+  EXPECT_EQ(box.kern.stats().pagecache_misses, misses);
+  EXPECT_GE(box.kern.stats().pagecache_hits, 5u);
+  EXPECT_EQ(box.kern.page_cache_pages(), 1u);
+}
+
+TEST(FileCache, CacheHitIsFasterThanMiss) {
+  FileBox box;
+  const Nanos t0 = box.clock.now();
+  ASSERT_TRUE(ok(box.kern.file_read(box.pid, box.file, 0, box.buf, 64)));
+  const Nanos miss_time = box.clock.now() - t0;
+  const Nanos t1 = box.clock.now();
+  ASSERT_TRUE(ok(box.kern.file_read(box.pid, box.file, 0, box.buf, 64)));
+  const Nanos hit_time = box.clock.now() - t1;
+  EXPECT_LT(hit_time * 10, miss_time) << "hit must skip the disk entirely";
+}
+
+TEST(FileCache, BoundsAreChecked) {
+  FileBox box;
+  EXPECT_EQ(box.kern.file_read(box.pid, box.file, 16 * kPageSize - 10, box.buf,
+                               100),
+            KStatus::Inval);
+  EXPECT_EQ(box.kern.file_read(box.pid, 999, 0, box.buf, 10), KStatus::NoEnt);
+}
+
+TEST(FileCache, ShrinkMmapReclaimsOldCachePages) {
+  FileBox box;
+  // Populate 8 cache pages.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ok(box.kern.file_read(box.pid, box.file, i * kPageSize,
+                                      box.buf, kPageSize)));
+  }
+  EXPECT_EQ(box.kern.page_cache_pages(), 8u);
+  // Two full ageing+reclaim sweeps: first clears PG_referenced, second frees.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (int i = 0; i < 8; ++i) (void)box.kern.try_to_free_pages(0);
+  }
+  EXPECT_EQ(box.kern.page_cache_pages(), 0u);
+  EXPECT_GE(box.kern.stats().pagecache_reclaimed, 8u);
+}
+
+TEST(FileCache, DirtyPagesAreWrittenBackOnReclaim) {
+  FileBox box;
+  const auto data = seq_bytes(kPageSize, /*bias=*/42);
+  ASSERT_TRUE(ok(box.kern.write_user(box.pid, box.buf, data)));
+  ASSERT_TRUE(
+      ok(box.kern.file_write(box.pid, box.file, 2 * kPageSize, box.buf,
+                             kPageSize)));
+  // Evict the dirty cache page.
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    for (int i = 0; i < 8; ++i) (void)box.kern.try_to_free_pages(0);
+  }
+  EXPECT_EQ(box.kern.page_cache_pages(), 0u);
+  EXPECT_GE(box.kern.stats().pagecache_writebacks, 1u);
+  // Re-read from disk: the data must have survived.
+  const VAddr buf2 = box.buf + 8 * kPageSize;
+  ASSERT_TRUE(ok(box.kern.file_read(box.pid, box.file, 2 * kPageSize, buf2,
+                                    kPageSize)));
+  std::vector<std::byte> out(kPageSize);
+  ASSERT_TRUE(ok(box.kern.read_user(box.pid, buf2, out)));
+  EXPECT_EQ(data, out);
+}
+
+TEST(FileCache, SyncFileFlushesDirtyPages) {
+  FileBox box;
+  const auto data = seq_bytes(kPageSize, 7);
+  ASSERT_TRUE(ok(box.kern.write_user(box.pid, box.buf, data)));
+  ASSERT_TRUE(ok(box.kern.file_write(box.pid, box.file, 0, box.buf, kPageSize)));
+  box.kern.sync_file(box.file);
+  EXPECT_GE(box.kern.stats().pagecache_writebacks, 1u);
+}
+
+TEST(FileCache, MemoryPressureShrinksTheCacheBeforeSwapping) {
+  // The reclaim ordering of section 2.2: the page cache is shrunk first;
+  // swapping only starts when that is not enough.
+  auto cfg = test::small_config(/*frames=*/256, /*swap_slots=*/2048);
+  KernelBox box(cfg);
+  const Pid pid = box.kern.create_task("app");
+  const VAddr buf = must_mmap(box.kern, pid, 4);
+  const FileId file = box.kern.create_file(128 * kPageSize);
+  // Fill a good chunk of RAM with cache pages.
+  for (int i = 0; i < 128; ++i) {
+    ASSERT_TRUE(
+        ok(box.kern.file_read(pid, file, i * kPageSize, buf, kPageSize)));
+  }
+  const auto cached_before = box.kern.page_cache_pages();
+  EXPECT_GE(cached_before, 100u);
+  // Anonymous memory demand: reclaim should feed on the cache, not swap.
+  const VAddr big = must_mmap(box.kern, pid, 120);
+  for (int p = 0; p < 120; ++p)
+    ASSERT_TRUE(ok(box.kern.touch(pid, big + p * kPageSize, true)));
+  EXPECT_LT(box.kern.page_cache_pages(), cached_before);
+  EXPECT_EQ(box.kern.stats().pages_swapped_out, 0u)
+      << "cache should satisfy the demand before any swapping";
+}
+
+}  // namespace
+}  // namespace vialock::simkern

@@ -1,0 +1,74 @@
+// kernel_io_test.cc - kernel I/O page locking and the hazard detectors used
+// by experiment E7 (the Giganet flag-clobbering analysis).
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace vialock::simkern {
+namespace {
+
+using test::KernelBox;
+using test::must_mmap;
+
+TEST(KernelIo, StartSetsLockedEndClears) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 1);
+  ASSERT_TRUE(ok(box.kern.touch(pid, a, true)));
+  const Pfn pfn = *box.kern.resolve(pid, a);
+  ASSERT_TRUE(ok(box.kern.start_kernel_io(pfn)));
+  EXPECT_TRUE(box.kern.phys().page(pfn).locked());
+  box.kern.end_kernel_io(pfn);
+  EXPECT_FALSE(box.kern.phys().page(pfn).locked());
+  EXPECT_EQ(box.kern.stats().io_lock_clobbered, 0u);
+}
+
+TEST(KernelIo, DoubleStartIsBusy) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 1);
+  ASSERT_TRUE(ok(box.kern.touch(pid, a, true)));
+  const Pfn pfn = *box.kern.resolve(pid, a);
+  ASSERT_TRUE(ok(box.kern.start_kernel_io(pfn)));
+  EXPECT_EQ(box.kern.start_kernel_io(pfn), KStatus::Busy);
+  box.kern.end_kernel_io(pfn);
+}
+
+TEST(KernelIo, ClobberedFlagIsDetected) {
+  // Model of the Giganet deregistration bug: a driver clears PG_locked while
+  // kernel I/O is in flight.
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 1);
+  ASSERT_TRUE(ok(box.kern.touch(pid, a, true)));
+  const Pfn pfn = *box.kern.resolve(pid, a);
+  ASSERT_TRUE(ok(box.kern.start_kernel_io(pfn)));
+  box.kern.phys().page(pfn).flags &= ~PageFlag::Locked;  // the rogue driver
+  box.kern.end_kernel_io(pfn);
+  EXPECT_EQ(box.kern.stats().io_lock_clobbered, 1u);
+}
+
+TEST(KernelIo, PageStolenDuringIoIsDetected) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 1);
+  ASSERT_TRUE(ok(box.kern.touch(pid, a, true)));
+  const Pfn pfn = *box.kern.resolve(pid, a);
+  ASSERT_TRUE(ok(box.kern.start_kernel_io(pfn)));
+  // Rogue driver strips the lock; reclaim then evicts the frame mid-I/O.
+  box.kern.phys().page(pfn).flags &= ~PageFlag::Locked;
+  box.kern.task(pid).mm.pt.walk(a)->accessed = false;
+  ASSERT_GE(box.kern.try_to_free_pages(1), 1u);
+  box.kern.end_kernel_io(pfn);
+  EXPECT_EQ(box.kern.stats().io_page_stolen, 1u);
+  EXPECT_EQ(box.kern.stats().io_lock_clobbered, 1u);
+}
+
+TEST(KernelIo, EndWithoutStartIsIgnored) {
+  KernelBox box;
+  box.kern.end_kernel_io(42);
+  EXPECT_EQ(box.kern.stats().io_lock_clobbered, 0u);
+}
+
+}  // namespace
+}  // namespace vialock::simkern

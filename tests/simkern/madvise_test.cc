@@ -1,0 +1,86 @@
+// madvise_test.cc - MADV_DONTFORK semantics and its interaction with pinned
+// registrations (the fix for the fork-vs-pinned-pages problem).
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace vialock::simkern {
+namespace {
+
+using test::KernelBox;
+using test::must_mmap;
+using test::peek64;
+using test::poke64;
+
+TEST(MadviseDontFork, ChildDoesNotInheritMarkedVma) {
+  KernelBox box;
+  const Pid parent = box.kern.create_task("p");
+  const VAddr a = must_mmap(box.kern, parent, 2);
+  const VAddr b = must_mmap(box.kern, parent, 2);
+  ASSERT_TRUE(ok(poke64(box.kern, parent, a, 1)));
+  ASSERT_TRUE(ok(poke64(box.kern, parent, b, 2)));
+  ASSERT_TRUE(ok(box.kern.sys_madvise_dontfork(parent, a, 2 * kPageSize, true)));
+  const Pid child = box.kern.fork_task(parent);
+  EXPECT_EQ(box.kern.touch(child, a, false), KStatus::Fault)
+      << "DONTFORK region must be absent in the child";
+  EXPECT_EQ(peek64(box.kern, child, b), 2u) << "other regions inherited";
+}
+
+TEST(MadviseDontFork, DoForkReenablesInheritance) {
+  KernelBox box;
+  const Pid parent = box.kern.create_task("p");
+  const VAddr a = must_mmap(box.kern, parent, 2);
+  ASSERT_TRUE(ok(poke64(box.kern, parent, a, 7)));
+  ASSERT_TRUE(ok(box.kern.sys_madvise_dontfork(parent, a, 2 * kPageSize, true)));
+  ASSERT_TRUE(
+      ok(box.kern.sys_madvise_dontfork(parent, a, 2 * kPageSize, false)));
+  const Pid child = box.kern.fork_task(parent);
+  EXPECT_EQ(peek64(box.kern, child, a), 7u);
+}
+
+TEST(MadviseDontFork, PartialRangeSplitsVma) {
+  KernelBox box;
+  const Pid parent = box.kern.create_task("p");
+  const VAddr a = must_mmap(box.kern, parent, 4);
+  for (int p = 0; p < 4; ++p)
+    ASSERT_TRUE(ok(poke64(box.kern, parent, a + p * kPageSize, 10 + p)));
+  ASSERT_TRUE(ok(box.kern.sys_madvise_dontfork(parent, a + kPageSize,
+                                               2 * kPageSize, true)));
+  const Pid child = box.kern.fork_task(parent);
+  EXPECT_EQ(peek64(box.kern, child, a), 10u);
+  EXPECT_EQ(box.kern.touch(child, a + kPageSize, false), KStatus::Fault);
+  EXPECT_EQ(box.kern.touch(child, a + 2 * kPageSize, false), KStatus::Fault);
+  EXPECT_EQ(peek64(box.kern, child, a + 3 * kPageSize), 13u);
+}
+
+TEST(MadviseDontFork, OverUnmappedRangeFails) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("p");
+  EXPECT_EQ(box.kern.sys_madvise_dontfork(pid, 0x5000000, kPageSize, true),
+            KStatus::NoMem);
+}
+
+TEST(MadviseDontFork, FixesTheForkVsPinnedDmaProblem) {
+  // Without DONTFORK, a parent write after fork COW-breaks away from the
+  // pinned frame (Integration.ForkAfterRegistrationPinsTheParentCopy). With
+  // DONTFORK the frame is never shared, so the parent stays on it.
+  KernelBox box;
+  const Pid parent = box.kern.create_task("p");
+  const VAddr a = must_mmap(box.kern, parent, 1);
+  ASSERT_TRUE(ok(poke64(box.kern, parent, a, 100)));
+  // Pin as a registration would.
+  Kiobuf kb = box.kern.alloc_kiovec();
+  ASSERT_TRUE(ok(box.kern.map_user_kiobuf(parent, kb, a, kPageSize)));
+  const Pfn pinned = kb.pfns[0];
+  ASSERT_TRUE(ok(box.kern.sys_madvise_dontfork(parent, a, kPageSize, true)));
+
+  const Pid child = box.kern.fork_task(parent);
+  ASSERT_TRUE(ok(poke64(box.kern, parent, a, 200)));
+  EXPECT_EQ(*box.kern.resolve(parent, a), pinned)
+      << "no COW break: the parent still owns the pinned frame";
+  box.kern.exit_task(child);
+  box.kern.unmap_kiobuf(kb);
+}
+
+}  // namespace
+}  // namespace vialock::simkern

@@ -1,0 +1,133 @@
+// mlock_test.cc - the mlock family: privilege checks, the two work-arounds,
+// rlimit accounting, and the non-nesting behaviour of section 3.2.
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace vialock::simkern {
+namespace {
+
+using test::KernelBox;
+using test::must_mmap;
+
+TEST(Mlock, RequiresCapIpcLock) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("user");
+  const VAddr a = must_mmap(box.kern, pid, 2);
+  EXPECT_EQ(box.kern.sys_mlock(pid, a, kPageSize), KStatus::Perm);
+  box.kern.cap_raise(pid, Capability::IpcLock);
+  EXPECT_TRUE(ok(box.kern.sys_mlock(pid, a, kPageSize)));
+}
+
+TEST(Mlock, UserDmaPatchSkipsCapCheck) {
+  auto cfg = test::small_config();
+  cfg.userdma_patch = true;
+  KernelBox box(cfg);
+  const Pid pid = box.kern.create_task("user");
+  const VAddr a = must_mmap(box.kern, pid, 2);
+  EXPECT_TRUE(ok(box.kern.sys_mlock(pid, a, kPageSize)));
+}
+
+TEST(Mlock, CapRaiseLowerTrickWorksAndRevokes) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("user");
+  const VAddr a = must_mmap(box.kern, pid, 4);
+  // The driver trick: grant, lock, reclaim.
+  box.kern.cap_raise(pid, Capability::IpcLock);
+  EXPECT_TRUE(ok(box.kern.sys_mlock(pid, a, 2 * kPageSize)));
+  box.kern.cap_lower(pid, Capability::IpcLock);
+  // The task is unprivileged again.
+  EXPECT_EQ(box.kern.sys_mlock(pid, a + 2 * kPageSize, kPageSize),
+            KStatus::Perm);
+}
+
+TEST(Mlock, DoMlockIsDriverCallableWithoutPrivilege) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("user");
+  const VAddr a = must_mmap(box.kern, pid, 2);
+  EXPECT_TRUE(ok(box.kern.do_mlock(pid, a, kPageSize, true)));
+}
+
+TEST(Mlock, RlimitMemlockEnforced) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("user", Capability::IpcLock);
+  box.kern.task(pid).rlimit_memlock = 4 * kPageSize;
+  const VAddr a = must_mmap(box.kern, pid, 8);
+  EXPECT_TRUE(ok(box.kern.sys_mlock(pid, a, 4 * kPageSize)));
+  EXPECT_EQ(box.kern.sys_mlock(pid, a + 4 * kPageSize, kPageSize),
+            KStatus::NoMem);
+  ASSERT_TRUE(ok(box.kern.sys_munlock(pid, a, 4 * kPageSize)));
+  EXPECT_TRUE(ok(box.kern.sys_mlock(pid, a + 4 * kPageSize, kPageSize)));
+}
+
+TEST(Mlock, MakesPagesPresent) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("user", Capability::IpcLock);
+  const VAddr a = must_mmap(box.kern, pid, 4);
+  EXPECT_FALSE(box.kern.resolve(pid, a).has_value());
+  ASSERT_TRUE(ok(box.kern.sys_mlock(pid, a, 4 * kPageSize)));
+  for (int p = 0; p < 4; ++p)
+    EXPECT_TRUE(box.kern.resolve(pid, a + p * kPageSize).has_value());
+  EXPECT_EQ(box.kern.task(pid).mm.locked_pages, 4u);
+}
+
+TEST(Mlock, OverUnmappedRangeIsNoMem) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("user", Capability::IpcLock);
+  const VAddr a = must_mmap(box.kern, pid, 2);
+  EXPECT_EQ(box.kern.sys_mlock(pid, a, 8 * kPageSize), KStatus::NoMem);
+}
+
+TEST(Mlock, UnalignedRangeIsPageRounded) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("user", Capability::IpcLock);
+  const VAddr a = must_mmap(box.kern, pid, 4);
+  ASSERT_TRUE(ok(box.kern.sys_mlock(pid, a + 100, kPageSize)));  // spans 2 pages
+  EXPECT_TRUE(has(box.kern.task(pid).mm.vmas.find(a)->flags, VmFlag::Locked));
+  EXPECT_TRUE(
+      has(box.kern.task(pid).mm.vmas.find(a + kPageSize)->flags, VmFlag::Locked));
+  EXPECT_FALSE(
+      has(box.kern.task(pid).mm.vmas.find(a + 2 * kPageSize)->flags,
+          VmFlag::Locked));
+}
+
+TEST(Mlock, DoesNotNest) {
+  // "mlock calls do not nest, i.e. a single unlock operation annuls multiple
+  // lock operations on the same address."
+  KernelBox box;
+  const Pid pid = box.kern.create_task("user", Capability::IpcLock);
+  const VAddr a = must_mmap(box.kern, pid, 2);
+  ASSERT_TRUE(ok(box.kern.sys_mlock(pid, a, kPageSize)));
+  ASSERT_TRUE(ok(box.kern.sys_mlock(pid, a, kPageSize)));  // second lock
+  ASSERT_TRUE(ok(box.kern.sys_munlock(pid, a, kPageSize)));  // ONE unlock
+  EXPECT_FALSE(has(box.kern.task(pid).mm.vmas.find(a)->flags, VmFlag::Locked))
+      << "VM_LOCKED must be gone after a single munlock";
+}
+
+TEST(Mlock, PartialUnlockSplitsLockedRegion) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("user", Capability::IpcLock);
+  const VAddr a = must_mmap(box.kern, pid, 8);
+  ASSERT_TRUE(ok(box.kern.sys_mlock(pid, a, 8 * kPageSize)));
+  ASSERT_TRUE(ok(box.kern.sys_munlock(pid, a + 2 * kPageSize, 4 * kPageSize)));
+  EXPECT_TRUE(has(box.kern.task(pid).mm.vmas.find(a)->flags, VmFlag::Locked));
+  EXPECT_FALSE(
+      has(box.kern.task(pid).mm.vmas.find(a + 3 * kPageSize)->flags,
+          VmFlag::Locked));
+  EXPECT_TRUE(
+      has(box.kern.task(pid).mm.vmas.find(a + 6 * kPageSize)->flags,
+          VmFlag::Locked));
+}
+
+TEST(Mlock, SyscallCountersTrack) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("user", Capability::IpcLock);
+  const VAddr a = must_mmap(box.kern, pid, 1);
+  ASSERT_TRUE(ok(box.kern.sys_mlock(pid, a, kPageSize)));
+  ASSERT_TRUE(ok(box.kern.sys_munlock(pid, a, kPageSize)));
+  EXPECT_EQ(box.kern.stats().mlock_calls, 1u);
+  EXPECT_EQ(box.kern.stats().munlock_calls, 1u);
+}
+
+}  // namespace
+}  // namespace vialock::simkern

@@ -1,0 +1,194 @@
+// mm_test.cc - demand paging, fault accounting, COW fork, user access paths.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../test_util.h"
+
+namespace vialock::simkern {
+namespace {
+
+using test::KernelBox;
+using test::must_mmap;
+using test::peek64;
+using test::poke64;
+
+TEST(Mm, MmapReturnsPageAlignedDisjointRegions) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 4);
+  const VAddr b = must_mmap(box.kern, pid, 4);
+  EXPECT_EQ(a & kPageMask, 0u);
+  EXPECT_EQ(b & kPageMask, 0u);
+  EXPECT_TRUE(b >= a + 4 * kPageSize || a >= b + 4 * kPageSize);
+}
+
+TEST(Mm, DemandZeroMinorFaultOnFirstTouch) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 2);
+  EXPECT_EQ(box.kern.stats().minor_faults, 0u);
+  EXPECT_EQ(peek64(box.kern, pid, a), 0u);  // fresh page reads zero
+  EXPECT_EQ(box.kern.stats().minor_faults, 1u);
+  EXPECT_EQ(peek64(box.kern, pid, a), 0u);  // second touch: no fault
+  EXPECT_EQ(box.kern.stats().minor_faults, 1u);
+  EXPECT_EQ(box.kern.task(pid).mm.rss, 1u);
+}
+
+TEST(Mm, WriteReadRoundTrip) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 4);
+  ASSERT_TRUE(ok(poke64(box.kern, pid, a + 100, 0xDEADBEEFCAFEF00DULL)));
+  EXPECT_EQ(peek64(box.kern, pid, a + 100), 0xDEADBEEFCAFEF00DULL);
+}
+
+TEST(Mm, CrossPageAccessSpansFrames) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 2);
+  std::vector<std::byte> data(256);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::byte>(i);
+  const VAddr at = a + kPageSize - 128;  // straddles the page boundary
+  ASSERT_TRUE(ok(box.kern.write_user(pid, at, data)));
+  std::vector<std::byte> check(256);
+  ASSERT_TRUE(ok(box.kern.read_user(pid, at, check)));
+  EXPECT_EQ(data, check);
+  EXPECT_EQ(box.kern.task(pid).mm.rss, 2u);
+}
+
+TEST(Mm, AccessOutsideVmaIsFault) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 1);
+  EXPECT_EQ(box.kern.touch(pid, a + 2 * kPageSize, false), KStatus::Fault);
+  EXPECT_EQ(box.kern.stats().segv, 1u);
+}
+
+TEST(Mm, WriteToReadOnlyVmaIsFault) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const auto a = box.kern.sys_mmap_anon(pid, kPageSize, VmFlag::Read);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(box.kern.touch(pid, *a, /*write=*/true), KStatus::Fault);
+  EXPECT_TRUE(ok(box.kern.touch(pid, *a, /*write=*/false)));
+}
+
+TEST(Mm, MunmapReleasesFrames) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 8);
+  for (int p = 0; p < 8; ++p)
+    ASSERT_TRUE(ok(box.kern.touch(pid, a + p * kPageSize, true)));
+  const std::uint32_t free_before = box.kern.free_frames();
+  ASSERT_TRUE(ok(box.kern.sys_munmap(pid, a, 8 * kPageSize)));
+  EXPECT_EQ(box.kern.free_frames(), free_before + 8);
+  EXPECT_EQ(box.kern.task(pid).mm.rss, 0u);
+  EXPECT_EQ(box.kern.touch(pid, a, false), KStatus::Fault);
+}
+
+TEST(Mm, ExitTaskReleasesEverything) {
+  KernelBox box;
+  const std::uint32_t free_at_start = box.kern.free_frames();
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 16);
+  for (int p = 0; p < 16; ++p)
+    ASSERT_TRUE(ok(box.kern.touch(pid, a + p * kPageSize, true)));
+  box.kern.exit_task(pid);
+  EXPECT_EQ(box.kern.free_frames(), free_at_start);
+  EXPECT_FALSE(box.kern.task_exists(pid));
+}
+
+TEST(Mm, CopyUserMovesBytesAndFaultsBothSides) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 4);
+  ASSERT_TRUE(ok(poke64(box.kern, pid, a, 0x1122334455667788ULL)));
+  ASSERT_TRUE(ok(box.kern.copy_user(pid, a + 2 * kPageSize + 17, a, 8)));
+  EXPECT_EQ(peek64(box.kern, pid, a + 2 * kPageSize + 17),
+            0x1122334455667788ULL);
+}
+
+TEST(Mm, CopyUserOverlappingForwardIsMemmoveSafe) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 2);
+  std::vector<std::byte> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::byte>(i);
+  ASSERT_TRUE(ok(box.kern.write_user(pid, a, data)));
+  // Shift right by 8 within the same page: overlapping ranges.
+  ASSERT_TRUE(ok(box.kern.copy_user(pid, a + 8, a, 64)));
+  std::vector<std::byte> out(64);
+  ASSERT_TRUE(ok(box.kern.read_user(pid, a + 8, out)));
+  EXPECT_EQ(out, data);
+}
+
+// --- fork / COW -------------------------------------------------------------
+
+TEST(MmFork, ChildSeesParentDataWithoutCopy) {
+  KernelBox box;
+  const Pid parent = box.kern.create_task("p");
+  const VAddr a = must_mmap(box.kern, parent, 2);
+  ASSERT_TRUE(ok(poke64(box.kern, parent, a, 0xABCDULL)));
+  const std::uint64_t faults_before = box.kern.stats().minor_faults;
+  const Pid child = box.kern.fork_task(parent);
+  EXPECT_EQ(peek64(box.kern, child, a), 0xABCDULL);
+  EXPECT_EQ(box.kern.stats().minor_faults, faults_before);  // shared, no fault
+  // Same physical frame while read-shared.
+  EXPECT_EQ(box.kern.resolve(parent, a), box.kern.resolve(child, a));
+}
+
+TEST(MmFork, WriteBreaksCowAndIsolates) {
+  KernelBox box;
+  const Pid parent = box.kern.create_task("p");
+  const VAddr a = must_mmap(box.kern, parent, 1);
+  ASSERT_TRUE(ok(poke64(box.kern, parent, a, 1111)));
+  const Pid child = box.kern.fork_task(parent);
+  ASSERT_TRUE(ok(poke64(box.kern, child, a, 2222)));
+  EXPECT_GE(box.kern.stats().cow_breaks, 1u);
+  EXPECT_EQ(peek64(box.kern, parent, a), 1111u);
+  EXPECT_EQ(peek64(box.kern, child, a), 2222u);
+  EXPECT_NE(box.kern.resolve(parent, a), box.kern.resolve(child, a));
+}
+
+TEST(MmFork, SoleOwnerCowReusesFrame) {
+  KernelBox box;
+  const Pid parent = box.kern.create_task("p");
+  const VAddr a = must_mmap(box.kern, parent, 1);
+  ASSERT_TRUE(ok(poke64(box.kern, parent, a, 7)));
+  const auto frame_before = box.kern.resolve(parent, a);
+  const Pid child = box.kern.fork_task(parent);
+  box.kern.exit_task(child);  // parent is sole owner again, PTE still COW
+  ASSERT_TRUE(ok(poke64(box.kern, parent, a, 8)));
+  EXPECT_EQ(box.kern.resolve(parent, a), frame_before);  // reused in place
+  EXPECT_EQ(peek64(box.kern, parent, a), 8u);
+}
+
+TEST(MmFork, ForkedSwappedPageDuplicatesSlot) {
+  KernelBox box;
+  const Pid parent = box.kern.create_task("p");
+  const VAddr a = must_mmap(box.kern, parent, 1);
+  ASSERT_TRUE(ok(poke64(box.kern, parent, a, 42)));
+  // Force the page out by direct reclaim.
+  box.kern.task(parent).mm.pt.walk(a)->accessed = false;
+  ASSERT_GE(box.kern.try_to_free_pages(1), 1u);
+  ASSERT_FALSE(box.kern.resolve(parent, a).has_value());
+  const std::uint32_t used_before = box.kern.swap().used_slots();
+  const Pid child = box.kern.fork_task(parent);
+  EXPECT_EQ(box.kern.swap().used_slots(), used_before);  // same slot, +1 ref
+  EXPECT_EQ(peek64(box.kern, child, a), 42u);
+  EXPECT_EQ(peek64(box.kern, parent, a), 42u);
+}
+
+TEST(Mm, StatsCountSyscalls) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const std::uint64_t before = box.kern.stats().syscalls;
+  (void)must_mmap(box.kern, pid, 1);
+  EXPECT_EQ(box.kern.stats().syscalls, before + 1);
+}
+
+}  // namespace
+}  // namespace vialock::simkern

@@ -1,0 +1,129 @@
+// mprotect_test.cc - protection changes, device mappings and the kernel
+// self-check audit.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "../test_util.h"
+
+namespace vialock::simkern {
+namespace {
+
+using test::KernelBox;
+using test::must_mmap;
+using test::peek64;
+using test::poke64;
+
+TEST(Mprotect, DroppingWriteMakesStoresFault) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 2);
+  ASSERT_TRUE(ok(poke64(box.kern, pid, a, 1)));
+  ASSERT_TRUE(ok(box.kern.sys_mprotect(pid, a, 2 * kPageSize, VmFlag::Read)));
+  EXPECT_EQ(box.kern.touch(pid, a, /*write=*/true), KStatus::Fault);
+  EXPECT_EQ(peek64(box.kern, pid, a), 1u);  // reads still fine
+}
+
+TEST(Mprotect, RestoringWriteReenablesStores) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 1);
+  ASSERT_TRUE(ok(poke64(box.kern, pid, a, 1)));
+  ASSERT_TRUE(ok(box.kern.sys_mprotect(pid, a, kPageSize, VmFlag::Read)));
+  ASSERT_TRUE(ok(box.kern.sys_mprotect(pid, a, kPageSize,
+                                       VmFlag::Read | VmFlag::Write)));
+  EXPECT_TRUE(ok(poke64(box.kern, pid, a, 2)));
+  EXPECT_EQ(peek64(box.kern, pid, a), 2u);
+}
+
+TEST(Mprotect, PartialRangeOnlyAffectsCoveredPages) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 4);
+  ASSERT_TRUE(
+      ok(box.kern.sys_mprotect(pid, a + kPageSize, kPageSize, VmFlag::Read)));
+  EXPECT_TRUE(ok(box.kern.touch(pid, a, true)));
+  EXPECT_EQ(box.kern.touch(pid, a + kPageSize, true), KStatus::Fault);
+  EXPECT_TRUE(ok(box.kern.touch(pid, a + 2 * kPageSize, true)));
+}
+
+TEST(Mprotect, UncoveredRangeIsNoMem) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  EXPECT_EQ(box.kern.sys_mprotect(pid, 0x7000000, kPageSize, VmFlag::Read),
+            KStatus::NoMem);
+}
+
+TEST(DeviceMap, ReservedFrameMapsAndIsIoProtected) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const auto va = box.kern.map_device_page(
+      pid, /*dev_pfn=*/2, VmFlag::Read | VmFlag::Write);
+  ASSERT_TRUE(va.has_value());
+  EXPECT_EQ(*box.kern.resolve(pid, *va), 2u);
+  const auto* vma = box.kern.task(pid).mm.vmas.find(*va);
+  EXPECT_TRUE(has(vma->flags, VmFlag::Io));
+  // VM_IO mappings are never swapped.
+  box.kern.task(pid).mm.pt.walk(*va)->accessed = false;
+  (void)box.kern.try_to_free_pages(4);
+  EXPECT_TRUE(box.kern.resolve(pid, *va).has_value());
+}
+
+TEST(DeviceMap, NonReservedFrameRejected) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 1);
+  ASSERT_TRUE(ok(box.kern.touch(pid, a, true)));
+  const Pfn normal = *box.kern.resolve(pid, a);
+  EXPECT_FALSE(box.kern.map_device_page(pid, normal, VmFlag::Read).has_value());
+}
+
+TEST(DeviceMap, WritesReachTheDeviceFrame) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const auto va = box.kern.map_device_page(
+      pid, 3, VmFlag::Read | VmFlag::Write);
+  ASSERT_TRUE(va.has_value());
+  ASSERT_TRUE(ok(poke64(box.kern, pid, *va, 0xD00BE11)));
+  // The "device" (here: direct frame inspection) sees the register write.
+  std::uint64_t reg = 0;
+  std::memcpy(&reg, box.kern.phys().frame(3).data(), 8);
+  EXPECT_EQ(reg, 0xD00BE11u);
+}
+
+TEST(SelfCheck, CleanKernelReportsNoIssues) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 8);
+  for (int p = 0; p < 8; ++p)
+    ASSERT_TRUE(ok(box.kern.touch(pid, a + p * kPageSize, true)));
+  (void)box.kern.try_to_free_pages(4);
+  EXPECT_TRUE(box.kern.self_check().empty());
+}
+
+TEST(SelfCheck, DetectsInjectedRssDrift) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 2);
+  ASSERT_TRUE(ok(box.kern.touch(pid, a, true)));
+  ++box.kern.task(pid).mm.rss;  // sabotage
+  const auto issues = box.kern.self_check();
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].find("rss drift"), std::string::npos);
+  --box.kern.task(pid).mm.rss;
+}
+
+TEST(SelfCheck, DetectsPinAccountingDrift) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 1);
+  ASSERT_TRUE(ok(box.kern.touch(pid, a, true)));
+  ++box.kern.phys().page(*box.kern.resolve(pid, a)).pin_count;  // sabotage
+  const auto issues = box.kern.self_check();
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].find("pin accounting"), std::string::npos);
+  --box.kern.phys().page(*box.kern.resolve(pid, a)).pin_count;
+}
+
+}  // namespace
+}  // namespace vialock::simkern

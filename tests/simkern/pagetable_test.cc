@@ -1,0 +1,96 @@
+// pagetable_test.cc - two-level page table mechanics.
+#include "simkern/pagetable.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vialock::simkern {
+namespace {
+
+constexpr VAddr P = kPageSize;
+
+TEST(PageTable, WalkWithoutTablesReturnsNull) {
+  PageTable pt;
+  EXPECT_EQ(pt.walk(0), nullptr);
+  EXPECT_EQ(pt.walk(0x1234000), nullptr);
+  EXPECT_EQ(pt.second_level_tables(), 0u);
+}
+
+TEST(PageTable, EnsureAllocatesSecondLevelOnce) {
+  PageTable pt;
+  std::uint32_t levels = 0;
+  Pte& a = pt.ensure(5 * P, &levels);
+  EXPECT_EQ(levels, 1u);
+  a.present = true;
+  a.pfn = 42;
+  Pte& b = pt.ensure(6 * P, &levels);  // same second-level table
+  EXPECT_EQ(levels, 0u);
+  b.present = true;
+  b.pfn = 43;
+  EXPECT_EQ(pt.second_level_tables(), 1u);
+  EXPECT_EQ(pt.walk(5 * P)->pfn, 42u);
+  EXPECT_EQ(pt.walk(6 * P)->pfn, 43u);
+}
+
+TEST(PageTable, DistantAddressesUseDistinctTables) {
+  PageTable pt;
+  (void)pt.ensure(0);
+  (void)pt.ensure(0x40000000);  // different PGD slot (1 GB apart)
+  EXPECT_EQ(pt.second_level_tables(), 2u);
+}
+
+TEST(PageTable, ForEachInVisitsOnlyNonNone) {
+  PageTable pt;
+  for (VAddr v = 0; v < 16 * P; v += 2 * P) {
+    Pte& pte = pt.ensure(v);
+    pte.present = true;
+    pte.pfn = static_cast<Pfn>(v / P);
+  }
+  std::vector<VAddr> seen;
+  pt.for_each_in(0, 16 * P, [&](VAddr v, Pte&) { seen.push_back(v); });
+  ASSERT_EQ(seen.size(), 8u);
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i * 2 * P);
+}
+
+TEST(PageTable, ForEachVisitsSwappedEntries) {
+  PageTable pt;
+  Pte& pte = pt.ensure(3 * P);
+  pte.present = false;
+  pte.swap = 7;
+  int count = 0;
+  pt.for_each_in(0, 8 * P, [&](VAddr, Pte& p) {
+    ++count;
+    EXPECT_EQ(p.swap, 7u);
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(PageTable, ClearRangeDropsAndReportsEntries) {
+  PageTable pt;
+  for (VAddr v = 0; v < 8 * P; v += P) {
+    Pte& pte = pt.ensure(v);
+    pte.present = true;
+    pte.pfn = static_cast<Pfn>(v / P);
+  }
+  std::vector<Pfn> dropped;
+  pt.clear_range(2 * P, 5 * P,
+                 [&](VAddr, Pte& pte) { dropped.push_back(pte.pfn); });
+  EXPECT_EQ(dropped, (std::vector<Pfn>{2, 3, 4}));
+  EXPECT_FALSE(pt.walk(3 * P)->present);
+  EXPECT_TRUE(pt.walk(1 * P)->present);
+  EXPECT_TRUE(pt.walk(5 * P)->present);
+}
+
+TEST(PageTable, PteNoneSemantics) {
+  Pte pte;
+  EXPECT_TRUE(pte.none());
+  pte.swap = 3;
+  EXPECT_FALSE(pte.none());
+  pte.swap = kInvalidSwapSlot;
+  pte.present = true;
+  EXPECT_FALSE(pte.none());
+}
+
+}  // namespace
+}  // namespace vialock::simkern

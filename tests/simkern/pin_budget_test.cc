@@ -1,0 +1,85 @@
+// pin_budget_test.cc - the kernel's bound on kiobuf-pinned memory: pinned
+// pages are invisible to reclaim, so map_user_kiobuf enforces a budget.
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace vialock::simkern {
+namespace {
+
+using test::KernelBox;
+using test::must_mmap;
+
+KernelConfig budget_config(std::uint32_t frames, std::uint32_t budget) {
+  auto cfg = test::small_config(frames);
+  cfg.max_pinned_frames = budget;
+  return cfg;
+}
+
+TEST(PinBudget, DefaultsToThreeQuartersOfRam) {
+  KernelBox box(test::small_config(400));
+  EXPECT_EQ(box.kern.pin_budget(), 300u);
+}
+
+TEST(PinBudget, MapBeyondBudgetIsRejected) {
+  KernelBox box(budget_config(512, 8));
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 16);
+  Kiobuf ok_buf = box.kern.alloc_kiovec();
+  ASSERT_TRUE(ok(box.kern.map_user_kiobuf(pid, ok_buf, a, 8 * kPageSize)));
+  EXPECT_EQ(box.kern.pinned_frames(), 8u);
+  Kiobuf over = box.kern.alloc_kiovec();
+  EXPECT_EQ(box.kern.map_user_kiobuf(pid, over, a + 8 * kPageSize, kPageSize),
+            KStatus::Again);
+  EXPECT_EQ(box.kern.stats().kiobuf_pin_rejections, 1u);
+  box.kern.unmap_kiobuf(ok_buf);
+  EXPECT_EQ(box.kern.pinned_frames(), 0u);
+  // Budget freed: the map succeeds now.
+  ASSERT_TRUE(ok(box.kern.map_user_kiobuf(pid, over, a + 8 * kPageSize,
+                                          kPageSize)));
+  box.kern.unmap_kiobuf(over);
+}
+
+TEST(PinBudget, NestedPinsOnSameFrameCountOnce) {
+  KernelBox box(budget_config(512, 8));
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 8);
+  Kiobuf k1 = box.kern.alloc_kiovec();
+  Kiobuf k2 = box.kern.alloc_kiovec();
+  ASSERT_TRUE(ok(box.kern.map_user_kiobuf(pid, k1, a, 8 * kPageSize)));
+  // Same frames again: frame-deduplicated accounting... but the conservative
+  // pre-check assumes worst case, so this is (correctly) rejected at budget.
+  EXPECT_EQ(box.kern.map_user_kiobuf(pid, k2, a, 8 * kPageSize),
+            KStatus::Again);
+  box.kern.unmap_kiobuf(k1);
+  box.kern.unmap_kiobuf(k2);
+}
+
+TEST(PinBudget, NestedPinsDontInflateTheCounter) {
+  KernelBox box(budget_config(512, 64));
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 4);
+  Kiobuf k1 = box.kern.alloc_kiovec();
+  Kiobuf k2 = box.kern.alloc_kiovec();
+  ASSERT_TRUE(ok(box.kern.map_user_kiobuf(pid, k1, a, 4 * kPageSize)));
+  ASSERT_TRUE(ok(box.kern.map_user_kiobuf(pid, k2, a, 4 * kPageSize)));
+  EXPECT_EQ(box.kern.pinned_frames(), 4u) << "same frames pinned twice";
+  box.kern.unmap_kiobuf(k1);
+  EXPECT_EQ(box.kern.pinned_frames(), 4u) << "still pinned by k2";
+  box.kern.unmap_kiobuf(k2);
+  EXPECT_EQ(box.kern.pinned_frames(), 0u);
+}
+
+TEST(PinBudget, RejectionLeavesNothingPinned) {
+  KernelBox box(budget_config(512, 8));
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 16);
+  Kiobuf kb = box.kern.alloc_kiovec();
+  EXPECT_EQ(box.kern.map_user_kiobuf(pid, kb, a, 16 * kPageSize),
+            KStatus::Again);
+  EXPECT_EQ(box.kern.pinned_frames(), 0u);
+  EXPECT_FALSE(kb.mapped);
+}
+
+}  // namespace
+}  // namespace vialock::simkern

@@ -1,0 +1,75 @@
+// procfs_test.cc - /proc-style reporting plus waiting-mode completion cost.
+#include "simkern/procfs.h"
+
+#include <gtest/gtest.h>
+
+#include "../via/via_util.h"
+
+namespace vialock::simkern {
+namespace {
+
+using test::KernelBox;
+using test::must_mmap;
+
+TEST(Procfs, MeminfoReflectsState) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 4);
+  Kiobuf kb = box.kern.alloc_kiovec();
+  ASSERT_TRUE(ok(box.kern.map_user_kiobuf(pid, kb, a, 2 * kPageSize)));
+  const std::string info = meminfo(box.kern);
+  EXPECT_NE(info.find("MemTotal: 2048 kB"), std::string::npos) << info;
+  EXPECT_NE(info.find("Pinned: 8 kB"), std::string::npos) << info;
+  box.kern.unmap_kiobuf(kb);
+}
+
+TEST(Procfs, VmstatCountsEvents) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 3);
+  for (int p = 0; p < 3; ++p)
+    ASSERT_TRUE(ok(box.kern.touch(pid, a + p * kPageSize, true)));
+  const std::string stat = vmstat(box.kern);
+  EXPECT_NE(stat.find("pgfault_minor 3"), std::string::npos) << stat;
+  EXPECT_NE(stat.find("pswpout 0"), std::string::npos);
+}
+
+TEST(Procfs, TaskStatusShowsFootprint) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("worker", Capability::IpcLock);
+  const VAddr a = must_mmap(box.kern, pid, 8);
+  ASSERT_TRUE(ok(box.kern.sys_mlock(pid, a, 2 * kPageSize)));
+  const std::string st = task_status(box.kern, pid);
+  EXPECT_NE(st.find("Name: worker"), std::string::npos) << st;
+  EXPECT_NE(st.find("VmSize: 32 kB"), std::string::npos) << st;
+  EXPECT_NE(st.find("VmRSS: 8 kB"), std::string::npos) << st;
+  EXPECT_NE(st.find("VmLck: 8 kB"), std::string::npos) << st;
+  EXPECT_NE(st.find("CapIpcLock: yes"), std::string::npos);
+  EXPECT_NE(task_status(box.kern, 999).find("no such task"),
+            std::string::npos);
+}
+
+class WaitModeTest : public test::TwoNodeFixture {};
+
+TEST_F(WaitModeTest, WaitingCompletionChargesInterrupt) {
+  ASSERT_TRUE(ok(v1->post_recv(vi1, mh1, buf1, 64)));
+  ASSERT_TRUE(ok(v0->post_send(vi0, mh0, buf0, 64)));
+  // Polling harvest of the send...
+  const Nanos t0 = cluster->clock().now();
+  ASSERT_TRUE(v0->send_done(vi0).has_value());
+  const Nanos poll_cost = cluster->clock().now() - t0;
+  // ...waiting harvest of the receive.
+  const Nanos t1 = cluster->clock().now();
+  ASSERT_TRUE(v1->recv_wait(vi1).has_value());
+  const Nanos wait_cost = cluster->clock().now() - t1;
+  EXPECT_GE(wait_cost, poll_cost + cluster->costs().interrupt_wakeup);
+}
+
+TEST_F(WaitModeTest, EmptyWaitChargesNoInterrupt) {
+  const Nanos t0 = cluster->clock().now();
+  EXPECT_FALSE(v0->send_wait(vi0).has_value());
+  EXPECT_LT(cluster->clock().now() - t0, cluster->costs().interrupt_wakeup);
+}
+
+}  // namespace
+}  // namespace vialock::simkern

@@ -1,0 +1,123 @@
+// readahead_test.cc - swap read-ahead (page_cluster) semantics.
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace vialock::simkern {
+namespace {
+
+using test::KernelBox;
+using test::must_mmap;
+using test::peek64;
+using test::poke64;
+
+KernelConfig ra_config(std::uint32_t readahead) {
+  auto cfg = test::small_config();
+  cfg.swap_readahead = readahead;
+  return cfg;
+}
+
+/// Fill, evict, and return the region address.
+VAddr swapped_region(KernelBox& box, Pid pid, int pages) {
+  const VAddr a = must_mmap(box.kern, pid, pages);
+  for (int p = 0; p < pages; ++p)
+    EXPECT_TRUE(ok(poke64(box.kern, pid, a + p * kPageSize, 0xAB00 + p)));
+  for (int p = 0; p < pages; ++p)
+    box.kern.task(pid).mm.pt.walk(a + p * kPageSize)->accessed = false;
+  EXPECT_GE(box.kern.try_to_free_pages(pages), static_cast<std::uint32_t>(pages));
+  return a;
+}
+
+TEST(Readahead, DisabledByDefault) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = swapped_region(box, pid, 8);
+  EXPECT_EQ(peek64(box.kern, pid, a), 0xAB00u);
+  EXPECT_EQ(box.kern.stats().readahead_pages, 0u);
+  EXPECT_EQ(box.kern.stats().major_faults, 1u);
+}
+
+TEST(Readahead, PullsAdjacentSwappedPages) {
+  KernelBox box(ra_config(4));
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = swapped_region(box, pid, 8);
+  EXPECT_EQ(peek64(box.kern, pid, a), 0xAB00u);
+  EXPECT_EQ(box.kern.stats().readahead_pages, 4u);
+  // Pages 1..4 are present now; touching them faults no more.
+  const auto majors = box.kern.stats().major_faults;
+  EXPECT_EQ(peek64(box.kern, pid, a + kPageSize), 0xAB01u);
+  EXPECT_EQ(peek64(box.kern, pid, a + 4 * kPageSize), 0xAB04u);
+  EXPECT_EQ(box.kern.stats().major_faults, majors);
+  // Page 5 was beyond the window: real fault.
+  EXPECT_EQ(peek64(box.kern, pid, a + 5 * kPageSize), 0xAB05u);
+  EXPECT_EQ(box.kern.stats().major_faults, majors + 1);
+}
+
+TEST(Readahead, StopsAtVmaBoundary) {
+  KernelBox box(ra_config(16));
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = swapped_region(box, pid, 4);  // only 4 pages in the VMA
+  EXPECT_EQ(peek64(box.kern, pid, a), 0xAB00u);
+  EXPECT_EQ(box.kern.stats().readahead_pages, 3u);
+}
+
+TEST(Readahead, StopsAtNonSwappedPage) {
+  KernelBox box(ra_config(8));
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = swapped_region(box, pid, 8);
+  // Pin page 3 resident (mlock) to create a present-page boundary, then
+  // re-evict the rest of the read-ahead window.
+  ASSERT_TRUE(ok(box.kern.do_mlock(pid, a + 3 * kPageSize, kPageSize, true)));
+  for (int p = 4; p < 8; ++p) {
+    auto* pte = box.kern.task(pid).mm.pt.walk(a + p * kPageSize);
+    if (pte && pte->present) pte->accessed = false;
+  }
+  (void)box.kern.try_to_free_pages(8);
+  ASSERT_TRUE(box.kern.resolve(pid, a + 3 * kPageSize).has_value());
+  const auto ra_before = box.kern.stats().readahead_pages;
+  EXPECT_EQ(peek64(box.kern, pid, a), 0xAB00u);
+  EXPECT_EQ(box.kern.stats().readahead_pages, ra_before + 2)
+      << "read-ahead covers pages 1-2 and stops at present page 3";
+}
+
+TEST(Readahead, SpeculativePagesRemainEvictable) {
+  KernelBox box(ra_config(4));
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = swapped_region(box, pid, 8);
+  EXPECT_EQ(peek64(box.kern, pid, a), 0xAB00u);
+  // Speculative pages carry accessed=false: the next reclaim may take them
+  // immediately (no round of grace).
+  const auto rss_before = box.kern.task(pid).mm.rss;
+  (void)box.kern.try_to_free_pages(4);
+  EXPECT_LT(box.kern.task(pid).mm.rss, rss_before);
+}
+
+TEST(Readahead, SequentialRecoveryIsCheaperWithReadahead) {
+  auto recovery_time = [](std::uint32_t ra) {
+    KernelBox box(ra_config(ra));
+    const Pid pid = box.kern.create_task("t");
+    const VAddr a = swapped_region(box, pid, 32);
+    const Nanos t0 = box.clock.now();
+    for (int p = 0; p < 32; ++p)
+      EXPECT_EQ(peek64(box.kern, pid, a + p * kPageSize),
+                0xAB00u + static_cast<std::uint64_t>(p));
+    return box.clock.now() - t0;
+  };
+  const Nanos without = recovery_time(0);
+  const Nanos with = recovery_time(8);
+  EXPECT_LT(with * 3, without)
+      << "read-ahead amortises the seek across the cluster";
+}
+
+TEST(Readahead, WriteAfterReadaheadRegainsWriteAccess) {
+  KernelBox box(ra_config(4));
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = swapped_region(box, pid, 4);
+  EXPECT_EQ(peek64(box.kern, pid, a), 0xAB00u);
+  // Page 1 came in read-only (speculative); a write must still succeed.
+  ASSERT_TRUE(ok(poke64(box.kern, pid, a + kPageSize, 0x9999)));
+  EXPECT_EQ(peek64(box.kern, pid, a + kPageSize), 0x9999u);
+}
+
+}  // namespace
+}  // namespace vialock::simkern

@@ -1,0 +1,164 @@
+// shm_test.cc - System-V-style shared memory: cross-process visibility,
+// lazy allocation, reference management, reclaim exemption.
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace vialock::simkern {
+namespace {
+
+using test::KernelBox;
+using test::peek64;
+using test::poke64;
+
+TEST(Shm, TwoProcessesSeeEachOthersWrites) {
+  KernelBox box;
+  const Pid a = box.kern.create_task("a");
+  const Pid b = box.kern.create_task("b");
+  const ShmId seg = box.kern.shm_create(4 * kPageSize);
+  ASSERT_NE(seg, kInvalidShm);
+  const auto va = box.kern.shm_attach(a, seg);
+  const auto vb = box.kern.shm_attach(b, seg);
+  ASSERT_TRUE(va && vb);
+  ASSERT_TRUE(ok(poke64(box.kern, a, *va + 100, 0x5EED)));
+  EXPECT_EQ(peek64(box.kern, b, *vb + 100), 0x5EEDu);
+  ASSERT_TRUE(ok(poke64(box.kern, b, *vb + kPageSize, 0xF00D)));
+  EXPECT_EQ(peek64(box.kern, a, *va + kPageSize), 0xF00Du);
+  // Same physical frame behind both mappings.
+  EXPECT_EQ(*box.kern.resolve(a, *va), *box.kern.resolve(b, *vb));
+}
+
+TEST(Shm, FramesAllocateLazilyPerPage) {
+  KernelBox box;
+  const Pid a = box.kern.create_task("a");
+  const ShmId seg = box.kern.shm_create(8 * kPageSize);
+  const std::uint32_t free_before = box.kern.free_frames();
+  const auto va = box.kern.shm_attach(a, seg);
+  ASSERT_TRUE(va.has_value());
+  EXPECT_EQ(box.kern.free_frames(), free_before) << "attach allocates nothing";
+  ASSERT_TRUE(ok(box.kern.touch(a, *va, true)));
+  EXPECT_EQ(box.kern.free_frames(), free_before - 1);
+}
+
+TEST(Shm, DetachKeepsDataForOtherAttachers) {
+  KernelBox box;
+  const Pid a = box.kern.create_task("a");
+  const Pid b = box.kern.create_task("b");
+  const ShmId seg = box.kern.shm_create(kPageSize);
+  const auto va = box.kern.shm_attach(a, seg);
+  const auto vb = box.kern.shm_attach(b, seg);
+  ASSERT_TRUE(va && vb);
+  ASSERT_TRUE(ok(poke64(box.kern, a, *va, 42)));
+  ASSERT_TRUE(ok(box.kern.sys_munmap(a, *va, kPageSize)));  // a detaches
+  EXPECT_EQ(peek64(box.kern, b, *vb), 42u);
+}
+
+TEST(Shm, DestroyReleasesFramesOnceUnmapped) {
+  KernelBox box;
+  const std::uint32_t free_at_start = box.kern.free_frames();
+  const Pid a = box.kern.create_task("a");
+  const ShmId seg = box.kern.shm_create(4 * kPageSize);
+  const auto va = box.kern.shm_attach(a, seg);
+  ASSERT_TRUE(va.has_value());
+  for (int p = 0; p < 4; ++p)
+    ASSERT_TRUE(ok(box.kern.touch(a, *va + p * kPageSize, true)));
+  ASSERT_TRUE(ok(box.kern.sys_munmap(a, *va, 4 * kPageSize)));
+  ASSERT_TRUE(ok(box.kern.shm_destroy(seg)));
+  EXPECT_EQ(box.kern.free_frames(), free_at_start);
+  EXPECT_EQ(box.kern.shm_destroy(seg), KStatus::NoEnt) << "double destroy";
+  EXPECT_FALSE(box.kern.shm_attach(a, seg).has_value()) << "attach after rm";
+}
+
+TEST(Shm, SharedPagesExemptFromSwapping) {
+  KernelBox box;
+  const Pid a = box.kern.create_task("a");
+  const ShmId seg = box.kern.shm_create(4 * kPageSize);
+  const auto va = box.kern.shm_attach(a, seg);
+  ASSERT_TRUE(va.has_value());
+  for (int p = 0; p < 4; ++p) {
+    ASSERT_TRUE(ok(box.kern.touch(a, *va + p * kPageSize, true)));
+    box.kern.task(a).mm.pt.walk(*va + p * kPageSize)->accessed = false;
+  }
+  EXPECT_EQ(box.kern.try_to_free_pages(4), 0u);
+  EXPECT_EQ(box.kern.task(a).mm.rss, 4u);
+}
+
+TEST(Shm, ForkChildSharesWithoutCow) {
+  KernelBox box;
+  const Pid a = box.kern.create_task("a");
+  const ShmId seg = box.kern.shm_create(kPageSize);
+  const auto va = box.kern.shm_attach(a, seg);
+  ASSERT_TRUE(va.has_value());
+  ASSERT_TRUE(ok(poke64(box.kern, a, *va, 7)));
+  const Pid child = box.kern.fork_task(a);
+  ASSERT_TRUE(ok(poke64(box.kern, child, *va, 8)));  // shared: no COW break
+  EXPECT_EQ(peek64(box.kern, a, *va), 8u) << "parent sees the child's write";
+  EXPECT_EQ(*box.kern.resolve(a, *va), *box.kern.resolve(child, *va));
+}
+
+TEST(Shm, RegistrationOfSharedMemoryPinsTheSharedFrames) {
+  // The local "subdevice" case: communication buffers in shm, registered
+  // with the NIC - pins must land on the shared frames themselves.
+  KernelBox box;
+  const Pid a = box.kern.create_task("a");
+  const Pid b = box.kern.create_task("b");
+  const ShmId seg = box.kern.shm_create(2 * kPageSize);
+  const auto va = box.kern.shm_attach(a, seg);
+  const auto vb = box.kern.shm_attach(b, seg);
+  ASSERT_TRUE(va && vb);
+  Kiobuf kb = box.kern.alloc_kiovec();
+  ASSERT_TRUE(ok(box.kern.map_user_kiobuf(a, kb, *va, 2 * kPageSize)));
+  ASSERT_TRUE(ok(box.kern.touch(b, *vb, true)));
+  EXPECT_EQ(kb.pfns[0], *box.kern.resolve(b, *vb));
+  EXPECT_TRUE(box.kern.phys().page(kb.pfns[0]).pinned());
+  box.kern.unmap_kiobuf(kb);
+}
+
+TEST(Shm, SplitVmaKeepsSegmentIndexing) {
+  // mprotect a middle page of an shm attachment: the VMA splits into three
+  // pieces; faults through the tail pieces must still hit the right segment
+  // pages (regression test for shm_pgoff bookkeeping).
+  KernelBox box;
+  const Pid a = box.kern.create_task("a");
+  const Pid b = box.kern.create_task("b");
+  const ShmId seg = box.kern.shm_create(4 * kPageSize);
+  const auto va = box.kern.shm_attach(a, seg);
+  const auto vb = box.kern.shm_attach(b, seg);
+  ASSERT_TRUE(va && vb);
+  // Split a's attachment: page 1 becomes read-only.
+  ASSERT_TRUE(ok(box.kern.sys_mprotect(a, *va + kPageSize, kPageSize,
+                                       VmFlag::Read)));
+  ASSERT_EQ(box.kern.task(a).mm.vmas.count(), 3u);
+  // b writes page 3 first (allocating the segment frame), a reads it through
+  // the split tail piece: the contents must line up.
+  ASSERT_TRUE(ok(poke64(box.kern, b, *vb + 3 * kPageSize, 0x1DE3)));
+  EXPECT_EQ(peek64(box.kern, a, *va + 3 * kPageSize), 0x1DE3u);
+  // The read-only middle page still aliases segment page 1.
+  ASSERT_TRUE(ok(poke64(box.kern, b, *vb + kPageSize, 0x51D)));
+  EXPECT_EQ(peek64(box.kern, a, *va + kPageSize), 0x51Du);
+}
+
+TEST(Shm, PartialMunmapKeepsTailIndexing) {
+  KernelBox box;
+  const Pid a = box.kern.create_task("a");
+  const Pid b = box.kern.create_task("b");
+  const ShmId seg = box.kern.shm_create(4 * kPageSize);
+  const auto va = box.kern.shm_attach(a, seg);
+  const auto vb = box.kern.shm_attach(b, seg);
+  ASSERT_TRUE(va && vb);
+  // a unmaps its first two pages; the remaining piece starts at page 2.
+  ASSERT_TRUE(ok(box.kern.sys_munmap(a, *va, 2 * kPageSize)));
+  ASSERT_TRUE(ok(poke64(box.kern, b, *vb + 2 * kPageSize, 0x7A11)));
+  EXPECT_EQ(peek64(box.kern, a, *va + 2 * kPageSize), 0x7A11u);
+}
+
+TEST(Shm, InvalidArguments) {
+  KernelBox box;
+  const Pid a = box.kern.create_task("a");
+  EXPECT_EQ(box.kern.shm_create(0), kInvalidShm);
+  EXPECT_FALSE(box.kern.shm_attach(a, 999).has_value());
+  EXPECT_EQ(box.kern.shm_destroy(999), KStatus::NoEnt);
+}
+
+}  // namespace
+}  // namespace vialock::simkern

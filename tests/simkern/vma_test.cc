@@ -1,0 +1,166 @@
+// vma_test.cc - VMA set: find/insert/remove, the split/merge machinery that
+// do_mlock depends on, and random-operation property checks.
+#include "simkern/vma.h"
+
+#include <gtest/gtest.h>
+
+#include "simkern/types.h"
+#include "util/rng.h"
+
+namespace vialock::simkern {
+namespace {
+
+constexpr VAddr P = kPageSize;
+
+TEST(VmaSet, InsertAndFind) {
+  VmaSet set;
+  ASSERT_TRUE(set.insert(4 * P, 8 * P, VmFlag::Read));
+  EXPECT_EQ(set.find(3 * P), nullptr);
+  ASSERT_NE(set.find(4 * P), nullptr);
+  ASSERT_NE(set.find(8 * P - 1), nullptr);
+  EXPECT_EQ(set.find(8 * P), nullptr);
+  EXPECT_EQ(set.find(4 * P)->flags, VmFlag::Read);
+}
+
+TEST(VmaSet, OverlappingInsertRejected) {
+  VmaSet set;
+  ASSERT_TRUE(set.insert(4 * P, 8 * P, VmFlag::Read));
+  EXPECT_FALSE(set.insert(7 * P, 9 * P, VmFlag::Read));
+  EXPECT_FALSE(set.insert(2 * P, 5 * P, VmFlag::Read));
+  EXPECT_FALSE(set.insert(5 * P, 6 * P, VmFlag::Read));
+  EXPECT_FALSE(set.insert(2 * P, 12 * P, VmFlag::Read));
+  EXPECT_TRUE(set.insert(8 * P, 9 * P, VmFlag::Read));   // abutting is fine
+  EXPECT_TRUE(set.insert(2 * P, 4 * P, VmFlag::Read));
+}
+
+TEST(VmaSet, CoveredDetectsGaps) {
+  VmaSet set;
+  ASSERT_TRUE(set.insert(2 * P, 4 * P, VmFlag::Read));
+  ASSERT_TRUE(set.insert(4 * P, 6 * P, VmFlag::Write));
+  ASSERT_TRUE(set.insert(8 * P, 10 * P, VmFlag::Read));
+  EXPECT_TRUE(set.covered(2 * P, 6 * P));
+  EXPECT_TRUE(set.covered(3 * P, 5 * P));
+  EXPECT_FALSE(set.covered(2 * P, 9 * P));  // hole at [6P, 8P)
+  EXPECT_FALSE(set.covered(1 * P, 3 * P));
+}
+
+TEST(VmaSet, SetFlagsSplitsAtRangeEdges) {
+  VmaSet set;
+  ASSERT_TRUE(set.insert(0, 10 * P, VmFlag::Read | VmFlag::Write));
+  std::uint32_t ops = 0;
+  ASSERT_TRUE(set.set_flags_range(3 * P, 7 * P, VmFlag::Locked, VmFlag::None,
+                                  &ops));
+  EXPECT_GT(ops, 0u);
+  EXPECT_EQ(set.count(), 3u);  // [0,3) [3,7) [7,10)
+  EXPECT_FALSE(has(set.find(0 * P)->flags, VmFlag::Locked));
+  EXPECT_TRUE(has(set.find(3 * P)->flags, VmFlag::Locked));
+  EXPECT_TRUE(has(set.find(6 * P)->flags, VmFlag::Locked));
+  EXPECT_FALSE(has(set.find(7 * P)->flags, VmFlag::Locked));
+}
+
+TEST(VmaSet, ClearFlagsMergesBackTogether) {
+  VmaSet set;
+  ASSERT_TRUE(set.insert(0, 10 * P, VmFlag::Read));
+  ASSERT_TRUE(set.set_flags_range(3 * P, 7 * P, VmFlag::Locked, VmFlag::None));
+  ASSERT_EQ(set.count(), 3u);
+  ASSERT_TRUE(set.set_flags_range(3 * P, 7 * P, VmFlag::None, VmFlag::Locked));
+  EXPECT_EQ(set.count(), 1u);  // identical flags merge again
+  EXPECT_EQ(set.find(5 * P)->start, 0u);
+  EXPECT_EQ(set.find(5 * P)->end, 10 * P);
+}
+
+TEST(VmaSet, SetFlagsOverUncoveredRangeFails) {
+  VmaSet set;
+  ASSERT_TRUE(set.insert(0, 4 * P, VmFlag::Read));
+  ASSERT_TRUE(set.insert(6 * P, 8 * P, VmFlag::Read));
+  EXPECT_FALSE(set.set_flags_range(2 * P, 7 * P, VmFlag::Locked, VmFlag::None));
+  // Nothing should have been half-applied to the second VMA.
+  EXPECT_FALSE(has(set.find(6 * P)->flags, VmFlag::Locked));
+}
+
+TEST(VmaSet, SetFlagsSpanningMultipleVmas) {
+  VmaSet set;
+  ASSERT_TRUE(set.insert(0, 2 * P, VmFlag::Read));
+  ASSERT_TRUE(set.insert(2 * P, 5 * P, VmFlag::Read));
+  ASSERT_TRUE(set.insert(5 * P, 9 * P, VmFlag::Read));
+  ASSERT_TRUE(set.set_flags_range(1 * P, 8 * P, VmFlag::Locked, VmFlag::None));
+  for (VAddr a = 1 * P; a < 8 * P; a += P)
+    EXPECT_TRUE(has(set.find(a)->flags, VmFlag::Locked)) << a / P;
+  EXPECT_FALSE(has(set.find(0)->flags, VmFlag::Locked));
+  EXPECT_FALSE(has(set.find(8 * P)->flags, VmFlag::Locked));
+}
+
+TEST(VmaSet, RemoveRangeSplitsEdges) {
+  VmaSet set;
+  ASSERT_TRUE(set.insert(0, 10 * P, VmFlag::Read));
+  set.remove_range(3 * P, 7 * P);
+  EXPECT_NE(set.find(2 * P), nullptr);
+  EXPECT_EQ(set.find(3 * P), nullptr);
+  EXPECT_EQ(set.find(6 * P), nullptr);
+  EXPECT_NE(set.find(7 * P), nullptr);
+  EXPECT_EQ(set.count(), 2u);
+}
+
+TEST(VmaSet, FindFreeRangeSkipsExisting) {
+  VmaSet set;
+  ASSERT_TRUE(set.insert(4 * P, 8 * P, VmFlag::Read));
+  const auto r = set.find_free_range(6 * P, 0, 64 * P);
+  ASSERT_TRUE(r.has_value());
+  // [0, 4P) is only 4 pages; the first fit is after the existing VMA.
+  EXPECT_EQ(*r, 8 * P);
+  ASSERT_TRUE(set.insert(*r, *r + 6 * P, VmFlag::Read));
+  const auto r2 = set.find_free_range(4 * P, 0, 64 * P);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(*r2, 0u);  // the low gap fits 4 pages
+}
+
+TEST(VmaSet, FindFreeRangeHonoursUpperBound) {
+  VmaSet set;
+  ASSERT_TRUE(set.insert(0, 8 * P, VmFlag::Read));
+  EXPECT_FALSE(set.find_free_range(4 * P, 0, 10 * P).has_value());
+  EXPECT_TRUE(set.find_free_range(2 * P, 0, 10 * P).has_value());
+}
+
+/// Property: lock/unlock of random sub-ranges of one big VMA always leaves
+/// exactly the locked ranges flagged, and VMA pieces always tile the region.
+class VmaLockProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VmaLockProperty, RandomLockUnlockTilesExactly) {
+  constexpr VAddr kPages = 64;
+  VmaSet set;
+  ASSERT_TRUE(set.insert(0, kPages * P, VmFlag::Read));
+  std::array<int, kPages> locked{};  // model: lock state per page
+  Rng rng(GetParam());
+
+  for (int step = 0; step < 500; ++step) {
+    const VAddr a = rng.below(kPages);
+    const VAddr b = rng.between(a + 1, kPages);
+    const bool lock = rng.chance(0.5);
+    ASSERT_TRUE(set.set_flags_range(a * P, b * P,
+                                    lock ? VmFlag::Locked : VmFlag::None,
+                                    lock ? VmFlag::None : VmFlag::Locked));
+    for (VAddr pg = a; pg < b; ++pg) locked[pg] = lock ? 1 : 0;
+
+    // Check per-page flag state against the model.
+    for (VAddr pg = 0; pg < kPages; ++pg) {
+      const Vma* vma = set.find(pg * P);
+      ASSERT_NE(vma, nullptr);
+      ASSERT_EQ(has(vma->flags, VmFlag::Locked), locked[pg] == 1)
+          << "page " << pg << " step " << step;
+    }
+    // Check tiling: VMAs are sorted, non-overlapping, gap-free over region.
+    VAddr expect = 0;
+    for (const Vma* vma : set.in_order()) {
+      ASSERT_EQ(vma->start, expect);
+      ASSERT_GT(vma->end, vma->start);
+      expect = vma->end;
+    }
+    ASSERT_EQ(expect, kPages * P);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmaLockProperty,
+                         ::testing::Values(7, 99, 2024, 31415, 65537));
+
+}  // namespace
+}  // namespace vialock::simkern

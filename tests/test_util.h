@@ -1,0 +1,66 @@
+// test_util.h - shared fixtures and helpers for the vialock test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simkern/kernel.h"
+#include "util/clock.h"
+
+namespace vialock::test {
+
+/// Small, fast kernel configuration for unit tests.
+inline simkern::KernelConfig small_config(std::uint32_t frames = 512,
+                                          std::uint32_t swap_slots = 2048) {
+  simkern::KernelConfig cfg;
+  cfg.frames = frames;
+  cfg.reserved_low = 8;
+  cfg.swap_slots = swap_slots;
+  cfg.free_pages_min = 8;
+  cfg.swap_cluster = 16;
+  return cfg;
+}
+
+/// Kernel + clock bundle.
+struct KernelBox {
+  explicit KernelBox(simkern::KernelConfig cfg = small_config())
+      : kern(cfg, clock) {}
+  Clock clock;
+  simkern::Kernel kern;
+};
+
+/// Write a 64-bit stamp at `addr`.
+inline KStatus poke64(simkern::Kernel& k, simkern::Pid pid, simkern::VAddr addr,
+                      std::uint64_t value) {
+  return k.write_user(pid, addr, std::as_bytes(std::span{&value, 1}));
+}
+
+/// Read a 64-bit stamp at `addr` (0 on failure; use peek64_st for status).
+inline std::uint64_t peek64(simkern::Kernel& k, simkern::Pid pid,
+                            simkern::VAddr addr) {
+  std::uint64_t v = 0;
+  if (!ok(k.read_user(pid, addr, std::as_writable_bytes(std::span{&v, 1}))))
+    return 0;
+  return v;
+}
+
+/// Map an anonymous RW region of `pages` pages; aborts the test on failure.
+inline simkern::VAddr must_mmap(simkern::Kernel& k, simkern::Pid pid,
+                                std::uint64_t pages) {
+  const auto addr = k.sys_mmap_anon(
+      pid, pages << simkern::kPageShift,
+      simkern::VmFlag::Read | simkern::VmFlag::Write);
+  EXPECT_TRUE(addr.has_value());
+  return addr.value_or(0);
+}
+
+/// Bytes of an arbitrary trivially-copyable value.
+template <typename T>
+std::span<const std::byte> bytes_of(const T& v) {
+  return std::as_bytes(std::span{&v, 1});
+}
+
+}  // namespace vialock::test

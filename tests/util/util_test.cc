@@ -1,0 +1,178 @@
+// util_test.cc - the utility substrate: statistics, histograms, RNG
+// determinism, table formatting, clock/cost composition, flag operations.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/clock.h"
+#include "util/cost_model.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace vialock {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.total(), 40.0);
+}
+
+TEST(Summary, MergeEqualsCombinedStream) {
+  Summary a;
+  Summary b;
+  Summary all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 1.7 - 20;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmptySides) {
+  Summary a;
+  Summary empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  Summary c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_DOUBLE_EQ(c.mean(), 3.0);
+}
+
+TEST(Log2Histogram, BucketsAndQuantiles) {
+  Log2Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_LE(h.quantile(0.0), 1u);
+  // The median of 1..1000 (~500) lands in the 256..511 bucket; the tail in
+  // the 512..1023 bucket.
+  EXPECT_EQ(h.quantile(0.5), 511u);
+  EXPECT_EQ(h.quantile(1.0), 1023u);
+}
+
+TEST(Log2Histogram, ZeroGoesToBucketZero) {
+  Log2Histogram h;
+  h.add(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.next(), b.next());
+  Rng c(43);
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(rng.below(17), 17u);
+    const auto v = rng.between(5, 9);
+    ASSERT_GE(v, 5u);
+    ASSERT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, UniformCoversUnitInterval) {
+  Rng rng(3);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Table, FormatsAlignedAscii) {
+  Table t({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos) << out;
+  EXPECT_NE(out.find("+-------+-------+"), std::string::npos) << out;
+}
+
+TEST(Table, HumanUnits) {
+  EXPECT_EQ(Table::nanos(900), "900 ns");
+  EXPECT_EQ(Table::nanos(25'000), "25.00 us");
+  EXPECT_EQ(Table::nanos(13'000'000), "13.00 ms");
+  EXPECT_EQ(Table::nanos(20'000'000'000ULL), "20.00 s");
+  EXPECT_EQ(Table::bytes(512), "512 B");
+  EXPECT_EQ(Table::bytes(64 * 1024), "64 KB");
+  EXPECT_EQ(Table::bytes(3 * 1024 * 1024), "3 MB");
+  EXPECT_EQ(Table::rate(1024 * 1024, 1'000'000'000ULL), "1.00 MB/s");
+}
+
+TEST(Clock, AdvancesMonotonically) {
+  Clock c;
+  EXPECT_EQ(c.now(), 0u);
+  c.advance(5);
+  c.advance(7);
+  EXPECT_EQ(c.now(), 12u);
+  VirtualStopwatch sw(c);
+  c.advance(100);
+  EXPECT_EQ(sw.elapsed(), 100u);
+  c.reset();
+  EXPECT_EQ(c.now(), 0u);
+}
+
+TEST(CostModel, CompositesAreLinear) {
+  CostModel m;
+  EXPECT_EQ(m.copy(100), 100 * m.mem_copy_per_byte);
+  EXPECT_EQ(m.swap_io(4096), m.swap_seek + 4096 * m.swap_per_byte);
+  EXPECT_EQ(m.dma(0), m.dma_startup);
+  EXPECT_EQ(m.wire(10) - m.wire(0), 10 * m.wire_per_byte);
+}
+
+}  // namespace
+
+// Flag-ops test enum: must live at namespace scope so the trait
+// specialization can name it.
+enum class TestFlag : std::uint8_t { None = 0, A = 1, B = 2, C = 4 };
+
+}  // namespace vialock
+
+template <>
+inline constexpr bool vialock::enable_flag_ops<vialock::TestFlag> = true;
+
+namespace vialock {
+namespace {
+
+TEST(Flags, BitOperationsCompose) {
+  TestFlag f = TestFlag::A | TestFlag::C;
+  EXPECT_TRUE(has(f, TestFlag::A));
+  EXPECT_FALSE(has(f, TestFlag::B));
+  f |= TestFlag::B;
+  EXPECT_TRUE(has(f, TestFlag::B));
+  f &= ~TestFlag::A;
+  EXPECT_FALSE(has(f, TestFlag::A));
+  EXPECT_TRUE(has(f, TestFlag::C));
+}
+
+}  // namespace
+}  // namespace vialock

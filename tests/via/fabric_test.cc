@@ -1,0 +1,120 @@
+// fabric_test.cc - fabric-level connection management: the VIA client/server
+// model (VipConnectWait / VipConnectRequest / VipDisconnect) plus connect()
+// edge cases.
+#include "via/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include "via_util.h"
+
+namespace vialock::via {
+namespace {
+
+using simkern::kPageSize;
+using test::must_mmap;
+
+/// Like TwoNodeFixture but without a pre-made connection.
+class FabricTest : public test::TwoNodeFixture {
+ protected:
+  void SetUp() override {
+    // Build the fixture, then tear its connection down so tests start from
+    // unconnected VIs.
+    test::TwoNodeFixture::SetUp();
+    ASSERT_TRUE(ok(cluster->fabric().disconnect(n0, vi0)));
+    cluster->node(n1).nic().vi(vi1).state = ViState::Idle;
+    cluster->node(n1).nic().vi(vi1).peer_node = kInvalidNode;
+    cluster->node(n1).nic().vi(vi1).peer_vi = kInvalidVi;
+  }
+};
+
+TEST_F(FabricTest, ClientServerConnectEstablishesPair) {
+  Fabric& fabric = cluster->fabric();
+  ASSERT_TRUE(ok(fabric.listen(n1, /*discriminator=*/0xCAFE, vi1)));
+  ASSERT_TRUE(ok(fabric.connect_request(n0, vi0, n1, 0xCAFE)));
+  EXPECT_TRUE(cluster->node(n0).nic().vi(vi0).connected());
+  EXPECT_TRUE(cluster->node(n1).nic().vi(vi1).connected());
+  EXPECT_EQ(cluster->node(n0).nic().vi(vi0).peer_vi, vi1);
+}
+
+TEST_F(FabricTest, ConnectRequestWithoutListenerIsAgain) {
+  EXPECT_EQ(cluster->fabric().connect_request(n0, vi0, n1, 0xBEEF),
+            KStatus::Again);
+  EXPECT_FALSE(cluster->node(n0).nic().vi(vi0).connected());
+}
+
+TEST_F(FabricTest, DiscriminatorMustMatch) {
+  Fabric& fabric = cluster->fabric();
+  ASSERT_TRUE(ok(fabric.listen(n1, 0xCAFE, vi1)));
+  EXPECT_EQ(fabric.connect_request(n0, vi0, n1, 0xF00D), KStatus::Again);
+  EXPECT_TRUE(ok(fabric.connect_request(n0, vi0, n1, 0xCAFE)));
+}
+
+TEST_F(FabricTest, ListenerIsConsumedByOneClient) {
+  Fabric& fabric = cluster->fabric();
+  ASSERT_TRUE(ok(fabric.listen(n1, 0xCAFE, vi1)));
+  ASSERT_TRUE(ok(fabric.connect_request(n0, vi0, n1, 0xCAFE)));
+  const ViId vi0b = v0->create_vi();
+  EXPECT_EQ(fabric.connect_request(n0, vi0b, n1, 0xCAFE), KStatus::Again);
+}
+
+TEST_F(FabricTest, DoubleListenOnSameDiscriminatorIsBusy) {
+  Fabric& fabric = cluster->fabric();
+  ASSERT_TRUE(ok(fabric.listen(n1, 0xCAFE, vi1)));
+  const ViId vi1b = v1->create_vi();
+  EXPECT_EQ(fabric.listen(n1, 0xCAFE, vi1b), KStatus::Busy);
+  // A different discriminator on the same node is fine.
+  EXPECT_TRUE(ok(fabric.listen(n1, 0xCAFF, vi1b)));
+}
+
+TEST_F(FabricTest, ConnectedViCannotListen) {
+  Fabric& fabric = cluster->fabric();
+  ASSERT_TRUE(ok(fabric.connect(n0, vi0, n1, vi1)));
+  EXPECT_EQ(fabric.listen(n1, 0xCAFE, vi1), KStatus::Busy);
+}
+
+TEST_F(FabricTest, DisconnectFreesLocalSideAndBreaksPeer) {
+  Fabric& fabric = cluster->fabric();
+  ASSERT_TRUE(ok(fabric.connect(n0, vi0, n1, vi1)));
+  ASSERT_TRUE(ok(fabric.disconnect(n0, vi0)));
+  EXPECT_EQ(cluster->node(n0).nic().vi(vi0).state, ViState::Idle);
+  EXPECT_EQ(cluster->node(n1).nic().vi(vi1).state, ViState::Error);
+  // The freed VI can connect again.
+  const ViId vi1b = v1->create_vi();
+  EXPECT_TRUE(ok(fabric.connect(n0, vi0, n1, vi1b)));
+}
+
+TEST_F(FabricTest, SendAfterPeerDisconnectFails) {
+  Fabric& fabric = cluster->fabric();
+  ASSERT_TRUE(ok(fabric.connect(n0, vi0, n1, vi1)));
+  ASSERT_TRUE(ok(fabric.disconnect(n1, vi1)));
+  ASSERT_TRUE(ok(v0->post_send(vi0, mh0, buf0, 64)));
+  const auto sc = v0->send_done(vi0);
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_EQ(sc->status, DescStatus::ErrDisconnected);
+}
+
+TEST_F(FabricTest, DisconnectOfUnconnectedViIsProtocolError) {
+  EXPECT_EQ(cluster->fabric().disconnect(n0, vi0), KStatus::Proto);
+}
+
+TEST_F(FabricTest, ConnectRejectsBusyEndpoints) {
+  Fabric& fabric = cluster->fabric();
+  ASSERT_TRUE(ok(fabric.connect(n0, vi0, n1, vi1)));
+  const ViId vi0b = v0->create_vi();
+  EXPECT_EQ(fabric.connect(n0, vi0b, n1, vi1), KStatus::Busy);
+}
+
+TEST_F(FabricTest, EndToEndAfterClientServerConnect) {
+  Fabric& fabric = cluster->fabric();
+  ASSERT_TRUE(ok(fabric.listen(n1, 42, vi1)));
+  ASSERT_TRUE(ok(fabric.connect_request(n0, vi0, n1, 42)));
+  ASSERT_TRUE(ok(test::poke64(kern0(), p0, buf0, 0x5151)));
+  ASSERT_TRUE(ok(v1->post_recv(vi1, mh1, buf1, 64)));
+  ASSERT_TRUE(ok(v0->post_send(vi0, mh0, buf0, 64)));
+  ASSERT_TRUE(v0->send_done(vi0)->done_ok());
+  ASSERT_TRUE(v1->recv_done(vi1)->done_ok());
+  EXPECT_EQ(test::peek64(kern1(), p1, buf1), 0x5151u);
+}
+
+}  // namespace
+}  // namespace vialock::via

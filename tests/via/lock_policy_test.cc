@@ -1,0 +1,282 @@
+// lock_policy_test.cc - per-policy semantics: what each strategy pins, what
+// it reports, and how it fails - parameterized where behaviour is shared.
+#include "via/lock_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "via/policy_factory.h"
+
+namespace vialock::via {
+namespace {
+
+using simkern::kPageSize;
+using simkern::PageFlag;
+using simkern::Pid;
+using simkern::VAddr;
+using simkern::VmFlag;
+using test::KernelBox;
+using test::must_mmap;
+
+// --- shared contract over all policies ---------------------------------------
+
+class AllPoliciesTest : public ::testing::TestWithParam<PolicyKind> {
+ protected:
+  KernelBox box;
+};
+
+TEST_P(AllPoliciesTest, LockFaultsInAndReportsCorrectPfns) {
+  auto policy = make_policy(GetParam(), box.kern);
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 4);
+  LockHandle h;
+  ASSERT_TRUE(ok(policy->lock(pid, a, 4 * kPageSize, h)));
+  ASSERT_EQ(h.pfns.size(), 4u);
+  for (int p = 0; p < 4; ++p)
+    EXPECT_EQ(h.pfns[p], *box.kern.resolve(pid, a + p * kPageSize));
+  policy->unlock(h);
+}
+
+TEST_P(AllPoliciesTest, UnlockRestoresCleanPageState) {
+  auto policy = make_policy(GetParam(), box.kern);
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 4);
+  LockHandle h;
+  ASSERT_TRUE(ok(policy->lock(pid, a, 4 * kPageSize, h)));
+  policy->unlock(h);
+  for (int p = 0; p < 4; ++p) {
+    const auto pfn = box.kern.resolve(pid, a + p * kPageSize);
+    ASSERT_TRUE(pfn.has_value());
+    const auto& pg = box.kern.phys().page(*pfn);
+    EXPECT_EQ(pg.count, 1u) << "policy " << to_string(GetParam());
+    EXPECT_EQ(pg.pin_count, 0u);
+    EXPECT_FALSE(pg.locked());
+    EXPECT_FALSE(pg.reserved());
+  }
+  const auto* vma = box.kern.task(pid).mm.vmas.find(a);
+  EXPECT_FALSE(has(vma->flags, VmFlag::Locked));
+}
+
+TEST_P(AllPoliciesTest, LockOverUnmappedRangeFails) {
+  auto policy = make_policy(GetParam(), box.kern);
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 2);
+  LockHandle h;
+  const KStatus st = policy->lock(pid, a, 4 * kPageSize, h);
+  EXPECT_FALSE(ok(st));
+  EXPECT_FALSE(h.active);
+}
+
+TEST_P(AllPoliciesTest, UnalignedRangeSpansCorrectPageCount) {
+  auto policy = make_policy(GetParam(), box.kern);
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 4);
+  LockHandle h;
+  ASSERT_TRUE(ok(policy->lock(pid, a + kPageSize / 2, kPageSize, h)));
+  EXPECT_EQ(h.pfns.size(), 2u);  // straddles a boundary
+  policy->unlock(h);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, AllPoliciesTest,
+                         ::testing::ValuesIn(kAllPolicies),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case PolicyKind::Refcount: return "refcount";
+                             case PolicyKind::PageFlag: return "pageflag";
+                             case PolicyKind::Mlock: return "mlock";
+                             case PolicyKind::MlockTracked: return "mlocktrack";
+                             case PolicyKind::Kiobuf: return "kiobuf";
+                           }
+                           return "unknown";
+                         });
+
+// --- reliability under reclaim, per policy -------------------------------------
+
+/// Evict everything evictable and report whether the locked range moved.
+bool survives_reclaim(KernelBox& box, Pid pid, VAddr a, int pages,
+                      const std::vector<simkern::Pfn>& before) {
+  for (int p = 0; p < pages; ++p) {
+    auto* pte = box.kern.task(pid).mm.pt.walk(a + p * kPageSize);
+    if (pte && pte->present) pte->accessed = false;
+  }
+  (void)box.kern.try_to_free_pages(static_cast<std::uint32_t>(pages));
+  for (int p = 0; p < pages; ++p) {
+    const auto pfn = box.kern.resolve(pid, a + p * kPageSize);
+    if (!pfn || *pfn != before[p]) return false;
+  }
+  return true;
+}
+
+TEST(LockPolicyReliability, RefcountDoesNotSurviveReclaim) {
+  KernelBox box;
+  RefcountLockPolicy policy(box.kern);
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 4);
+  LockHandle h;
+  ASSERT_TRUE(ok(policy.lock(pid, a, 4 * kPageSize, h)));
+  EXPECT_FALSE(survives_reclaim(box, pid, a, 4, h.pfns));
+  EXPECT_FALSE(policy.reliable());
+  policy.unlock(h);
+}
+
+class ReliablePoliciesTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(ReliablePoliciesTest, SurvivesReclaim) {
+  KernelBox box;
+  auto policy = make_policy(GetParam(), box.kern);
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 4);
+  LockHandle h;
+  ASSERT_TRUE(ok(policy->lock(pid, a, 4 * kPageSize, h)));
+  EXPECT_TRUE(survives_reclaim(box, pid, a, 4, h.pfns));
+  EXPECT_TRUE(policy->reliable());
+  policy->unlock(h);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ReliablePoliciesTest,
+                         ::testing::Values(PolicyKind::PageFlag,
+                                           PolicyKind::Mlock,
+                                           PolicyKind::MlockTracked,
+                                           PolicyKind::Kiobuf));
+
+// --- nesting: the multiple-registration property --------------------------------
+
+/// Lock the same range twice, unlock once; is the range still protected?
+bool nested_lock_survives(KernelBox& box, LockPolicy& policy) {
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 2);
+  LockHandle h1;
+  LockHandle h2;
+  EXPECT_TRUE(ok(policy.lock(pid, a, 2 * kPageSize, h1)));
+  EXPECT_TRUE(ok(policy.lock(pid, a, 2 * kPageSize, h2)));
+  const std::vector<simkern::Pfn> before = h1.pfns;
+  policy.unlock(h1);  // first deregistration
+  const bool survived = survives_reclaim(box, pid, a, 2, before);
+  policy.unlock(h2);
+  return survived;
+}
+
+TEST(LockPolicyNesting, KiobufNests) {
+  KernelBox box;
+  KiobufLockPolicy policy(box.kern);
+  EXPECT_TRUE(nested_lock_survives(box, policy));
+  EXPECT_TRUE(policy.supports_nesting());
+}
+
+TEST(LockPolicyNesting, MlockTrackedNestsForExactRanges) {
+  KernelBox box;
+  MlockLockPolicy policy(box.kern, {.userdma_patch = false,
+                                    .track_ranges = true});
+  EXPECT_TRUE(nested_lock_survives(box, policy));
+}
+
+TEST(LockPolicyNesting, NaiveMlockDoesNotNest) {
+  // "a single unlock operation annuls multiple lock operations".
+  KernelBox box;
+  MlockLockPolicy policy(box.kern);
+  EXPECT_FALSE(nested_lock_survives(box, policy));
+  EXPECT_FALSE(policy.supports_nesting());
+}
+
+TEST(LockPolicyNesting, PageFlagDoesNotNest) {
+  // First deregistration strips PG_locked from the other registration.
+  KernelBox box;
+  PageFlagLockPolicy policy(box.kern);
+  EXPECT_FALSE(nested_lock_survives(box, policy));
+}
+
+TEST(LockPolicyNesting, TrackedMlockFailsOnOverlappingRanges) {
+  // Driver-side per-range refcounting only handles *exact* range matches:
+  // overlapping registrations still break each other (the residual weakness
+  // of the mlock work-around).
+  KernelBox box;
+  MlockLockPolicy policy(box.kern, {.userdma_patch = false,
+                                    .track_ranges = true});
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 4);
+  LockHandle h1;
+  LockHandle h2;
+  ASSERT_TRUE(ok(policy.lock(pid, a, 3 * kPageSize, h1)));              // [0,3)
+  ASSERT_TRUE(ok(policy.lock(pid, a + kPageSize, 3 * kPageSize, h2)));  // [1,4)
+  const std::vector<simkern::Pfn> h2_before = h2.pfns;
+  policy.unlock(h1);  // munlocks [0,3), stripping pages 1-2 of h2's range
+  EXPECT_FALSE(survives_reclaim(box, pid, a + kPageSize, 3, h2_before));
+  policy.unlock(h2);
+}
+
+TEST(LockPolicyNesting, KiobufHandlesOverlappingRanges) {
+  KernelBox box;
+  KiobufLockPolicy policy(box.kern);
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 4);
+  LockHandle h1;
+  LockHandle h2;
+  ASSERT_TRUE(ok(policy.lock(pid, a, 3 * kPageSize, h1)));
+  ASSERT_TRUE(ok(policy.lock(pid, a + kPageSize, 3 * kPageSize, h2)));
+  const std::vector<simkern::Pfn> h2_before = h2.pfns;
+  policy.unlock(h1);
+  EXPECT_TRUE(survives_reclaim(box, pid, a + kPageSize, 3, h2_before));
+  policy.unlock(h2);
+}
+
+// --- policy-specific behaviour ---------------------------------------------------
+
+TEST(LockPolicyPageFlag, SetsAndStripsFlagsUnconditionally) {
+  KernelBox box;
+  PageFlagLockPolicy policy(box.kern);
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 1);
+  ASSERT_TRUE(ok(box.kern.touch(pid, a, true)));
+  const auto pfn = *box.kern.resolve(pid, a);
+  // Kernel I/O already holds PG_locked.
+  ASSERT_TRUE(ok(box.kern.start_kernel_io(pfn)));
+  LockHandle h;
+  ASSERT_TRUE(ok(policy.lock(pid, a, kPageSize, h)));
+  EXPECT_EQ(box.kern.stats().io_flag_collisions, 1u);
+  policy.unlock(h);  // strips PG_locked although the I/O still runs
+  box.kern.end_kernel_io(pfn);
+  EXPECT_EQ(box.kern.stats().io_lock_clobbered, 1u);
+}
+
+TEST(LockPolicyMlock, CapabilityTrickLeavesTaskUnprivileged) {
+  KernelBox box;
+  MlockLockPolicy policy(box.kern);
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 2);
+  LockHandle h;
+  ASSERT_TRUE(ok(policy.lock(pid, a, kPageSize, h)));
+  EXPECT_FALSE(box.kern.task(pid).capable(simkern::Capability::IpcLock));
+  // And the task itself still cannot mlock.
+  EXPECT_EQ(box.kern.sys_mlock(pid, a + kPageSize, kPageSize), KStatus::Perm);
+  policy.unlock(h);
+}
+
+TEST(LockPolicyMlock, UserDmaPatchVariantUsesDoMlock) {
+  KernelBox box;
+  MlockLockPolicy policy(box.kern, {.userdma_patch = true,
+                                    .track_ranges = false});
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 2);
+  LockHandle h;
+  ASSERT_TRUE(ok(policy.lock(pid, a, 2 * kPageSize, h)));
+  EXPECT_TRUE(
+      has(box.kern.task(pid).mm.vmas.find(a)->flags, VmFlag::Locked));
+  // do_mlock path performs no mlock *syscall*.
+  EXPECT_EQ(box.kern.stats().mlock_calls, 0u);
+  policy.unlock(h);
+}
+
+TEST(LockPolicyKiobuf, DoesNotWalkPageTablesItself) {
+  KernelBox box;
+  KiobufLockPolicy policy(box.kern);
+  EXPECT_FALSE(policy.walks_page_tables());
+  RefcountLockPolicy rc(box.kern);
+  MlockLockPolicy ml(box.kern);
+  PageFlagLockPolicy pf(box.kern);
+  EXPECT_TRUE(rc.walks_page_tables());
+  EXPECT_TRUE(ml.walks_page_tables());
+  EXPECT_TRUE(pf.walks_page_tables());
+}
+
+}  // namespace
+}  // namespace vialock::via

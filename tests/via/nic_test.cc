@@ -1,0 +1,198 @@
+// nic_test.cc - NIC work-queue processing: send/receive matching, RDMA,
+// protection enforcement, connection-break semantics.
+#include "via/nic.h"
+
+#include <gtest/gtest.h>
+
+#include "via_util.h"
+
+namespace vialock::via {
+namespace {
+
+using simkern::kPageSize;
+using test::peek64;
+using test::poke64;
+using test::TwoNodeFixture;
+
+class NicTest : public TwoNodeFixture {};
+
+TEST_F(NicTest, SendRecvMovesDataBetweenProcesses) {
+  ASSERT_TRUE(ok(poke64(kern0(), p0, buf0, 0xFEEDFACE12345678ULL)));
+  ASSERT_TRUE(ok(v1->post_recv(vi1, mh1, buf1, 64, /*cookie=*/9)));
+  ASSERT_TRUE(ok(v0->post_send(vi0, mh0, buf0, 64, /*cookie=*/5)));
+
+  const auto sc = v0->send_done(vi0);
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_EQ(sc->status, DescStatus::Done);
+  EXPECT_EQ(sc->cookie, 5u);
+  EXPECT_EQ(sc->transferred, 64u);
+
+  const auto rc = v1->recv_done(vi1);
+  ASSERT_TRUE(rc.has_value());
+  EXPECT_EQ(rc->status, DescStatus::Done);
+  EXPECT_EQ(rc->cookie, 9u);
+  EXPECT_EQ(rc->transferred, 64u);
+
+  EXPECT_EQ(peek64(kern1(), p1, buf1), 0xFEEDFACE12345678ULL);
+}
+
+TEST_F(NicTest, SendWithoutRecvDescriptorBreaksReliableConnection) {
+  ASSERT_TRUE(ok(v0->post_send(vi0, mh0, buf0, 64)));
+  const auto sc = v0->send_done(vi0);
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_EQ(sc->status, DescStatus::ErrNoRecvDesc);
+  EXPECT_EQ(cluster->node(n1).nic().vi(vi1).state, ViState::Error);
+  EXPECT_EQ(cluster->node(n1).nic().stats().no_recv_desc, 1u);
+  // Subsequent sends fail with disconnect.
+  ASSERT_TRUE(ok(v1->post_recv(vi1, mh1, buf1, 64)));
+  ASSERT_TRUE(ok(v0->post_send(vi0, mh0, buf0, 64)));
+  const auto sc2 = v0->send_done(vi0);
+  ASSERT_TRUE(sc2.has_value());
+  EXPECT_EQ(sc2->status, DescStatus::ErrDisconnected);
+}
+
+TEST_F(NicTest, OversizedMessageIsLengthError) {
+  ASSERT_TRUE(ok(v1->post_recv(vi1, mh1, buf1, 32)));
+  ASSERT_TRUE(ok(v0->post_send(vi0, mh0, buf0, 64)));
+  const auto sc = v0->send_done(vi0);
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_EQ(sc->status, DescStatus::ErrLength);
+  const auto rc = v1->recv_done(vi1);
+  ASSERT_TRUE(rc.has_value());
+  EXPECT_EQ(rc->status, DescStatus::ErrLength);
+}
+
+TEST_F(NicTest, SendOutsideRegisteredRangeIsProtectionError) {
+  ASSERT_TRUE(ok(v1->post_recv(vi1, mh1, buf1, 64)));
+  // Address past the registered region.
+  ASSERT_TRUE(ok(v0->post_send(vi0, mh0, buf0 + kBufPages * kPageSize, 64)));
+  const auto sc = v0->send_done(vi0);
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_EQ(sc->status, DescStatus::ErrProtection);
+  EXPECT_GE(cluster->node(n0).nic().stats().protection_errors, 1u);
+}
+
+TEST_F(NicTest, ForeignHandleIsRejectedByTagCheck) {
+  // A second process on node 0 registers its own buffer; using process 0's
+  // VI with that handle must fail the protection-tag comparison.
+  const auto pid2 = kern0().create_task("intruder");
+  via::Vipl v2(cluster->node(n0).agent(), pid2);
+  ASSERT_TRUE(ok(v2.open()));
+  const auto buf2 = test::must_mmap(kern0(), pid2, 4);
+  MemHandle mh2;
+  ASSERT_TRUE(ok(v2.register_mem(buf2, 4 * kPageSize, mh2)));
+
+  ASSERT_TRUE(ok(v1->post_recv(vi1, mh1, buf1, 64)));
+  ASSERT_TRUE(ok(v0->post_send(vi0, mh2, buf2, 64)));  // wrong tag for vi0
+  const auto sc = v0->send_done(vi0);
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_EQ(sc->status, DescStatus::ErrProtection);
+}
+
+TEST_F(NicTest, RdmaWritePlacesDataWithoutRecvDescriptor) {
+  ASSERT_TRUE(ok(poke64(kern0(), p0, buf0 + 8, 0xBEEF)));
+  ASSERT_TRUE(ok(v0->rdma_write(vi0, mh0, buf0 + 8, 8, mh1, buf1 + 256)));
+  const auto sc = v0->send_done(vi0);
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_EQ(sc->status, DescStatus::Done);
+  EXPECT_EQ(peek64(kern1(), p1, buf1 + 256), 0xBEEFu);
+  EXPECT_FALSE(v1->recv_done(vi1).has_value());  // one-sided
+}
+
+TEST_F(NicTest, RdmaWriteWithImmediateConsumesRecvDescriptor) {
+  ASSERT_TRUE(ok(v1->post_recv(vi1, mh1, buf1, 64, /*cookie=*/3)));
+  ASSERT_TRUE(ok(v0->rdma_write(vi0, mh0, buf0, 16, mh1, buf1 + 512,
+                                /*cookie=*/0, /*immediate=*/4242)));
+  ASSERT_TRUE(v0->send_done(vi0).has_value());
+  const auto rc = v1->recv_done(vi1);
+  ASSERT_TRUE(rc.has_value());
+  EXPECT_EQ(rc->status, DescStatus::Done);
+  EXPECT_EQ(rc->cookie, 3u);
+  EXPECT_TRUE(rc->has_immediate);
+  EXPECT_EQ(rc->immediate, 4242u);
+}
+
+TEST_F(NicTest, RdmaReadFetchesRemoteData) {
+  ASSERT_TRUE(ok(poke64(kern1(), p1, buf1 + 1024, 0xCAFED00DULL)));
+  ASSERT_TRUE(ok(v0->rdma_read(vi0, mh0, buf0 + 2048, 8, mh1, buf1 + 1024)));
+  const auto sc = v0->send_done(vi0);
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_EQ(sc->status, DescStatus::Done);
+  EXPECT_EQ(peek64(kern0(), p0, buf0 + 2048), 0xCAFED00DULL);
+}
+
+TEST_F(NicTest, RdmaToForeignRemoteHandleIsProtectionError) {
+  // Remote handle belonging to another process on node 1.
+  const auto pid2 = kern1().create_task("other");
+  via::Vipl v2(cluster->node(n1).agent(), pid2);
+  ASSERT_TRUE(ok(v2.open()));
+  const auto buf2 = test::must_mmap(kern1(), pid2, 4);
+  MemHandle mh2;
+  ASSERT_TRUE(ok(v2.register_mem(buf2, 4 * kPageSize, mh2)));
+
+  ASSERT_TRUE(ok(v0->rdma_write(vi0, mh0, buf0, 16, mh2, buf2)));
+  const auto sc = v0->send_done(vi0);
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_EQ(sc->status, DescStatus::ErrProtection)
+      << "segment 4 of figure 3: A must not reach memory C did not export";
+}
+
+TEST_F(NicTest, RdmaWriteDisabledAttributeIsEnforced) {
+  // Register a region on node 1 with RDMA write disabled; incoming RDMA
+  // writes must bounce even with the right tag.
+  const auto extra = test::must_mmap(kern1(), p1, 4);
+  MemHandle ro;
+  KernelAgent::RegisterOptions opts;
+  opts.rdma_write = false;
+  ASSERT_TRUE(ok(v1->register_mem(extra, 4 * kPageSize, ro, opts)));
+  ASSERT_TRUE(ok(v0->rdma_write(vi0, mh0, buf0, 16, ro, extra)));
+  const auto sc = v0->send_done(vi0);
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_EQ(sc->status, DescStatus::ErrProtection);
+  // RDMA read of the same region is still allowed.
+  // (Connection broke above - rebuild a fresh fixture state.)
+  build();
+}
+
+TEST_F(NicTest, MultiPageTransferSpansFrames) {
+  // 3 pages + unaligned start: gather/scatter must walk multiple TPT entries.
+  std::vector<std::byte> pattern(3 * kPageSize);
+  for (std::size_t i = 0; i < pattern.size(); ++i)
+    pattern[i] = static_cast<std::byte>((i * 31 + 7) & 0xFF);
+  ASSERT_TRUE(ok(kern0().write_user(p0, buf0 + 128, pattern)));
+  ASSERT_TRUE(ok(v1->post_recv(vi1, mh1, buf1 + 64,
+                               static_cast<std::uint32_t>(pattern.size()))));
+  ASSERT_TRUE(ok(v0->post_send(vi0, mh0, buf0 + 128,
+                               static_cast<std::uint32_t>(pattern.size()))));
+  ASSERT_TRUE(v0->send_done(vi0)->done_ok());
+  ASSERT_TRUE(v1->recv_done(vi1)->done_ok());
+  std::vector<std::byte> out(pattern.size());
+  ASSERT_TRUE(ok(kern1().read_user(p1, buf1 + 64, out)));
+  EXPECT_EQ(pattern, out);
+}
+
+TEST_F(NicTest, TransfersChargeVirtualTime) {
+  ASSERT_TRUE(ok(v1->post_recv(vi1, mh1, buf1, 4096)));
+  const Nanos before = cluster->clock().now();
+  ASSERT_TRUE(ok(v0->post_send(vi0, mh0, buf0, 4096)));
+  const Nanos elapsed = cluster->clock().now() - before;
+  // At minimum: doorbell + two DMA engine startups + the cut-through
+  // streaming path.
+  const auto& c = cluster->costs();
+  EXPECT_GE(elapsed, c.doorbell + 2 * c.dma_startup + c.wire_latency +
+                         4096 * c.dma_path_per_byte);
+}
+
+TEST_F(NicTest, StatsCountTraffic) {
+  ASSERT_TRUE(ok(v1->post_recv(vi1, mh1, buf1, 128)));
+  ASSERT_TRUE(ok(v0->post_send(vi0, mh0, buf0, 128)));
+  (void)v0->send_done(vi0);
+  (void)v1->recv_done(vi1);
+  EXPECT_EQ(cluster->node(n0).nic().stats().sends_ok, 1u);
+  EXPECT_EQ(cluster->node(n0).nic().stats().bytes_tx, 128u);
+  EXPECT_EQ(cluster->node(n1).nic().stats().recvs_ok, 1u);
+  EXPECT_EQ(cluster->node(n1).nic().stats().bytes_rx, 128u);
+}
+
+}  // namespace
+}  // namespace vialock::via

@@ -1,0 +1,125 @@
+// remote_window_test.cc - SCI-style PIO windows: import/export semantics,
+// protection, cost asymmetry, and the stale-frame hazard under a broken
+// locking policy.
+#include "via/remote_window.h"
+
+#include <gtest/gtest.h>
+
+#include "via_util.h"
+
+namespace vialock::via {
+namespace {
+
+using simkern::kPageSize;
+using test::peek64;
+using test::poke64;
+using test::TwoNodeFixture;
+
+class RemoteWindowTest : public TwoNodeFixture {};
+
+TEST_F(RemoteWindowTest, StoreLandsInExportersMemory) {
+  auto window = RemoteWindow::import(cluster->fabric(), n0, n1, mh1);
+  ASSERT_TRUE(window.has_value());
+  const std::uint64_t v = 0x5C1;
+  ASSERT_TRUE(ok(window->store(128, test::bytes_of(v))));
+  EXPECT_EQ(peek64(kern1(), p1, buf1 + 128), 0x5C1u);
+}
+
+TEST_F(RemoteWindowTest, LoadSeesExportersWrites) {
+  auto window = RemoteWindow::import(cluster->fabric(), n0, n1, mh1);
+  ASSERT_TRUE(window.has_value());
+  ASSERT_TRUE(ok(poke64(kern1(), p1, buf1 + kPageSize, 0xEE)));
+  std::uint64_t got = 0;
+  ASSERT_TRUE(ok(window->load(kPageSize,
+                              std::as_writable_bytes(std::span{&got, 1}))));
+  EXPECT_EQ(got, 0xEEu);
+}
+
+TEST_F(RemoteWindowTest, CrossPageStoreSpansFrames) {
+  auto window = RemoteWindow::import(cluster->fabric(), n0, n1, mh1);
+  ASSERT_TRUE(window.has_value());
+  std::vector<std::byte> data(3 * kPageSize);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::byte>((i * 7) & 0xFF);
+  ASSERT_TRUE(ok(window->store(100, data)));
+  std::vector<std::byte> out(data.size());
+  ASSERT_TRUE(ok(kern1().read_user(p1, buf1 + 100, out)));
+  EXPECT_EQ(data, out);
+}
+
+TEST_F(RemoteWindowTest, BoundsAndStaleHandleChecked) {
+  auto window = RemoteWindow::import(cluster->fabric(), n0, n1, mh1);
+  ASSERT_TRUE(window.has_value());
+  const std::uint64_t v = 1;
+  EXPECT_EQ(window->store(kBufPages * kPageSize - 4, test::bytes_of(v)),
+            KStatus::Inval);
+  // Deregistration invalidates the window's translations: clean fault, no
+  // wild PIO.
+  ASSERT_TRUE(ok(v1->deregister_mem(mh1)));
+  EXPECT_EQ(window->store(0, test::bytes_of(v)), KStatus::Fault);
+  mh1 = MemHandle{};
+}
+
+TEST_F(RemoteWindowTest, ImportOfDeadHandleFails) {
+  ASSERT_TRUE(ok(v1->deregister_mem(mh1)));
+  EXPECT_FALSE(RemoteWindow::import(cluster->fabric(), n0, n1, mh1)
+                   .has_value());
+  mh1 = MemHandle{};
+}
+
+TEST_F(RemoteWindowTest, PioStoreIsCheaperThanDescriptorSend) {
+  // The family's headline: "for very short transmission sizes a programmed
+  // IO over distributed shared memory won't be reached by far" by DMA.
+  auto window = RemoteWindow::import(cluster->fabric(), n0, n1, mh1);
+  ASSERT_TRUE(window.has_value());
+  const std::uint64_t v = 7;
+
+  const Nanos t0 = cluster->clock().now();
+  ASSERT_TRUE(ok(window->store(0, test::bytes_of(v))));
+  const Nanos pio = cluster->clock().now() - t0;
+
+  ASSERT_TRUE(ok(v1->post_recv(vi1, mh1, buf1 + 64, 8)));
+  const Nanos t1 = cluster->clock().now();
+  ASSERT_TRUE(ok(v0->post_send(vi0, mh0, buf0, 8)));
+  ASSERT_TRUE(v0->send_done(vi0)->done_ok());
+  const Nanos dma = cluster->clock().now() - t1;
+
+  EXPECT_LT(pio * 3, dma) << "8-byte PIO store must crush the descriptor path";
+}
+
+TEST_F(RemoteWindowTest, RemoteReadIsTheExpensiveDirection) {
+  auto window = RemoteWindow::import(cluster->fabric(), n0, n1, mh1);
+  ASSERT_TRUE(window.has_value());
+  const std::uint64_t v = 7;
+  std::uint64_t got = 0;
+  const Nanos t0 = cluster->clock().now();
+  ASSERT_TRUE(ok(window->store(0, test::bytes_of(v))));
+  const Nanos wr = cluster->clock().now() - t0;
+  const Nanos t1 = cluster->clock().now();
+  ASSERT_TRUE(ok(window->load(0, std::as_writable_bytes(std::span{&got, 1}))));
+  const Nanos rd = cluster->clock().now() - t1;
+  EXPECT_GT(rd, 5 * wr) << "\"a remote read is an expensive operation\"";
+}
+
+TEST_F(RemoteWindowTest, StaleFramesUnderBrokenLockingAlsoBreakPio) {
+  // Rebuild the fixture on the refcount policy: PIO inherits the DMA
+  // engine's hazard because both translate through the same TPT.
+  build(PolicyKind::Refcount);
+  auto window = RemoteWindow::import(cluster->fabric(), n0, n1, mh1);
+  ASSERT_TRUE(window.has_value());
+  // Evict + refault the exporter's buffer.
+  for (std::uint64_t p = 0; p < kBufPages; ++p) {
+    auto* pte = kern1().task(p1).mm.pt.walk(buf1 + p * kPageSize);
+    if (pte && pte->present) pte->accessed = false;
+  }
+  (void)kern1().try_to_free_pages(static_cast<std::uint32_t>(kBufPages));
+  ASSERT_TRUE(ok(kern1().touch(p1, buf1, true)));
+  // The PIO store "succeeds" into the stale frame; the exporter never sees it.
+  const std::uint64_t v = 0xDEAD;
+  ASSERT_TRUE(ok(window->store(0, test::bytes_of(v))));
+  EXPECT_NE(peek64(kern1(), p1, buf1), 0xDEADu)
+      << "stale TPT: PIO written to a frame the process no longer maps";
+}
+
+}  // namespace
+}  // namespace vialock::via

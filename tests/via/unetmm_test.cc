@@ -1,0 +1,161 @@
+// unetmm_test.cc - the U-Net/MM comparison system: TLB-consistent, unpinned
+// registration with fault-and-repair on the NIC data path.
+#include "via/unetmm.h"
+
+#include <gtest/gtest.h>
+
+#include "via_util.h"
+
+namespace vialock::via {
+namespace {
+
+using simkern::kPageSize;
+using simkern::Pid;
+using simkern::VAddr;
+using test::must_mmap;
+using test::peek64;
+using test::poke64;
+
+struct UnetBox {
+  UnetBox()
+      : node(test::small_node(PolicyKind::Kiobuf), clock, costs),
+        agent(node.kernel(), node.nic()),
+        pid(node.kernel().create_task("app")),
+        tag(agent.create_ptag(pid)) {}
+  Clock clock;
+  CostModel costs;
+  Node node;
+  UnetMmAgent agent;
+  Pid pid;
+  ProtectionTag tag;
+};
+
+TEST(UnetMm, RegisterDoesNotPin) {
+  UnetBox box;
+  const VAddr a = must_mmap(box.node.kernel(), box.pid, 4);
+  MemHandle mh;
+  ASSERT_TRUE(ok(box.agent.register_mem(box.pid, a, 4 * kPageSize, box.tag, mh)));
+  EXPECT_EQ(box.node.kernel().pinned_frames(), 0u);
+  const auto pfn = *box.node.kernel().resolve(box.pid, a);
+  EXPECT_EQ(box.node.kernel().phys().page(pfn).count, 1u) << "no extra refs";
+  ASSERT_TRUE(ok(box.agent.deregister_mem(mh)));
+}
+
+TEST(UnetMm, SwapOutInvalidatesTlbEntry) {
+  UnetBox box;
+  auto& kern = box.node.kernel();
+  const VAddr a = must_mmap(kern, box.pid, 2);
+  MemHandle mh;
+  ASSERT_TRUE(ok(box.agent.register_mem(box.pid, a, 2 * kPageSize, box.tag, mh)));
+  EXPECT_TRUE(box.node.nic().tpt().get(mh.tpt_base).valid);
+  kern.task(box.pid).mm.pt.walk(a)->accessed = false;
+  kern.task(box.pid).mm.pt.walk(a + kPageSize)->accessed = false;
+  (void)kern.try_to_free_pages(2);
+  EXPECT_FALSE(box.node.nic().tpt().get(mh.tpt_base).valid)
+      << "kernel swap-out must shoot the NIC TLB entry down";
+  EXPECT_GE(box.agent.stats().invalidations, 2u);
+  ASSERT_TRUE(ok(box.agent.deregister_mem(mh)));
+}
+
+TEST(UnetMm, DmaFaultsAndRepairsAfterSwapOut) {
+  UnetBox box;
+  auto& kern = box.node.kernel();
+  const VAddr a = must_mmap(kern, box.pid, 2);
+  ASSERT_TRUE(ok(poke64(kern, box.pid, a, 0xAAAA)));
+  MemHandle mh;
+  ASSERT_TRUE(ok(box.agent.register_mem(box.pid, a, 2 * kPageSize, box.tag, mh)));
+  // Evict the whole region.
+  kern.task(box.pid).mm.pt.walk(a)->accessed = false;
+  kern.task(box.pid).mm.pt.walk(a + kPageSize)->accessed = false;
+  (void)kern.try_to_free_pages(2);
+  // NIC write faults, repairs (page-in), retries - and the process sees it.
+  const std::uint64_t v = 0xBBBB;
+  ASSERT_TRUE(ok(box.agent.dma_write(mh, a + 8, test::bytes_of(v))));
+  EXPECT_EQ(box.agent.stats().nic_faults, 1u);
+  EXPECT_GE(box.agent.stats().repair_pageins, 1u);
+  EXPECT_EQ(peek64(kern, box.pid, a), 0xAAAAu) << "original data paged back";
+  EXPECT_EQ(peek64(kern, box.pid, a + 8), 0xBBBBu) << "DMA write visible";
+  ASSERT_TRUE(ok(box.agent.deregister_mem(mh)));
+}
+
+TEST(UnetMm, StaysConsistentUnderRepeatedPressure) {
+  UnetBox box;
+  auto& kern = box.node.kernel();
+  const VAddr a = must_mmap(kern, box.pid, 4);
+  MemHandle mh;
+  ASSERT_TRUE(ok(box.agent.register_mem(box.pid, a, 4 * kPageSize, box.tag, mh)));
+  for (int round = 0; round < 5; ++round) {
+    // Evict...
+    for (int p = 0; p < 4; ++p) {
+      auto* pte = kern.task(box.pid).mm.pt.walk(a + p * kPageSize);
+      if (pte && pte->present) pte->accessed = false;
+    }
+    (void)kern.try_to_free_pages(4);
+    // ...then DMA-write a round stamp and verify through the process.
+    const std::uint64_t v = 0xC000 + round;
+    ASSERT_TRUE(ok(box.agent.dma_write(mh, a + 16, test::bytes_of(v))));
+    EXPECT_EQ(peek64(kern, box.pid, a + 16), v) << "round " << round;
+  }
+  EXPECT_GE(box.agent.stats().nic_faults, 5u);
+  ASSERT_TRUE(ok(box.agent.deregister_mem(mh)));
+}
+
+TEST(UnetMm, CowBreakRetargetsToTheWritersNewFrame) {
+  // Contrast with the pinning semantics (Integration test
+  // ForkAfterRegistrationPinsTheParentCopy): under TLB consistency the
+  // registration follows the *registering process's* page table, so after
+  // the parent COW-breaks, the NIC sees the parent's new frame.
+  UnetBox box;
+  auto& kern = box.node.kernel();
+  const VAddr a = must_mmap(kern, box.pid, 1);
+  ASSERT_TRUE(ok(poke64(kern, box.pid, a, 100)));
+  MemHandle mh;
+  ASSERT_TRUE(ok(box.agent.register_mem(box.pid, a, kPageSize, box.tag, mh)));
+  const auto child = kern.fork_task(box.pid);
+  ASSERT_TRUE(ok(poke64(kern, box.pid, a, 200)));  // parent COW-breaks
+  std::uint64_t nic_view = 0;
+  ASSERT_TRUE(ok(box.agent.dma_read(
+      mh, a, std::as_writable_bytes(std::span{&nic_view, 1}))));
+  EXPECT_EQ(nic_view, 200u) << "NIC follows the parent after repair";
+  ASSERT_TRUE(ok(box.agent.deregister_mem(mh)));
+  kern.exit_task(child);
+}
+
+TEST(UnetMm, MunmapInvalidatesAndDmaFailsCleanly) {
+  UnetBox box;
+  auto& kern = box.node.kernel();
+  const VAddr a = must_mmap(kern, box.pid, 2);
+  MemHandle mh;
+  ASSERT_TRUE(ok(box.agent.register_mem(box.pid, a, 2 * kPageSize, box.tag, mh)));
+  ASSERT_TRUE(ok(kern.sys_munmap(box.pid, a, 2 * kPageSize)));
+  const std::uint64_t v = 1;
+  // The repair path cannot make an unmapped page present: clean failure, no
+  // wild DMA (compare: pinning keeps the frames alive instead).
+  EXPECT_FALSE(ok(box.agent.dma_write(mh, a, test::bytes_of(v))));
+  ASSERT_TRUE(ok(box.agent.deregister_mem(mh)));
+}
+
+TEST(UnetMm, RepairCostAppearsOnTheDataPath) {
+  UnetBox box;
+  auto& kern = box.node.kernel();
+  const VAddr a = must_mmap(kern, box.pid, 1);
+  MemHandle mh;
+  ASSERT_TRUE(ok(box.agent.register_mem(box.pid, a, kPageSize, box.tag, mh)));
+  const std::uint64_t v = 7;
+  // Valid entry: fast.
+  ASSERT_TRUE(ok(box.agent.dma_write(mh, a, test::bytes_of(v))));
+  const Nanos t0 = box.clock.now();
+  ASSERT_TRUE(ok(box.agent.dma_write(mh, a, test::bytes_of(v))));
+  const Nanos fast = box.clock.now() - t0;
+  // Invalidate by eviction: slow path pays interrupt + page-in.
+  kern.task(box.pid).mm.pt.walk(a)->accessed = false;
+  (void)kern.try_to_free_pages(1);
+  const Nanos t1 = box.clock.now();
+  ASSERT_TRUE(ok(box.agent.dma_write(mh, a, test::bytes_of(v))));
+  const Nanos slow = box.clock.now() - t1;
+  EXPECT_GT(slow, fast + box.costs.nic_page_fault);
+  ASSERT_TRUE(ok(box.agent.deregister_mem(mh)));
+}
+
+}  // namespace
+}  // namespace vialock::via

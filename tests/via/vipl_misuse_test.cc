@@ -1,0 +1,103 @@
+// vipl_misuse_test.cc - doorbell mappings, API misuse, unreliable delivery
+// mode, and other VIPL edge cases.
+#include <gtest/gtest.h>
+
+#include "via_util.h"
+
+namespace vialock::via {
+namespace {
+
+using simkern::kPageSize;
+using test::must_mmap;
+using test::TwoNodeFixture;
+
+class ViplEdgeTest : public TwoNodeFixture {};
+
+TEST_F(ViplEdgeTest, DoorbellMapsPerViAndIsIo) {
+  auto& agent = cluster->node(n0).agent();
+  const auto db = agent.map_doorbell(p0, vi0);
+  ASSERT_TRUE(db.has_value());
+  const auto* vma = kern0().task(p0).mm.vmas.find(*db);
+  ASSERT_NE(vma, nullptr);
+  EXPECT_TRUE(has(vma->flags, simkern::VmFlag::Io));
+  // A second process gets its own mapping of the same register page.
+  const auto pid2 = kern0().create_task("second");
+  const ViId vi2 = cluster->node(n0).nic().create_vi(77);
+  const auto db2 = agent.map_doorbell(pid2, vi2);
+  ASSERT_TRUE(db2.has_value());
+  EXPECT_EQ(*kern0().resolve(pid2, *db2), 1 + vi2);
+  EXPECT_NE(*kern0().resolve(p0, *db), *kern0().resolve(pid2, *db2))
+      << "distinct VIs get distinct doorbell frames";
+}
+
+TEST_F(ViplEdgeTest, DoorbellForBogusViFails) {
+  auto& agent = cluster->node(n0).agent();
+  EXPECT_FALSE(agent.map_doorbell(p0, 9999).has_value());
+}
+
+TEST_F(ViplEdgeTest, RegisterBeforeOpenIsProtocolError) {
+  const auto pid2 = kern0().create_task("late");
+  Vipl v(cluster->node(n0).agent(), pid2);
+  MemHandle mh;
+  EXPECT_EQ(v.register_mem(0x1000, kPageSize, mh), KStatus::Proto);
+  EXPECT_EQ(v.create_vi(), kInvalidVi);
+}
+
+TEST_F(ViplEdgeTest, PostToBogusViIsInval) {
+  EXPECT_EQ(v0->post_send(12345, mh0, buf0, 16), KStatus::Inval);
+  EXPECT_EQ(v0->post_recv(12345, mh0, buf0, 16), KStatus::Inval);
+}
+
+TEST_F(ViplEdgeTest, SendOnUnconnectedViCompletesWithError) {
+  const ViId lone = v0->create_vi();
+  ASSERT_TRUE(ok(v0->post_send(lone, mh0, buf0, 16)));
+  const auto sc = v0->send_done(lone);
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_EQ(sc->status, DescStatus::ErrDisconnected);
+}
+
+TEST_F(ViplEdgeTest, UnreliableModeSurvivesDroppedSends) {
+  // reliable=false: a send without a posted receive is dropped without
+  // breaking the connection; later traffic still flows.
+  const ViId u0 = v0->create_vi(/*reliable=*/false);
+  const ViId u1 = v1->create_vi(/*reliable=*/false);
+  ASSERT_TRUE(ok(cluster->fabric().connect(n0, u0, n1, u1)));
+  ASSERT_TRUE(ok(v0->post_send(u0, mh0, buf0, 16)));
+  EXPECT_EQ(v0->send_done(u0)->status, DescStatus::ErrNoRecvDesc);
+  EXPECT_TRUE(cluster->node(n1).nic().vi(u1).connected())
+      << "unreliable mode: connection survives";
+  ASSERT_TRUE(ok(v1->post_recv(u1, mh1, buf1, 64)));
+  ASSERT_TRUE(ok(v0->post_send(u0, mh0, buf0, 16)));
+  EXPECT_TRUE(v0->send_done(u0)->done_ok());
+  EXPECT_TRUE(v1->recv_done(u1)->done_ok());
+}
+
+TEST_F(ViplEdgeTest, CreateViWithInvalidTagFails) {
+  EXPECT_EQ(cluster->node(n0).nic().create_vi(kInvalidTag), kInvalidVi);
+}
+
+TEST_F(ViplEdgeTest, DeregisterWithLiveTrafficStillInFlightIsClean) {
+  // Deregister the receive buffer, then attempt a send into it: the TPT
+  // entries are gone, so the NIC rejects the delivery - no wild DMA.
+  ASSERT_TRUE(ok(v1->post_recv(vi1, mh1, buf1, 64)));
+  ASSERT_TRUE(ok(v1->deregister_mem(mh1)));
+  ASSERT_TRUE(ok(v0->post_send(vi0, mh0, buf0, 64)));
+  const auto sc = v0->send_done(vi0);
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_EQ(sc->status, DescStatus::ErrProtection);
+  mh1 = MemHandle{};  // fixture teardown shouldn't double-free
+}
+
+TEST_F(ViplEdgeTest, ZeroLengthSendDelivers) {
+  ASSERT_TRUE(ok(v1->post_recv(vi1, mh1, buf1, 64)));
+  ASSERT_TRUE(ok(v0->post_send(vi0, mh0, buf0, 0)));
+  const auto sc = v0->send_done(vi0);
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_EQ(sc->status, DescStatus::Done);
+  const auto rc = v1->recv_done(vi1);
+  ASSERT_TRUE(rc.has_value());
+  EXPECT_EQ(rc->transferred, 0u);
+}
+
+}  // namespace
+}  // namespace vialock::via
