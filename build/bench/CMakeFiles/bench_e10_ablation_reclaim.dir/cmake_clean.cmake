@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_ablation_reclaim.dir/bench_e10_ablation_reclaim.cc.o"
+  "CMakeFiles/bench_e10_ablation_reclaim.dir/bench_e10_ablation_reclaim.cc.o.d"
+  "bench_e10_ablation_reclaim"
+  "bench_e10_ablation_reclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_ablation_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

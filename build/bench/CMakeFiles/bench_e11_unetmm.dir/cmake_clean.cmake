@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_unetmm.dir/bench_e11_unetmm.cc.o"
+  "CMakeFiles/bench_e11_unetmm.dir/bench_e11_unetmm.cc.o.d"
+  "bench_e11_unetmm"
+  "bench_e11_unetmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_unetmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

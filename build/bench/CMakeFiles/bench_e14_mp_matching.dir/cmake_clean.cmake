@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_mp_matching.dir/bench_e14_mp_matching.cc.o"
+  "CMakeFiles/bench_e14_mp_matching.dir/bench_e14_mp_matching.cc.o.d"
+  "bench_e14_mp_matching"
+  "bench_e14_mp_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_mp_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_multidevice.dir/bench_e15_multidevice.cc.o"
+  "CMakeFiles/bench_e15_multidevice.dir/bench_e15_multidevice.cc.o.d"
+  "bench_e15_multidevice"
+  "bench_e15_multidevice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_multidevice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_indirect.dir/bench_e16_indirect.cc.o"
+  "CMakeFiles/bench_e16_indirect.dir/bench_e16_indirect.cc.o.d"
+  "bench_e16_indirect"
+  "bench_e16_indirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_indirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_readahead.dir/bench_e17_readahead.cc.o"
+  "CMakeFiles/bench_e17_readahead.dir/bench_e17_readahead.cc.o.d"
+  "bench_e17_readahead"
+  "bench_e17_readahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_readahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

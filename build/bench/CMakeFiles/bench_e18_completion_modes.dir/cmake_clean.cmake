@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e18_completion_modes.dir/bench_e18_completion_modes.cc.o"
+  "CMakeFiles/bench_e18_completion_modes.dir/bench_e18_completion_modes.cc.o.d"
+  "bench_e18_completion_modes"
+  "bench_e18_completion_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e18_completion_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

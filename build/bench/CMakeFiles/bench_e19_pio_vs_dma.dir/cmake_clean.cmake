@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e19_pio_vs_dma.dir/bench_e19_pio_vs_dma.cc.o"
+  "CMakeFiles/bench_e19_pio_vs_dma.dir/bench_e19_pio_vs_dma.cc.o.d"
+  "bench_e19_pio_vs_dma"
+  "bench_e19_pio_vs_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e19_pio_vs_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

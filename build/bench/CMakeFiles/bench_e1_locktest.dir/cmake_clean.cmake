@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_locktest.dir/bench_e1_locktest.cc.o"
+  "CMakeFiles/bench_e1_locktest.dir/bench_e1_locktest.cc.o.d"
+  "bench_e1_locktest"
+  "bench_e1_locktest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_locktest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

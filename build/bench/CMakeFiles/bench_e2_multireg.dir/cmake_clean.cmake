@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_multireg.dir/bench_e2_multireg.cc.o"
+  "CMakeFiles/bench_e2_multireg.dir/bench_e2_multireg.cc.o.d"
+  "bench_e2_multireg"
+  "bench_e2_multireg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_multireg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

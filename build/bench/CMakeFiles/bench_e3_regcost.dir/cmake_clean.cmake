@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_regcost.dir/bench_e3_regcost.cc.o"
+  "CMakeFiles/bench_e3_regcost.dir/bench_e3_regcost.cc.o.d"
+  "bench_e3_regcost"
+  "bench_e3_regcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_regcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_deregcost.dir/bench_e4_deregcost.cc.o"
+  "CMakeFiles/bench_e4_deregcost.dir/bench_e4_deregcost.cc.o.d"
+  "bench_e4_deregcost"
+  "bench_e4_deregcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_deregcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e5_regcache.cc" "bench/CMakeFiles/bench_e5_regcache.dir/bench_e5_regcache.cc.o" "gcc" "bench/CMakeFiles/bench_e5_regcache.dir/bench_e5_regcache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/vialock_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/vialock_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/vialock_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vialock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/via/CMakeFiles/vialock_via.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkern/CMakeFiles/vialock_simkern.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_regcache.dir/bench_e5_regcache.cc.o"
+  "CMakeFiles/bench_e5_regcache.dir/bench_e5_regcache.cc.o.d"
+  "bench_e5_regcache"
+  "bench_e5_regcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_regcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

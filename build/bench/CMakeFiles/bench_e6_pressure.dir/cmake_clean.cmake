@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_pressure.dir/bench_e6_pressure.cc.o"
+  "CMakeFiles/bench_e6_pressure.dir/bench_e6_pressure.cc.o.d"
+  "bench_e6_pressure"
+  "bench_e6_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

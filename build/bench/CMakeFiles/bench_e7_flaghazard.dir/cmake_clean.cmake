@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_flaghazard.dir/bench_e7_flaghazard.cc.o"
+  "CMakeFiles/bench_e7_flaghazard.dir/bench_e7_flaghazard.cc.o.d"
+  "bench_e7_flaghazard"
+  "bench_e7_flaghazard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_flaghazard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_allreduce.dir/cluster_allreduce.cpp.o"
+  "CMakeFiles/cluster_allreduce.dir/cluster_allreduce.cpp.o.d"
+  "cluster_allreduce"
+  "cluster_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locktest_demo.dir/locktest_demo.cpp.o"
+  "CMakeFiles/locktest_demo.dir/locktest_demo.cpp.o.d"
+  "locktest_demo"
+  "locktest_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locktest_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

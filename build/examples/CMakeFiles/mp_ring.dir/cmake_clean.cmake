@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_ring.dir/mp_ring.cpp.o"
+  "CMakeFiles/mp_ring.dir/mp_ring.cpp.o.d"
+  "mp_ring"
+  "mp_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

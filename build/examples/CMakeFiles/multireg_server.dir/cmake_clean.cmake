@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multireg_server.dir/multireg_server.cpp.o"
+  "CMakeFiles/multireg_server.dir/multireg_server.cpp.o.d"
+  "multireg_server"
+  "multireg_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multireg_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

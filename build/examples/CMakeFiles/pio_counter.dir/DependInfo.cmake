@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/pio_counter.cpp" "examples/CMakeFiles/pio_counter.dir/pio_counter.cpp.o" "gcc" "examples/CMakeFiles/pio_counter.dir/pio_counter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/vialock_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/vialock_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/vialock_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vialock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/via/CMakeFiles/vialock_via.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkern/CMakeFiles/vialock_simkern.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pio_counter.dir/pio_counter.cpp.o"
+  "CMakeFiles/pio_counter.dir/pio_counter.cpp.o.d"
+  "pio_counter"
+  "pio_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pio_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_postmortem.dir/trace_postmortem.cpp.o"
+  "CMakeFiles/trace_postmortem.dir/trace_postmortem.cpp.o.d"
+  "trace_postmortem"
+  "trace_postmortem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_postmortem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vialock_core.dir/reg_cache.cc.o"
+  "CMakeFiles/vialock_core.dir/reg_cache.cc.o.d"
+  "CMakeFiles/vialock_core.dir/registry.cc.o"
+  "CMakeFiles/vialock_core.dir/registry.cc.o.d"
+  "libvialock_core.a"
+  "libvialock_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vialock_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vialock_experiments.dir/locktest.cc.o"
+  "CMakeFiles/vialock_experiments.dir/locktest.cc.o.d"
+  "CMakeFiles/vialock_experiments.dir/pressure.cc.o"
+  "CMakeFiles/vialock_experiments.dir/pressure.cc.o.d"
+  "libvialock_experiments.a"
+  "libvialock_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vialock_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vialock_mp.dir/collectives.cc.o"
+  "CMakeFiles/vialock_mp.dir/collectives.cc.o.d"
+  "CMakeFiles/vialock_mp.dir/comm.cc.o"
+  "CMakeFiles/vialock_mp.dir/comm.cc.o.d"
+  "libvialock_mp.a"
+  "libvialock_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vialock_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

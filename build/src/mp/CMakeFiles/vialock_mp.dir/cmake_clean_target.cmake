@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvialock_mp.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msg/mesh.cc" "src/msg/CMakeFiles/vialock_msg.dir/mesh.cc.o" "gcc" "src/msg/CMakeFiles/vialock_msg.dir/mesh.cc.o.d"
+  "/root/repo/src/msg/transport.cc" "src/msg/CMakeFiles/vialock_msg.dir/transport.cc.o" "gcc" "src/msg/CMakeFiles/vialock_msg.dir/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vialock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/via/CMakeFiles/vialock_via.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkern/CMakeFiles/vialock_simkern.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vialock_msg.dir/mesh.cc.o"
+  "CMakeFiles/vialock_msg.dir/mesh.cc.o.d"
+  "CMakeFiles/vialock_msg.dir/transport.cc.o"
+  "CMakeFiles/vialock_msg.dir/transport.cc.o.d"
+  "libvialock_msg.a"
+  "libvialock_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vialock_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simkern/buddy.cc" "src/simkern/CMakeFiles/vialock_simkern.dir/buddy.cc.o" "gcc" "src/simkern/CMakeFiles/vialock_simkern.dir/buddy.cc.o.d"
+  "/root/repo/src/simkern/filecache.cc" "src/simkern/CMakeFiles/vialock_simkern.dir/filecache.cc.o" "gcc" "src/simkern/CMakeFiles/vialock_simkern.dir/filecache.cc.o.d"
+  "/root/repo/src/simkern/kernel.cc" "src/simkern/CMakeFiles/vialock_simkern.dir/kernel.cc.o" "gcc" "src/simkern/CMakeFiles/vialock_simkern.dir/kernel.cc.o.d"
+  "/root/repo/src/simkern/kiobuf.cc" "src/simkern/CMakeFiles/vialock_simkern.dir/kiobuf.cc.o" "gcc" "src/simkern/CMakeFiles/vialock_simkern.dir/kiobuf.cc.o.d"
+  "/root/repo/src/simkern/mlock.cc" "src/simkern/CMakeFiles/vialock_simkern.dir/mlock.cc.o" "gcc" "src/simkern/CMakeFiles/vialock_simkern.dir/mlock.cc.o.d"
+  "/root/repo/src/simkern/mm.cc" "src/simkern/CMakeFiles/vialock_simkern.dir/mm.cc.o" "gcc" "src/simkern/CMakeFiles/vialock_simkern.dir/mm.cc.o.d"
+  "/root/repo/src/simkern/pagetable.cc" "src/simkern/CMakeFiles/vialock_simkern.dir/pagetable.cc.o" "gcc" "src/simkern/CMakeFiles/vialock_simkern.dir/pagetable.cc.o.d"
+  "/root/repo/src/simkern/procfs.cc" "src/simkern/CMakeFiles/vialock_simkern.dir/procfs.cc.o" "gcc" "src/simkern/CMakeFiles/vialock_simkern.dir/procfs.cc.o.d"
+  "/root/repo/src/simkern/swap.cc" "src/simkern/CMakeFiles/vialock_simkern.dir/swap.cc.o" "gcc" "src/simkern/CMakeFiles/vialock_simkern.dir/swap.cc.o.d"
+  "/root/repo/src/simkern/vma.cc" "src/simkern/CMakeFiles/vialock_simkern.dir/vma.cc.o" "gcc" "src/simkern/CMakeFiles/vialock_simkern.dir/vma.cc.o.d"
+  "/root/repo/src/simkern/vmscan.cc" "src/simkern/CMakeFiles/vialock_simkern.dir/vmscan.cc.o" "gcc" "src/simkern/CMakeFiles/vialock_simkern.dir/vmscan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

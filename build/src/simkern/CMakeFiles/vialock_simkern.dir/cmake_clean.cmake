@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vialock_simkern.dir/buddy.cc.o"
+  "CMakeFiles/vialock_simkern.dir/buddy.cc.o.d"
+  "CMakeFiles/vialock_simkern.dir/filecache.cc.o"
+  "CMakeFiles/vialock_simkern.dir/filecache.cc.o.d"
+  "CMakeFiles/vialock_simkern.dir/kernel.cc.o"
+  "CMakeFiles/vialock_simkern.dir/kernel.cc.o.d"
+  "CMakeFiles/vialock_simkern.dir/kiobuf.cc.o"
+  "CMakeFiles/vialock_simkern.dir/kiobuf.cc.o.d"
+  "CMakeFiles/vialock_simkern.dir/mlock.cc.o"
+  "CMakeFiles/vialock_simkern.dir/mlock.cc.o.d"
+  "CMakeFiles/vialock_simkern.dir/mm.cc.o"
+  "CMakeFiles/vialock_simkern.dir/mm.cc.o.d"
+  "CMakeFiles/vialock_simkern.dir/pagetable.cc.o"
+  "CMakeFiles/vialock_simkern.dir/pagetable.cc.o.d"
+  "CMakeFiles/vialock_simkern.dir/procfs.cc.o"
+  "CMakeFiles/vialock_simkern.dir/procfs.cc.o.d"
+  "CMakeFiles/vialock_simkern.dir/swap.cc.o"
+  "CMakeFiles/vialock_simkern.dir/swap.cc.o.d"
+  "CMakeFiles/vialock_simkern.dir/vma.cc.o"
+  "CMakeFiles/vialock_simkern.dir/vma.cc.o.d"
+  "CMakeFiles/vialock_simkern.dir/vmscan.cc.o"
+  "CMakeFiles/vialock_simkern.dir/vmscan.cc.o.d"
+  "libvialock_simkern.a"
+  "libvialock_simkern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vialock_simkern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/via/fabric.cc" "src/via/CMakeFiles/vialock_via.dir/fabric.cc.o" "gcc" "src/via/CMakeFiles/vialock_via.dir/fabric.cc.o.d"
+  "/root/repo/src/via/kernel_agent.cc" "src/via/CMakeFiles/vialock_via.dir/kernel_agent.cc.o" "gcc" "src/via/CMakeFiles/vialock_via.dir/kernel_agent.cc.o.d"
+  "/root/repo/src/via/lock_policy.cc" "src/via/CMakeFiles/vialock_via.dir/lock_policy.cc.o" "gcc" "src/via/CMakeFiles/vialock_via.dir/lock_policy.cc.o.d"
+  "/root/repo/src/via/nic.cc" "src/via/CMakeFiles/vialock_via.dir/nic.cc.o" "gcc" "src/via/CMakeFiles/vialock_via.dir/nic.cc.o.d"
+  "/root/repo/src/via/remote_window.cc" "src/via/CMakeFiles/vialock_via.dir/remote_window.cc.o" "gcc" "src/via/CMakeFiles/vialock_via.dir/remote_window.cc.o.d"
+  "/root/repo/src/via/tpt.cc" "src/via/CMakeFiles/vialock_via.dir/tpt.cc.o" "gcc" "src/via/CMakeFiles/vialock_via.dir/tpt.cc.o.d"
+  "/root/repo/src/via/unetmm.cc" "src/via/CMakeFiles/vialock_via.dir/unetmm.cc.o" "gcc" "src/via/CMakeFiles/vialock_via.dir/unetmm.cc.o.d"
+  "/root/repo/src/via/vipl.cc" "src/via/CMakeFiles/vialock_via.dir/vipl.cc.o" "gcc" "src/via/CMakeFiles/vialock_via.dir/vipl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkern/CMakeFiles/vialock_simkern.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

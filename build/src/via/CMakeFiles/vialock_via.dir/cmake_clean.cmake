@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vialock_via.dir/fabric.cc.o"
+  "CMakeFiles/vialock_via.dir/fabric.cc.o.d"
+  "CMakeFiles/vialock_via.dir/kernel_agent.cc.o"
+  "CMakeFiles/vialock_via.dir/kernel_agent.cc.o.d"
+  "CMakeFiles/vialock_via.dir/lock_policy.cc.o"
+  "CMakeFiles/vialock_via.dir/lock_policy.cc.o.d"
+  "CMakeFiles/vialock_via.dir/nic.cc.o"
+  "CMakeFiles/vialock_via.dir/nic.cc.o.d"
+  "CMakeFiles/vialock_via.dir/remote_window.cc.o"
+  "CMakeFiles/vialock_via.dir/remote_window.cc.o.d"
+  "CMakeFiles/vialock_via.dir/tpt.cc.o"
+  "CMakeFiles/vialock_via.dir/tpt.cc.o.d"
+  "CMakeFiles/vialock_via.dir/unetmm.cc.o"
+  "CMakeFiles/vialock_via.dir/unetmm.cc.o.d"
+  "CMakeFiles/vialock_via.dir/vipl.cc.o"
+  "CMakeFiles/vialock_via.dir/vipl.cc.o.d"
+  "libvialock_via.a"
+  "libvialock_via.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vialock_via.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

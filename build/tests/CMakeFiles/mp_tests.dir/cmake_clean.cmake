@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_tests.dir/mp/collectives_test.cc.o"
+  "CMakeFiles/mp_tests.dir/mp/collectives_test.cc.o.d"
+  "CMakeFiles/mp_tests.dir/mp/comm_test.cc.o"
+  "CMakeFiles/mp_tests.dir/mp/comm_test.cc.o.d"
+  "CMakeFiles/mp_tests.dir/mp/indirect_test.cc.o"
+  "CMakeFiles/mp_tests.dir/mp/indirect_test.cc.o.d"
+  "CMakeFiles/mp_tests.dir/mp/multidevice_test.cc.o"
+  "CMakeFiles/mp_tests.dir/mp/multidevice_test.cc.o.d"
+  "mp_tests"
+  "mp_tests.pdb"
+  "mp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

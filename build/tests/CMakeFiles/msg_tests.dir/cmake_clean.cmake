@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_tests.dir/msg/mesh_test.cc.o"
+  "CMakeFiles/msg_tests.dir/msg/mesh_test.cc.o.d"
+  "CMakeFiles/msg_tests.dir/msg/transport_test.cc.o"
+  "CMakeFiles/msg_tests.dir/msg/transport_test.cc.o.d"
+  "msg_tests"
+  "msg_tests.pdb"
+  "msg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simkern/buddy_test.cc" "tests/CMakeFiles/simkern_tests.dir/simkern/buddy_test.cc.o" "gcc" "tests/CMakeFiles/simkern_tests.dir/simkern/buddy_test.cc.o.d"
+  "/root/repo/tests/simkern/filecache_test.cc" "tests/CMakeFiles/simkern_tests.dir/simkern/filecache_test.cc.o" "gcc" "tests/CMakeFiles/simkern_tests.dir/simkern/filecache_test.cc.o.d"
+  "/root/repo/tests/simkern/kernel_io_test.cc" "tests/CMakeFiles/simkern_tests.dir/simkern/kernel_io_test.cc.o" "gcc" "tests/CMakeFiles/simkern_tests.dir/simkern/kernel_io_test.cc.o.d"
+  "/root/repo/tests/simkern/kiobuf_test.cc" "tests/CMakeFiles/simkern_tests.dir/simkern/kiobuf_test.cc.o" "gcc" "tests/CMakeFiles/simkern_tests.dir/simkern/kiobuf_test.cc.o.d"
+  "/root/repo/tests/simkern/madvise_test.cc" "tests/CMakeFiles/simkern_tests.dir/simkern/madvise_test.cc.o" "gcc" "tests/CMakeFiles/simkern_tests.dir/simkern/madvise_test.cc.o.d"
+  "/root/repo/tests/simkern/mlock_test.cc" "tests/CMakeFiles/simkern_tests.dir/simkern/mlock_test.cc.o" "gcc" "tests/CMakeFiles/simkern_tests.dir/simkern/mlock_test.cc.o.d"
+  "/root/repo/tests/simkern/mm_test.cc" "tests/CMakeFiles/simkern_tests.dir/simkern/mm_test.cc.o" "gcc" "tests/CMakeFiles/simkern_tests.dir/simkern/mm_test.cc.o.d"
+  "/root/repo/tests/simkern/mprotect_test.cc" "tests/CMakeFiles/simkern_tests.dir/simkern/mprotect_test.cc.o" "gcc" "tests/CMakeFiles/simkern_tests.dir/simkern/mprotect_test.cc.o.d"
+  "/root/repo/tests/simkern/pagetable_test.cc" "tests/CMakeFiles/simkern_tests.dir/simkern/pagetable_test.cc.o" "gcc" "tests/CMakeFiles/simkern_tests.dir/simkern/pagetable_test.cc.o.d"
+  "/root/repo/tests/simkern/pin_budget_test.cc" "tests/CMakeFiles/simkern_tests.dir/simkern/pin_budget_test.cc.o" "gcc" "tests/CMakeFiles/simkern_tests.dir/simkern/pin_budget_test.cc.o.d"
+  "/root/repo/tests/simkern/procfs_test.cc" "tests/CMakeFiles/simkern_tests.dir/simkern/procfs_test.cc.o" "gcc" "tests/CMakeFiles/simkern_tests.dir/simkern/procfs_test.cc.o.d"
+  "/root/repo/tests/simkern/readahead_test.cc" "tests/CMakeFiles/simkern_tests.dir/simkern/readahead_test.cc.o" "gcc" "tests/CMakeFiles/simkern_tests.dir/simkern/readahead_test.cc.o.d"
+  "/root/repo/tests/simkern/shm_test.cc" "tests/CMakeFiles/simkern_tests.dir/simkern/shm_test.cc.o" "gcc" "tests/CMakeFiles/simkern_tests.dir/simkern/shm_test.cc.o.d"
+  "/root/repo/tests/simkern/swap_test.cc" "tests/CMakeFiles/simkern_tests.dir/simkern/swap_test.cc.o" "gcc" "tests/CMakeFiles/simkern_tests.dir/simkern/swap_test.cc.o.d"
+  "/root/repo/tests/simkern/vma_test.cc" "tests/CMakeFiles/simkern_tests.dir/simkern/vma_test.cc.o" "gcc" "tests/CMakeFiles/simkern_tests.dir/simkern/vma_test.cc.o.d"
+  "/root/repo/tests/simkern/vmscan_test.cc" "tests/CMakeFiles/simkern_tests.dir/simkern/vmscan_test.cc.o" "gcc" "tests/CMakeFiles/simkern_tests.dir/simkern/vmscan_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/vialock_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/vialock_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/vialock_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vialock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/via/CMakeFiles/vialock_via.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkern/CMakeFiles/vialock_simkern.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for simkern_tests.
+# This may be replaced when dependencies are built.

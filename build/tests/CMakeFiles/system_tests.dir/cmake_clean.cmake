@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_tests.dir/determinism_test.cc.o"
+  "CMakeFiles/system_tests.dir/determinism_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/integration_test.cc.o"
+  "CMakeFiles/system_tests.dir/integration_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/property_test.cc.o"
+  "CMakeFiles/system_tests.dir/property_test.cc.o.d"
+  "system_tests"
+  "system_tests.pdb"
+  "system_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

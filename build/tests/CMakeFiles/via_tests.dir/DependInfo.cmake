@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/via/fabric_test.cc" "tests/CMakeFiles/via_tests.dir/via/fabric_test.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/via/fabric_test.cc.o.d"
+  "/root/repo/tests/via/kernel_agent_test.cc" "tests/CMakeFiles/via_tests.dir/via/kernel_agent_test.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/via/kernel_agent_test.cc.o.d"
+  "/root/repo/tests/via/lock_policy_test.cc" "tests/CMakeFiles/via_tests.dir/via/lock_policy_test.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/via/lock_policy_test.cc.o.d"
+  "/root/repo/tests/via/nic_test.cc" "tests/CMakeFiles/via_tests.dir/via/nic_test.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/via/nic_test.cc.o.d"
+  "/root/repo/tests/via/remote_window_test.cc" "tests/CMakeFiles/via_tests.dir/via/remote_window_test.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/via/remote_window_test.cc.o.d"
+  "/root/repo/tests/via/sg_cq_test.cc" "tests/CMakeFiles/via_tests.dir/via/sg_cq_test.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/via/sg_cq_test.cc.o.d"
+  "/root/repo/tests/via/tpt_test.cc" "tests/CMakeFiles/via_tests.dir/via/tpt_test.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/via/tpt_test.cc.o.d"
+  "/root/repo/tests/via/unetmm_test.cc" "tests/CMakeFiles/via_tests.dir/via/unetmm_test.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/via/unetmm_test.cc.o.d"
+  "/root/repo/tests/via/vipl_misuse_test.cc" "tests/CMakeFiles/via_tests.dir/via/vipl_misuse_test.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/via/vipl_misuse_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/vialock_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/vialock_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/vialock_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vialock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/via/CMakeFiles/vialock_via.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkern/CMakeFiles/vialock_simkern.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

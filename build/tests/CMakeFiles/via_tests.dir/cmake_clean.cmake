@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/via_tests.dir/via/fabric_test.cc.o"
+  "CMakeFiles/via_tests.dir/via/fabric_test.cc.o.d"
+  "CMakeFiles/via_tests.dir/via/kernel_agent_test.cc.o"
+  "CMakeFiles/via_tests.dir/via/kernel_agent_test.cc.o.d"
+  "CMakeFiles/via_tests.dir/via/lock_policy_test.cc.o"
+  "CMakeFiles/via_tests.dir/via/lock_policy_test.cc.o.d"
+  "CMakeFiles/via_tests.dir/via/nic_test.cc.o"
+  "CMakeFiles/via_tests.dir/via/nic_test.cc.o.d"
+  "CMakeFiles/via_tests.dir/via/remote_window_test.cc.o"
+  "CMakeFiles/via_tests.dir/via/remote_window_test.cc.o.d"
+  "CMakeFiles/via_tests.dir/via/sg_cq_test.cc.o"
+  "CMakeFiles/via_tests.dir/via/sg_cq_test.cc.o.d"
+  "CMakeFiles/via_tests.dir/via/tpt_test.cc.o"
+  "CMakeFiles/via_tests.dir/via/tpt_test.cc.o.d"
+  "CMakeFiles/via_tests.dir/via/unetmm_test.cc.o"
+  "CMakeFiles/via_tests.dir/via/unetmm_test.cc.o.d"
+  "CMakeFiles/via_tests.dir/via/vipl_misuse_test.cc.o"
+  "CMakeFiles/via_tests.dir/via/vipl_misuse_test.cc.o.d"
+  "via_tests"
+  "via_tests.pdb"
+  "via_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/via_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/simkern_tests[1]_include.cmake")
+include("/root/repo/build/tests/via_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/msg_tests[1]_include.cmake")
+include("/root/repo/build/tests/experiments_tests[1]_include.cmake")
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/system_tests[1]_include.cmake")
+include("/root/repo/build/tests/mp_tests[1]_include.cmake")
