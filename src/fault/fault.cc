@@ -1,0 +1,74 @@
+#include "fault/fault.h"
+
+#include <sstream>
+
+#include "util/trace.h"
+
+namespace vialock::fault {
+
+std::string FaultEngine::JournalEntry::to_string() const {
+  std::ostringstream os;
+  os << when << "ns " << vialock::fault::to_string(site) << "#" << event_index
+     << " -> " << vialock::fault::to_string(action) << " (rule " << rule_index
+     << ")";
+  return os.str();
+}
+
+FaultEngine::FaultEngine(FaultPlan plan, const Clock& clock)
+    : plan_(std::move(plan)), clock_(clock) {
+  rule_rngs_.reserve(plan_.rules.size());
+  rule_triggers_.assign(plan_.rules.size(), 0);
+  // Derive one independent stream per rule: adding or reordering *other*
+  // rules must not disturb a rule's draws, or schedules would not be
+  // comparable across plan edits.
+  SplitMix64 sm(plan_.seed);
+  const std::uint64_t base = sm.next();
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    rule_rngs_.emplace_back(base ^ (0x9E3779B97F4A7C15ULL * (i + 1)));
+  }
+}
+
+std::optional<FaultDecision> FaultEngine::check(FaultSite site) {
+  const auto si = static_cast<std::size_t>(site);
+  const std::uint64_t event_index = stats_.events_seen[si]++;
+  const Nanos now = clock_.now();
+
+  for (std::size_t r = 0; r < plan_.rules.size(); ++r) {
+    const FaultRule& rule = plan_.rules[r];
+    if (rule.site != site) continue;
+    if (event_index < rule.after_events) continue;
+    if (rule_triggers_[r] >= rule.max_triggers) continue;
+    if (now < rule.not_before || now > rule.not_after) continue;
+    // The Bernoulli draw is consumed even when it fails, so a rule's stream
+    // position depends only on how many eligible events it has examined.
+    if (rule.probability < 1.0 && !rule_rngs_[r].chance(rule.probability)) {
+      continue;
+    }
+
+    ++rule_triggers_[r];
+    ++stats_.faults_injected[si];
+    journal_.push_back(JournalEntry{now, site, rule.action, event_index, r});
+    if (trace_) {
+      trace_->record(now, TraceEvent::FaultInjected, /*pid=*/0,
+                     /*addr=*/static_cast<std::uint64_t>(si),
+                     /*pfn=*/static_cast<std::uint32_t>(r));
+    }
+
+    FaultDecision d;
+    d.action = rule.action;
+    d.delay = rule.delay;
+    d.corrupt_mask = rule.corrupt_mask;
+    d.entropy = rule_rngs_[r].next();
+    d.rule_index = r;
+    return d;
+  }
+  return std::nullopt;
+}
+
+std::string FaultEngine::schedule_string() const {
+  std::ostringstream os;
+  for (const JournalEntry& e : journal_) os << e.to_string() << "\n";
+  return os.str();
+}
+
+}  // namespace vialock::fault

@@ -1,5 +1,7 @@
 #include "msg/transport.h"
 
+#include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstring>
 #include <map>
@@ -31,12 +33,33 @@ std::span<const std::byte> as_bytes_of(const T& v) {
   return {reinterpret_cast<const std::byte*>(&v), sizeof(T)};
 }
 
+// --- reliable-delivery frame format ----------------------------------------
+// Every sequenced frame starts with this header; the checksum covers the
+// payload, the header fields themselves are validated by magic + length so a
+// bit-flip anywhere in the frame is caught.
+inline constexpr std::uint32_t kFrameMagic = 0x56494146u;  // "VIAF"
+inline constexpr std::uint8_t kFrameData = 1;
+inline constexpr std::uint8_t kFrameCtrl = 2;
+inline constexpr std::uint8_t kFrameAck = 3;
+
+struct FrameHeader {
+  std::uint32_t magic = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t len = 0;  ///< payload bytes following the header
+  std::uint32_t crc = 0;  ///< fault::checksum32 of the payload
+  std::uint8_t kind = 0;
+  std::uint8_t pad[3] = {};
+};
+static_assert(std::is_trivially_copyable_v<FrameHeader>);
+
 }  // namespace
 
 /// Per-process endpoint state.
 struct Channel::Side {
-  Side(via::Node& node, simkern::Pid pid) : vipl(node.agent(), pid) {}
+  Side(via::Node& node, simkern::Pid pid) : host(node), vipl(node.agent(), pid) {}
 
+  via::Node& host;  ///< the node this endpoint lives on (pids are per-kernel,
+                    ///< so they cannot identify the side)
   via::Vipl vipl;
   via::ViId vi = via::kInvalidVi;
   VAddr slots = 0;          ///< eager bounce buffer array
@@ -47,6 +70,10 @@ struct Channel::Side {
   bool heap_registered = false;
   std::unique_ptr<core::RegistrationCache> cache;
   std::map<std::uint64_t, via::RemoteWindow> imports;  ///< PIO import cache
+  // Reliable-delivery state: sequence numbers this side assigns to frames it
+  // originates, and the next sequence number it expects to receive.
+  std::uint32_t send_seq = 0;
+  std::uint32_t recv_expected = 0;
 
   [[nodiscard]] VAddr slot_addr(std::uint32_t i) const {
     return slots + static_cast<std::uint64_t>(i) * slot_size;
@@ -91,7 +118,9 @@ KStatus Channel::init() {
 
   for (Side* s : {src_.get(), dst_.get()}) {
     if (const KStatus st = s->vipl.open(); !ok(st)) return st;
-    s->vi = s->vipl.create_vi();
+    // Reliable-delivery mode supplies its own guarantees, so it runs over
+    // unreliable VIs (the VIA "unreliable delivery" service class).
+    s->vi = s->vipl.create_vi(/*reliable=*/!config_.reliability.enabled);
     if (s->vi == via::kInvalidVi) return KStatus::NoMem;
     s->slot_size = config_.eager_slot_size;
     s->num_slots = config_.eager_credits;
@@ -172,9 +201,8 @@ KStatus Channel::eager_push(Side& from, Side& to,
   // synchronous model) via one user-space copy... except the source here is
   // library-internal bytes, so write_user models the copy into the
   // registered buffer.
-  via::Node& fn = from.vipl.pid() == src_pid_ ? sender_node() : receiver_node();
-  if (const KStatus st =
-          fn.kernel().write_user(from.vipl.pid(), from.slot_addr(0), msg);
+  if (const KStatus st = from.host.kernel().write_user(from.vipl.pid(),
+                                                       from.slot_addr(0), msg);
       !ok(st)) {
     return st;
   }
@@ -230,6 +258,315 @@ KStatus Channel::eager(std::uint64_t src_off, std::uint64_t dst_off,
 }
 
 // ---------------------------------------------------------------------------
+// Reliable-delivery machinery
+// ---------------------------------------------------------------------------
+
+void Channel::charge_timeout(std::uint32_t attempt) {
+  const Reliability& rel = config_.reliability;
+  const std::uint32_t shift = std::min(attempt, rel.backoff_cap);
+  cluster_.clock().advance(rel.retry_timeout << shift);
+  ++stats_.send_timeouts;
+  sender_node().kernel().trace().record(
+      cluster_.clock().now(), TraceEvent::SendTimeout,
+      static_cast<std::uint32_t>(src_pid_), /*addr=*/0, attempt);
+}
+
+void Channel::repair_connection() {
+  ++stats_.conn_repairs;
+  // Best effort: the endpoints always exist here, so Inval cannot happen.
+  (void)cluster_.fabric().repair(sender_id_, src_->vi, receiver_id_, dst_->vi);
+}
+
+bool Channel::send_ack(Side& acker, Side& waiter, std::uint32_t seq) {
+  FrameHeader hdr;
+  hdr.magic = kFrameMagic;
+  hdr.seq = seq;
+  hdr.len = 0;
+  hdr.crc = fault::checksum32({});
+  hdr.kind = kFrameAck;
+  std::array<std::byte, sizeof(FrameHeader)> frame;
+  std::memcpy(frame.data(), &hdr, sizeof hdr);
+
+  ++stats_.frames_sent;
+  if (!ok(acker.host.kernel().write_user(acker.vipl.pid(), acker.slot_addr(0),
+                                         frame))) {
+    return false;
+  }
+  if (!ok(acker.vipl.post_send(acker.vi, acker.slots_mh, acker.slot_addr(0),
+                               sizeof(FrameHeader)))) {
+    return false;
+  }
+  const auto sc = acker.vipl.send_done(acker.vi);
+  if (!sc) return false;  // doorbell drop: the ack never left
+  if (sc->status == via::DescStatus::ErrDisconnected) {
+    repair_connection();
+    return false;
+  }
+  if (!sc->done_ok()) return false;
+  const auto rc = waiter.vipl.recv_done(waiter.vi);
+  if (!rc) return false;  // ack lost on the wire
+  const auto slot = static_cast<std::uint32_t>(rc->cookie);
+  std::array<std::byte, sizeof(FrameHeader)> rx{};
+  const bool readable =
+      rc->done_ok() && rc->transferred == sizeof(FrameHeader) &&
+      ok(waiter.host.kernel().read_user(waiter.vipl.pid(),
+                                        waiter.slot_addr(slot), rx));
+  if (!ok(waiter.repost(slot))) return false;
+  if (!readable) return false;
+  FrameHeader got{};
+  std::memcpy(&got, rx.data(), sizeof got);
+  if (got.magic != kFrameMagic || got.kind != kFrameAck || got.seq != seq) {
+    ++stats_.corruptions_detected;  // bit-flipped ack caught by the header
+    return false;
+  }
+  return true;
+}
+
+KStatus Channel::reliable_push(Side& from, Side& to, std::uint8_t kind,
+                               std::span<const std::byte> payload,
+                               std::vector<std::byte>& out) {
+  const Reliability& rel = config_.reliability;
+  if (payload.size() + sizeof(FrameHeader) > from.slot_size)
+    return KStatus::Inval;
+
+  FrameHeader hdr;
+  hdr.magic = kFrameMagic;
+  hdr.seq = from.send_seq++;
+  hdr.len = static_cast<std::uint32_t>(payload.size());
+  hdr.crc = fault::checksum32(payload);
+  hdr.kind = kind;
+  std::vector<std::byte> frame(sizeof(FrameHeader) + payload.size());
+  std::memcpy(frame.data(), &hdr, sizeof hdr);
+  if (!payload.empty())
+    std::memcpy(frame.data() + sizeof hdr, payload.data(), payload.size());
+
+  Clock& clock = cluster_.clock();
+  bool delivered = false;
+
+  for (std::uint32_t attempt = 0; attempt <= rel.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      from.host.kernel().trace().record(clock.now(), TraceEvent::SendRetry,
+                                 static_cast<std::uint32_t>(from.vipl.pid()),
+                                 hdr.seq, attempt);
+    }
+    ++stats_.frames_sent;
+    if (const KStatus st =
+            from.host.kernel().write_user(from.vipl.pid(), from.slot_addr(0), frame);
+        !ok(st)) {
+      return st;
+    }
+    if (!ok(from.vipl.post_send(from.vi, from.slots_mh, from.slot_addr(0),
+                                static_cast<std::uint32_t>(frame.size())))) {
+      // The VI is broken (an earlier reset): repair and retry.
+      repair_connection();
+      charge_timeout(attempt);
+      continue;
+    }
+    const auto sc = from.vipl.send_done(from.vi);
+    if (!sc) {
+      // Doorbell drop: the NIC never saw the descriptor, so no completion
+      // will ever arrive - only the timeout catches this.
+      charge_timeout(attempt);
+      continue;
+    }
+    if (sc->status == via::DescStatus::ErrDisconnected) {
+      repair_connection();
+      charge_timeout(attempt);
+      continue;
+    }
+    if (sc->status == via::DescStatus::ErrNoRecvDesc) {
+      charge_timeout(attempt);
+      continue;
+    }
+    if (!sc->done_ok()) return KStatus::Proto;
+
+    // A Done send only proves the frame left the local NIC; poll the
+    // receive queue to learn whether it survived the wire.
+    const auto rc = to.vipl.recv_done(to.vi);
+    if (!rc) {
+      charge_timeout(attempt);  // silent wire loss
+      continue;
+    }
+    const auto slot = static_cast<std::uint32_t>(rc->cookie);
+    std::vector<std::byte> rx(rc->transferred);
+    const bool readable =
+        rc->done_ok() &&
+        ok(to.host.kernel().read_user(to.vipl.pid(), to.slot_addr(slot), rx));
+    if (const KStatus st = to.repost(slot); !ok(st)) return st;
+    if (!readable) {
+      charge_timeout(attempt);
+      continue;
+    }
+
+    FrameHeader got{};
+    bool valid = rx.size() >= sizeof(FrameHeader);
+    if (valid) {
+      std::memcpy(&got, rx.data(), sizeof got);
+      valid = got.magic == kFrameMagic && got.kind == kind &&
+              sizeof(FrameHeader) + got.len == rx.size() &&
+              got.crc ==
+                  fault::checksum32(std::span(rx).subspan(sizeof(FrameHeader)));
+    }
+    if (!valid) {
+      // An injected DMA/wire bit-flip caught by magic/length/checksum: the
+      // receiver discards the frame and withholds the ack.
+      ++stats_.corruptions_detected;
+      charge_timeout(attempt);
+      continue;
+    }
+
+    if (got.seq == to.recv_expected) {
+      ++to.recv_expected;
+      out.assign(rx.begin() + sizeof(FrameHeader), rx.end());
+      delivered = true;
+    } else if (delivered && got.seq == hdr.seq) {
+      // A replay of a frame whose ack was lost: deduplicate (do not deliver
+      // twice) but re-ack so the sender can stop retransmitting.
+      ++stats_.dup_frames_dropped;
+    } else {
+      // The sequence number is not covered by the payload checksum; a
+      // bit-flip there shows up as an impossible seq. Treat as corruption.
+      ++stats_.corruptions_detected;
+      charge_timeout(attempt);
+      continue;
+    }
+    if (!send_ack(to, from, got.seq)) {
+      charge_timeout(attempt);
+      continue;  // lost/corrupt ack: retransmit, the dedup path re-acks
+    }
+    ++stats_.acks_received;
+    return KStatus::Ok;
+  }
+  sender_node().kernel().trace().record(
+      clock.now(), TraceEvent::SendTimeout,
+      static_cast<std::uint32_t>(from.vipl.pid()), hdr.seq, rel.max_retries);
+  return KStatus::TimedOut;
+}
+
+KStatus Channel::push_ctrl(Side& from, Side& to, std::span<const std::byte> msg,
+                           Descriptor& completion) {
+  if (!config_.reliability.enabled)
+    return eager_push(from, to, msg, completion);
+  std::vector<std::byte> out;
+  return reliable_push(from, to, kFrameCtrl, msg, out);
+}
+
+KStatus Channel::acquire_with_retry(Side& side, VAddr addr, std::uint32_t len,
+                                    MemHandle& out) {
+  KStatus st = side.cache->acquire(addr, len, out);
+  if (!config_.reliability.enabled) return st;
+  // Injected registration failures (kiobuf map rejection, allocator
+  // pressure) are transient: back off and retry within the same budget.
+  for (std::uint32_t attempt = 0;
+       st == KStatus::Again && attempt < config_.reliability.max_retries;
+       ++attempt) {
+    charge_timeout(attempt);
+    st = side.cache->acquire(addr, len, out);
+  }
+  return st;
+}
+
+KStatus Channel::reliable_rdma(const MemHandle& src_mh, VAddr src_addr,
+                               const MemHandle& dst_mh, VAddr dst_addr,
+                               std::uint32_t len) {
+  const Reliability& rel = config_.reliability;
+  Clock& clock = cluster_.clock();
+  simkern::Kernel& sk = sender_node().kernel();
+  simkern::Kernel& rk = receiver_node().kernel();
+
+  // End-to-end integrity: checksum the source payload once; the FIN exchange
+  // is modelled by verifying the receiver's copy against it after every
+  // write attempt.
+  std::vector<std::byte> buf(len);
+  if (const KStatus st = sk.read_user(src_pid_, src_addr, buf); !ok(st))
+    return st;
+  const std::uint32_t want = fault::checksum32(buf);
+
+  for (std::uint32_t attempt = 0; attempt <= rel.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      sk.trace().record(clock.now(), TraceEvent::SendRetry,
+                        static_cast<std::uint32_t>(src_pid_), dst_addr,
+                        attempt);
+    }
+    if (!ok(src_->vipl.rdma_write(src_->vi, src_mh, src_addr, len, dst_mh,
+                                  dst_addr, /*cookie=*/0,
+                                  /*immediate=*/std::uint32_t{len}))) {
+      repair_connection();
+      charge_timeout(attempt);
+      continue;
+    }
+    const auto sc = src_->vipl.send_done(src_->vi);
+    if (!sc) {  // doorbell drop
+      charge_timeout(attempt);
+      continue;
+    }
+    if (sc->status == via::DescStatus::ErrDisconnected) {
+      repair_connection();
+      charge_timeout(attempt);
+      continue;
+    }
+    if (!sc->done_ok()) return KStatus::Proto;
+    // The immediate-data completion consumed a receiver slot; its absence
+    // means the write was dropped in flight.
+    if (const auto rc = dst_->vipl.recv_done(dst_->vi); rc) {
+      if (const KStatus st =
+              dst_->repost(static_cast<std::uint32_t>(rc->cookie));
+          !ok(st)) {
+        return st;
+      }
+      if (!rc->done_ok()) {
+        charge_timeout(attempt);
+        continue;
+      }
+    } else {
+      charge_timeout(attempt);
+      continue;
+    }
+    // Receiver-side verification (the read charges copy/fault time).
+    if (const KStatus st = rk.read_user(dst_pid_, dst_addr, buf); !ok(st))
+      return st;
+    if (fault::checksum32(buf) != want) {
+      ++stats_.corruptions_detected;
+      charge_timeout(attempt);
+      continue;
+    }
+    return KStatus::Ok;
+  }
+  sk.trace().record(clock.now(), TraceEvent::SendTimeout,
+                    static_cast<std::uint32_t>(src_pid_), dst_addr,
+                    rel.max_retries);
+  return KStatus::TimedOut;
+}
+
+KStatus Channel::reliable_eager(std::uint64_t src_off, std::uint64_t dst_off,
+                                std::uint32_t len) {
+  if (len + sizeof(FrameHeader) > config_.eager_slot_size)
+    return KStatus::Inval;
+  std::vector<std::byte> payload(len);
+  if (const KStatus st =
+          sender_node().kernel().read_user(src_pid_, src_heap_ + src_off,
+                                           payload);
+      !ok(st)) {
+    return st;
+  }
+  std::vector<std::byte> out;
+  if (const KStatus st = reliable_push(*src_, *dst_, kFrameData, payload, out);
+      !ok(st)) {
+    return st;
+  }
+  if (const KStatus st = receiver_node().kernel().write_user(
+          dst_pid_, dst_heap_ + dst_off, out);
+      !ok(st)) {
+    return st;
+  }
+  ++stats_.eager_msgs;
+  stats_.bytes_moved += len;
+  return KStatus::Ok;
+}
+
+// ---------------------------------------------------------------------------
 // Rendezvous path (dynamic registration, true zero-copy)
 // ---------------------------------------------------------------------------
 
@@ -238,7 +575,7 @@ KStatus Channel::rendezvous(std::uint64_t src_off, std::uint64_t dst_off,
   // 1. Sender -> receiver: REQ control message.
   const RndzReq req{len, dst_off};
   Descriptor comp;
-  if (const KStatus st = eager_push(*src_, *dst_, as_bytes_of(req), comp);
+  if (const KStatus st = push_ctrl(*src_, *dst_, as_bytes_of(req), comp);
       !ok(st)) {
     return st;
   }
@@ -248,12 +585,12 @@ KStatus Channel::rendezvous(std::uint64_t src_off, std::uint64_t dst_off,
   //    with its memory handle.
   RndzAck ack;
   ack.dst_addr = dst_heap_ + dst_off;
-  if (const KStatus st = dst_->cache->acquire(ack.dst_addr, len,
-                                              ack.dst_handle);
+  if (const KStatus st = acquire_with_retry(*dst_, ack.dst_addr, len,
+                                            ack.dst_handle);
       !ok(st)) {
     return st;
   }
-  if (const KStatus st = eager_push(*dst_, *src_, as_bytes_of(ack), comp);
+  if (const KStatus st = push_ctrl(*dst_, *src_, as_bytes_of(ack), comp);
       !ok(st)) {
     return st;
   }
@@ -262,24 +599,34 @@ KStatus Channel::rendezvous(std::uint64_t src_off, std::uint64_t dst_off,
   // 3. Sender registers (or cache-hits) the source buffer and RDMA-writes
   //    straight into the receiver's user buffer.
   MemHandle src_mh;
-  if (const KStatus st = src_->cache->acquire(src_heap_ + src_off, len, src_mh);
+  if (const KStatus st = acquire_with_retry(*src_, src_heap_ + src_off, len,
+                                            src_mh);
       !ok(st)) {
     return st;
   }
-  if (const KStatus st = src_->vipl.rdma_write(
-          src_->vi, src_mh, src_heap_ + src_off, len, ack.dst_handle,
-          ack.dst_addr, /*cookie=*/0, /*immediate=*/std::uint32_t{len});
-      !ok(st)) {
-    return st;
-  }
-  const auto sc = src_->vipl.send_done(src_->vi);
-  if (!sc || !sc->done_ok()) return KStatus::Proto;
-  // The immediate-data completion consumed one receiver slot: harvest + re-arm.
-  const auto rc = dst_->vipl.recv_done(dst_->vi);
-  if (!rc || !rc->done_ok()) return KStatus::Proto;
-  if (const KStatus st = dst_->repost(static_cast<std::uint32_t>(rc->cookie));
-      !ok(st)) {
-    return st;
+  if (config_.reliability.enabled) {
+    if (const KStatus st = reliable_rdma(src_mh, src_heap_ + src_off,
+                                         ack.dst_handle, ack.dst_addr, len);
+        !ok(st)) {
+      return st;
+    }
+  } else {
+    if (const KStatus st = src_->vipl.rdma_write(
+            src_->vi, src_mh, src_heap_ + src_off, len, ack.dst_handle,
+            ack.dst_addr, /*cookie=*/0, /*immediate=*/std::uint32_t{len});
+        !ok(st)) {
+      return st;
+    }
+    const auto sc = src_->vipl.send_done(src_->vi);
+    if (!sc || !sc->done_ok()) return KStatus::Proto;
+    // The immediate-data completion consumed one receiver slot: harvest +
+    // re-arm.
+    const auto rc = dst_->vipl.recv_done(dst_->vi);
+    if (!rc || !rc->done_ok()) return KStatus::Proto;
+    if (const KStatus st = dst_->repost(static_cast<std::uint32_t>(rc->cookie));
+        !ok(st)) {
+      return st;
+    }
   }
 
   src_->cache->release(src_mh);
@@ -297,6 +644,17 @@ KStatus Channel::rendezvous(std::uint64_t src_off, std::uint64_t dst_off,
 KStatus Channel::preregistered(std::uint64_t src_off, std::uint64_t dst_off,
                                std::uint32_t len) {
   if (!src_->heap_registered || !dst_->heap_registered) return KStatus::Proto;
+  if (config_.reliability.enabled) {
+    if (const KStatus st =
+            reliable_rdma(src_->heap_mh, src_heap_ + src_off, dst_->heap_mh,
+                          dst_heap_ + dst_off, len);
+        !ok(st)) {
+      return st;
+    }
+    ++stats_.prereg_msgs;
+    stats_.bytes_moved += len;
+    return KStatus::Ok;
+  }
   if (const KStatus st = src_->vipl.rdma_write(
           src_->vi, src_->heap_mh, src_heap_ + src_off, len, dst_->heap_mh,
           dst_heap_ + dst_off, /*cookie=*/0, /*immediate=*/std::uint32_t{len});
@@ -325,7 +683,7 @@ KStatus Channel::pio_rendezvous(std::uint64_t src_off, std::uint64_t dst_off,
   // 1. Sender -> receiver: REQ ("the sender informs the receiver as usual").
   const RndzReq req{len, dst_off};
   Descriptor comp;
-  if (const KStatus st = eager_push(*src_, *dst_, as_bytes_of(req), comp);
+  if (const KStatus st = push_ctrl(*src_, *dst_, as_bytes_of(req), comp);
       !ok(st)) {
     return st;
   }
@@ -336,11 +694,11 @@ KStatus Channel::pio_rendezvous(std::uint64_t src_off, std::uint64_t dst_off,
   RndzAck ack;
   ack.dst_addr = dst_heap_ + dst_off;
   if (const KStatus st =
-          dst_->cache->acquire(ack.dst_addr, len, ack.dst_handle);
+          acquire_with_retry(*dst_, ack.dst_addr, len, ack.dst_handle);
       !ok(st)) {
     return st;
   }
-  if (const KStatus st = eager_push(*dst_, *src_, as_bytes_of(ack), comp);
+  if (const KStatus st = push_ctrl(*dst_, *src_, as_bytes_of(ack), comp);
       !ok(st)) {
     return st;
   }
@@ -379,9 +737,31 @@ KStatus Channel::pio_rendezvous(std::uint64_t src_off, std::uint64_t dst_off,
     done += n;
   }
 
-  // 4. Completion notice (the protocol's finishing message).
+  // 4. Completion notice (the protocol's finishing message). In reliable
+  //    mode, also verify the stored payload end-to-end: PIO stores bypass
+  //    the descriptor path, but they are still translated through the
+  //    exporter's TPT, so an injected TPT corruption can land them in the
+  //    wrong frame.
+  if (config_.reliability.enabled) {
+    std::vector<std::byte> chk(len);
+    if (const KStatus st =
+            sk.read_user(src_pid_, src_heap_ + src_off, chk);
+        !ok(st)) {
+      return st;
+    }
+    const std::uint32_t want = fault::checksum32(chk);
+    if (const KStatus st = receiver_node().kernel().read_user(
+            dst_pid_, ack.dst_addr, chk);
+        !ok(st)) {
+      return st;
+    }
+    if (fault::checksum32(chk) != want) {
+      ++stats_.corruptions_detected;
+      return KStatus::Io;
+    }
+  }
   const RndzReq fin{len, dst_off};
-  if (const KStatus st = eager_push(*src_, *dst_, as_bytes_of(fin), comp);
+  if (const KStatus st = push_ctrl(*src_, *dst_, as_bytes_of(fin), comp);
       !ok(st)) {
     return st;
   }
@@ -404,7 +784,9 @@ KStatus Channel::transfer(Protocol proto, std::uint64_t src_off,
     return KStatus::Inval;
   }
   switch (proto) {
-    case Protocol::Eager: return eager(src_off, dst_off, len);
+    case Protocol::Eager:
+      return config_.reliability.enabled ? reliable_eager(src_off, dst_off, len)
+                                         : eager(src_off, dst_off, len);
     case Protocol::Rendezvous: return rendezvous(src_off, dst_off, len);
     case Protocol::Preregistered: return preregistered(src_off, dst_off, len);
     case Protocol::PioRendezvous: return pio_rendezvous(src_off, dst_off, len);

@@ -18,6 +18,18 @@
 // A Channel co-ordinates one sender process and one receiver process on two
 // cluster nodes; the simulation is synchronous, so each transfer runs both
 // sides inline against the shared virtual clock.
+//
+// Reliable-delivery mode (Config::reliability.enabled): the channel runs its
+// protocols over *unreliable* VIs and provides delivery guarantees itself -
+// every eager/control frame carries a sequence number and an FNV-1a checksum
+// and must be acknowledged; a missing or corrupt frame (injected doorbell
+// drop, wire loss, DMA bit-flip - see src/fault) triggers retransmission
+// with exponential backoff up to a bounded retry budget; replayed frames are
+// deduplicated by sequence number at the receiver; RDMA payloads are
+// verified end-to-end against the sender's checksum and re-written on
+// mismatch; an injected connection reset is repaired transparently. The
+// price is visible in ChannelStats and in virtual time - that trade is
+// experiment E20.
 #pragma once
 
 #include <cstdint>
@@ -25,8 +37,10 @@
 #include <optional>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "core/reg_cache.h"
+#include "fault/fault.h"
 #include "via/node.h"
 #include "via/vipl.h"
 
@@ -63,10 +77,28 @@ struct ChannelStats {
   std::uint64_t bytes_moved = 0;
   std::uint64_t control_msgs = 0;
   std::uint64_t window_imports = 0;  ///< PIO imports (cached thereafter)
+  // Reliable-delivery mode:
+  std::uint64_t frames_sent = 0;       ///< sequenced frames incl. retransmits
+  std::uint64_t retries = 0;           ///< retransmissions (frames + RDMA)
+  std::uint64_t send_timeouts = 0;     ///< timeout windows charged waiting
+  std::uint64_t acks_received = 0;
+  std::uint64_t dup_frames_dropped = 0;  ///< replays deduplicated by seq
+  std::uint64_t corruptions_detected = 0;  ///< checksum mismatches caught
+  std::uint64_t conn_repairs = 0;      ///< connections re-established
 };
 
 class Channel {
  public:
+  /// Reliable-delivery policy. With `enabled`, the channel tolerates frame
+  /// loss, corruption and connection resets at the cost of acknowledgement
+  /// traffic, checksum computation and retransmission time.
+  struct Reliability {
+    bool enabled = false;
+    std::uint32_t max_retries = 8;    ///< per frame / per RDMA payload
+    Nanos retry_timeout = 100'000;    ///< base ack timeout (doubles per retry)
+    std::uint32_t backoff_cap = 6;    ///< cap on timeout doublings
+  };
+
   struct Config {
     std::uint32_t eager_slot_size = 8 * 1024;
     std::uint32_t eager_credits = 16;
@@ -79,6 +111,7 @@ class Channel {
     /// Lets several channels share one process per node (Mesh does this).
     simkern::Pid sender_pid = simkern::kInvalidPid;
     simkern::Pid receiver_pid = simkern::kInvalidPid;
+    Reliability reliability;
   };
 
   Channel(via::Cluster& cluster, via::NodeId sender, via::NodeId receiver,
@@ -137,6 +170,39 @@ class Channel {
   [[nodiscard]] KStatus eager_push(Side& from, Side& to,
                                    std::span<const std::byte> msg,
                                    via::Descriptor& completion);
+
+  // --- reliable-delivery machinery (active when config_.reliability.enabled)
+  /// Control-message push: plain eager_push, or the sequenced/acked frame
+  /// path in reliable mode.
+  [[nodiscard]] KStatus push_ctrl(Side& from, Side& to,
+                                  std::span<const std::byte> msg,
+                                  via::Descriptor& completion);
+  /// Send one sequenced, checksummed frame and wait for its ack,
+  /// retransmitting on loss/corruption. On success `out` holds the payload
+  /// as delivered (exactly once) at the receiver.
+  [[nodiscard]] KStatus reliable_push(Side& from, Side& to, std::uint8_t kind,
+                                      std::span<const std::byte> payload,
+                                      std::vector<std::byte>& out);
+  /// Receiver (`acker`) acknowledges `seq` back to `waiter`. False when the
+  /// ack itself was lost or corrupted (the data frame will be retransmitted
+  /// and deduplicated).
+  [[nodiscard]] bool send_ack(Side& acker, Side& waiter, std::uint32_t seq);
+  /// RDMA-write with end-to-end payload verification: retries until the
+  /// receiver-side checksum matches the source data or retries exhaust.
+  [[nodiscard]] KStatus reliable_rdma(const via::MemHandle& src_mh,
+                                      simkern::VAddr src_addr,
+                                      const via::MemHandle& dst_mh,
+                                      simkern::VAddr dst_addr,
+                                      std::uint32_t len);
+  /// Registration-cache acquire that retries injected transient failures.
+  [[nodiscard]] KStatus acquire_with_retry(Side& side, simkern::VAddr addr,
+                                           std::uint32_t len,
+                                           via::MemHandle& out);
+  [[nodiscard]] KStatus reliable_eager(std::uint64_t src_off,
+                                       std::uint64_t dst_off,
+                                       std::uint32_t len);
+  void charge_timeout(std::uint32_t attempt);
+  void repair_connection();
 
   via::Cluster& cluster_;
   via::NodeId sender_id_;

@@ -29,6 +29,13 @@ BuddyAllocator::BuddyAllocator(PhysicalMemory& mem, std::uint32_t reserved_low)
 
 Pfn BuddyAllocator::alloc(std::uint32_t order) {
   assert(order <= kMaxOrder);
+  if (faults_) {
+    if (const auto d = faults_->check(fault::FaultSite::BuddyAlloc);
+        d && d->action == fault::FaultAction::Fail) {
+      ++injected_failures_;
+      return kInvalidPfn;  // as if memory were exhausted; callers reclaim
+    }
+  }
   std::uint32_t o = order;
   while (o <= kMaxOrder && free_lists_[o].empty()) ++o;
   if (o > kMaxOrder) return kInvalidPfn;

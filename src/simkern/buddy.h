@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault.h"
 #include "simkern/page.h"
 #include "simkern/types.h"
 
@@ -42,6 +43,13 @@ class BuddyAllocator {
   /// Number of blocks currently on the free list of `order`.
   [[nodiscard]] std::uint32_t free_blocks(std::uint32_t order) const;
 
+  /// Arm fault injection (site BuddyAlloc, action Fail: the allocation is
+  /// refused as if memory were exhausted); nullptr disarms.
+  void set_fault_engine(fault::FaultEngine* engine) { faults_ = engine; }
+  [[nodiscard]] std::uint64_t injected_failures() const {
+    return injected_failures_;
+  }
+
  private:
   struct FrameState {
     bool free = false;
@@ -54,8 +62,10 @@ class BuddyAllocator {
   PhysicalMemory& mem_;
   std::array<std::vector<Pfn>, kMaxOrder + 1> free_lists_;
   std::vector<FrameState> state_;
+  fault::FaultEngine* faults_ = nullptr;
   std::uint32_t free_frames_ = 0;
   std::uint32_t total_frames_ = 0;
+  std::uint64_t injected_failures_ = 0;
 };
 
 }  // namespace vialock::simkern

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault.h"
 #include "simkern/buddy.h"
 #include "simkern/kiobuf.h"
 #include "simkern/page.h"
@@ -74,6 +75,7 @@ struct KernelStats {
   std::uint64_t kiobuf_maps = 0;
   std::uint64_t kiobuf_pages_pinned = 0;
   std::uint64_t kiobuf_pin_rejections = 0;  ///< maps refused at the pin budget
+  std::uint64_t kiobuf_fault_rejections = 0;  ///< maps refused by injection
   // Page cache / file I/O (filecache.cc):
   std::uint64_t file_reads = 0;
   std::uint64_t file_writes = 0;
@@ -205,6 +207,19 @@ class Kernel {
   void add_mmu_notifier(MmuNotifier* notifier);
   void remove_mmu_notifier(MmuNotifier* notifier);
 
+  // --- fault injection (src/fault) -----------------------------------------------
+  /// Arm `engine` on every fallible kernel component (swap device, buddy
+  /// allocator, kiobuf mapping); nullptr disarms. The engine must outlive
+  /// the kernel or be disarmed first.
+  void set_fault_engine(fault::FaultEngine* engine) {
+    faults_ = engine;
+    swap_.set_fault_engine(engine);
+    buddy_.set_fault_engine(engine);
+  }
+  [[nodiscard]] const fault::FaultEngine* fault_engine() const {
+    return faults_;
+  }
+
   // --- simulated files + page cache (filecache.cc) ------------------------------
   /// Create a zero-filled simulated file of `bytes` bytes on the disk.
   [[nodiscard]] FileId create_file(std::uint64_t bytes);
@@ -272,6 +287,7 @@ class Kernel {
   SwapDevice swap_;
   KernelStats stats_;
   TraceRing trace_{2048};
+  fault::FaultEngine* faults_ = nullptr;
 
   std::unordered_map<Pid, std::unique_ptr<Task>> tasks_;
   std::vector<Pid> task_order_;  ///< creation order, for the swap_out rotor

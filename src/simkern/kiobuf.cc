@@ -55,6 +55,17 @@ KStatus Kernel::map_user_kiobuf(Pid pid, Kiobuf& iobuf, VAddr addr,
     iobuf.pfns.clear();
   };
 
+  // Injected map failure (transient, like a momentary pin-budget squeeze):
+  // callers treat it exactly like the budget rejection below and may retry.
+  if (faults_) {
+    if (const auto d = faults_->check(fault::FaultSite::KiobufMap);
+        d && (d->action == fault::FaultAction::Fail ||
+              d->action == fault::FaultAction::Drop)) {
+      ++stats_.kiobuf_fault_rejections;
+      return KStatus::Again;
+    }
+  }
+
   // Pin budget: pinned frames are invisible to reclaim, so the kernel bounds
   // them (like RLIMIT_MEMLOCK bounds mlock). Conservative pre-check against
   // the worst case of all-new frames.

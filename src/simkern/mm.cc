@@ -95,7 +95,13 @@ KStatus Kernel::handle_fault(Task& t, VAddr vaddr, Access access) {
     // frame (never the old one - see file comment).
     const Pfn fresh = get_free_page();
     if (fresh == kInvalidPfn) return KStatus::NoMem;
-    swap_.read(pte.swap, phys_.frame(fresh));
+    if (const KStatus st = swap_.read(pte.swap, phys_.frame(fresh));
+        !ok(st)) {
+      // Injected swap I/O error: the page stays on swap (slot kept, PTE
+      // untouched) so a retry can succeed; the fresh frame goes back.
+      put_page(fresh);
+      return st;
+    }
     swap_.free(pte.swap);
     pte.swap = kInvalidSwapSlot;
     pte.present = true;
@@ -122,7 +128,10 @@ KStatus Kernel::handle_fault(Task& t, VAddr vaddr, Access access) {
       if (!apte || apte->present || apte->swap == kInvalidSwapSlot) break;
       const Pfn f2 = get_free_page();
       if (f2 == kInvalidPfn) break;
-      swap_.read_sequential(apte->swap, phys_.frame(f2));
+      if (!ok(swap_.read_sequential(apte->swap, phys_.frame(f2)))) {
+        put_page(f2);  // speculative read failed: abandon the read-ahead run
+        break;
+      }
       swap_.free(apte->swap);
       apte->swap = kInvalidSwapSlot;
       apte->present = true;

@@ -54,7 +54,19 @@ std::string vmstat(const Kernel& kern) {
      << "pgcache_reclaimed " << s.pagecache_reclaimed << "\n"
      << "kiobuf_maps " << s.kiobuf_maps << "\n"
      << "kiobuf_pins " << s.kiobuf_pages_pinned << "\n"
-     << "syscalls " << s.syscalls << "\n";
+     << "syscalls " << s.syscalls << "\n"
+     << "swap_io_errors " << kern.swap().io_errors() << "\n"
+     << "swap_io_delays " << kern.swap().io_delays() << "\n"
+     << "swap_io_corruptions " << kern.swap().io_corruptions() << "\n"
+     << "kiobuf_fault_rejections " << s.kiobuf_fault_rejections << "\n";
+  // Cumulative injection counters per fault site, when chaos is armed.
+  if (const fault::FaultEngine* fe = kern.fault_engine()) {
+    for (std::size_t i = 0; i < fault::kNumFaultSites; ++i) {
+      const auto site = static_cast<fault::FaultSite>(i);
+      os << "fault_injected_" << fault::to_string(site) << " "
+         << fe->stats().injected(site) << "\n";
+    }
+  }
   return os.str();
 }
 

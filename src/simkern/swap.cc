@@ -29,30 +29,63 @@ void SwapDevice::free(SwapSlot slot) {
   if (--map_[slot] == 0) --used_;
 }
 
-void SwapDevice::write(SwapSlot slot, std::span<const std::byte> page) {
+KStatus SwapDevice::apply_faults(fault::FaultSite site,
+                                 std::span<std::byte> data) {
+  if (!faults_) return KStatus::Ok;
+  const auto decision = faults_->check(site);
+  if (!decision) return KStatus::Ok;
+  switch (decision->action) {
+    case fault::FaultAction::Fail:
+    case fault::FaultAction::Drop:
+      // A dropped disk transfer surfaces the same way as a failed one: the
+      // request completes with an error and no data moved.
+      ++io_errors_;
+      return KStatus::Io;
+    case fault::FaultAction::Delay:
+      ++io_delays_;
+      clock_.advance(decision->delay);
+      return KStatus::Ok;
+    case fault::FaultAction::Corrupt: {
+      ++io_corruptions_;
+      const std::size_t pos = decision->entropy % data.size();
+      data[pos] ^= static_cast<std::byte>(decision->corrupt_mask);
+      return KStatus::Ok;
+    }
+  }
+  return KStatus::Ok;
+}
+
+KStatus SwapDevice::write(SwapSlot slot, std::span<const std::byte> page) {
   assert(slot < map_.size() && page.size() == kPageSize);
-  std::memcpy(bytes_.data() + static_cast<std::size_t>(slot) * kPageSize,
-              page.data(), kPageSize);
   clock_.advance(costs_.swap_io(kPageSize));
+  std::byte* stored = bytes_.data() + static_cast<std::size_t>(slot) * kPageSize;
+  std::memcpy(stored, page.data(), kPageSize);
   ++writes_;
+  // Corruption lands in the slot's stored bytes: the damage is latent until
+  // the page is swapped back in - exactly a silent media error.
+  return apply_faults(fault::FaultSite::SwapWrite, {stored, kPageSize});
 }
 
-void SwapDevice::read(SwapSlot slot, std::span<std::byte> page) {
+KStatus SwapDevice::read(SwapSlot slot, std::span<std::byte> page) {
   assert(slot < map_.size() && page.size() == kPageSize);
-  std::memcpy(page.data(),
-              bytes_.data() + static_cast<std::size_t>(slot) * kPageSize,
-              kPageSize);
   clock_.advance(costs_.swap_io(kPageSize));
-  ++reads_;
-}
-
-void SwapDevice::read_sequential(SwapSlot slot, std::span<std::byte> page) {
-  assert(slot < map_.size() && page.size() == kPageSize);
   std::memcpy(page.data(),
               bytes_.data() + static_cast<std::size_t>(slot) * kPageSize,
               kPageSize);
-  clock_.advance(costs_.swap_per_byte * kPageSize);  // stream, no seek
   ++reads_;
+  // Read corruption damages only this transfer, not the stored copy; on an
+  // injected error the buffer contents are undefined (caller must discard).
+  return apply_faults(fault::FaultSite::SwapRead, page);
+}
+
+KStatus SwapDevice::read_sequential(SwapSlot slot, std::span<std::byte> page) {
+  assert(slot < map_.size() && page.size() == kPageSize);
+  clock_.advance(costs_.swap_per_byte * kPageSize);  // stream, no seek
+  std::memcpy(page.data(),
+              bytes_.data() + static_cast<std::size_t>(slot) * kPageSize,
+              kPageSize);
+  ++reads_;
+  return apply_faults(fault::FaultSite::SwapRead, page);
 }
 
 }  // namespace vialock::simkern

@@ -4,15 +4,22 @@
 // Slot lifecycle mirrors Linux's swap_map: a slot is allocated with count 1
 // when try_to_swap_out() writes a page, duplicated when a swapped PTE is
 // shared by fork, and released on swap-in or PTE teardown.
+//
+// I/O is fallible: a FaultEngine (fault::FaultSite::SwapRead / SwapWrite)
+// can fail a transfer with EIO, stretch it with an injected latency spike,
+// or silently corrupt the page data - the 2000-era IDE failure modes the
+// rest of the kernel has to survive.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "fault/fault.h"
 #include "simkern/types.h"
 #include "util/clock.h"
 #include "util/cost_model.h"
+#include "util/status.h"
 
 namespace vialock::simkern {
 
@@ -39,29 +46,48 @@ class SwapDevice {
 
   [[nodiscard]] std::uint32_t refcount(SwapSlot slot) const { return map_[slot]; }
 
-  /// rw_swap_page(WRITE): store a page, charging disk time.
-  void write(SwapSlot slot, std::span<const std::byte> page);
+  /// rw_swap_page(WRITE): store a page, charging disk time. Io on injected
+  /// device error (nothing stored).
+  [[nodiscard]] KStatus write(SwapSlot slot, std::span<const std::byte> page);
 
-  /// rw_swap_page(READ): load a page, charging disk time.
-  void read(SwapSlot slot, std::span<std::byte> page);
+  /// rw_swap_page(READ): load a page, charging disk time. Io on injected
+  /// device error (`page` contents undefined; caller must discard).
+  [[nodiscard]] KStatus read(SwapSlot slot, std::span<std::byte> page);
 
   /// Sequential follow-up read in the same disk pass (read-ahead): charges
   /// streaming time only, no seek.
-  void read_sequential(SwapSlot slot, std::span<std::byte> page);
+  [[nodiscard]] KStatus read_sequential(SwapSlot slot,
+                                        std::span<std::byte> page);
+
+  /// Arm fault injection (sites SwapRead / SwapWrite); nullptr disarms.
+  void set_fault_engine(fault::FaultEngine* engine) { faults_ = engine; }
 
   [[nodiscard]] std::uint32_t used_slots() const { return used_; }
   [[nodiscard]] std::uint64_t total_writes() const { return writes_; }
   [[nodiscard]] std::uint64_t total_reads() const { return reads_; }
+  [[nodiscard]] std::uint64_t io_errors() const { return io_errors_; }
+  [[nodiscard]] std::uint64_t io_delays() const { return io_delays_; }
+  [[nodiscard]] std::uint64_t io_corruptions() const { return io_corruptions_; }
 
  private:
+  /// Consult the fault engine before moving data; Ok means proceed (any
+  /// injected delay already charged), Io means the transfer failed. Corrupt
+  /// flips one deterministic byte of `data` after the caller's copy.
+  [[nodiscard]] KStatus apply_faults(fault::FaultSite site,
+                                     std::span<std::byte> data);
+
   std::vector<std::uint16_t> map_;  ///< per-slot reference counts
   std::vector<std::byte> bytes_;
   Clock& clock_;
   const CostModel& costs_;
+  fault::FaultEngine* faults_ = nullptr;
   std::uint32_t used_ = 0;
   std::uint32_t scan_hint_ = 0;  ///< next-fit allocation cursor
   std::uint64_t writes_ = 0;
   std::uint64_t reads_ = 0;
+  std::uint64_t io_errors_ = 0;
+  std::uint64_t io_delays_ = 0;
+  std::uint64_t io_corruptions_ = 0;
 };
 
 }  // namespace vialock::simkern

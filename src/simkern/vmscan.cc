@@ -151,9 +151,15 @@ std::uint32_t Kernel::swap_out_task(Task& t, std::uint32_t target) {
         t.swap_cursor = v;
         return freed;  // swap partition full
       }
+      if (!ok(swap_.write(slot, phys_.frame(pte->pfn)))) {
+        // Injected swap-device write error: give the slot back and leave the
+        // page resident; the scan moves on (kswapd would retry elsewhere).
+        swap_.free(slot);
+        t.swap_cursor = v + kPageSize;
+        continue;
+      }
       notify_invalidate(t.pid, v, pte->pfn);
       trace_.record(clock_.now(), TraceEvent::SwapOut, t.pid, v, pte->pfn);
-      swap_.write(slot, phys_.frame(pte->pfn));
       const Pfn old_pfn = pte->pfn;
       pte->present = false;
       pte->pfn = kInvalidPfn;

@@ -23,6 +23,8 @@ enum class KStatus : std::int8_t {
   NoSpc,       ///< ENOSPC  - table full (TPT, swap map)
   Proto,       ///< EPROTO  - VIA protocol violation (bad state transition)
   NoLck,       ///< ENOLCK  - lock accounting underflow / unlock of unlocked range
+  Io,          ///< EIO     - device I/O error (injected swap/disk failure)
+  TimedOut,    ///< ETIMEDOUT - reliable-delivery retries exhausted
 };
 
 [[nodiscard]] constexpr bool ok(KStatus s) { return s == KStatus::Ok; }
@@ -40,6 +42,8 @@ enum class KStatus : std::int8_t {
     case KStatus::NoSpc: return "ENOSPC";
     case KStatus::Proto: return "EPROTO";
     case KStatus::NoLck: return "ENOLCK";
+    case KStatus::Io: return "EIO";
+    case KStatus::TimedOut: return "ETIMEDOUT";
   }
   return "E???";
 }

@@ -30,6 +30,10 @@ enum class TraceEvent : std::uint8_t {
   RegionDeregistered,
   KernelIoStart,
   KernelIoEnd,
+  FaultInjected,   ///< fault engine fired a rule (addr = site, pfn = rule)
+  DmaCorrupted,    ///< NIC DMA payload bit-flipped in flight
+  SendRetry,       ///< reliable channel retransmitted a frame
+  SendTimeout,     ///< reliable channel charged a retransmit timeout
 };
 
 [[nodiscard]] constexpr std::string_view to_string(TraceEvent e) {
@@ -47,6 +51,10 @@ enum class TraceEvent : std::uint8_t {
     case TraceEvent::RegionDeregistered: return "deregister";
     case TraceEvent::KernelIoStart: return "io-start";
     case TraceEvent::KernelIoEnd: return "io-end";
+    case TraceEvent::FaultInjected: return "fault-injected";
+    case TraceEvent::DmaCorrupted: return "dma-corrupted";
+    case TraceEvent::SendRetry: return "send-retry";
+    case TraceEvent::SendTimeout: return "send-timeout";
   }
   return "?";
 }

@@ -73,19 +73,66 @@ KStatus Fabric::disconnect(NodeId node, ViId vi) {
   return KStatus::Ok;
 }
 
+KStatus Fabric::repair(NodeId node_a, ViId vi_a, NodeId node_b, ViId vi_b) {
+  if (node_a >= nics_.size() || node_b >= nics_.size()) return KStatus::Inval;
+  Nic& na = *nics_[node_a];
+  Nic& nb = *nics_[node_b];
+  if (!na.vi_exists(vi_a) || !nb.vi_exists(vi_b)) return KStatus::Inval;
+  // Connection management traffic: one request/accept exchange on the wire.
+  clock_.advance(2 * costs_.wire(64));
+  Vi& a = na.vi(vi_a);
+  Vi& b = nb.vi(vi_b);
+  a.state = ViState::Connected;
+  a.peer_node = node_b;
+  a.peer_vi = vi_b;
+  b.state = ViState::Connected;
+  b.peer_node = node_a;
+  b.peer_vi = vi_a;
+  return KStatus::Ok;
+}
+
 DescStatus Fabric::transmit(Nic::Packet& pkt, std::vector<std::byte>* read_back) {
   // Find the destination: the source VI's connection names the peer node.
   assert(pkt.src_node < nics_.size());
-  const Vi& src = nics_[pkt.src_node]->vi(pkt.src_vi);
+  Vi& src = nics_[pkt.src_node]->vi(pkt.src_vi);
   if (!src.connected()) return DescStatus::ErrDisconnected;
   const NodeId dst = src.peer_node;
   assert(dst < nics_.size());
+
+  // Injected connection reset: the link drops mid-transfer, both endpoints
+  // observe a broken VI. A reliable transport must repair() and retry.
+  if (faults_) {
+    if (const auto d = faults_->check(fault::FaultSite::Connection);
+        d && d->action != fault::FaultAction::Delay) {
+      ++connection_resets_;
+      src.state = ViState::Error;
+      if (nics_[dst]->vi_exists(src.peer_vi)) {
+        nics_[dst]->vi(src.peer_vi).state = ViState::Error;
+      }
+      return DescStatus::ErrDisconnected;
+    }
+  }
 
   // Cut-through pipeline: source DMA, wire and sink DMA stream
   // concurrently; one latency plus the slowest stage's per-byte rate.
   const std::uint64_t bytes =
       pkt.op == DescOp::RdmaRead ? pkt.read_length : pkt.payload.size();
   clock_.advance(costs_.wire_latency + bytes * costs_.dma_path_per_byte);
+
+  // Injected wire loss: the packet vanishes downstream of the sender's NIC,
+  // which has already completed the send - the silent-loss case only an
+  // acknowledgement protocol can detect. (A lost RdmaRead request carries
+  // its response with it, so the requester sees a disconnect-style error.)
+  if (faults_) {
+    if (const auto d = faults_->check(fault::FaultSite::Wire);
+        d && (d->action == fault::FaultAction::Drop ||
+              d->action == fault::FaultAction::Fail)) {
+      ++packets_dropped_;
+      return pkt.op == DescOp::RdmaRead ? DescStatus::ErrDisconnected
+                                        : DescStatus::Done;
+    }
+  }
+
   const DescStatus st = nics_[dst]->deliver(pkt, read_back);
   if (pkt.op == DescOp::RdmaRead && st == DescStatus::Done) {
     // The response path carries the data back.

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault.h"
 #include "util/clock.h"
 #include "util/cost_model.h"
 #include "util/status.h"
@@ -42,9 +43,28 @@ class Fabric {
   /// learns of the disconnect the next time it is used), this one to Idle.
   [[nodiscard]] KStatus disconnect(NodeId node, ViId vi);
 
+  /// VipDisconnect + VipConnectRequest compressed into one call: force both
+  /// VIs of a (possibly broken) pairing back to Connected. This is the
+  /// connection re-establishment a reliable transport performs after an
+  /// injected reset; it fails with Inval when the endpoints do not exist.
+  [[nodiscard]] KStatus repair(NodeId node_a, ViId vi_a, NodeId node_b,
+                               ViId vi_b);
+
   /// Wire transfer + remote delivery; returns the sender-side status.
   [[nodiscard]] DescStatus transmit(Nic::Packet& pkt,
                                     std::vector<std::byte>* read_back);
+
+  /// Arm fault injection on the wire: Wire (packets vanish in flight after
+  /// the sender's completion) and Connection (the link resets, both VIs go
+  /// to Error). nullptr disarms.
+  void set_fault_engine(fault::FaultEngine* engine) { faults_ = engine; }
+
+  [[nodiscard]] std::uint64_t packets_dropped() const {
+    return packets_dropped_;
+  }
+  [[nodiscard]] std::uint64_t connection_resets() const {
+    return connection_resets_;
+  }
 
   [[nodiscard]] Nic& nic(NodeId id) { return *nics_.at(id); }
   [[nodiscard]] std::uint32_t num_nodes() const {
@@ -62,6 +82,9 @@ class Fabric {
   Clock& clock_;
   const CostModel& costs_;
   std::vector<Nic*> nics_;
+  fault::FaultEngine* faults_ = nullptr;
+  std::uint64_t packets_dropped_ = 0;
+  std::uint64_t connection_resets_ = 0;
   /// (server node, discriminator) -> parked VI.
   std::map<std::pair<NodeId, std::uint64_t>, Listener> listeners_;
 };

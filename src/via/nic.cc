@@ -38,7 +38,31 @@ const Vi& Nic::vi(ViId id) const {
 bool Nic::vi_exists(ViId id) const { return id < vis_.size(); }
 
 void Nic::program_tpt(TptIndex idx, const TptEntry& e) {
-  tpt_.set(idx, e);
+  TptEntry programmed = e;
+  if (faults_ && programmed.valid) {
+    if (const auto d = faults_->check(fault::FaultSite::TptWrite)) {
+      if (d->action == fault::FaultAction::Corrupt) {
+        // SRAM bit-flip on the way in: the entry stays valid but points at a
+        // different (in-range) frame - the silent wrong-DMA failure mode.
+        const auto frames = host_.phys().num_frames();
+        programmed.pfn = static_cast<simkern::Pfn>(
+            (programmed.pfn ^ d->corrupt_mask) % frames);
+        if (programmed.pfn == e.pfn) {
+          programmed.pfn = (programmed.pfn + 1) % frames;
+        }
+        ++stats_.tpt_corruptions;
+        host_.trace().record(clock_.now(), TraceEvent::DmaCorrupted, 0, idx,
+                             programmed.pfn);
+      } else if (d->action == fault::FaultAction::Fail ||
+                 d->action == fault::FaultAction::Drop) {
+        // Entry evicted/lost: later translations fail the validity check and
+        // surface as protection errors.
+        programmed.valid = false;
+        ++stats_.tpt_evictions;
+      }
+    }
+  }
+  tpt_.set(idx, programmed);
   clock_.advance(costs_.pci_reg_write);
   ++stats_.tpt_writes;
 }
@@ -206,6 +230,19 @@ KStatus Nic::post_send(ViId id, Descriptor desc) {
   ++stats_.doorbells;
   ++stats_.sends_posted;
 
+  // Injected doorbell drop: the posted write to the doorbell register is
+  // lost, so the NIC never fetches the descriptor. No completion is ever
+  // produced - the caller's poll loop sees silence, exactly like real
+  // hardware with a flaky PCI posting path.
+  if (faults_) {
+    if (const auto d = faults_->check(fault::FaultSite::NicDoorbell);
+        d && (d->action == fault::FaultAction::Drop ||
+              d->action == fault::FaultAction::Fail)) {
+      ++stats_.doorbells_dropped;
+      return KStatus::Ok;
+    }
+  }
+
   if (!v.connected()) {
     complete_send(v, std::move(desc), DescStatus::ErrDisconnected);
     return KStatus::Ok;
@@ -230,6 +267,23 @@ KStatus Nic::post_send(ViId id, Descriptor desc) {
       return KStatus::Ok;
     }
     stats_.bytes_tx += pkt.payload.size();
+
+    // Injected DMA faults: a bit-flip in the gathered payload (silent - the
+    // checksum layer above must catch it) or an engine latency spike.
+    if (faults_ && !pkt.payload.empty()) {
+      if (const auto d = faults_->check(fault::FaultSite::NicDma)) {
+        if (d->action == fault::FaultAction::Corrupt) {
+          const std::size_t pos = d->entropy % pkt.payload.size();
+          pkt.payload[pos] ^= static_cast<std::byte>(d->corrupt_mask);
+          ++stats_.dma_corruptions;
+          host_.trace().record(clock_.now(), TraceEvent::DmaCorrupted, 0, pos,
+                               0);
+        } else if (d->action == fault::FaultAction::Delay) {
+          clock_.advance(d->delay);
+          ++stats_.dma_delays;
+        }
+      }
+    }
   }
 
   std::vector<std::byte> read_back;

@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "fault/fault.h"
 #include "simkern/kernel.h"
 #include "via/descriptor.h"
 #include "via/tpt.h"
@@ -43,6 +44,12 @@ struct NicStats {
   std::uint64_t bytes_tx = 0;
   std::uint64_t bytes_rx = 0;
   std::uint64_t tpt_writes = 0;
+  // Injected hardware faults (fault::FaultEngine hooks):
+  std::uint64_t doorbells_dropped = 0;   ///< descriptor silently lost
+  std::uint64_t dma_corruptions = 0;     ///< payload bit-flip in flight
+  std::uint64_t dma_delays = 0;          ///< DMA engine latency spike
+  std::uint64_t tpt_corruptions = 0;     ///< TPT entry written with bad pfn
+  std::uint64_t tpt_evictions = 0;       ///< TPT entry written invalid
 };
 
 class Nic {
@@ -118,6 +125,11 @@ class Nic {
   [[nodiscard]] const NicStats& stats() const { return stats_; }
   [[nodiscard]] simkern::Kernel& host() { return host_; }
 
+  /// Arm fault injection on the hardware paths: NicDoorbell (post_send
+  /// descriptors silently lost), NicDma (payload bit-flips / latency spikes)
+  /// and TptWrite (entries corrupted or evicted as they are programmed).
+  void set_fault_engine(fault::FaultEngine* engine) { faults_ = engine; }
+
  private:
   /// Gather `seg` (under `tag`) from host physical memory, appending to `out`.
   [[nodiscard]] bool gather(const DataSegment& seg, ProtectionTag tag,
@@ -144,6 +156,7 @@ class Nic {
   std::vector<std::deque<CqEntry>> cqs_;
   Fabric* fabric_ = nullptr;
   NodeId node_id_ = kInvalidNode;
+  fault::FaultEngine* faults_ = nullptr;
   NicStats stats_;
 };
 

@@ -36,6 +36,12 @@ class Node {
   [[nodiscard]] LockPolicy& policy() { return *policy_; }
   [[nodiscard]] KernelAgent& agent() { return agent_; }
 
+  /// Arm fault injection on this node's kernel and NIC (nullptr disarms).
+  void set_fault_engine(fault::FaultEngine* engine) {
+    kernel_.set_fault_engine(engine);
+    nic_.set_fault_engine(engine);
+  }
+
  private:
   simkern::Kernel kernel_;
   Nic nic_;
@@ -56,6 +62,14 @@ class Cluster {
   [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
   [[nodiscard]] Fabric& fabric() { return fabric_; }
   [[nodiscard]] Clock& clock() { return clock_; }
+
+  /// Arm one fault engine across the whole cluster: every node's kernel and
+  /// NIC plus the fabric wire. Call after all add_node() calls (nodes added
+  /// later are not armed); nullptr disarms everywhere.
+  void inject_faults(fault::FaultEngine* engine) {
+    fabric_.set_fault_engine(engine);
+    for (auto& n : nodes_) n->set_fault_engine(engine);
+  }
   [[nodiscard]] const CostModel& costs() const { return costs_; }
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
 

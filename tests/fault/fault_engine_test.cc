@@ -1,0 +1,215 @@
+// fault_engine_test.cc - trigger matching and determinism of the fault engine.
+
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+
+namespace vialock::fault {
+namespace {
+
+TEST(FaultEngine, SiteFilterOnlyMatchesItsSite) {
+  Clock clock;
+  FaultPlan plan;
+  plan.add({.site = FaultSite::Wire, .action = FaultAction::Drop});
+  FaultEngine eng(plan, clock);
+
+  EXPECT_FALSE(eng.check(FaultSite::SwapRead).has_value());
+  EXPECT_FALSE(eng.check(FaultSite::NicDoorbell).has_value());
+  const auto d = eng.check(FaultSite::Wire);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->action, FaultAction::Drop);
+  EXPECT_EQ(eng.stats().seen(FaultSite::SwapRead), 1u);
+  EXPECT_EQ(eng.stats().injected(FaultSite::SwapRead), 0u);
+  EXPECT_EQ(eng.stats().injected(FaultSite::Wire), 1u);
+}
+
+TEST(FaultEngine, AfterEventsSkipsTheFirstN) {
+  Clock clock;
+  FaultPlan plan;
+  plan.add({.site = FaultSite::SwapWrite,
+            .action = FaultAction::Fail,
+            .after_events = 3});
+  FaultEngine eng(plan, clock);
+
+  for (int i = 0; i < 3; ++i)
+    EXPECT_FALSE(eng.check(FaultSite::SwapWrite).has_value()) << i;
+  EXPECT_TRUE(eng.check(FaultSite::SwapWrite).has_value());
+}
+
+TEST(FaultEngine, MaxTriggersBoundsTheRule) {
+  Clock clock;
+  FaultPlan plan;
+  plan.add({.site = FaultSite::BuddyAlloc,
+            .action = FaultAction::Fail,
+            .max_triggers = 2});
+  FaultEngine eng(plan, clock);
+
+  EXPECT_TRUE(eng.check(FaultSite::BuddyAlloc).has_value());
+  EXPECT_TRUE(eng.check(FaultSite::BuddyAlloc).has_value());
+  EXPECT_FALSE(eng.check(FaultSite::BuddyAlloc).has_value());
+  EXPECT_EQ(eng.stats().injected(FaultSite::BuddyAlloc), 2u);
+  EXPECT_EQ(eng.stats().seen(FaultSite::BuddyAlloc), 3u);
+}
+
+TEST(FaultEngine, TimeWindowGatesOnTheSharedClock) {
+  Clock clock;
+  FaultPlan plan;
+  plan.add({.site = FaultSite::NicDma,
+            .action = FaultAction::Corrupt,
+            .not_before = 1'000,
+            .not_after = 2'000});
+  FaultEngine eng(plan, clock);
+
+  EXPECT_FALSE(eng.check(FaultSite::NicDma).has_value());  // t=0: too early
+  clock.advance(1'500);
+  EXPECT_TRUE(eng.check(FaultSite::NicDma).has_value());   // inside window
+  clock.advance(1'000);
+  EXPECT_FALSE(eng.check(FaultSite::NicDma).has_value());  // t=2500: too late
+}
+
+TEST(FaultEngine, FirstMatchingRuleWins) {
+  Clock clock;
+  FaultPlan plan;
+  plan.add({.site = FaultSite::Wire, .action = FaultAction::Delay,
+            .delay = 42});
+  plan.add({.site = FaultSite::Wire, .action = FaultAction::Drop});
+  FaultEngine eng(plan, clock);
+
+  const auto d = eng.check(FaultSite::Wire);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->action, FaultAction::Delay);
+  EXPECT_EQ(d->delay, 42u);
+  EXPECT_EQ(d->rule_index, 0u);
+}
+
+TEST(FaultEngine, ZeroProbabilityNeverFires) {
+  Clock clock;
+  FaultPlan plan;
+  plan.add({.site = FaultSite::Wire, .action = FaultAction::Drop,
+            .probability = 0.0});
+  FaultEngine eng(plan, clock);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_FALSE(eng.check(FaultSite::Wire).has_value());
+}
+
+TEST(FaultEngine, ProbabilityRoughlyMatchesRate) {
+  Clock clock;
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.add({.site = FaultSite::Wire, .action = FaultAction::Drop,
+            .probability = 0.25});
+  FaultEngine eng(plan, clock);
+  int fired = 0;
+  for (int i = 0; i < 10'000; ++i)
+    if (eng.check(FaultSite::Wire)) ++fired;
+  EXPECT_GT(fired, 2'000);
+  EXPECT_LT(fired, 3'000);
+}
+
+TEST(FaultEngine, SameSeedSameSchedule) {
+  constexpr auto make_plan = [] {
+    FaultPlan plan;
+    plan.seed = 42;
+    plan.add({.site = FaultSite::Wire, .action = FaultAction::Drop,
+              .probability = 0.3});
+    plan.add({.site = FaultSite::NicDma, .action = FaultAction::Corrupt,
+              .probability = 0.1});
+    return plan;
+  };
+  constexpr std::array sites{FaultSite::Wire, FaultSite::NicDma,
+                             FaultSite::Wire, FaultSite::SwapRead};
+
+  Clock c1, c2;
+  FaultEngine a(make_plan(), c1);
+  FaultEngine b(make_plan(), c2);
+  for (int round = 0; round < 500; ++round) {
+    for (const FaultSite s : sites) {
+      const auto da = a.check(s);
+      const auto db = b.check(s);
+      ASSERT_EQ(da.has_value(), db.has_value());
+      if (da) EXPECT_EQ(da->entropy, db->entropy);
+      c1.advance(10);
+      c2.advance(10);
+    }
+  }
+  EXPECT_EQ(a.schedule_string(), b.schedule_string());
+  EXPECT_FALSE(a.journal().empty());
+}
+
+TEST(FaultEngine, DifferentSeedDifferentSchedule) {
+  constexpr auto make_plan = [](std::uint64_t seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.add({.site = FaultSite::Wire, .action = FaultAction::Drop,
+              .probability = 0.5});
+    return plan;
+  };
+  Clock c1, c2;
+  FaultEngine a(make_plan(1), c1);
+  FaultEngine b(make_plan(2), c2);
+  for (int i = 0; i < 200; ++i) {
+    (void)a.check(FaultSite::Wire);
+    (void)b.check(FaultSite::Wire);
+    c1.advance(10);
+    c2.advance(10);
+  }
+  EXPECT_NE(a.schedule_string(), b.schedule_string());
+}
+
+TEST(FaultEngine, AddingARuleDoesNotPerturbOtherStreams) {
+  // Rule streams derive from (seed, rule index), so appending a rule for an
+  // unrelated site must leave the first rule's decisions untouched.
+  FaultPlan base;
+  base.seed = 99;
+  base.add({.site = FaultSite::Wire, .action = FaultAction::Drop,
+            .probability = 0.4});
+  FaultPlan extended = base;
+  extended.add({.site = FaultSite::SwapRead, .action = FaultAction::Fail,
+                .probability = 0.4});
+
+  Clock c1, c2;
+  FaultEngine a(base, c1);
+  FaultEngine b(extended, c2);
+  for (int i = 0; i < 300; ++i) {
+    const auto da = a.check(FaultSite::Wire);
+    const auto db = b.check(FaultSite::Wire);
+    ASSERT_EQ(da.has_value(), db.has_value()) << i;
+  }
+}
+
+TEST(FaultEngine, JournalRecordsWhatFired) {
+  Clock clock;
+  FaultPlan plan;
+  plan.add({.site = FaultSite::TptWrite, .action = FaultAction::Corrupt,
+            .max_triggers = 1});
+  FaultEngine eng(plan, clock);
+  clock.advance(123);
+  ASSERT_TRUE(eng.check(FaultSite::TptWrite).has_value());
+  ASSERT_EQ(eng.journal().size(), 1u);
+  const auto& e = eng.journal().front();
+  EXPECT_EQ(e.when, 123u);
+  EXPECT_EQ(e.site, FaultSite::TptWrite);
+  EXPECT_EQ(e.action, FaultAction::Corrupt);
+  EXPECT_EQ(e.event_index, 0u);
+  EXPECT_EQ(e.rule_index, 0u);
+  EXPECT_FALSE(e.to_string().empty());
+}
+
+TEST(Checksum, DetectsSingleBitFlips) {
+  std::array<std::byte, 64> buf{};
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<std::byte>(i * 7);
+  const std::uint32_t want = checksum32(buf);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] ^= std::byte{0x10};
+    EXPECT_NE(checksum32(buf), want) << "flip at " << i;
+    buf[i] ^= std::byte{0x10};
+  }
+  EXPECT_EQ(checksum32(buf), want);
+}
+
+}  // namespace
+}  // namespace vialock::fault

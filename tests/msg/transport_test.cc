@@ -266,5 +266,198 @@ TEST(Transport, EagerBeatsRendezvousForTinyMessages) {
   EXPECT_LT(eager, rndz) << "64 B: copy beats control-message round trip";
 }
 
+// ---------------------------------------------------------------------------
+// Reliable-delivery mode under injected faults
+// ---------------------------------------------------------------------------
+
+/// A channel in reliable mode plus a fault engine armed on the whole
+/// cluster. Faults are armed *after* init() so channel setup (registration,
+/// connect) never consumes fault events - every test sees event 0 as its
+/// first transfer's first wire crossing.
+struct ReliableBox {
+  explicit ReliableBox(const fault::FaultPlan& plan,
+                       Channel::Config cfg = reliable_config())
+      : engine(plan, cluster.clock()),
+        a(cluster.add_node(test::small_node(via::PolicyKind::Kiobuf,
+                                            /*frames=*/2048,
+                                            /*tpt_entries=*/2048))),
+        b(cluster.add_node(test::small_node(via::PolicyKind::Kiobuf,
+                                            /*frames=*/2048,
+                                            /*tpt_entries=*/2048))),
+        channel(cluster, a, b, cfg) {
+    EXPECT_TRUE(ok(channel.init()));
+    cluster.inject_faults(&engine);
+  }
+
+  static Channel::Config reliable_config() {
+    Channel::Config cfg = ChannelBox::default_config();
+    cfg.reliability.enabled = true;
+    cfg.reliability.max_retries = 6;
+    return cfg;
+  }
+
+  via::Cluster cluster;
+  fault::FaultEngine engine;
+  via::NodeId a;
+  via::NodeId b;
+  Channel channel;
+};
+
+TEST(ReliableTransport, WireDropIsRetriedToSuccess) {
+  fault::FaultPlan plan;
+  plan.add({.site = fault::FaultSite::Wire,
+            .action = fault::FaultAction::Drop,
+            .max_triggers = 2});
+  ReliableBox box(plan);
+  const auto payload = pattern(512, 3);
+  ASSERT_TRUE(ok(box.channel.stage(0, payload)));
+  ASSERT_TRUE(ok(box.channel.transfer(Protocol::Eager, 0, 64, 512)));
+  std::vector<std::byte> out(512);
+  ASSERT_TRUE(ok(box.channel.fetch(64, out)));
+  EXPECT_EQ(payload, out);
+  EXPECT_EQ(box.channel.stats().retries, 2u);
+  EXPECT_GE(box.channel.stats().send_timeouts, 2u);
+  EXPECT_EQ(box.channel.stats().eager_msgs, 1u);
+}
+
+TEST(ReliableTransport, ExhaustedRetriesReturnTimedOut) {
+  fault::FaultPlan plan;
+  plan.add({.site = fault::FaultSite::Wire,
+            .action = fault::FaultAction::Drop});  // every packet, forever
+  ReliableBox box(plan);
+  const auto payload = pattern(256, 4);
+  ASSERT_TRUE(ok(box.channel.stage(0, payload)));
+  EXPECT_EQ(box.channel.transfer(Protocol::Eager, 0, 0, 256),
+            KStatus::TimedOut);
+  EXPECT_EQ(box.channel.stats().retries,
+            box.channel.config().reliability.max_retries);
+  EXPECT_EQ(box.channel.stats().eager_msgs, 0u);
+}
+
+TEST(ReliableTransport, ReplayedFrameIsDeduplicated) {
+  // Event 0 (the data frame) passes; event 1 (its ack) is dropped. The
+  // sender must retransmit, and the receiver must re-ack without delivering
+  // the payload twice.
+  fault::FaultPlan plan;
+  plan.add({.site = fault::FaultSite::Wire,
+            .action = fault::FaultAction::Drop,
+            .after_events = 1,
+            .max_triggers = 1});
+  ReliableBox box(plan);
+  const auto payload = pattern(128, 5);
+  ASSERT_TRUE(ok(box.channel.stage(0, payload)));
+  ASSERT_TRUE(ok(box.channel.transfer(Protocol::Eager, 0, 0, 128)));
+  std::vector<std::byte> out(128);
+  ASSERT_TRUE(ok(box.channel.fetch(0, out)));
+  EXPECT_EQ(payload, out);
+  EXPECT_EQ(box.channel.stats().dup_frames_dropped, 1u);
+  EXPECT_EQ(box.channel.stats().retries, 1u);
+}
+
+TEST(ReliableTransport, DmaCorruptionIsCaughtByChecksum) {
+  fault::FaultPlan plan;
+  plan.add({.site = fault::FaultSite::NicDma,
+            .action = fault::FaultAction::Corrupt,
+            .max_triggers = 1});
+  ReliableBox box(plan);
+  const auto payload = pattern(1024, 6);
+  ASSERT_TRUE(ok(box.channel.stage(0, payload)));
+  ASSERT_TRUE(ok(box.channel.transfer(Protocol::Eager, 0, 0, 1024)));
+  std::vector<std::byte> out(1024);
+  ASSERT_TRUE(ok(box.channel.fetch(0, out)));
+  EXPECT_EQ(payload, out) << "the corrupted copy must never be delivered";
+  EXPECT_GE(box.channel.stats().corruptions_detected, 1u);
+  EXPECT_GE(box.channel.stats().retries, 1u);
+}
+
+TEST(ReliableTransport, DoorbellDropIsCaughtByTimeout) {
+  fault::FaultPlan plan;
+  plan.add({.site = fault::FaultSite::NicDoorbell,
+            .action = fault::FaultAction::Drop,
+            .max_triggers = 1});
+  ReliableBox box(plan);
+  const auto payload = pattern(64, 7);
+  ASSERT_TRUE(ok(box.channel.stage(0, payload)));
+  ASSERT_TRUE(ok(box.channel.transfer(Protocol::Eager, 0, 0, 64)));
+  std::vector<std::byte> out(64);
+  ASSERT_TRUE(ok(box.channel.fetch(0, out)));
+  EXPECT_EQ(payload, out);
+  EXPECT_GE(box.channel.stats().send_timeouts, 1u);
+  EXPECT_GE(box.channel.stats().retries, 1u);
+}
+
+TEST(ReliableTransport, ConnectionResetIsRepaired) {
+  fault::FaultPlan plan;
+  plan.add({.site = fault::FaultSite::Connection,
+            .action = fault::FaultAction::Fail,
+            .max_triggers = 1});
+  ReliableBox box(plan);
+  const auto payload = pattern(256, 8);
+  ASSERT_TRUE(ok(box.channel.stage(0, payload)));
+  ASSERT_TRUE(ok(box.channel.transfer(Protocol::Eager, 0, 0, 256)));
+  std::vector<std::byte> out(256);
+  ASSERT_TRUE(ok(box.channel.fetch(0, out)));
+  EXPECT_EQ(payload, out);
+  EXPECT_GE(box.channel.stats().conn_repairs, 1u);
+}
+
+TEST(ReliableTransport, RendezvousSurvivesMixedFaults) {
+  fault::FaultPlan plan;
+  plan.seed = 11;
+  plan.add({.site = fault::FaultSite::Wire,
+            .action = fault::FaultAction::Drop,
+            .probability = 0.2,
+            .max_triggers = 8});
+  plan.add({.site = fault::FaultSite::NicDma,
+            .action = fault::FaultAction::Corrupt,
+            .probability = 0.2,
+            .max_triggers = 4});
+  ReliableBox box(plan);
+  const auto payload = pattern(32 * 1024, 9);
+  ASSERT_TRUE(ok(box.channel.stage(0, payload)));
+  ASSERT_TRUE(ok(box.channel.transfer(Protocol::Rendezvous, 0, 4096,
+                                      32 * 1024)));
+  std::vector<std::byte> out(32 * 1024);
+  ASSERT_TRUE(ok(box.channel.fetch(4096, out)));
+  EXPECT_EQ(payload, out);
+}
+
+TEST(ReliableTransport, UnreliableChannelBreaksWhereReliableSucceeds) {
+  // The control: the same single wire drop that reliable mode absorbs makes
+  // a plain channel fail its transfer outright.
+  fault::FaultPlan plan;
+  plan.add({.site = fault::FaultSite::Wire,
+            .action = fault::FaultAction::Drop,
+            .max_triggers = 1});
+  Channel::Config cfg = ChannelBox::default_config();  // reliability off
+  ReliableBox box(plan, cfg);
+  const auto payload = pattern(128, 10);
+  ASSERT_TRUE(ok(box.channel.stage(0, payload)));
+  EXPECT_FALSE(ok(box.channel.transfer(Protocol::Eager, 0, 0, 128)));
+}
+
+TEST(ReliableTransport, SameSeedRunsAreIdentical) {
+  const auto run = [] {
+    fault::FaultPlan plan;
+    plan.seed = 77;
+    plan.add({.site = fault::FaultSite::Wire,
+              .action = fault::FaultAction::Drop,
+              .probability = 0.3});
+    plan.add({.site = fault::FaultSite::NicDma,
+              .action = fault::FaultAction::Corrupt,
+              .probability = 0.1});
+    ReliableBox box(plan);
+    const auto payload = pattern(2048, 12);
+    EXPECT_TRUE(ok(box.channel.stage(0, payload)));
+    for (int i = 0; i < 8; ++i)
+      (void)box.channel.transfer(Protocol::Eager, 0, 0, 2048);
+    return std::make_tuple(box.engine.schedule_string(),
+                           box.channel.stats().retries,
+                           box.channel.stats().corruptions_detected,
+                           box.cluster.clock().now());
+  };
+  EXPECT_EQ(run(), run());
+}
+
 }  // namespace
 }  // namespace vialock::msg

@@ -57,8 +57,8 @@ TEST(SwapDevice, DataRoundTrips) {
   std::array<std::byte, kPageSize> in_page{};
   for (std::size_t i = 0; i < kPageSize; ++i)
     out_page[i] = static_cast<std::byte>(i * 7 + 3);
-  box.dev.write(s, out_page);
-  box.dev.read(s, in_page);
+  EXPECT_TRUE(ok(box.dev.write(s, out_page)));
+  EXPECT_TRUE(ok(box.dev.read(s, in_page)));
   EXPECT_EQ(std::memcmp(out_page.data(), in_page.data(), kPageSize), 0);
 }
 
@@ -67,7 +67,7 @@ TEST(SwapDevice, IoChargesVirtualDiskTime) {
   const SwapSlot s = box.dev.alloc();
   std::array<std::byte, kPageSize> page{};
   const Nanos before = box.clock.now();
-  box.dev.write(s, page);
+  EXPECT_TRUE(ok(box.dev.write(s, page)));
   const Nanos after = box.clock.now();
   EXPECT_GE(after - before, box.costs.swap_seek);
   EXPECT_EQ(box.dev.total_writes(), 1u);
@@ -81,12 +81,12 @@ TEST(SwapDevice, SlotsAreIndependent) {
   std::array<std::byte, kPageSize> pb{};
   pa.fill(std::byte{0xAA});
   pb.fill(std::byte{0xBB});
-  box.dev.write(a, pa);
-  box.dev.write(b, pb);
+  EXPECT_TRUE(ok(box.dev.write(a, pa)));
+  EXPECT_TRUE(ok(box.dev.write(b, pb)));
   std::array<std::byte, kPageSize> check{};
-  box.dev.read(a, check);
+  EXPECT_TRUE(ok(box.dev.read(a, check)));
   EXPECT_EQ(check[0], std::byte{0xAA});
-  box.dev.read(b, check);
+  EXPECT_TRUE(ok(box.dev.read(b, check)));
   EXPECT_EQ(check[0], std::byte{0xBB});
 }
 
