@@ -24,7 +24,7 @@ struct Sweep {
 }  // namespace
 }  // namespace vialock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vialock;
   std::cout << "E10 (ablation): reclaim parameters x swap-device latency\n"
             << "(allocator dirties 1.5x RAM on a 4096-frame node; locktest\n"
@@ -62,6 +62,9 @@ int main() {
     }
   }
   table.print();
+  bench::JsonReport report("E10", "reclaim parameter ablation");
+  report.param("pressure_factor", "1.5").add_table("reclaim_sweep", table);
+  report.write_if_requested(argc, argv);
   std::cout << "\nShape: time scales with seek latency and inversely with\n"
                "batch size (fewer, larger reclaim runs); the verdict columns\n"
                "are invariant - the E1 result is not a parameter artifact.\n";

@@ -119,7 +119,7 @@ Outcome run_unetmm() {
 }  // namespace
 }  // namespace vialock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vialock;
   std::cout << "E11 (extension): VIA pinning vs. U-Net/MM TLB consistency\n"
             << "(64-page registration; " << kRounds
@@ -139,6 +139,9 @@ int main() {
              Table::num(std::uint64_t{tlb.pinned_frames}),
              Table::nanos(tlb.dma_time), Table::nanos(tlb.total_time)});
   table.print();
+  bench::JsonReport report("E11", "VIA pinning vs U-Net/MM TLB consistency");
+  report.add_table("designs", table);
+  report.write_if_requested(argc, argv);
   std::cout << "\nBoth designs are correct; the trade is pinned footprint\n"
                "(VIA: the region never swaps, holding frames even when idle)\n"
                "against data-path cost (U-Net/MM: NIC faults with page-ins\n"

@@ -70,7 +70,7 @@ CollectiveTimes measure(std::uint32_t ranks) {
 }  // namespace
 }  // namespace vialock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vialock;
   std::cout << "E12 (extension): collective operations vs. rank count\n"
             << "(64 KB broadcast, 2 KB allreduce vectors, 8 KB alltoall "
@@ -85,6 +85,9 @@ int main() {
                Table::nanos(t.allreduce), Table::nanos(t.alltoall)});
   }
   table.print();
+  bench::JsonReport report("E12", "collective operations vs rank count");
+  report.add_table("collectives", table);
+  report.write_if_requested(argc, argv);
   std::cout << "\nShape: broadcast ships N-1 messages over a binomial tree\n"
                "(log-depth); alltoall grows as N(N-1) blocks; barrier as\n"
                "N*ceil(log2 N) tokens.\n";

@@ -44,7 +44,7 @@ struct Rig {
 }  // namespace
 }  // namespace vialock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vialock;
   std::cout
       << "E13 (extension): syscalls on the transfer data path (64 KB "
@@ -89,6 +89,9 @@ int main() {
                "the VIA ideal: zero kernel involvement"});
   }
   table.print();
+  bench::JsonReport report("E13", "syscalls on the transfer data path");
+  report.add_table("syscalls", table);
+  report.write_if_requested(argc, argv);
   std::cout << "\nThe registration cache restores VIA's zero-syscall data\n"
                "path for warm buffers; only cold buffers trap into the\n"
                "kernel agent - and thanks to the kiobuf mechanism, those\n"

@@ -62,7 +62,7 @@ Nanos median_of_5(Rig& rig, std::uint32_t len, bool receiver_first,
 }  // namespace
 }  // namespace vialock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vialock;
   std::cout << "E14 (extension): receive-timing and wildcard costs at the\n"
             << "message-matching layer (median of 5, virtual time)\n\n";
@@ -87,6 +87,10 @@ int main() {
   wc.row({"MPI_ANY_SOURCE",
           Table::nanos(median_of_5(rig, 256, true, mp::kAnySource))});
   wc.print();
+
+  bench::JsonReport report("E14", "receive-timing and wildcard costs");
+  report.add_table("receive_timing", table).add_table("wildcard", wc);
+  report.write_if_requested(argc, argv);
 
   std::cout << "\nShape: sender-first eager pays the unexpected-queue\n"
                "buffering copy; sender-first rendezvous pays almost nothing\n"

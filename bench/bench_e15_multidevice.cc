@@ -54,7 +54,7 @@ struct Rig {
 }  // namespace
 }  // namespace vialock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vialock;
   std::cout << "E15 (extension): multidevice routing - intra-node shared\n"
             << "memory vs. NIC loopback vs. cross-node fabric (ranks 0,1 on\n"
@@ -75,6 +75,9 @@ int main() {
                          2) + "x"});
   }
   table.print();
+  bench::JsonReport report("E15", "multidevice routing");
+  report.add_table("routing", table);
+  report.write_if_requested(argc, argv);
   std::cout << "\nShape: the shm device wins intra-node at every size (no\n"
                "doorbells, no DMA, no wire); the gap is largest for small\n"
                "messages where NIC startup dominates. Cross-node traffic is\n"

@@ -53,7 +53,7 @@ Nanos measure(const Topo& topo, std::uint32_t len, std::uint64_t* forwards) {
 }  // namespace
 }  // namespace vialock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vialock;
   std::cout
       << "E16 (extension): indirect communication cost (multidevice paper,\n"
@@ -73,6 +73,9 @@ int main() {
                Table::nanos(t4k), Table::num(forwards)});
   }
   table.print();
+  bench::JsonReport report("E16", "indirect communication cost");
+  report.add_table("routes", table);
+  report.write_if_requested(argc, argv);
   std::cout << "\nShape: each intermediate hop adds roughly one full wire +\n"
                "store-and-forward copy to the latency, and the ACK chain\n"
                "doubles the forwarding load on intermediates - the overhead\n"

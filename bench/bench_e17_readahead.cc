@@ -63,7 +63,7 @@ Recovery measure(std::uint32_t readahead) {
 }  // namespace
 }  // namespace vialock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vialock;
   std::cout << "E17 (ablation): swap read-ahead window vs. working-set\n"
             << "recovery time (256 pages evicted, then touched)\n\n";
@@ -75,6 +75,10 @@ int main() {
                Table::nanos(r.random), Table::num(r.readahead_pages)});
   }
   table.print();
+  bench::JsonReport report("E17", "swap read-ahead ablation");
+  report.param("evicted_pages", std::uint64_t{256})
+      .add_table("readahead", table);
+  report.write_if_requested(argc, argv);
   std::cout << "\nShape: sequential recovery improves ~linearly with the\n"
                "window (one seek amortised over 1+N pages) and saturates;\n"
                "strided access defeats read-ahead, so the window must not be\n"

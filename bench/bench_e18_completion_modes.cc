@@ -73,7 +73,7 @@ struct Rig {
 }  // namespace
 }  // namespace vialock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vialock;
   std::cout << "E18 (extension): completion notification - polling vs.\n"
             << "waiting mode, half-round-trip latency (median of 5)\n\n";
@@ -92,6 +92,9 @@ int main() {
                "+" + Table::nanos(wait - poll)});
   }
   table.print();
+  bench::JsonReport report("E18", "polling vs waiting completion");
+  report.add_table("completion_modes", table);
+  report.write_if_requested(argc, argv);
   std::cout << "\nShape: waiting mode adds a fixed ~2x interrupt-wakeup cost\n"
                "per half-round-trip, dominating at small messages - the\n"
                "MPI/Pro-vs-polling gap the family's comparison paper reports\n"

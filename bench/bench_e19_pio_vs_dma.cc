@@ -86,7 +86,7 @@ struct Rig {
 }  // namespace
 }  // namespace vialock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vialock;
   std::cout
       << "E19 (extension): programmed I/O vs. descriptor DMA (one-way\n"
@@ -106,6 +106,10 @@ int main() {
                Table::nanos(rd), pio_wins ? "PIO" : "DMA"});
   }
   table.print();
+  bench::JsonReport report("E19", "programmed I/O vs descriptor DMA");
+  report.add_table("pio_vs_dma", table);
+  if (crossover) report.metric("crossover_bytes", std::uint64_t{*crossover});
+  report.write_if_requested(argc, argv);
   if (crossover) {
     std::cout << "\nPIO -> DMA crossover at " << Table::bytes(*crossover)
               << ". Period reference points: Dolphin PIO latency 2.3 us;\n"

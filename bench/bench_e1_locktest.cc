@@ -18,7 +18,7 @@
 namespace vialock {
 namespace {
 
-void run_matrix(bool pressure) {
+void run_matrix(bool pressure, bench::JsonReport& report) {
   std::cout << "\n=== E1 locktest: " << (pressure ? "under memory pressure (allocator dirties 1.5x RAM)"
                                                   : "control, no memory pressure")
             << " ===\n";
@@ -43,16 +43,21 @@ void run_matrix(bool pressure) {
                r.consistent() ? "CONSISTENT" : "STALE TPT"});
   }
   table.print();
+  report.add_table(pressure ? "pressure" : "control", table);
 }
 
 }  // namespace
 }  // namespace vialock
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "E1: the locktest experiment (paper section 3.1, steps 1-8)\n"
             << "Paper: refcount-only locking leaves the TPT stale under\n"
             << "pressure; PG_locked / VM_LOCKED / kiobuf locking survive.\n";
-  vialock::run_matrix(/*pressure=*/true);
-  vialock::run_matrix(/*pressure=*/false);
+  vialock::bench::JsonReport report("E1", "locktest: TPT consistency by policy");
+  report.param("region_pages", std::uint64_t{64})
+      .param("pressure_factor", "1.5");
+  vialock::run_matrix(/*pressure=*/true, report);
+  vialock::run_matrix(/*pressure=*/false, report);
+  report.write_if_requested(argc, argv);
   return 0;
 }

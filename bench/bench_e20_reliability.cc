@@ -97,7 +97,8 @@ CellResult run_cell(Protocol proto, std::uint32_t len, double drop_rate,
   return res;
 }
 
-std::string sweep_table(Protocol proto, std::uint32_t len) {
+std::string sweep_table(Protocol proto, std::uint32_t len,
+                        bench::JsonReport& report) {
   std::ostringstream os;
   Table t({"drop rate", "mode", "done", "silent-corrupt", "goodput",
            "avg latency", "retries", "timeouts", "crc-catch", "repairs"});
@@ -123,21 +124,24 @@ std::string sweep_table(Protocol proto, std::uint32_t len) {
     t.print();
     std::cout.rdbuf(old);
   }
+  report.add_table(std::string(to_string(proto)), t);
   return os.str();
 }
 
 }  // namespace
 }  // namespace vialock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vialock;
   std::cout << "E20: reliable delivery vs injected faults "
             << "(seed " << kSeed << ", deterministic)\n"
             << "raw = plain VIA service, reliable = seq/ack/checksum/retry\n\n";
 
-  std::cout << sweep_table(Protocol::Eager, 2048) << "\n";
-  std::cout << sweep_table(Protocol::Rendezvous, 32 * 1024) << "\n";
-  std::cout << sweep_table(Protocol::Preregistered, 32 * 1024) << "\n";
+  bench::JsonReport report("E20", "reliable delivery vs injected faults");
+  report.param("seed", std::uint64_t{kSeed});
+  std::cout << sweep_table(Protocol::Eager, 2048, report) << "\n";
+  std::cout << sweep_table(Protocol::Rendezvous, 32 * 1024, report) << "\n";
+  std::cout << sweep_table(Protocol::Preregistered, 32 * 1024, report) << "\n";
 
   // Determinism spot check: the same seed must reproduce the identical
   // fault schedule and the identical outcome, byte for byte.
@@ -150,5 +154,7 @@ int main() {
             << (same ? "PASS" : "FAIL") << " - " << a.schedule.size()
             << "-byte schedule, " << a.stats.retries << " retries, "
             << Table::nanos(a.elapsed) << " elapsed\n";
+  report.metric("determinism", same ? std::string("PASS") : std::string("FAIL"));
+  report.write_if_requested(argc, argv);
   return same ? 0 : 1;
 }

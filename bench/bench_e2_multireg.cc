@@ -90,7 +90,7 @@ Verdicts probe(via::PolicyKind policy) {
 }  // namespace
 }  // namespace vialock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vialock;
   std::cout
       << "E2: multiple-registration semantics (paper sections 1 and 3.2)\n"
@@ -124,6 +124,9 @@ int main() {
                bench::passfail(v.overlap_nesting), note});
   }
   table.print();
+  bench::JsonReport report("E2", "multiple-registration semantics");
+  report.add_table("nesting", table);
+  report.write_if_requested(argc, argv);
   std::cout << "\nOnly the kiobuf mechanism passes both columns: each\n"
                "map_user_kiobuf() carries its own per-page pin, so exact,\n"
                "repeated and overlapping registrations all release\n"

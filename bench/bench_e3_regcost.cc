@@ -50,7 +50,7 @@ Cost measure(via::PolicyKind policy, std::uint64_t bytes, bool warm) {
 constexpr std::uint64_t kSizes[] = {4096,        16 * 1024,  64 * 1024,
                                     256 * 1024,  1024 * 1024, 4 * 1024 * 1024};
 
-void print_table(bool warm, bool dereg) {
+void print_table(bool warm, bool dereg, bench::JsonReport& report) {
   Table table({"size", "pages", "refcount", "pageflag", "mlock", "mlock+track",
                "kiobuf", "kiobuf overhead vs refcount"});
   for (const std::uint64_t size : kSizes) {
@@ -74,18 +74,21 @@ void print_table(bool warm, bool dereg) {
     table.row(std::move(row));
   }
   table.print();
+  report.add_table(warm ? "warm" : "cold", table);
 }
 
 }  // namespace
 }  // namespace vialock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vialock;
   std::cout << "E3: VipRegisterMem cost vs. region size (virtual time)\n";
+  bench::JsonReport report("E3", "VipRegisterMem cost vs region size");
   std::cout << "\n--- warm buffers (pages already resident) ---\n";
-  print_table(/*warm=*/true, /*dereg=*/false);
+  print_table(/*warm=*/true, /*dereg=*/false, report);
   std::cout << "\n--- cold buffers (registration faults pages in) ---\n";
-  print_table(/*warm=*/false, /*dereg=*/false);
+  print_table(/*warm=*/false, /*dereg=*/false, report);
+  report.write_if_requested(argc, argv);
   std::cout << "\nShape: linear in pages for every policy; cold registration\n"
                "dominated by demand-zero faults; the kiobuf mechanism adds\n"
                "only its per-page pin bookkeeping over the naive walker.\n";

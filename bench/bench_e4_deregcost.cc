@@ -40,7 +40,7 @@ Nanos measure_dereg(via::PolicyKind policy, std::uint64_t bytes) {
 }  // namespace
 }  // namespace vialock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vialock;
   std::cout << "E4: VipDeregisterMem cost vs. region size (virtual time)\n\n";
   Table table({"size", "pages", "refcount", "pageflag", "mlock", "mlock+track",
@@ -57,6 +57,9 @@ int main() {
     table.row(std::move(row));
   }
   table.print();
+  bench::JsonReport report("E4", "VipDeregisterMem cost vs region size");
+  report.add_table("dereg_cost", table);
+  report.write_if_requested(argc, argv);
   std::cout << "\nShape: linear in pages; the release path is cheap relative\n"
                "to registration (no faulting), so caching registrations and\n"
                "evicting lazily is the right trade (see E5/E9).\n";

@@ -56,7 +56,7 @@ Nanos mean_transfer(Channel& channel, Clock& clock, Protocol proto,
   return total / static_cast<Nanos>(rounds);
 }
 
-void bandwidth_vs_size() {
+void bandwidth_vs_size(bench::JsonReport& report) {
   std::cout << "\n--- (a) rendezvous bandwidth vs. message size, full buffer "
                "reuse (10 rounds each) ---\n";
   Table table({"message", "no cache", "LRU cache", "preregistered",
@@ -81,9 +81,10 @@ void bandwidth_vs_size() {
                          2) + "x"});
   }
   table.print();
+  report.add_table("bandwidth_vs_size", table);
 }
 
-void reuse_ratio_sweep() {
+void reuse_ratio_sweep(bench::JsonReport& report) {
   std::cout << "\n--- (b) 64 KB rendezvous, sweeping buffer-reuse ratio "
                "(50 transfers) ---\n";
   Table table({"reuse ratio", "cache hits", "cache misses", "mean time",
@@ -112,17 +113,20 @@ void reuse_ratio_sweep() {
                Table::rate(kLen, mean)});
   }
   table.print();
+  report.add_table("reuse_ratio_sweep", table);
 }
 
 }  // namespace
 }  // namespace vialock
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "E5: registration caching (paper section 1: \"caching "
                "registered regions, i.e. keeping them registered as long as "
                "possible\")\n";
-  vialock::bandwidth_vs_size();
-  vialock::reuse_ratio_sweep();
+  vialock::bench::JsonReport report("E5", "registration caching payoff");
+  vialock::bandwidth_vs_size(report);
+  vialock::reuse_ratio_sweep(report);
+  report.write_if_requested(argc, argv);
   std::cout << "\nShape: with reuse, the LRU cache removes the registration\n"
                "syscalls from the critical path and rendezvous approaches the\n"
                "preregistered upper bound; without reuse caching cannot help.\n";

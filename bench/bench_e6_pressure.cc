@@ -11,7 +11,7 @@
 #include "experiments/locktest.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vialock;
   std::cout
       << "E6: registered-page relocation vs. memory pressure\n"
@@ -37,6 +37,10 @@ int main() {
     table.row(std::move(row));
   }
   table.print();
+  bench::JsonReport report("E6", "registered-page relocation vs pressure");
+  report.param("region_pages", std::uint64_t{64})
+      .add_table("relocations", table);
+  report.write_if_requested(argc, argv);
   std::cout << "\nShape: below ~1x RAM nothing swaps and even the broken\n"
                "policy looks fine - the treachery of refcount locking is that\n"
                "it only fails once memory gets tight. At and above ~1.25x the\n"

@@ -70,7 +70,7 @@ HazardCounts inject(via::PolicyKind policy, int iterations) {
 }  // namespace
 }  // namespace vialock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vialock;
   constexpr int kIterations = 100;
   std::cout << "E7: PG_locked flag hazards under register/kernel-I/O overlap\n"
@@ -86,6 +86,10 @@ int main() {
                hazardous ? "UNSAFE" : "safe"});
   }
   table.print();
+  bench::JsonReport report("E7", "PG_locked flag hazards");
+  report.param("iterations", std::uint64_t{kIterations})
+      .add_table("hazards", table);
+  report.write_if_requested(argc, argv);
   std::cout << "\nOnly the pageflag (Giganet-style) driver trips the\n"
                "detectors: it sets PG_locked without checking prior state and\n"
                "strips it on deregistration while the kernel's I/O is still\n"

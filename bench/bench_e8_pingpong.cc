@@ -72,7 +72,7 @@ Point measure(PingPongRig& rig, Protocol proto, std::uint32_t len) {
 }  // namespace
 }  // namespace vialock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vialock;
   std::cout << "E8: ping-pong half-round-trip latency and bandwidth vs size\n"
             << "(warm caches; eager limited to its 8 KB bounce slots)\n\n";
@@ -112,6 +112,10 @@ int main() {
   lat.print();
   std::cout << "\n--- bandwidth ---\n";
   bw.print();
+  bench::JsonReport report("E8", "ping-pong latency and bandwidth");
+  report.add_table("latency", lat).add_table("bandwidth", bw);
+  if (crossover) report.metric("crossover_bytes", std::uint64_t{*crossover});
+  report.write_if_requested(argc, argv);
   if (crossover) {
     std::cout << "\nEager -> zero-copy crossover at " << Table::bytes(*crossover)
               << " (paper family's MPI libraries switch protocols at 4 KB).\n";

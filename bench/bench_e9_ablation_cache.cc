@@ -58,7 +58,7 @@ Outcome run(EvictionPolicy policy) {
 }  // namespace
 }  // namespace vialock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vialock;
   std::cout << "E9 (ablation): registration-cache eviction policy\n"
             << "(300 x 64 KB rendezvous transfers, 64 buffers, 80/20 hot set\n"
@@ -76,6 +76,9 @@ int main() {
                Table::fp(rate, 1) + "%", Table::nanos(o.mean)});
   }
   table.print();
+  bench::JsonReport report("E9", "registration-cache eviction ablation");
+  report.add_table("eviction_policies", table);
+  report.write_if_requested(argc, argv);
   std::cout << "\nShape: LRU keeps the hot set registered and wins; FIFO\n"
                "evicts hot buffers on schedule; no caching pays the full\n"
                "registration cost every transfer.\n";

@@ -2,11 +2,20 @@
 // benches. Every binary prints the table(s) of one experiment from
 // EXPERIMENTS.md; virtual times come from the simulation's deterministic
 // clock, so outputs are exactly reproducible.
+//
+// With `--json` on the command line, a bench additionally writes
+// BENCH_<experiment>.json - machine-readable name/params/tables - so CI can
+// archive results as artifacts and diff them across commits.
 #pragma once
 
 #include <cstdint>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "util/table.h"
 #include "via/node.h"
 
 namespace vialock::bench {
@@ -27,5 +36,110 @@ inline via::NodeSpec eval_node(via::PolicyKind policy) {
 
 inline std::string yesno(bool b) { return b ? "yes" : "NO"; }
 inline std::string passfail(bool b) { return b ? "PASS" : "FAIL"; }
+
+/// Machine-readable experiment output. Collects the experiment's parameters,
+/// scalar metrics, and printed tables, and - when the binary was invoked with
+/// `--json` - writes them to BENCH_<experiment>.json in the working
+/// directory. All values come from the virtual clock, so the file is
+/// byte-identical across runs.
+class JsonReport {
+ public:
+  JsonReport(std::string experiment, std::string name)
+      : experiment_(std::move(experiment)), name_(std::move(name)) {}
+
+  JsonReport& param(const std::string& key, const std::string& value) {
+    params_.emplace_back(key, quote(value));
+    return *this;
+  }
+  JsonReport& param(const std::string& key, std::uint64_t value) {
+    params_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonReport& metric(const std::string& key, std::uint64_t value) {
+    metrics_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonReport& metric(const std::string& key, double value) {
+    std::ostringstream ss;
+    ss << value;
+    metrics_.emplace_back(key, ss.str());
+    return *this;
+  }
+  JsonReport& metric(const std::string& key, const std::string& value) {
+    metrics_.emplace_back(key, quote(value));
+    return *this;
+  }
+
+  /// Capture a printed table (headers + string cells) under `label`.
+  JsonReport& add_table(const std::string& label, const Table& table) {
+    tables_.emplace_back(label, render(table));
+    return *this;
+  }
+
+  /// Write BENCH_<experiment>.json if `--json` is among the arguments.
+  /// Returns true when the file was written.
+  bool write_if_requested(int argc, char** argv) const {
+    bool wanted = false;
+    for (int i = 1; i < argc; ++i)
+      if (std::string(argv[i]) == "--json") wanted = true;
+    if (!wanted) return false;
+    std::ofstream out("BENCH_" + experiment_ + ".json");
+    out << "{\n  \"experiment\": " << quote(experiment_)
+        << ",\n  \"name\": " << quote(name_) << ",\n  \"params\": "
+        << object(params_) << ",\n  \"metrics\": " << object(metrics_)
+        << ",\n  \"tables\": {";
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      out << (i ? "," : "") << "\n    " << quote(tables_[i].first) << ": "
+          << tables_[i].second;
+    }
+    out << (tables_.empty() ? "" : "\n  ") << "}\n}\n";
+    return out.good();
+  }
+
+ private:
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+      }
+    }
+    return out + "\"";
+  }
+  static std::string object(const Fields& fields) {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      out += (i ? ", " : "") + quote(fields[i].first) + ": " +
+             fields[i].second;
+    }
+    return out + "}";
+  }
+  /// A table as {"headers": [...], "rows": [[...], ...]} of strings.
+  static std::string render(const Table& table) {
+    std::string out = "{\"headers\": " + cells(table.headers()) +
+                      ", \"rows\": [";
+    const auto& rows = table.rows();
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      out += (i ? ", " : "") + cells(rows[i]);
+    return out + "]}";
+  }
+  static std::string cells(const std::vector<std::string>& row) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < row.size(); ++i)
+      out += (i ? ", " : "") + quote(row[i]);
+    return out + "]";
+  }
+
+  std::string experiment_;
+  std::string name_;
+  Fields params_;
+  Fields metrics_;
+  std::vector<std::pair<std::string, std::string>> tables_;
+};
 
 }  // namespace vialock::bench

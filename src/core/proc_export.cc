@@ -1,0 +1,30 @@
+#include "core/proc_export.h"
+
+#include <sstream>
+
+namespace vialock::core {
+
+std::string agent_status(const via::AgentStats& s) {
+  std::ostringstream os;
+  os << "registrations " << s.registrations << "\n"
+     << "deregistrations " << s.deregistrations << "\n"
+     << "pages_registered " << s.pages_registered << "\n"
+     << "lock_failures " << s.lock_failures << "\n"
+     << "tpt_full " << s.tpt_full << "\n"
+     << "admission_rejects " << s.admission_rejects << "\n"
+     << "lazy_deregs " << s.lazy_deregs << "\n";
+  return os.str();
+}
+
+std::string regcache_status(const RegCacheStats& s) {
+  std::ostringstream os;
+  os << "hits " << s.hits << "\n"
+     << "misses " << s.misses << "\n"
+     << "evictions " << s.evictions << "\n"
+     << "registrations " << s.registrations << "\n"
+     << "deregistrations " << s.deregistrations << "\n"
+     << "reclaim_evictions " << s.reclaim_evictions << "\n";
+  return os.str();
+}
+
+}  // namespace vialock::core

@@ -1,0 +1,20 @@
+// proc_export.h - /proc-style text reports over the VIA stack's own
+// counters, the upper-layer companions to simkern::procfs (meminfo/vmstat).
+// Each returns "key value\n" lines in a fixed order so outputs diff cleanly
+// across runs and commits.
+#pragma once
+
+#include <string>
+
+#include "core/reg_cache.h"
+#include "via/kernel_agent.h"
+
+namespace vialock::core {
+
+/// /proc/via/agent: the kernel agent's registration counters.
+[[nodiscard]] std::string agent_status(const via::AgentStats& stats);
+
+/// /proc/via/regcache: a registration cache's hit/miss/eviction counters.
+[[nodiscard]] std::string regcache_status(const RegCacheStats& stats);
+
+}  // namespace vialock::core

@@ -44,10 +44,12 @@ KStatus RegistrationCache::acquire(simkern::VAddr addr, std::uint64_t len,
       out = handle;
       return KStatus::Ok;
     }
-    // NoSpc: TPT entries exhausted. Again: the kernel's pin budget is hit.
-    // Both are relieved by evicting idle cached registrations.
-    if (st != KStatus::NoSpc && st != KStatus::Again) return st;
-    if (!evict_one()) return st;
+    // NoSpc: TPT entries exhausted. Again: the kernel's pin budget (or the
+    // governor's host ceiling) is hit. NoMem: the governor's per-tenant
+    // quota. All are relieved by evicting idle cached registrations.
+    if (st != KStatus::NoSpc && st != KStatus::Again && st != KStatus::NoMem)
+      return st;
+    if (evict_one() == 0) return st;
   }
 }
 
@@ -68,7 +70,7 @@ void RegistrationCache::release(const via::MemHandle& handle) {
   }
 }
 
-bool RegistrationCache::evict_one() {
+std::uint32_t RegistrationCache::evict_one() {
   auto victim = entries_.end();
   std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
@@ -81,17 +83,29 @@ bool RegistrationCache::evict_one() {
       victim = it;
     }
   }
-  if (victim == entries_.end()) return false;
+  if (victim == entries_.end()) return 0;
+  const std::uint32_t pages = victim->second.handle.pages;
   (void)vipl_.deregister_mem(victim->second.handle);
   ++stats_.deregistrations;
   ++stats_.evictions;
   entries_.erase(victim);
-  return true;
+  return pages;
+}
+
+std::uint32_t RegistrationCache::reclaim_idle(std::uint32_t target_pages) {
+  std::uint32_t released = 0;
+  while (released < target_pages) {
+    const std::uint32_t pages = evict_one();
+    if (pages == 0) break;
+    ++stats_.reclaim_evictions;
+    released += pages;
+  }
+  return released;
 }
 
 void RegistrationCache::enforce_idle_cap() {
   while (idle_cached() > config_.max_idle) {
-    if (!evict_one()) break;
+    if (evict_one() == 0) break;
   }
 }
 

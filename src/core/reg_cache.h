@@ -7,6 +7,11 @@
 // VIPL: acquire() reuses a live or idle cached registration that covers the
 // request; release() keeps idle registrations cached; TPT exhaustion evicts
 // idle entries by a pluggable policy (the E9 ablation).
+//
+// When a PinGovernor is passed in Config, the cache registers itself as a
+// ReclaimClient: under memory pressure (or a guaranteed tenant's admission
+// shortfall) the governor asks it to evict cold idle entries, releasing
+// pinned pages cooperatively before the kernel has to swap hot ones.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +19,7 @@
 #include <map>
 #include <string_view>
 
+#include "pinmgr/pin_governor.h"
 #include "util/status.h"
 #include "via/vipl.h"
 
@@ -40,24 +46,37 @@ struct RegCacheStats {
   std::uint64_t evictions = 0;
   std::uint64_t registrations = 0;
   std::uint64_t deregistrations = 0;
+  std::uint64_t reclaim_evictions = 0;  ///< evictions the governor asked for
 };
 
-class RegistrationCache {
+class RegistrationCache : public pinmgr::ReclaimClient {
  public:
   struct Config {
     EvictionPolicy policy = EvictionPolicy::Lru;
     /// Cap on idle cached registrations (on top of TPT pressure eviction).
     std::size_t max_idle = 1024;
+    /// When set, the cache volunteers its idle entries for cooperative
+    /// reclaim. The governor must outlive the cache.
+    pinmgr::PinGovernor* governor = nullptr;
   };
 
   explicit RegistrationCache(via::Vipl& vipl)
       : RegistrationCache(vipl, Config{}) {}
   RegistrationCache(via::Vipl& vipl, Config config)
-      : vipl_(vipl), config_(config) {}
+      : vipl_(vipl), config_(config) {
+    if (config_.governor) config_.governor->add_reclaim_client(this);
+  }
 
   RegistrationCache(const RegistrationCache&) = delete;
   RegistrationCache& operator=(const RegistrationCache&) = delete;
-  ~RegistrationCache() { flush(); }
+  ~RegistrationCache() override {
+    flush();
+    if (config_.governor) config_.governor->remove_reclaim_client(this);
+  }
+
+  /// ReclaimClient: evict cold idle entries until `target_pages` pinned
+  /// pages are released (or nothing idle remains). Returns pages released.
+  std::uint32_t reclaim_idle(std::uint32_t target_pages) override;
 
   /// Hand out a registration covering [addr, addr+len), registering on miss.
   /// Evicts idle entries and retries when the TPT is full.
@@ -87,8 +106,9 @@ class RegistrationCache {
   [[nodiscard]] std::map<std::uint64_t, Entry>::iterator find_covering(
       simkern::VAddr addr, std::uint64_t len);
 
-  /// Evict one idle entry per policy; false if none is evictable.
-  bool evict_one();
+  /// Evict one idle entry per policy; returns the pages it released
+  /// (0 when nothing is evictable).
+  std::uint32_t evict_one();
   void enforce_idle_cap();
 
   via::Vipl& vipl_;

@@ -44,9 +44,11 @@ enum class FaultSite : std::uint8_t {
   TptWrite,     ///< program_tpt(): corrupt (pfn bit-flip) or fail (evict)
   Wire,         ///< fabric transmit: drop (packet lost after send completes)
   Connection,   ///< fabric transmit: fail (connection reset, both VIs break)
+  PinAdmission, ///< PinGovernor::charge(): fail (spurious quota-check race)
+  PinReclaim,   ///< PinGovernor::on_memory_pressure(): drop (reclaim pass fails)
 };
 
-inline constexpr std::size_t kNumFaultSites = 9;
+inline constexpr std::size_t kNumFaultSites = 11;
 
 [[nodiscard]] constexpr std::string_view to_string(FaultSite s) {
   switch (s) {
@@ -59,6 +61,8 @@ inline constexpr std::size_t kNumFaultSites = 9;
     case FaultSite::TptWrite: return "tpt-write";
     case FaultSite::Wire: return "wire";
     case FaultSite::Connection: return "connection";
+    case FaultSite::PinAdmission: return "pin-admission";
+    case FaultSite::PinReclaim: return "pin-reclaim";
   }
   return "?";
 }

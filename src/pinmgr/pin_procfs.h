@@ -1,0 +1,15 @@
+// pin_procfs.h - /proc/pinmgr: text report of the pin governor's global and
+// per-tenant accounting, next to simkern's meminfo/vmstat. Examples and
+// tests assert on these lines instead of poking governor internals.
+#pragma once
+
+#include <string>
+
+#include "pinmgr/pin_governor.h"
+
+namespace vialock::pinmgr {
+
+/// /proc/pinmgr: global counters followed by one line per tenant (pid order).
+[[nodiscard]] std::string pinstat(const PinGovernor& gov);
+
+}  // namespace vialock::pinmgr

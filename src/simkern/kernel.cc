@@ -218,6 +218,14 @@ void Kernel::notify_invalidate(Pid pid, VAddr vaddr, Pfn old_pfn) {
   for (MmuNotifier* n : mmu_notifiers_) n->on_invalidate(pid, vaddr, old_pfn);
 }
 
+void Kernel::add_pressure_handler(PressureHandler* handler) {
+  pressure_handlers_.push_back(handler);
+}
+
+void Kernel::remove_pressure_handler(PressureHandler* handler) {
+  std::erase(pressure_handlers_, handler);
+}
+
 // ---------------------------------------------------------------------------
 // Page-frame services
 // ---------------------------------------------------------------------------

@@ -64,6 +64,8 @@ struct KernelStats {
   std::uint64_t readahead_pages = 0;  ///< swapped in speculatively
   std::uint64_t reclaim_runs = 0;
   std::uint64_t clock_scanned = 0;
+  std::uint64_t pressure_callbacks = 0;       ///< cooperative-reclaim invocations
+  std::uint64_t pressure_pages_released = 0;  ///< pages handlers made reclaimable
   std::uint64_t swap_skip_vma_locked = 0;
   std::uint64_t swap_skip_page_locked = 0;
   std::uint64_t swap_skip_reserved = 0;
@@ -97,6 +99,18 @@ class MmuNotifier {
  public:
   virtual ~MmuNotifier() = default;
   virtual void on_invalidate(Pid pid, VAddr vaddr, Pfn old_pfn) = 0;
+};
+
+/// Cooperative-reclaim hook (the shrinker registration of its era). When
+/// try_to_free_pages falls short of its target after the page-cache scan,
+/// it asks registered handlers to release pinned memory - drain deferred
+/// deregistrations, evict cold idle registration-cache entries - before the
+/// kernel resorts to swapping hot process pages. Returns the number of pages
+/// the handler un-pinned (now visible to swap_out), not pages freed.
+class PressureHandler {
+ public:
+  virtual ~PressureHandler() = default;
+  virtual std::uint32_t on_memory_pressure(std::uint32_t target_pages) = 0;
 };
 
 class Kernel {
@@ -207,6 +221,10 @@ class Kernel {
   void add_mmu_notifier(MmuNotifier* notifier);
   void remove_mmu_notifier(MmuNotifier* notifier);
 
+  // --- cooperative reclaim handlers (vmscan.cc) ------------------------------------
+  void add_pressure_handler(PressureHandler* handler);
+  void remove_pressure_handler(PressureHandler* handler);
+
   // --- fault injection (src/fault) -----------------------------------------------
   /// Arm `engine` on every fallible kernel component (swap device, buddy
   /// allocator, kiobuf mapping); nullptr disarms. The engine must outlive
@@ -316,6 +334,8 @@ class Kernel {
 
   void notify_invalidate(Pid pid, VAddr vaddr, Pfn old_pfn);
   std::vector<MmuNotifier*> mmu_notifiers_;
+  std::vector<PressureHandler*> pressure_handlers_;
+  bool in_pressure_callback_ = false;  ///< reclaim-from-reclaim recursion guard
 
   // Shared-memory segments (kernel.cc).
   struct ShmSegment {

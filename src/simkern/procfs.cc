@@ -54,6 +54,8 @@ std::string vmstat(const Kernel& kern) {
      << "pgcache_reclaimed " << s.pagecache_reclaimed << "\n"
      << "kiobuf_maps " << s.kiobuf_maps << "\n"
      << "kiobuf_pins " << s.kiobuf_pages_pinned << "\n"
+     << "pressure_callbacks " << s.pressure_callbacks << "\n"
+     << "pressure_pages_released " << s.pressure_pages_released << "\n"
      << "syscalls " << s.syscalls << "\n"
      << "swap_io_errors " << kern.swap().io_errors() << "\n"
      << "swap_io_delays " << kern.swap().io_delays() << "\n"

@@ -36,6 +36,18 @@ std::uint32_t Kernel::try_to_free_pages(std::uint32_t target) {
     freed += shrink_mmap(budget);
     scanned += budget;
   } while (freed < target && scanned < 2 * config_.frames);
+  // Cooperative reclaim: before swapping process pages, ask the pin-side
+  // handlers (the PinGovernor) to give back cold pinned memory - deferred
+  // deregistrations, idle cached registrations. What they release is not
+  // free yet, but it becomes visible to the swap_out pass below.
+  if (freed < target && !pressure_handlers_.empty() && !in_pressure_callback_) {
+    in_pressure_callback_ = true;
+    ++stats_.pressure_callbacks;
+    for (PressureHandler* h : pressure_handlers_) {
+      stats_.pressure_pages_released += h->on_memory_pressure(target - freed);
+    }
+    in_pressure_callback_ = false;
+  }
   while (freed < target) {
     const std::uint32_t n = swap_out(target - freed);
     if (n == 0) break;

@@ -30,6 +30,11 @@ struct CostModel {
   Nanos kiobuf_setup = 1'100;      ///< alloc_kiovec bookkeeping
   Nanos kiobuf_per_page = 260;     ///< map_user_kiobuf per-page pin + record
 
+  // --- pin governor (src/pinmgr) ----------------------------------------------
+  Nanos pin_admission = 150;       ///< quota lookup + tier admission check
+  Nanos pin_account_frame = 25;    ///< per-frame charge/uncharge bookkeeping
+  Nanos pin_lazy_queue = 120;      ///< user-level append to the deferred-dereg ring
+
   // --- swap device -----------------------------------------------------------
   Nanos swap_seek = 6'000'000;     ///< disk seek + rotational latency (~6 ms)
   Nanos swap_per_byte = 60;        ///< ~16 MB/s streaming to swap partition

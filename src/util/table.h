@@ -70,6 +70,14 @@ class Table {
     return fp(mbps, 2) + " MB/s";
   }
 
+  // -- structured access (machine-readable export) ---------------------------
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
  private:
   void print_rule(std::ostream& os) const {
     os << '+';

@@ -34,6 +34,12 @@ enum class TraceEvent : std::uint8_t {
   DmaCorrupted,    ///< NIC DMA payload bit-flipped in flight
   SendRetry,       ///< reliable channel retransmitted a frame
   SendTimeout,     ///< reliable channel charged a retransmit timeout
+  PinCharged,      ///< governor charged a registration (addr = pages, pfn = host total)
+  PinUncharged,    ///< governor released a charge (addr = pages, pfn = host total)
+  PinRejected,     ///< governor refused admission (addr = pages requested)
+  LazyDeregQueued, ///< deregistration deferred to the governor (addr = reg id)
+  LazyDeregDrained,///< deferred-dereg queue drained (addr = entries, pfn = pages)
+  PinReclaimed,    ///< cooperative reclaim pass (addr = pages released)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(TraceEvent e) {
@@ -55,6 +61,12 @@ enum class TraceEvent : std::uint8_t {
     case TraceEvent::DmaCorrupted: return "dma-corrupted";
     case TraceEvent::SendRetry: return "send-retry";
     case TraceEvent::SendTimeout: return "send-timeout";
+    case TraceEvent::PinCharged: return "pin-charged";
+    case TraceEvent::PinUncharged: return "pin-uncharged";
+    case TraceEvent::PinRejected: return "pin-rejected";
+    case TraceEvent::LazyDeregQueued: return "lazy-dereg-queued";
+    case TraceEvent::LazyDeregDrained: return "lazy-dereg-drained";
+    case TraceEvent::PinReclaimed: return "pin-reclaimed";
   }
   return "?";
 }

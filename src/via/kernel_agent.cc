@@ -1,6 +1,9 @@
 #include "via/kernel_agent.h"
 
+#include <algorithm>
 #include <cassert>
+#include <memory>
+#include <vector>
 
 namespace vialock::via {
 
@@ -37,9 +40,25 @@ KStatus KernelAgent::register_mem(simkern::Pid pid, simkern::VAddr addr,
     return st;
   }
 
+  if (governor_) {
+    const KStatus gst = governor_->charge(pid, reg.lock.pfns);
+    if (!ok(gst)) {
+      policy_.unlock(reg.lock);
+      ++stats_.admission_rejects;
+      return gst;
+    }
+  }
+
   const auto pages = static_cast<std::uint32_t>(reg.lock.pfns.size());
-  const TptIndex base = nic_.tpt().alloc(pages);
+  TptIndex base = nic_.tpt().alloc(pages);
+  if (base == kInvalidTptIndex && governor_ &&
+      governor_->lazy_queue_depth() > 0) {
+    // Deferred deregistrations still hold TPT slots; drain and retry once.
+    (void)governor_->flush();
+    base = nic_.tpt().alloc(pages);
+  }
   if (base == kInvalidTptIndex) {
+    if (governor_) governor_->uncharge(pid, reg.lock.pfns);
     policy_.unlock(reg.lock);
     ++stats_.tpt_full;
     return KStatus::NoSpc;
@@ -69,19 +88,65 @@ KStatus KernelAgent::register_mem(simkern::Pid pid, simkern::VAddr addr,
 }
 
 KStatus KernelAgent::deregister_mem(const MemHandle& handle) {
+  auto it = regs_.find(handle.id);
+  if (it == regs_.end()) {
+    kern_.clock().advance(kern_.costs().syscall);  // the failed ioctl
+    ++kern_.mutable_stats().syscalls;
+    return KStatus::NoEnt;
+  }
+  auto reg = std::make_shared<Registration>(std::move(it->second));
+  regs_.erase(it);
+
+  if (governor_ && governor_->lazy_enabled()) {
+    // Defer: append to the governor's user-level dereg ring (no kernel
+    // entry); the TPT slots and pins are released at the batched drain.
+    pinmgr::PendingDereg d;
+    d.pid = reg->lock.pid;
+    d.reg_id = reg->handle.id;
+    d.pages = reg->handle.pages;
+    d.release = [this, reg] { return finish_dereg(*reg); };
+    if (governor_->defer_dereg(std::move(d))) {
+      ++stats_.lazy_deregs;
+      return KStatus::Ok;
+    }
+  }
+
   kern_.clock().advance(kern_.costs().syscall);
   ++kern_.mutable_stats().syscalls;
-  auto it = regs_.find(handle.id);
-  if (it == regs_.end()) return KStatus::NoEnt;
-  Registration& reg = it->second;
-  nic_.tpt().release(reg.handle.tpt_base, reg.handle.pages);
+  finish_dereg(*reg);
+  return KStatus::Ok;
+}
+
+std::uint32_t KernelAgent::finish_dereg(Registration& reg) {
+  const std::uint32_t pages = reg.handle.pages;
+  nic_.tpt().release(reg.handle.tpt_base, pages);
+  if (governor_) governor_->uncharge(reg.lock.pid, reg.lock.pfns);
   policy_.unlock(reg.lock);
-  regs_.erase(it);
   ++stats_.deregistrations;
   kern_.trace().record(kern_.clock().now(),
                        vialock::TraceEvent::RegionDeregistered, 0,
-                       handle.vaddr, handle.tpt_base);
-  return KStatus::Ok;
+                       reg.handle.vaddr, reg.handle.tpt_base);
+  return pages;
+}
+
+void KernelAgent::release_tenant(simkern::Pid pid) {
+  // Complete the tenant's deferred deregistrations before walking the live
+  // set (an epoch barrier - correctness-critical point).
+  if (governor_) (void)governor_->flush();
+  std::vector<std::uint64_t> ids;
+  for (const auto& [id, reg] : regs_) {
+    if (reg.lock.pid == pid) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());  // regs_ is unordered; keep runs identical
+  for (const std::uint64_t id : ids) {
+    kern_.clock().advance(kern_.costs().syscall);
+    ++kern_.mutable_stats().syscalls;
+    auto it = regs_.find(id);
+    Registration reg = std::move(it->second);
+    regs_.erase(it);
+    finish_dereg(reg);
+  }
+  if (governor_) governor_->remove_tenant(pid);
 }
 
 KStatus KernelAgent::refresh_tpt(const MemHandle& handle) {
@@ -97,11 +162,24 @@ KStatus KernelAgent::refresh_tpt(const MemHandle& handle) {
   const simkern::Pid pid = reg.lock.pid;
   const simkern::VAddr addr = reg.lock.addr;
   const std::uint64_t len = reg.lock.len;
+  if (governor_) governor_->uncharge(pid, reg.lock.pfns);
   policy_.unlock(reg.lock);
   reg.lock = LockHandle{};
   const KStatus st = policy_.lock(pid, addr, len, reg.lock);
   if (!ok(st)) return st;
   if (reg.lock.pfns.size() != reg.handle.pages) return KStatus::Fault;
+  if (governor_) {
+    // Re-admit the refreshed frames. Same tenant, same page count: this can
+    // only fail through injected admission races; surface that cleanly by
+    // tearing the registration down rather than keeping an uncharged pin.
+    const KStatus gst = governor_->charge(pid, reg.lock.pfns);
+    if (!ok(gst)) {
+      nic_.tpt().release(reg.handle.tpt_base, reg.handle.pages);
+      policy_.unlock(reg.lock);
+      regs_.erase(it);
+      return gst;
+    }
+  }
 
   for (std::uint32_t i = 0; i < reg.handle.pages; ++i) {
     TptEntry e = nic_.tpt().get(reg.handle.tpt_base + i);

@@ -7,12 +7,17 @@
 // the user range and learn its physical pages, then programs the NIC's TPT
 // over PCI. Whether those TPT entries stay truthful under memory pressure is
 // entirely the policy's doing.
+//
+// When a PinGovernor is attached (set_governor), every registration passes
+// its admission control (per-tenant quota + host ceiling, frame-deduplicated
+// accounting) and deregistrations may be deferred to its lazy batch queue.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
 
+#include "pinmgr/pin_governor.h"
 #include "simkern/kernel.h"
 #include "util/status.h"
 #include "via/lock_policy.h"
@@ -26,6 +31,8 @@ struct AgentStats {
   std::uint64_t pages_registered = 0;
   std::uint64_t lock_failures = 0;
   std::uint64_t tpt_full = 0;
+  std::uint64_t admission_rejects = 0;  ///< governor refused a registration
+  std::uint64_t lazy_deregs = 0;        ///< deregs deferred to the governor
 };
 
 class KernelAgent {
@@ -71,6 +78,16 @@ class KernelAgent {
   /// would do; exposed so experiments can measure what re-registration costs.
   [[nodiscard]] KStatus refresh_tpt(const MemHandle& handle);
 
+  /// Route registrations through `governor` (nullptr detaches). The governor
+  /// must outlive the agent or be detached first.
+  void set_governor(pinmgr::PinGovernor* governor) { governor_ = governor; }
+  [[nodiscard]] pinmgr::PinGovernor* governor() { return governor_; }
+
+  /// Tenant teardown: flush the governor's deferred deregistrations, then
+  /// eagerly deregister every live registration of `pid` and drop its
+  /// governor accounting - nothing may leak when a tenant exits.
+  void release_tenant(simkern::Pid pid);
+
   [[nodiscard]] LockPolicy& policy() { return policy_; }
   [[nodiscard]] const AgentStats& stats() const { return stats_; }
   [[nodiscard]] Nic& nic() { return nic_; }
@@ -87,9 +104,13 @@ class KernelAgent {
     RegisterOptions opts;
   };
 
+  /// TPT release + uncharge + unlock + stats; returns pages released.
+  std::uint32_t finish_dereg(Registration& reg);
+
   simkern::Kernel& kern_;
   Nic& nic_;
   LockPolicy& policy_;
+  pinmgr::PinGovernor* governor_ = nullptr;
   AgentStats stats_;
   std::unordered_map<std::uint64_t, Registration> regs_;
   std::uint64_t next_reg_id_ = 1;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "pinmgr/pin_governor.h"
 #include "simkern/kernel.h"
 #include "util/clock.h"
 #include "util/cost_model.h"
@@ -36,10 +37,30 @@ class Node {
   [[nodiscard]] LockPolicy& policy() { return *policy_; }
   [[nodiscard]] KernelAgent& agent() { return agent_; }
 
-  /// Arm fault injection on this node's kernel and NIC (nullptr disarms).
+  /// Construct and wire a PinGovernor into this node: every registration
+  /// passes its admission control, and vmscan's pressure path invokes its
+  /// cooperative-reclaim callback. Replaces a previous governor, if any.
+  pinmgr::PinGovernor& enable_governor(
+      const pinmgr::GovernorConfig& config = {}) {
+    if (governor_) {
+      agent_.set_governor(nullptr);
+      kernel_.remove_pressure_handler(governor_.get());
+    }
+    governor_ = std::make_unique<pinmgr::PinGovernor>(kernel_, config);
+    governor_->set_fault_engine(faults_);
+    agent_.set_governor(governor_.get());
+    kernel_.add_pressure_handler(governor_.get());
+    return *governor_;
+  }
+  [[nodiscard]] pinmgr::PinGovernor* governor() { return governor_.get(); }
+
+  /// Arm fault injection on this node's kernel, NIC, and governor (nullptr
+  /// disarms).
   void set_fault_engine(fault::FaultEngine* engine) {
+    faults_ = engine;
     kernel_.set_fault_engine(engine);
     nic_.set_fault_engine(engine);
+    if (governor_) governor_->set_fault_engine(engine);
   }
 
  private:
@@ -47,6 +68,10 @@ class Node {
   Nic nic_;
   std::unique_ptr<LockPolicy> policy_;
   KernelAgent agent_;
+  // Declared after agent_: destroyed first, while the agent the drain
+  // callbacks deregister through is still alive.
+  std::unique_ptr<pinmgr::PinGovernor> governor_;
+  fault::FaultEngine* faults_ = nullptr;
 };
 
 /// A set of nodes on one fabric, sharing the virtual clock.

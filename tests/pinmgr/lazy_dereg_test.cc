@@ -1,0 +1,181 @@
+// lazy_dereg_test.cc - the governor's deferred-deregistration queue: pins
+// outlive the dereg call until a drain, batches amortise the ioctl cost,
+// TPT exhaustion and memory pressure both force a drain, and the
+// registration cache volunteers idle entries for cooperative reclaim.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../via/via_util.h"
+#include "core/reg_cache.h"
+#include "pinmgr/pin_governor.h"
+
+namespace vialock::pinmgr {
+namespace {
+
+using simkern::kPageSize;
+using test::must_mmap;
+
+struct LazyBox {
+  explicit LazyBox(std::uint32_t lazy_batch, std::uint32_t tpt_entries = 256)
+      : node(test::small_node(via::PolicyKind::Kiobuf, 512, tpt_entries),
+             clock, costs),
+        gov(node.enable_governor({.lazy_batch = lazy_batch})),
+        pid(node.kernel().create_task("app")),
+        tag(node.agent().create_ptag(pid)) {}
+
+  KStatus reg(simkern::VAddr addr, std::uint64_t pages, via::MemHandle& out) {
+    return node.agent().register_mem(pid, addr, pages * kPageSize, tag, out);
+  }
+
+  Clock clock;
+  CostModel costs;
+  via::Node node;
+  PinGovernor& gov;
+  simkern::Pid pid;
+  via::ProtectionTag tag;
+};
+
+TEST(LazyDereg, DeregIsDeferredUntilFlush) {
+  LazyBox box(/*lazy_batch=*/8);
+  auto& kern = box.node.kernel();
+  const auto a = must_mmap(kern, box.pid, 4);
+  via::MemHandle mh;
+  ASSERT_TRUE(ok(box.reg(a, 4, mh)));
+  const auto pfn = *kern.resolve(box.pid, a);
+
+  ASSERT_TRUE(ok(box.node.agent().deregister_mem(mh)));
+  EXPECT_EQ(box.node.agent().stats().lazy_deregs, 1u);
+  EXPECT_EQ(box.gov.lazy_queue_depth(), 1u);
+  // The deregistration is only queued: TPT slots, pin, and accounting all
+  // persist until the batch is submitted.
+  EXPECT_EQ(box.node.nic().tpt().used(), 4u);
+  EXPECT_GT(kern.phys().page(pfn).pin_count, 0u);
+  EXPECT_EQ(box.gov.tenant_charged(box.pid), 4u);
+
+  EXPECT_EQ(box.gov.flush(), 1u);
+  EXPECT_EQ(box.gov.lazy_queue_depth(), 0u);
+  EXPECT_EQ(box.node.nic().tpt().used(), 0u);
+  EXPECT_EQ(kern.phys().page(pfn).pin_count, 0u);
+  EXPECT_EQ(box.gov.tenant_charged(box.pid), 0u);
+  EXPECT_TRUE(kern.self_check().empty());
+}
+
+TEST(LazyDereg, AutoDrainsAtBatchBoundary) {
+  LazyBox box(/*lazy_batch=*/2);
+  const auto a = must_mmap(box.node.kernel(), box.pid, 8);
+  via::MemHandle m1, m2;
+  ASSERT_TRUE(ok(box.reg(a, 4, m1)));
+  ASSERT_TRUE(ok(box.reg(a + 4 * kPageSize, 4, m2)));
+  ASSERT_TRUE(ok(box.node.agent().deregister_mem(m1)));
+  EXPECT_EQ(box.gov.lazy_queue_depth(), 1u);
+  ASSERT_TRUE(ok(box.node.agent().deregister_mem(m2)));
+  EXPECT_EQ(box.gov.lazy_queue_depth(), 0u) << "batch boundary drains";
+  EXPECT_EQ(box.gov.stats().lazy_drains, 1u);
+  EXPECT_EQ(box.gov.stats().lazy_drained_entries, 2u);
+  EXPECT_EQ(box.gov.total_charged(), 0u);
+}
+
+TEST(LazyDereg, BatchedDrainPaysOneSyscallForManyDeregs) {
+  constexpr int kRegions = 8;
+  // Eager: every dereg is its own ioctl.
+  LazyBox eager(/*lazy_batch=*/0);
+  {
+    const auto a = must_mmap(eager.node.kernel(), eager.pid, 4 * kRegions);
+    std::vector<via::MemHandle> hs(kRegions);
+    for (int i = 0; i < kRegions; ++i)
+      ASSERT_TRUE(
+          ok(eager.reg(a + static_cast<std::uint64_t>(i) * 4 * kPageSize, 4,
+                       hs[i])));
+    const auto s0 = eager.node.kernel().stats().syscalls;
+    for (auto& h : hs) ASSERT_TRUE(ok(eager.node.agent().deregister_mem(h)));
+    EXPECT_EQ(eager.node.kernel().stats().syscalls - s0,
+              static_cast<std::uint64_t>(kRegions));
+  }
+  // Lazy: the deregs queue at user level and one batched entry submits all.
+  LazyBox lazy(/*lazy_batch=*/kRegions);
+  {
+    const auto a = must_mmap(lazy.node.kernel(), lazy.pid, 4 * kRegions);
+    std::vector<via::MemHandle> hs(kRegions);
+    for (int i = 0; i < kRegions; ++i)
+      ASSERT_TRUE(
+          ok(lazy.reg(a + static_cast<std::uint64_t>(i) * 4 * kPageSize, 4,
+                      hs[i])));
+    const auto s0 = lazy.node.kernel().stats().syscalls;
+    for (auto& h : hs) ASSERT_TRUE(ok(lazy.node.agent().deregister_mem(h)));
+    EXPECT_EQ(lazy.node.kernel().stats().syscalls - s0, 1u)
+        << "one ioctl per batch, not per dereg";
+    EXPECT_EQ(lazy.gov.total_charged(), 0u);
+  }
+}
+
+TEST(LazyDereg, TptExhaustionFlushesQueueAndRetries) {
+  LazyBox box(/*lazy_batch=*/64, /*tpt_entries=*/16);
+  const auto a = must_mmap(box.node.kernel(), box.pid, 32);
+  via::MemHandle m1, m2;
+  ASSERT_TRUE(ok(box.reg(a, 8, m1)));
+  ASSERT_TRUE(ok(box.reg(a + 8 * kPageSize, 8, m2)));
+  EXPECT_EQ(box.node.nic().tpt().used(), 16u) << "TPT full";
+  ASSERT_TRUE(ok(box.node.agent().deregister_mem(m1)));
+  ASSERT_TRUE(ok(box.node.agent().deregister_mem(m2)));
+  EXPECT_EQ(box.node.nic().tpt().used(), 16u) << "slots parked in the queue";
+
+  // The new registration finds no TPT space, flushes the deferred queue,
+  // and retries - invisibly to the caller.
+  via::MemHandle m3;
+  ASSERT_TRUE(ok(box.reg(a + 16 * kPageSize, 16, m3)));
+  EXPECT_EQ(box.node.nic().tpt().used(), 16u);
+  EXPECT_GE(box.gov.stats().flushes, 1u);
+  EXPECT_EQ(box.node.agent().stats().tpt_full, 0u)
+      << "exhaustion resolved internally";
+}
+
+TEST(LazyDereg, MemoryPressureDrainsTheQueue) {
+  LazyBox box(/*lazy_batch=*/64);
+  auto& kern = box.node.kernel();
+  const auto a = must_mmap(kern, box.pid, 8);
+  via::MemHandle mh;
+  ASSERT_TRUE(ok(box.reg(a, 8, mh)));
+  ASSERT_TRUE(ok(box.node.agent().deregister_mem(mh)));
+  ASSERT_EQ(box.gov.lazy_queue_depth(), 1u);
+
+  // vmscan falls short on the page-cache scan and consults the governor
+  // before swapping: the deferred deregistrations release their pins.
+  (void)kern.try_to_free_pages(4);
+  EXPECT_GE(kern.stats().pressure_callbacks, 1u);
+  EXPECT_GE(kern.stats().pressure_pages_released, 8u);
+  EXPECT_EQ(box.gov.lazy_queue_depth(), 0u);
+  EXPECT_EQ(box.gov.total_charged(), 0u);
+  EXPECT_TRUE(kern.self_check().empty());
+}
+
+TEST(LazyDereg, RegistrationCacheVolunteersIdleEntries) {
+  LazyBox box(/*lazy_batch=*/0);
+  auto& kern = box.node.kernel();
+  via::Vipl vipl(box.node.agent(), box.pid);
+  ASSERT_TRUE(ok(vipl.open()));
+  core::RegistrationCache::Config ccfg;
+  ccfg.governor = &box.gov;
+  auto cache = std::make_unique<core::RegistrationCache>(vipl, ccfg);
+
+  const auto a = must_mmap(kern, box.pid, 16);
+  for (int i = 0; i < 4; ++i) {
+    via::MemHandle mh;
+    ASSERT_TRUE(ok(cache->acquire(a + static_cast<std::uint64_t>(i) * 4 *
+                                          kPageSize,
+                                  4 * kPageSize, mh)));
+    cache->release(mh);  // idle but cached: still pinned
+  }
+  EXPECT_EQ(box.gov.total_charged(), 16u);
+
+  // A pressure pass evicts just enough cold idle entries, coldest first.
+  EXPECT_EQ(box.gov.on_memory_pressure(8), 8u);
+  EXPECT_EQ(cache->stats().reclaim_evictions, 2u);
+  EXPECT_EQ(box.gov.total_charged(), 8u);
+  EXPECT_EQ(cache->live(), 2u);
+  cache.reset();
+  EXPECT_EQ(box.gov.total_charged(), 0u);
+}
+
+}  // namespace
+}  // namespace vialock::pinmgr

@@ -1,0 +1,254 @@
+// pin_governor_test.cc - the pin governor's admission control: per-tenant
+// quotas, frame-deduplicated accounting, QoS tiers, tenant teardown, fault
+// injection at the admission/reclaim sites, and same-seed determinism.
+#include "pinmgr/pin_governor.h"
+
+#include <gtest/gtest.h>
+
+#include "../via/via_util.h"
+#include "fault/fault.h"
+#include "pinmgr/pin_procfs.h"
+
+namespace vialock::pinmgr {
+namespace {
+
+using simkern::kPageSize;
+using test::must_mmap;
+
+struct GovBox {
+  explicit GovBox(GovernorConfig cfg = {}, std::uint32_t frames = 512,
+                  std::uint32_t tpt_entries = 256)
+      : node(test::small_node(via::PolicyKind::Kiobuf, frames, tpt_entries),
+             clock, costs),
+        gov(node.enable_governor(cfg)),
+        pid(node.kernel().create_task("app")),
+        tag(node.agent().create_ptag(pid)) {}
+
+  KStatus reg(simkern::VAddr addr, std::uint64_t pages, via::MemHandle& out) {
+    return node.agent().register_mem(pid, addr, pages * kPageSize, tag, out);
+  }
+
+  Clock clock;
+  CostModel costs;
+  via::Node node;
+  PinGovernor& gov;
+  simkern::Pid pid;
+  via::ProtectionTag tag;
+};
+
+TEST(PinGovernor, QuotaExceededReturnsNoMemAndRollsBack) {
+  GovBox box;
+  box.gov.set_tenant(box.pid, /*quota_pages=*/4, QosTier::BestEffort);
+  const auto a = must_mmap(box.node.kernel(), box.pid, 16);
+  via::MemHandle ok_mh;
+  ASSERT_TRUE(ok(box.reg(a, 4, ok_mh)));
+  EXPECT_EQ(box.gov.tenant_charged(box.pid), 4u);
+
+  via::MemHandle over;
+  EXPECT_EQ(box.reg(a + 4 * kPageSize, 4, over), KStatus::NoMem);
+  EXPECT_EQ(box.node.agent().stats().admission_rejects, 1u);
+  EXPECT_EQ(box.gov.tenant_charged(box.pid), 4u) << "rejection charges nothing";
+  EXPECT_EQ(box.node.nic().tpt().used(), 4u) << "no TPT slots leaked";
+  // The failed registration's pages must be unpinned again.
+  const auto pfn = box.node.kernel().resolve(box.pid, a + 4 * kPageSize);
+  ASSERT_TRUE(pfn.has_value());
+  EXPECT_EQ(box.node.kernel().phys().page(*pfn).pin_count, 0u);
+  EXPECT_EQ(box.gov.stats().rejected_quota, 1u);
+
+  // Releasing the first registration frees quota; the retry succeeds.
+  ASSERT_TRUE(ok(box.node.agent().deregister_mem(ok_mh)));
+  ASSERT_TRUE(ok(box.reg(a + 4 * kPageSize, 4, over)));
+  EXPECT_EQ(box.gov.tenant_charged(box.pid), 4u);
+}
+
+TEST(PinGovernor, OverlappingRegistrationsChargedOnce) {
+  GovBox box;
+  box.gov.set_tenant(box.pid, /*quota_pages=*/8, QosTier::BestEffort);
+  const auto a = must_mmap(box.node.kernel(), box.pid, 8);
+  via::MemHandle m1, m2;
+  ASSERT_TRUE(ok(box.reg(a, 8, m1)));
+  // The identical range again: within quota because the frames dedup.
+  ASSERT_TRUE(ok(box.reg(a, 8, m2)));
+  EXPECT_EQ(box.gov.tenant_charged(box.pid), 8u)
+      << "the paper's double-count bug, done right";
+  EXPECT_EQ(box.gov.stats().dedup_hits, 8u);
+  EXPECT_EQ(box.gov.total_charged(), 8u);
+
+  // Dropping one registration must not strip the other's charge.
+  ASSERT_TRUE(ok(box.node.agent().deregister_mem(m1)));
+  EXPECT_EQ(box.gov.tenant_charged(box.pid), 8u) << "still pinned via m2";
+  ASSERT_TRUE(ok(box.node.agent().deregister_mem(m2)));
+  EXPECT_EQ(box.gov.tenant_charged(box.pid), 0u);
+  EXPECT_EQ(box.gov.total_charged(), 0u);
+}
+
+TEST(PinGovernor, PartialOverlapChargesOnlyFreshFrames) {
+  GovBox box;
+  box.gov.set_tenant(box.pid, /*quota_pages=*/12, QosTier::BestEffort);
+  const auto a = must_mmap(box.node.kernel(), box.pid, 16);
+  via::MemHandle m1, m2;
+  ASSERT_TRUE(ok(box.reg(a, 8, m1)));
+  // [4, 12) overlaps [0, 8) in 4 pages: only 4 fresh frames are charged.
+  ASSERT_TRUE(ok(box.reg(a + 4 * kPageSize, 8, m2)));
+  EXPECT_EQ(box.gov.tenant_charged(box.pid), 12u);
+  EXPECT_EQ(box.gov.stats().dedup_hits, 4u);
+}
+
+TEST(PinGovernor, BestEffortStopsAtReserveGuaranteedDoesNot) {
+  GovernorConfig cfg;
+  cfg.host_ceiling = 16;
+  cfg.guaranteed_reserve = 8;
+  GovBox box(cfg);
+  auto& kern = box.node.kernel();
+  const auto be_pid = box.pid;
+  const auto g_pid = kern.create_task("guaranteed");
+  const auto g_tag = box.node.agent().create_ptag(g_pid);
+  box.gov.set_tenant(be_pid, /*quota_pages=*/64, QosTier::BestEffort);
+  box.gov.set_tenant(g_pid, /*quota_pages=*/64, QosTier::Guaranteed);
+
+  const auto be_buf = must_mmap(kern, be_pid, 16);
+  const auto g_buf = must_mmap(kern, g_pid, 16);
+
+  // Best effort may use ceiling - reserve = 8 pages; the 9th page fails
+  // cleanly with Again instead of eating into the guaranteed reserve.
+  via::MemHandle be1, be2;
+  ASSERT_TRUE(ok(box.reg(be_buf, 8, be1)));
+  EXPECT_EQ(box.reg(be_buf + 8 * kPageSize, 1, be2), KStatus::Again);
+  EXPECT_EQ(box.gov.stats().rejected_ceiling, 1u);
+
+  // The guaranteed tenant still gets its reserved 8 pages.
+  via::MemHandle g1;
+  ASSERT_TRUE(ok(box.node.agent().register_mem(g_pid, g_buf, 8 * kPageSize,
+                                               g_tag, g1)));
+  EXPECT_EQ(box.gov.total_charged(), 16u);
+}
+
+TEST(PinGovernor, ReleaseTenantLeaksNothing) {
+  GovernorConfig cfg;
+  cfg.lazy_batch = 64;  // keep deregs queued so teardown must flush
+  GovBox box(cfg);
+  auto& kern = box.node.kernel();
+  auto& agent = box.node.agent();
+  const auto a = must_mmap(kern, box.pid, 24);
+  via::MemHandle m1, m2, m3;
+  ASSERT_TRUE(ok(box.reg(a, 8, m1)));
+  ASSERT_TRUE(ok(box.reg(a + 8 * kPageSize, 8, m2)));
+  ASSERT_TRUE(ok(box.reg(a + 16 * kPageSize, 8, m3)));
+  ASSERT_TRUE(ok(agent.deregister_mem(m1)));  // parked in the lazy queue
+  EXPECT_EQ(box.gov.lazy_queue_depth(), 1u);
+
+  agent.release_tenant(box.pid);
+  EXPECT_FALSE(box.gov.tenant_known(box.pid));
+  EXPECT_EQ(box.gov.total_charged(), 0u);
+  EXPECT_EQ(box.gov.lazy_queue_depth(), 0u);
+  EXPECT_EQ(agent.live_registrations(), 0u);
+  EXPECT_EQ(box.node.nic().tpt().used(), 0u);
+  EXPECT_EQ(box.gov.stats().tenants_removed, 1u);
+  EXPECT_TRUE(kern.self_check().empty());
+}
+
+TEST(PinGovernor, TenantsSnapshotIsOrderedByPid) {
+  GovBox box;
+  auto& kern = box.node.kernel();
+  const auto p2 = kern.create_task("b");
+  const auto p3 = kern.create_task("c");
+  box.gov.set_tenant(p3, 32, QosTier::Guaranteed);
+  box.gov.set_tenant(box.pid, 16, QosTier::BestEffort);
+  box.gov.set_tenant(p2, 8, QosTier::BestEffort);
+  const auto snap = box.gov.tenants();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_LT(snap[0].pid, snap[1].pid);
+  EXPECT_LT(snap[1].pid, snap[2].pid);
+  EXPECT_EQ(snap[2].tier, QosTier::Guaranteed);
+}
+
+TEST(PinGovernor, InjectedAdmissionRaceRejectsWithAgain) {
+  GovBox box;
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.add({.site = fault::FaultSite::PinAdmission,
+            .action = fault::FaultAction::Fail,
+            .max_triggers = 1});
+  fault::FaultEngine engine(plan, box.clock);
+  box.node.set_fault_engine(&engine);
+
+  const auto a = must_mmap(box.node.kernel(), box.pid, 8);
+  via::MemHandle mh;
+  EXPECT_EQ(box.reg(a, 4, mh), KStatus::Again);
+  EXPECT_EQ(box.gov.stats().rejected_injected, 1u);
+  EXPECT_EQ(box.gov.tenant_charged(box.pid), 0u);
+  // The rule is exhausted: the retry goes through.
+  ASSERT_TRUE(ok(box.reg(a, 4, mh)));
+  EXPECT_EQ(engine.stats().injected(fault::FaultSite::PinAdmission), 1u);
+}
+
+TEST(PinGovernor, InjectedReclaimFailureReleasesNothing) {
+  GovernorConfig cfg;
+  cfg.lazy_batch = 64;
+  GovBox box(cfg);
+  fault::FaultPlan plan;
+  plan.add({.site = fault::FaultSite::PinReclaim,
+            .action = fault::FaultAction::Drop,
+            .max_triggers = 1});
+  fault::FaultEngine engine(plan, box.clock);
+  box.node.set_fault_engine(&engine);
+
+  const auto a = must_mmap(box.node.kernel(), box.pid, 8);
+  via::MemHandle mh;
+  ASSERT_TRUE(ok(box.reg(a, 8, mh)));
+  ASSERT_TRUE(ok(box.node.agent().deregister_mem(mh)));
+  ASSERT_EQ(box.gov.lazy_queue_depth(), 1u);
+
+  EXPECT_EQ(box.gov.on_memory_pressure(8), 0u) << "injected shrinker failure";
+  EXPECT_EQ(box.gov.stats().reclaim_failures, 1u);
+  EXPECT_EQ(box.gov.lazy_queue_depth(), 1u) << "queue untouched";
+  // Next pass (rule exhausted) completes the deferred work.
+  EXPECT_EQ(box.gov.on_memory_pressure(8), 8u);
+  EXPECT_EQ(box.gov.lazy_queue_depth(), 0u);
+}
+
+TEST(PinGovernor, PinstatReportsAccounting) {
+  GovBox box;
+  box.gov.set_tenant(box.pid, 16, QosTier::Guaranteed);
+  const auto a = must_mmap(box.node.kernel(), box.pid, 8);
+  via::MemHandle mh;
+  ASSERT_TRUE(ok(box.reg(a, 8, mh)));
+  const std::string s = pinstat(box.gov);
+  EXPECT_NE(s.find("charged_pages 8\n"), std::string::npos) << s;
+  EXPECT_NE(s.find("admitted 1\n"), std::string::npos) << s;
+  EXPECT_NE(s.find("tenants 1\n"), std::string::npos) << s;
+  EXPECT_NE(s.find("tier=guaranteed"), std::string::npos) << s;
+}
+
+// Two identical runs of a governed workload (registrations, rejections, lazy
+// deregs, a pressure pass) must agree byte-for-byte in virtual time and in
+// every exported counter.
+std::pair<Nanos, std::string> governed_run() {
+  GovernorConfig cfg;
+  cfg.lazy_batch = 4;
+  cfg.default_quota = 32;
+  GovBox box(cfg);
+  auto& agent = box.node.agent();
+  const auto a = must_mmap(box.node.kernel(), box.pid, 64);
+  std::vector<via::MemHandle> live;
+  for (int i = 0; i < 12; ++i) {
+    via::MemHandle mh;
+    if (ok(box.reg(a + static_cast<std::uint64_t>(i) * 4 * kPageSize, 4, mh)))
+      live.push_back(mh);
+  }
+  for (std::size_t i = 0; i + 1 < live.size(); i += 2)
+    (void)agent.deregister_mem(live[i]);
+  (void)box.gov.on_memory_pressure(16);
+  agent.release_tenant(box.pid);
+  return {box.clock.now(), pinstat(box.gov)};
+}
+
+TEST(PinGovernor, SameWorkloadIsBitIdentical) {
+  const auto [t1, s1] = governed_run();
+  const auto [t2, s2] = governed_run();
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace vialock::pinmgr

@@ -1,8 +1,12 @@
 // pin_budget_test.cc - the kernel's bound on kiobuf-pinned memory: pinned
-// pages are invisible to reclaim, so map_user_kiobuf enforces a budget.
+// pages are invisible to reclaim, so map_user_kiobuf enforces a budget -
+// plus the PinGovernor's view of that budget as its default host ceiling.
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "../test_util.h"
+#include "pinmgr/pin_governor.h"
 
 namespace vialock::simkern {
 namespace {
@@ -68,6 +72,40 @@ TEST(PinBudget, NestedPinsDontInflateTheCounter) {
   EXPECT_EQ(box.kern.pinned_frames(), 4u) << "still pinned by k2";
   box.kern.unmap_kiobuf(k2);
   EXPECT_EQ(box.kern.pinned_frames(), 0u);
+}
+
+TEST(PinBudget, GovernorDefaultCeilingIsTheKernelPinBudget) {
+  KernelBox box(budget_config(512, 8));
+  pinmgr::PinGovernor gov(box.kern, {});
+  EXPECT_EQ(gov.ceiling(), 8u);
+  const Pid pid = box.kern.create_task("t");
+  const std::array<Pfn, 8> frames = {100, 101, 102, 103, 104, 105, 106, 107};
+  ASSERT_TRUE(ok(gov.charge(pid, frames)));
+  const std::array<Pfn, 1> over = {200};
+  EXPECT_EQ(gov.charge(pid, over), KStatus::Again)
+      << "host ceiling follows the kernel's pin budget";
+  EXPECT_EQ(gov.total_charged(), 8u);
+  gov.uncharge(pid, frames);
+  EXPECT_EQ(gov.total_charged(), 0u);
+}
+
+TEST(PinBudget, TenantsSharingFramesAreChargedOnceGlobally) {
+  KernelBox box(budget_config(512, 8));
+  pinmgr::PinGovernor gov(box.kern, {});
+  const Pid p1 = box.kern.create_task("a");
+  const Pid p2 = box.kern.create_task("b");
+  const std::array<Pfn, 4> frames = {50, 51, 52, 53};
+  ASSERT_TRUE(ok(gov.charge(p1, frames)));
+  // A second tenant pinning the same (e.g. shared-segment) frames: each
+  // tenant is accountable for its pins, but the host counts distinct frames.
+  ASSERT_TRUE(ok(gov.charge(p2, frames)));
+  EXPECT_EQ(gov.tenant_charged(p1), 4u);
+  EXPECT_EQ(gov.tenant_charged(p2), 4u);
+  EXPECT_EQ(gov.total_charged(), 4u) << "distinct frames, not sum of tenants";
+  gov.uncharge(p1, frames);
+  EXPECT_EQ(gov.total_charged(), 4u) << "still held by tenant b";
+  gov.uncharge(p2, frames);
+  EXPECT_EQ(gov.total_charged(), 0u);
 }
 
 TEST(PinBudget, RejectionLeavesNothingPinned) {

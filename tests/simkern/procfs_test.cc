@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "../via/via_util.h"
+#include "core/proc_export.h"
 
 namespace vialock::simkern {
 namespace {
@@ -32,6 +33,26 @@ TEST(Procfs, VmstatCountsEvents) {
   const std::string stat = vmstat(box.kern);
   EXPECT_NE(stat.find("pgfault_minor 3"), std::string::npos) << stat;
   EXPECT_NE(stat.find("pswpout 0"), std::string::npos);
+  EXPECT_NE(stat.find("pressure_callbacks 0"), std::string::npos) << stat;
+  EXPECT_NE(stat.find("pressure_pages_released 0"), std::string::npos);
+}
+
+TEST(Procfs, AgentAndRegcacheStatusExportCounters) {
+  via::AgentStats as;
+  as.registrations = 3;
+  as.admission_rejects = 2;
+  as.lazy_deregs = 1;
+  const std::string a = core::agent_status(as);
+  EXPECT_NE(a.find("registrations 3\n"), std::string::npos) << a;
+  EXPECT_NE(a.find("admission_rejects 2\n"), std::string::npos);
+  EXPECT_NE(a.find("lazy_deregs 1\n"), std::string::npos);
+
+  core::RegCacheStats cs;
+  cs.hits = 7;
+  cs.reclaim_evictions = 4;
+  const std::string c = core::regcache_status(cs);
+  EXPECT_NE(c.find("hits 7\n"), std::string::npos) << c;
+  EXPECT_NE(c.find("reclaim_evictions 4\n"), std::string::npos);
 }
 
 TEST(Procfs, TaskStatusShowsFootprint) {

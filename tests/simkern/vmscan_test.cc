@@ -20,6 +20,52 @@ void cool_range(simkern::Kernel& k, Pid pid, VAddr a, int pages) {
   }
 }
 
+/// Scripted PressureHandler: claims to release a fixed page count per call.
+struct FakeHandler final : PressureHandler {
+  std::uint32_t yield = 0;
+  std::uint32_t calls = 0;
+  std::uint32_t last_target = 0;
+  std::uint32_t on_memory_pressure(std::uint32_t target_pages) override {
+    ++calls;
+    last_target = target_pages;
+    return yield;
+  }
+};
+
+TEST(Vmscan, PressureHandlerRunsBeforeSwapOut) {
+  KernelBox box;
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 8);
+  for (int p = 0; p < 8; ++p)
+    ASSERT_TRUE(ok(poke64(box.kern, pid, a + p * kPageSize, 1)));
+  cool_range(box.kern, pid, a, 8);
+  FakeHandler h;
+  h.yield = 3;
+  box.kern.add_pressure_handler(&h);
+  (void)box.kern.try_to_free_pages(4);
+  EXPECT_EQ(h.calls, 1u);
+  EXPECT_EQ(h.last_target, 4u) << "page-cache scan freed nothing first";
+  EXPECT_EQ(box.kern.stats().pressure_callbacks, 1u);
+  EXPECT_EQ(box.kern.stats().pressure_pages_released, 3u);
+  box.kern.remove_pressure_handler(&h);
+  (void)box.kern.try_to_free_pages(4);
+  EXPECT_EQ(h.calls, 1u) << "removed handler is not consulted";
+}
+
+TEST(Vmscan, PressureHandlerNotInvokedWhenTargetAlreadyMet) {
+  // With a page-cache population large enough, shrink_mmap alone meets the
+  // target and the handler must not run.
+  KernelBox box;
+  FakeHandler h;
+  box.kern.add_pressure_handler(&h);
+  const Pid pid = box.kern.create_task("t");
+  const VAddr a = must_mmap(box.kern, pid, 4);
+  ASSERT_TRUE(ok(poke64(box.kern, pid, a, 7)));
+  (void)box.kern.try_to_free_pages(0);
+  EXPECT_EQ(h.calls, 0u);
+  box.kern.remove_pressure_handler(&h);
+}
+
 TEST(Vmscan, SwapOutUnmapsColdPagesAndDataSurvives) {
   KernelBox box;
   const Pid pid = box.kern.create_task("t");
