@@ -12,7 +12,8 @@ std::string agent_status(const via::AgentStats& s) {
      << "lock_failures " << s.lock_failures << "\n"
      << "tpt_full " << s.tpt_full << "\n"
      << "admission_rejects " << s.admission_rejects << "\n"
-     << "lazy_deregs " << s.lazy_deregs << "\n";
+     << "lazy_deregs " << s.lazy_deregs << "\n"
+     << "refresh_failures " << s.refresh_failures << "\n";
   return os.str();
 }
 
@@ -23,7 +24,8 @@ std::string regcache_status(const RegCacheStats& s) {
      << "evictions " << s.evictions << "\n"
      << "registrations " << s.registrations << "\n"
      << "deregistrations " << s.deregistrations << "\n"
-     << "reclaim_evictions " << s.reclaim_evictions << "\n";
+     << "reclaim_evictions " << s.reclaim_evictions << "\n"
+     << "bad_releases " << s.bad_releases << "\n";
   return os.str();
 }
 

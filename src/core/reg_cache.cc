@@ -1,29 +1,176 @@
 #include "core/reg_cache.h"
 
+#include <algorithm>
 #include <cassert>
-#include <limits>
+#include <utility>
 
 namespace vialock::core {
+namespace {
 
-std::map<std::uint64_t, RegistrationCache::Entry>::iterator
-RegistrationCache::find_covering(simkern::VAddr addr, std::uint64_t len) {
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    const via::MemHandle& h = it->second.handle;
-    if (h.vaddr <= addr && addr + len <= h.vaddr + h.length) return it;
+/// 64 keys (512 bytes, 8 cache lines) per sampled block of the key array.
+constexpr std::size_t kBlockShift = 6;
+constexpr std::size_t kBlock = std::size_t{1} << kBlockShift;
+
+/// Padding sentinel for the key and block-top arrays. Compares greater than
+/// any real vaddr (the simulated address space is 2^46), so padded slots
+/// never count toward an upper bound.
+constexpr simkern::VAddr kPad = ~simkern::VAddr{0};
+
+/// keys_/tops_ are padded to this length so fixed-width scans never read
+/// past the fill.
+constexpr std::size_t padded(std::size_t n) {
+  return (n + kBlock - 1) & ~(kBlock - 1);
+}
+
+/// Number of keys in [base, base+n) that are <= addr, i.e. the upper-bound
+/// index. Branch-free: the half-step is applied through a mask (neg/and/add,
+/// which the compiler cannot turn back into a jump - a plain ternary here
+/// compiles to a branch). On a random access stream every probe of a
+/// conventional binary search is a coin-flip branch, and the mispredict
+/// penalty - not the loads - is what otherwise grows with log n.
+std::size_t upper_idx(const simkern::VAddr* base, std::size_t n,
+                      simkern::VAddr addr) {
+  const simkern::VAddr* p = base;
+  while (n > 1) {
+    const std::size_t half = n / 2;
+    p += (std::size_t{0} - static_cast<std::size_t>(p[half - 1] <= addr)) &
+         half;
+    n -= half;
   }
-  return entries_.end();
+  return static_cast<std::size_t>(p - base) +
+         static_cast<std::size_t>(*p <= addr);
+}
+
+/// Upper-bound offset within one kBlock-wide (sentinel-padded) sorted block:
+/// the count of keys <= addr. A counting scan, not a binary search - the 64
+/// contiguous loads are independent (the hardware fetches all eight cache
+/// lines in parallel) and the four accumulators let the compare-accumulate
+/// pipeline, where a binary search would serialise six dependent probes.
+/// The trip count is a compile-time constant: the scan always covers the
+/// full padded block, so it carries no data-dependent branch at all and its
+/// cost does not drift with occupancy.
+std::size_t upper_idx_block(const simkern::VAddr* base, simkern::VAddr addr) {
+  std::size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  for (std::size_t j = 0; j < kBlock; j += 4) {
+    c0 += static_cast<std::size_t>(base[j] <= addr);
+    c1 += static_cast<std::size_t>(base[j + 1] <= addr);
+    c2 += static_cast<std::size_t>(base[j + 2] <= addr);
+    c3 += static_cast<std::size_t>(base[j + 3] <= addr);
+  }
+  return c0 + c1 + c2 + c3;
+}
+
+}  // namespace
+
+RegistrationCache::Entry* RegistrationCache::find_covering(simkern::VAddr addr,
+                                                           std::uint64_t len) {
+  if (rows_.empty()) return nullptr;
+  // No cached registration is longer than max_len_, so any covering entry
+  // starts in (addr - max_len_, addr]: find the first key past addr, then
+  // walk backwards through that window only. The search is two-level: the
+  // block-top sample (tops_) stays cache-hot at any size and narrows the
+  // probe to one 512-byte block of keys_, so the memory the lookup can miss
+  // on stays O(1) as the cache grows from dozens to thousands of entries.
+  // Up to kBlock^2 (4096) entries both levels are fixed-width counting
+  // scans with no serial dependency and no data-dependent branching; past
+  // that the top level falls back to the branch-free binary search.
+  const std::size_t n = rows_.size();
+  const std::size_t nblocks = (n + kBlock - 1) >> kBlockShift;
+  const std::size_t b = nblocks <= kBlock
+                            ? upper_idx_block(tops_.data(), addr)
+                            : upper_idx(tops_.data(), nblocks, addr);
+  std::size_t i;
+  if (b >= nblocks) {
+    i = n;  // every cached start is <= addr
+  } else {
+    const std::size_t lo = b << kBlockShift;
+    i = lo + upper_idx_block(keys_.data() + lo, addr);
+  }
+  Entry* best = nullptr;
+  while (i > 0) {
+    Entry& r = rows_[--i];
+    if (addr - r.handle.vaddr >= max_len_)
+      break;  // nothing earlier can reach addr
+    if (addr + len <= r.handle.vaddr + r.handle.length &&
+        (best == nullptr || r.handle.id < best->handle.id)) {
+      // Smallest covering id: exactly the entry the seed's id-ordered linear
+      // scan returned, so hit/evict behaviour is bit-identical (the E22
+      // differential test holds the cache to this).
+      best = &r;
+    }
+  }
+  return best;
+}
+
+std::size_t RegistrationCache::row_of(simkern::VAddr vaddr,
+                                      std::uint64_t id) const {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), vaddr);
+  for (std::size_t i = static_cast<std::size_t>(it - keys_.begin());
+       i < rows_.size() && rows_[i].handle.vaddr == vaddr; ++i) {
+    if (rows_[i].handle.id == id) return i;
+  }
+  return rows_.size();
+}
+
+void RegistrationCache::rebuild_tops() {
+  // Re-pad both scan arrays: keys_ to a whole number of blocks, tops_ to at
+  // least one full block, sentinel-filled past the live prefix, so the
+  // fixed-width lookup scans never read uninitialised slots.
+  const std::size_t n = rows_.size();
+  keys_.resize(padded(n), kPad);
+  const std::size_t blocks = (n + kBlock - 1) >> kBlockShift;
+  tops_.assign(std::max(padded(blocks), kBlock), kPad);
+  for (std::size_t b = 0; b < blocks; ++b)
+    tops_[b] = keys_[std::min((b + 1) << kBlockShift, n) - 1];
+}
+
+void RegistrationCache::insert_entry(Entry&& e) {
+  const auto pos =
+      std::lower_bound(rows_.begin(), rows_.end(), e) - rows_.begin();
+  const auto [it, inserted] = ids_.emplace(e.handle.id, e.handle.vaddr);
+  assert(inserted);
+  (void)it;
+  (void)inserted;
+  lengths_.insert(e.handle.length);
+  max_len_ = *lengths_.rbegin();
+  keys_.insert(keys_.begin() + pos, e.handle.vaddr);
+  rows_.insert(rows_.begin() + pos, std::move(e));
+  rebuild_tops();
+}
+
+void RegistrationCache::erase_entry(
+    std::map<std::uint64_t, simkern::VAddr>::iterator it) {
+  const std::size_t pos = row_of(it->second, it->first);
+  assert(pos < rows_.size());
+  Entry& e = rows_[pos];
+  if (e.refs == 0) {
+    const auto idle = idle_.find(evict_key(e));
+    if (idle != idle_.end() && idle->second == e.handle.id) idle_.erase(idle);
+  }
+  (void)vipl_.deregister_mem(e.handle);
+  ++stats_.deregistrations;
+  lengths_.erase(lengths_.find(e.handle.length));
+  max_len_ = lengths_.empty() ? 0 : *lengths_.rbegin();
+  rows_.erase(rows_.begin() + static_cast<std::ptrdiff_t>(pos));
+  keys_.erase(keys_.begin() + static_cast<std::ptrdiff_t>(pos));
+  rebuild_tops();
+  ids_.erase(it);
 }
 
 KStatus RegistrationCache::acquire(simkern::VAddr addr, std::uint64_t len,
                                    via::MemHandle& out) {
   if (len == 0) return KStatus::Inval;
   ++tick_;
-  auto it = find_covering(addr, len);
-  if (it != entries_.end()) {
+  if (Entry* e = find_covering(addr, len)) {
     ++stats_.hits;
-    ++it->second.refs;
-    it->second.last_use = tick_;
-    out = it->second.handle;
+    if (e->refs == 0) {
+      const auto idle = idle_.find(evict_key(*e));
+      if (idle != idle_.end() && idle->second == e->handle.id)
+        idle_.erase(idle);
+    }
+    ++e->refs;
+    e->last_use = tick_;
+    out = e->handle;
     return KStatus::Ok;
   }
 
@@ -40,7 +187,7 @@ KStatus RegistrationCache::acquire(simkern::VAddr addr, std::uint64_t len,
       e.refs = 1;
       e.last_use = tick_;
       e.seq = ++seq_;
-      entries_.emplace(handle.id, std::move(e));
+      insert_entry(std::move(e));
       out = handle;
       return KStatus::Ok;
     }
@@ -54,41 +201,41 @@ KStatus RegistrationCache::acquire(simkern::VAddr addr, std::uint64_t len,
 }
 
 void RegistrationCache::release(const via::MemHandle& handle) {
-  auto it = entries_.find(handle.id);
-  assert(it != entries_.end() && "release of unknown handle");
-  assert(it->second.refs > 0);
+  auto it = ids_.find(handle.id);
+  const std::size_t pos =
+      it == ids_.end() ? rows_.size() : row_of(it->second, it->first);
+  if (pos >= rows_.size() || rows_[pos].refs == 0) {
+    // Unknown handle, or an entry already idle (double release). The seed
+    // guarded these with assert only: an NDEBUG build dereferenced end() /
+    // underflowed the refcount and corrupted the cache. Count and refuse.
+    ++stats_.bad_releases;
+    return;
+  }
   ++tick_;
-  it->second.last_use = tick_;
-  if (--it->second.refs == 0) {
+  Entry& e = rows_[pos];
+  e.last_use = tick_;
+  if (--e.refs == 0) {
     if (config_.policy == EvictionPolicy::None) {
-      (void)vipl_.deregister_mem(it->second.handle);
-      ++stats_.deregistrations;
-      entries_.erase(it);
+      erase_entry(it);
     } else {
+      idle_.emplace(evict_key(e), e.handle.id);
       enforce_idle_cap();
     }
   }
 }
 
 std::uint32_t RegistrationCache::evict_one() {
-  auto victim = entries_.end();
-  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->second.refs != 0) continue;
-    const std::uint64_t key =
-        config_.policy == EvictionPolicy::Fifo ? it->second.seq
-                                               : it->second.last_use;
-    if (key < best) {
-      best = key;
-      victim = it;
-    }
-  }
-  if (victim == entries_.end()) return 0;
-  const std::uint32_t pages = victim->second.handle.pages;
-  (void)vipl_.deregister_mem(victim->second.handle);
-  ++stats_.deregistrations;
+  // The idle index is keyed by the eviction policy's key, so the victim -
+  // the least-recently-used (LRU) or oldest (FIFO) idle entry - is simply
+  // the first element, not a scan over every cached registration.
+  if (idle_.empty()) return 0;
+  const auto it = ids_.find(idle_.begin()->second);
+  assert(it != ids_.end());
+  const std::size_t pos = row_of(it->second, it->first);
+  assert(pos < rows_.size() && rows_[pos].refs == 0);
+  const std::uint32_t pages = rows_[pos].handle.pages;
   ++stats_.evictions;
-  entries_.erase(victim);
+  erase_entry(it);
   return pages;
 }
 
@@ -110,22 +257,15 @@ void RegistrationCache::enforce_idle_cap() {
 }
 
 void RegistrationCache::flush() {
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.refs == 0) {
-      (void)vipl_.deregister_mem(it->second.handle);
-      ++stats_.deregistrations;
-      it = entries_.erase(it);
-    } else {
-      ++it;
-    }
+  // Id order, as the seed iterated its id-keyed map: dereg order (and with
+  // it the TPT free-extent pattern and trace stream) stays bit-identical.
+  for (auto it = ids_.begin(); it != ids_.end();) {
+    auto next = std::next(it);
+    const std::size_t pos = row_of(it->second, it->first);
+    assert(pos < rows_.size());
+    if (rows_[pos].refs == 0) erase_entry(it);
+    it = next;
   }
-}
-
-std::size_t RegistrationCache::idle_cached() const {
-  std::size_t n = 0;
-  for (const auto& [id, e] : entries_)
-    if (e.refs == 0) ++n;
-  return n;
 }
 
 }  // namespace vialock::core

@@ -8,6 +8,14 @@
 // request; release() keeps idle registrations cached; TPT exhaustion evicts
 // idle entries by a pluggable policy (the E9 ablation).
 //
+// The cache is dual-keyed (DESIGN.md section 9): `entries_` owns the
+// registrations keyed by id (the release/evict handle path), and a flat
+// vaddr-sorted interval index serves the covering lookup on the acquire hot
+// path - a binary search plus a short backward walk bounded by the largest
+// cached registration, instead of the seed's scan of every entry. An ordered
+// idle index keyed by the eviction policy's key makes victim selection and
+// the idle count O(log n)/O(1). E22 measures the scaling win.
+//
 // When a PinGovernor is passed in Config, the cache registers itself as a
 // ReclaimClient: under memory pressure (or a guaranteed tenant's admission
 // shortfall) the governor asks it to evict cold idle entries, releasing
@@ -15,9 +23,10 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <map>
+#include <set>
 #include <string_view>
+#include <vector>
 
 #include "pinmgr/pin_governor.h"
 #include "util/status.h"
@@ -47,6 +56,10 @@ struct RegCacheStats {
   std::uint64_t registrations = 0;
   std::uint64_t deregistrations = 0;
   std::uint64_t reclaim_evictions = 0;  ///< evictions the governor asked for
+  std::uint64_t bad_releases = 0;  ///< release() of an unknown handle or an
+                                   ///< already-idle entry (caller bug, kept
+                                   ///< a safe no-op - never corrupts the
+                                   ///< cache, in any build type)
 };
 
 class RegistrationCache : public pinmgr::ReclaimClient {
@@ -84,37 +97,91 @@ class RegistrationCache : public pinmgr::ReclaimClient {
                                 via::MemHandle& out);
 
   /// Return a handle obtained from acquire(). The registration stays cached
-  /// (policy != None) until evicted.
+  /// (policy != None) until evicted. Releasing a handle the cache does not
+  /// know, or one whose entry is already idle, is a counted no-op
+  /// (stats().bad_releases) - never an underflow or a wild dereference.
   void release(const via::MemHandle& handle);
 
   /// Deregister every idle cached entry.
   void flush();
 
   [[nodiscard]] const RegCacheStats& stats() const { return stats_; }
-  [[nodiscard]] std::size_t idle_cached() const;
-  [[nodiscard]] std::size_t live() const { return entries_.size(); }
+  [[nodiscard]] std::size_t idle_cached() const { return idle_.size(); }
+  [[nodiscard]] std::size_t live() const { return rows_.size(); }
 
  private:
+  /// One cached registration, stored *inline* in the vaddr-sorted interval
+  /// index. The acquire hit path therefore touches exactly two arrays - the
+  /// packed key vector it binary-searched and the row it lands on - and never
+  /// chases a node of the id map (whose scattered nodes would cost a cache
+  /// miss per lookup once thousands of registrations are cached).
   struct Entry {
     via::MemHandle handle;
     std::uint32_t refs = 0;
     std::uint64_t last_use = 0;  ///< LRU tick
     std::uint64_t seq = 0;       ///< FIFO sequence
+
+    [[nodiscard]] bool operator<(const Entry& o) const {
+      return handle.vaddr != o.handle.vaddr ? handle.vaddr < o.handle.vaddr
+                                            : handle.id < o.handle.id;
+    }
   };
 
-  /// Find a cached entry covering the aligned range, or entries_.end().
-  [[nodiscard]] std::map<std::uint64_t, Entry>::iterator find_covering(
-      simkern::VAddr addr, std::uint64_t len);
+  /// The cached entry covering [addr, addr+len) with the smallest id (the
+  /// entry the seed's id-ordered linear scan would return), or nullptr.
+  /// Binary search on the packed keys, then a backward walk bounded by the
+  /// largest cached registration length.
+  [[nodiscard]] Entry* find_covering(simkern::VAddr addr, std::uint64_t len);
+
+  /// The eviction key of `e` under the configured policy (FIFO: insertion
+  /// sequence; LRU: last-use tick). Unique per entry: ticks and sequence
+  /// numbers are handed out once.
+  [[nodiscard]] std::uint64_t evict_key(const Entry& e) const {
+    return config_.policy == EvictionPolicy::Fifo ? e.seq : e.last_use;
+  }
 
   /// Evict one idle entry per policy; returns the pages it released
   /// (0 when nothing is evictable).
   std::uint32_t evict_one();
   void enforce_idle_cap();
 
+  /// Index of the row holding registration (vaddr, id); rows_.size() if
+  /// absent. O(log n) over the packed keys.
+  [[nodiscard]] std::size_t row_of(simkern::VAddr vaddr,
+                                   std::uint64_t id) const;
+  /// Rebuild tops_ from keys_ (O(n/64); runs on the insert/erase slow path).
+  void rebuild_tops();
+  void insert_entry(Entry&& e);
+  /// Deregister and drop `it`'s registration from every index.
+  /// Invalidates `it` and every row index/reference.
+  void erase_entry(std::map<std::uint64_t, simkern::VAddr>::iterator it);
+
   via::Vipl& vipl_;
   Config config_;
   RegCacheStats stats_;
-  std::map<std::uint64_t, Entry> entries_;  ///< keyed by registration id
+  /// The owning interval index: sorted by (vaddr, id). Flat for lookup
+  /// locality; insert and erase are O(n) moves but only run on the
+  /// miss/evict slow path.
+  std::vector<Entry> rows_;
+  /// rows_[i].handle.vaddr, duplicated densely and sentinel-padded to a
+  /// whole number of 64-key blocks: the lookup probes only these 8-byte
+  /// keys, so even a 4096-entry search stays inside a few KB of cache
+  /// instead of striding over full rows.
+  std::vector<simkern::VAddr> keys_;
+  /// The last key of each 64-key block of keys_, sentinel-padded to a full
+  /// block: the covering lookup scans this sample (512 bytes, always
+  /// cache-hot) and then one 512-byte block of keys_ - two fixed-width
+  /// branch-free scans, so lookup cost stays essentially flat as the cache
+  /// grows from dozens to thousands of entries. See find_covering.
+  std::vector<simkern::VAddr> tops_;
+  /// id -> vaddr, the release/evict/flush handle path (those arrive with an
+  /// id, not a position). Iterated in id order by flush().
+  std::map<std::uint64_t, simkern::VAddr> ids_;
+  /// Lengths of all cached registrations; the max bounds the covering walk.
+  std::multiset<std::uint64_t> lengths_;
+  std::uint64_t max_len_ = 0;  ///< cached *lengths_.rbegin() (hot-path copy)
+  /// Idle (refs == 0) entries keyed by eviction key: begin() is the victim.
+  std::map<std::uint64_t, std::uint64_t> idle_;  ///< evict key -> id
   std::uint64_t tick_ = 0;
   std::uint64_t seq_ = 0;
 };

@@ -19,8 +19,29 @@ void PinGovernor::set_tenant(simkern::Pid pid, std::uint32_t quota_pages,
 void PinGovernor::remove_tenant(simkern::Pid pid) {
   auto it = tenants_.find(pid);
   if (it == tenants_.end()) return;
-  assert(it->second.charged == 0 && "tenant removed with live charges");
-  assert(it->second.pins.empty());
+  Tenant& t = it->second;
+  if (!t.pins.empty()) {
+    // The caller should have deregistered everything first (KernelAgent::
+    // release_tenant does), but a tenant that exits with live charges must
+    // not strand its frames in the global accounting: the seed erased the
+    // record and leaked every surviving pin from global_pins_ /
+    // total_charged_ forever, silently shrinking the host ceiling. Uncharge
+    // the survivors, multiplicity-aware, before dropping the record.
+    ++stats_.forced_tenant_removals;
+    for (const auto& [pfn, count] : t.pins) {
+      auto git = global_pins_.find(pfn);
+      if (git == global_pins_.end()) continue;
+      if (git->second <= count) {
+        global_pins_.erase(git);
+        if (total_charged_ > 0) --total_charged_;
+        ++stats_.forced_frames_uncharged;
+      } else {
+        git->second -= count;
+      }
+    }
+    kern_.trace().record(kern_.clock().now(), TraceEvent::PinUncharged, pid,
+                         t.pins.size(), total_charged_);
+  }
   tenants_.erase(it);
   ++stats_.tenants_removed;
 }

@@ -82,6 +82,8 @@ struct GovernorStats {
   std::uint64_t reclaim_pages = 0;
   std::uint64_t reclaim_failures = 0;   ///< FaultSite::PinReclaim fired
   std::uint64_t tenants_removed = 0;
+  std::uint64_t forced_tenant_removals = 0;  ///< removed with live charges
+  std::uint64_t forced_frames_uncharged = 0;  ///< frames rescued from the leak
 };
 
 /// Snapshot of one tenant's accounting, for procfs and tests.
@@ -127,8 +129,11 @@ class PinGovernor final : public simkern::PressureHandler {
   // --- tenants ---------------------------------------------------------------
   /// Create or update a tenant's quota and tier (the setrlimit analogue).
   void set_tenant(simkern::Pid pid, std::uint32_t quota_pages, QosTier tier);
-  /// Tenant exit. All its charges must already be released (KernelAgent::
+  /// Tenant exit. All its charges should already be released (KernelAgent::
   /// release_tenant deregisters live registrations first); drops the record.
+  /// A tenant that still holds charges has them uncharged from the global
+  /// accounting first (stats().forced_tenant_removals counts it) - an exit
+  /// never strands frames in global_pins_ / total_charged_.
   void remove_tenant(simkern::Pid pid);
   [[nodiscard]] bool tenant_known(simkern::Pid pid) const {
     return tenants_.contains(pid);

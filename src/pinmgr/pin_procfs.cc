@@ -25,7 +25,9 @@ std::string pinstat(const PinGovernor& gov) {
      << "reclaim_invocations " << s.reclaim_invocations << "\n"
      << "reclaim_pages " << s.reclaim_pages << "\n"
      << "reclaim_failures " << s.reclaim_failures << "\n"
-     << "tenants_removed " << s.tenants_removed << "\n";
+     << "tenants_removed " << s.tenants_removed << "\n"
+     << "forced_tenant_removals " << s.forced_tenant_removals << "\n"
+     << "forced_frames_uncharged " << s.forced_frames_uncharged << "\n";
   const auto tenants = gov.tenants();
   os << "tenants " << tenants.size() << "\n";
   for (const TenantInfo& t : tenants) {

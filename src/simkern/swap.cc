@@ -6,17 +6,17 @@
 namespace vialock::simkern {
 
 SwapSlot SwapDevice::alloc() {
-  const auto n = static_cast<std::uint32_t>(map_.size());
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const SwapSlot slot = (scan_hint_ + i) % n;
-    if (map_[slot] == 0) {
-      map_[slot] = 1;
-      ++used_;
-      scan_hint_ = (slot + 1) % n;
-      return slot;
-    }
-  }
-  return kInvalidSwapSlot;
+  if (free_slots_.empty()) return kInvalidSwapSlot;
+  // Next-fit: the first free slot at or after the hint, wrapping to the
+  // lowest free slot - the same slot the legacy linear scan would pick.
+  auto it = free_slots_.lower_bound(scan_hint_);
+  if (it == free_slots_.end()) it = free_slots_.begin();
+  const SwapSlot slot = *it;
+  free_slots_.erase(it);
+  map_[slot] = 1;
+  ++used_;
+  scan_hint_ = (slot + 1) % static_cast<std::uint32_t>(map_.size());
+  return slot;
 }
 
 void SwapDevice::dup(SwapSlot slot) {
@@ -26,7 +26,10 @@ void SwapDevice::dup(SwapSlot slot) {
 
 void SwapDevice::free(SwapSlot slot) {
   assert(slot < map_.size() && map_[slot] > 0);
-  if (--map_[slot] == 0) --used_;
+  if (--map_[slot] == 0) {
+    --used_;
+    free_slots_.insert(slot);
+  }
 }
 
 KStatus SwapDevice::apply_faults(fault::FaultSite site,

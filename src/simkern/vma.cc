@@ -17,12 +17,14 @@ Vma* VmaSet::find(VAddr addr) {
 
 bool VmaSet::insert(VAddr start, VAddr end, VmFlag flags) {
   assert(start < end);
+  assert(end <= kVmaUniverse);
   assert((start & kPageMask) == 0 && (end & kPageMask) == 0);
   // Overlap check: the VMA at or before `start`, and any VMA starting in range.
   if (find(start) != nullptr) return false;
   auto it = vmas_.lower_bound(start);
   if (it != vmas_.end() && it->first < end) return false;
   vmas_.emplace(start, Vma{start, end, flags});
+  gaps_.reserve(start, end - start);
   return true;
 }
 
@@ -44,6 +46,7 @@ std::uint32_t VmaSet::remove_range(VAddr start, VAddr end) {
   auto it = vmas_.lower_bound(start);
   while (it != vmas_.end() && it->second.start < end) {
     assert(it->second.end <= end);
+    gaps_.release(it->second.start, it->second.end - it->second.start);
     it = vmas_.erase(it);
     ++ops;
   }
@@ -112,13 +115,24 @@ bool VmaSet::try_merge_after(std::map<VAddr, Vma>::iterator it,
 
 std::optional<VAddr> VmaSet::find_free_range(std::uint64_t len, VAddr lo,
                                              VAddr hi) const {
-  VAddr candidate = lo;
-  for (const auto& [start, vma] : vmas_) {
-    if (vma.end <= candidate) continue;
-    if (start >= candidate && start - candidate >= len) break;
-    candidate = vma.end;
+  const auto addr = gaps_.find_first_fit_from(lo, len);
+#ifndef NDEBUG
+  {
+    // Cross-check the gap index against the legacy linear VMA walk: both must
+    // name the same placement (the determinism contract of every experiment).
+    VAddr candidate = lo;
+    for (const auto& [start, vma] : vmas_) {
+      if (vma.end <= candidate) continue;
+      if (start >= candidate && start - candidate >= len) break;
+      candidate = vma.end;
+    }
+    // !addr only for astronomic `len` that exhausts the whole gap universe -
+    // the legacy candidate then fails the `hi` bound below just the same.
+    assert((!addr || *addr == candidate) && "gap index diverged from VMA list");
+    (void)candidate;
   }
-  if (candidate + len <= hi) return candidate;
+#endif
+  if (addr && *addr + len <= hi) return *addr;
   return std::nullopt;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "simkern/types.h"
+#include "util/extent_map.h"
 #include "util/flags.h"
 
 namespace vialock::simkern {
@@ -50,7 +51,18 @@ struct Vma {
   [[nodiscard]] std::uint64_t pages() const { return (end - start) >> kPageShift; }
 };
 
+/// Upper bound of the gap index universe: every VMA must end at or below
+/// this. Comfortably above PageTable::kUserTop (3 GB) so device mappings and
+/// tests all fit.
+inline constexpr VAddr kVmaUniverse = 1ULL << 46;
+
 /// Sorted, non-overlapping set of VMAs for one address space.
+///
+/// Lookup (`find`) is an upper_bound on the start-keyed map; gap placement
+/// (`find_free_range`, the mmap hot path) walks a maintained free-extent
+/// index of the address-space complement instead of scanning every VMA, so
+/// both are O(log n). Coverage only changes in insert()/remove_range();
+/// split/merge/flag changes never touch the gap index.
 class VmaSet {
  public:
   /// find_vma(): the VMA covering `addr`, or nullptr.
@@ -76,8 +88,12 @@ class VmaSet {
   [[nodiscard]] bool covered(VAddr start, VAddr end) const;
 
   /// Lowest gap of at least `len` bytes in [lo, hi) for mmap placement.
+  /// O(log n + gaps inspected) via the maintained gap index.
   [[nodiscard]] std::optional<VAddr> find_free_range(std::uint64_t len, VAddr lo,
                                                      VAddr hi) const;
+
+  /// Number of holes in the address space (gap-index fragmentation metric).
+  [[nodiscard]] std::size_t gap_count() const { return gaps_.extent_count(); }
 
   [[nodiscard]] std::size_t count() const { return vmas_.size(); }
 
@@ -100,6 +116,9 @@ class VmaSet {
   bool try_merge_after(std::map<VAddr, Vma>::iterator it, std::uint32_t* vma_ops);
 
   std::map<VAddr, Vma> vmas_;  ///< keyed by start address
+  /// Free-extent index of the complement of vmas_ over [0, kVmaUniverse):
+  /// kept in lockstep by insert()/remove_range() (the only coverage changes).
+  ExtentMap<VAddr, std::uint64_t> gaps_{kVmaUniverse};
 };
 
 }  // namespace vialock::simkern

@@ -165,18 +165,41 @@ KStatus KernelAgent::refresh_tpt(const MemHandle& handle) {
   if (governor_) governor_->uncharge(pid, reg.lock.pfns);
   policy_.unlock(reg.lock);
   reg.lock = LockHandle{};
+
+  // Any failure past this point must tear the registration down completely:
+  // the old pin is gone, so keeping the entry alive would leave TPT slots
+  // programmed with stale pfns and a LockHandle that pins nothing - the TPT
+  // would disagree with both the MMU and the pin accounting.
+  const auto teardown = [&] {
+    policy_.unlock(reg.lock);  // no-op on an inactive handle
+    nic_.tpt().release(reg.handle.tpt_base, reg.handle.pages);
+    regs_.erase(it);
+    ++stats_.refresh_failures;
+    kern_.trace().record(kern_.clock().now(),
+                         vialock::TraceEvent::RegionDeregistered, pid, addr,
+                         handle.tpt_base);
+  };
+
   const KStatus st = policy_.lock(pid, addr, len, reg.lock);
-  if (!ok(st)) return st;
-  if (reg.lock.pfns.size() != reg.handle.pages) return KStatus::Fault;
+  if (!ok(st)) {
+    // Seed bug: this returned with the dead registration still in regs_ -
+    // an empty LockHandle, leaked TPT slots, stale pfns live in the NIC.
+    teardown();
+    return st;
+  }
+  if (reg.lock.pfns.size() != reg.handle.pages) {
+    // Seed bug: returned Fault while keeping the fresh (uncharged) pin and
+    // the stale TPT programming.
+    teardown();
+    return KStatus::Fault;
+  }
   if (governor_) {
     // Re-admit the refreshed frames. Same tenant, same page count: this can
     // only fail through injected admission races; surface that cleanly by
     // tearing the registration down rather than keeping an uncharged pin.
     const KStatus gst = governor_->charge(pid, reg.lock.pfns);
     if (!ok(gst)) {
-      nic_.tpt().release(reg.handle.tpt_base, reg.handle.pages);
-      policy_.unlock(reg.lock);
-      regs_.erase(it);
+      teardown();
       return gst;
     }
   }

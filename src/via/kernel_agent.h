@@ -33,6 +33,8 @@ struct AgentStats {
   std::uint64_t tpt_full = 0;
   std::uint64_t admission_rejects = 0;  ///< governor refused a registration
   std::uint64_t lazy_deregs = 0;        ///< deregs deferred to the governor
+  std::uint64_t refresh_failures = 0;   ///< refresh_tpt torn a registration
+                                        ///< down on a failed re-pin
 };
 
 class KernelAgent {
@@ -76,6 +78,14 @@ class KernelAgent {
   /// Refresh the TPT entries of a live registration from the *current* page
   /// tables. This is the "TLB-consistency" repair a U-Net/MM-style system
   /// would do; exposed so experiments can measure what re-registration costs.
+  ///
+  /// Failure contract: refresh is a re-registration that keeps its TPT
+  /// slots, so if the re-pin cannot be completed (lock failure, page-count
+  /// mismatch, governor rejection) the registration is torn down entirely -
+  /// TPT slots released, nothing left pinned or charged, the handle dead
+  /// (stats().refresh_failures counts it). A failed refresh never leaves a
+  /// half-alive registration whose TPT entries disagree with the pin
+  /// accounting - the paper's section 3.2 inconsistency class.
   [[nodiscard]] KStatus refresh_tpt(const MemHandle& handle);
 
   /// Route registrations through `governor` (nullptr detaches). The governor

@@ -6,26 +6,17 @@ namespace vialock::via {
 
 TptIndex Tpt::alloc(std::uint32_t count) {
   if (count == 0 || count > capacity()) return kInvalidTptIndex;
-  std::uint32_t run = 0;
-  for (std::uint32_t i = 0; i < capacity(); ++i) {
-    run = allocated_[i] ? 0 : run + 1;
-    if (run == count) {
-      const TptIndex base = i + 1 - count;
-      for (std::uint32_t j = base; j <= i; ++j) allocated_[j] = true;
-      used_ += count;
-      return base;
-    }
-  }
-  return kInvalidTptIndex;
+  const auto base = free_.find_first_fit(count);
+  if (!base) return kInvalidTptIndex;
+  free_.reserve(*base, count);
+  used_ += count;
+  return *base;
 }
 
 void Tpt::release(TptIndex base, std::uint32_t count) {
   assert(base + count <= capacity());
-  for (std::uint32_t j = base; j < base + count; ++j) {
-    assert(allocated_[j] && "releasing unallocated TPT entry");
-    allocated_[j] = false;
-    entries_[j] = TptEntry{};
-  }
+  free_.release(base, count);  // checks double-free in debug builds
+  for (std::uint32_t j = base; j < base + count; ++j) entries_[j] = TptEntry{};
   used_ -= count;
 }
 

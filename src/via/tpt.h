@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "simkern/types.h"
+#include "util/extent_map.h"
 #include "util/status.h"
 
 namespace vialock::via {
@@ -35,7 +36,8 @@ struct TptEntry {
 
 class Tpt {
  public:
-  explicit Tpt(std::uint32_t num_entries) : entries_(num_entries) {}
+  explicit Tpt(std::uint32_t num_entries)
+      : entries_(num_entries), free_(num_entries) {}
 
   [[nodiscard]] std::uint32_t capacity() const {
     return static_cast<std::uint32_t>(entries_.size());
@@ -43,8 +45,20 @@ class Tpt {
   [[nodiscard]] std::uint32_t used() const { return used_; }
   [[nodiscard]] std::uint32_t free_entries() const { return capacity() - used_; }
 
-  /// Allocate `count` contiguous entries (first-fit); kInvalidTptIndex if full.
+  /// Allocate `count` contiguous entries; kInvalidTptIndex if no hole fits.
+  /// First-fit in address order over the free-extent index, so placements
+  /// are identical to a front-to-back bitmap scan at O(holes) instead of
+  /// O(capacity) cost per allocation.
   [[nodiscard]] TptIndex alloc(std::uint32_t count);
+
+  /// Free holes in the table (fragmentation metric).
+  [[nodiscard]] std::size_t free_extent_count() const {
+    return free_.extent_count();
+  }
+  /// Largest allocation that could currently succeed.
+  [[nodiscard]] std::uint32_t largest_free_run() const {
+    return free_.largest_extent();
+  }
 
   /// Release a range previously returned by alloc().
   void release(TptIndex base, std::uint32_t count);
@@ -69,7 +83,9 @@ class Tpt {
 
  private:
   std::vector<TptEntry> entries_;
-  std::vector<bool> allocated_ = std::vector<bool>(entries_.size(), false);
+  /// Ordered free-extent index over [0, capacity): allocation and release
+  /// cost O(log holes) instead of scanning every entry.
+  ExtentMap<TptIndex, std::uint32_t> free_;
   std::uint32_t used_ = 0;
 };
 

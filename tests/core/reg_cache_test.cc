@@ -4,7 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+#include <vector>
+
 #include "../via/via_util.h"
+#include "util/rng.h"
 
 namespace vialock::core {
 namespace {
@@ -190,6 +195,174 @@ TEST(RegCache, MaxIdleCapEnforced) {
     box.cache->release(h);
   }
   EXPECT_LE(box.cache->idle_cached(), 2u);
+}
+
+TEST(RegCache, ReleaseUnknownHandleIsCountedNoOp) {
+  // The seed guarded release() with assert only: an NDEBUG build dereferenced
+  // entries_.end() on an unknown handle. Now a counted, safe no-op in every
+  // build type (the Release-mode CI job runs this with the asserts gone).
+  CacheBox box;
+  const auto a = must_mmap(box.node.kernel(), box.pid, 8);
+  via::MemHandle h;
+  ASSERT_TRUE(ok(box.cache->acquire(a, 2 * kPageSize, h)));
+  via::MemHandle bogus = h;
+  bogus.id = 9999;
+  box.cache->release(bogus);
+  EXPECT_EQ(box.cache->stats().bad_releases, 1u);
+  EXPECT_EQ(box.cache->live(), 1u);
+  EXPECT_EQ(box.cache->idle_cached(), 0u) << "the live entry must be intact";
+  box.cache->release(h);
+  EXPECT_EQ(box.cache->idle_cached(), 1u);
+  EXPECT_EQ(box.cache->stats().bad_releases, 1u);
+}
+
+TEST(RegCache, DoubleReleaseDoesNotUnderflowRefcount) {
+  // Seed: the second release of an already-idle entry underflowed refs to
+  // ~4 billion under NDEBUG, making the entry unevictable forever.
+  CacheBox box;
+  const auto a = must_mmap(box.node.kernel(), box.pid, 8);
+  via::MemHandle h;
+  ASSERT_TRUE(ok(box.cache->acquire(a, 2 * kPageSize, h)));
+  box.cache->release(h);
+  box.cache->release(h);  // caller bug: handle already returned
+  EXPECT_EQ(box.cache->stats().bad_releases, 1u);
+  EXPECT_EQ(box.cache->idle_cached(), 1u);
+  // The entry is still a well-formed idle entry: it hits and re-idles.
+  via::MemHandle again;
+  ASSERT_TRUE(ok(box.cache->acquire(a, 2 * kPageSize, again)));
+  EXPECT_EQ(again.id, h.id);
+  EXPECT_EQ(box.cache->idle_cached(), 0u);
+  box.cache->release(again);
+  EXPECT_EQ(box.cache->idle_cached(), 1u);
+}
+
+TEST(RegCache, ReleaseAfterEvictionIsCountedNoOp) {
+  RegistrationCache::Config cfg;
+  cfg.max_idle = 0;  // every released entry is evicted immediately
+  CacheBox box(/*tpt_entries=*/64, cfg);
+  const auto a = must_mmap(box.node.kernel(), box.pid, 8);
+  via::MemHandle h;
+  ASSERT_TRUE(ok(box.cache->acquire(a, 2 * kPageSize, h)));
+  box.cache->release(h);
+  EXPECT_EQ(box.cache->live(), 0u);
+  box.cache->release(h);  // stale handle: its entry was evicted above
+  EXPECT_EQ(box.cache->stats().bad_releases, 1u);
+}
+
+// Reference model replaying the seed's linear-scan cache semantics: covering
+// lookup as an id-ordered scan over every entry, LRU eviction as a min over
+// all idle entries. The indexed cache must make bit-identical decisions -
+// same handle ids, same hit/miss/eviction stats - on a random stream.
+class LinearCacheModel {
+ public:
+  explicit LinearCacheModel(std::size_t max_idle) : max_idle_(max_idle) {}
+
+  // Returns the handle id the real cache must hand out.
+  std::uint64_t acquire(simkern::VAddr addr, std::uint64_t len) {
+    ++tick_;
+    for (auto& [id, e] : entries_) {  // id order, exactly the seed's scan
+      if (addr >= e.vaddr && addr + len <= e.vaddr + e.len) {
+        ++hits;
+        ++e.refs;
+        e.last_use = tick_;
+        return id;
+      }
+    }
+    ++misses;
+    const std::uint64_t id = next_id_++;
+    entries_[id] = {addr, len, 1, tick_};
+    return id;
+  }
+
+  void release(std::uint64_t id) {
+    ++tick_;
+    auto& e = entries_.at(id);
+    e.last_use = tick_;
+    if (--e.refs == 0) enforce_idle_cap();
+  }
+
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+ private:
+  struct Entry {
+    simkern::VAddr vaddr = 0;
+    std::uint64_t len = 0;
+    std::uint32_t refs = 0;
+    std::uint64_t last_use = 0;
+  };
+
+  void enforce_idle_cap() {
+    for (;;) {
+      std::uint64_t victim = 0;
+      std::uint64_t best_use = 0;
+      std::size_t idle = 0;
+      for (const auto& [id, e] : entries_) {
+        if (e.refs != 0) continue;
+        ++idle;
+        if (victim == 0 || e.last_use < best_use) {
+          victim = id;
+          best_use = e.last_use;
+        }
+      }
+      if (idle <= max_idle_) return;
+      entries_.erase(victim);
+      ++evictions;
+    }
+  }
+
+  std::map<std::uint64_t, Entry> entries_;
+  std::uint64_t next_id_ = 1;  // KernelAgent hands out ids from 1
+  std::uint64_t tick_ = 0;
+  std::size_t max_idle_;
+};
+
+TEST(RegCache, IndexedLookupMatchesLinearScanOnRandomStream) {
+  RegistrationCache::Config cfg;
+  cfg.max_idle = 6;  // small cap so evictions churn the index constantly
+  CacheBox box(/*tpt_entries=*/2048, cfg);
+  LinearCacheModel model(cfg.max_idle);
+  const auto base = must_mmap(box.node.kernel(), box.pid, 64);
+  Rng rng(0x1d5eedULL);
+
+  struct Live {
+    via::MemHandle handle;
+    std::uint64_t model_id;
+  };
+  std::vector<Live> live;
+
+  for (int step = 0; step < 3000; ++step) {
+    // Cap outstanding handles so the kernel pin budget is never hit: the
+    // model replays idle-cap evictions only, not pressure evictions.
+    const bool do_acquire =
+        live.empty() || (live.size() < 48 && rng.below(100) < 55);
+    if (do_acquire) {
+      const std::uint64_t page = rng.below(60);
+      const std::uint64_t pages = 1 + rng.below(4);
+      const auto addr = base + page * kPageSize;
+      const auto len = pages * kPageSize;
+      via::MemHandle h;
+      ASSERT_TRUE(ok(box.cache->acquire(addr, len, h))) << "step " << step;
+      const std::uint64_t want = model.acquire(addr, len);
+      ASSERT_EQ(h.id, want) << "index diverged from linear scan at " << step;
+      live.push_back({h, want});
+    } else {
+      const std::size_t pick = rng.below(live.size());
+      const Live l = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      box.cache->release(l.handle);
+      model.release(l.model_id);
+    }
+    ASSERT_EQ(box.cache->stats().hits, model.hits) << "step " << step;
+    ASSERT_EQ(box.cache->stats().misses, model.misses) << "step " << step;
+    ASSERT_EQ(box.cache->stats().evictions, model.evictions)
+        << "step " << step;
+  }
+  EXPECT_EQ(box.cache->stats().bad_releases, 0u);
+  EXPECT_GT(model.hits, 0u);
+  EXPECT_GT(model.evictions, 0u);
 }
 
 TEST(RegCache, RefcountedAcquireReleaseBalance) {

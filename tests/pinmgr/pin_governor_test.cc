@@ -147,6 +147,64 @@ TEST(PinGovernor, ReleaseTenantLeaksNothing) {
   EXPECT_TRUE(kern.self_check().empty());
 }
 
+TEST(PinGovernor, RemoveTenantWithLiveChargesUnchargesGlobally) {
+  // Seed bug: remove_tenant() guarded "no live charges" with assert only; an
+  // NDEBUG build erased the tenant record and leaked its frames in
+  // global_pins_ / total_charged_ forever, silently shrinking the host
+  // ceiling. The forced path must uncharge the survivors first.
+  GovernorConfig cfg;
+  cfg.host_ceiling = 16;
+  GovBox box(cfg);
+  const auto a = must_mmap(box.node.kernel(), box.pid, 8);
+  via::MemHandle mh;
+  ASSERT_TRUE(ok(box.reg(a, 8, mh)));
+  ASSERT_EQ(box.gov.total_charged(), 8u);
+
+  // Tenant ripped out with its registration still live (a crashed process
+  // whose driver teardown never ran release_tenant).
+  box.gov.remove_tenant(box.pid);
+  EXPECT_FALSE(box.gov.tenant_known(box.pid));
+  EXPECT_EQ(box.gov.stats().tenants_removed, 1u);
+  EXPECT_EQ(box.gov.stats().forced_tenant_removals, 1u);
+  EXPECT_EQ(box.gov.stats().forced_frames_uncharged, 8u);
+  EXPECT_EQ(box.gov.total_charged(), 0u)
+      << "the ceiling must not shrink by the leaked frames";
+
+  // The full ceiling is available to the next tenant.
+  const auto p2 = box.node.kernel().create_task("next");
+  const auto t2 = box.node.agent().create_ptag(p2);
+  const auto b = must_mmap(box.node.kernel(), p2, 16);
+  via::MemHandle m2;
+  ASSERT_TRUE(ok(box.node.agent().register_mem(p2, b, 16 * kPageSize, t2, m2)));
+  EXPECT_EQ(box.gov.total_charged(), 16u);
+}
+
+TEST(PinGovernor, RemoveTenantSharedFramesKeepOtherTenantsCharges) {
+  // A frame charged by two tenants survives the forced removal of one: only
+  // the removed tenant's multiplicity is subtracted from the global count.
+  GovBox box;
+  auto& kern = box.node.kernel();
+  const auto p2 = kern.create_task("peer");
+  const auto t2 = box.node.agent().create_ptag(p2);
+  const auto shm = kern.shm_create(4 * kPageSize);
+  ASSERT_NE(shm, simkern::kInvalidShm);
+  const auto a1 = kern.shm_attach(box.pid, shm);
+  const auto a2 = kern.shm_attach(p2, shm);
+  ASSERT_TRUE(a1 && a2);
+
+  via::MemHandle m1, m2;
+  ASSERT_TRUE(ok(box.reg(*a1, 4, m1)));
+  ASSERT_TRUE(ok(
+      box.node.agent().register_mem(p2, *a2, 4 * kPageSize, t2, m2)));
+  ASSERT_EQ(box.gov.total_charged(), 4u) << "same frames, charged once";
+
+  box.gov.remove_tenant(box.pid);
+  EXPECT_EQ(box.gov.stats().forced_tenant_removals, 1u);
+  EXPECT_EQ(box.gov.total_charged(), 4u)
+      << "the peer's charge on the shared frames must survive";
+  EXPECT_EQ(box.gov.tenant_charged(p2), 4u);
+}
+
 TEST(PinGovernor, TenantsSnapshotIsOrderedByPid) {
   GovBox box;
   auto& kern = box.node.kernel();

@@ -39,6 +39,26 @@ TEST(SwapDevice, FreeMakesSlotReusable) {
   for (int i = 0; i < 64; ++i) ASSERT_NE(box.dev.alloc(), kInvalidSwapSlot);
 }
 
+TEST(SwapDevice, NextFitCursorSemanticsPreserved) {
+  // The free-slot scan became an ordered set walk (DESIGN.md section 9); the
+  // placements must stay exactly the seed's next-fit: scan from the hint,
+  // wrap at the end, never restart from zero while slots remain ahead.
+  SwapBox box;
+  std::array<SwapSlot, 6> s{};
+  for (auto& slot : s) slot = box.dev.alloc();
+  EXPECT_EQ(s[5], 5u) << "fresh device hands out slots in order";
+  box.dev.free(s[1]);
+  box.dev.free(s[3]);
+  // Hint sits at 6: the next alloc takes 6, not the freed 1 or 3.
+  EXPECT_EQ(box.dev.alloc(), 6u);
+  // Exhaust the tail; then the cursor wraps to the lowest freed slot.
+  for (SwapSlot want = 7; want < 64; ++want)
+    ASSERT_EQ(box.dev.alloc(), want);
+  EXPECT_EQ(box.dev.alloc(), 1u) << "wrap-around lands on the first hole";
+  EXPECT_EQ(box.dev.alloc(), 3u);
+  EXPECT_EQ(box.dev.alloc(), kInvalidSwapSlot);
+}
+
 TEST(SwapDevice, DupRequiresMultipleFrees) {
   SwapBox box;
   const SwapSlot s = box.dev.alloc();

@@ -121,6 +121,44 @@ TEST(VmaSet, FindFreeRangeHonoursUpperBound) {
   EXPECT_TRUE(set.find_free_range(2 * P, 0, 10 * P).has_value());
 }
 
+TEST(VmaSet, GapIndexFollowsInsertRemove) {
+  // find_free_range runs over the gap index (an ExtentMap over the whole
+  // address universe); inserts carve gaps, removals restore and coalesce.
+  VmaSet set;
+  EXPECT_EQ(set.gap_count(), 1u);  // the whole universe
+  ASSERT_TRUE(set.insert(4 * P, 8 * P, VmFlag::Read));
+  ASSERT_TRUE(set.insert(12 * P, 16 * P, VmFlag::Read));
+  EXPECT_EQ(set.gap_count(), 3u);  // below, between, above
+
+  // Unmapping the first VMA merges its range back into the low gap.
+  set.remove_range(4 * P, 8 * P);
+  EXPECT_EQ(set.gap_count(), 2u);
+  const auto r = set.find_free_range(6 * P, 0, 64 * P);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 0u) << "the reopened low gap holds 12 pages";
+
+  // Partial unmap of the middle: the freed slice becomes its own gap.
+  set.remove_range(13 * P, 15 * P);
+  EXPECT_EQ(set.gap_count(), 3u);
+  const auto mid = set.find_free_range(2 * P, 12 * P, 64 * P);
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_EQ(*mid, 13 * P);
+}
+
+TEST(VmaSet, FindFreeRangeLowerBoundInsideGap) {
+  // lo landing inside a gap must clamp the candidate up to lo, exactly like
+  // the seed's per-page walk from lo did.
+  VmaSet set;
+  ASSERT_TRUE(set.insert(8 * P, 10 * P, VmFlag::Read));
+  const auto r = set.find_free_range(2 * P, 3 * P, 64 * P);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 3 * P);
+  // A request too big for the remainder below the VMA skips past it.
+  const auto r2 = set.find_free_range(6 * P, 3 * P, 64 * P);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(*r2, 10 * P);
+}
+
 /// Property: lock/unlock of random sub-ranges of one big VMA always leaves
 /// exactly the locked ranges flagged, and VMA pieces always tile the region.
 class VmaLockProperty : public ::testing::TestWithParam<std::uint64_t> {};

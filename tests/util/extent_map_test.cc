@@ -1,0 +1,179 @@
+// extent_map_test.cc - the ordered free-extent index behind the TPT
+// allocator and the VMA gap placement (DESIGN.md section 9).
+//
+// The load-bearing property is placement equivalence: first-fit over free
+// extents in address order must pick exactly the slot the seed's bitmap scan
+// picked, for every allocation in every interleaving. The randomized
+// differential test drives both models with the same operation stream and
+// compares every answer.
+#include "util/extent_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vialock {
+namespace {
+
+TEST(ExtentMap, StartsFullyFree) {
+  ExtentMap<std::uint32_t> m(64);
+  EXPECT_EQ(m.extent_count(), 1u);
+  EXPECT_EQ(m.total_free(), 64u);
+  EXPECT_EQ(m.largest_extent(), 64u);
+  EXPECT_TRUE(m.is_free(0, 64));
+  EXPECT_FALSE(m.is_free(0, 65));
+}
+
+TEST(ExtentMap, EmptyUniverseHasNothing) {
+  ExtentMap<std::uint32_t> m(0);
+  EXPECT_EQ(m.extent_count(), 0u);
+  EXPECT_EQ(m.find_first_fit(1), std::nullopt);
+}
+
+TEST(ExtentMap, ReserveSplitsAndReleaseCoalesces) {
+  ExtentMap<std::uint32_t> m(64);
+  m.reserve(16, 8);  // [16, 24) taken: two holes remain
+  EXPECT_EQ(m.extent_count(), 2u);
+  EXPECT_EQ(m.total_free(), 56u);
+  EXPECT_EQ(m.largest_extent(), 40u);
+  EXPECT_TRUE(m.is_free(0, 16));
+  EXPECT_FALSE(m.is_free(15, 2));
+  EXPECT_TRUE(m.is_free(24, 40));
+
+  m.release(16, 8);  // coalesces with both neighbours
+  EXPECT_EQ(m.extent_count(), 1u);
+  EXPECT_EQ(m.total_free(), 64u);
+  EXPECT_EQ(m.largest_extent(), 64u);
+}
+
+TEST(ExtentMap, FirstFitPrefersLowestAddress) {
+  ExtentMap<std::uint32_t> m(64);
+  m.reserve(0, 4);
+  m.reserve(8, 4);  // holes: [4,8) and [12,64)
+  EXPECT_EQ(m.find_first_fit(4), 4u);   // fits the first hole exactly
+  EXPECT_EQ(m.find_first_fit(5), 12u);  // skips the too-small hole
+  EXPECT_EQ(m.find_first_fit(52), 12u);
+  EXPECT_EQ(m.find_first_fit(53), std::nullopt);
+}
+
+TEST(ExtentMap, FirstFitFromStraddlesAndClamps) {
+  ExtentMap<std::uint64_t> m(1000);
+  m.reserve(100, 100);  // holes: [0,100) and [200,1000)
+  // lo inside the low hole: candidate clamps up to lo.
+  EXPECT_EQ(m.find_first_fit_from(10, 50), 10u);
+  // lo inside the low hole but the remainder is too short: jump to the next.
+  EXPECT_EQ(m.find_first_fit_from(60, 50), 200u);
+  // lo inside the reserved range: first free address at or above lo.
+  EXPECT_EQ(m.find_first_fit_from(150, 1), 200u);
+  // lo past every hole large enough.
+  EXPECT_EQ(m.find_first_fit_from(960, 50), std::nullopt);
+  EXPECT_EQ(m.find_first_fit_from(950, 50), 950u);
+}
+
+TEST(ExtentMap, ReleaseMergesLeftOnly) {
+  ExtentMap<std::uint32_t> m(64);
+  m.reserve(8, 16);  // holes: [0,8) and [24,64)
+  m.release(8, 4);   // adjacent to [0,8) on the left only
+  EXPECT_EQ(m.extent_count(), 2u);
+  EXPECT_TRUE(m.is_free(0, 12));
+  EXPECT_FALSE(m.is_free(12, 1));
+}
+
+TEST(ExtentMap, ReleaseMergesRightOnly) {
+  ExtentMap<std::uint32_t> m(64);
+  m.reserve(8, 16);  // holes: [0,8) and [24,64)
+  m.release(20, 4);  // adjacent to [24,64) on the right only
+  EXPECT_EQ(m.extent_count(), 2u);
+  EXPECT_TRUE(m.is_free(20, 44));
+  EXPECT_FALSE(m.is_free(19, 1));
+}
+
+TEST(ExtentMap, ReleaseIsolatedHole) {
+  ExtentMap<std::uint32_t> m(64);
+  m.reserve(0, 64);
+  m.release(30, 4);
+  EXPECT_EQ(m.extent_count(), 1u);
+  EXPECT_EQ(m.total_free(), 4u);
+  EXPECT_TRUE(m.is_free(30, 4));
+}
+
+TEST(ExtentMap, ForEachFreeVisitsInAddressOrder) {
+  ExtentMap<std::uint32_t> m(64);
+  m.reserve(8, 8);
+  m.reserve(32, 8);
+  std::vector<std::uint32_t> starts;
+  m.for_each_free([&](std::uint32_t s, std::uint32_t) { starts.push_back(s); });
+  EXPECT_EQ(starts, (std::vector<std::uint32_t>{0, 16, 40}));
+}
+
+// The naive reference: a plain bitmap with the seed's linear first-fit scan.
+class BitmapModel {
+ public:
+  explicit BitmapModel(std::uint32_t n) : used_(n, false) {}
+
+  std::optional<std::uint32_t> find_first_fit(std::uint32_t len) const {
+    if (len == 0 || len > used_.size()) return std::nullopt;
+    std::uint32_t run = 0;
+    for (std::uint32_t i = 0; i < used_.size(); ++i) {
+      run = used_[i] ? 0 : run + 1;
+      if (run == len) return i + 1 - len;
+    }
+    return std::nullopt;
+  }
+
+  void set(std::uint32_t start, std::uint32_t len, bool used) {
+    for (std::uint32_t i = start; i < start + len; ++i) used_[i] = used;
+  }
+
+  std::uint32_t total_free() const {
+    std::uint32_t n = 0;
+    for (const bool u : used_) n += u ? 0 : 1;
+    return n;
+  }
+
+ private:
+  std::vector<bool> used_;
+};
+
+// Random alloc/free stream, every placement compared against the bitmap scan.
+TEST(ExtentMap, DifferentialAgainstBitmapFirstFit) {
+  constexpr std::uint32_t kUniverse = 512;
+  ExtentMap<std::uint32_t> m(kUniverse);
+  BitmapModel ref(kUniverse);
+  Rng rng(0xe22dULL);
+
+  struct Alloc {
+    std::uint32_t start, len;
+  };
+  std::vector<Alloc> live;
+
+  for (int step = 0; step < 4000; ++step) {
+    const bool do_alloc = live.empty() || rng.below(100) < 60;
+    if (do_alloc) {
+      const std::uint32_t len = 1 + static_cast<std::uint32_t>(rng.below(24));
+      const auto got = m.find_first_fit(len);
+      const auto want = ref.find_first_fit(len);
+      ASSERT_EQ(got, want) << "step " << step << " len " << len;
+      if (got) {
+        m.reserve(*got, len);
+        ref.set(*got, len, true);
+        live.push_back({*got, len});
+      }
+    } else {
+      const std::size_t pick = rng.below(live.size());
+      const Alloc a = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      m.release(a.start, a.len);
+      ref.set(a.start, a.len, false);
+    }
+    ASSERT_EQ(m.total_free(), ref.total_free()) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace vialock

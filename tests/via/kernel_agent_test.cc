@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/fault.h"
 #include "via_util.h"
 
 namespace vialock::via {
@@ -160,6 +161,124 @@ TEST(KernelAgent, RefreshTptRepairsStaleEntriesAfterRelocation) {
               *kern.resolve(pid, a + i * kPageSize));
   }
   ASSERT_TRUE(ok(agent.deregister_mem(mh)));
+}
+
+TEST(KernelAgent, RefreshLockFailureTearsDownRegistration) {
+  // Seed bug: a failed re-lock during refresh_tpt returned with the dead
+  // registration still live - empty LockHandle, leaked TPT slots, stale pfns
+  // in the NIC. The failure contract now tears the registration down.
+  AgentBox box;
+  auto& kern = box.node.kernel();
+  auto& agent = box.node.agent();
+  const auto pid = kern.create_task("t");
+  const auto a = must_mmap(kern, pid, 4);
+  const ProtectionTag tag = agent.create_ptag(pid);
+  MemHandle mh;
+  ASSERT_TRUE(ok(agent.register_mem(pid, a, 4 * kPageSize, tag, mh)));
+
+  // Arm a kiobuf-map failure for the *next* map: event 0 was the initial
+  // registration's, event 1 is the refresh's re-lock.
+  fault::FaultPlan plan;
+  plan.add({.site = fault::FaultSite::KiobufMap,
+            .action = fault::FaultAction::Fail,
+            .max_triggers = 1});
+  fault::FaultEngine engine(plan, box.clock);
+  box.node.set_fault_engine(&engine);
+
+  EXPECT_EQ(agent.refresh_tpt(mh), KStatus::Again);
+  EXPECT_EQ(agent.stats().refresh_failures, 1u);
+  EXPECT_EQ(agent.live_registrations(), 0u) << "dead entry must not linger";
+  EXPECT_EQ(box.node.nic().tpt().used(), 0u) << "TPT slots must not leak";
+  // The original pin was dropped and the re-pin never happened.
+  EXPECT_EQ(kern.phys().page(*kern.resolve(pid, a)).pin_count, 0u);
+  EXPECT_EQ(agent.deregister_mem(mh), KStatus::NoEnt) << "handle is dead";
+  EXPECT_TRUE(kern.self_check().empty());
+}
+
+// Delegates to a real kiobuf policy but can drop one pfn from the next lock
+// result - the only way to reach refresh_tpt's page-count-mismatch arm from
+// outside (a policy/MMU disagreement the agent must treat as fatal).
+class PfnDroppingPolicy final : public LockPolicy {
+ public:
+  explicit PfnDroppingPolicy(simkern::Kernel& kern)
+      : LockPolicy(kern), inner_(kern) {}
+  [[nodiscard]] std::string_view name() const override { return "pfn-drop"; }
+  [[nodiscard]] KStatus lock(simkern::Pid pid, simkern::VAddr addr,
+                             std::uint64_t len, LockHandle& out) override {
+    const KStatus st = inner_.lock(pid, addr, len, out);
+    if (ok(st) && drop_next_ && !out.pfns.empty()) {
+      drop_next_ = false;
+      out.pfns.pop_back();
+    }
+    return st;
+  }
+  void unlock(LockHandle& h) override { inner_.unlock(h); }
+  [[nodiscard]] bool reliable() const override { return true; }
+  [[nodiscard]] bool supports_nesting() const override { return true; }
+  [[nodiscard]] bool walks_page_tables() const override { return false; }
+
+  void arm() { drop_next_ = true; }
+
+ private:
+  KiobufLockPolicy inner_;
+  bool drop_next_ = false;
+};
+
+TEST(KernelAgent, RefreshPageCountMismatchTearsDown) {
+  // Seed bug: the mismatch arm returned Fault while keeping the fresh
+  // (uncharged) pin and the stale TPT programming.
+  Clock clock;
+  CostModel costs;
+  simkern::Kernel kern(test::small_config(), clock, costs);
+  Nic nic(kern, clock, costs);
+  PfnDroppingPolicy policy(kern);
+  KernelAgent agent(kern, nic, policy);
+
+  const auto pid = kern.create_task("t");
+  const auto a = must_mmap(kern, pid, 4);
+  const ProtectionTag tag = agent.create_ptag(pid);
+  MemHandle mh;
+  ASSERT_TRUE(ok(agent.register_mem(pid, a, 4 * kPageSize, tag, mh)));
+
+  policy.arm();  // the refresh re-lock comes back one pfn short
+  EXPECT_EQ(agent.refresh_tpt(mh), KStatus::Fault);
+  EXPECT_EQ(agent.stats().refresh_failures, 1u);
+  EXPECT_EQ(agent.live_registrations(), 0u);
+  EXPECT_EQ(nic.tpt().used(), 0u);
+  EXPECT_EQ(kern.phys().page(*kern.resolve(pid, a)).pin_count, 0u)
+      << "the fresh pin must have been unlocked, not kept";
+  EXPECT_TRUE(kern.self_check().empty());
+}
+
+TEST(KernelAgent, RefreshGovernorRejectTearsDown) {
+  AgentBox box;
+  auto& kern = box.node.kernel();
+  auto& agent = box.node.agent();
+  auto& gov = box.node.enable_governor({});
+  const auto pid = kern.create_task("t");
+  const auto a = must_mmap(kern, pid, 4);
+  const ProtectionTag tag = agent.create_ptag(pid);
+  MemHandle mh;
+  ASSERT_TRUE(ok(agent.register_mem(pid, a, 4 * kPageSize, tag, mh)));
+  EXPECT_EQ(gov.tenant_charged(pid), 4u);
+
+  // Event 0 was the registration's charge; fail the refresh's re-admission.
+  fault::FaultPlan plan;
+  plan.add({.site = fault::FaultSite::PinAdmission,
+            .action = fault::FaultAction::Fail,
+            .max_triggers = 1});
+  fault::FaultEngine engine(plan, box.clock);
+  box.node.set_fault_engine(&engine);
+  // after_events defaults to 0, but registration already consumed event 0
+  // before the engine was armed, so the next charge is the one that fails.
+
+  EXPECT_EQ(agent.refresh_tpt(mh), KStatus::Again);
+  EXPECT_EQ(agent.stats().refresh_failures, 1u);
+  EXPECT_EQ(agent.live_registrations(), 0u);
+  EXPECT_EQ(box.node.nic().tpt().used(), 0u);
+  EXPECT_EQ(gov.tenant_charged(pid), 0u) << "nothing charged, nothing pinned";
+  EXPECT_EQ(kern.phys().page(*kern.resolve(pid, a)).pin_count, 0u);
+  EXPECT_TRUE(kern.self_check().empty());
 }
 
 TEST(KernelAgent, RegistrationChargesSyscallAndPciTime) {

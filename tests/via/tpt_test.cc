@@ -59,6 +59,30 @@ TEST(Tpt, FragmentationPreventsLargeAlloc) {
   EXPECT_NE(tpt.alloc(2), kInvalidTptIndex);
 }
 
+TEST(Tpt, ExtentIndexTracksFragmentation) {
+  // The free list is an ordered extent map (DESIGN.md section 9): the hole
+  // count and the largest run are O(extents) introspection, exported so
+  // procfs and experiments can watch fragmentation directly.
+  Tpt tpt(16);
+  EXPECT_EQ(tpt.free_extent_count(), 1u);
+  EXPECT_EQ(tpt.largest_free_run(), 16u);
+  const TptIndex a = tpt.alloc(4);  // [0,4)
+  const TptIndex b = tpt.alloc(4);  // [4,8)
+  const TptIndex c = tpt.alloc(4);  // [8,12)
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 4u);
+  EXPECT_EQ(c, 8u);
+  EXPECT_EQ(tpt.free_extent_count(), 1u);  // only the tail [12,16)
+  EXPECT_EQ(tpt.largest_free_run(), 4u);
+  tpt.release(b, 4);  // two holes now: [4,8) and [12,16)
+  EXPECT_EQ(tpt.free_extent_count(), 2u);
+  EXPECT_EQ(tpt.largest_free_run(), 4u);
+  tpt.release(c, 4);  // [4,16) coalesces into one hole
+  EXPECT_EQ(tpt.free_extent_count(), 1u);
+  EXPECT_EQ(tpt.largest_free_run(), 12u);
+  EXPECT_EQ(tpt.alloc(4), 4u) << "first-fit lands in the lowest hole";
+}
+
 TEST(Tpt, TranslateComputesPfnAndOffset) {
   Tpt tpt(8);
   const TptIndex base = tpt.alloc(2);
