@@ -38,8 +38,7 @@ struct Rig {
         !ok(v1->register_mem(b1, 16 * kPageSize, m1))) {
       std::abort();
     }
-    vi0 = v0->create_vi();
-    vi1 = v1->create_vi();
+    if (!ok(v0->create_vi(vi0)) || !ok(v1->create_vi(vi1))) std::abort();
     if (!ok(cluster.fabric().connect(n0, vi0, n1, vi1))) std::abort();
   }
 

@@ -50,14 +50,32 @@ void run_matrix(bool pressure, bench::JsonReport& report) {
 }  // namespace vialock
 
 int main(int argc, char** argv) {
+  using namespace vialock;
   std::cout << "E1: the locktest experiment (paper section 3.1, steps 1-8)\n"
             << "Paper: refcount-only locking leaves the TPT stale under\n"
             << "pressure; PG_locked / VM_LOCKED / kiobuf locking survive.\n";
-  vialock::bench::JsonReport report("E1", "locktest: TPT consistency by policy");
+  bench::JsonReport report("E1", "locktest: TPT consistency by policy");
   report.param("region_pages", std::uint64_t{64})
       .param("pressure_factor", "1.5");
-  vialock::run_matrix(/*pressure=*/true, report);
-  vialock::run_matrix(/*pressure=*/false, report);
+  run_matrix(/*pressure=*/true, report);
+  run_matrix(/*pressure=*/false, report);
   report.write_if_requested(argc, argv);
+
+  // --metrics / --trace-export: one extra pressure run of the paper's
+  // proposed policy with span recording armed; its node provides the metric
+  // snapshot and chrome trace. Deterministic: same binary, same bytes.
+  const bench::ObsFlags obs(argc, argv);
+  if (obs.any()) {
+    Clock clock;
+    CostModel costs;
+    via::Node node(bench::eval_node(via::PolicyKind::Kiobuf), clock, costs);
+    obs.arm(node.kernel());
+    experiments::LocktestConfig cfg;
+    cfg.region_pages = 64;
+    cfg.pressure_factor = 1.5;
+    cfg.run_pressure = true;
+    (void)experiments::run_locktest(node, cfg);
+    obs.finish("E1", node.kernel());
+  }
   return 0;
 }

@@ -127,6 +127,20 @@ int main(int argc, char** argv) {
   vialock::bandwidth_vs_size(report);
   vialock::reuse_ratio_sweep(report);
   report.write_if_requested(argc, argv);
+
+  // --metrics / --trace-export: one instrumented 50-transfer LRU run; the
+  // sender node's kernel carries the channel, cache, agent and NIC metrics.
+  const vialock::bench::ObsFlags obs(argc, argv);
+  if (obs.any()) {
+    using namespace vialock;
+    ChannelRig rig(core::EvictionPolicy::Lru, /*prereg=*/false);
+    obs.arm(rig.cluster.node(rig.n0).kernel());
+    for (int i = 0; i < 50; ++i) {
+      if (!ok(rig.channel.transfer(msg::Protocol::Rendezvous, 0, 0, 64 * 1024)))
+        std::abort();
+    }
+    obs.finish("E5", rig.cluster.node(rig.n0).kernel());
+  }
   std::cout << "\nShape: with reuse, the LRU cache removes the registration\n"
                "syscalls from the critical path and rendezvous approaches the\n"
                "preregistered upper bound; without reuse caching cannot help.\n";

@@ -6,15 +6,24 @@
 // With `--json` on the command line, a bench additionally writes
 // BENCH_<experiment>.json - machine-readable name/params/tables - so CI can
 // archive results as artifacts and diff them across commits.
+//
+// Two further shared flags expose the observability layer (DESIGN.md
+// section 10): `--metrics` prints the node's full metric snapshot as
+// /proc/metrics text after the run, and `--trace-export` writes
+// TRACE_<experiment>.json, a chrome://tracing / Perfetto-loadable span
+// trace of the instrumented run. Both are deterministic: same seed, same
+// bytes.
 #pragma once
 
 #include <cstdint>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/export.h"
 #include "util/table.h"
 #include "via/node.h"
 
@@ -140,6 +149,58 @@ class JsonReport {
   Fields params_;
   Fields metrics_;
   std::vector<std::pair<std::string, std::string>> tables_;
+};
+
+/// The shared `--metrics` / `--trace-export` handling: parse the flags,
+/// arm span recording on the instrumented node, and render the exports.
+///
+///   bench::ObsFlags obs(argc, argv);
+///   if (obs.any()) {
+///     via::Node node(...);        // a dedicated instrumented pass
+///     obs.arm(node.kernel());     // BEFORE the workload (spans off by default)
+///     ... run the workload ...
+///     obs.finish("E1", node.kernel());
+///   }
+class ObsFlags {
+ public:
+  ObsFlags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a(argv[i]);
+      if (a == "--metrics") metrics_ = true;
+      if (a == "--trace-export") trace_ = true;
+    }
+  }
+
+  [[nodiscard]] bool metrics() const { return metrics_; }
+  [[nodiscard]] bool trace() const { return trace_; }
+  [[nodiscard]] bool any() const { return metrics_ || trace_; }
+
+  /// Enable span recording on `kern` (needed before the workload runs when
+  /// --trace-export is set; spans are off by default to keep runs cheap).
+  void arm(simkern::Kernel& kern) const {
+    if (trace_) kern.spans().enable(true);
+  }
+
+  /// Print the metric snapshot (--metrics) and write TRACE_<experiment>.json
+  /// (--trace-export) from `kern`'s registry and span recorder.
+  void finish(const std::string& experiment, simkern::Kernel& kern) const {
+    if (metrics_) {
+      std::cout << "\n=== /proc/metrics (" << experiment
+                << " instrumented run) ===\n"
+                << obs::to_proc_text(kern.metrics().snapshot());
+    }
+    if (trace_) {
+      const std::string path = "TRACE_" + experiment + ".json";
+      std::ofstream out(path);
+      out << obs::chrome_trace(kern.spans());
+      std::cout << "\nwrote " << path
+                << " (load in chrome://tracing or ui.perfetto.dev)\n";
+    }
+  }
+
+ private:
+  bool metrics_ = false;
+  bool trace_ = false;
 };
 
 }  // namespace vialock::bench

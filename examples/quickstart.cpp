@@ -40,9 +40,10 @@ int main() {
   if (!ok(sender.register_mem(b0, 4 * simkern::kPageSize, mh0))) return 1;
   if (!ok(receiver.register_mem(b1, 4 * simkern::kPageSize, mh1))) return 1;
 
-  // Create and connect a VI pair.
-  const via::ViId vi0 = sender.create_vi();
-  const via::ViId vi1 = receiver.create_vi();
+  // Create and connect a VI pair (reliable delivery, the default attributes).
+  via::ViId vi0 = via::kInvalidVi;
+  via::ViId vi1 = via::kInvalidVi;
+  if (!ok(sender.create_vi(vi0)) || !ok(receiver.create_vi(vi1))) return 1;
   if (!ok(cluster.fabric().connect(n0, vi0, n1, vi1))) return 1;
 
   // The receiver pre-posts a descriptor (VIA requires this), the sender

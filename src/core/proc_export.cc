@@ -4,19 +4,6 @@
 
 namespace vialock::core {
 
-std::string agent_status(const via::AgentStats& s) {
-  std::ostringstream os;
-  os << "registrations " << s.registrations << "\n"
-     << "deregistrations " << s.deregistrations << "\n"
-     << "pages_registered " << s.pages_registered << "\n"
-     << "lock_failures " << s.lock_failures << "\n"
-     << "tpt_full " << s.tpt_full << "\n"
-     << "admission_rejects " << s.admission_rejects << "\n"
-     << "lazy_deregs " << s.lazy_deregs << "\n"
-     << "refresh_failures " << s.refresh_failures << "\n";
-  return os.str();
-}
-
 std::string regcache_status(const RegCacheStats& s) {
   std::ostringstream os;
   os << "hits " << s.hits << "\n"

@@ -2,6 +2,14 @@
 // counters, the upper-layer companions to simkern::procfs (meminfo/vmstat).
 // Each returns "key value\n" lines in a fixed order so outputs diff cleanly
 // across runs and commits.
+//
+// These renderers are now also *mounted*: every exporting component
+// registers its renderer with the node kernel's obs::ProcRegistry in its
+// constructor (KernelAgent -> "via/agent", RegistrationCache ->
+// "regcache/p<pid>", PinGovernor -> "pinmgr", the kernel itself ->
+// "meminfo"/"vmstat"/"metrics"), so `kernel.procfs().read(path)` /
+// `read_all()` is the one interface that reaches every report. The free
+// functions remain for callers that hold a bare stats struct.
 #pragma once
 
 #include <string>
@@ -11,10 +19,13 @@
 
 namespace vialock::core {
 
-/// /proc/via/agent: the kernel agent's registration counters.
-[[nodiscard]] std::string agent_status(const via::AgentStats& stats);
+/// /proc/via/agent. Compatibility alias: the renderer moved next to the
+/// stats it prints (via::agent_status) when the agent began mounting it.
+[[nodiscard]] inline std::string agent_status(const via::AgentStats& stats) {
+  return via::agent_status(stats);
+}
 
-/// /proc/via/regcache: a registration cache's hit/miss/eviction counters.
+/// /proc/regcache/p<pid>: a registration cache's hit/miss/eviction counters.
 [[nodiscard]] std::string regcache_status(const RegCacheStats& stats);
 
 }  // namespace vialock::core

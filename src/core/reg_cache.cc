@@ -4,7 +4,41 @@
 #include <cassert>
 #include <utility>
 
+#include "core/proc_export.h"
+
 namespace vialock::core {
+
+RegistrationCache::RegistrationCache(via::Vipl& vipl, Config config)
+    : vipl_(vipl),
+      config_(config),
+      acquire_ns_(vipl.agent().kern().metrics().histogram(
+          "core.regcache.acquire_ns")),
+      source_name_("core.regcache.p" + std::to_string(vipl.pid())),
+      proc_path_("regcache/p" + std::to_string(vipl.pid())) {
+  if (config_.governor) config_.governor->add_reclaim_client(this);
+  simkern::Kernel& kern = vipl_.agent().kern();
+  kern.metrics().register_source(source_name_, this, [this](obs::MetricSink& s) {
+    s.counter("hits", stats_.hits);
+    s.counter("misses", stats_.misses);
+    s.counter("evictions", stats_.evictions);
+    s.counter("registrations", stats_.registrations);
+    s.counter("deregistrations", stats_.deregistrations);
+    s.counter("reclaim_evictions", stats_.reclaim_evictions);
+    s.counter("bad_releases", stats_.bad_releases);
+    s.gauge("idle", idle_.size());
+    s.gauge("live", rows_.size());
+  });
+  kern.procfs().mount(proc_path_, this,
+                      [this] { return regcache_status(stats_); });
+}
+
+RegistrationCache::~RegistrationCache() {
+  flush();
+  if (config_.governor) config_.governor->remove_reclaim_client(this);
+  simkern::Kernel& kern = vipl_.agent().kern();
+  kern.metrics().unregister_source(source_name_, this);
+  kern.procfs().unmount(proc_path_, this);
+}
 namespace {
 
 /// 64 keys (512 bytes, 8 cache lines) per sampled block of the key array.
@@ -160,6 +194,11 @@ void RegistrationCache::erase_entry(
 KStatus RegistrationCache::acquire(simkern::VAddr addr, std::uint64_t len,
                                    via::MemHandle& out) {
   if (len == 0) return KStatus::Inval;
+  const VirtualStopwatch sw(vipl_.agent().kern().clock());
+  const auto charge = [&](KStatus st) {
+    acquire_ns_.add(sw.elapsed());
+    return st;
+  };
   ++tick_;
   if (Entry* e = find_covering(addr, len)) {
     ++stats_.hits;
@@ -171,7 +210,7 @@ KStatus RegistrationCache::acquire(simkern::VAddr addr, std::uint64_t len,
     ++e->refs;
     e->last_use = tick_;
     out = e->handle;
-    return KStatus::Ok;
+    return charge(KStatus::Ok);
   }
 
   ++stats_.misses;
@@ -189,14 +228,14 @@ KStatus RegistrationCache::acquire(simkern::VAddr addr, std::uint64_t len,
       e.seq = ++seq_;
       insert_entry(std::move(e));
       out = handle;
-      return KStatus::Ok;
+      return charge(KStatus::Ok);
     }
     // NoSpc: TPT entries exhausted. Again: the kernel's pin budget (or the
     // governor's host ceiling) is hit. NoMem: the governor's per-tenant
     // quota. All are relieved by evicting idle cached registrations.
     if (st != KStatus::NoSpc && st != KStatus::Again && st != KStatus::NoMem)
-      return st;
-    if (evict_one() == 0) return st;
+      return charge(st);
+    if (evict_one() == 0) return charge(st);
   }
 }
 

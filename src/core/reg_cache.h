@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -75,17 +76,13 @@ class RegistrationCache : public pinmgr::ReclaimClient {
 
   explicit RegistrationCache(via::Vipl& vipl)
       : RegistrationCache(vipl, Config{}) {}
-  RegistrationCache(via::Vipl& vipl, Config config)
-      : vipl_(vipl), config_(config) {
-    if (config_.governor) config_.governor->add_reclaim_client(this);
-  }
+  /// Registers the cache's stats with the node kernel's metric registry
+  /// (source "core.regcache.p<pid>") and mounts /proc/regcache/p<pid>.
+  RegistrationCache(via::Vipl& vipl, Config config);
 
   RegistrationCache(const RegistrationCache&) = delete;
   RegistrationCache& operator=(const RegistrationCache&) = delete;
-  ~RegistrationCache() override {
-    flush();
-    if (config_.governor) config_.governor->remove_reclaim_client(this);
-  }
+  ~RegistrationCache() override;
 
   /// ReclaimClient: evict cold idle entries until `target_pages` pinned
   /// pages are released (or nothing idle remains). Returns pages released.
@@ -159,6 +156,12 @@ class RegistrationCache : public pinmgr::ReclaimClient {
   via::Vipl& vipl_;
   Config config_;
   RegCacheStats stats_;
+  /// Acquire latency distribution (hits are cheap, misses pay an ioctl).
+  obs::Histogram& acquire_ns_;
+  /// The registry/procfs names this cache registered (pid-suffixed so two
+  /// processes' caches on one node do not collide).
+  std::string source_name_;
+  std::string proc_path_;
   /// The owning interval index: sorted by (vaddr, id). Flat for lookup
   /// locality; insert and erase are O(n) moves but only run on the
   /// miss/evict slow path.

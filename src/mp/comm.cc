@@ -173,8 +173,7 @@ KStatus Comm::init() {
             !ok(st)) {
           return st;
         }
-        link.vi = s.vipl.create_vi();
-        if (link.vi == via::kInvalidVi) return KStatus::NoMem;
+        if (const KStatus st = s.vipl.create_vi(link.vi); !ok(st)) return st;
       }
       if (const KStatus st =
               cluster_.fabric().connect(nodes_[i], sides_[i]->links[j].vi,

@@ -92,7 +92,11 @@ Channel::Channel(via::Cluster& cluster, via::NodeId sender,
       receiver_id_(receiver),
       config_(config) {}
 
-Channel::~Channel() = default;
+Channel::~Channel() {
+  if (!source_name_.empty()) {
+    sender_node().kernel().metrics().unregister_source(source_name_, this);
+  }
+}
 
 KStatus Channel::init() {
   assert(!initialised_);
@@ -120,8 +124,10 @@ KStatus Channel::init() {
     if (const KStatus st = s->vipl.open(); !ok(st)) return st;
     // Reliable-delivery mode supplies its own guarantees, so it runs over
     // unreliable VIs (the VIA "unreliable delivery" service class).
-    s->vi = s->vipl.create_vi(/*reliable=*/!config_.reliability.enabled);
-    if (s->vi == via::kInvalidVi) return KStatus::NoMem;
+    const via::ViAttributes attrs = config_.reliability.enabled
+                                        ? via::ViAttributes::unreliable()
+                                        : via::ViAttributes::reliable();
+    if (const KStatus st = s->vipl.create_vi(s->vi, attrs); !ok(st)) return st;
     s->slot_size = config_.eager_slot_size;
     s->num_slots = config_.eager_credits;
   }
@@ -171,6 +177,30 @@ KStatus Channel::init() {
     }
     src_->heap_registered = dst_->heap_registered = true;
   }
+
+  // Publish the channel's counters on the sender node's registry (one node
+  // owns a channel's metrics; the sender side initiates every transfer).
+  // pid-suffixed: a Mesh builds one channel per ordered pair on shared pids.
+  simkern::Kernel& sk = sn.kernel();
+  source_name_ = "msg.ch.p" + std::to_string(src_pid_) + ".d" +
+                 std::to_string(dst_pid_);
+  transfer_ns_ = &sk.metrics().histogram(source_name_ + ".transfer_ns");
+  sk.metrics().register_source(source_name_, this, [this](obs::MetricSink& s) {
+    s.counter("eager_msgs", stats_.eager_msgs);
+    s.counter("rendezvous_msgs", stats_.rendezvous_msgs);
+    s.counter("prereg_msgs", stats_.prereg_msgs);
+    s.counter("pio_msgs", stats_.pio_msgs);
+    s.counter("bytes_moved", stats_.bytes_moved);
+    s.counter("control_msgs", stats_.control_msgs);
+    s.counter("window_imports", stats_.window_imports);
+    s.counter("frames_sent", stats_.frames_sent);
+    s.counter("retries", stats_.retries);
+    s.counter("send_timeouts", stats_.send_timeouts);
+    s.counter("acks_received", stats_.acks_received);
+    s.counter("dup_frames_dropped", stats_.dup_frames_dropped);
+    s.counter("corruptions_detected", stats_.corruptions_detected);
+    s.counter("conn_repairs", stats_.conn_repairs);
+  });
 
   initialised_ = true;
   return KStatus::Ok;
@@ -783,13 +813,23 @@ KStatus Channel::transfer(Protocol proto, std::uint64_t src_off,
       dst_off + len > config_.user_heap_bytes) {
     return KStatus::Inval;
   }
+  simkern::Kernel& sk = sender_node().kernel();
+  const obs::ScopedSpan span(sk.spans(), "msg.transfer");
+  const VirtualStopwatch sw(sk.clock());
+  const auto charge = [&](KStatus st) {
+    transfer_ns_->add(sw.elapsed());
+    return st;
+  };
   switch (proto) {
     case Protocol::Eager:
-      return config_.reliability.enabled ? reliable_eager(src_off, dst_off, len)
-                                         : eager(src_off, dst_off, len);
-    case Protocol::Rendezvous: return rendezvous(src_off, dst_off, len);
-    case Protocol::Preregistered: return preregistered(src_off, dst_off, len);
-    case Protocol::PioRendezvous: return pio_rendezvous(src_off, dst_off, len);
+      return charge(config_.reliability.enabled
+                        ? reliable_eager(src_off, dst_off, len)
+                        : eager(src_off, dst_off, len));
+    case Protocol::Rendezvous: return charge(rendezvous(src_off, dst_off, len));
+    case Protocol::Preregistered:
+      return charge(preregistered(src_off, dst_off, len));
+    case Protocol::PioRendezvous:
+      return charge(pio_rendezvous(src_off, dst_off, len));
   }
   return KStatus::Inval;
 }

@@ -36,6 +36,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -218,6 +219,11 @@ class Channel {
   std::unique_ptr<Side> src_;
   std::unique_ptr<Side> dst_;
   bool initialised_ = false;
+
+  /// Metrics, published on the sender node's registry at init():
+  /// "msg.ch.p<sender_pid>.d<receiver_pid>". Empty until then.
+  std::string source_name_;
+  obs::Histogram* transfer_ns_ = nullptr;  ///< bound at init()
 };
 
 }  // namespace vialock::msg

@@ -1,0 +1,92 @@
+#include "obs/export.h"
+
+#include <sstream>
+
+namespace vialock::obs {
+
+namespace {
+
+std::string quote(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out + "\"";
+}
+
+/// Virtual nanoseconds as decimal microseconds ("12.345"), integer math only.
+std::string micros(Nanos ns) {
+  std::string out = std::to_string(ns / 1000);
+  const auto frac = static_cast<std::uint32_t>(ns % 1000);
+  out += '.';
+  out += static_cast<char>('0' + frac / 100);
+  out += static_cast<char>('0' + frac / 10 % 10);
+  out += static_cast<char>('0' + frac % 10);
+  return out;
+}
+
+}  // namespace
+
+std::string to_proc_text(const Snapshot& snap) {
+  std::ostringstream os;
+  for (const Metric& m : snap) {
+    if (m.kind == MetricKind::Histogram) {
+      os << m.name << ".count " << m.count << "\n"
+         << m.name << ".sum " << m.sum << "\n"
+         << m.name << ".p50 " << m.p50 << "\n"
+         << m.name << ".p99 " << m.p99 << "\n"
+         << m.name << ".max " << m.max << "\n";
+    } else {
+      os << m.name << " " << m.value << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string to_json(const Snapshot& snap) {
+  std::ostringstream os;
+  os << "{\n  \"metrics\": [";
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    const Metric& m = snap[i];
+    os << (i ? "," : "") << "\n    {\"name\": " << quote(m.name)
+       << ", \"kind\": " << quote(to_string(m.kind));
+    if (m.kind == MetricKind::Histogram) {
+      os << ", \"count\": " << m.count << ", \"sum\": " << m.sum
+         << ", \"p50\": " << m.p50 << ", \"p99\": " << m.p99
+         << ", \"max\": " << m.max << ", \"buckets\": [";
+      for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+        os << (b ? ", " : "") << "[" << m.buckets[b].first << ", "
+           << m.buckets[b].second << "]";
+      }
+      os << "]";
+    } else {
+      os << ", \"value\": " << m.value;
+    }
+    os << "}";
+  }
+  os << (snap.empty() ? "" : "\n  ") << "]\n}\n";
+  return os.str();
+}
+
+std::string chrome_trace(const SpanRecorder& rec) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  bool first = true;
+  for (const SpanRecorder::Span& s : rec.spans()) {
+    if (s.open) continue;  // unbalanced begin: not part of the timeline
+    os << (first ? "" : ",") << "\n  {\"name\": " << quote(s.name)
+       << ", \"cat\": \"vialock\", \"ph\": \"X\", \"ts\": " << micros(s.start)
+       << ", \"dur\": " << micros(s.dur) << ", \"pid\": 0, \"tid\": " << s.tid
+       << ", \"args\": {\"depth\": " << s.depth << "}}";
+    first = false;
+  }
+  os << (first ? "" : "\n") << "]}\n";
+  return os.str();
+}
+
+}  // namespace vialock::obs

@@ -1,0 +1,30 @@
+// export.h - the three exporters over the observability substrate
+// (DESIGN.md section 10):
+//
+//   to_proc_text   - /proc/metrics: "name value" lines in name order, the
+//                    text every other /proc node in this repo emits. A
+//                    histogram renders as .count/.sum/.p50/.p99/.max lines.
+//   to_json        - machine-readable snapshot, following bench::JsonReport's
+//                    conventions (hand-rendered, escaped, byte-stable).
+//   chrome_trace   - the finished spans of a SpanRecorder as a trace_event
+//                    JSON document ({"traceEvents": [...]}) loadable in
+//                    chrome://tracing or https://ui.perfetto.dev. Timestamps
+//                    are virtual microseconds rendered by integer math (no
+//                    float formatting), so exports are byte-identical across
+//                    same-seed runs.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace vialock::obs {
+
+[[nodiscard]] std::string to_proc_text(const Snapshot& snap);
+
+[[nodiscard]] std::string to_json(const Snapshot& snap);
+
+[[nodiscard]] std::string chrome_trace(const SpanRecorder& rec);
+
+}  // namespace vialock::obs

@@ -1,0 +1,95 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace vialock::obs {
+
+void MetricSink::emit(std::string_view name, MetricKind kind,
+                      std::uint64_t v) {
+  Metric m;
+  m.name.reserve(prefix_.size() + 1 + name.size());
+  m.name.append(prefix_).append(".").append(name);
+  m.kind = kind;
+  m.value = v;
+  out_.push_back(std::move(m));
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricRegistry::register_source(std::string name, const void* owner,
+                                     SourceFn fn) {
+  sources_.insert_or_assign(std::move(name), Source{owner, std::move(fn)});
+}
+
+void MetricRegistry::unregister_source(std::string_view name,
+                                       const void* owner) {
+  const auto it = sources_.find(name);
+  if (it != sources_.end() && it->second.owner == owner) sources_.erase(it);
+}
+
+Snapshot MetricRegistry::snapshot() const {
+  Snapshot out;
+  for (const auto& [name, c] : counters_) {
+    Metric m;
+    m.name = name;
+    m.kind = MetricKind::Counter;
+    m.value = c->value();
+    out.push_back(std::move(m));
+  }
+  for (const auto& [name, g] : gauges_) {
+    Metric m;
+    m.name = name;
+    m.kind = MetricKind::Gauge;
+    m.value = g->value();
+    out.push_back(std::move(m));
+  }
+  for (const auto& [name, h] : histograms_) {
+    Metric m;
+    m.name = name;
+    m.kind = MetricKind::Histogram;
+    m.count = h->count();
+    m.sum = h->sum();
+    m.max = h->max();
+    m.p50 = h->quantile(0.50);
+    m.p99 = h->quantile(0.99);
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h->bucket(i)) {
+        m.buckets.emplace_back(static_cast<std::uint32_t>(i), h->bucket(i));
+      }
+    }
+    out.push_back(std::move(m));
+  }
+  for (const auto& [name, src] : sources_) {
+    MetricSink sink(name, out);
+    src.fn(sink);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Metric& a, const Metric& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace vialock::obs

@@ -1,0 +1,37 @@
+#include "obs/proc_registry.h"
+
+namespace vialock::obs {
+
+void ProcRegistry::mount(std::string path, const void* owner,
+                         RenderFn render) {
+  nodes_.insert_or_assign(std::move(path), Node{owner, std::move(render)});
+}
+
+void ProcRegistry::unmount(std::string_view path, const void* owner) {
+  const auto it = nodes_.find(path);
+  if (it != nodes_.end() && it->second.owner == owner) nodes_.erase(it);
+}
+
+std::optional<std::string> ProcRegistry::read(std::string_view path) const {
+  const auto it = nodes_.find(path);
+  if (it == nodes_.end()) return std::nullopt;
+  return it->second.render();
+}
+
+std::vector<std::string> ProcRegistry::ls() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [path, node] : nodes_) out.push_back(path);
+  return out;
+}
+
+std::string ProcRegistry::read_all() const {
+  std::string out;
+  for (const auto& [path, node] : nodes_) {
+    out += "== /proc/" + path + " ==\n";
+    out += node.render();
+  }
+  return out;
+}
+
+}  // namespace vialock::obs

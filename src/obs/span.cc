@@ -1,0 +1,52 @@
+#include "obs/span.h"
+
+namespace vialock::obs {
+
+void SpanRecorder::bump_depth(std::uint32_t tid, std::int32_t delta) {
+  for (auto& [t, d] : depth_) {
+    if (t == tid) {
+      if (delta < 0) {
+        if (d) --d;  // clamped: out-of-order closes never wrap the depth
+      } else {
+        d += static_cast<std::uint32_t>(delta);
+      }
+      return;
+    }
+  }
+  if (delta > 0) depth_.emplace_back(tid, static_cast<std::uint32_t>(delta));
+}
+
+SpanId SpanRecorder::begin(std::string_view name, std::uint32_t tid) {
+  if (!enabled_) return kInvalidSpan;
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return kInvalidSpan;
+  }
+  Span s;
+  s.name = std::string(name);
+  s.start = clock_.now();
+  s.tid = tid;
+  s.depth = depth_of(tid);
+  const auto id = static_cast<SpanId>(spans_.size());
+  spans_.push_back(std::move(s));
+  bump_depth(tid, +1);
+  ++open_;
+  if (ring_) ring_->record(clock_.now(), TraceEvent::SpanBegin, tid, id, 0);
+  return id;
+}
+
+void SpanRecorder::end(SpanId id) {
+  if (id == kInvalidSpan) return;
+  if (id >= spans_.size() || spans_[id].closed()) {
+    ++unbalanced_closes_;
+    return;
+  }
+  Span& s = spans_[id];
+  s.dur = clock_.now() - s.start;
+  s.open = false;
+  bump_depth(s.tid, -1);
+  --open_;
+  if (ring_) ring_->record(clock_.now(), TraceEvent::SpanEnd, s.tid, id, 0);
+}
+
+}  // namespace vialock::obs

@@ -1,0 +1,121 @@
+// span.h - sim-clock scoped spans over the virtual Clock.
+//
+// A span is a named [begin, end) interval of *virtual* time - the same
+// deterministic time base every cost in the simulation is charged against -
+// so recorded timelines are byte-identical across same-seed runs and show
+// exactly where the modelled nanoseconds of a registration, a reclaim pass or
+// a transfer went. Spans layer on the existing TraceRing: with mirror_to()
+// set, every begin/end also drops a SpanBegin/SpanEnd event into the ring, so
+// post-mortem tail dumps interleave spans with page-level events.
+//
+// Recording is off by default (enable(true) to arm); a disabled recorder
+// costs one branch per ScopedSpan. Capacity is bounded: past `max_spans`,
+// begins are dropped and counted (dropped()), never reallocated without
+// bound. Unbalanced closes - end() of an invalid, unknown, or already-closed
+// span - are counted no-ops (unbalanced_closes()); spans still open at export
+// time simply stay out of the finished set. obs::chrome_trace() turns the
+// finished spans into a chrome://tracing / Perfetto-loadable JSON timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/trace.h"
+
+namespace vialock::obs {
+
+using SpanId = std::uint32_t;
+inline constexpr SpanId kInvalidSpan = static_cast<SpanId>(-1);
+
+class SpanRecorder {
+ public:
+  struct Span {
+    std::string name;
+    Nanos start = 0;
+    Nanos dur = 0;
+    std::uint32_t tid = 0;    ///< logical track (0 = default)
+    std::uint32_t depth = 0;  ///< nesting depth within the track at begin
+    bool open = true;
+
+    [[nodiscard]] bool closed() const { return !open; }
+  };
+
+  explicit SpanRecorder(const Clock& clock, std::size_t max_spans = 1 << 16)
+      : clock_(clock), max_spans_(max_spans) {}
+
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  void enable(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Also record SpanBegin/SpanEnd events into `ring` (nullptr detaches).
+  void mirror_to(TraceRing* ring) { ring_ = ring; }
+
+  /// Open a span named `name` on track `tid` at the clock's current virtual
+  /// time. Returns kInvalidSpan (and records nothing) when disabled or full.
+  [[nodiscard]] SpanId begin(std::string_view name, std::uint32_t tid = 0);
+
+  /// Close `id` at the current virtual time. Closing kInvalidSpan is free;
+  /// closing an unknown or already-closed id is a counted no-op.
+  void end(SpanId id);
+
+  /// All spans in begin order (open ones included; exporters skip them).
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] std::size_t open_spans() const { return open_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t unbalanced_closes() const {
+    return unbalanced_closes_;
+  }
+  [[nodiscard]] const Clock& clock() const { return clock_; }
+
+  void clear() {
+    spans_.clear();
+    depth_.clear();
+    open_ = 0;
+    dropped_ = 0;
+    unbalanced_closes_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t depth_of(std::uint32_t tid) const {
+    for (const auto& [t, d] : depth_)
+      if (t == tid) return d;
+    return 0;
+  }
+  void bump_depth(std::uint32_t tid, std::int32_t delta);
+
+  const Clock& clock_;
+  std::size_t max_spans_;
+  bool enabled_ = false;
+  TraceRing* ring_ = nullptr;
+  std::vector<Span> spans_;
+  /// Per-track open-span depth; flat vector (tracks are few: one per pid at
+  /// most), insertion-ordered for determinism.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> depth_;
+  std::size_t open_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t unbalanced_closes_ = 0;
+};
+
+/// RAII span: opens at construction, closes when the scope exits. One branch
+/// when the recorder is disabled.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanRecorder& rec, std::string_view name, std::uint32_t tid = 0)
+      : rec_(rec), id_(rec.enabled() ? rec.begin(name, tid) : kInvalidSpan) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() { rec_.end(id_); }
+
+ private:
+  SpanRecorder& rec_;
+  SpanId id_;
+};
+
+}  // namespace vialock::obs

@@ -2,12 +2,43 @@
 
 #include <cassert>
 
+#include "pinmgr/pin_procfs.h"
+
 namespace vialock::pinmgr {
 
 PinGovernor::PinGovernor(simkern::Kernel& kern, GovernorConfig config)
-    : kern_(kern), config_(config) {}
+    : kern_(kern),
+      config_(config),
+      charge_ns_(kern.metrics().histogram("pinmgr.charge_ns")) {
+  kern_.metrics().register_source("pinmgr", this, [this](obs::MetricSink& s) {
+    s.counter("admitted", stats_.admitted);
+    s.counter("rejected_quota", stats_.rejected_quota);
+    s.counter("rejected_ceiling", stats_.rejected_ceiling);
+    s.counter("rejected_injected", stats_.rejected_injected);
+    s.counter("frames_charged", stats_.frames_charged);
+    s.counter("dedup_hits", stats_.dedup_hits);
+    s.counter("lazy_queued", stats_.lazy_queued);
+    s.counter("lazy_drains", stats_.lazy_drains);
+    s.counter("lazy_drained_entries", stats_.lazy_drained_entries);
+    s.counter("flushes", stats_.flushes);
+    s.counter("reclaim_invocations", stats_.reclaim_invocations);
+    s.counter("reclaim_pages", stats_.reclaim_pages);
+    s.counter("reclaim_failures", stats_.reclaim_failures);
+    s.counter("tenants_removed", stats_.tenants_removed);
+    s.counter("forced_tenant_removals", stats_.forced_tenant_removals);
+    s.counter("forced_frames_uncharged", stats_.forced_frames_uncharged);
+    s.gauge("total_charged", total_charged_);
+    s.gauge("tenants", tenants_.size());
+    s.gauge("lazy_queue_depth", queue_.size());
+  });
+  kern_.procfs().mount("pinmgr", this, [this] { return pinstat(*this); });
+}
 
-PinGovernor::~PinGovernor() { drain(); }
+PinGovernor::~PinGovernor() {
+  drain();
+  kern_.metrics().unregister_source("pinmgr", this);
+  kern_.procfs().unmount("pinmgr", this);
+}
 
 void PinGovernor::set_tenant(simkern::Pid pid, std::uint32_t quota_pages,
                              QosTier tier) {
@@ -94,6 +125,7 @@ std::uint32_t PinGovernor::fresh_frames(
 
 KStatus PinGovernor::charge(simkern::Pid pid,
                             std::span<const simkern::Pfn> pfns) {
+  const VirtualStopwatch sw(kern_.clock());
   kern_.clock().advance(kern_.costs().pin_admission);
   Tenant& t = tenant(pid);
 
@@ -102,6 +134,7 @@ KStatus PinGovernor::charge(simkern::Pid pid,
     ++t.rejections;
     kern_.trace().record(kern_.clock().now(), TraceEvent::PinRejected, pid,
                          pfns.size(), total_charged_);
+    charge_ns_.add(sw.elapsed());
     return st;
   };
 
@@ -159,6 +192,7 @@ KStatus PinGovernor::charge(simkern::Pid pid,
   ++stats_.admitted;
   kern_.trace().record(kern_.clock().now(), TraceEvent::PinCharged, pid,
                        pfns.size(), total_charged_);
+  charge_ns_.add(sw.elapsed());
   return KStatus::Ok;
 }
 

@@ -207,6 +207,8 @@ class PinGovernor final : public simkern::PressureHandler {
   simkern::Kernel& kern_;
   GovernorConfig config_;
   GovernorStats stats_;
+  /// Admission-path latency (owned by the kernel's metric registry).
+  obs::Histogram& charge_ns_;
   std::map<simkern::Pid, Tenant> tenants_;
   std::map<simkern::Pfn, std::uint32_t> global_pins_;  ///< frame -> total pins
   std::uint32_t total_charged_ = 0;

@@ -4,6 +4,9 @@
 
 #include <cassert>
 
+#include "obs/export.h"
+#include "simkern/procfs.h"
+
 namespace vialock::simkern {
 
 Kernel::Kernel(const KernelConfig& config, Clock& clock, CostModel costs)
@@ -12,7 +15,57 @@ Kernel::Kernel(const KernelConfig& config, Clock& clock, CostModel costs)
       costs_(costs),
       phys_(config.frames),
       buddy_(phys_, config.reserved_low),
-      swap_(config.swap_slots, clock, costs_) {}
+      swap_(config.swap_slots, clock, costs_) {
+  spans_.mirror_to(&trace_);
+  reclaim_ns_hist_ = &metrics_.histogram("simkern.vm.reclaim_ns");
+  reclaim_freed_hist_ = &metrics_.histogram("simkern.vm.reclaim_freed_pages");
+  metrics_.register_source("simkern", this, [this](obs::MetricSink& s) {
+    s.counter("vm.syscalls", stats_.syscalls);
+    s.counter("vm.minor_faults", stats_.minor_faults);
+    s.counter("vm.major_faults", stats_.major_faults);
+    s.counter("vm.cow_breaks", stats_.cow_breaks);
+    s.counter("vm.pages_swapped_out", stats_.pages_swapped_out);
+    s.counter("vm.pages_swapped_in", stats_.pages_swapped_in);
+    s.counter("vm.reclaim_runs", stats_.reclaim_runs);
+    s.counter("vm.clock_scanned", stats_.clock_scanned);
+    s.counter("vm.pressure_callbacks", stats_.pressure_callbacks);
+    s.counter("vm.pressure_pages_released", stats_.pressure_pages_released);
+    s.counter("vm.swap_skip_pinned", stats_.swap_skip_pinned);
+    s.counter("vm.oom_failures", stats_.oom_failures);
+    s.counter("mlock.calls", stats_.mlock_calls);
+    s.counter("kiobuf.maps", stats_.kiobuf_maps);
+    s.counter("kiobuf.pages_pinned", stats_.kiobuf_pages_pinned);
+    s.counter("filecache.hits", stats_.pagecache_hits);
+    s.counter("filecache.misses", stats_.pagecache_misses);
+    s.gauge("mem.free_frames", free_frames());
+    s.gauge("mem.pinned_frames", pinned_frames());
+    s.gauge("mem.page_cache_pages", page_cache_pages());
+  });
+  procfs_.mount("meminfo", this, [this] { return meminfo(*this); });
+  procfs_.mount("vmstat", this, [this] { return vmstat(*this); });
+  procfs_.mount("metrics", this,
+                [this] { return obs::to_proc_text(metrics_.snapshot()); });
+}
+
+void Kernel::set_fault_engine(fault::FaultEngine* engine) {
+  if (faults_ && faults_ != engine) {
+    metrics_.unregister_source("fault", faults_);
+  }
+  faults_ = engine;
+  swap_.set_fault_engine(engine);
+  buddy_.set_fault_engine(engine);
+  if (engine) {
+    metrics_.register_source("fault", engine, [engine](obs::MetricSink& s) {
+      s.counter("injected_total", engine->stats().total_injected());
+      for (std::size_t i = 0; i < fault::kNumFaultSites; ++i) {
+        const auto site = static_cast<fault::FaultSite>(i);
+        const std::string base(fault::to_string(site));
+        s.counter(base + ".seen", engine->stats().events_seen[i]);
+        s.counter(base + ".injected", engine->stats().faults_injected[i]);
+      }
+    });
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Tasks

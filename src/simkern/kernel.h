@@ -21,6 +21,9 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/proc_registry.h"
+#include "obs/span.h"
 #include "simkern/buddy.h"
 #include "simkern/kiobuf.h"
 #include "simkern/page.h"
@@ -228,12 +231,9 @@ class Kernel {
   // --- fault injection (src/fault) -----------------------------------------------
   /// Arm `engine` on every fallible kernel component (swap device, buddy
   /// allocator, kiobuf mapping); nullptr disarms. The engine must outlive
-  /// the kernel or be disarmed first.
-  void set_fault_engine(fault::FaultEngine* engine) {
-    faults_ = engine;
-    swap_.set_fault_engine(engine);
-    buddy_.set_fault_engine(engine);
-  }
+  /// the kernel or be disarmed first. While armed, the engine's per-site
+  /// seen/injected counters export through metrics() as `fault.*`.
+  void set_fault_engine(fault::FaultEngine* engine);
   [[nodiscard]] const fault::FaultEngine* fault_engine() const {
     return faults_;
   }
@@ -272,6 +272,19 @@ class Kernel {
   [[nodiscard]] KernelStats& mutable_stats() { return stats_; }
   /// Event trace ring (disabled by default; `trace().enable(true)`).
   [[nodiscard]] TraceRing& trace() { return trace_; }
+  /// Unified metric registry (DESIGN.md section 10). The kernel registers its
+  /// own stats as the `simkern.*` source; every component built on this
+  /// kernel (NIC, agent, governor, caches, channels) publishes here too.
+  [[nodiscard]] obs::MetricRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricRegistry& metrics() const { return metrics_; }
+  /// Sim-clock span recorder, mirrored into trace(). Disabled by default;
+  /// `spans().enable(true)` to arm, obs::chrome_trace(spans()) to export.
+  [[nodiscard]] obs::SpanRecorder& spans() { return spans_; }
+  [[nodiscard]] const obs::SpanRecorder& spans() const { return spans_; }
+  /// The /proc mount table: meminfo, vmstat, metrics, plus whatever the
+  /// upper layers mount (via/agent, pinmgr, regcache/<pid>, ...).
+  [[nodiscard]] obs::ProcRegistry& procfs() { return procfs_; }
+  [[nodiscard]] const obs::ProcRegistry& procfs() const { return procfs_; }
   [[nodiscard]] const KernelConfig& config() const { return config_; }
   [[nodiscard]] std::uint32_t free_frames() const { return buddy_.free_frames(); }
   /// Frames currently pinned (kiobuf pin accounting, deduplicated per frame).
@@ -305,6 +318,12 @@ class Kernel {
   SwapDevice swap_;
   KernelStats stats_;
   TraceRing trace_{2048};
+  obs::MetricRegistry metrics_;
+  obs::SpanRecorder spans_{clock_};
+  obs::ProcRegistry procfs_;
+  // Cached hot-path handles into metrics_ (vmscan instrumentation).
+  obs::Histogram* reclaim_ns_hist_ = nullptr;
+  obs::Histogram* reclaim_freed_hist_ = nullptr;
   fault::FaultEngine* faults_ = nullptr;
 
   std::unordered_map<Pid, std::unique_ptr<Task>> tasks_;

@@ -24,6 +24,8 @@ namespace vialock::simkern {
 
 std::uint32_t Kernel::try_to_free_pages(std::uint32_t target) {
   ++stats_.reclaim_runs;
+  const obs::ScopedSpan span(spans_, "simkern.try_to_free_pages");
+  const VirtualStopwatch sw(clock_);
   // Like do_try_to_free_pages(): shrink the page cache first, escalating the
   // scan until either the target is met or the clock hand has swept the
   // whole page map twice (one ageing pass + one freeing pass). Only then
@@ -53,6 +55,8 @@ std::uint32_t Kernel::try_to_free_pages(std::uint32_t target) {
     if (n == 0) break;
     freed += n;
   }
+  reclaim_ns_hist_->add(sw.elapsed());
+  reclaim_freed_hist_->add(freed);
   return freed;
 }
 
@@ -90,6 +94,7 @@ std::uint32_t Kernel::shrink_mmap(std::uint32_t budget) {
 
 std::uint32_t Kernel::swap_out(std::uint32_t target) {
   if (task_order_.empty()) return 0;
+  const obs::ScopedSpan span(spans_, "simkern.swap_out");
   std::uint32_t freed = 0;
   // Visit each task at most once per invocation, starting at the rotor.
   for (std::size_t i = 0; i < task_order_.size() && freed < target; ++i) {

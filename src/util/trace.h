@@ -40,6 +40,8 @@ enum class TraceEvent : std::uint8_t {
   LazyDeregQueued, ///< deregistration deferred to the governor (addr = reg id)
   LazyDeregDrained,///< deferred-dereg queue drained (addr = entries, pfn = pages)
   PinReclaimed,    ///< cooperative reclaim pass (addr = pages released)
+  SpanBegin,       ///< obs::SpanRecorder opened a span (pid = track, addr = id)
+  SpanEnd,         ///< obs::SpanRecorder closed a span (pid = track, addr = id)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(TraceEvent e) {
@@ -67,6 +69,8 @@ enum class TraceEvent : std::uint8_t {
     case TraceEvent::LazyDeregQueued: return "lazy-dereg-queued";
     case TraceEvent::LazyDeregDrained: return "lazy-dereg-drained";
     case TraceEvent::PinReclaimed: return "pin-reclaimed";
+    case TraceEvent::SpanBegin: return "span-begin";
+    case TraceEvent::SpanEnd: return "span-end";
   }
   return "?";
 }

@@ -3,9 +3,52 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <sstream>
 #include <vector>
 
 namespace vialock::via {
+
+std::string agent_status(const AgentStats& s) {
+  std::ostringstream os;
+  os << "registrations " << s.registrations << "\n"
+     << "deregistrations " << s.deregistrations << "\n"
+     << "pages_registered " << s.pages_registered << "\n"
+     << "lock_failures " << s.lock_failures << "\n"
+     << "tpt_full " << s.tpt_full << "\n"
+     << "admission_rejects " << s.admission_rejects << "\n"
+     << "lazy_deregs " << s.lazy_deregs << "\n"
+     << "refresh_failures " << s.refresh_failures << "\n";
+  return os.str();
+}
+
+KernelAgent::KernelAgent(simkern::Kernel& kern, Nic& nic, LockPolicy& policy)
+    : kern_(kern),
+      nic_(nic),
+      policy_(policy),
+      register_ns_(kern.metrics().histogram("via.agent.register_ns")),
+      dereg_ns_(kern.metrics().histogram("via.agent.dereg_ns")),
+      refresh_ns_(kern.metrics().histogram("via.agent.refresh_ns")),
+      tpt_alloc_pages_(kern.metrics().histogram("via.tpt.alloc_pages")) {
+  kern_.metrics().register_source(
+      "via.agent", this, [this](obs::MetricSink& s) {
+        s.counter("registrations", stats_.registrations);
+        s.counter("deregistrations", stats_.deregistrations);
+        s.counter("pages_registered", stats_.pages_registered);
+        s.counter("lock_failures", stats_.lock_failures);
+        s.counter("tpt_full", stats_.tpt_full);
+        s.counter("admission_rejects", stats_.admission_rejects);
+        s.counter("lazy_deregs", stats_.lazy_deregs);
+        s.counter("refresh_failures", stats_.refresh_failures);
+        s.gauge("live_registrations", regs_.size());
+      });
+  kern_.procfs().mount("via/agent", this,
+                       [this] { return agent_status(stats_); });
+}
+
+KernelAgent::~KernelAgent() {
+  kern_.metrics().unregister_source("via.agent", this);
+  kern_.procfs().unmount("via/agent", this);
+}
 
 ProtectionTag KernelAgent::create_ptag(simkern::Pid pid) {
   kern_.clock().advance(kern_.costs().syscall);
@@ -28,16 +71,22 @@ std::optional<simkern::VAddr> KernelAgent::map_doorbell(simkern::Pid pid,
 KStatus KernelAgent::register_mem(simkern::Pid pid, simkern::VAddr addr,
                                   std::uint64_t len, ProtectionTag tag,
                                   MemHandle& out, RegisterOptions opts) {
+  const obs::ScopedSpan span(kern_.spans(), "via.register_mem");
+  const VirtualStopwatch sw(kern_.clock());
+  const auto charge = [&](KStatus st) {
+    register_ns_.add(sw.elapsed());
+    return st;
+  };
   kern_.clock().advance(kern_.costs().syscall);  // the registration ioctl
   ++kern_.mutable_stats().syscalls;
-  if (tag == kInvalidTag || len == 0) return KStatus::Inval;
+  if (tag == kInvalidTag || len == 0) return charge(KStatus::Inval);
 
   Registration reg;
   reg.opts = opts;
   const KStatus st = policy_.lock(pid, addr, len, reg.lock);
   if (!ok(st)) {
     ++stats_.lock_failures;
-    return st;
+    return charge(st);
   }
 
   if (governor_) {
@@ -45,7 +94,7 @@ KStatus KernelAgent::register_mem(simkern::Pid pid, simkern::VAddr addr,
     if (!ok(gst)) {
       policy_.unlock(reg.lock);
       ++stats_.admission_rejects;
-      return gst;
+      return charge(gst);
     }
   }
 
@@ -61,8 +110,9 @@ KStatus KernelAgent::register_mem(simkern::Pid pid, simkern::VAddr addr,
     if (governor_) governor_->uncharge(pid, reg.lock.pfns);
     policy_.unlock(reg.lock);
     ++stats_.tpt_full;
-    return KStatus::NoSpc;
+    return charge(KStatus::NoSpc);
   }
+  tpt_alloc_pages_.add(pages);
   for (std::uint32_t i = 0; i < pages; ++i) {
     nic_.program_tpt(base + i, TptEntry{.valid = true,
                                         .pfn = reg.lock.pfns[i],
@@ -84,15 +134,21 @@ KStatus KernelAgent::register_mem(simkern::Pid pid, simkern::VAddr addr,
   kern_.trace().record(kern_.clock().now(),
                        vialock::TraceEvent::RegionRegistered, pid, addr,
                        base);
-  return KStatus::Ok;
+  return charge(KStatus::Ok);
 }
 
 KStatus KernelAgent::deregister_mem(const MemHandle& handle) {
+  const obs::ScopedSpan span(kern_.spans(), "via.deregister_mem");
+  const VirtualStopwatch sw(kern_.clock());
+  const auto charge = [&](KStatus st) {
+    dereg_ns_.add(sw.elapsed());
+    return st;
+  };
   auto it = regs_.find(handle.id);
   if (it == regs_.end()) {
     kern_.clock().advance(kern_.costs().syscall);  // the failed ioctl
     ++kern_.mutable_stats().syscalls;
-    return KStatus::NoEnt;
+    return charge(KStatus::NoEnt);
   }
   auto reg = std::make_shared<Registration>(std::move(it->second));
   regs_.erase(it);
@@ -107,14 +163,14 @@ KStatus KernelAgent::deregister_mem(const MemHandle& handle) {
     d.release = [this, reg] { return finish_dereg(*reg); };
     if (governor_->defer_dereg(std::move(d))) {
       ++stats_.lazy_deregs;
-      return KStatus::Ok;
+      return charge(KStatus::Ok);
     }
   }
 
   kern_.clock().advance(kern_.costs().syscall);
   ++kern_.mutable_stats().syscalls;
   finish_dereg(*reg);
-  return KStatus::Ok;
+  return charge(KStatus::Ok);
 }
 
 std::uint32_t KernelAgent::finish_dereg(Registration& reg) {
@@ -150,10 +206,16 @@ void KernelAgent::release_tenant(simkern::Pid pid) {
 }
 
 KStatus KernelAgent::refresh_tpt(const MemHandle& handle) {
+  const obs::ScopedSpan span(kern_.spans(), "via.refresh_tpt");
+  const VirtualStopwatch sw(kern_.clock());
+  const auto charge = [&](KStatus st) {
+    refresh_ns_.add(sw.elapsed());
+    return st;
+  };
   kern_.clock().advance(kern_.costs().syscall);
   ++kern_.mutable_stats().syscalls;
   auto it = regs_.find(handle.id);
-  if (it == regs_.end()) return KStatus::NoEnt;
+  if (it == regs_.end()) return charge(KStatus::NoEnt);
   Registration& reg = it->second;
 
   // Semantically a re-registration that keeps its TPT slots: drop the old
@@ -185,13 +247,13 @@ KStatus KernelAgent::refresh_tpt(const MemHandle& handle) {
     // Seed bug: this returned with the dead registration still in regs_ -
     // an empty LockHandle, leaked TPT slots, stale pfns live in the NIC.
     teardown();
-    return st;
+    return charge(st);
   }
   if (reg.lock.pfns.size() != reg.handle.pages) {
     // Seed bug: returned Fault while keeping the fresh (uncharged) pin and
     // the stale TPT programming.
     teardown();
-    return KStatus::Fault;
+    return charge(KStatus::Fault);
   }
   if (governor_) {
     // Re-admit the refreshed frames. Same tenant, same page count: this can
@@ -200,7 +262,7 @@ KStatus KernelAgent::refresh_tpt(const MemHandle& handle) {
     const KStatus gst = governor_->charge(pid, reg.lock.pfns);
     if (!ok(gst)) {
       teardown();
-      return gst;
+      return charge(gst);
     }
   }
 
@@ -209,7 +271,7 @@ KStatus KernelAgent::refresh_tpt(const MemHandle& handle) {
     e.pfn = reg.lock.pfns[i];
     nic_.program_tpt(reg.handle.tpt_base + i, e);
   }
-  return KStatus::Ok;
+  return charge(KStatus::Ok);
 }
 
 const LockHandle* KernelAgent::lock_handle(std::uint64_t reg_id) const {

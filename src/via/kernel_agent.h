@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 
 #include "pinmgr/pin_governor.h"
@@ -37,15 +38,37 @@ struct AgentStats {
                                         ///< down on a failed re-pin
 };
 
+/// /proc/via/agent: the agent's registration counters as "key value" lines.
+[[nodiscard]] std::string agent_status(const AgentStats& stats);
+
 class KernelAgent {
  public:
+  /// Attributes of a registration. Prefer the named factories over brace
+  /// initialisation - positional bools read as line noise at call sites.
   struct RegisterOptions {
     bool rdma_write = true;
     bool rdma_read = true;
+
+    /// The default: remote writes and reads both enabled.
+    [[nodiscard]] static constexpr RegisterOptions rdma_enabled() {
+      return {true, true};
+    }
+    /// Send/receive only - the region refuses all RDMA access.
+    [[nodiscard]] static constexpr RegisterOptions send_recv_only() {
+      return {false, false};
+    }
+    /// Inbound RDMA writes only (a receive window).
+    [[nodiscard]] static constexpr RegisterOptions rdma_write_only() {
+      return {true, false};
+    }
+    /// Outbound RDMA reads only (an exported source buffer).
+    [[nodiscard]] static constexpr RegisterOptions rdma_read_only() {
+      return {false, true};
+    }
   };
 
-  KernelAgent(simkern::Kernel& kern, Nic& nic, LockPolicy& policy)
-      : kern_(kern), nic_(nic), policy_(policy) {}
+  KernelAgent(simkern::Kernel& kern, Nic& nic, LockPolicy& policy);
+  ~KernelAgent();
 
   KernelAgent(const KernelAgent&) = delete;
   KernelAgent& operator=(const KernelAgent&) = delete;
@@ -65,12 +88,9 @@ class KernelAgent {
   /// VipRegisterMem: pin [addr, addr+len) and enter it into the TPT.
   [[nodiscard]] KStatus register_mem(simkern::Pid pid, simkern::VAddr addr,
                                      std::uint64_t len, ProtectionTag tag,
-                                     MemHandle& out, RegisterOptions opts);
-  [[nodiscard]] KStatus register_mem(simkern::Pid pid, simkern::VAddr addr,
-                                     std::uint64_t len, ProtectionTag tag,
-                                     MemHandle& out) {
-    return register_mem(pid, addr, len, tag, out, RegisterOptions{});
-  }
+                                     MemHandle& out,
+                                     RegisterOptions opts =
+                                         RegisterOptions::rdma_enabled());
 
   /// VipDeregisterMem: release TPT entries and undo the pin.
   [[nodiscard]] KStatus deregister_mem(const MemHandle& handle);
@@ -122,6 +142,11 @@ class KernelAgent {
   LockPolicy& policy_;
   pinmgr::PinGovernor* governor_ = nullptr;
   AgentStats stats_;
+  // Ioctl latency histograms, owned by the kernel's metric registry.
+  obs::Histogram& register_ns_;
+  obs::Histogram& dereg_ns_;
+  obs::Histogram& refresh_ns_;
+  obs::Histogram& tpt_alloc_pages_;
   std::unordered_map<std::uint64_t, Registration> regs_;
   std::uint64_t next_reg_id_ = 1;
   ProtectionTag next_tag_ = 1;

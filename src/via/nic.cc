@@ -13,7 +13,35 @@ Nic::Nic(simkern::Kernel& host, Clock& clock, const CostModel& costs,
       clock_(clock),
       costs_(costs),
       config_(config),
-      tpt_(config.tpt_entries) {}
+      tpt_(config.tpt_entries),
+      dma_bytes_(host.metrics().histogram("via.nic.dma_bytes")) {
+  host_.metrics().register_source("via.nic", this, [this](obs::MetricSink& s) {
+    s.counter("doorbells", stats_.doorbells);
+    s.counter("sends_posted", stats_.sends_posted);
+    s.counter("recvs_posted", stats_.recvs_posted);
+    s.counter("sends_ok", stats_.sends_ok);
+    s.counter("recvs_ok", stats_.recvs_ok);
+    s.counter("rdma_writes", stats_.rdma_writes);
+    s.counter("rdma_reads", stats_.rdma_reads);
+    s.counter("protection_errors", stats_.protection_errors);
+    s.counter("no_recv_desc", stats_.no_recv_desc);
+    s.counter("length_errors", stats_.length_errors);
+    s.counter("bytes_tx", stats_.bytes_tx);
+    s.counter("bytes_rx", stats_.bytes_rx);
+    s.counter("tpt_writes", stats_.tpt_writes);
+    s.counter("doorbells_dropped", stats_.doorbells_dropped);
+    s.counter("dma_corruptions", stats_.dma_corruptions);
+    s.counter("tpt_corruptions", stats_.tpt_corruptions);
+    s.counter("tpt_evictions", stats_.tpt_evictions);
+    s.gauge("tpt.used", tpt_.used());
+    s.gauge("tpt.free", tpt_.free_entries());
+    s.gauge("tpt.free_extents", tpt_.free_extent_count());
+    s.gauge("tpt.largest_free_run", tpt_.largest_free_run());
+    s.gauge("vis", vis_.size());
+  });
+}
+
+Nic::~Nic() { host_.metrics().unregister_source("via.nic", this); }
 
 ViId Nic::create_vi(ProtectionTag tag, bool reliable) {
   if (vis_.size() >= config_.max_vis || tag == kInvalidTag) return kInvalidVi;
@@ -343,6 +371,7 @@ std::optional<Descriptor> Nic::poll_recv(ViId id) {
 // ---------------------------------------------------------------------------
 
 DescStatus Nic::deliver(Packet& pkt, std::vector<std::byte>* read_back) {
+  dma_bytes_.add(pkt.payload.size());
   if (!vi_exists(pkt.dst_vi)) return DescStatus::ErrDisconnected;
   Vi& v = vis_[pkt.dst_vi];
   if (!v.connected() || v.peer_node != pkt.src_node || v.peer_vi != pkt.src_vi) {

@@ -56,6 +56,7 @@ class Nic {
  public:
   Nic(simkern::Kernel& host, Clock& clock, const CostModel& costs,
       NicConfig config = {});
+  ~Nic();
 
   Nic(const Nic&) = delete;
   Nic& operator=(const Nic&) = delete;
@@ -158,6 +159,8 @@ class Nic {
   NodeId node_id_ = kInvalidNode;
   fault::FaultEngine* faults_ = nullptr;
   NicStats stats_;
+  // Payload size distribution of packets delivered by the DMA engine.
+  obs::Histogram& dma_bytes_;
 };
 
 }  // namespace vialock::via

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string_view>
 
 #include "via/descriptor.h"
 #include "via/tpt.h"
@@ -15,6 +16,35 @@
 namespace vialock::via {
 
 enum class ViState : std::uint8_t { Idle, Connected, Error };
+
+/// VIA delivery service classes (VI spec: reliability is a VI attribute
+/// chosen at creation, not per descriptor).
+enum class Reliability : std::uint8_t {
+  Unreliable,  ///< frames may be lost silently; errors do not break the VI
+  Reliable,    ///< delivery errors transition the VI to the Error state
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Reliability r) {
+  switch (r) {
+    case Reliability::Unreliable: return "unreliable";
+    case Reliability::Reliable: return "reliable";
+  }
+  return "?";
+}
+
+/// Creation-time attributes of a VI (VipCreateVi's ViAttribs, reduced to
+/// what the simulation models). Named factories for the two service classes
+/// keep call sites self-describing.
+struct ViAttributes {
+  Reliability reliability = Reliability::Reliable;
+
+  [[nodiscard]] static constexpr ViAttributes reliable() {
+    return {Reliability::Reliable};
+  }
+  [[nodiscard]] static constexpr ViAttributes unreliable() {
+    return {Reliability::Unreliable};
+  }
+};
 
 /// Completion queue identifier (VIs may direct completions to shared CQs).
 using CqId = std::uint32_t;

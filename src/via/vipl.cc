@@ -17,9 +17,14 @@ KStatus Vipl::deregister_mem(const MemHandle& handle) {
   return agent_.deregister_mem(handle);
 }
 
-ViId Vipl::create_vi(bool reliable) {
-  if (tag_ == kInvalidTag) return kInvalidVi;
-  return agent_.nic().create_vi(tag_, reliable);
+KStatus Vipl::create_vi(ViId& out, ViAttributes attrs) {
+  out = kInvalidVi;
+  if (tag_ == kInvalidTag) return KStatus::Proto;
+  const ViId id = agent_.nic().create_vi(
+      tag_, attrs.reliability == Reliability::Reliable);
+  if (id == kInvalidVi) return KStatus::NoSpc;
+  out = id;
+  return KStatus::Ok;
 }
 
 Descriptor Vipl::build(DescOp op, const MemHandle& mh, simkern::VAddr addr,

@@ -27,17 +27,18 @@ class Vipl {
   [[nodiscard]] simkern::Pid pid() const { return pid_; }
 
   // --- memory ------------------------------------------------------------------
+  /// VipRegisterMem. `opts` defaults to RDMA-enabled; use the
+  /// KernelAgent::RegisterOptions named factories (send_recv_only(),
+  /// rdma_write_only(), ...) for anything else.
   [[nodiscard]] KStatus register_mem(simkern::VAddr addr, std::uint64_t len,
                                      MemHandle& out,
-                                     KernelAgent::RegisterOptions opts);
-  [[nodiscard]] KStatus register_mem(simkern::VAddr addr, std::uint64_t len,
-                                     MemHandle& out) {
-    return register_mem(addr, len, out, KernelAgent::RegisterOptions{});
-  }
+                                     KernelAgent::RegisterOptions opts = {});
   [[nodiscard]] KStatus deregister_mem(const MemHandle& handle);
 
   // --- VIs ------------------------------------------------------------------------
-  [[nodiscard]] ViId create_vi(bool reliable = true);
+  /// VipCreateVi: returns Ok and fills `out`, or Proto (no open ptag) /
+  /// NoSpc (the NIC's VI table is full).
+  [[nodiscard]] KStatus create_vi(ViId& out, ViAttributes attrs = {});
 
   // --- data transfer ----------------------------------------------------------
   [[nodiscard]] KStatus post_send(ViId vi, const MemHandle& mh,

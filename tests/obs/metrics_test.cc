@@ -1,0 +1,174 @@
+// metrics_test.cc - unit tests for the obs metric registry (ISSUE/PR4):
+// histogram bucket boundaries, snapshot determinism, source owner semantics,
+// exporter text stability.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "obs/export.h"
+
+namespace vialock::obs {
+namespace {
+
+// --- histogram bucketing -----------------------------------------------------
+
+TEST(Histogram, BucketBoundaries) {
+  // bucket 0 = {0}, bucket 1 = {1}, bucket k = [2^(k-1), 2^k - 1].
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  for (std::size_t k = 1; k < 64; ++k) {
+    const std::uint64_t pow = 1ULL << k;
+    EXPECT_EQ(Histogram::bucket_of(pow), k + 1) << "2^" << k;
+    EXPECT_EQ(Histogram::bucket_of(pow - 1), k) << "2^" << k << "-1";
+    if (pow + 1 < 2 * pow) {
+      EXPECT_EQ(Histogram::bucket_of(pow + 1), k + 1) << "2^" << k << "+1";
+    }
+  }
+  EXPECT_EQ(Histogram::bucket_of(std::numeric_limits<std::uint64_t>::max()),
+            64u);
+}
+
+TEST(Histogram, UpperBoundsMatchBuckets) {
+  EXPECT_EQ(Histogram::upper_bound(0), 0u);
+  EXPECT_EQ(Histogram::upper_bound(1), 1u);
+  EXPECT_EQ(Histogram::upper_bound(2), 3u);
+  EXPECT_EQ(Histogram::upper_bound(10), 1023u);
+  EXPECT_EQ(Histogram::upper_bound(64),
+            std::numeric_limits<std::uint64_t>::max());
+  // Every bucket's upper bound maps back into that bucket.
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Histogram::bucket_of(Histogram::upper_bound(i)), i) << i;
+  }
+}
+
+TEST(Histogram, CountSumMaxQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+
+  for (const std::uint64_t v : {0u, 1u, 2u, 3u, 100u, 1000u}) h.add(v);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 1106u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.bucket(0), 1u);  // {0}
+  EXPECT_EQ(h.bucket(1), 1u);  // {1}
+  EXPECT_EQ(h.bucket(2), 2u);  // {2, 3}
+  // Rank 0.99*(6-1) = 4, the 5th smallest sample (100): its bucket's upper
+  // bound is 127. The largest sample's bucket answers q = 1.0.
+  EXPECT_EQ(h.quantile(0.99), 127u);
+  EXPECT_EQ(h.quantile(1.0), 1023u);
+}
+
+TEST(Histogram, MaxTracksZeroOnlySamples) {
+  Histogram h;
+  h.add(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), 0u);
+  h.add(7);
+  h.add(2);
+  EXPECT_EQ(h.max(), 7u);
+}
+
+// --- registry instruments ----------------------------------------------------
+
+TEST(MetricRegistry, GetOrCreateHandlesAreStable) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("x.a");
+  a.inc(3);
+  // Creating more instruments must not move existing ones.
+  for (int i = 0; i < 100; ++i) {
+    (void)reg.counter("x.fill" + std::to_string(i));
+  }
+  Counter& a2 = reg.counter("x.a");
+  EXPECT_EQ(&a, &a2);
+  EXPECT_EQ(a2.value(), 3u);
+}
+
+TEST(MetricRegistry, SnapshotSortedByName) {
+  MetricRegistry reg;
+  reg.counter("z.last").inc();
+  reg.gauge("a.first").set(1);
+  reg.histogram("m.middle").add(5);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a.first");
+  EXPECT_EQ(snap[1].name, "m.middle");
+  EXPECT_EQ(snap[2].name, "z.last");
+  EXPECT_EQ(snap[1].kind, MetricKind::Histogram);
+  EXPECT_EQ(snap[1].count, 1u);
+}
+
+// --- pull sources and owner semantics ---------------------------------------
+
+TEST(MetricRegistry, SourcePrefixesNames) {
+  MetricRegistry reg;
+  int owner = 0;
+  reg.register_source("via.agent", &owner, [](MetricSink& s) {
+    s.counter("hits", 5);
+    s.gauge("live", 2);
+  });
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "via.agent.hits");
+  EXPECT_EQ(snap[0].value, 5u);
+  EXPECT_EQ(snap[1].name, "via.agent.live");
+  EXPECT_EQ(snap[1].kind, MetricKind::Gauge);
+}
+
+TEST(MetricRegistry, ReRegisterReplacesAndOldOwnerUnregisterIsNoop) {
+  // The Node::enable_governor sequence: the replacement registers the name
+  // BEFORE the original is destroyed; the original's dtor unregister must
+  // not tear down the replacement's source.
+  MetricRegistry reg;
+  int old_owner = 0, new_owner = 0;
+  reg.register_source("pinmgr", &old_owner,
+                      [](MetricSink& s) { s.counter("v", 1); });
+  reg.register_source("pinmgr", &new_owner,
+                      [](MetricSink& s) { s.counter("v", 2); });
+  reg.unregister_source("pinmgr", &old_owner);  // stale: must be a no-op
+  ASSERT_EQ(reg.num_sources(), 1u);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].value, 2u) << "the replacement's source must survive";
+  reg.unregister_source("pinmgr", &new_owner);
+  EXPECT_EQ(reg.num_sources(), 0u);
+}
+
+TEST(MetricRegistry, SnapshotDeterminismAcrossIdenticalRuns) {
+  // Two registries fed the same sequence must export byte-identical text -
+  // the property the --metrics determinism gate builds on.
+  const auto populate = [](MetricRegistry& reg, int& owner) {
+    reg.counter("via.agent.register_total").inc(7);
+    reg.gauge("simkern.mem.free_frames").set(1234);
+    Histogram& h = reg.histogram("via.agent.register_ns");
+    for (std::uint64_t v = 1; v < 100; v += 7) h.add(v * v);
+    reg.register_source("msg.ch", &owner, [](MetricSink& s) {
+      s.counter("bytes_moved", 65536);
+      s.counter("retries", 3);
+    });
+  };
+  MetricRegistry r1, r2;
+  int o1 = 0, o2 = 0;
+  populate(r1, o1);
+  populate(r2, o2);
+  EXPECT_EQ(to_proc_text(r1.snapshot()), to_proc_text(r2.snapshot()));
+  EXPECT_EQ(to_json(r1.snapshot()), to_json(r2.snapshot()));
+  // And a second snapshot of the same registry is identical to the first.
+  EXPECT_EQ(to_proc_text(r1.snapshot()), to_proc_text(r1.snapshot()));
+}
+
+TEST(ProcText, HistogramRendersSummaryLines) {
+  MetricRegistry reg;
+  reg.histogram("via.agent.register_ns").add(1000);
+  const std::string text = to_proc_text(reg.snapshot());
+  EXPECT_NE(text.find("via.agent.register_ns.count 1\n"), std::string::npos);
+  EXPECT_NE(text.find("via.agent.register_ns.sum 1000\n"), std::string::npos);
+  EXPECT_NE(text.find("via.agent.register_ns.max 1000\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vialock::obs

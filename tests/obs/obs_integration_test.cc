@@ -1,0 +1,134 @@
+// obs_integration_test.cc - whole-stack observability checks (ISSUE/PR4
+// acceptance): every subsystem exports through the one registry, the /proc
+// tree is readable through the one interface, and the --metrics / trace
+// exports are byte-identical across identical runs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "experiments/locktest.h"
+#include "fault/fault.h"
+#include "msg/transport.h"
+#include "obs/export.h"
+#include "../via/via_util.h"
+
+namespace vialock {
+namespace {
+
+/// First dot-segment of a metric name ("via.agent.register_total" -> "via").
+std::string subsystem_of(const std::string& name) {
+  return name.substr(0, name.find('.'));
+}
+
+/// A two-node cluster exercising all six instrumented subsystems on the
+/// sender node: governor admission (pinmgr), channel transfers (msg), the
+/// registration cache (core), agent/NIC work (via), swap traffic (simkern),
+/// and an armed fault engine (fault).
+struct FullStackRig {
+  FullStackRig()
+      : n0(cluster.add_node(test::small_node())),
+        n1(cluster.add_node(test::small_node())),
+        engine(fault::FaultPlan{}, cluster.clock()),
+        channel(cluster, n0, n1, config()) {
+    cluster.node(n0).enable_governor();
+    cluster.inject_faults(&engine);
+    if (!ok(channel.init())) std::abort();
+  }
+
+  static msg::Channel::Config config() {
+    msg::Channel::Config cfg;
+    cfg.user_heap_bytes = 512 * 1024;
+    return cfg;
+  }
+
+  void transfer_some() {
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(ok(channel.transfer(msg::Protocol::Rendezvous, 0, 0,
+                                      48 * 1024)));
+      ASSERT_TRUE(ok(channel.transfer(msg::Protocol::Eager, 0, 0, 512)));
+    }
+  }
+
+  simkern::Kernel& kern() { return cluster.node(n0).kernel(); }
+
+  via::Cluster cluster;
+  via::NodeId n0, n1;
+  fault::FaultEngine engine;
+  msg::Channel channel;
+};
+
+TEST(ObsIntegration, SixSubsystemsEachExportAtLeastThreeMetrics) {
+  FullStackRig rig;
+  rig.transfer_some();
+
+  std::map<std::string, int> per_subsystem;
+  for (const obs::Metric& m : rig.kern().metrics().snapshot()) {
+    ++per_subsystem[subsystem_of(m.name)];
+  }
+  for (const char* subsystem :
+       {"simkern", "via", "core", "pinmgr", "msg", "fault"}) {
+    EXPECT_GE(per_subsystem[subsystem], 3) << subsystem;
+  }
+}
+
+TEST(ObsIntegration, ProcTreeServesEveryMountedNode) {
+  FullStackRig rig;
+  rig.transfer_some();
+
+  const obs::ProcRegistry& proc = rig.kern().procfs();
+  for (const char* path : {"meminfo", "vmstat", "metrics", "via/agent",
+                           "pinmgr"}) {
+    const auto text = proc.read(path);
+    ASSERT_TRUE(text.has_value()) << path;
+    EXPECT_FALSE(text->empty()) << path;
+  }
+  // The channel's registration cache mounts a per-pid node.
+  bool saw_regcache = false;
+  for (const std::string& path : proc.ls()) {
+    saw_regcache |= path.rfind("regcache/p", 0) == 0;
+  }
+  EXPECT_TRUE(saw_regcache);
+  // /proc/metrics is the registry snapshot, same bytes as the exporter.
+  EXPECT_EQ(proc.read("metrics").value_or(""),
+            obs::to_proc_text(rig.kern().metrics().snapshot()));
+}
+
+/// One instrumented pressure locktest (what `bench_e1_locktest --metrics
+/// --trace-export` runs), returning all three export documents.
+struct Exports {
+  std::string proc_text;
+  std::string json;
+  std::string trace;
+};
+
+Exports run_instrumented_locktest() {
+  Clock clock;
+  CostModel costs;
+  via::Node node(test::small_node(via::PolicyKind::Kiobuf, /*frames=*/1024),
+                 clock, costs);
+  node.kernel().spans().enable(true);
+  experiments::LocktestConfig cfg;
+  cfg.region_pages = 64;
+  cfg.pressure_factor = 1.5;
+  const auto r = experiments::run_locktest(node, cfg);
+  EXPECT_TRUE(ok(r.status));
+  return {obs::to_proc_text(node.kernel().metrics().snapshot()),
+          obs::to_json(node.kernel().metrics().snapshot()),
+          obs::chrome_trace(node.kernel().spans())};
+}
+
+TEST(ObsIntegration, MetricAndTraceExportsAreByteIdenticalAcrossRuns) {
+  const Exports a = run_instrumented_locktest();
+  const Exports b = run_instrumented_locktest();
+  EXPECT_EQ(a.proc_text, b.proc_text);
+  EXPECT_EQ(a.json, b.json);
+  EXPECT_EQ(a.trace, b.trace);
+  // The run did real work: registration latency histogram and spans exist.
+  EXPECT_NE(a.proc_text.find("via.agent.register_ns.count"),
+            std::string::npos);
+  EXPECT_NE(a.trace.find("via.register_mem"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vialock

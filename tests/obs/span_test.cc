@@ -1,0 +1,292 @@
+// span_test.cc - sim-clock spans: nesting, unbalanced-close handling,
+// capacity bounds, TraceRing mirroring, chrome-trace JSON well-formedness,
+// and the ProcRegistry mount/owner semantics.
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/proc_registry.h"
+#include "util/clock.h"
+#include "util/trace.h"
+
+namespace vialock::obs {
+namespace {
+
+// --- a minimal JSON well-formedness checker ---------------------------------
+// Syntax only (objects, arrays, strings, numbers, literals); enough to prove
+// the hand-rendered exports parse. Rejects trailing garbage.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  [[nodiscard]] bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek('}')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek(']')) return true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek(']')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+  bool string() {
+    if (!expect('"')) return false;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    return expect('"');
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(std::string_view lit) {
+    if (s_.compare(pos_, lit.size(), lit) != 0) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  bool peek(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(JsonCheckerSelfTest, AcceptsAndRejects) {
+  EXPECT_TRUE(JsonChecker(R"({"a": [1, 2.5, "x\"y", true, null]})").valid());
+  EXPECT_FALSE(JsonChecker(R"({"a": )").valid());
+  EXPECT_FALSE(JsonChecker(R"({"a": 1} trailing)").valid());
+  EXPECT_FALSE(JsonChecker(R"([1, 2,])").valid());
+}
+
+// --- spans -------------------------------------------------------------------
+
+TEST(SpanRecorder, DisabledRecordsNothing) {
+  Clock clock;
+  SpanRecorder rec(clock);
+  EXPECT_EQ(rec.begin("x"), kInvalidSpan);
+  { const ScopedSpan s(rec, "scoped"); }
+  EXPECT_TRUE(rec.spans().empty());
+  EXPECT_EQ(rec.unbalanced_closes(), 0u) << "ending kInvalidSpan is free";
+}
+
+TEST(SpanRecorder, NestingDepthsAndDurations) {
+  Clock clock;
+  SpanRecorder rec(clock);
+  rec.enable(true);
+
+  const SpanId outer = rec.begin("outer");
+  clock.advance(100);
+  const SpanId inner = rec.begin("inner");
+  clock.advance(40);
+  rec.end(inner);
+  clock.advance(10);
+  rec.end(outer);
+
+  ASSERT_EQ(rec.spans().size(), 2u);
+  const auto& so = rec.spans()[0];
+  const auto& si = rec.spans()[1];
+  EXPECT_EQ(so.name, "outer");
+  EXPECT_EQ(so.depth, 0u);
+  EXPECT_EQ(so.start, 0u);
+  EXPECT_EQ(so.dur, 150u);
+  EXPECT_EQ(si.depth, 1u);
+  EXPECT_EQ(si.start, 100u);
+  EXPECT_EQ(si.dur, 40u);
+  EXPECT_EQ(rec.open_spans(), 0u);
+}
+
+TEST(SpanRecorder, SeparateTracksNestIndependently) {
+  Clock clock;
+  SpanRecorder rec(clock);
+  rec.enable(true);
+  const SpanId a = rec.begin("a", /*tid=*/1);
+  const SpanId b = rec.begin("b", /*tid=*/2);
+  EXPECT_EQ(rec.spans()[0].depth, 0u);
+  EXPECT_EQ(rec.spans()[1].depth, 0u) << "tracks have independent depth";
+  rec.end(a);
+  rec.end(b);
+}
+
+TEST(SpanRecorder, UnbalancedClosesAreCountedNoops) {
+  Clock clock;
+  SpanRecorder rec(clock);
+  rec.enable(true);
+  const SpanId a = rec.begin("a");
+  rec.end(a);
+  rec.end(a);           // double close
+  rec.end(12345);       // unknown id
+  rec.end(kInvalidSpan);  // free (the disabled-ScopedSpan path)
+  EXPECT_EQ(rec.unbalanced_closes(), 2u);
+  EXPECT_EQ(rec.open_spans(), 0u);
+  ASSERT_EQ(rec.spans().size(), 1u);
+  EXPECT_TRUE(rec.spans()[0].closed());
+}
+
+TEST(SpanRecorder, CapacityBoundsAndDropCounting) {
+  Clock clock;
+  SpanRecorder rec(clock, /*max_spans=*/2);
+  rec.enable(true);
+  const SpanId a = rec.begin("a");
+  const SpanId b = rec.begin("b");
+  const SpanId c = rec.begin("c");  // over capacity
+  EXPECT_EQ(c, kInvalidSpan);
+  EXPECT_EQ(rec.dropped(), 1u);
+  EXPECT_EQ(rec.spans().size(), 2u);
+  rec.end(a);
+  rec.end(b);
+  rec.end(c);  // dropped span: free no-op
+  EXPECT_EQ(rec.unbalanced_closes(), 0u);
+}
+
+TEST(SpanRecorder, MirrorsToTraceRing) {
+  Clock clock;
+  TraceRing ring(8);
+  ring.enable(true);
+  SpanRecorder rec(clock);
+  rec.enable(true);
+  rec.mirror_to(&ring);
+  const SpanId a = rec.begin("x");
+  clock.advance(5);
+  rec.end(a);
+  const auto events = ring.tail();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].event, TraceEvent::SpanBegin);
+  EXPECT_EQ(events[1].event, TraceEvent::SpanEnd);
+}
+
+TEST(ChromeTrace, WellFormedAndSkipsOpenSpans) {
+  Clock clock;
+  SpanRecorder rec(clock);
+  rec.enable(true);
+  const SpanId done = rec.begin("done \"quoted\\name\"");
+  clock.advance(1234);
+  rec.end(done);
+  (void)rec.begin("still-open");
+
+  const std::string json = chrome_trace(rec);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 0.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 1.234"), std::string::npos);
+  EXPECT_EQ(json.find("still-open"), std::string::npos)
+      << "open spans stay out of the export";
+}
+
+TEST(ChromeTrace, EmptyRecorderStillParses) {
+  Clock clock;
+  SpanRecorder rec(clock);
+  EXPECT_TRUE(JsonChecker(chrome_trace(rec)).valid());
+}
+
+// --- /proc registry ----------------------------------------------------------
+
+TEST(ProcRegistry, MountReadLsUnmount) {
+  ProcRegistry proc;
+  int owner = 0;
+  proc.mount("vmstat", &owner, [] { return std::string("pgfault 3\n"); });
+  proc.mount("via/agent", &owner, [] { return std::string("registrations 1\n"); });
+  EXPECT_EQ(proc.read("vmstat").value_or(""), "pgfault 3\n");
+  EXPECT_FALSE(proc.read("nope").has_value());
+  const auto paths = proc.ls();
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], "via/agent");
+  EXPECT_EQ(paths[1], "vmstat");
+  const std::string all = proc.read_all();
+  EXPECT_NE(all.find("== /proc/via/agent =="), std::string::npos);
+  proc.unmount("vmstat", &owner);
+  EXPECT_EQ(proc.size(), 1u);
+}
+
+TEST(ProcRegistry, RemountReplacesAndStaleUnmountIsNoop) {
+  ProcRegistry proc;
+  int old_owner = 0, new_owner = 0;
+  proc.mount("pinmgr", &old_owner, [] { return std::string("old"); });
+  proc.mount("pinmgr", &new_owner, [] { return std::string("new"); });
+  proc.unmount("pinmgr", &old_owner);  // stale owner: no-op
+  EXPECT_EQ(proc.read("pinmgr").value_or(""), "new");
+  proc.unmount("pinmgr", &new_owner);
+  EXPECT_EQ(proc.size(), 0u);
+}
+
+TEST(ProcRegistry, RenderReflectsCurrentState) {
+  ProcRegistry proc;
+  int counter = 0;
+  proc.mount("n", &counter,
+             [&counter] { return std::to_string(++counter); });
+  EXPECT_EQ(proc.read("n").value_or(""), "1");
+  EXPECT_EQ(proc.read("n").value_or(""), "2") << "render runs at read time";
+}
+
+}  // namespace
+}  // namespace vialock::obs

@@ -53,14 +53,16 @@ TEST_F(FabricTest, ListenerIsConsumedByOneClient) {
   Fabric& fabric = cluster->fabric();
   ASSERT_TRUE(ok(fabric.listen(n1, 0xCAFE, vi1)));
   ASSERT_TRUE(ok(fabric.connect_request(n0, vi0, n1, 0xCAFE)));
-  const ViId vi0b = v0->create_vi();
+  ViId vi0b = kInvalidVi;
+  ASSERT_TRUE(ok(v0->create_vi(vi0b)));
   EXPECT_EQ(fabric.connect_request(n0, vi0b, n1, 0xCAFE), KStatus::Again);
 }
 
 TEST_F(FabricTest, DoubleListenOnSameDiscriminatorIsBusy) {
   Fabric& fabric = cluster->fabric();
   ASSERT_TRUE(ok(fabric.listen(n1, 0xCAFE, vi1)));
-  const ViId vi1b = v1->create_vi();
+  ViId vi1b = kInvalidVi;
+  ASSERT_TRUE(ok(v1->create_vi(vi1b)));
   EXPECT_EQ(fabric.listen(n1, 0xCAFE, vi1b), KStatus::Busy);
   // A different discriminator on the same node is fine.
   EXPECT_TRUE(ok(fabric.listen(n1, 0xCAFF, vi1b)));
@@ -79,7 +81,8 @@ TEST_F(FabricTest, DisconnectFreesLocalSideAndBreaksPeer) {
   EXPECT_EQ(cluster->node(n0).nic().vi(vi0).state, ViState::Idle);
   EXPECT_EQ(cluster->node(n1).nic().vi(vi1).state, ViState::Error);
   // The freed VI can connect again.
-  const ViId vi1b = v1->create_vi();
+  ViId vi1b = kInvalidVi;
+  ASSERT_TRUE(ok(v1->create_vi(vi1b)));
   EXPECT_TRUE(ok(fabric.connect(n0, vi0, n1, vi1b)));
 }
 
@@ -100,7 +103,8 @@ TEST_F(FabricTest, DisconnectOfUnconnectedViIsProtocolError) {
 TEST_F(FabricTest, ConnectRejectsBusyEndpoints) {
   Fabric& fabric = cluster->fabric();
   ASSERT_TRUE(ok(fabric.connect(n0, vi0, n1, vi1)));
-  const ViId vi0b = v0->create_vi();
+  ViId vi0b = kInvalidVi;
+  ASSERT_TRUE(ok(v0->create_vi(vi0b)));
   EXPECT_EQ(fabric.connect(n0, vi0b, n1, vi1), KStatus::Busy);
 }
 

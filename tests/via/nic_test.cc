@@ -142,9 +142,8 @@ TEST_F(NicTest, RdmaWriteDisabledAttributeIsEnforced) {
   // writes must bounce even with the right tag.
   const auto extra = test::must_mmap(kern1(), p1, 4);
   MemHandle ro;
-  KernelAgent::RegisterOptions opts;
-  opts.rdma_write = false;
-  ASSERT_TRUE(ok(v1->register_mem(extra, 4 * kPageSize, ro, opts)));
+  ASSERT_TRUE(ok(v1->register_mem(extra, 4 * kPageSize, ro,
+                                  KernelAgent::RegisterOptions::rdma_read_only())));
   ASSERT_TRUE(ok(v0->rdma_write(vi0, mh0, buf0, 16, ro, extra)));
   const auto sc = v0->send_done(vi0);
   ASSERT_TRUE(sc.has_value());

@@ -93,8 +93,10 @@ TEST_F(SgCqTest, SegmentProtectionCheckedIndividually) {
 
 TEST_F(SgCqTest, CompletionQueueCollectsAcrossVis) {
   // Two VI pairs share one CQ on the receiver side.
-  const ViId vi0b = v0->create_vi();
-  const ViId vi1b = v1->create_vi();
+  ViId vi0b = kInvalidVi;
+  ViId vi1b = kInvalidVi;
+  ASSERT_TRUE(ok(v0->create_vi(vi0b)));
+  ASSERT_TRUE(ok(v1->create_vi(vi1b)));
   ASSERT_TRUE(ok(cluster->fabric().connect(n0, vi0b, n1, vi1b)));
 
   const CqId cq = v1->create_cq();

@@ -41,8 +41,8 @@ class TwoNodeFixture : public ::testing::Test {
     buf1 = must_mmap(cluster->node(n1).kernel(), p1, kBufPages);
     ASSERT_TRUE(ok(v0->register_mem(buf0, kBufPages * simkern::kPageSize, mh0)));
     ASSERT_TRUE(ok(v1->register_mem(buf1, kBufPages * simkern::kPageSize, mh1)));
-    vi0 = v0->create_vi();
-    vi1 = v1->create_vi();
+    ASSERT_TRUE(ok(v0->create_vi(vi0)));
+    ASSERT_TRUE(ok(v1->create_vi(vi1)));
     ASSERT_NE(vi0, via::kInvalidVi);
     ASSERT_NE(vi1, via::kInvalidVi);
     ASSERT_TRUE(ok(cluster->fabric().connect(n0, vi0, n1, vi1)));

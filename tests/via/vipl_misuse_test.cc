@@ -40,7 +40,9 @@ TEST_F(ViplEdgeTest, RegisterBeforeOpenIsProtocolError) {
   Vipl v(cluster->node(n0).agent(), pid2);
   MemHandle mh;
   EXPECT_EQ(v.register_mem(0x1000, kPageSize, mh), KStatus::Proto);
-  EXPECT_EQ(v.create_vi(), kInvalidVi);
+  ViId vi = 123;
+  EXPECT_EQ(v.create_vi(vi), KStatus::Proto);
+  EXPECT_EQ(vi, kInvalidVi) << "a failed create_vi must not leave a stale id";
 }
 
 TEST_F(ViplEdgeTest, PostToBogusViIsInval) {
@@ -49,7 +51,8 @@ TEST_F(ViplEdgeTest, PostToBogusViIsInval) {
 }
 
 TEST_F(ViplEdgeTest, SendOnUnconnectedViCompletesWithError) {
-  const ViId lone = v0->create_vi();
+  ViId lone = kInvalidVi;
+  ASSERT_TRUE(ok(v0->create_vi(lone)));
   ASSERT_TRUE(ok(v0->post_send(lone, mh0, buf0, 16)));
   const auto sc = v0->send_done(lone);
   ASSERT_TRUE(sc.has_value());
@@ -59,8 +62,10 @@ TEST_F(ViplEdgeTest, SendOnUnconnectedViCompletesWithError) {
 TEST_F(ViplEdgeTest, UnreliableModeSurvivesDroppedSends) {
   // reliable=false: a send without a posted receive is dropped without
   // breaking the connection; later traffic still flows.
-  const ViId u0 = v0->create_vi(/*reliable=*/false);
-  const ViId u1 = v1->create_vi(/*reliable=*/false);
+  ViId u0 = kInvalidVi;
+  ViId u1 = kInvalidVi;
+  ASSERT_TRUE(ok(v0->create_vi(u0, ViAttributes::unreliable())));
+  ASSERT_TRUE(ok(v1->create_vi(u1, ViAttributes::unreliable())));
   ASSERT_TRUE(ok(cluster->fabric().connect(n0, u0, n1, u1)));
   ASSERT_TRUE(ok(v0->post_send(u0, mh0, buf0, 16)));
   EXPECT_EQ(v0->send_done(u0)->status, DescStatus::ErrNoRecvDesc);
