@@ -25,6 +25,7 @@ void run_matrix(bool pressure, bench::JsonReport& report) {
   Table table({"locking policy", "pages", "relocated", "DMA write visible",
                "NIC reads current", "data intact", "frames leaked",
                "swapped (sys)", "verdict"});
+  Nanos total_ns = 0;
   for (const via::PolicyKind policy : via::kAllPolicies) {
     Clock clock;
     CostModel costs;
@@ -34,6 +35,7 @@ void run_matrix(bool pressure, bench::JsonReport& report) {
     cfg.pressure_factor = 1.5;
     cfg.run_pressure = pressure;
     const auto r = experiments::run_locktest(node, cfg);
+    total_ns += clock.now();
     table.row({std::string(to_string(policy)), Table::num(std::uint64_t{r.pages}),
                Table::num(std::uint64_t{r.pages_relocated}),
                bench::yesno(r.dma_write_visible),
@@ -44,6 +46,9 @@ void run_matrix(bool pressure, bench::JsonReport& report) {
   }
   table.print();
   report.add_table(pressure ? "pressure" : "control", table);
+  // Scalar for the --compare regression gate: the matrix's total virtual
+  // time moves whenever locking, swap, or DMA costs drift.
+  report.metric(pressure ? "pressure_total_ns" : "control_total_ns", total_ns);
 }
 
 }  // namespace
@@ -77,5 +82,5 @@ int main(int argc, char** argv) {
     (void)experiments::run_locktest(node, cfg);
     obs.finish("E1", node.kernel());
   }
-  return 0;
+  return report.compare_if_requested(argc, argv);
 }

@@ -230,13 +230,16 @@ int main(int argc, char** argv) {
             << bench::passfail(scaling_ok) << "\n";
   report.metric("scaling_ok", bench::passfail(scaling_ok));
   report.write_if_requested(argc, argv);
+  // Wall-clock growth ratios are noisy run-to-run; callers gating on
+  // --compare should pass a loose threshold (CI uses 0.5).
+  const int compare_rc = report.compare_if_requested(argc, argv);
 #ifdef NDEBUG
-  return (correct && scaling_ok) ? 0 : 1;
+  return (correct && scaling_ok && compare_rc == 0) ? 0 : 1;
 #else
   // Debug builds carry assertion overhead that flattens the contrast; the
   // wall-clock self-check is informational there, correctness still gates.
   if (!scaling_ok)
     std::cout << "(non-NDEBUG build: scaling self-check not enforced)\n";
-  return correct ? 0 : 1;
+  return correct ? compare_rc : 1;
 #endif
 }

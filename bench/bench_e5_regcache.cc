@@ -79,6 +79,13 @@ void bandwidth_vs_size(bench::JsonReport& report) {
                Table::fp(static_cast<double>(t_lru) /
                              static_cast<double>(t_pre),
                          2) + "x"});
+    if (len == 1024u * 1024) {
+      // Scalars for the --compare regression gate: the 1 MB point is where
+      // registration cost dominates, so cost-model drift shows up first.
+      report.metric("nocache_1m_ns", t_none)
+          .metric("lru_1m_ns", t_lru)
+          .metric("prereg_1m_ns", t_pre);
+    }
   }
   table.print();
   report.add_table("bandwidth_vs_size", table);
@@ -111,6 +118,9 @@ void reuse_ratio_sweep(bench::JsonReport& report) {
     table.row({std::to_string(reuse_pct) + "%", Table::num(cs.hits),
                Table::num(cs.misses), Table::nanos(mean),
                Table::rate(kLen, mean)});
+    if (reuse_pct == 0 || reuse_pct == 100) {
+      report.metric("reuse" + std::to_string(reuse_pct) + "_mean_ns", mean);
+    }
   }
   table.print();
   report.add_table("reuse_ratio_sweep", table);
@@ -144,5 +154,5 @@ int main(int argc, char** argv) {
   std::cout << "\nShape: with reuse, the LRU cache removes the registration\n"
                "syscalls from the critical path and rendezvous approaches the\n"
                "preregistered upper bound; without reuse caching cannot help.\n";
-  return 0;
+  return report.compare_if_requested(argc, argv);
 }

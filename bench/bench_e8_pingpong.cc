@@ -120,5 +120,22 @@ int main(int argc, char** argv) {
     std::cout << "\nEager -> zero-copy crossover at " << Table::bytes(*crossover)
               << " (paper family's MPI libraries switch protocols at 4 KB).\n";
   }
-  return 0;
+
+  // --metrics / --trace-export: a fresh two-node rig with BOTH hosts' span
+  // recorders armed runs one ping-pong per protocol; the merged export
+  // renders each round as a single causal chain - send, doorbell, gather,
+  // wire on node 0, deliver and completion on node 1 - stitched across the
+  // two pids by flow events sharing the round's trace id (DESIGN.md
+  // section 11). Deterministic: same binary, byte-identical TRACE_E8.json.
+  const bench::ObsFlags obs(argc, argv);
+  if (obs.any()) {
+    PingPongRig traced;
+    obs.arm(traced.cluster);
+    for (const Protocol proto : {Protocol::Eager, Protocol::Rendezvous,
+                                 Protocol::Preregistered}) {
+      (void)traced.round(proto, 4096);
+    }
+    obs.finish("E8", traced.cluster);
+  }
+  return report.compare_if_requested(argc, argv);
 }

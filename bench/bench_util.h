@@ -85,6 +85,82 @@ class JsonReport {
     return *this;
   }
 
+  /// Regression gate: with `--compare <baseline.json>` (a BENCH_*.json from
+  /// an earlier run, e.g. the previous CI build's artifact) the report's
+  /// scalar metrics are diffed against the baseline's. A numeric metric
+  /// regresses when its relative delta |cur - base| / base exceeds the
+  /// threshold (default 0.10, override with --compare-threshold=<f>); a
+  /// string metric regresses when it changed at all (PASS -> FAIL). Returns
+  /// the process exit code: 0 when clean, not requested, or the baseline is
+  /// missing (first run); 1 on regression.
+  [[nodiscard]] int compare_if_requested(int argc, char** argv) const {
+    std::string path;
+    double threshold = 0.10;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a(argv[i]);
+      if (a == "--compare" && i + 1 < argc) {
+        path = argv[i + 1];
+      } else if (a.rfind("--compare=", 0) == 0) {
+        path = a.substr(10);
+      } else if (a.rfind("--compare-threshold=", 0) == 0) {
+        threshold = std::stod(a.substr(20));
+      }
+    }
+    if (path.empty()) return 0;
+    std::ifstream in(path);
+    if (!in) {
+      std::cout << "\ncompare: baseline " << path
+                << " not readable - skipping (first run?)\n";
+      return 0;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const Fields baseline = parse_metrics_object(buf.str());
+    if (baseline.empty()) {
+      std::cout << "\ncompare: no scalar metrics in " << path
+                << " - nothing to gate\n";
+      return 0;
+    }
+    std::cout << "\n=== compare vs " << path << " (threshold "
+              << threshold * 100 << "%) ===\n";
+    int regressions = 0;
+    for (const auto& [key, base] : baseline) {
+      const std::string* cur = nullptr;
+      for (const auto& [k, v] : metrics_)
+        if (k == key) cur = &v;
+      if (!cur) {
+        std::cout << "  " << key << ": missing in current run (baseline "
+                  << base << ")\n";
+        continue;
+      }
+      const bool base_num = !base.empty() && base.front() != '"';
+      const bool cur_num = !cur->empty() && cur->front() != '"';
+      if (base_num && cur_num) {
+        const double b = std::stod(base);
+        const double c = std::stod(*cur);
+        const double delta =
+            b != 0.0 ? (c - b) / b : (c == 0.0 ? 0.0 : 1.0);
+        const bool bad = delta > threshold || delta < -threshold;
+        std::cout << "  " << key << ": " << base << " -> " << *cur << " ("
+                  << (delta >= 0 ? "+" : "") << delta * 100 << "%)"
+                  << (bad ? "  REGRESSION" : "") << "\n";
+        if (bad) ++regressions;
+      } else {
+        const bool bad = base != *cur;
+        std::cout << "  " << key << ": " << base << " -> " << *cur
+                  << (bad ? "  CHANGED" : "") << "\n";
+        if (bad) ++regressions;
+      }
+    }
+    if (regressions) {
+      std::cout << "compare: " << regressions
+                << " metric(s) regressed beyond the threshold\n";
+      return 1;
+    }
+    std::cout << "compare: OK\n";
+    return 0;
+  }
+
   /// Write BENCH_<experiment>.json if `--json` is among the arguments.
   /// Returns true when the file was written.
   bool write_if_requested(int argc, char** argv) const {
@@ -107,6 +183,37 @@ class JsonReport {
 
  private:
   using Fields = std::vector<std::pair<std::string, std::string>>;
+
+  /// Pull the `"metrics": {...}` object back out of a BENCH_*.json we wrote
+  /// earlier. The format is our own (flat object, scalar values, no commas
+  /// or braces inside strings), so a line scanner is all the parser needed.
+  static Fields parse_metrics_object(const std::string& json) {
+    Fields out;
+    const auto at = json.find("\"metrics\": {");
+    if (at == std::string::npos) return out;
+    std::size_t i = at + 12;
+    const auto end = json.find('}', i);
+    if (end == std::string::npos) return out;
+    while (i < end) {
+      const auto kq = json.find('"', i);
+      if (kq == std::string::npos || kq >= end) break;
+      const auto kend = json.find('"', kq + 1);
+      if (kend == std::string::npos || kend >= end) break;
+      const std::string key = json.substr(kq + 1, kend - kq - 1);
+      auto vstart = json.find(':', kend);
+      if (vstart == std::string::npos || vstart >= end) break;
+      ++vstart;
+      while (vstart < end && json[vstart] == ' ') ++vstart;
+      auto vend = json.find(',', vstart);
+      if (vend == std::string::npos || vend > end) vend = end;
+      std::string value = json.substr(vstart, vend - vstart);
+      while (!value.empty() && (value.back() == ' ' || value.back() == '\n'))
+        value.pop_back();
+      out.emplace_back(key, value);
+      i = vend + 1;
+    }
+    return out;
+  }
 
   static std::string quote(const std::string& s) {
     std::string out = "\"";
@@ -181,6 +288,13 @@ class ObsFlags {
     if (trace_) kern.spans().enable(true);
   }
 
+  /// Arm every node of a cluster: the merged export then stitches the
+  /// per-host recorders into one trace with cross-host flow arrows.
+  void arm(via::Cluster& cluster) const {
+    for (std::size_t i = 0; i < cluster.size(); ++i)
+      arm(cluster.node(static_cast<via::NodeId>(i)).kernel());
+  }
+
   /// Print the metric snapshot (--metrics) and write TRACE_<experiment>.json
   /// (--trace-export) from `kern`'s registry and span recorder.
   void finish(const std::string& experiment, simkern::Kernel& kern) const {
@@ -195,6 +309,35 @@ class ObsFlags {
       out << obs::chrome_trace(kern.spans());
       std::cout << "\nwrote " << path
                 << " (load in chrome://tracing or ui.perfetto.dev)\n";
+    }
+  }
+
+  /// Cluster-wide finish: one metric snapshot per node, and a single merged
+  /// chrome trace (one pid per host) whose flow events connect the causal
+  /// chains that cross the fabric (DESIGN.md section 11).
+  void finish(const std::string& experiment, via::Cluster& cluster) const {
+    if (metrics_) {
+      for (std::size_t i = 0; i < cluster.size(); ++i) {
+        std::cout << "\n=== /proc/metrics (" << experiment << " node " << i
+                  << ") ===\n"
+                  << obs::to_proc_text(
+                         cluster.node(static_cast<via::NodeId>(i))
+                             .kernel()
+                             .metrics()
+                             .snapshot());
+      }
+    }
+    if (trace_) {
+      std::vector<const obs::SpanRecorder*> recorders;
+      for (std::size_t i = 0; i < cluster.size(); ++i)
+        recorders.push_back(
+            &cluster.node(static_cast<via::NodeId>(i)).kernel().spans());
+      const std::string path = "TRACE_" + experiment + ".json";
+      std::ofstream out(path);
+      out << obs::chrome_trace(recorders);
+      std::cout << "\nwrote " << path << " (" << recorders.size()
+                << " hosts merged; load in chrome://tracing or "
+                   "ui.perfetto.dev)\n";
     }
   }
 

@@ -16,6 +16,7 @@
 // that change are the locking policy and the delivery mode; a replay of
 // act 1 at the end proves the schedule and outcome reproduce exactly.
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -73,7 +74,7 @@ struct ActResult {
   std::string schedule;
 };
 
-ActResult run_act(via::PolicyKind policy, bool reliable) {
+ActResult run_act(const char* label, via::PolicyKind policy, bool reliable) {
   via::Cluster cluster;
   fault::FaultEngine engine(chaos_plan(), cluster.clock());
   const auto n0 = cluster.add_node(node_spec(policy));
@@ -87,6 +88,25 @@ ActResult run_act(via::PolicyKind policy, bool reliable) {
   cluster.inject_faults(&engine);  // armed after setup: registration and
                                    // connect never consume fault events
 
+  // Arm the flight recorders: span recording on (it feeds the postmortem
+  // view), the plan's seed stamped in, and a sink that writes the
+  // self-contained FLIGHT_<label>.json the moment a terminal fault or an
+  // invariant trip calls flight_dump(). Same seed -> byte-identical dump.
+  const std::string flight_path = std::string("FLIGHT_") + label + ".json";
+  for (const auto id : {n0, n1}) {
+    simkern::Kernel& kern = cluster.node(id).kernel();
+    kern.spans().enable(true);
+    kern.flight().set_seed(kSeed);
+    kern.flight().set_sink(
+        [flight_path](std::string_view reason, const std::string& json) {
+          std::ofstream out(flight_path);
+          out << json;
+          std::printf("  [flight] %s: wrote %s (%zu bytes)\n",
+                      std::string(reason).c_str(), flight_path.c_str(),
+                      json.size());
+        });
+  }
+
   ActResult res;
   std::vector<std::byte> out(kLen);
   for (int round = 0; round < kRounds; ++round) {
@@ -96,6 +116,9 @@ ActResult run_act(via::PolicyKind policy, bool reliable) {
     if (!ok(ch.stage(0, payload))) std::abort();
     if (!ok(ch.transfer(msg::Protocol::Rendezvous, 0, 0, kLen))) {
       ++res.failed;
+      // Terminal fault: the transfer gave up. Snapshot the sender's recent
+      // spans, trace ring, and metrics for postmortem analysis.
+      cluster.node(n0).kernel().flight_dump("transfer_failed");
       continue;
     }
     if (!ok(ch.fetch(0, out))) std::abort();
@@ -103,6 +126,10 @@ ActResult run_act(via::PolicyKind policy, bool reliable) {
       ++res.clean;
     } else {
       ++res.corrupt;
+      // Invariant trip: delivery "succeeded" but the data is wrong - the
+      // silent-corruption case the paper's locking mechanism exists to
+      // prevent. The receiver's flight dump shows what DMA'd where.
+      cluster.node(n1).kernel().flight_dump("data_corrupted");
     }
     if (round == 2) {
       // Mid-run memory pressure on the receiver: an unrelated allocator
@@ -151,11 +178,13 @@ int main() {
               kRounds, kLen / 1024, static_cast<unsigned long long>(kSeed));
 
   std::printf("act 1: refcount policy, raw delivery\n");
-  const ActResult bad = run_act(via::PolicyKind::Refcount, /*reliable=*/false);
+  const ActResult bad =
+      run_act("refcount_raw", via::PolicyKind::Refcount, /*reliable=*/false);
   print_result("act 1", bad);
 
   std::printf("\nact 2: kiobuf policy, reliable delivery\n");
-  const ActResult good = run_act(via::PolicyKind::Kiobuf, /*reliable=*/true);
+  const ActResult good =
+      run_act("kiobuf_reliable", via::PolicyKind::Kiobuf, /*reliable=*/true);
   print_result("act 2", good);
 
   // Replay act 1: the same seed must reproduce the identical fault schedule
@@ -163,7 +192,7 @@ int main() {
   // even with one seed - different policies take different code paths - but
   // any single configuration replays exactly.)
   std::printf("\nreplaying act 1 with the same seed...\n");
-  const ActResult replay = run_act(via::PolicyKind::Refcount,
+  const ActResult replay = run_act("refcount_replay", via::PolicyKind::Refcount,
                                    /*reliable=*/false);
   const bool replayed = replay.schedule == bad.schedule &&
                         replay.clean == bad.clean &&

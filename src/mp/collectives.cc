@@ -1,11 +1,54 @@
 #include "mp/collectives.h"
 
+#include <memory>
 #include <span>
+#include <string>
 #include <vector>
+
+#include "obs/span.h"
 
 namespace vialock::mp {
 
 namespace {
+
+/// Scoped instrumentation for one collective call: bumps the per-op counter
+/// and records wall (virtual) time into the shared latency histogram on rank
+/// 0's registry, opens a root span there, and pushes that span's context as
+/// the ambient context on EVERY rank's recorder - so each rank's mp.isend /
+/// mp.arrival spans, on whichever host they run, join one causal tree
+/// (DESIGN.md section 11).
+class CollectiveScope {
+ public:
+  CollectiveScope(Comm& comm, const char* op)
+      : metrics_(comm.rank_kernel(0).metrics()),
+        clock_(comm.rank_kernel(0).clock()),
+        start_(clock_.now()),
+        name_(std::string("mp.coll.") + op),
+        span_(comm.rank_kernel(0).spans(), name_) {
+    metrics_.counter(name_).inc();
+    obs::SpanRecorder& root = comm.rank_kernel(0).spans();
+    const obs::TraceContext ctx =
+        span_.context().valid() ? span_.context() : root.active_context();
+    for (Rank r = 0; r < comm.size(); ++r) {
+      fan_out_.push_back(std::make_unique<obs::ScopedTraceContext>(
+          comm.rank_kernel(r).spans(), ctx));
+    }
+  }
+  ~CollectiveScope() {
+    metrics_.histogram("mp.coll.op_ns").add(clock_.now() - start_);
+  }
+  CollectiveScope(const CollectiveScope&) = delete;
+  CollectiveScope& operator=(const CollectiveScope&) = delete;
+
+ private:
+  obs::MetricRegistry& metrics_;
+  Clock& clock_;
+  Nanos start_;
+  std::string name_;
+  // span_ before fan_out_: the ambient contexts pop before the root closes.
+  obs::ScopedSpan span_;
+  std::vector<std::unique_ptr<obs::ScopedTraceContext>> fan_out_;
+};
 
 /// One matched exchange: irecv at `to`, isend at `from`, wait both.
 [[nodiscard]] KStatus exchange(Comm& comm, Rank from, Rank to,
@@ -22,6 +65,7 @@ namespace {
 }  // namespace
 
 KStatus barrier(Comm& comm, std::uint64_t scratch_offset) {
+  const CollectiveScope scope(comm, "barrier");
   const Rank n = comm.size();
   for (Rank k = 1; k < n; k <<= 1) {
     for (Rank r = 0; r < n; ++r) {
@@ -38,6 +82,7 @@ KStatus barrier(Comm& comm, std::uint64_t scratch_offset) {
 
 KStatus broadcast(Comm& comm, Rank root, std::uint64_t offset,
                   std::uint32_t len) {
+  const CollectiveScope scope(comm, "broadcast");
   const Rank n = comm.size();
   for (Rank k = 1; k < n; k <<= 1) {
     for (Rank rel = 0; rel < k && rel + k < n; ++rel) {
@@ -55,6 +100,7 @@ KStatus broadcast(Comm& comm, Rank root, std::uint64_t offset,
 
 KStatus reduce_sum(Comm& comm, Rank root, std::uint64_t offset,
                    std::uint32_t count, std::uint64_t scratch_offset) {
+  const CollectiveScope scope(comm, "reduce_sum");
   const Rank n = comm.size();
   const std::uint32_t bytes = count * 8;
   std::vector<std::uint64_t> acc(count);
@@ -96,6 +142,7 @@ KStatus reduce_sum(Comm& comm, Rank root, std::uint64_t offset,
 
 KStatus allreduce_sum(Comm& comm, std::uint64_t offset, std::uint32_t count,
                       std::uint64_t scratch_offset) {
+  const CollectiveScope scope(comm, "allreduce_sum");
   if (const KStatus st = reduce_sum(comm, 0, offset, count, scratch_offset);
       !ok(st)) {
     return st;
@@ -105,6 +152,7 @@ KStatus allreduce_sum(Comm& comm, std::uint64_t offset, std::uint32_t count,
 
 KStatus gather(Comm& comm, Rank root, std::uint64_t offset,
                std::uint32_t block) {
+  const CollectiveScope scope(comm, "gather");
   const Rank n = comm.size();
   for (Rank r = 0; r < n; ++r) {
     if (r == root) continue;

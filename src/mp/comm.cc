@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/span.h"
+
 namespace vialock::mp {
 
 using simkern::kPageSize;
@@ -91,7 +93,12 @@ struct Comm::Side {
 Comm::Comm(via::Cluster& cluster, std::vector<via::NodeId> nodes, Config config)
     : cluster_(cluster), nodes_(std::move(nodes)), config_(config) {}
 
-Comm::~Comm() = default;
+Comm::~Comm() {
+  // Owner-checked: a later Comm that took the name over keeps it.
+  if (!nodes_.empty()) {
+    cluster_.node(nodes_[0]).kernel().metrics().unregister_source("mp", this);
+  }
+}
 
 simkern::Pid Comm::rank_pid(Rank r) const { return sides_[r]->pid; }
 
@@ -222,6 +229,25 @@ KStatus Comm::init() {
       next_hop_[src][dst] = step;
     }
   }
+  // Publish the communicator through rank 0's host registry: the CommStats
+  // counters plus the summed per-rank unexpected-arena overflows. Subsystem
+  // "mp" (first dot-segment) joins the exported set.
+  cluster_.node(nodes_[0]).kernel().metrics().register_source(
+      "mp", this, [this](obs::MetricSink& sink) {
+        sink.counter("comm.eager_sends", stats_.eager_sends);
+        sink.counter("comm.rendezvous_sends", stats_.rendezvous_sends);
+        sink.counter("comm.unexpected_msgs", stats_.unexpected_msgs);
+        sink.counter("comm.expected_msgs", stats_.expected_msgs);
+        sink.counter("comm.rdma_pulls", stats_.rdma_pulls);
+        sink.counter("comm.local_msgs", stats_.local_msgs);
+        sink.counter("comm.local_pulls", stats_.local_pulls);
+        sink.counter("comm.indirect_sends", stats_.indirect_sends);
+        sink.counter("comm.indirect_forwards", stats_.indirect_forwards);
+        sink.counter("comm.bytes", stats_.bytes);
+        std::uint64_t overflows = 0;
+        for (const auto& side : sides_) overflows += side->arena_overflows;
+        sink.counter("comm.arena_overflows", overflows);
+      });
   initialised_ = true;
   return KStatus::Ok;
 }
@@ -409,6 +435,8 @@ KStatus Comm::deliver_rendezvous(Rank rank, const WireHeader& req,
   fin.kind = MsgKind::RndzFin;
   fin.src_rank = rank;
   fin.sender_req = req.sender_req;
+  fin.trace_id = req.trace_id;  // the FIN closes out the sender's trace
+  fin.span_id = req.span_id;
   return push_wire(rank, req.src_rank, fin, 0);
 }
 
@@ -450,6 +478,8 @@ bool Comm::handle_system(Rank rank, const WireHeader& header,
     synth.tag = env.orig_tag;
     synth.src_rank = env.orig_src;
     synth.len = env.len;
+    synth.trace_id = header.trace_id;  // the hops preserved the origin's ctx
+    synth.span_id = header.span_id;
     process_arrival(rank, synth, slot_addr + sizeof(SysEnvelope));
     // Acknowledge back to the origin (routed if need be).
     SysEnvelope ack = env;
@@ -460,6 +490,8 @@ bool Comm::handle_system(Rank rank, const WireHeader& header,
     ah.tag = kSysAckTag;
     ah.src_rank = rank;
     ah.len = sizeof(SysEnvelope);
+    ah.trace_id = header.trace_id;  // the ACK chain stays in the trace
+    ah.span_id = header.span_id;
     (void)kern.write_user(s.pid, s.sys_scratch, bytes_of(ack));
     const Rank hop = route_next(rank, ack.final_dest);
     if (hop != kNoRoute) {
@@ -484,6 +516,13 @@ void Comm::process_arrival(Rank rank, const WireHeader& header,
   if (handle_system(rank, header, slot_addr)) return;
   Side& s = *sides_[rank];
   simkern::Kernel& kern = cluster_.node(nodes_[rank]).kernel();
+
+  // Adopt the in-band context: the matching engine's work for this arrival
+  // (landing-slot copies, the RDMA pull, the FIN) nests under the sender's
+  // mp.isend span even though it runs on a different host's recorder.
+  const obs::ScopedTraceContext arrival_ctx(
+      kern.spans(), obs::TraceContext{header.trace_id, header.span_id, 0});
+  const obs::ScopedSpan arrival_span(kern.spans(), "mp.arrival");
 
   switch (header.kind) {
     case MsgKind::RndzFin: {
@@ -661,6 +700,8 @@ KStatus Comm::deliver_local_pull(Rank rank, const WireHeader& req,
   fin.kind = MsgKind::RndzFin;
   fin.src_rank = rank;
   fin.sender_req = req.sender_req;
+  fin.trace_id = req.trace_id;
+  fin.span_id = req.span_id;
   return push_wire(rank, req.src_rank, fin, 0);
 }
 
@@ -716,11 +757,18 @@ ReqId Comm::isend_indirect(Rank rank, Rank dest, std::int32_t tag,
     requests_.emplace(id, std::move(req));
     return id;
   }
+  obs::SpanRecorder& spans = kern.spans();
+  const obs::ScopedSpan send_span(spans, "mp.isend.indirect");
+  const obs::TraceContext send_ctx = send_span.context().valid()
+                                         ? send_span.context()
+                                         : spans.active_context();
   WireHeader h;
   h.kind = MsgKind::Eager;
   h.tag = kSysFwdTag;
   h.src_rank = rank;
   h.len = static_cast<std::uint32_t>(sizeof(SysEnvelope)) + len;
+  h.trace_id = send_ctx.trace_id;
+  h.span_id = send_ctx.span_id;
   if (!ok(push_raw(rank, hop, h, s.sys_scratch, h.len))) {
     req->failed = true;
     req->complete = true;
@@ -742,10 +790,21 @@ ReqId Comm::isend_internal(Rank rank, Rank dest, std::int32_t tag,
   req->rank = rank;
   const ReqId id = next_req_++;
 
+  // One span per send on the sending rank's host; its context rides in the
+  // header so the receiving rank's arrival spans join the same trace. Under
+  // a collective the ambient context makes this a child of the collective.
+  obs::SpanRecorder& spans = cluster_.node(nodes_[rank]).kernel().spans();
+  const obs::ScopedSpan send_span(spans, "mp.isend");
+  const obs::TraceContext send_ctx = send_span.context().valid()
+                                         ? send_span.context()
+                                         : spans.active_context();
+
   WireHeader header;
   header.tag = tag;
   header.src_rank = rank;
   header.len = len;
+  header.trace_id = send_ctx.trace_id;
+  header.span_id = send_ctx.span_id;
 
   const std::uint32_t eager_capacity =
       config_.eager_slot_size - static_cast<std::uint32_t>(sizeof(WireHeader));
@@ -819,6 +878,10 @@ ReqId Comm::irecv_internal(Rank rank, std::int32_t source, std::int32_t tag,
     if (!header_matches(it->header, source, tag)) continue;
     const UnexpectedMsg msg = *it;
     s.unexpected.erase(it);
+    // Late match: re-adopt the context the message carried when it arrived.
+    const obs::ScopedTraceContext late_ctx(
+        cluster_.node(nodes_[rank]).kernel().spans(),
+        obs::TraceContext{msg.header.trace_id, msg.header.span_id, 0});
     if (msg.header.kind == MsgKind::Eager) {
       (void)deliver_eager(rank, msg, *req);
       s.free_arena_slot(msg.arena_slot);

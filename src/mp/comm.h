@@ -147,6 +147,12 @@ class Comm {
 
   [[nodiscard]] const CommStats& stats() const { return stats_; }
   [[nodiscard]] simkern::Pid rank_pid(Rank r) const;
+  /// The simulated kernel hosting `r` (ranks on one node share a kernel).
+  /// Collectives and tests reach each rank's observability surface through
+  /// this; the communicator's own metrics live on rank 0's registry.
+  [[nodiscard]] simkern::Kernel& rank_kernel(Rank r) {
+    return cluster_.node(nodes_[r]).kernel();
+  }
   /// Connectiontable lookup: does the pair communicate over shared memory?
   [[nodiscard]] bool uses_shm(Rank a, Rank b) const;
   /// Connectiontable lookup: is there a direct link at all?
@@ -184,6 +190,11 @@ class Comm {
     ReqId sender_req = kInvalidReq; ///< rendezvous: sender's request to FIN
     via::MemHandle handle;          ///< rendezvous: sender's registration
     simkern::VAddr addr = 0;        ///< rendezvous: source address
+    /// In-band trace context (DESIGN.md section 11): the sending rank's
+    /// ambient context travels inside the header bytes, so the receiving
+    /// rank's spans join the sender's causal chain without side channels.
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
   };
 
   /// An arrived-but-unmatched message at a rank.

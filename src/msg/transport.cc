@@ -49,6 +49,11 @@ struct FrameHeader {
   std::uint32_t crc = 0;  ///< fault::checksum32 of the payload
   std::uint8_t kind = 0;
   std::uint8_t pad[3] = {};
+  // In-band causal context (DESIGN.md section 11): the sender's frame span,
+  // carried with the frame so the receiver parents its processing spans under
+  // the *transmitted* identity rather than any side channel. Zero = untraced.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 };
 static_assert(std::is_trivially_copyable_v<FrameHeader>);
 
@@ -308,12 +313,16 @@ void Channel::repair_connection() {
 }
 
 bool Channel::send_ack(Side& acker, Side& waiter, std::uint32_t seq) {
+  const obs::ScopedSpan ack_span(acker.host.kernel().spans(), "msg.ack");
   FrameHeader hdr;
   hdr.magic = kFrameMagic;
   hdr.seq = seq;
   hdr.len = 0;
   hdr.crc = fault::checksum32({});
   hdr.kind = kFrameAck;
+  const obs::TraceContext ack_ctx = acker.host.kernel().spans().active_context();
+  hdr.trace_id = ack_ctx.trace_id;
+  hdr.span_id = ack_ctx.span_id;
   std::array<std::byte, sizeof(FrameHeader)> frame;
   std::memcpy(frame.data(), &hdr, sizeof hdr);
 
@@ -359,12 +368,24 @@ KStatus Channel::reliable_push(Side& from, Side& to, std::uint8_t kind,
   if (payload.size() + sizeof(FrameHeader) > from.slot_size)
     return KStatus::Inval;
 
+  // The frame span covers every delivery attempt; retransmit spans open
+  // inside it, so a retransmit is a child of the original send in the trace.
+  obs::SpanRecorder& send_spans = from.host.kernel().spans();
+  const obs::ScopedSpan frame_span(send_spans, "msg.frame");
+
   FrameHeader hdr;
   hdr.magic = kFrameMagic;
   hdr.seq = from.send_seq++;
   hdr.len = static_cast<std::uint32_t>(payload.size());
   hdr.crc = fault::checksum32(payload);
   hdr.kind = kind;
+  // Stamp the causal context in-band: every retransmitted copy of this frame
+  // carries the same originating span identity.
+  const obs::TraceContext frame_ctx =
+      frame_span.context().valid() ? frame_span.context()
+                                   : send_spans.active_context();
+  hdr.trace_id = frame_ctx.trace_id;
+  hdr.span_id = frame_ctx.span_id;
   std::vector<std::byte> frame(sizeof(FrameHeader) + payload.size());
   std::memcpy(frame.data(), &hdr, sizeof hdr);
   if (!payload.empty())
@@ -374,6 +395,8 @@ KStatus Channel::reliable_push(Side& from, Side& to, std::uint8_t kind,
   bool delivered = false;
 
   for (std::uint32_t attempt = 0; attempt <= rel.max_retries; ++attempt) {
+    const obs::ScopedSpan attempt_span(
+        send_spans, attempt == 0 ? "msg.send" : "msg.retransmit");
     if (attempt > 0) {
       ++stats_.retries;
       from.host.kernel().trace().record(clock.now(), TraceEvent::SendRetry,
@@ -446,6 +469,14 @@ KStatus Channel::reliable_push(Side& from, Side& to, std::uint8_t kind,
       continue;
     }
 
+    // Receiver-side processing adopts the *in-band* context from the frame
+    // header (not the sender's recorder): its parent is the transmitted
+    // span_id, and the ack sent below nests under it.
+    obs::SpanRecorder& recv_spans = to.host.kernel().spans();
+    const obs::ScopedTraceContext rx_ctx(
+        recv_spans, obs::TraceContext{got.trace_id, got.span_id, 0});
+    const obs::ScopedSpan rx_span(recv_spans, "msg.frame.recv");
+
     if (got.seq == to.recv_expected) {
       ++to.recv_expected;
       out.assign(rx.begin() + sizeof(FrameHeader), rx.end());
@@ -471,6 +502,9 @@ KStatus Channel::reliable_push(Side& from, Side& to, std::uint8_t kind,
   sender_node().kernel().trace().record(
       clock.now(), TraceEvent::SendTimeout,
       static_cast<std::uint32_t>(from.vipl.pid()), hdr.seq, rel.max_retries);
+  // Retry budget exhausted: a terminal fault. Capture the postmortem while
+  // the spans/trace/metrics still show the failing timeline.
+  sender_node().kernel().flight_dump("msg.send_timeout");
   return KStatus::TimedOut;
 }
 
@@ -513,7 +547,13 @@ KStatus Channel::reliable_rdma(const MemHandle& src_mh, VAddr src_addr,
     return st;
   const std::uint32_t want = fault::checksum32(buf);
 
+  // Same trace shape as reliable_push: one enclosing span per RDMA op, one
+  // child per attempt, so retransmits parent under the original write.
+  const obs::ScopedSpan rdma_span(sk.spans(), "msg.rdma");
+
   for (std::uint32_t attempt = 0; attempt <= rel.max_retries; ++attempt) {
+    const obs::ScopedSpan attempt_span(
+        sk.spans(), attempt == 0 ? "msg.send" : "msg.retransmit");
     if (attempt > 0) {
       ++stats_.retries;
       sk.trace().record(clock.now(), TraceEvent::SendRetry,
@@ -567,6 +607,7 @@ KStatus Channel::reliable_rdma(const MemHandle& src_mh, VAddr src_addr,
   sk.trace().record(clock.now(), TraceEvent::SendTimeout,
                     static_cast<std::uint32_t>(src_pid_), dst_addr,
                     rel.max_retries);
+  sk.flight_dump("msg.rdma_timeout");
   return KStatus::TimedOut;
 }
 
@@ -815,6 +856,12 @@ KStatus Channel::transfer(Protocol proto, std::uint64_t src_off,
   }
   simkern::Kernel& sk = sender_node().kernel();
   const obs::ScopedSpan span(sk.spans(), "msg.transfer");
+  // The whole transfer - both endpoints - runs under this root span's trace.
+  // The receiver's kernel is a different recorder (its own ID stream), so its
+  // spans adopt the context via the ambient stack; the simulation is
+  // synchronous, so the push brackets all receiver-side work exactly.
+  const obs::ScopedTraceContext recv_ctx(receiver_node().kernel().spans(),
+                                         span.context());
   const VirtualStopwatch sw(sk.clock());
   const auto charge = [&](KStatus st) {
     transfer_ns_->add(sw.elapsed());

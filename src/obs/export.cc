@@ -1,23 +1,12 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
 namespace vialock::obs {
 
 namespace {
-
-std::string quote(std::string_view s) {
-  std::string out = "\"";
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      default: out += c;
-    }
-  }
-  return out + "\"";
-}
 
 /// Virtual nanoseconds as decimal microseconds ("12.345"), integer math only.
 std::string micros(Nanos ns) {
@@ -30,7 +19,45 @@ std::string micros(Nanos ns) {
   return out;
 }
 
+/// One complete-event ("X") line for a closed span under process `pid`.
+void emit_span(std::ostringstream& os, const SpanRecorder::Span& s,
+               std::uint32_t pid) {
+  os << "\n  {\"name\": " << json_quote(s.name)
+     << ", \"cat\": \"vialock\", \"ph\": \"X\", \"ts\": " << micros(s.start)
+     << ", \"dur\": " << micros(s.dur) << ", \"pid\": " << pid
+     << ", \"tid\": " << s.tid << ", \"args\": {\"depth\": " << s.depth;
+  if (s.trace_id != 0) {
+    os << ", \"trace\": \"" << json_hex(s.trace_id) << "\", \"span\": \""
+       << json_hex(s.span_id) << "\", \"parent\": \"" << json_hex(s.parent_id)
+       << "\"";
+  }
+  os << "}}";
+}
+
 }  // namespace
+
+std::string json_quote(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out + "\"";
+}
+
+std::string json_hex(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  do {
+    out.insert(out.begin(), kDigits[v & 0xF]);
+    v >>= 4;
+  } while (v);
+  return "0x" + out;
+}
 
 std::string to_proc_text(const Snapshot& snap) {
   std::ostringstream os;
@@ -40,6 +67,7 @@ std::string to_proc_text(const Snapshot& snap) {
          << m.name << ".sum " << m.sum << "\n"
          << m.name << ".p50 " << m.p50 << "\n"
          << m.name << ".p99 " << m.p99 << "\n"
+         << m.name << ".p999 " << m.p999 << "\n"
          << m.name << ".max " << m.max << "\n";
     } else {
       os << m.name << " " << m.value << "\n";
@@ -53,12 +81,13 @@ std::string to_json(const Snapshot& snap) {
   os << "{\n  \"metrics\": [";
   for (std::size_t i = 0; i < snap.size(); ++i) {
     const Metric& m = snap[i];
-    os << (i ? "," : "") << "\n    {\"name\": " << quote(m.name)
-       << ", \"kind\": " << quote(to_string(m.kind));
+    os << (i ? "," : "") << "\n    {\"name\": " << json_quote(m.name)
+       << ", \"kind\": " << json_quote(to_string(m.kind));
     if (m.kind == MetricKind::Histogram) {
       os << ", \"count\": " << m.count << ", \"sum\": " << m.sum
          << ", \"p50\": " << m.p50 << ", \"p99\": " << m.p99
-         << ", \"max\": " << m.max << ", \"buckets\": [";
+         << ", \"p999\": " << m.p999 << ", \"max\": " << m.max
+         << ", \"buckets\": [";
       for (std::size_t b = 0; b < m.buckets.size(); ++b) {
         os << (b ? ", " : "") << "[" << m.buckets[b].first << ", "
            << m.buckets[b].second << "]";
@@ -74,16 +103,76 @@ std::string to_json(const Snapshot& snap) {
 }
 
 std::string chrome_trace(const SpanRecorder& rec) {
+  return chrome_trace(std::vector<const SpanRecorder*>{&rec});
+}
+
+std::string chrome_trace(const std::vector<const SpanRecorder*>& recs) {
   std::ostringstream os;
   os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
   bool first = true;
-  for (const SpanRecorder::Span& s : rec.spans()) {
-    if (s.open) continue;  // unbalanced begin: not part of the timeline
-    os << (first ? "" : ",") << "\n  {\"name\": " << quote(s.name)
-       << ", \"cat\": \"vialock\", \"ph\": \"X\", \"ts\": " << micros(s.start)
-       << ", \"dur\": " << micros(s.dur) << ", \"pid\": 0, \"tid\": " << s.tid
-       << ", \"args\": {\"depth\": " << s.depth << "}}";
-    first = false;
+  for (std::size_t pid = 0; pid < recs.size(); ++pid) {
+    for (const SpanRecorder::Span& s : recs[pid]->spans()) {
+      if (s.open) continue;  // unbalanced begin: not part of the timeline
+      if (!first) os << ",";
+      emit_span(os, s, static_cast<std::uint32_t>(pid));
+      first = false;
+    }
+  }
+
+  // Flow stitching: every trace whose spans live in >1 recorder becomes one
+  // arrow chain, ordered by virtual start time (ties: pid, then span index -
+  // all deterministic). Single-recorder traces are already visible as lexical
+  // nesting and stay arrow-free.
+  struct FlowPoint {
+    Nanos start;
+    std::uint32_t pid;
+    std::uint32_t index;  // span index within its recorder
+    std::uint32_t tid;
+    std::uint64_t trace_id;
+  };
+  std::vector<FlowPoint> points;
+  for (std::size_t pid = 0; pid < recs.size(); ++pid) {
+    const auto& spans = recs[pid]->spans();
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      const SpanRecorder::Span& s = spans[i];
+      if (s.open || s.trace_id == 0) continue;
+      points.push_back({s.start, static_cast<std::uint32_t>(pid),
+                        static_cast<std::uint32_t>(i), s.tid, s.trace_id});
+    }
+  }
+  std::sort(points.begin(), points.end(),
+            [](const FlowPoint& a, const FlowPoint& b) {
+              return std::tie(a.start, a.pid, a.index) <
+                     std::tie(b.start, b.pid, b.index);
+            });
+  // Group in first-seen order (points are globally time-sorted already).
+  std::vector<std::uint64_t> trace_order;
+  for (const FlowPoint& p : points) {
+    if (std::find(trace_order.begin(), trace_order.end(), p.trace_id) ==
+        trace_order.end()) {
+      trace_order.push_back(p.trace_id);
+    }
+  }
+  for (const std::uint64_t trace_id : trace_order) {
+    std::vector<const FlowPoint*> chain;
+    bool multi_pid = false;
+    for (const FlowPoint& p : points) {
+      if (p.trace_id != trace_id) continue;
+      if (!chain.empty() && chain.front()->pid != p.pid) multi_pid = true;
+      chain.push_back(&p);
+    }
+    if (!multi_pid || chain.size() < 2) continue;
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      const FlowPoint& p = *chain[i];
+      const char* ph = i == 0 ? "s" : (i + 1 == chain.size() ? "f" : "t");
+      os << (first ? "" : ",") << "\n  {\"name\": \"trace\", "
+         << "\"cat\": \"vialock\", \"ph\": \"" << ph << "\", \"id\": \""
+         << json_hex(trace_id) << "\", \"ts\": " << micros(p.start)
+         << ", \"pid\": " << p.pid << ", \"tid\": " << p.tid;
+      if (ph[0] == 'f') os << ", \"bp\": \"e\"";
+      os << "}";
+      first = false;
+    }
   }
   os << (first ? "" : "\n") << "]}\n";
   return os.str();

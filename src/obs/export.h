@@ -3,7 +3,8 @@
 //
 //   to_proc_text   - /proc/metrics: "name value" lines in name order, the
 //                    text every other /proc node in this repo emits. A
-//                    histogram renders as .count/.sum/.p50/.p99/.max lines.
+//                    histogram renders as .count/.sum/.p50/.p99/.p999/.max
+//                    lines.
 //   to_json        - machine-readable snapshot, following bench::JsonReport's
 //                    conventions (hand-rendered, escaped, byte-stable).
 //   chrome_trace   - the finished spans of a SpanRecorder as a trace_event
@@ -11,10 +12,19 @@
 //                    chrome://tracing or https://ui.perfetto.dev. Timestamps
 //                    are virtual microseconds rendered by integer math (no
 //                    float formatting), so exports are byte-identical across
-//                    same-seed runs.
+//                    same-seed runs. Each X event carries the span's causal
+//                    triple in args ("trace"/"span"/"parent", hex).
+//
+// The multi-recorder chrome_trace overload merges several hosts' recorders
+// into one document (pid = recorder index) and stitches every trace that
+// crosses recorders with flow events (ph "s"/"t"/"f", DESIGN.md section 11):
+// the spans of one trace_id, ordered by virtual start time, become one
+// connected arrow chain across endpoints.
 #pragma once
 
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -26,5 +36,16 @@ namespace vialock::obs {
 [[nodiscard]] std::string to_json(const Snapshot& snap);
 
 [[nodiscard]] std::string chrome_trace(const SpanRecorder& rec);
+
+/// Merged export: one document over several recorders (pid = index into
+/// `recs`), with flow events stitching traces that span multiple recorders.
+[[nodiscard]] std::string chrome_trace(
+    const std::vector<const SpanRecorder*>& recs);
+
+/// JSON string literal with the repo's escaping rules (", \, newline).
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Lowercase 0x-prefixed hex (no leading zeros; "0x0" for zero).
+[[nodiscard]] std::string json_hex(std::uint64_t v);
 
 }  // namespace vialock::obs

@@ -1,0 +1,74 @@
+#include "obs/flight_recorder.h"
+
+#include <sstream>
+
+#include "obs/export.h"
+
+namespace vialock::obs {
+
+std::string FlightRecorder::dump(std::string_view reason,
+                                 const SpanRecorder& spans,
+                                 const TraceRing& trace,
+                                 const Snapshot& metrics) {
+  std::ostringstream os;
+  os << "{\n  \"reason\": " << json_quote(reason)
+     << ",\n  \"seed\": " << seed_
+     << ",\n  \"now_ns\": " << spans.clock().now()
+     << ",\n  \"span_drops\": " << spans.dropped()
+     << ",\n  \"spans\": [";
+
+  // Last max_spans_ *closed* spans, oldest first, with their causal triples.
+  const auto& all = spans.spans();
+  std::size_t closed = 0;
+  for (const auto& s : all) closed += s.closed() ? 1 : 0;
+  std::size_t skip = closed > max_spans_ ? closed - max_spans_ : 0;
+  bool first = true;
+  for (const auto& s : all) {
+    if (s.open) continue;
+    if (skip) {
+      --skip;
+      continue;
+    }
+    os << (first ? "" : ",") << "\n    {\"name\": " << json_quote(s.name)
+       << ", \"start_ns\": " << s.start << ", \"dur_ns\": " << s.dur
+       << ", \"tid\": " << s.tid << ", \"depth\": " << s.depth
+       << ", \"trace\": \"" << json_hex(s.trace_id) << "\", \"span\": \""
+       << json_hex(s.span_id) << "\", \"parent\": \"" << json_hex(s.parent_id)
+       << "\"}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "],\n  \"trace\": [";
+
+  first = true;
+  for (const TraceRing::Entry& e : trace.tail(max_trace_)) {
+    os << (first ? "" : ",") << "\n    {\"when_ns\": " << e.when
+       << ", \"event\": " << json_quote(to_string(e.event))
+       << ", \"pid\": " << e.pid << ", \"addr\": \"" << json_hex(e.addr)
+       << "\", \"pfn\": " << e.pfn << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "],\n  \"metrics\": [";
+
+  first = true;
+  for (const Metric& m : metrics) {
+    os << (first ? "" : ",") << "\n    {\"name\": " << json_quote(m.name)
+       << ", \"kind\": " << json_quote(to_string(m.kind));
+    if (m.kind == MetricKind::Histogram) {
+      os << ", \"count\": " << m.count << ", \"sum\": " << m.sum
+         << ", \"p50\": " << m.p50 << ", \"p99\": " << m.p99
+         << ", \"p999\": " << m.p999 << ", \"max\": " << m.max;
+    } else {
+      os << ", \"value\": " << m.value;
+    }
+    os << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "]\n}\n";
+
+  ++dumps_;
+  const std::string json = os.str();
+  if (sink_) sink_(reason, json);
+  return json;
+}
+
+}  // namespace vialock::obs

@@ -1,0 +1,69 @@
+// flight_recorder.h - bounded per-host postmortem capture (DESIGN.md
+// section 11).
+//
+// A FlightRecorder turns the observability substrate a host already carries -
+// the SpanRecorder's recent spans, the TraceRing's event tail, the
+// MetricRegistry snapshot - into one self-contained JSON document the moment
+// something terminal happens: the fault engine fires a fault the transport
+// cannot retry through, or an invariant check trips. The document names the
+// run's seed, so an incident dump is replayable: rerun the same binary with
+// the same seed and the identical timeline (byte-identical dump included)
+// falls out.
+//
+// The recorder holds no copies of anything between dumps - it is a bounded
+// *view* assembled at dump time (last `max_spans` closed spans, last
+// `max_trace` ring entries), so arming it costs nothing on the hot path.
+// Delivery is via an optional sink callback; simkern::Kernel::flight_dump()
+// only assembles when a sink is armed, keeping un-instrumented runs free.
+// Everything rendered derives from the virtual clock and seeded streams:
+// same seed, byte-identical FLIGHT_*.json.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/trace.h"
+
+namespace vialock::obs {
+
+class FlightRecorder {
+ public:
+  /// Receives every dump: `reason` is the trigger tag ("msg.send_timeout",
+  /// "invariant", ...), `json` the complete document.
+  using Sink =
+      std::function<void(std::string_view reason, const std::string& json)>;
+
+  explicit FlightRecorder(std::size_t max_spans = 128,
+                          std::size_t max_trace = 256)
+      : max_spans_(max_spans), max_trace_(max_trace) {}
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The workload seed stamped into every dump (0 = unknown).
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  [[nodiscard]] bool armed() const { return static_cast<bool>(sink_); }
+
+  /// Assemble the postmortem document from the host's current state, deliver
+  /// it to the sink (if armed), and return it.
+  std::string dump(std::string_view reason, const SpanRecorder& spans,
+                   const TraceRing& trace, const Snapshot& metrics);
+
+  [[nodiscard]] std::uint64_t dumps() const { return dumps_; }
+
+ private:
+  std::size_t max_spans_;
+  std::size_t max_trace_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t dumps_ = 0;
+  Sink sink_;
+};
+
+}  // namespace vialock::obs

@@ -76,6 +76,7 @@ Snapshot MetricRegistry::snapshot() const {
     m.max = h->max();
     m.p50 = h->quantile(0.50);
     m.p99 = h->quantile(0.99);
+    m.p999 = h->quantile(0.999);
     for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
       if (h->bucket(i)) {
         m.buckets.emplace_back(static_cast<std::uint32_t>(i), h->bucket(i));

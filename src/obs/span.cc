@@ -1,19 +1,38 @@
 #include "obs/span.h"
 
+#include <algorithm>
+
 namespace vialock::obs {
 
-void SpanRecorder::bump_depth(std::uint32_t tid, std::int32_t delta) {
-  for (auto& [t, d] : depth_) {
-    if (t == tid) {
-      if (delta < 0) {
-        if (d) --d;  // clamped: out-of-order closes never wrap the depth
-      } else {
-        d += static_cast<std::uint32_t>(delta);
-      }
-      return;
-    }
+std::vector<SpanId>& SpanRecorder::track(std::uint32_t tid) {
+  for (auto& [t, stack] : tracks_) {
+    if (t == tid) return stack;
   }
-  if (delta > 0) depth_.emplace_back(tid, static_cast<std::uint32_t>(delta));
+  tracks_.emplace_back(tid, std::vector<SpanId>{});
+  return tracks_.back().second;
+}
+
+const std::vector<SpanId>* SpanRecorder::find_track(std::uint32_t tid) const {
+  for (const auto& [t, stack] : tracks_) {
+    if (t == tid) return &stack;
+  }
+  return nullptr;
+}
+
+TraceContext SpanRecorder::active_context(std::uint32_t tid) const {
+  if (const auto* stack = find_track(tid); stack && !stack->empty()) {
+    return context_of(stack->back());
+  }
+  if (!ctx_stack_.empty() && ctx_stack_.back().valid()) {
+    return ctx_stack_.back();
+  }
+  return {};
+}
+
+TraceContext SpanRecorder::context_of(SpanId id) const {
+  if (id == kInvalidSpan || id >= spans_.size()) return {};
+  const Span& s = spans_[id];
+  return TraceContext{s.trace_id, s.span_id, s.parent_id};
 }
 
 SpanId SpanRecorder::begin(std::string_view name, std::uint32_t tid) {
@@ -26,10 +45,26 @@ SpanId SpanRecorder::begin(std::string_view name, std::uint32_t tid) {
   s.name = std::string(name);
   s.start = clock_.now();
   s.tid = tid;
-  s.depth = depth_of(tid);
+  std::vector<SpanId>& stack = track(tid);
+  s.depth = static_cast<std::uint32_t>(stack.size());
+  s.span_id = next_id();
+  if (!stack.empty()) {
+    // Lexical nesting: child of the innermost open span on this track.
+    const Span& parent = spans_[stack.back()];
+    s.trace_id = parent.trace_id;
+    s.parent_id = parent.span_id;
+  } else if (!ctx_stack_.empty() && ctx_stack_.back().valid()) {
+    // Ambient context: a message-borne parent from another host/track.
+    s.trace_id = ctx_stack_.back().trace_id;
+    s.parent_id = ctx_stack_.back().span_id;
+  } else {
+    // Trace root: a fresh trace identity from the same seeded stream.
+    s.trace_id = next_id();
+    s.parent_id = 0;
+  }
   const auto id = static_cast<SpanId>(spans_.size());
   spans_.push_back(std::move(s));
-  bump_depth(tid, +1);
+  stack.push_back(id);
   ++open_;
   if (ring_) ring_->record(clock_.now(), TraceEvent::SpanBegin, tid, id, 0);
   return id;
@@ -44,7 +79,11 @@ void SpanRecorder::end(SpanId id) {
   Span& s = spans_[id];
   s.dur = clock_.now() - s.start;
   s.open = false;
-  bump_depth(s.tid, -1);
+  // Out-of-order closes are tolerated: erase wherever the id sits, innermost
+  // first (search from the back).
+  std::vector<SpanId>& stack = track(s.tid);
+  const auto it = std::find(stack.rbegin(), stack.rend(), id);
+  if (it != stack.rend()) stack.erase(std::next(it).base());
   --open_;
   if (ring_) ring_->record(clock_.now(), TraceEvent::SpanEnd, s.tid, id, 0);
 }

@@ -41,6 +41,13 @@ Kernel::Kernel(const KernelConfig& config, Clock& clock, CostModel costs)
     s.gauge("mem.pinned_frames", pinned_frames());
     s.gauge("mem.page_cache_pages", page_cache_pages());
   });
+  metrics_.register_source("obs", this, [this](obs::MetricSink& s) {
+    s.counter("spans.recorded", spans_.spans().size());
+    s.gauge("spans.open", spans_.open_spans());
+    s.counter("spans.dropped", spans_.dropped());
+    s.counter("spans.unbalanced_closes", spans_.unbalanced_closes());
+    s.counter("flight.dumps", flight_.dumps());
+  });
   procfs_.mount("meminfo", this, [this] { return meminfo(*this); });
   procfs_.mount("vmstat", this, [this] { return vmstat(*this); });
   procfs_.mount("metrics", this,

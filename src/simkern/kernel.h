@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/proc_registry.h"
 #include "obs/span.h"
@@ -285,6 +286,17 @@ class Kernel {
   /// upper layers mount (via/agent, pinmgr, regcache/<pid>, ...).
   [[nodiscard]] obs::ProcRegistry& procfs() { return procfs_; }
   [[nodiscard]] const obs::ProcRegistry& procfs() const { return procfs_; }
+  /// Crash flight recorder (DESIGN.md section 11). flight().set_sink() arms
+  /// it; flight_dump() is the trigger components call on terminal faults.
+  [[nodiscard]] obs::FlightRecorder& flight() { return flight_; }
+  [[nodiscard]] const obs::FlightRecorder& flight() const { return flight_; }
+  /// Assemble and deliver a postmortem dump (no-op when no sink is armed, so
+  /// un-instrumented runs pay nothing on failure paths).
+  void flight_dump(std::string_view reason) {
+    if (flight_.armed()) {
+      flight_.dump(reason, spans_, trace_, metrics_.snapshot());
+    }
+  }
   [[nodiscard]] const KernelConfig& config() const { return config_; }
   [[nodiscard]] std::uint32_t free_frames() const { return buddy_.free_frames(); }
   /// Frames currently pinned (kiobuf pin accounting, deduplicated per frame).
@@ -321,6 +333,7 @@ class Kernel {
   obs::MetricRegistry metrics_;
   obs::SpanRecorder spans_{clock_};
   obs::ProcRegistry procfs_;
+  obs::FlightRecorder flight_;
   // Cached hot-path handles into metrics_ (vmscan instrumentation).
   obs::Histogram* reclaim_ns_hist_ = nullptr;
   obs::Histogram* reclaim_freed_hist_ = nullptr;

@@ -115,6 +115,10 @@ DescStatus Fabric::transmit(Nic::Packet& pkt, std::vector<std::byte>* read_back)
 
   // Cut-through pipeline: source DMA, wire and sink DMA stream
   // concurrently; one latency plus the slowest stage's per-byte rate.
+  // The wire span lands on the *sending* host's recorder so one trace reads
+  // doorbell -> gather -> wire -> (remote) deliver.
+  const obs::ScopedSpan wire_span(nics_[pkt.src_node]->host().spans(),
+                                  "via.wire");
   const std::uint64_t bytes =
       pkt.op == DescOp::RdmaRead ? pkt.read_length : pkt.payload.size();
   clock_.advance(costs_.wire_latency + bytes * costs_.dma_path_per_byte);

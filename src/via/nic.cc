@@ -254,7 +254,14 @@ void Nic::break_vi(Vi& v) { v.state = ViState::Error; }
 KStatus Nic::post_send(ViId id, Descriptor desc) {
   if (!vi_exists(id)) return KStatus::Inval;
   Vi& v = vis_[id];
-  clock_.advance(costs_.doorbell + costs_.dma_startup);  // doorbell + desc fetch
+  // Stitched under the originating send's trace (the ambient context the
+  // transport pushed): doorbell ring -> descriptor fetch -> DMA gather ->
+  // wire (fabric.cc) -> remote scatter (deliver()).
+  const obs::ScopedSpan post_span(host_.spans(), "via.post_send");
+  {
+    const obs::ScopedSpan doorbell_span(host_.spans(), "via.doorbell");
+    clock_.advance(costs_.doorbell + costs_.dma_startup);  // doorbell + desc fetch
+  }
   ++stats_.doorbells;
   ++stats_.sends_posted;
 
@@ -289,6 +296,7 @@ KStatus Nic::post_send(ViId id, Descriptor desc) {
     pkt.read_length = static_cast<std::uint32_t>(desc.total_length());
   } else {
     // Send / RdmaWrite: gather the local segments under this VI's tag.
+    const obs::ScopedSpan gather_span(host_.spans(), "via.dma.gather");
     if (!gather_desc(desc, v.tag, pkt.payload)) {
       ++stats_.protection_errors;
       complete_send(v, std::move(desc), DescStatus::ErrProtection);
@@ -351,6 +359,7 @@ std::optional<Descriptor> Nic::poll_send(ViId id) {
   Vi& v = vis_[id];
   clock_.advance(costs_.pci_reg_read);  // status poll
   if (v.send_completed.empty()) return std::nullopt;
+  { const obs::ScopedSpan s(host_.spans(), "via.completion"); }
   Descriptor d = std::move(v.send_completed.front());
   v.send_completed.pop_front();
   return d;
@@ -361,6 +370,7 @@ std::optional<Descriptor> Nic::poll_recv(ViId id) {
   Vi& v = vis_[id];
   clock_.advance(costs_.pci_reg_read);
   if (v.recv_completed.empty()) return std::nullopt;
+  { const obs::ScopedSpan s(host_.spans(), "via.completion"); }
   Descriptor d = std::move(v.recv_completed.front());
   v.recv_completed.pop_front();
   return d;
@@ -371,6 +381,10 @@ std::optional<Descriptor> Nic::poll_recv(ViId id) {
 // ---------------------------------------------------------------------------
 
 DescStatus Nic::deliver(Packet& pkt, std::vector<std::byte>* read_back) {
+  // Receiver-side DMA under the sender's trace: the fabric delivers inline
+  // (one shared virtual clock), so the ambient context pushed around the
+  // transfer is still in scope on this host's recorder.
+  const obs::ScopedSpan deliver_span(host_.spans(), "via.dma.deliver");
   dma_bytes_.add(pkt.payload.size());
   if (!vi_exists(pkt.dst_vi)) return DescStatus::ErrDisconnected;
   Vi& v = vis_[pkt.dst_vi];

@@ -81,7 +81,12 @@ class Cluster {
 
   NodeId add_node(const NodeSpec& spec) {
     nodes_.push_back(std::make_unique<Node>(spec, clock_, costs_));
-    return fabric_.attach(nodes_.back()->nic());
+    const NodeId id = fabric_.attach(nodes_.back()->nic());
+    // Disjoint span-ID streams per host: ids from different nodes never
+    // collide in a merged trace export (DESIGN.md section 11).
+    nodes_.back()->kernel().spans().seed_ids(0x9E3779B97F4A7C15ULL *
+                                             (static_cast<std::uint64_t>(id) + 1));
+    return id;
   }
 
   [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }

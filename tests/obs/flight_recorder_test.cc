@@ -1,0 +1,111 @@
+// flight_recorder_test.cc - postmortem dumps: JSON well-formedness, bounded
+// views, sink/armed semantics, and the same-seed byte-identical replay
+// guarantee (DESIGN.md section 11).
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/clock.h"
+#include "util/trace.h"
+
+namespace vialock::obs {
+namespace {
+
+/// One deterministic mini-incident: a few nested spans, ring events, and
+/// metrics, then a dump. Everything derives from the virtual clock and the
+/// fixed span-ID seed, so two runs produce the same bytes.
+std::string run_incident(std::uint64_t seed) {
+  Clock clock;
+  TraceRing ring(16);
+  ring.enable(true);
+  SpanRecorder spans(clock);
+  spans.seed_ids(seed);
+  spans.enable(true);
+  spans.mirror_to(&ring);
+  MetricRegistry registry;
+
+  registry.counter("via.doorbells").inc(3);
+  registry.histogram("via.dma_ns").add(250);
+  registry.histogram("via.dma_ns").add(1000);
+  {
+    const ScopedSpan outer(spans, "msg.frame");
+    clock.advance(100);
+    { const ScopedSpan inner(spans, "msg.send"); clock.advance(40); }
+    { const ScopedSpan retry(spans, "msg.retransmit"); clock.advance(60); }
+  }
+  ring.record(clock.now(), TraceEvent::SendRetry, 7, 0x2000, 42);
+
+  FlightRecorder flight(/*max_spans=*/8, /*max_trace=*/8);
+  flight.set_seed(seed);
+  return flight.dump("test_incident", spans, ring, registry.snapshot());
+}
+
+TEST(FlightRecorder, DumpIsSelfContainedAndNamesItsTrigger) {
+  const std::string json = run_incident(97);
+  EXPECT_NE(json.find("\"reason\": \"test_incident\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 97"), std::string::npos);
+  EXPECT_NE(json.find("msg.retransmit"), std::string::npos);
+  EXPECT_NE(json.find("via.dma_ns"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\""), std::string::npos);
+}
+
+TEST(FlightRecorder, SameSeedDumpsAreByteIdentical) {
+  EXPECT_EQ(run_incident(97), run_incident(97));
+  EXPECT_NE(run_incident(97), run_incident(98))
+      << "the seed is stamped in and feeds the span-id stream";
+}
+
+TEST(FlightRecorder, ViewIsBoundedToTheMostRecentSpans) {
+  Clock clock;
+  TraceRing ring(4);
+  SpanRecorder spans(clock);
+  spans.enable(true);
+  MetricRegistry registry;
+  for (int i = 0; i < 10; ++i) {
+    const SpanId s = spans.begin("span" + std::to_string(i));
+    clock.advance(1);
+    spans.end(s);
+  }
+  FlightRecorder flight(/*max_spans=*/3, /*max_trace=*/4);
+  const std::string json =
+      flight.dump("bounded", spans, ring, registry.snapshot());
+  EXPECT_EQ(json.find("\"span6\""), std::string::npos)
+      << "older spans fall outside the bounded window";
+  EXPECT_NE(json.find("\"span7\""), std::string::npos);
+  EXPECT_NE(json.find("\"span9\""), std::string::npos);
+}
+
+TEST(FlightRecorder, SinkReceivesEveryDumpAndArmsTheRecorder) {
+  Clock clock;
+  TraceRing ring(4);
+  SpanRecorder spans(clock);
+  MetricRegistry registry;
+  FlightRecorder flight;
+  EXPECT_FALSE(flight.armed());
+
+  std::vector<std::string> reasons;
+  std::string delivered;
+  flight.set_sink([&](std::string_view reason, const std::string& json) {
+    reasons.emplace_back(reason);
+    delivered = json;
+  });
+  EXPECT_TRUE(flight.armed());
+
+  const std::string returned =
+      flight.dump("first", spans, ring, registry.snapshot());
+  (void)flight.dump("second", spans, ring, registry.snapshot());
+  ASSERT_EQ(reasons.size(), 2u);
+  EXPECT_EQ(reasons[0], "first");
+  EXPECT_EQ(reasons[1], "second");
+  EXPECT_EQ(flight.dumps(), 2u);
+  EXPECT_NE(delivered.find("\"reason\": \"second\""), std::string::npos);
+  EXPECT_NE(returned.find("\"reason\": \"first\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vialock::obs

@@ -63,6 +63,72 @@ TEST(Histogram, CountSumMaxQuantiles) {
   EXPECT_EQ(h.quantile(1.0), 1023u);
 }
 
+TEST(Histogram, QuantilesAtBucketEdges) {
+  // The log2 buckets make 0, 1, 2^k - 1, 2^k, and 2^k + 1 the interesting
+  // inputs: a quantile answers with the upper bound of the bucket holding
+  // the sample at rank round(q * (count - 1)).
+  Histogram h;
+  h.add(0);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(0.999), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+
+  h.add(1);  // samples {0, 1}
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), 1u);
+
+  for (const std::uint64_t v : {7u, 8u, 9u}) h.add(v);  // 2^3 +/- 1
+  // Samples {0, 1, 7, 8, 9}: 7 sits in bucket [4,7] (upper 7), 8 and 9 in
+  // [8,15] (upper 15).
+  EXPECT_EQ(h.quantile(0.5), 7u);
+  EXPECT_EQ(h.quantile(1.0), 15u);
+
+  h.add(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.quantile(1.0), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.quantile(0.999), 15u)
+      << "rank floor(0.999 * 5) = 4, still below the max sample";
+  EXPECT_EQ(h.quantile(0.0), 0u);
+}
+
+TEST(Histogram, P999SeparatesFromP99OnLongTails) {
+  // 999 fast samples and two catastrophic outliers: p99 stays in the fast
+  // band, p999 lands in the outliers' bucket - the tail the perf gate
+  // watches. (Rank is floor(q * (count - 1)): with count = 1001 the 0.999
+  // rank is 999, the first outlier.)
+  Histogram h;
+  for (int i = 0; i < 999; ++i) h.add(100);
+  h.add(1'000'000);
+  h.add(1'000'000);
+  EXPECT_EQ(h.quantile(0.99), 127u);
+  EXPECT_EQ(h.quantile(0.999), 1'048'575u);
+}
+
+TEST(Snapshot, CarriesP999) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("msg.ch.frame_ns");
+  for (int i = 0; i < 999; ++i) h.add(10);
+  h.add(100'000);
+  h.add(100'000);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].p99, 15u);
+  EXPECT_EQ(snap[0].p999, 131'071u);
+}
+
+TEST(Exporters, RenderP999InBothFormats) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("via.dma_ns");
+  for (int i = 0; i < 999; ++i) h.add(10);
+  h.add(100'000);
+  h.add(100'000);
+  const Snapshot snap = reg.snapshot();
+  const std::string text = to_proc_text(snap);
+  EXPECT_NE(text.find("via.dma_ns.p999 131071\n"), std::string::npos);
+  EXPECT_NE(text.find("via.dma_ns.p99 15\n"), std::string::npos);
+  const std::string json = to_json(snap);
+  EXPECT_NE(json.find("\"p999\": 131071"), std::string::npos);
+}
+
 TEST(Histogram, MaxTracksZeroOnlySamples) {
   Histogram h;
   h.add(0);

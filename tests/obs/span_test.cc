@@ -249,6 +249,203 @@ TEST(ChromeTrace, EmptyRecorderStillParses) {
   EXPECT_TRUE(JsonChecker(chrome_trace(rec)).valid());
 }
 
+// --- causal trace contexts ---------------------------------------------------
+
+TEST(TraceContext, NestedSpansShareTraceAndChainParents) {
+  Clock clock;
+  SpanRecorder rec(clock);
+  rec.enable(true);
+  const SpanId outer = rec.begin("outer");
+  const SpanId inner = rec.begin("inner");
+  rec.end(inner);
+  rec.end(outer);
+
+  const auto& so = rec.spans()[0];
+  const auto& si = rec.spans()[1];
+  EXPECT_NE(so.trace_id, 0u);
+  EXPECT_NE(so.span_id, 0u);
+  EXPECT_EQ(so.parent_id, 0u) << "no enclosing span: a trace root";
+  EXPECT_EQ(si.trace_id, so.trace_id);
+  EXPECT_EQ(si.parent_id, so.span_id);
+  EXPECT_NE(si.span_id, so.span_id);
+}
+
+TEST(TraceContext, SiblingRootsGetDistinctTraces) {
+  Clock clock;
+  SpanRecorder rec(clock);
+  rec.enable(true);
+  const SpanId a = rec.begin("a");
+  rec.end(a);
+  const SpanId b = rec.begin("b");
+  rec.end(b);
+  EXPECT_NE(rec.spans()[0].trace_id, rec.spans()[1].trace_id);
+}
+
+TEST(TraceContext, IdsAreDeterministicPerSeed) {
+  Clock clock;
+  auto run = [&clock](std::uint64_t seed) {
+    SpanRecorder rec(clock);
+    rec.seed_ids(seed);
+    rec.enable(true);
+    const SpanId outer = rec.begin("outer");
+    const SpanId inner = rec.begin("inner");
+    rec.end(inner);
+    rec.end(outer);
+    return std::make_pair(rec.spans()[0].trace_id, rec.spans()[1].span_id);
+  };
+  EXPECT_EQ(run(7), run(7)) << "same seed, same id stream";
+  EXPECT_NE(run(7), run(8)) << "disjoint seeds, disjoint streams";
+}
+
+TEST(TraceContext, AmbientContextAdoptsRemoteParent) {
+  Clock clock;
+  SpanRecorder rec(clock);
+  rec.enable(true);
+  // What a receiving host does with the (trace_id, span_id) pulled out of an
+  // arrived message header.
+  rec.push_context(TraceContext{0xAAAA, 0xBBBB, 0});
+  const SpanId adopted = rec.begin("rx");
+  rec.end(adopted);
+  rec.pop_context();
+  const SpanId fresh = rec.begin("later");
+  rec.end(fresh);
+
+  EXPECT_EQ(rec.spans()[0].trace_id, 0xAAAAu);
+  EXPECT_EQ(rec.spans()[0].parent_id, 0xBBBBu);
+  EXPECT_NE(rec.spans()[1].trace_id, 0xAAAAu)
+      << "popped context no longer applies";
+  EXPECT_EQ(rec.spans()[1].parent_id, 0u);
+}
+
+TEST(TraceContext, EnclosingSpanWinsOverAmbientContext) {
+  Clock clock;
+  SpanRecorder rec(clock);
+  rec.enable(true);
+  const SpanId outer = rec.begin("outer");
+  rec.push_context(TraceContext{0xAAAA, 0xBBBB, 0});
+  const SpanId inner = rec.begin("inner");
+  rec.end(inner);
+  rec.pop_context();
+  rec.end(outer);
+  EXPECT_EQ(rec.spans()[1].trace_id, rec.spans()[0].trace_id)
+      << "lexical nesting outranks the ambient stack";
+  EXPECT_EQ(rec.spans()[1].parent_id, rec.spans()[0].span_id);
+}
+
+TEST(TraceContext, ActiveContextResolvesStackThenAmbient) {
+  Clock clock;
+  SpanRecorder rec(clock);
+  rec.enable(true);
+  EXPECT_FALSE(rec.active_context().valid());
+  rec.push_context(TraceContext{0xAAAA, 0xBBBB, 0});
+  EXPECT_EQ(rec.active_context().trace_id, 0xAAAAu);
+  EXPECT_EQ(rec.active_context().span_id, 0xBBBBu);
+  const SpanId s = rec.begin("s");
+  EXPECT_EQ(rec.active_context().span_id, rec.spans()[0].span_id)
+      << "an open span is the innermost context";
+  rec.end(s);
+  rec.pop_context();
+  EXPECT_FALSE(rec.active_context().valid());
+}
+
+TEST(TraceContext, RetransmitsAreChildrenOfTheFrameSpan) {
+  // The reliable-transport pattern: one enclosing frame span stays open
+  // across all attempts; each attempt (send, then retransmits) is a child.
+  Clock clock;
+  SpanRecorder rec(clock);
+  rec.enable(true);
+  {
+    const ScopedSpan frame(rec, "msg.frame");
+    { const ScopedSpan attempt(rec, "msg.send"); }
+    { const ScopedSpan retry(rec, "msg.retransmit"); }
+  }
+  ASSERT_EQ(rec.spans().size(), 3u);
+  const auto& frame = rec.spans()[0];
+  EXPECT_EQ(rec.spans()[1].parent_id, frame.span_id);
+  EXPECT_EQ(rec.spans()[2].parent_id, frame.span_id);
+  EXPECT_EQ(rec.spans()[1].trace_id, frame.trace_id);
+  EXPECT_EQ(rec.spans()[2].trace_id, frame.trace_id);
+}
+
+TEST(TraceContext, ScopedTraceContextIsFreeWhenDisabledOrInvalid) {
+  Clock clock;
+  SpanRecorder rec(clock);
+  {
+    const ScopedTraceContext off(rec, TraceContext{1, 2, 0});
+    EXPECT_FALSE(rec.active_context().valid()) << "disabled: nothing pushed";
+  }
+  rec.enable(true);
+  {
+    const ScopedTraceContext invalid(rec, TraceContext{});
+    EXPECT_FALSE(rec.active_context().valid()) << "invalid ctx: not pushed";
+  }
+  {
+    const ScopedTraceContext on(rec, TraceContext{1, 2, 0});
+    EXPECT_TRUE(rec.active_context().valid());
+  }
+  EXPECT_FALSE(rec.active_context().valid()) << "popped at scope exit";
+}
+
+// --- flow events in the merged chrome trace ----------------------------------
+
+/// Renders `v` the way the exporter does ("0x" + lowercase hex).
+std::string hex_id(std::uint64_t v) {
+  std::string out = "0x";
+  bool started = false;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    const auto nibble = static_cast<unsigned>((v >> shift) & 0xF);
+    if (nibble == 0 && !started && shift != 0) continue;
+    started = true;
+    out += "0123456789abcdef"[nibble];
+  }
+  return out;
+}
+
+TEST(ChromeTrace, FlowEventsStitchTracesAcrossRecorders) {
+  Clock clock;
+  SpanRecorder host0(clock);
+  SpanRecorder host1(clock);
+  host0.seed_ids(1);
+  host1.seed_ids(2);
+  host0.enable(true);
+  host1.enable(true);
+
+  // Host 0 sends (one root span), host 1 adopts the in-band context.
+  const SpanId send = host0.begin("send");
+  clock.advance(10);
+  host1.push_context(host0.active_context());
+  const SpanId recv = host1.begin("recv");
+  clock.advance(5);
+  host1.end(recv);
+  host1.pop_context();
+  host0.end(send);
+
+  const std::uint64_t trace_id = host0.spans()[0].trace_id;
+  ASSERT_EQ(host1.spans()[0].trace_id, trace_id);
+
+  const std::string json = chrome_trace({&host0, &host1});
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  const std::string id = "\"id\": \"" + hex_id(trace_id) + "\"";
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(json.find(id), std::string::npos)
+      << "flow events carry the trace id";
+}
+
+TEST(ChromeTrace, SingleRecorderTraceGetsNoFlowEvents) {
+  Clock clock;
+  SpanRecorder rec(clock);
+  rec.enable(true);
+  const SpanId a = rec.begin("a");
+  const SpanId b = rec.begin("b");
+  rec.end(b);
+  rec.end(a);
+  const std::string json = chrome_trace({&rec});
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_EQ(json.find("\"ph\": \"s\""), std::string::npos)
+      << "a trace confined to one host needs no flow arrows";
+}
+
 // --- /proc registry ----------------------------------------------------------
 
 TEST(ProcRegistry, MountReadLsUnmount) {
