@@ -6,65 +6,38 @@
 // a broadcast"). This bench reports virtual cost vs. rank count for
 // barrier / broadcast / allreduce / alltoall, and the message counts that
 // show the binomial algorithms doing their O(log N) work.
+//
+// Since E23 the measurement itself lives in the scenario engine: this
+// driver loads examples/scenarios/e12-collectives.spec and sweeps `hosts`
+// over it. The spec pins E12's historical node sizing, so the virtual
+// times match the pre-scenario bench table exactly.
+#include <cstdlib>
 #include <iostream>
-#include <vector>
 
 #include "bench_util.h"
-#include "msg/mesh.h"
+#include "scenario/engine.h"
+#include "scenario/spec.h"
 #include "util/table.h"
+
+#ifndef SCENARIO_SPEC_DIR
+#define SCENARIO_SPEC_DIR "examples/scenarios"
+#endif
 
 namespace vialock {
 namespace {
 
-struct CollectiveTimes {
-  Nanos barrier = 0;
-  Nanos broadcast = 0;
-  Nanos allreduce = 0;
-  Nanos alltoall = 0;
-  std::uint64_t bcast_msgs = 0;
-};
-
-CollectiveTimes measure(std::uint32_t ranks) {
-  via::Cluster cluster;
-  std::vector<via::NodeId> nodes;
-  for (std::uint32_t r = 0; r < ranks; ++r) {
-    via::NodeSpec spec = bench::eval_node(via::PolicyKind::Kiobuf);
-    spec.kernel.frames = 2048;  // smaller nodes: many of them
-    nodes.push_back(cluster.add_node(spec));
+scenario::ScenarioReport measure(std::uint32_t ranks) {
+  scenario::ParseResult parsed = scenario::load_spec_file(
+      std::string(SCENARIO_SPEC_DIR) + "/e12-collectives.spec");
+  if (!parsed.ok()) {
+    std::cerr << "spec error: " << parsed.error << "\n";
+    std::abort();
   }
-  msg::Mesh::Config cfg;
-  cfg.channel.user_heap_bytes = 256 * 1024;
-  msg::Mesh mesh(cluster, nodes, cfg);
-  if (!ok(mesh.init())) std::abort();
-
-  constexpr std::uint32_t kPayload = 64 * 1024;
-  std::vector<std::byte> data(kPayload, std::byte{0x5A});
-  if (!ok(mesh.stage_rank(0, 0, data))) std::abort();
-
-  CollectiveTimes t;
-  Clock& clock = cluster.clock();
-
-  // Warm-up (registration caches, eager credits).
-  if (!ok(mesh.barrier())) std::abort();
-
-  Nanos t0 = clock.now();
-  if (!ok(mesh.barrier())) std::abort();
-  t.barrier = clock.now() - t0;
-
-  const auto msgs_before = mesh.stats().p2p_msgs;
-  t0 = clock.now();
-  if (!ok(mesh.broadcast(0, 0, kPayload))) std::abort();
-  t.broadcast = clock.now() - t0;
-  t.bcast_msgs = mesh.stats().p2p_msgs - msgs_before;
-
-  t0 = clock.now();
-  if (!ok(mesh.allreduce_sum(0, 256))) std::abort();  // 2 KB vectors
-  t.allreduce = clock.now() - t0;
-
-  t0 = clock.now();
-  if (!ok(mesh.alltoall(128 * 1024, 8 * 1024))) std::abort();
-  t.alltoall = clock.now() - t0;
-  return t;
+  if (!parsed.spec.apply("hosts", std::to_string(ranks)).empty()) std::abort();
+  scenario::ScenarioEngine engine(std::move(parsed.spec));
+  if (!ok(engine.build()) || !ok(engine.run())) std::abort();
+  if (!engine.report().invariants_ok) std::abort();
+  return engine.report();
 }
 
 }  // namespace
@@ -76,20 +49,21 @@ int main(int argc, char** argv) {
             << "(64 KB broadcast, 2 KB allreduce vectors, 8 KB alltoall "
             << "blocks;\nsequentialised rounds - virtual times are upper "
             << "bounds)\n\n";
+  const bench::BenchFlags flags(argc, argv);
   Table table({"ranks", "barrier", "broadcast 64KB", "bcast msgs",
                "allreduce 2KB", "alltoall 8KB"});
   for (const std::uint32_t ranks : {2u, 3u, 4u, 6u, 8u}) {
-    const auto t = measure(ranks);
-    table.row({Table::num(std::uint64_t{ranks}), Table::nanos(t.barrier),
-               Table::nanos(t.broadcast), Table::num(t.bcast_msgs),
-               Table::nanos(t.allreduce), Table::nanos(t.alltoall)});
+    const scenario::ScenarioReport r = measure(ranks);
+    table.row({Table::num(std::uint64_t{ranks}), Table::nanos(r.barrier_ns),
+               Table::nanos(r.broadcast_ns), Table::num(r.bcast_msgs),
+               Table::nanos(r.allreduce_ns), Table::nanos(r.alltoall_ns)});
   }
   table.print();
   bench::JsonReport report("E12", "collective operations vs rank count");
   report.add_table("collectives", table);
-  report.write_if_requested(argc, argv);
+  report.write_if(flags);
   std::cout << "\nShape: broadcast ships N-1 messages over a binomial tree\n"
                "(log-depth); alltoall grows as N(N-1) blocks; barrier as\n"
                "N*ceil(log2 N) tokens.\n";
-  return 0;
+  return report.compare_if(flags);
 }

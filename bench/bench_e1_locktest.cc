@@ -59,17 +59,18 @@ int main(int argc, char** argv) {
   std::cout << "E1: the locktest experiment (paper section 3.1, steps 1-8)\n"
             << "Paper: refcount-only locking leaves the TPT stale under\n"
             << "pressure; PG_locked / VM_LOCKED / kiobuf locking survive.\n";
+  const bench::BenchFlags flags(argc, argv);
   bench::JsonReport report("E1", "locktest: TPT consistency by policy");
   report.param("region_pages", std::uint64_t{64})
       .param("pressure_factor", "1.5");
   run_matrix(/*pressure=*/true, report);
   run_matrix(/*pressure=*/false, report);
-  report.write_if_requested(argc, argv);
+  report.write_if(flags);
 
   // --metrics / --trace-export: one extra pressure run of the paper's
   // proposed policy with span recording armed; its node provides the metric
   // snapshot and chrome trace. Deterministic: same binary, same bytes.
-  const bench::ObsFlags obs(argc, argv);
+  const bench::ObsFlags obs(flags);
   if (obs.any()) {
     Clock clock;
     CostModel costs;
@@ -82,5 +83,5 @@ int main(int argc, char** argv) {
     (void)experiments::run_locktest(node, cfg);
     obs.finish("E1", node.kernel());
   }
-  return report.compare_if_requested(argc, argv);
+  return report.compare_if(flags);
 }

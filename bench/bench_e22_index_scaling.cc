@@ -181,6 +181,7 @@ int main(int argc, char** argv) {
             << "RegistrationCache acquire-hit cost vs cached-registration "
                "count,\nindexed (vaddr interval index) against the seed's "
                "linear scan.\nWall-clock times; ratios are the result.\n";
+  const bench::BenchFlags flags(argc, argv);
   bench::JsonReport report("E22", "host index scaling: cache covering lookup");
   report.param("iterations", std::uint64_t{kIterations})
       .param("repetitions", std::uint64_t{kReps});
@@ -229,10 +230,10 @@ int main(int argc, char** argv) {
   std::cout << "self-check (indexed <= 2x, linear >= 50x): "
             << bench::passfail(scaling_ok) << "\n";
   report.metric("scaling_ok", bench::passfail(scaling_ok));
-  report.write_if_requested(argc, argv);
+  report.write_if(flags);
   // Wall-clock growth ratios are noisy run-to-run; callers gating on
   // --compare should pass a loose threshold (CI uses 0.5).
-  const int compare_rc = report.compare_if_requested(argc, argv);
+  const int compare_rc = report.compare_if(flags);
 #ifdef NDEBUG
   return (correct && scaling_ok && compare_rc == 0) ? 0 : 1;
 #else

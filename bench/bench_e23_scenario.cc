@@ -1,0 +1,164 @@
+// bench_e23_scenario - Experiment E23: cluster-scale scenario engine.
+//
+// Drives the declarative scenario subsystem (src/scenario/, DESIGN.md
+// section 12) at cluster scale: the bundled cluster-1m.spec - 256 simulated
+// hosts, two QoS-classed tenants each, Zipf-skewed KV traffic whose 4 KB
+// values travel rendezvous, plus registration-churn actors - for over one
+// million registrations + transfers in one deterministic event-driven run.
+//
+// Reports a hosts x tenants scaling table (virtual makespan, host busy
+// time, event and transfer counts) and self-checks the determinism
+// contract: the headline spec runs twice and the canonical report_json
+// strings must match byte-for-byte. Non-zero exit on divergence or any
+// invariant violation, so CI can gate on it (--smoke runs a reduced-scale
+// sweep; EXPERIMENTS.md E23 records the full-scale table).
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "scenario/engine.h"
+#include "scenario/spec.h"
+#include "util/table.h"
+
+#ifndef SCENARIO_SPEC_DIR
+#define SCENARIO_SPEC_DIR "examples/scenarios"
+#endif
+
+namespace vialock {
+namespace {
+
+struct SweepPoint {
+  std::uint32_t hosts;
+  std::uint32_t ops_per_tenant;
+  std::uint32_t churn_regs;
+};
+
+scenario::ScenarioSpec base_spec() {
+  scenario::ParseResult parsed = scenario::load_spec_file(
+      std::string(SCENARIO_SPEC_DIR) + "/cluster-1m.spec");
+  if (!parsed.ok()) {
+    std::cerr << "spec error: " << parsed.error << "\n";
+    std::abort();
+  }
+  return std::move(parsed.spec);
+}
+
+void apply_or_die(scenario::ScenarioSpec& spec, const std::string& key,
+                  std::uint64_t value) {
+  const std::string err = spec.apply(key, std::to_string(value));
+  if (!err.empty()) {
+    std::cerr << "override " << key << "=" << value << ": " << err << "\n";
+    std::abort();
+  }
+}
+
+scenario::ScenarioSpec sweep_spec(const SweepPoint& p) {
+  scenario::ScenarioSpec spec = base_spec();
+  apply_or_die(spec, "hosts", p.hosts);
+  apply_or_die(spec, "servers", std::max<std::uint32_t>(2, p.hosts / 16));
+  apply_or_die(spec, "ops_per_tenant", p.ops_per_tenant);
+  apply_or_die(spec, "churn_regs_per_tenant", p.churn_regs);
+  return spec;
+}
+
+scenario::ScenarioReport run_or_die(scenario::ScenarioSpec spec) {
+  scenario::ScenarioEngine engine(std::move(spec));
+  if (!ok(engine.build()) || !ok(engine.run())) {
+    std::cerr << "scenario failed to build/run\n";
+    std::abort();
+  }
+  for (const auto& v : engine.report().violations)
+    std::cerr << "violation: " << v << "\n";
+  return engine.report();
+}
+
+/// The determinism contract, enforced: same spec + seed, byte-identical
+/// canonical JSON. Returns the (verified) report of the first run.
+std::pair<scenario::ScenarioReport, bool> run_twice(
+    const scenario::ScenarioSpec& spec) {
+  scenario::ScenarioEngine first(spec);
+  if (!ok(first.build()) || !ok(first.run())) std::abort();
+  scenario::ScenarioEngine second(spec);
+  if (!ok(second.build()) || !ok(second.run())) std::abort();
+  const bool identical =
+      scenario::report_json(spec, first.report()) ==
+      scenario::report_json(spec, second.report());
+  return {first.report(), identical};
+}
+
+}  // namespace
+}  // namespace vialock
+
+int main(int argc, char** argv) {
+  using namespace vialock;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  const bench::BenchFlags flags(argc, argv);
+
+  std::cout << "E23: cluster-scale scenario engine "
+            << (smoke ? "(smoke: reduced scale)" : "(full scale)") << "\n"
+            << "cluster-1m.spec: Zipf-skewed KV + registration churn on an\n"
+               "event-driven multi-host scheduler; all times virtual.\n\n";
+
+  const std::vector<SweepPoint> sweep =
+      smoke ? std::vector<SweepPoint>{{8, 100, 25}, {16, 100, 25}, {32, 100, 25}}
+            : std::vector<SweepPoint>{{32, 200, 50}, {64, 200, 50},
+                                      {128, 200, 50}, {256, 200, 50}};
+
+  Table table({"hosts", "tenants", "events", "transfers ok", "regs+transfers",
+               "makespan", "host busy", "p99 op lat"});
+  for (const SweepPoint& p : sweep) {
+    scenario::ScenarioSpec spec = sweep_spec(p);
+    const std::uint32_t tenants = p.hosts * spec.tenants_per_host;
+    const scenario::ScenarioReport r = run_or_die(std::move(spec));
+    if (!r.invariants_ok) return 1;
+    table.row({Table::num(std::uint64_t{p.hosts}),
+               Table::num(std::uint64_t{tenants}),
+               Table::num(r.events_dispatched),
+               Table::num(r.counters.transfers_ok),
+               Table::num(r.registrations_plus_transfers()),
+               Table::nanos(r.makespan_ns), Table::nanos(r.busy_ns),
+               Table::nanos(r.latency_p99_ns)});
+  }
+  table.print();
+
+  // Headline run: the shipped spec, twice, byte-compared.
+  scenario::ScenarioSpec headline = base_spec();
+  if (smoke) {
+    apply_or_die(headline, "hosts", 32);
+    apply_or_die(headline, "servers", 4);
+    apply_or_die(headline, "ops_per_tenant", 200);
+    apply_or_die(headline, "churn_regs_per_tenant", 50);
+  }
+  const auto [r, identical] = run_twice(headline);
+  std::cout << "\nheadline (" << headline.hosts << " hosts): "
+            << r.registrations_plus_transfers() << " registrations+transfers, "
+            << r.events_dispatched << " events, makespan "
+            << Table::nanos(r.makespan_ns) << "\n"
+            << "same-seed byte-identical report: " << bench::passfail(identical)
+            << "\ninvariants: " << bench::passfail(r.invariants_ok) << "\n";
+
+  bench::JsonReport report("E23", "cluster-scale scenario engine");
+  report.param("spec", "cluster-1m")
+      .param("smoke", smoke ? "yes" : "no")
+      .param("hosts", std::uint64_t{headline.hosts})
+      .param("tenants_per_host", std::uint64_t{headline.tenants_per_host})
+      .param("seed", headline.seed);
+  report.metric("registrations_plus_transfers", r.registrations_plus_transfers())
+      .metric("transfers_ok", r.counters.transfers_ok)
+      .metric("transfers_failed", r.counters.transfers_failed)
+      .metric("agent_registrations", r.agent_registrations)
+      .metric("events_dispatched", r.events_dispatched)
+      .metric("makespan_ns", r.makespan_ns)
+      .metric("busy_ns", r.busy_ns)
+      .metric("latency_p99_ns", r.latency_p99_ns)
+      .metric("deterministic", bench::passfail(identical))
+      .metric("invariants", bench::passfail(r.invariants_ok));
+  report.add_table("scaling", table);
+  report.write_if(flags);
+
+  if (!identical || !r.invariants_ok) return 1;
+  return report.compare_if(flags);
+}

@@ -133,14 +133,15 @@ int main(int argc, char** argv) {
   std::cout << "E5: registration caching (paper section 1: \"caching "
                "registered regions, i.e. keeping them registered as long as "
                "possible\")\n";
+  const vialock::bench::BenchFlags flags(argc, argv);
   vialock::bench::JsonReport report("E5", "registration caching payoff");
   vialock::bandwidth_vs_size(report);
   vialock::reuse_ratio_sweep(report);
-  report.write_if_requested(argc, argv);
+  report.write_if(flags);
 
   // --metrics / --trace-export: one instrumented 50-transfer LRU run; the
   // sender node's kernel carries the channel, cache, agent and NIC metrics.
-  const vialock::bench::ObsFlags obs(argc, argv);
+  const vialock::bench::ObsFlags obs(flags);
   if (obs.any()) {
     using namespace vialock;
     ChannelRig rig(core::EvictionPolicy::Lru, /*prereg=*/false);
@@ -154,5 +155,5 @@ int main(int argc, char** argv) {
   std::cout << "\nShape: with reuse, the LRU cache removes the registration\n"
                "syscalls from the critical path and rendezvous approaches the\n"
                "preregistered upper bound; without reuse caching cannot help.\n";
-  return report.compare_if_requested(argc, argv);
+  return report.compare_if(flags);
 }

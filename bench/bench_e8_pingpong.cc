@@ -112,10 +112,11 @@ int main(int argc, char** argv) {
   lat.print();
   std::cout << "\n--- bandwidth ---\n";
   bw.print();
+  const bench::BenchFlags flags(argc, argv);
   bench::JsonReport report("E8", "ping-pong latency and bandwidth");
   report.add_table("latency", lat).add_table("bandwidth", bw);
   if (crossover) report.metric("crossover_bytes", std::uint64_t{*crossover});
-  report.write_if_requested(argc, argv);
+  report.write_if(flags);
   if (crossover) {
     std::cout << "\nEager -> zero-copy crossover at " << Table::bytes(*crossover)
               << " (paper family's MPI libraries switch protocols at 4 KB).\n";
@@ -127,7 +128,7 @@ int main(int argc, char** argv) {
   // wire on node 0, deliver and completion on node 1 - stitched across the
   // two pids by flow events sharing the round's trace id (DESIGN.md
   // section 11). Deterministic: same binary, byte-identical TRACE_E8.json.
-  const bench::ObsFlags obs(argc, argv);
+  const bench::ObsFlags obs(flags);
   if (obs.any()) {
     PingPongRig traced;
     obs.arm(traced.cluster);
@@ -137,5 +138,5 @@ int main(int argc, char** argv) {
     }
     obs.finish("E8", traced.cluster);
   }
-  return report.compare_if_requested(argc, argv);
+  return report.compare_if(flags);
 }

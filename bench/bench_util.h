@@ -46,6 +46,41 @@ inline via::NodeSpec eval_node(via::PolicyKind policy) {
 inline std::string yesno(bool b) { return b ? "yes" : "NO"; }
 inline std::string passfail(bool b) { return b ? "PASS" : "FAIL"; }
 
+/// One pass over argv for the flags every bench shares: `--json`,
+/// `--metrics`, `--trace-export`, `--compare <baseline>` (or
+/// `--compare=<baseline>`) and `--compare-threshold=<f>`. Benches parse
+/// once up front and hand the result to JsonReport::write_if /
+/// JsonReport::compare_if and ObsFlags instead of each helper re-scanning
+/// the argument list.
+struct BenchFlags {
+  bool json = false;
+  bool metrics = false;
+  bool trace = false;
+  std::string compare_path;
+  double compare_threshold = 0.10;
+
+  BenchFlags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a(argv[i]);
+      if (a == "--json") {
+        json = true;
+      } else if (a == "--metrics") {
+        metrics = true;
+      } else if (a == "--trace-export") {
+        trace = true;
+      } else if (a == "--compare" && i + 1 < argc) {
+        compare_path = argv[++i];
+      } else if (a.rfind("--compare=", 0) == 0) {
+        compare_path = a.substr(10);
+      } else if (a.rfind("--compare-threshold=", 0) == 0) {
+        compare_threshold = std::stod(a.substr(20));
+      }
+    }
+  }
+
+  [[nodiscard]] bool obs_any() const { return metrics || trace; }
+};
+
 /// Machine-readable experiment output. Collects the experiment's parameters,
 /// scalar metrics, and printed tables, and - when the binary was invoked with
 /// `--json` - writes them to BENCH_<experiment>.json in the working
@@ -94,18 +129,15 @@ class JsonReport {
   /// the process exit code: 0 when clean, not requested, or the baseline is
   /// missing (first run); 1 on regression.
   [[nodiscard]] int compare_if_requested(int argc, char** argv) const {
-    std::string path;
-    double threshold = 0.10;
-    for (int i = 1; i < argc; ++i) {
-      const std::string a(argv[i]);
-      if (a == "--compare" && i + 1 < argc) {
-        path = argv[i + 1];
-      } else if (a.rfind("--compare=", 0) == 0) {
-        path = a.substr(10);
-      } else if (a.rfind("--compare-threshold=", 0) == 0) {
-        threshold = std::stod(a.substr(20));
-      }
-    }
+    return compare_if(BenchFlags(argc, argv));
+  }
+
+  /// Same gate from pre-parsed flags (the migrated call style).
+  [[nodiscard]] int compare_if(const BenchFlags& flags) const {
+    return compare(flags.compare_path, flags.compare_threshold);
+  }
+
+  [[nodiscard]] int compare(const std::string& path, double threshold) const {
     if (path.empty()) return 0;
     std::ifstream in(path);
     if (!in) {
@@ -164,10 +196,12 @@ class JsonReport {
   /// Write BENCH_<experiment>.json if `--json` is among the arguments.
   /// Returns true when the file was written.
   bool write_if_requested(int argc, char** argv) const {
-    bool wanted = false;
-    for (int i = 1; i < argc; ++i)
-      if (std::string(argv[i]) == "--json") wanted = true;
-    if (!wanted) return false;
+    return write_if(BenchFlags(argc, argv));
+  }
+
+  /// Same from pre-parsed flags (the migrated call style).
+  bool write_if(const BenchFlags& flags) const {
+    if (!flags.json) return false;
     std::ofstream out("BENCH_" + experiment_ + ".json");
     out << "{\n  \"experiment\": " << quote(experiment_)
         << ",\n  \"name\": " << quote(name_) << ",\n  \"params\": "
@@ -270,13 +304,9 @@ class JsonReport {
 ///   }
 class ObsFlags {
  public:
-  ObsFlags(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i) {
-      const std::string a(argv[i]);
-      if (a == "--metrics") metrics_ = true;
-      if (a == "--trace-export") trace_ = true;
-    }
-  }
+  ObsFlags(int argc, char** argv) : ObsFlags(BenchFlags(argc, argv)) {}
+  explicit ObsFlags(const BenchFlags& flags)
+      : metrics_(flags.metrics), trace_(flags.trace) {}
 
   [[nodiscard]] bool metrics() const { return metrics_; }
   [[nodiscard]] bool trace() const { return trace_; }

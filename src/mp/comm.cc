@@ -105,10 +105,10 @@ simkern::Pid Comm::rank_pid(Rank r) const { return sides_[r]->pid; }
 KStatus Comm::init() {
   assert(!initialised_);
   if (nodes_.size() < 2) return KStatus::Inval;
+  if (config_.lazy_links && !config_.no_direct_link.empty())
+    return KStatus::Inval;  // lazy pairs are always direct; nothing to route
   const auto prot = simkern::VmFlag::Read | simkern::VmFlag::Write;
   const std::uint32_t slot = config_.eager_slot_size;
-  const std::uint64_t link_bytes =
-      static_cast<std::uint64_t>(slot) * (config_.eager_credits + 1);
 
   for (Rank r = 0; r < size(); ++r) {
     via::Node& node = cluster_.node(nodes_[r]);
@@ -135,73 +135,20 @@ KStatus Comm::init() {
 
   // One link per unordered rank pair: a shared-memory segment when both
   // ranks live on the same node (the multidevice "Connectiontable" routing),
-  // otherwise a VI pair over the fabric.
-  const auto blocked = [&](Rank a, Rank b) {
-    for (const auto& [x, y] : config_.no_direct_link) {
-      if ((x == a && y == b) || (x == b && y == a)) return true;
-    }
-    return false;
-  };
-  for (Rank i = 0; i < size(); ++i) {
-    for (Rank j = i + 1; j < size(); ++j) {
-      if (blocked(i, j)) continue;  // no link: traffic will be routed
-      if (config_.shm_for_local && nodes_[i] == nodes_[j]) {
-        simkern::Kernel& kern = cluster_.node(nodes_[i]).kernel();
-        const std::uint64_t seg_bytes =
-            2ULL * config_.eager_credits * slot + config_.local_bounce_bytes;
-        const simkern::ShmId seg = kern.shm_create(seg_bytes);
-        if (seg == simkern::kInvalidShm) return KStatus::NoMem;
-        for (const Rank r : {i, j}) {
-          Side& s = *sides_[r];
-          const Rank peer = r == i ? j : i;
-          const auto base = kern.shm_attach(s.pid, seg);
-          if (!base) return KStatus::NoMem;
-          Side::Link& link = s.links[peer];
-          link.local = true;
-          link.shm = seg;
-          link.shm_base = *base;
-          link.send_dir = r < peer ? 0 : 1;
-        }
-        local_queues_.emplace(
-            std::make_pair(i, j),
-            std::make_unique<std::array<std::deque<std::uint32_t>, 2>>());
-        continue;
+  // otherwise a VI pair over the fabric. Lazy mode defers each pair to its
+  // first send - a 256-rank communicator would otherwise pin bounce slots
+  // for 32k pairs that mostly never talk.
+  if (!config_.lazy_links) {
+    const auto blocked = [&](Rank a, Rank b) {
+      for (const auto& [x, y] : config_.no_direct_link) {
+        if ((x == a && y == b) || (x == b && y == a)) return true;
       }
-      for (const Rank r : {i, j}) {
-        Side& s = *sides_[r];
-        const Rank peer = r == i ? j : i;
-        via::Node& node = cluster_.node(nodes_[r]);
-        const auto slots = node.kernel().sys_mmap_anon(s.pid, link_bytes, prot);
-        if (!slots) return KStatus::NoMem;
-        Side::Link& link = s.links[peer];
-        link.slots = *slots;
-        if (const KStatus st =
-                s.vipl.register_mem(link.slots, link_bytes, link.slots_mh);
-            !ok(st)) {
-          return st;
-        }
-        if (const KStatus st = s.vipl.create_vi(link.vi); !ok(st)) return st;
-      }
-      if (const KStatus st =
-              cluster_.fabric().connect(nodes_[i], sides_[i]->links[j].vi,
-                                        nodes_[j], sides_[j]->links[i].vi);
-          !ok(st)) {
-        return st;
-      }
-      // Pre-post the receive credits on both ends.
-      for (const Rank r : {i, j}) {
-        Side& s = *sides_[r];
-        const Rank peer = r == i ? j : i;
-        Side::Link& link = s.links[peer];
-        for (std::uint32_t c = 0; c < config_.eager_credits; ++c) {
-          if (const KStatus st = s.vipl.post_recv(
-                  link.vi, link.slots_mh,
-                  link.slots + static_cast<std::uint64_t>(c) * slot, slot,
-                  /*cookie=*/c);
-              !ok(st)) {
-            return st;
-          }
-        }
+      return false;
+    };
+    for (Rank i = 0; i < size(); ++i) {
+      for (Rank j = i + 1; j < size(); ++j) {
+        if (blocked(i, j)) continue;  // no link: traffic will be routed
+        if (const KStatus st = ensure_link(i, j); !ok(st)) return st;
       }
     }
   }
@@ -249,6 +196,75 @@ KStatus Comm::init() {
         sink.counter("comm.arena_overflows", overflows);
       });
   initialised_ = true;
+  return KStatus::Ok;
+}
+
+KStatus Comm::ensure_link(Rank i, Rank j) {
+  if (i > j) std::swap(i, j);  // local_queues_ and shm halves key on (lo, hi)
+  if (has_direct_link(i, j)) return KStatus::Ok;
+  const auto prot = simkern::VmFlag::Read | simkern::VmFlag::Write;
+  const std::uint32_t slot = config_.eager_slot_size;
+  const std::uint64_t link_bytes =
+      static_cast<std::uint64_t>(slot) * (config_.eager_credits + 1);
+
+  if (config_.shm_for_local && nodes_[i] == nodes_[j]) {
+    simkern::Kernel& kern = cluster_.node(nodes_[i]).kernel();
+    const std::uint64_t seg_bytes =
+        2ULL * config_.eager_credits * slot + config_.local_bounce_bytes;
+    const simkern::ShmId seg = kern.shm_create(seg_bytes);
+    if (seg == simkern::kInvalidShm) return KStatus::NoMem;
+    for (const Rank r : {i, j}) {
+      Side& s = *sides_[r];
+      const Rank peer = r == i ? j : i;
+      const auto base = kern.shm_attach(s.pid, seg);
+      if (!base) return KStatus::NoMem;
+      Side::Link& link = s.links[peer];
+      link.local = true;
+      link.shm = seg;
+      link.shm_base = *base;
+      link.send_dir = r < peer ? 0 : 1;
+    }
+    local_queues_.emplace(
+        std::make_pair(i, j),
+        std::make_unique<std::array<std::deque<std::uint32_t>, 2>>());
+    return KStatus::Ok;
+  }
+  for (const Rank r : {i, j}) {
+    Side& s = *sides_[r];
+    const Rank peer = r == i ? j : i;
+    via::Node& node = cluster_.node(nodes_[r]);
+    const auto slots = node.kernel().sys_mmap_anon(s.pid, link_bytes, prot);
+    if (!slots) return KStatus::NoMem;
+    Side::Link& link = s.links[peer];
+    link.slots = *slots;
+    if (const KStatus st =
+            s.vipl.register_mem(link.slots, link_bytes, link.slots_mh);
+        !ok(st)) {
+      return st;
+    }
+    if (const KStatus st = s.vipl.create_vi(link.vi); !ok(st)) return st;
+  }
+  if (const KStatus st =
+          cluster_.fabric().connect(nodes_[i], sides_[i]->links[j].vi,
+                                    nodes_[j], sides_[j]->links[i].vi);
+      !ok(st)) {
+    return st;
+  }
+  // Pre-post the receive credits on both ends.
+  for (const Rank r : {i, j}) {
+    Side& s = *sides_[r];
+    const Rank peer = r == i ? j : i;
+    Side::Link& link = s.links[peer];
+    for (std::uint32_t c = 0; c < config_.eager_credits; ++c) {
+      if (const KStatus st = s.vipl.post_recv(
+              link.vi, link.slots_mh,
+              link.slots + static_cast<std::uint64_t>(c) * slot, slot,
+              /*cookie=*/c);
+          !ok(st)) {
+        return st;
+      }
+    }
+  }
   return KStatus::Ok;
 }
 
@@ -782,6 +798,10 @@ ReqId Comm::isend_indirect(Rank rank, Rank dest, std::int32_t tag,
 ReqId Comm::isend_internal(Rank rank, Rank dest, std::int32_t tag,
                            std::uint64_t offset, std::uint32_t len) {
   assert(initialised_ && rank < size() && dest < size() && rank != dest);
+  if (config_.lazy_links && !has_direct_link(rank, dest) &&
+      !ok(ensure_link(rank, dest))) {
+    return kInvalidReq;
+  }
   if (!has_direct_link(rank, dest)) {
     return isend_indirect(rank, dest, tag, offset, len);
   }

@@ -82,6 +82,11 @@ class Comm {
     /// system messages with reserved tags, an implicit receive on the
     /// intermediate node, and an acknowledgement chain back to the sender.
     std::vector<std::pair<Rank, Rank>> no_direct_link;
+    /// Create each pair's link on first send instead of all N*(N-1)/2 at
+    /// init() - required for cluster-scale scenarios where most pairs never
+    /// talk. Incompatible with no_direct_link (init returns Inval): lazy
+    /// creation makes every pair direct, so there is nothing to route.
+    bool lazy_links = false;
   };
 
   Comm(via::Cluster& cluster, std::vector<via::NodeId> nodes, Config config);
@@ -213,6 +218,11 @@ class Comm {
   /// System-message handler (forward / ack); true if the header was one.
   [[nodiscard]] bool handle_system(Rank rank, const WireHeader& header,
                                    simkern::VAddr slot_addr);
+  /// Build the (i, j) link if it does not exist yet: a shared-memory
+  /// segment for node-local pairs, otherwise a VI pair with pre-posted
+  /// credits. Idempotent; init() calls it eagerly for every pair unless
+  /// Config::lazy_links defers it to the first send.
+  [[nodiscard]] KStatus ensure_link(Rank i, Rank j);
   [[nodiscard]] ReqId isend_indirect(Rank rank, Rank dest, std::int32_t tag,
                                      std::uint64_t offset, std::uint32_t len);
   /// Drain one rank's incoming links; true if anything was processed.

@@ -29,26 +29,34 @@ KStatus Mesh::init() {
     rank_heaps_.push_back(*heap);
   }
 
-  // A channel per ordered pair, attached to the rank processes.
-  for (Rank i = 0; i < size(); ++i) {
-    for (Rank j = 0; j < size(); ++j) {
-      if (i == j) continue;
-      Channel::Config cfg = config_.channel;
-      cfg.sender_pid = pids_[i];
-      cfg.receiver_pid = pids_[j];
-      auto ch = std::make_unique<Channel>(cluster_, nodes_[i], nodes_[j], cfg);
-      if (const KStatus st = ch->init(); !ok(st)) return st;
-      channels_.emplace(std::make_pair(i, j), std::move(ch));
+  // A channel per ordered pair, attached to the rank processes. Lazy mode
+  // defers each pair to its first send - collectives touch O(N log N) pairs,
+  // so a 256-rank mesh skips tens of thousands of idle channels.
+  if (!config_.lazy_channels) {
+    for (Rank i = 0; i < size(); ++i) {
+      for (Rank j = 0; j < size(); ++j) {
+        if (i == j) continue;
+        if (ensure_channel(i, j) == nullptr) return KStatus::NoMem;
+      }
     }
   }
   initialised_ = true;
   return KStatus::Ok;
 }
 
-Channel& Mesh::channel(Rank from, Rank to) {
-  auto it = channels_.find(std::make_pair(from, to));
-  assert(it != channels_.end());
-  return *it->second;
+Channel* Mesh::ensure_channel(Rank from, Rank to) {
+  const auto key = std::make_pair(from, to);
+  if (const auto it = channels_.find(key); it != channels_.end())
+    return it->second.get();
+  Channel::Config cfg = config_.channel;
+  cfg.sender_pid = pids_[from];
+  cfg.receiver_pid = pids_[to];
+  auto ch =
+      std::make_unique<Channel>(cluster_, nodes_[from], nodes_[to], cfg);
+  if (!ok(ch->init())) return nullptr;
+  Channel* ptr = ch.get();
+  channels_.emplace(key, std::move(ch));
+  return ptr;
 }
 
 KStatus Mesh::stage_rank(Rank rank, std::uint64_t offset,
@@ -64,7 +72,9 @@ KStatus Mesh::fetch_rank(Rank rank, std::uint64_t offset,
 KStatus Mesh::send(Rank from, Rank to, std::uint64_t offset,
                    std::uint32_t len) {
   assert(initialised_ && from != to && from < size() && to < size());
-  Channel& ch = channel(from, to);
+  Channel* chp = ensure_channel(from, to);
+  if (chp == nullptr) return KStatus::NoMem;
+  Channel& ch = *chp;
   // rank heap -> channel source heap (one local copy in `from`'s process)...
   if (const KStatus st = kern(from).copy_user(
           pids_[from], ch.sender_heap(), rank_heaps_[from] + offset, len);

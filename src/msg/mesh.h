@@ -35,6 +35,10 @@ class Mesh {
   struct Config {
     Channel::Config channel;  ///< applied to every pairwise channel
     std::uint64_t rank_heap_bytes = 2ULL << 20;
+    /// Create pairwise channels on first use instead of all N*(N-1) at
+    /// init(). Collectives on an N-rank mesh only ever touch O(N log N)
+    /// pairs, and cluster-scale scenarios cannot afford the full matrix.
+    bool lazy_channels = false;
   };
 
   Mesh(via::Cluster& cluster, std::vector<via::NodeId> nodes, Config config);
@@ -81,13 +85,17 @@ class Mesh {
     std::uint64_t alltoalls = 0;
   };
   [[nodiscard]] const MeshStats& stats() const { return stats_; }
+  /// Channels materialised so far (== N*(N-1) unless lazy_channels).
+  [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
   [[nodiscard]] simkern::Pid rank_pid(Rank r) const { return pids_[r]; }
   [[nodiscard]] via::Node& rank_node(Rank r) {
     return cluster_.node(nodes_[r]);
   }
 
  private:
-  [[nodiscard]] Channel& channel(Rank from, Rank to);
+  /// The (from, to) channel, created on demand under lazy_channels;
+  /// nullptr if lazy creation failed.
+  [[nodiscard]] Channel* ensure_channel(Rank from, Rank to);
   /// Read `out.size()` u64s from a rank heap (allreduce folding).
   [[nodiscard]] KStatus fetch_at(Rank rank, std::uint64_t offset,
                                  std::span<std::uint64_t> out);

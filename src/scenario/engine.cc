@@ -1,0 +1,962 @@
+#include "scenario/engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "simkern/types.h"
+
+namespace vialock::scenario {
+
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+
+/// Independent, well-mixed seed per actor: the same spec seed reproduces
+/// every actor's stream; distinct actors never share one.
+std::uint64_t actor_seed(std::uint64_t seed, std::uint64_t uid) {
+  SplitMix64 sm(seed ^ (kGolden * (uid + 1)));
+  return sm.next();
+}
+
+std::uint64_t page_round(std::uint64_t bytes) {
+  return (bytes + simkern::kPageMask) & ~simkern::kPageMask;
+}
+
+/// Payload with a recognisable 8-byte marker up front (little-endian) and a
+/// deterministic fill behind it - what the verify probes compare against.
+std::vector<std::byte> marked_payload(std::uint32_t len, std::uint64_t marker) {
+  std::vector<std::byte> buf(len, std::byte{static_cast<unsigned char>(marker)});
+  for (std::uint32_t i = 0; i < 8 && i < len; ++i)
+    buf[i] = std::byte{static_cast<unsigned char>(marker >> (8 * i))};
+  return buf;
+}
+
+std::uint64_t read_marker(std::span<const std::byte> buf) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8 && i < buf.size(); ++i)
+    v |= static_cast<std::uint64_t>(std::to_integer<unsigned char>(buf[i]))
+         << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+ScenarioEngine::ScenarioEngine(ScenarioSpec spec) : spec_(std::move(spec)) {}
+ScenarioEngine::~ScenarioEngine() = default;
+
+// --- build --------------------------------------------------------------------
+
+KStatus ScenarioEngine::build() {
+  assert(!built_);
+  if (!spec_.validate().empty()) return KStatus::Inval;
+
+  cluster_ = std::make_unique<via::Cluster>();
+  sched_ = std::make_unique<EventScheduler>(spec_.hosts);
+
+  if (const KStatus st = build_hosts(); !ok(st)) return st;
+  if (const KStatus st = build_tenants(); !ok(st)) return st;
+
+  if (!spec_.fault_rules.empty()) {
+    fault::FaultPlan plan;
+    plan.seed = spec_.seed;
+    plan.rules = spec_.fault_rules;
+    faults_ = std::make_unique<fault::FaultEngine>(plan, cluster_->clock());
+    cluster_->inject_faults(faults_.get());
+  }
+
+  if (const KStatus st = build_transports(); !ok(st)) return st;
+
+  if (spec_.pattern == Pattern::SkewedKv) build_zipf();
+  if (spec_.pattern == Pattern::RpcFanout) {
+    fanout_perm_.resize(spec_.servers);
+    for (std::uint32_t i = 0; i < spec_.servers; ++i) fanout_perm_[i] = i;
+  }
+  if (spec_.pattern == Pattern::RpcFanout ||
+      spec_.pattern == Pattern::SkewedKv) {
+    server_ops_.assign(spec_.servers, 0);
+    server_bytes_.assign(spec_.servers, 0);
+  }
+
+  built_ = true;
+  return KStatus::Ok;
+}
+
+KStatus ScenarioEngine::build_hosts() {
+  via::NodeSpec ns;
+  ns.kernel.frames = spec_.host_frames;
+  ns.kernel.reserved_low =
+      std::min<std::uint32_t>(64, std::max<std::uint32_t>(8, spec_.host_frames / 16));
+  ns.kernel.swap_slots = spec_.host_swap_slots;
+  ns.nic.tpt_entries = spec_.tpt_entries;
+  // A host can terminate a VI per channel direction against every peer, so
+  // the default 256-entry VI table starves past ~128 hosts.
+  ns.nic.max_vis = spec_.nic_vis
+                       ? spec_.nic_vis
+                       : std::max<std::uint32_t>(256, 2 * spec_.hosts);
+  ns.policy = spec_.policy;
+  cluster_->add_nodes(ns, spec_.hosts);
+  return KStatus::Ok;
+}
+
+KStatus ScenarioEngine::build_tenants() {
+  tenants_.resize(spec_.hosts);
+  const auto guaranteed = static_cast<std::uint32_t>(
+      spec_.tenants_per_host * spec_.guaranteed_fraction + 0.5);
+  for (HostId h = 0; h < spec_.hosts; ++h) {
+    via::Node& node = cluster_->node(h);
+    if (spec_.governor) {
+      pinmgr::GovernorConfig gc;
+      gc.default_quota = spec_.tenant_quota_pages;
+      gc.guaranteed_reserve = spec_.guaranteed_reserve;
+      gc.lazy_batch = spec_.lazy_dereg_batch;
+      node.enable_governor(gc);
+    }
+    tenants_[h].reserve(spec_.tenants_per_host);
+    for (std::uint32_t t = 0; t < spec_.tenants_per_host; ++t) {
+      Tenant ten;
+      ten.pid = node.kernel().create_task("h" + std::to_string(h) + ".t" +
+                                          std::to_string(t));
+      ten.tier = t < guaranteed ? pinmgr::QosTier::Guaranteed
+                                : pinmgr::QosTier::BestEffort;
+      if (node.governor())
+        node.governor()->set_tenant(ten.pid, spec_.tenant_quota_pages, ten.tier);
+      if (spec_.churn_regs_per_tenant > 0) {
+        ten.vipl = std::make_unique<via::Vipl>(node.agent(), ten.pid);
+        if (const KStatus st = ten.vipl->open(); !ok(st)) return st;
+        const std::uint64_t slab =
+            page_round(spec_.churn_bytes) * spec_.churn_hold;
+        const auto addr = node.kernel().sys_mmap_anon(
+            ten.pid, slab, simkern::VmFlag::Read | simkern::VmFlag::Write);
+        if (!addr) return KStatus::NoMem;
+        ten.churn_pool = *addr;
+      }
+      tenants_[h].push_back(std::move(ten));
+    }
+  }
+  return KStatus::Ok;
+}
+
+KStatus ScenarioEngine::build_transports() {
+  std::vector<via::NodeId> ids(spec_.hosts);
+  for (std::uint32_t i = 0; i < spec_.hosts; ++i) ids[i] = i;
+
+  switch (spec_.pattern) {
+    case Pattern::Collectives: {
+      msg::Mesh::Config mc;
+      mc.channel.user_heap_bytes = spec_.channel_heap_bytes;
+      mc.channel.reliability.enabled = spec_.reliable;
+      mc.lazy_channels = !spec_.mesh_eager_channels;
+      mesh_ = std::make_unique<msg::Mesh>(*cluster_, ids, mc);
+      if (const KStatus st = mesh_->init(); !ok(st)) return st;
+      if (spec_.governor) {
+        // Mesh rank processes are infrastructure, not QoS subjects: give
+        // them headroom so bounce-buffer pins never hit tenant quotas.
+        for (std::uint32_t r = 0; r < spec_.hosts; ++r)
+          cluster_->node(r).governor()->set_tenant(mesh_->rank_pid(r),
+                                                   spec_.host_frames,
+                                                   pinmgr::QosTier::Guaranteed);
+      }
+      break;
+    }
+    case Pattern::PsAllreduce: {
+      mp::Comm::Config cc;
+      cc.eager_credits = 2;
+      cc.heap_bytes = std::max<std::uint64_t>(
+          256 * 1024,
+          (spec_.hosts + 2ULL) * page_round(spec_.shard_bytes));
+      cc.lazy_links = true;
+      comm_ = std::make_unique<mp::Comm>(*cluster_, ids, cc);
+      if (const KStatus st = comm_->init(); !ok(st)) return st;
+      if (spec_.governor) {
+        for (std::uint32_t r = 0; r < spec_.hosts; ++r)
+          cluster_->node(r).governor()->set_tenant(comm_->rank_pid(r),
+                                                   spec_.host_frames,
+                                                   pinmgr::QosTier::Guaranteed);
+      }
+      ps_result_reqs_.assign(spec_.hosts - 1, mp::kInvalidReq);
+      break;
+    }
+    default:
+      break;  // RPC/KV/pipeline channels come up lazily on first use
+  }
+  return KStatus::Ok;
+}
+
+void ScenarioEngine::build_zipf() {
+  zipf_cdf_.resize(spec_.keys);
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < spec_.keys; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), spec_.skew);
+    zipf_cdf_[i] = sum;
+  }
+  for (auto& v : zipf_cdf_) v /= sum;
+}
+
+// --- channels ----------------------------------------------------------------
+
+std::uint32_t ScenarioEngine::max_payload() const {
+  switch (spec_.pattern) {
+    case Pattern::RpcFanout:
+      return std::max(spec_.request_bytes, spec_.response_bytes);
+    case Pattern::SkewedKv:
+      return std::max({spec_.request_bytes, spec_.response_bytes,
+                       spec_.value_bytes});
+    case Pattern::Pipeline:
+      return spec_.record_bytes;
+    default:
+      return 4096;
+  }
+}
+
+msg::Channel::Config ScenarioEngine::channel_config(HostId from,
+                                                    HostId to) const {
+  msg::Channel::Config cfg;
+  // Slots sized to the workload, not the 8 KB default: at 256 hosts a server
+  // carries hundreds of channel sides and every slot page is pinned memory.
+  // Only payloads below eager_threshold ever ride the eager path (anything
+  // larger goes rendezvous), so size the ring for the largest eager-eligible
+  // payload, not for max_payload().
+  std::uint32_t eager_max = 0;
+  for (const std::uint32_t p :
+       {spec_.request_bytes, spec_.response_bytes, spec_.value_bytes,
+        spec_.record_bytes, spec_.payload_bytes})
+    if (p <= max_payload() && p < cfg.eager_threshold)
+      eager_max = std::max(eager_max, p);
+  cfg.eager_slot_size = ((eager_max + 128 + 511) / 512) * 512;
+  cfg.eager_credits = 2;
+  cfg.user_heap_bytes = spec_.channel_heap_bytes;
+  const std::uint32_t t = spec_.tenants_per_host;
+  cfg.sender_pid = tenants_[from][to % t].pid;
+  cfg.receiver_pid = tenants_[to][from % t].pid;
+  cfg.reliability.enabled = spec_.reliable;
+  return cfg;
+}
+
+msg::Channel* ScenarioEngine::channel(HostId from, HostId to) {
+  const auto key = std::make_pair(from, to);
+  if (const auto it = channels_.find(key); it != channels_.end())
+    return it->second.get();
+  auto ch = std::make_unique<msg::Channel>(*cluster_, from, to,
+                                           channel_config(from, to));
+  if (!ok(ch->init())) return nullptr;  // next use retries from scratch
+  // Stage the sender-side marker payload once; every transfer re-sends it,
+  // so the receiver heap always ends up holding `from`'s marker.
+  const std::uint64_t marker = kGolden * (from + 1) ^ spec_.seed;
+  const auto buf = marked_payload(max_payload(), marker);
+  (void)ch->stage(0, buf);
+  ++counters_.channels_created;
+  msg::Channel* ptr = ch.get();
+  channels_.emplace(key, std::move(ch));
+  return ptr;
+}
+
+bool ScenarioEngine::do_transfer(msg::Channel* ch, std::uint32_t len,
+                                 std::uint64_t src_off, std::uint64_t dst_off) {
+  ++counters_.transfers_attempted;
+  if (ch == nullptr) {
+    ++counters_.transfers_failed;
+    return false;
+  }
+  if (ok(ch->transfer_auto(src_off, dst_off, len))) {
+    ++counters_.transfers_ok;
+    return true;
+  }
+  ++counters_.transfers_failed;
+  return false;
+}
+
+// --- actor seeding -----------------------------------------------------------
+
+void ScenarioEngine::seed_actors() {
+  std::uint64_t uid = 0;
+
+  switch (spec_.pattern) {
+    case Pattern::RpcFanout:
+    case Pattern::SkewedKv:
+      for (HostId h = first_client_host(); h < spec_.hosts; ++h)
+        for (std::uint32_t t = 0; t < spec_.tenants_per_host; ++t)
+          clients_.push_back({h, t, Rng(actor_seed(spec_.seed, uid++)),
+                              spec_.ops_per_tenant});
+      break;
+    case Pattern::Pipeline:
+      for (std::uint32_t t = 0; t < spec_.tenants_per_host; ++t)
+        clients_.push_back({0, t, Rng(actor_seed(spec_.seed, uid++)),
+                            spec_.ops_per_tenant});
+      break;
+    case Pattern::PsAllreduce:
+    case Pattern::Collectives:
+      break;  // driven by round events, not per-tenant actors
+  }
+
+  if (spec_.churn_regs_per_tenant > 0)
+    for (HostId h = 0; h < spec_.hosts; ++h)
+      for (std::uint32_t t = 0; t < spec_.tenants_per_host; ++t)
+        churners_.push_back({h, t, Rng(actor_seed(spec_.seed, uid++)),
+                             spec_.churn_regs_per_tenant,
+                             {},
+                             0});
+
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    ClientActor& a = clients_[i];
+    const Nanos start = a.rng.below(spec_.think_ns + 1);
+    switch (spec_.pattern) {
+      case Pattern::RpcFanout:
+        sched_->post(start, a.host, [this, i] { run_rpc_op(i); });
+        break;
+      case Pattern::SkewedKv:
+        sched_->post(start, a.host, [this, i] { run_kv_op(i); });
+        break;
+      case Pattern::Pipeline:
+        sched_->post(start, a.host, [this, i] { run_pipeline_emit(i); });
+        break;
+      default:
+        break;
+    }
+  }
+  if (spec_.pattern == Pattern::PsAllreduce && spec_.rounds > 0)
+    sched_->post(0, 0, [this] { run_ps_begin_round(); });
+  if (spec_.pattern == Pattern::Collectives && spec_.rounds > 0)
+    sched_->post(0, 0, [this] { run_collectives_round(); });
+
+  for (std::size_t i = 0; i < churners_.size(); ++i) {
+    ChurnActor& c = churners_[i];
+    const Nanos start = 1 + c.rng.below(spec_.think_ns + 1);
+    sched_->post(start, c.host, [this, i] { run_churn_op(i); });
+  }
+}
+
+// --- RPC fan-out -------------------------------------------------------------
+
+void ScenarioEngine::pick_fanout_targets(Rng& rng, std::uint32_t* out,
+                                         std::uint32_t k) {
+  // Partial Fisher-Yates over the persistent permutation: a uniform
+  // k-subset of servers per request in O(k).
+  const auto n = static_cast<std::uint32_t>(fanout_perm_.size());
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const auto j = i + static_cast<std::uint32_t>(rng.below(n - i));
+    std::swap(fanout_perm_[i], fanout_perm_[j]);
+    out[i] = fanout_perm_[i];
+  }
+}
+
+void ScenarioEngine::run_rpc_op(std::size_t actor) {
+  ClientActor& a = clients_[actor];
+  const Nanos issued = sched_->now();
+  VirtualStopwatch sw(cluster_->clock());
+
+  std::uint32_t targets[64];
+  const std::uint32_t k = std::min<std::uint32_t>(spec_.fanout, 64);
+  pick_fanout_targets(a.rng, targets, k);
+  Nanos done = issued;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const HostId srv = targets[i];
+    const bool sent = do_transfer(channel(a.host, srv), spec_.request_bytes);
+    const bool replied =
+        do_transfer(channel(srv, a.host), spec_.response_bytes);
+    ++server_ops_[srv];
+    server_bytes_[srv] += spec_.request_bytes + spec_.response_bytes;
+    if (sent && replied) ++counters_.verify_ok;  // round trip completed
+  }
+  ++counters_.rpcs;
+  done = sched_->charge_host(a.host, issued, sw.elapsed());
+  for (std::uint32_t i = 0; i < k; ++i) sched_->hold_host(targets[i], done);
+  record_latency(done - issued);
+  if (--a.remaining > 0)
+    sched_->post(done + spec_.think_ns, a.host,
+                 [this, actor] { run_rpc_op(actor); });
+}
+
+// --- skewed KV ---------------------------------------------------------------
+
+std::uint32_t ScenarioEngine::zipf_sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  if (it == zipf_cdf_.end()) return spec_.keys - 1;
+  return static_cast<std::uint32_t>(it - zipf_cdf_.begin());
+}
+
+void ScenarioEngine::run_kv_op(std::size_t actor) {
+  ClientActor& a = clients_[actor];
+  const Nanos issued = sched_->now();
+  VirtualStopwatch sw(cluster_->clock());
+
+  const bool put = a.rng.chance(spec_.put_fraction);
+  const std::uint32_t key = zipf_sample(a.rng);
+  const HostId srv = key % spec_.servers;
+  msg::Channel* req = channel(a.host, srv);
+  msg::Channel* resp = channel(srv, a.host);
+
+  bool complete;
+  if (put) {
+    complete = do_transfer(req, spec_.value_bytes);
+    complete &= do_transfer(resp, spec_.response_bytes);
+    ++counters_.kv_puts;
+  } else {
+    complete = do_transfer(req, spec_.request_bytes);
+    complete &= do_transfer(resp, spec_.value_bytes);
+    ++counters_.kv_gets;
+    // Spot-check every 64th completed GET: the payload that landed in the
+    // client heap must carry the server's marker.
+    if (complete && counters_.kv_gets % 64 == 0) {
+      std::array<std::byte, 8> got{};
+      if (ok(resp->fetch(0, got))) {
+        const std::uint64_t want = kGolden * (srv + 1) ^ spec_.seed;
+        if (read_marker(got) == want)
+          ++counters_.verify_ok;
+        else
+          ++counters_.verify_failed;
+      }
+    }
+  }
+  ++server_ops_[srv];
+  server_bytes_[srv] += put ? spec_.value_bytes + spec_.response_bytes
+                            : spec_.request_bytes + spec_.value_bytes;
+
+  const Nanos done = sched_->charge_host(a.host, issued, sw.elapsed());
+  sched_->hold_host(srv, done);
+  record_latency(done - issued);
+  if (--a.remaining > 0)
+    sched_->post(done + spec_.think_ns, a.host,
+                 [this, actor] { run_kv_op(actor); });
+}
+
+// --- streaming pipeline ------------------------------------------------------
+
+void ScenarioEngine::run_pipeline_emit(std::size_t actor) {
+  ClientActor& a = clients_[actor];
+  const Nanos issued = sched_->now();
+  VirtualStopwatch sw(cluster_->clock());
+
+  const std::uint64_t record = page_round(spec_.record_bytes);
+  const std::uint64_t slots = std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(64, spec_.channel_heap_bytes / record));
+  const std::uint64_t seq = pipeline_seq_++;
+  const std::uint64_t slot_off = (seq % slots) * record;
+  const std::uint64_t marker = actor_seed(spec_.seed, kGolden ^ seq);
+
+  msg::Channel* out = channel(0, 1);
+  bool sent = false;
+  if (out != nullptr) {
+    const auto buf = marked_payload(spec_.record_bytes, marker);
+    (void)out->stage(slot_off, buf);
+    sent = do_transfer(out, spec_.record_bytes, slot_off, slot_off);
+  } else {
+    sent = do_transfer(nullptr, spec_.record_bytes);
+  }
+
+  const Nanos done = sched_->charge_host(a.host, issued, sw.elapsed());
+  sched_->hold_host(1, done);
+  if (sent)
+    sched_->post(done, 1, [this, slot_off, marker] {
+      run_pipeline_hop(1, slot_off, marker);
+    });
+  if (--a.remaining > 0)
+    sched_->post(done + spec_.think_ns, a.host,
+                 [this, actor] { run_pipeline_emit(actor); });
+}
+
+void ScenarioEngine::run_pipeline_hop(HostId host, std::uint64_t slot_off,
+                                      std::uint64_t marker) {
+  const Nanos issued = sched_->now();
+  VirtualStopwatch sw(cluster_->clock());
+
+  msg::Channel* in = channel(host - 1, host);
+  if (host == spec_.hosts - 1) {
+    std::array<std::byte, 8> got{};
+    if (in != nullptr && ok(in->fetch(slot_off, got))) {
+      if (read_marker(got) == marker)
+        ++counters_.verify_ok;
+      else
+        ++counters_.verify_failed;
+    }
+    ++counters_.records_delivered;
+    const Nanos done = sched_->charge_host(host, issued, sw.elapsed());
+    record_latency(done - issued);
+    return;
+  }
+
+  std::vector<std::byte> buf(spec_.record_bytes);
+  bool forwarded = false;
+  if (in != nullptr && ok(in->fetch(slot_off, buf))) {
+    msg::Channel* out = channel(host, host + 1);
+    if (out != nullptr) {
+      (void)out->stage(slot_off, buf);
+      forwarded = do_transfer(out, spec_.record_bytes, slot_off, slot_off);
+    } else {
+      forwarded = do_transfer(nullptr, spec_.record_bytes);
+    }
+  }
+  const Nanos done = sched_->charge_host(host, issued, sw.elapsed());
+  sched_->hold_host(host + 1, done);
+  if (forwarded)
+    sched_->post(done, host + 1, [this, host, slot_off, marker] {
+      run_pipeline_hop(host + 1, slot_off, marker);
+    });
+}
+
+// --- parameter-server allreduce ----------------------------------------------
+
+void ScenarioEngine::run_ps_begin_round() {
+  const Nanos issued = sched_->now();
+  VirtualStopwatch sw(cluster_->clock());
+  const std::uint32_t workers = spec_.hosts - 1;
+  const std::uint64_t region = page_round(spec_.shard_bytes);
+
+  ps_recv_reqs_.assign(workers, mp::kInvalidReq);
+  for (std::uint32_t w = 1; w <= workers; ++w)
+    ps_recv_reqs_[w - 1] =
+        comm_->irecv(0, static_cast<std::int32_t>(w),
+                     static_cast<std::int32_t>(2 * ps_round_), w * region,
+                     spec_.shard_bytes);
+
+  const Nanos done = sched_->charge_host(0, issued, sw.elapsed());
+  for (std::uint32_t w = 1; w <= workers; ++w)
+    sched_->post(done, w, [this, w] { run_ps_push(w); });
+}
+
+void ScenarioEngine::run_ps_push(std::uint32_t worker) {
+  const Nanos issued = sched_->now();
+  VirtualStopwatch sw(cluster_->clock());
+
+  // Round-dependent gradient: u64s all equal to (round+1)*worker, so the
+  // reduced sum is predictable and the result broadcast verifiable.
+  const std::uint64_t val =
+      static_cast<std::uint64_t>(ps_round_ + 1) * worker;
+  std::vector<std::byte> shard(spec_.shard_bytes);
+  for (std::size_t i = 0; i + 8 <= shard.size(); i += 8)
+    std::memcpy(&shard[i], &val, 8);
+  (void)comm_->stage(worker, 0, shard);
+
+  ++counters_.transfers_attempted;
+  const mp::ReqId req =
+      comm_->isend(worker, 0, static_cast<std::int32_t>(2 * ps_round_), 0,
+                   spec_.shard_bytes);
+  if (req != mp::kInvalidReq && comm_->wait(req))
+    ++counters_.transfers_ok;
+  else
+    ++counters_.transfers_failed;
+
+  // Pre-post the result receive before the server can send it.
+  ps_result_reqs_[worker - 1] =
+      comm_->irecv(worker, 0, static_cast<std::int32_t>(2 * ps_round_ + 1), 0,
+                   spec_.shard_bytes);
+
+  const Nanos done = sched_->charge_host(worker, issued, sw.elapsed());
+  sched_->hold_host(0, done);
+  record_latency(done - issued);
+  sched_->post(done, 0, [this, worker] { run_ps_arrival(worker); });
+}
+
+void ScenarioEngine::run_ps_arrival(std::uint32_t worker) {
+  const Nanos issued = sched_->now();
+  VirtualStopwatch sw(cluster_->clock());
+  const std::uint32_t workers = spec_.hosts - 1;
+  const std::uint64_t region = page_round(spec_.shard_bytes);
+  const std::uint32_t count = spec_.shard_bytes / 8;
+
+  if (ps_recv_reqs_[worker - 1] != mp::kInvalidReq)
+    (void)comm_->wait(ps_recv_reqs_[worker - 1]);
+
+  if (++ps_arrived_ == workers) {
+    // Reduce: fold every worker region, verifying each shard's fill.
+    std::vector<std::uint64_t> acc(count, 0);
+    std::vector<std::byte> raw(spec_.shard_bytes);
+    for (std::uint32_t w = 1; w <= workers; ++w) {
+      if (!ok(comm_->fetch(0, w * region, raw))) continue;
+      const std::uint64_t want =
+          static_cast<std::uint64_t>(ps_round_ + 1) * w;
+      std::uint64_t first = 0;
+      std::memcpy(&first, raw.data(), 8);
+      if (first == want)
+        ++counters_.verify_ok;
+      else
+        ++counters_.verify_failed;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint64_t v = 0;
+        std::memcpy(&v, &raw[i * 8], 8);
+        acc[i] += v;
+      }
+    }
+    ps_expected_sum_ = 0;
+    for (std::uint32_t w = 1; w <= workers; ++w)
+      ps_expected_sum_ += static_cast<std::uint64_t>(ps_round_ + 1) * w;
+    std::vector<std::byte> result(spec_.shard_bytes);
+    for (std::uint32_t i = 0; i < count; ++i)
+      std::memcpy(&result[i * 8], &acc[i], 8);
+    (void)comm_->stage(0, 0, result);
+
+    for (std::uint32_t w = 1; w <= workers; ++w) {
+      ++counters_.transfers_attempted;
+      const mp::ReqId req = comm_->isend(
+          0, w, static_cast<std::int32_t>(2 * ps_round_ + 1), 0,
+          spec_.shard_bytes);
+      if (req != mp::kInvalidReq && comm_->wait(req))
+        ++counters_.transfers_ok;
+      else
+        ++counters_.transfers_failed;
+    }
+
+    ++counters_.allreduce_rounds;
+    ps_arrived_ = 0;
+    ++ps_round_;
+    const Nanos done = sched_->charge_host(0, issued, sw.elapsed());
+    for (std::uint32_t w = 1; w <= workers; ++w) {
+      sched_->hold_host(w, done);
+      sched_->post(done, w, [this, w] { run_ps_worker_check(w); });
+    }
+    if (ps_round_ < spec_.rounds)
+      sched_->post(done, 0, [this] { run_ps_begin_round(); });
+  } else {
+    sched_->charge_host(0, issued, sw.elapsed());
+  }
+}
+
+void ScenarioEngine::run_ps_worker_check(std::uint32_t worker) {
+  const Nanos issued = sched_->now();
+  VirtualStopwatch sw(cluster_->clock());
+  if (ps_result_reqs_[worker - 1] != mp::kInvalidReq &&
+      comm_->wait(ps_result_reqs_[worker - 1])) {
+    std::array<std::byte, 8> got{};
+    if (ok(comm_->fetch(worker, 0, got))) {
+      std::uint64_t v = 0;
+      std::memcpy(&v, got.data(), 8);
+      if (v == ps_expected_sum_)
+        ++counters_.verify_ok;
+      else
+        ++counters_.verify_failed;
+    }
+  }
+  sched_->charge_host(worker, issued, sw.elapsed());
+}
+
+// --- collectives (E12) -------------------------------------------------------
+
+void ScenarioEngine::run_collectives_round() {
+  const Nanos issued = sched_->now();
+  VirtualStopwatch total(cluster_->clock());
+
+  if (collective_round_ == 0) {
+    // Replays bench_e12 exactly: stage the root payload, one warmup
+    // barrier, then the timed sequence - same ops, same clock deltas.
+    const std::vector<std::byte> payload(spec_.payload_bytes, std::byte{0xAB});
+    (void)mesh_->stage_rank(0, 0, payload);
+    (void)mesh_->barrier();
+  }
+
+  const std::uint64_t msgs_before = mesh_->stats().p2p_msgs;
+  {
+    VirtualStopwatch sw(cluster_->clock());
+    const KStatus st = mesh_->barrier();
+    report_.barrier_ns += sw.elapsed();
+    ++counters_.transfers_attempted;
+    ok(st) ? ++counters_.transfers_ok : ++counters_.transfers_failed;
+  }
+  {
+    const std::uint64_t before = mesh_->stats().p2p_msgs;
+    VirtualStopwatch sw(cluster_->clock());
+    const KStatus st = mesh_->broadcast(0, 0, spec_.payload_bytes);
+    report_.broadcast_ns += sw.elapsed();
+    report_.bcast_msgs += mesh_->stats().p2p_msgs - before;
+    ++counters_.transfers_attempted;
+    ok(st) ? ++counters_.transfers_ok : ++counters_.transfers_failed;
+  }
+  {
+    VirtualStopwatch sw(cluster_->clock());
+    const KStatus st = mesh_->allreduce_sum(0, spec_.allreduce_count);
+    report_.allreduce_ns += sw.elapsed();
+    ++counters_.transfers_attempted;
+    ok(st) ? ++counters_.transfers_ok : ++counters_.transfers_failed;
+  }
+  {
+    VirtualStopwatch sw(cluster_->clock());
+    const KStatus st = mesh_->alltoall(128 * 1024, spec_.alltoall_block);
+    report_.alltoall_ns += sw.elapsed();
+    ++counters_.transfers_attempted;
+    ok(st) ? ++counters_.transfers_ok : ++counters_.transfers_failed;
+  }
+  counters_.bytes_moved +=
+      static_cast<std::uint64_t>(spec_.payload_bytes) * (spec_.hosts - 1) +
+      static_cast<std::uint64_t>(spec_.alltoall_block) * spec_.hosts *
+          (spec_.hosts - 1);
+
+  const Nanos done = sched_->charge_host(0, issued, total.elapsed());
+  for (HostId h = 1; h < spec_.hosts; ++h) sched_->hold_host(h, done);
+  record_latency(done - issued);
+  if (++collective_round_ < spec_.rounds)
+    sched_->post(done, 0, [this] { run_collectives_round(); });
+}
+
+// --- registration churn ------------------------------------------------------
+
+void ScenarioEngine::run_churn_op(std::size_t actor) {
+  ChurnActor& c = churners_[actor];
+  Tenant& t = tenants_[c.host][c.tenant];
+  const Nanos issued = sched_->now();
+  VirtualStopwatch sw(cluster_->clock());
+
+  const std::uint64_t slab_slot = page_round(spec_.churn_bytes);
+  if (c.held.size() >= spec_.churn_hold) {
+    if (ok(t.vipl->deregister_mem(c.held.front())))
+      ++counters_.deregistrations;
+    c.held.erase(c.held.begin());
+  } else {
+    const auto max_pages =
+        static_cast<std::uint32_t>(slab_slot / simkern::kPageSize);
+    const auto pages = 1 + static_cast<std::uint32_t>(c.rng.below(max_pages));
+    const simkern::VAddr addr =
+        t.churn_pool + (c.next_slot % spec_.churn_hold) * slab_slot;
+    ++c.next_slot;
+    via::MemHandle mh;
+    if (ok(t.vipl->register_mem(addr, pages * simkern::kPageSize, mh))) {
+      c.held.push_back(mh);
+      ++counters_.registrations_ok;
+    } else {
+      ++counters_.registrations_failed;
+    }
+    --c.remaining;
+  }
+
+  const Nanos done = sched_->charge_host(c.host, issued, sw.elapsed());
+  if (c.remaining > 0)
+    sched_->post(done + spec_.think_ns, c.host,
+                 [this, actor] { run_churn_op(actor); });
+}
+
+// --- latency -----------------------------------------------------------------
+
+void ScenarioEngine::record_latency(Nanos ns) {
+  const auto bucket = static_cast<std::size_t>(std::bit_width(ns));
+  ++lat_hist_[std::min<std::size_t>(bucket, lat_hist_.size() - 1)];
+  ++lat_samples_;
+}
+
+Nanos ScenarioEngine::percentile(double q) const {
+  if (lat_samples_ == 0) return 0;
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(lat_samples_));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < lat_hist_.size(); ++b) {
+    cum += lat_hist_[b];
+    if (cum > target) return b == 0 ? 0 : (Nanos{1} << b) - 1;
+  }
+  return Nanos{1} << (lat_hist_.size() - 1);
+}
+
+// --- run / teardown / audit --------------------------------------------------
+
+KStatus ScenarioEngine::run() {
+  assert(built_ && !ran_);
+  ran_ = true;
+  seed_actors();
+  sched_->run();
+  report_.makespan_ns = sched_->now();
+  teardown();
+  audit();
+  fill_report();
+  return KStatus::Ok;
+}
+
+void ScenarioEngine::teardown() {
+  // Disarm fault injection first: teardown must be able to release
+  // everything, and injected failures here would fake invariant violations.
+  if (faults_) cluster_->inject_faults(nullptr);
+
+  for (const auto& [key, ch] : channels_)
+    counters_.bytes_moved += ch->stats().bytes_moved;
+  if (comm_) counters_.bytes_moved += comm_->stats().bytes;
+
+  for (ChurnActor& c : churners_) {
+    Tenant& t = tenants_[c.host][c.tenant];
+    for (const via::MemHandle& mh : c.held)
+      if (ok(t.vipl->deregister_mem(mh))) ++counters_.deregistrations;
+    c.held.clear();
+  }
+
+  std::vector<std::pair<HostId, simkern::Pid>> infra;
+  if (mesh_) {
+    for (std::uint32_t r = 0; r < spec_.hosts; ++r)
+      infra.emplace_back(r, mesh_->rank_pid(r));
+    mesh_.reset();
+  }
+  if (comm_) {
+    for (std::uint32_t r = 0; r < spec_.hosts; ++r)
+      infra.emplace_back(r, comm_->rank_pid(r));
+    comm_.reset();
+  }
+  channels_.clear();
+
+  for (HostId h = 0; h < spec_.hosts; ++h)
+    for (const Tenant& t : tenants_[h])
+      cluster_->node(h).agent().release_tenant(t.pid);
+  for (const auto& [h, pid] : infra)
+    cluster_->node(h).agent().release_tenant(pid);
+  for (HostId h = 0; h < spec_.hosts; ++h)
+    if (auto* gov = cluster_->node(h).governor()) gov->flush();
+}
+
+void ScenarioEngine::violation(std::string msg) {
+  report_.violations.push_back(std::move(msg));
+}
+
+void ScenarioEngine::audit() {
+  if (counters_.transfers_attempted !=
+      counters_.transfers_ok + counters_.transfers_failed)
+    violation("transfer accounting does not balance");
+  if (spec_.fault_rules.empty()) {
+    if (counters_.transfers_failed > 0)
+      violation("lost transfers in a fault-free run: " +
+                std::to_string(counters_.transfers_failed));
+    if (counters_.verify_failed > 0)
+      violation("payload verification failures in a fault-free run: " +
+                std::to_string(counters_.verify_failed));
+  }
+  for (HostId h = 0; h < spec_.hosts; ++h) {
+    via::Node& node = cluster_->node(h);
+    if (auto* gov = node.governor(); gov != nullptr && gov->total_charged() != 0)
+      violation("host " + std::to_string(h) + ": governor still charges " +
+                std::to_string(gov->total_charged()) + " pages after teardown");
+    if (node.kernel().pinned_frames() != 0)
+      violation("host " + std::to_string(h) + ": " +
+                std::to_string(node.kernel().pinned_frames()) +
+                " frames still pinned after teardown");
+    for (const std::string& s : node.kernel().self_check())
+      violation("host " + std::to_string(h) + " self-check: " + s);
+  }
+  report_.invariants_ok = report_.violations.empty();
+}
+
+void ScenarioEngine::fill_report() {
+  report_.counters = counters_;
+  const EventScheduler::Stats& ss = sched_->stats();
+  report_.events_dispatched = ss.dispatched;
+  report_.peak_pending = ss.peak_pending;
+  report_.busy_ns = ss.busy_ns;
+  report_.cpu_total_ns = cluster_->clock().now();
+
+  for (HostId h = 0; h < spec_.hosts; ++h) {
+    via::Node& node = cluster_->node(h);
+    const via::AgentStats& as = node.agent().stats();
+    report_.agent_registrations += as.registrations;
+    report_.agent_deregistrations += as.deregistrations;
+    report_.admission_rejects += as.admission_rejects;
+    report_.lock_failures += as.lock_failures;
+    report_.tpt_full += as.tpt_full;
+    if (auto* gov = node.governor()) {
+      const pinmgr::GovernorStats& gs = gov->stats();
+      report_.governor_admitted += gs.admitted;
+      report_.governor_rejected +=
+          gs.rejected_quota + gs.rejected_ceiling + gs.rejected_injected;
+    }
+  }
+  if (faults_) report_.faults_injected = faults_->stats().total_injected();
+
+  report_.latency_p50_ns = percentile(0.50);
+  report_.latency_p99_ns = percentile(0.99);
+
+  if (spec_.pattern == Pattern::RpcFanout ||
+      spec_.pattern == Pattern::SkewedKv) {
+    Table t({"server", "ops", "bytes"});
+    for (std::uint32_t s = 0; s < spec_.servers; ++s)
+      t.row({Table::num(std::uint64_t{s}), Table::num(server_ops_[s]),
+             Table::num(server_bytes_[s])});
+    report_.breakdown = std::move(t);
+  } else {
+    Table t({"metric", "value"});
+    t.row({"events", Table::num(report_.events_dispatched)});
+    t.row({"makespan_ns", Table::num(report_.makespan_ns)});
+    t.row({"transfers_ok", Table::num(counters_.transfers_ok)});
+    report_.breakdown = std::move(t);
+  }
+}
+
+namespace {
+
+std::string jquote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+std::string report_json(const ScenarioSpec& spec, const ScenarioReport& r) {
+  std::string out = "{\n";
+  auto num = [&out](const char* key, std::uint64_t v, bool comma = true) {
+    out += std::string("  \"") + key + "\": " + std::to_string(v) +
+           (comma ? ",\n" : "\n");
+  };
+  out += "  \"name\": " + jquote(spec.name) + ",\n";
+  out += "  \"pattern\": " + jquote(std::string(to_string(spec.pattern))) +
+         ",\n";
+  num("seed", spec.seed);
+  num("hosts", spec.hosts);
+  num("tenants_per_host", spec.tenants_per_host);
+  num("events_dispatched", r.events_dispatched);
+  num("peak_pending", r.peak_pending);
+  num("makespan_ns", r.makespan_ns);
+  num("busy_ns", r.busy_ns);
+  num("cpu_total_ns", r.cpu_total_ns);
+  num("transfers_attempted", r.counters.transfers_attempted);
+  num("transfers_ok", r.counters.transfers_ok);
+  num("transfers_failed", r.counters.transfers_failed);
+  num("bytes_moved", r.counters.bytes_moved);
+  num("registrations_ok", r.counters.registrations_ok);
+  num("registrations_failed", r.counters.registrations_failed);
+  num("deregistrations", r.counters.deregistrations);
+  num("rpcs", r.counters.rpcs);
+  num("kv_gets", r.counters.kv_gets);
+  num("kv_puts", r.counters.kv_puts);
+  num("records_delivered", r.counters.records_delivered);
+  num("allreduce_rounds", r.counters.allreduce_rounds);
+  num("verify_ok", r.counters.verify_ok);
+  num("verify_failed", r.counters.verify_failed);
+  num("channels_created", r.counters.channels_created);
+  num("agent_registrations", r.agent_registrations);
+  num("agent_deregistrations", r.agent_deregistrations);
+  num("admission_rejects", r.admission_rejects);
+  num("lock_failures", r.lock_failures);
+  num("tpt_full", r.tpt_full);
+  num("governor_admitted", r.governor_admitted);
+  num("governor_rejected", r.governor_rejected);
+  num("faults_injected", r.faults_injected);
+  num("latency_p50_ns", r.latency_p50_ns);
+  num("latency_p99_ns", r.latency_p99_ns);
+  num("barrier_ns", r.barrier_ns);
+  num("broadcast_ns", r.broadcast_ns);
+  num("bcast_msgs", r.bcast_msgs);
+  num("allreduce_ns", r.allreduce_ns);
+  num("alltoall_ns", r.alltoall_ns);
+  num("registrations_plus_transfers", r.registrations_plus_transfers());
+  out += std::string("  \"invariants_ok\": ") +
+         (r.invariants_ok ? "true" : "false") + ",\n";
+  out += "  \"violations\": [";
+  for (std::size_t i = 0; i < r.violations.size(); ++i)
+    out += (i ? ", " : "") + jquote(r.violations[i]);
+  out += "],\n";
+  out += "  \"breakdown\": {\"headers\": [";
+  const auto& headers = r.breakdown.headers();
+  for (std::size_t i = 0; i < headers.size(); ++i)
+    out += (i ? ", " : "") + jquote(headers[i]);
+  out += "], \"rows\": [";
+  const auto& rows = r.breakdown.rows();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out += (i ? ", [" : "[");
+    for (std::size_t j = 0; j < rows[i].size(); ++j)
+      out += (j ? ", " : "") + jquote(rows[i][j]);
+    out += "]";
+  }
+  out += "]}\n}\n";
+  return out;
+}
+
+}  // namespace vialock::scenario

@@ -1,0 +1,236 @@
+// engine.h - compiles a ScenarioSpec onto the via/msg/mp substrate and runs
+// it on the event-driven multi-host scheduler.
+//
+// build() materialises the cluster: per-host kernels/NICs sized from the
+// spec, tenant tasks with pinmgr QoS classes and quotas, an optional fault
+// engine armed cluster-wide, and (for the collective patterns) the mesh or
+// communicator. run() seeds the traffic actors - RPC fan-out clients,
+// Zipf-skewed KV clients, parameter-server rounds, pipeline sources,
+// collective drivers, plus registration-churn actors - as events, drains
+// the scheduler, then tears the whole cluster down and audits the
+// invariants the paper cares about: nothing left pinned, quota accounting
+// balanced, no kernel self-check violations, no lost or corrupted payloads.
+//
+// Determinism contract (DESIGN.md section 12): the same spec + seed yields
+// the same event order, the same virtual-clock costs, and therefore a
+// byte-identical report; wall-clock time never enters the report.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault.h"
+#include "msg/mesh.h"
+#include "msg/transport.h"
+#include "mp/comm.h"
+#include "scenario/scheduler.h"
+#include "scenario/spec.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "via/node.h"
+#include "via/vipl.h"
+
+namespace vialock::scenario {
+
+/// Everything the engine counts while a scenario runs. All values derive
+/// from the virtual clock and seeded RNG streams - never from wall time.
+struct ScenarioCounters {
+  std::uint64_t transfers_attempted = 0;
+  std::uint64_t transfers_ok = 0;
+  std::uint64_t transfers_failed = 0;
+  std::uint64_t bytes_moved = 0;         ///< payload bytes through channels/comm
+  std::uint64_t registrations_ok = 0;    ///< churn-actor registrations admitted
+  std::uint64_t registrations_failed = 0;///< churn-actor registrations rejected
+  std::uint64_t deregistrations = 0;     ///< churn-actor deregistrations
+  std::uint64_t rpcs = 0;
+  std::uint64_t kv_gets = 0;
+  std::uint64_t kv_puts = 0;
+  std::uint64_t records_delivered = 0;
+  std::uint64_t allreduce_rounds = 0;
+  std::uint64_t verify_ok = 0;
+  std::uint64_t verify_failed = 0;       ///< payload markers that came back wrong
+  std::uint64_t channels_created = 0;
+};
+
+struct ScenarioReport {
+  ScenarioCounters counters;
+
+  // Scheduler view.
+  std::uint64_t events_dispatched = 0;
+  std::uint64_t peak_pending = 0;
+  Nanos makespan_ns = 0;   ///< scenario time when the heap drained
+  Nanos busy_ns = 0;       ///< summed per-host busy intervals
+  Nanos cpu_total_ns = 0;  ///< cluster clock at the end (total simulated cost)
+
+  // Substrate roll-ups (summed across hosts).
+  std::uint64_t agent_registrations = 0;  ///< every VipRegisterMem that succeeded
+  std::uint64_t agent_deregistrations = 0;
+  std::uint64_t admission_rejects = 0;
+  std::uint64_t lock_failures = 0;
+  std::uint64_t tpt_full = 0;
+  std::uint64_t governor_admitted = 0;
+  std::uint64_t governor_rejected = 0;
+  std::uint64_t faults_injected = 0;
+
+  // Latency of client-visible operations (log2 buckets over virtual ns).
+  Nanos latency_p50_ns = 0;
+  Nanos latency_p99_ns = 0;
+
+  // Collectives pattern only (E12 compatibility scalars).
+  Nanos barrier_ns = 0;
+  Nanos broadcast_ns = 0;
+  std::uint64_t bcast_msgs = 0;
+  Nanos allreduce_ns = 0;
+  Nanos alltoall_ns = 0;
+
+  /// ISSUE acceptance scalar: churn registrations + completed transfers.
+  [[nodiscard]] std::uint64_t registrations_plus_transfers() const {
+    return agent_registrations + counters.transfers_ok;
+  }
+
+  // Invariant audit (filled by run() after teardown).
+  bool invariants_ok = false;
+  std::vector<std::string> violations;
+
+  /// Per-pattern breakdown (KV: per-server load; pipeline: per-hop; ...).
+  Table breakdown{{"-"}};
+};
+
+/// Canonical JSON rendering of a finished run: spec identity + every report
+/// scalar, keys in a fixed order. This is the byte-identity surface the
+/// determinism tests and the E23 CI gate compare - same spec + seed must
+/// reproduce this string exactly.
+[[nodiscard]] std::string report_json(const ScenarioSpec& spec,
+                                      const ScenarioReport& report);
+
+/// Compiles and runs one ScenarioSpec. Single-shot: build() then run().
+class ScenarioEngine {
+ public:
+  explicit ScenarioEngine(ScenarioSpec spec);
+  ~ScenarioEngine();
+
+  ScenarioEngine(const ScenarioEngine&) = delete;
+  ScenarioEngine& operator=(const ScenarioEngine&) = delete;
+
+  /// Materialise the cluster, tenants, governors, faults, mesh/comm.
+  [[nodiscard]] KStatus build();
+  /// Seed actors, drain the scheduler, tear down, audit. build() first.
+  [[nodiscard]] KStatus run();
+
+  [[nodiscard]] const ScenarioReport& report() const { return report_; }
+  [[nodiscard]] const ScenarioSpec& spec() const { return spec_; }
+  [[nodiscard]] via::Cluster& cluster() { return *cluster_; }
+  [[nodiscard]] EventScheduler& scheduler() { return *sched_; }
+
+ private:
+  struct Tenant {
+    simkern::Pid pid = simkern::kInvalidPid;
+    pinmgr::QosTier tier = pinmgr::QosTier::BestEffort;
+    std::unique_ptr<via::Vipl> vipl;   ///< churn registrations go through this
+    simkern::VAddr churn_pool = 0;     ///< pre-mapped slab the churner slices
+  };
+  struct ClientActor {
+    HostId host = 0;
+    std::uint32_t tenant = 0;
+    Rng rng{1};
+    std::uint32_t remaining = 0;
+  };
+  struct ChurnActor {
+    HostId host = 0;
+    std::uint32_t tenant = 0;
+    Rng rng{1};
+    std::uint32_t remaining = 0;
+    std::vector<via::MemHandle> held;
+    std::uint32_t next_slot = 0;
+  };
+
+  // --- build helpers ---------------------------------------------------------
+  [[nodiscard]] KStatus build_hosts();
+  [[nodiscard]] KStatus build_tenants();
+  [[nodiscard]] KStatus build_transports();
+  void build_zipf();
+
+  // --- channels (lazy, per ordered host pair) --------------------------------
+  [[nodiscard]] msg::Channel* channel(HostId from, HostId to);
+  [[nodiscard]] msg::Channel::Config channel_config(HostId from, HostId to) const;
+  [[nodiscard]] std::uint32_t max_payload() const;
+
+  // --- actors ----------------------------------------------------------------
+  void seed_actors();
+  void run_rpc_op(std::size_t actor);
+  void run_kv_op(std::size_t actor);
+  void run_pipeline_emit(std::size_t actor);
+  void run_pipeline_hop(HostId host, std::uint64_t slot_off,
+                        std::uint64_t marker);
+  void run_ps_begin_round();
+  void run_ps_push(std::uint32_t worker);
+  void run_ps_arrival(std::uint32_t worker);
+  void run_ps_worker_check(std::uint32_t worker);
+  void run_collectives_round();
+  void run_churn_op(std::size_t actor);
+
+  /// One transfer attempt with failure accounting; true on success.
+  bool do_transfer(msg::Channel* ch, std::uint32_t len,
+                   std::uint64_t src_off = 0, std::uint64_t dst_off = 0);
+  [[nodiscard]] std::uint32_t zipf_sample(Rng& rng) const;
+  void pick_fanout_targets(Rng& rng, std::uint32_t* out, std::uint32_t k);
+  void record_latency(Nanos ns);
+  [[nodiscard]] Nanos percentile(double q) const;
+
+  // --- teardown / audit ------------------------------------------------------
+  void teardown();
+  void audit();
+  void fill_report();
+  void violation(std::string msg);
+
+  [[nodiscard]] std::uint32_t first_client_host() const {
+    return (spec_.pattern == Pattern::RpcFanout ||
+            spec_.pattern == Pattern::SkewedKv)
+               ? spec_.servers
+               : 0;
+  }
+
+  ScenarioSpec spec_;
+  bool built_ = false;
+  bool ran_ = false;
+
+  std::unique_ptr<via::Cluster> cluster_;
+  std::unique_ptr<EventScheduler> sched_;
+  std::vector<std::vector<Tenant>> tenants_;  ///< [host][tenant]
+  std::unique_ptr<fault::FaultEngine> faults_;
+
+  std::map<std::pair<HostId, HostId>, std::unique_ptr<msg::Channel>> channels_;
+  std::unique_ptr<msg::Mesh> mesh_;   ///< Collectives pattern
+  std::unique_ptr<mp::Comm> comm_;    ///< PsAllreduce pattern
+
+  std::vector<ClientActor> clients_;
+  std::vector<ChurnActor> churners_;
+  std::vector<double> zipf_cdf_;
+  std::vector<std::uint32_t> fanout_perm_;
+
+  // Parameter-server state.
+  std::vector<mp::ReqId> ps_recv_reqs_;    ///< PS-side, indexed by worker-1
+  std::vector<mp::ReqId> ps_result_reqs_;  ///< worker-side result receives
+  std::uint32_t ps_round_ = 0;
+  std::uint32_t ps_arrived_ = 0;
+  std::uint64_t ps_expected_sum_ = 0;
+
+  std::uint32_t collective_round_ = 0;
+  std::uint64_t pipeline_seq_ = 0;
+
+  // Per-server KV/RPC load (breakdown table).
+  std::vector<std::uint64_t> server_ops_;
+  std::vector<std::uint64_t> server_bytes_;
+
+  ScenarioCounters counters_;
+  std::array<std::uint64_t, 64> lat_hist_{};
+  std::uint64_t lat_samples_ = 0;
+  ScenarioReport report_;
+};
+
+}  // namespace vialock::scenario

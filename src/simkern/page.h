@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -66,10 +67,16 @@ struct Page {
 ///
 /// This is deliberately *not* an allocator; the buddy allocator (buddy.h)
 /// owns free-frame bookkeeping and manipulates Page::count through here.
+///
+/// Frame bytes are backed lazily: a frame allocates its 4 KB only on first
+/// write access, and an untouched frame reads as zeros through a shared
+/// zero page - exactly the semantics a fresh anonymous frame has anyway.
+/// This is what lets a 256-host scenario cluster exist in one process:
+/// hosts pay for the frames they touch, not for their configured RAM size.
 class PhysicalMemory {
  public:
   explicit PhysicalMemory(std::uint32_t num_frames)
-      : pages_(num_frames), bytes_(static_cast<std::size_t>(num_frames) * kPageSize) {}
+      : pages_(num_frames), frames_(num_frames) {}
 
   [[nodiscard]] std::uint32_t num_frames() const {
     return static_cast<std::uint32_t>(pages_.size());
@@ -81,21 +88,28 @@ class PhysicalMemory {
   [[nodiscard]] bool valid(Pfn pfn) const { return pfn < pages_.size(); }
 
   /// Raw bytes of a frame (what a DMA engine or CPU store actually hits).
+  /// The mutable overload materialises backing; the const overload serves
+  /// untouched frames from the shared zero page.
   [[nodiscard]] std::span<std::byte> frame(Pfn pfn) {
-    return {bytes_.data() + static_cast<std::size_t>(pfn) * kPageSize, kPageSize};
+    return {materialize(pfn), kPageSize};
   }
   [[nodiscard]] std::span<const std::byte> frame(Pfn pfn) const {
-    return {bytes_.data() + static_cast<std::size_t>(pfn) * kPageSize, kPageSize};
+    if (!frames_[pfn]) return {zero_page(), kPageSize};
+    return {frames_[pfn].get(), kPageSize};
   }
 
   void zero_frame(Pfn pfn) {
-    std::memset(bytes_.data() + static_cast<std::size_t>(pfn) * kPageSize, 0,
-                kPageSize);
+    // An unmaterialised frame already reads as zeros; don't allocate one
+    // just to clear it.
+    if (frames_[pfn]) std::memset(frames_[pfn].get(), 0, kPageSize);
   }
 
   void copy_frame(Pfn dst, Pfn src) {
-    std::memcpy(bytes_.data() + static_cast<std::size_t>(dst) * kPageSize,
-                bytes_.data() + static_cast<std::size_t>(src) * kPageSize, kPageSize);
+    if (!frames_[src]) {
+      zero_frame(dst);
+      return;
+    }
+    std::memcpy(materialize(dst), frames_[src].get(), kPageSize);
   }
 
   /// get_page(): take a reference on an in-use frame.
@@ -109,9 +123,28 @@ class PhysicalMemory {
     return n;
   }
 
+  /// Frames whose 4 KB backing actually exists (host-process footprint).
+  [[nodiscard]] std::uint32_t materialized_frames() const {
+    std::uint32_t n = 0;
+    for (const auto& f : frames_)
+      if (f) ++n;
+    return n;
+  }
+
  private:
+  [[nodiscard]] std::byte* materialize(Pfn pfn) {
+    if (!frames_[pfn])
+      frames_[pfn] = std::make_unique<std::byte[]>(kPageSize);  // zeroed
+    return frames_[pfn].get();
+  }
+
+  [[nodiscard]] static const std::byte* zero_page() {
+    static const std::byte kZero[kPageSize] = {};
+    return kZero;
+  }
+
   std::vector<Page> pages_;
-  std::vector<std::byte> bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> frames_;
 };
 
 }  // namespace vialock::simkern

@@ -61,7 +61,7 @@ KStatus SwapDevice::apply_faults(fault::FaultSite site,
 KStatus SwapDevice::write(SwapSlot slot, std::span<const std::byte> page) {
   assert(slot < map_.size() && page.size() == kPageSize);
   clock_.advance(costs_.swap_io(kPageSize));
-  std::byte* stored = bytes_.data() + static_cast<std::size_t>(slot) * kPageSize;
+  std::byte* stored = slot_bytes(slot);
   std::memcpy(stored, page.data(), kPageSize);
   ++writes_;
   // Corruption lands in the slot's stored bytes: the damage is latent until
@@ -72,9 +72,7 @@ KStatus SwapDevice::write(SwapSlot slot, std::span<const std::byte> page) {
 KStatus SwapDevice::read(SwapSlot slot, std::span<std::byte> page) {
   assert(slot < map_.size() && page.size() == kPageSize);
   clock_.advance(costs_.swap_io(kPageSize));
-  std::memcpy(page.data(),
-              bytes_.data() + static_cast<std::size_t>(slot) * kPageSize,
-              kPageSize);
+  std::memcpy(page.data(), slot_bytes(slot), kPageSize);
   ++reads_;
   // Read corruption damages only this transfer, not the stored copy; on an
   // injected error the buffer contents are undefined (caller must discard).
@@ -84,9 +82,7 @@ KStatus SwapDevice::read(SwapSlot slot, std::span<std::byte> page) {
 KStatus SwapDevice::read_sequential(SwapSlot slot, std::span<std::byte> page) {
   assert(slot < map_.size() && page.size() == kPageSize);
   clock_.advance(costs_.swap_per_byte * kPageSize);  // stream, no seek
-  std::memcpy(page.data(),
-              bytes_.data() + static_cast<std::size_t>(slot) * kPageSize,
-              kPageSize);
+  std::memcpy(page.data(), slot_bytes(slot), kPageSize);
   ++reads_;
   return apply_faults(fault::FaultSite::SwapRead, page);
 }

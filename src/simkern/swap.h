@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <span>
 #include <vector>
@@ -27,10 +28,7 @@ namespace vialock::simkern {
 class SwapDevice {
  public:
   SwapDevice(std::uint32_t num_slots, Clock& clock, const CostModel& costs)
-      : map_(num_slots, 0),
-        bytes_(static_cast<std::size_t>(num_slots) * kPageSize),
-        clock_(clock),
-        costs_(costs) {
+      : map_(num_slots, 0), slots_(num_slots), clock_(clock), costs_(costs) {
     for (SwapSlot s = 0; s < num_slots; ++s) free_slots_.insert(s);
   }
 
@@ -81,9 +79,18 @@ class SwapDevice {
   [[nodiscard]] KStatus apply_faults(fault::FaultSite site,
                                      std::span<std::byte> data);
 
+  /// A slot's stored bytes, allocated on first write - an idle swap
+  /// partition costs nothing in the hosting process, which is what lets a
+  /// scenario run size hundreds of per-host swap devices. A never-written
+  /// slot reads as zeros (a fresh partition reads as zeros too).
+  [[nodiscard]] std::byte* slot_bytes(SwapSlot slot) {
+    if (!slots_[slot]) slots_[slot] = std::make_unique<std::byte[]>(kPageSize);
+    return slots_[slot].get();
+  }
+
   std::vector<std::uint16_t> map_;   ///< per-slot reference counts
   std::set<SwapSlot> free_slots_;    ///< ordered index of zero-refcount slots
-  std::vector<std::byte> bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> slots_;  ///< lazy stored pages
   Clock& clock_;
   const CostModel& costs_;
   fault::FaultEngine* faults_ = nullptr;

@@ -89,6 +89,21 @@ class Cluster {
     return id;
   }
 
+  /// Pre-size the node table (cluster-scale scenarios add hundreds).
+  void reserve(std::size_t n) { nodes_.reserve(n); }
+
+  /// Add `count` identically-specced nodes; returns the first NodeId (they
+  /// are contiguous). The scenario engine's bulk path.
+  NodeId add_nodes(const NodeSpec& spec, std::uint32_t count) {
+    reserve(nodes_.size() + count);
+    NodeId first = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const NodeId id = add_node(spec);
+      if (i == 0) first = id;
+    }
+    return first;
+  }
+
   [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
   [[nodiscard]] Fabric& fabric() { return fabric_; }
   [[nodiscard]] Clock& clock() { return clock_; }

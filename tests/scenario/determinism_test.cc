@@ -1,0 +1,85 @@
+// determinism_test - the scenario determinism contract (DESIGN.md section
+// 12): same spec + seed => byte-identical canonical JSON report and chrome
+// trace export; a different seed reorders events but still audits clean.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.h"
+#include "scenario/engine.h"
+#include "scenario/spec.h"
+#include "via/node.h"
+
+namespace vialock::scenario {
+namespace {
+
+constexpr const char* kSpecText =
+    "name = det\npattern = skewed-kv\nhosts = 8\nservers = 2\n"
+    "tenants_per_host = 2\nops_per_tenant = 24\nskew = 1.1\n"
+    "value_bytes = 4096\nchurn_regs_per_tenant = 8\n";
+
+struct RunOutput {
+  std::string json;
+  std::string trace;
+  ScenarioReport report;
+};
+
+RunOutput run_traced(std::uint64_t seed) {
+  ParseResult parsed = parse_spec(kSpecText);
+  EXPECT_TRUE(parsed.ok()) << parsed.error;
+  parsed.spec.seed = seed;
+  ScenarioEngine engine(parsed.spec);
+  EXPECT_TRUE(ok(engine.build()));
+  for (std::size_t i = 0; i < engine.cluster().size(); ++i)
+    engine.cluster()
+        .node(static_cast<via::NodeId>(i))
+        .kernel()
+        .spans()
+        .enable(true);
+  EXPECT_TRUE(ok(engine.run()));
+  std::vector<const obs::SpanRecorder*> recorders;
+  for (std::size_t i = 0; i < engine.cluster().size(); ++i)
+    recorders.push_back(
+        &engine.cluster().node(static_cast<via::NodeId>(i)).kernel().spans());
+  return {report_json(parsed.spec, engine.report()),
+          obs::chrome_trace(recorders), engine.report()};
+}
+
+TEST(ScenarioDeterminism, SameSeedByteIdenticalReportAndTrace) {
+  const RunOutput a = run_traced(42);
+  const RunOutput b = run_traced(42);
+  EXPECT_EQ(a.json, b.json);    // byte-identical canonical report
+  EXPECT_EQ(a.trace, b.trace);  // byte-identical chrome trace export
+  EXPECT_TRUE(a.report.invariants_ok);
+}
+
+TEST(ScenarioDeterminism, DifferentSeedDiffersButAuditsClean) {
+  const RunOutput a = run_traced(42);
+  const RunOutput c = run_traced(1234);
+  // A different seed reshuffles arrival times, key choices and churn sizes:
+  // the reports must differ...
+  EXPECT_NE(a.json, c.json);
+  // ...but every invariant still holds - same planned op counts, clean
+  // teardown, no lost or corrupted payloads.
+  EXPECT_TRUE(c.report.invariants_ok)
+      << (c.report.violations.empty() ? "" : c.report.violations[0]);
+  EXPECT_EQ(c.report.counters.transfers_failed, 0u);
+  EXPECT_EQ(c.report.counters.verify_failed, 0u);
+  EXPECT_EQ(a.report.counters.kv_gets + a.report.counters.kv_puts,
+            c.report.counters.kv_gets + c.report.counters.kv_puts);
+}
+
+TEST(ScenarioDeterminism, WallClockNeverEntersTheReport) {
+  // Two runs executed at different wall times must agree on every scalar -
+  // guaranteed structurally (all times derive from the virtual clock), and
+  // checked here against accidental std::chrono leaks.
+  const RunOutput a = run_traced(7);
+  const RunOutput b = run_traced(7);
+  EXPECT_EQ(a.report.makespan_ns, b.report.makespan_ns);
+  EXPECT_EQ(a.report.busy_ns, b.report.busy_ns);
+  EXPECT_EQ(a.report.cpu_total_ns, b.report.cpu_total_ns);
+  EXPECT_EQ(a.report.latency_p99_ns, b.report.latency_p99_ns);
+}
+
+}  // namespace
+}  // namespace vialock::scenario
