@@ -26,6 +26,7 @@ struct Sweep {
 
 int main(int argc, char** argv) {
   using namespace vialock;
+  const bench::BenchFlags flags(argc, argv);
   std::cout << "E10 (ablation): reclaim parameters x swap-device latency\n"
             << "(allocator dirties 1.5x RAM on a 4096-frame node; locktest\n"
             << "verdicts for refcount/kiobuf re-checked per configuration)\n\n";
@@ -64,9 +65,9 @@ int main(int argc, char** argv) {
   table.print();
   bench::JsonReport report("E10", "reclaim parameter ablation");
   report.param("pressure_factor", "1.5").add_table("reclaim_sweep", table);
-  report.write_if_requested(argc, argv);
+  report.write_if(flags);
   std::cout << "\nShape: time scales with seek latency and inversely with\n"
                "batch size (fewer, larger reclaim runs); the verdict columns\n"
                "are invariant - the E1 result is not a parameter artifact.\n";
-  return 0;
+  return report.compare_if(flags);
 }

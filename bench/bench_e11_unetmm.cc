@@ -121,6 +121,7 @@ Outcome run_unetmm() {
 
 int main(int argc, char** argv) {
   using namespace vialock;
+  const bench::BenchFlags flags(argc, argv);
   std::cout << "E11 (extension): VIA pinning vs. U-Net/MM TLB consistency\n"
             << "(64-page registration; " << kRounds
             << " rounds of [pressure burst + " << kDmaPerRound
@@ -141,11 +142,11 @@ int main(int argc, char** argv) {
   table.print();
   bench::JsonReport report("E11", "VIA pinning vs U-Net/MM TLB consistency");
   report.add_table("designs", table);
-  report.write_if_requested(argc, argv);
+  report.write_if(flags);
   std::cout << "\nBoth designs are correct; the trade is pinned footprint\n"
                "(VIA: the region never swaps, holding frames even when idle)\n"
                "against data-path cost (U-Net/MM: NIC faults with page-ins\n"
                "land in the middle of communication - the cost the paper\n"
                "says VIA's mandatory locking exists to avoid).\n";
-  return 0;
+  return report.compare_if(flags);
 }

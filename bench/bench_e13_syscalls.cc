@@ -46,6 +46,7 @@ struct Rig {
 
 int main(int argc, char** argv) {
   using namespace vialock;
+  const bench::BenchFlags flags(argc, argv);
   std::cout
       << "E13 (extension): syscalls on the transfer data path (64 KB "
          "messages,\nboth hosts counted; 'cold' = first use of the buffer, "
@@ -91,10 +92,10 @@ int main(int argc, char** argv) {
   table.print();
   bench::JsonReport report("E13", "syscalls on the transfer data path");
   report.add_table("syscalls", table);
-  report.write_if_requested(argc, argv);
+  report.write_if(flags);
   std::cout << "\nThe registration cache restores VIA's zero-syscall data\n"
                "path for warm buffers; only cold buffers trap into the\n"
                "kernel agent - and thanks to the kiobuf mechanism, those\n"
                "traps are safe.\n";
-  return 0;
+  return report.compare_if(flags);
 }

@@ -64,6 +64,7 @@ Nanos median_of_5(Rig& rig, std::uint32_t len, bool receiver_first,
 
 int main(int argc, char** argv) {
   using namespace vialock;
+  const bench::BenchFlags flags(argc, argv);
   std::cout << "E14 (extension): receive-timing and wildcard costs at the\n"
             << "message-matching layer (median of 5, virtual time)\n\n";
   Rig rig;
@@ -90,11 +91,11 @@ int main(int argc, char** argv) {
 
   bench::JsonReport report("E14", "receive-timing and wildcard costs");
   report.add_table("receive_timing", table).add_table("wildcard", wc);
-  report.write_if_requested(argc, argv);
+  report.write_if(flags);
 
   std::cout << "\nShape: sender-first eager pays the unexpected-queue\n"
                "buffering copy; sender-first rendezvous pays almost nothing\n"
                "extra (only a descriptor parks - the payload moves zero-copy\n"
                "either way once the receive appears).\n";
-  return 0;
+  return report.compare_if(flags);
 }

@@ -56,6 +56,7 @@ struct Rig {
 
 int main(int argc, char** argv) {
   using namespace vialock;
+  const bench::BenchFlags flags(argc, argv);
   std::cout << "E15 (extension): multidevice routing - intra-node shared\n"
             << "memory vs. NIC loopback vs. cross-node fabric (ranks 0,1 on\n"
             << "node A; rank 2 on node B; median of 5)\n\n";
@@ -77,10 +78,10 @@ int main(int argc, char** argv) {
   table.print();
   bench::JsonReport report("E15", "multidevice routing");
   report.add_table("routing", table);
-  report.write_if_requested(argc, argv);
+  report.write_if(flags);
   std::cout << "\nShape: the shm device wins intra-node at every size (no\n"
                "doorbells, no DMA, no wire); the gap is largest for small\n"
                "messages where NIC startup dominates. Cross-node traffic is\n"
                "unaffected by the routing choice.\n";
-  return 0;
+  return report.compare_if(flags);
 }

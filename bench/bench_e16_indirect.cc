@@ -55,6 +55,7 @@ Nanos measure(const Topo& topo, std::uint32_t len, std::uint64_t* forwards) {
 
 int main(int argc, char** argv) {
   using namespace vialock;
+  const bench::BenchFlags flags(argc, argv);
   std::cout
       << "E16 (extension): indirect communication cost (multidevice paper,\n"
       << "section 3.4 - \"necessity and sense should be checked\")\n\n";
@@ -75,10 +76,10 @@ int main(int argc, char** argv) {
   table.print();
   bench::JsonReport report("E16", "indirect communication cost");
   report.add_table("routes", table);
-  report.write_if_requested(argc, argv);
+  report.write_if(flags);
   std::cout << "\nShape: each intermediate hop adds roughly one full wire +\n"
                "store-and-forward copy to the latency, and the ACK chain\n"
                "doubles the forwarding load on intermediates - the overhead\n"
                "the paper says to weigh before enabling the feature.\n";
-  return 0;
+  return report.compare_if(flags);
 }

@@ -65,6 +65,7 @@ Recovery measure(std::uint32_t readahead) {
 
 int main(int argc, char** argv) {
   using namespace vialock;
+  const bench::BenchFlags flags(argc, argv);
   std::cout << "E17 (ablation): swap read-ahead window vs. working-set\n"
             << "recovery time (256 pages evicted, then touched)\n\n";
   Table table({"read-ahead", "sequential recovery", "strided recovery",
@@ -78,10 +79,10 @@ int main(int argc, char** argv) {
   bench::JsonReport report("E17", "swap read-ahead ablation");
   report.param("evicted_pages", std::uint64_t{256})
       .add_table("readahead", table);
-  report.write_if_requested(argc, argv);
+  report.write_if(flags);
   std::cout << "\nShape: sequential recovery improves ~linearly with the\n"
                "window (one seek amortised over 1+N pages) and saturates;\n"
                "strided access defeats read-ahead, so the window must not be\n"
                "chosen too aggressively - the classic page_cluster trade.\n";
-  return 0;
+  return report.compare_if(flags);
 }

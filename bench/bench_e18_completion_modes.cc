@@ -74,6 +74,7 @@ struct Rig {
 
 int main(int argc, char** argv) {
   using namespace vialock;
+  const bench::BenchFlags flags(argc, argv);
   std::cout << "E18 (extension): completion notification - polling vs.\n"
             << "waiting mode, half-round-trip latency (median of 5)\n\n";
   Rig rig;
@@ -93,10 +94,10 @@ int main(int argc, char** argv) {
   table.print();
   bench::JsonReport report("E18", "polling vs waiting completion");
   report.add_table("completion_modes", table);
-  report.write_if_requested(argc, argv);
+  report.write_if(flags);
   std::cout << "\nShape: waiting mode adds a fixed ~2x interrupt-wakeup cost\n"
                "per half-round-trip, dominating at small messages - the\n"
                "MPI/Pro-vs-polling gap the family's comparison paper reports\n"
                "(65 us waiting vs < 20 us polling on period hardware).\n";
-  return 0;
+  return report.compare_if(flags);
 }

@@ -87,6 +87,7 @@ struct Rig {
 
 int main(int argc, char** argv) {
   using namespace vialock;
+  const bench::BenchFlags flags(argc, argv);
   std::cout
       << "E19 (extension): programmed I/O vs. descriptor DMA (one-way\n"
       << "transfer time into pre-registered remote memory; the \"free\n"
@@ -108,7 +109,7 @@ int main(int argc, char** argv) {
   bench::JsonReport report("E19", "programmed I/O vs descriptor DMA");
   report.add_table("pio_vs_dma", table);
   if (crossover) report.metric("crossover_bytes", std::uint64_t{*crossover});
-  report.write_if_requested(argc, argv);
+  report.write_if(flags);
   if (crossover) {
     std::cout << "\nPIO -> DMA crossover at " << Table::bytes(*crossover)
               << ". Period reference points: Dolphin PIO latency 2.3 us;\n"
@@ -116,5 +117,5 @@ int main(int argc, char** argv) {
               << "analysis of the bridge paper put the switch as low as\n"
               << "~128 B once CPU time is priced in.\n";
   }
-  return 0;
+  return report.compare_if(flags);
 }

@@ -133,6 +133,7 @@ std::string sweep_table(Protocol proto, std::uint32_t len,
 
 int main(int argc, char** argv) {
   using namespace vialock;
+  const bench::BenchFlags flags(argc, argv);
   std::cout << "E20: reliable delivery vs injected faults "
             << "(seed " << kSeed << ", deterministic)\n"
             << "raw = plain VIA service, reliable = seq/ack/checksum/retry\n\n";
@@ -155,6 +156,6 @@ int main(int argc, char** argv) {
             << "-byte schedule, " << a.stats.retries << " retries, "
             << Table::nanos(a.elapsed) << " elapsed\n";
   report.metric("determinism", same ? std::string("PASS") : std::string("FAIL"));
-  report.write_if_requested(argc, argv);
-  return same ? 0 : 1;
+  report.write_if(flags);
+  return same ? report.compare_if(flags) : 1;
 }

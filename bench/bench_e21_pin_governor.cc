@@ -398,6 +398,7 @@ void qos_table(bench::JsonReport& report) {
 }  // namespace vialock
 
 int main(int argc, char** argv) {
+  const vialock::bench::BenchFlags flags(argc, argv);
   std::cout << "E21: the pinned-memory governor (src/pinmgr/)\n"
             << "Per-tenant quotas + QoS admission + lazy deregistration +\n"
             << "cooperative reclaim, vs the ungoverned pin-and-hold baseline.\n";
@@ -422,6 +423,6 @@ int main(int argc, char** argv) {
   std::cout << "\ndeterminism (replayed governed run): "
             << (deterministic ? "bit-identical" : "DIVERGED") << "\n";
   report.metric("deterministic", deterministic ? "yes" : "NO");
-  report.write_if_requested(argc, argv);
-  return deterministic ? 0 : 1;
+  report.write_if(flags);
+  return deterministic ? report.compare_if(flags) : 1;
 }

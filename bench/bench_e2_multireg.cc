@@ -92,6 +92,7 @@ Verdicts probe(via::PolicyKind policy) {
 
 int main(int argc, char** argv) {
   using namespace vialock;
+  const bench::BenchFlags flags(argc, argv);
   std::cout
       << "E2: multiple-registration semantics (paper sections 1 and 3.2)\n"
       << "Register the same 8-page range 3x, deregister once - do the other\n"
@@ -126,10 +127,10 @@ int main(int argc, char** argv) {
   table.print();
   bench::JsonReport report("E2", "multiple-registration semantics");
   report.add_table("nesting", table);
-  report.write_if_requested(argc, argv);
+  report.write_if(flags);
   std::cout << "\nOnly the kiobuf mechanism passes both columns: each\n"
                "map_user_kiobuf() carries its own per-page pin, so exact,\n"
                "repeated and overlapping registrations all release\n"
                "independently.\n";
-  return 0;
+  return report.compare_if(flags);
 }

@@ -82,15 +82,16 @@ void print_table(bool warm, bool dereg, bench::JsonReport& report) {
 
 int main(int argc, char** argv) {
   using namespace vialock;
+  const bench::BenchFlags flags(argc, argv);
   std::cout << "E3: VipRegisterMem cost vs. region size (virtual time)\n";
   bench::JsonReport report("E3", "VipRegisterMem cost vs region size");
   std::cout << "\n--- warm buffers (pages already resident) ---\n";
   print_table(/*warm=*/true, /*dereg=*/false, report);
   std::cout << "\n--- cold buffers (registration faults pages in) ---\n";
   print_table(/*warm=*/false, /*dereg=*/false, report);
-  report.write_if_requested(argc, argv);
+  report.write_if(flags);
   std::cout << "\nShape: linear in pages for every policy; cold registration\n"
                "dominated by demand-zero faults; the kiobuf mechanism adds\n"
                "only its per-page pin bookkeeping over the naive walker.\n";
-  return 0;
+  return report.compare_if(flags);
 }

@@ -42,6 +42,7 @@ Nanos measure_dereg(via::PolicyKind policy, std::uint64_t bytes) {
 
 int main(int argc, char** argv) {
   using namespace vialock;
+  const bench::BenchFlags flags(argc, argv);
   std::cout << "E4: VipDeregisterMem cost vs. region size (virtual time)\n\n";
   Table table({"size", "pages", "refcount", "pageflag", "mlock", "mlock+track",
                "kiobuf"});
@@ -59,9 +60,9 @@ int main(int argc, char** argv) {
   table.print();
   bench::JsonReport report("E4", "VipDeregisterMem cost vs region size");
   report.add_table("dereg_cost", table);
-  report.write_if_requested(argc, argv);
+  report.write_if(flags);
   std::cout << "\nShape: linear in pages; the release path is cheap relative\n"
                "to registration (no faulting), so caching registrations and\n"
                "evicting lazily is the right trade (see E5/E9).\n";
-  return 0;
+  return report.compare_if(flags);
 }

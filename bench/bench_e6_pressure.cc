@@ -13,6 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace vialock;
+  const bench::BenchFlags flags(argc, argv);
   std::cout
       << "E6: registered-page relocation vs. memory pressure\n"
       << "(64-page registration on a 4096-frame node; allocator footprint\n"
@@ -40,11 +41,11 @@ int main(int argc, char** argv) {
   bench::JsonReport report("E6", "registered-page relocation vs pressure");
   report.param("region_pages", std::uint64_t{64})
       .add_table("relocations", table);
-  report.write_if_requested(argc, argv);
+  report.write_if(flags);
   std::cout << "\nShape: below ~1x RAM nothing swaps and even the broken\n"
                "policy looks fine - the treachery of refcount locking is that\n"
                "it only fails once memory gets tight. At and above ~1.25x the\n"
                "refcount row saturates at 64/64 while every real locking\n"
                "mechanism stays at 0.\n";
-  return 0;
+  return report.compare_if(flags);
 }

@@ -72,6 +72,7 @@ HazardCounts inject(via::PolicyKind policy, int iterations) {
 
 int main(int argc, char** argv) {
   using namespace vialock;
+  const bench::BenchFlags flags(argc, argv);
   constexpr int kIterations = 100;
   std::cout << "E7: PG_locked flag hazards under register/kernel-I/O overlap\n"
             << "(" << kIterations << " overlapping register+deregister cycles "
@@ -89,10 +90,10 @@ int main(int argc, char** argv) {
   bench::JsonReport report("E7", "PG_locked flag hazards");
   report.param("iterations", std::uint64_t{kIterations})
       .add_table("hazards", table);
-  report.write_if_requested(argc, argv);
+  report.write_if(flags);
   std::cout << "\nOnly the pageflag (Giganet-style) driver trips the\n"
                "detectors: it sets PG_locked without checking prior state and\n"
                "strips it on deregistration while the kernel's I/O is still\n"
                "in flight, after which reclaim steals the frame mid-I/O.\n";
-  return 0;
+  return report.compare_if(flags);
 }

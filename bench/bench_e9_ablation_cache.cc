@@ -60,6 +60,7 @@ Outcome run(EvictionPolicy policy) {
 
 int main(int argc, char** argv) {
   using namespace vialock;
+  const bench::BenchFlags flags(argc, argv);
   std::cout << "E9 (ablation): registration-cache eviction policy\n"
             << "(300 x 64 KB rendezvous transfers, 64 buffers, 80/20 hot set\n"
             << "of 8, TPT holds ~30 cached buffers)\n\n";
@@ -78,9 +79,9 @@ int main(int argc, char** argv) {
   table.print();
   bench::JsonReport report("E9", "registration-cache eviction ablation");
   report.add_table("eviction_policies", table);
-  report.write_if_requested(argc, argv);
+  report.write_if(flags);
   std::cout << "\nShape: LRU keeps the hot set registered and wins; FIFO\n"
                "evicts hot buffers on schedule; no caching pays the full\n"
                "registration cost every transfer.\n";
-  return 0;
+  return report.compare_if(flags);
 }

@@ -128,11 +128,6 @@ class JsonReport {
   /// string metric regresses when it changed at all (PASS -> FAIL). Returns
   /// the process exit code: 0 when clean, not requested, or the baseline is
   /// missing (first run); 1 on regression.
-  [[nodiscard]] int compare_if_requested(int argc, char** argv) const {
-    return compare_if(BenchFlags(argc, argv));
-  }
-
-  /// Same gate from pre-parsed flags (the migrated call style).
   [[nodiscard]] int compare_if(const BenchFlags& flags) const {
     return compare(flags.compare_path, flags.compare_threshold);
   }
@@ -193,13 +188,8 @@ class JsonReport {
     return 0;
   }
 
-  /// Write BENCH_<experiment>.json if `--json` is among the arguments.
-  /// Returns true when the file was written.
-  bool write_if_requested(int argc, char** argv) const {
-    return write_if(BenchFlags(argc, argv));
-  }
-
-  /// Same from pre-parsed flags (the migrated call style).
+  /// Write BENCH_<experiment>.json if `--json` was requested. Returns true
+  /// when the file was written.
   bool write_if(const BenchFlags& flags) const {
     if (!flags.json) return false;
     std::ofstream out("BENCH_" + experiment_ + ".json");
@@ -292,10 +282,11 @@ class JsonReport {
   std::vector<std::pair<std::string, std::string>> tables_;
 };
 
-/// The shared `--metrics` / `--trace-export` handling: parse the flags,
-/// arm span recording on the instrumented node, and render the exports.
+/// The shared `--metrics` / `--trace-export` handling: take the pre-parsed
+/// flags, arm span recording on the instrumented node, render the exports.
 ///
-///   bench::ObsFlags obs(argc, argv);
+///   const bench::BenchFlags flags(argc, argv);
+///   const bench::ObsFlags obs(flags);
 ///   if (obs.any()) {
 ///     via::Node node(...);        // a dedicated instrumented pass
 ///     obs.arm(node.kernel());     // BEFORE the workload (spans off by default)
@@ -304,7 +295,6 @@ class JsonReport {
 ///   }
 class ObsFlags {
  public:
-  ObsFlags(int argc, char** argv) : ObsFlags(BenchFlags(argc, argv)) {}
   explicit ObsFlags(const BenchFlags& flags)
       : metrics_(flags.metrics), trace_(flags.trace) {}
 

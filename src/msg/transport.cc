@@ -7,6 +7,7 @@
 #include <map>
 #include <vector>
 
+#include "msg/wire.h"
 #include "via/remote_window.h"
 
 namespace vialock::msg {
@@ -27,11 +28,6 @@ struct RndzAck {
   MemHandle dst_handle;  ///< POD handle, "communicated out of band"
   VAddr dst_addr = 0;
 };
-
-template <typename T>
-std::span<const std::byte> as_bytes_of(const T& v) {
-  return {reinterpret_cast<const std::byte*>(&v), sizeof(T)};
-}
 
 // --- reliable-delivery frame format ----------------------------------------
 // Every sequenced frame starts with this header; the checksum covers the
@@ -324,7 +320,7 @@ bool Channel::send_ack(Side& acker, Side& waiter, std::uint32_t seq) {
   hdr.trace_id = ack_ctx.trace_id;
   hdr.span_id = ack_ctx.span_id;
   std::array<std::byte, sizeof(FrameHeader)> frame;
-  std::memcpy(frame.data(), &hdr, sizeof hdr);
+  static_cast<void>(wire::store_pod(frame, hdr));  // frame is sized exactly
 
   ++stats_.frames_sent;
   if (!ok(acker.host.kernel().write_user(acker.vipl.pid(), acker.slot_addr(0),
@@ -353,7 +349,7 @@ bool Channel::send_ack(Side& acker, Side& waiter, std::uint32_t seq) {
   if (!ok(waiter.repost(slot))) return false;
   if (!readable) return false;
   FrameHeader got{};
-  std::memcpy(&got, rx.data(), sizeof got);
+  if (!wire::load_pod(rx, got)) return false;
   if (got.magic != kFrameMagic || got.kind != kFrameAck || got.seq != seq) {
     ++stats_.corruptions_detected;  // bit-flipped ack caught by the header
     return false;
@@ -387,7 +383,7 @@ KStatus Channel::reliable_push(Side& from, Side& to, std::uint8_t kind,
   hdr.trace_id = frame_ctx.trace_id;
   hdr.span_id = frame_ctx.span_id;
   std::vector<std::byte> frame(sizeof(FrameHeader) + payload.size());
-  std::memcpy(frame.data(), &hdr, sizeof hdr);
+  static_cast<void>(wire::store_pod(frame, hdr));  // frame covers the header
   if (!payload.empty())
     std::memcpy(frame.data() + sizeof hdr, payload.data(), payload.size());
 
@@ -453,9 +449,8 @@ KStatus Channel::reliable_push(Side& from, Side& to, std::uint8_t kind,
     }
 
     FrameHeader got{};
-    bool valid = rx.size() >= sizeof(FrameHeader);
+    bool valid = wire::load_pod(rx, got);
     if (valid) {
-      std::memcpy(&got, rx.data(), sizeof got);
       valid = got.magic == kFrameMagic && got.kind == kind &&
               sizeof(FrameHeader) + got.len == rx.size() &&
               got.crc ==
@@ -646,7 +641,7 @@ KStatus Channel::rendezvous(std::uint64_t src_off, std::uint64_t dst_off,
   // 1. Sender -> receiver: REQ control message.
   const RndzReq req{len, dst_off};
   Descriptor comp;
-  if (const KStatus st = push_ctrl(*src_, *dst_, as_bytes_of(req), comp);
+  if (const KStatus st = push_ctrl(*src_, *dst_, wire::pod_bytes(req), comp);
       !ok(st)) {
     return st;
   }
@@ -661,7 +656,7 @@ KStatus Channel::rendezvous(std::uint64_t src_off, std::uint64_t dst_off,
       !ok(st)) {
     return st;
   }
-  if (const KStatus st = push_ctrl(*dst_, *src_, as_bytes_of(ack), comp);
+  if (const KStatus st = push_ctrl(*dst_, *src_, wire::pod_bytes(ack), comp);
       !ok(st)) {
     return st;
   }
@@ -754,7 +749,7 @@ KStatus Channel::pio_rendezvous(std::uint64_t src_off, std::uint64_t dst_off,
   // 1. Sender -> receiver: REQ ("the sender informs the receiver as usual").
   const RndzReq req{len, dst_off};
   Descriptor comp;
-  if (const KStatus st = push_ctrl(*src_, *dst_, as_bytes_of(req), comp);
+  if (const KStatus st = push_ctrl(*src_, *dst_, wire::pod_bytes(req), comp);
       !ok(st)) {
     return st;
   }
@@ -769,7 +764,7 @@ KStatus Channel::pio_rendezvous(std::uint64_t src_off, std::uint64_t dst_off,
       !ok(st)) {
     return st;
   }
-  if (const KStatus st = push_ctrl(*dst_, *src_, as_bytes_of(ack), comp);
+  if (const KStatus st = push_ctrl(*dst_, *src_, wire::pod_bytes(ack), comp);
       !ok(st)) {
     return st;
   }
@@ -832,7 +827,7 @@ KStatus Channel::pio_rendezvous(std::uint64_t src_off, std::uint64_t dst_off,
     }
   }
   const RndzReq fin{len, dst_off};
-  if (const KStatus st = push_ctrl(*src_, *dst_, as_bytes_of(fin), comp);
+  if (const KStatus st = push_ctrl(*src_, *dst_, wire::pod_bytes(fin), comp);
       !ok(st)) {
     return st;
   }

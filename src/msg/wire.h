@@ -1,0 +1,46 @@
+// wire.h - POD wire-format helpers shared by the message layer and the
+// service tier.
+//
+// Every protocol in the tree ships trivially-copyable control structs
+// through eager slots: the reliable transport's FrameHeader and rendezvous
+// handshake (RndzReq/RndzAck), and the KV service tier's request/response
+// headers. This header is the one place that does the byte shuffling -
+// bounds-checked store/load with the trivially-copyable constraint enforced
+// at compile time, so a header parse can never read past a short frame and a
+// non-POD can never be memcpy'd by accident.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+namespace vialock::msg::wire {
+
+template <typename T>
+concept WirePod = std::is_trivially_copyable_v<T> && !std::is_pointer_v<T>;
+
+/// The raw bytes of `v`, for staging a POD into a slot or checksumming it.
+template <WirePod T>
+[[nodiscard]] inline std::span<const std::byte> pod_bytes(const T& v) {
+  return {reinterpret_cast<const std::byte*>(&v), sizeof(T)};
+}
+
+/// Copy `v` to the front of `dst`; false when `dst` is too short.
+template <WirePod T>
+[[nodiscard]] inline bool store_pod(std::span<std::byte> dst, const T& v) {
+  if (dst.size() < sizeof(T)) return false;
+  std::memcpy(dst.data(), &v, sizeof(T));
+  return true;
+}
+
+/// Parse a `T` from the front of `src`; false when `src` is too short
+/// (a truncated or corrupt frame - the caller treats it like a bad magic).
+template <WirePod T>
+[[nodiscard]] inline bool load_pod(std::span<const std::byte> src, T& v) {
+  if (src.size() < sizeof(T)) return false;
+  std::memcpy(&v, src.data(), sizeof(T));
+  return true;
+}
+
+}  // namespace vialock::msg::wire

@@ -66,6 +66,7 @@ std::string to_proc_text(const Snapshot& snap) {
       os << m.name << ".count " << m.count << "\n"
          << m.name << ".sum " << m.sum << "\n"
          << m.name << ".p50 " << m.p50 << "\n"
+         << m.name << ".p95 " << m.p95 << "\n"
          << m.name << ".p99 " << m.p99 << "\n"
          << m.name << ".p999 " << m.p999 << "\n"
          << m.name << ".max " << m.max << "\n";
@@ -85,9 +86,9 @@ std::string to_json(const Snapshot& snap) {
        << ", \"kind\": " << json_quote(to_string(m.kind));
     if (m.kind == MetricKind::Histogram) {
       os << ", \"count\": " << m.count << ", \"sum\": " << m.sum
-         << ", \"p50\": " << m.p50 << ", \"p99\": " << m.p99
-         << ", \"p999\": " << m.p999 << ", \"max\": " << m.max
-         << ", \"buckets\": [";
+         << ", \"p50\": " << m.p50 << ", \"p95\": " << m.p95
+         << ", \"p99\": " << m.p99 << ", \"p999\": " << m.p999
+         << ", \"max\": " << m.max << ", \"buckets\": [";
       for (std::size_t b = 0; b < m.buckets.size(); ++b) {
         os << (b ? ", " : "") << "[" << m.buckets[b].first << ", "
            << m.buckets[b].second << "]";

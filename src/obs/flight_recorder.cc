@@ -55,8 +55,9 @@ std::string FlightRecorder::dump(std::string_view reason,
        << ", \"kind\": " << json_quote(to_string(m.kind));
     if (m.kind == MetricKind::Histogram) {
       os << ", \"count\": " << m.count << ", \"sum\": " << m.sum
-         << ", \"p50\": " << m.p50 << ", \"p99\": " << m.p99
-         << ", \"p999\": " << m.p999 << ", \"max\": " << m.max;
+         << ", \"p50\": " << m.p50 << ", \"p95\": " << m.p95
+         << ", \"p99\": " << m.p99 << ", \"p999\": " << m.p999
+         << ", \"max\": " << m.max;
     } else {
       os << ", \"value\": " << m.value;
     }

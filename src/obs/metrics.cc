@@ -75,6 +75,7 @@ Snapshot MetricRegistry::snapshot() const {
     m.sum = h->sum();
     m.max = h->max();
     m.p50 = h->quantile(0.50);
+    m.p95 = h->quantile(0.95);
     m.p99 = h->quantile(0.99);
     m.p999 = h->quantile(0.999);
     for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {

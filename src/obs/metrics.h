@@ -132,6 +132,7 @@ struct Metric {
   std::uint64_t sum = 0;
   std::uint64_t max = 0;
   std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
   std::uint64_t p99 = 0;
   std::uint64_t p999 = 0;
   std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;  ///< idx -> n

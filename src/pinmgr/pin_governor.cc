@@ -1,5 +1,6 @@
 #include "pinmgr/pin_governor.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "pinmgr/pin_procfs.h"
@@ -121,6 +122,22 @@ std::uint32_t PinGovernor::fresh_frames(
     if (!pins.contains(pfn)) ++fresh;
   }
   return fresh;
+}
+
+std::uint32_t PinGovernor::admission_headroom(simkern::Pid pid) const {
+  QosTier tier = config_.default_tier;
+  std::uint32_t quota = config_.default_quota;
+  std::uint32_t charged = 0;
+  if (const auto it = tenants_.find(pid); it != tenants_.end()) {
+    tier = it->second.tier;
+    quota = it->second.quota;
+    charged = it->second.charged;
+  }
+  const std::uint32_t quota_room = quota > charged ? quota - charged : 0;
+  const std::uint32_t cap = tier_limit(tier);
+  const std::uint32_t ceiling_room =
+      cap > total_charged_ ? cap - total_charged_ : 0;
+  return std::min(quota_room, ceiling_room);
 }
 
 KStatus PinGovernor::charge(simkern::Pid pid,

@@ -153,6 +153,15 @@ class PinGovernor final : public simkern::PressureHandler {
   /// Release one charge() worth of frames (multiplicity-aware).
   void uncharge(simkern::Pid pid, std::span<const simkern::Pfn> pfns);
 
+  /// Admission-pressure probe: the number of fresh pages `pid` could still
+  /// charge right now, the minimum of its remaining quota and its tier's
+  /// remaining share of the host ceiling. Conservative (assumes no frame
+  /// dedup and counts the deferred-dereg queue as still charged), free of
+  /// side effects, and charges no virtual time - a service tier uses it to
+  /// shed a BestEffort connection *before* doing any registration work
+  /// instead of discovering the rejection halfway through a handshake.
+  [[nodiscard]] std::uint32_t admission_headroom(simkern::Pid pid) const;
+
   // --- lazy deregistration -----------------------------------------------------
   [[nodiscard]] bool lazy_enabled() const { return config_.lazy_batch > 0; }
   /// Queue a deferred deregistration; auto-drains at lazy_batch entries.

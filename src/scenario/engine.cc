@@ -69,16 +69,21 @@ KStatus ScenarioEngine::build() {
 
   if (const KStatus st = build_transports(); !ok(st)) return st;
 
-  if (spec_.pattern == Pattern::SkewedKv) build_zipf();
+  if (spec_.pattern == Pattern::SkewedKv ||
+      spec_.pattern == Pattern::KvService)
+    build_zipf();
   if (spec_.pattern == Pattern::RpcFanout) {
     fanout_perm_.resize(spec_.servers);
     for (std::uint32_t i = 0; i < spec_.servers; ++i) fanout_perm_[i] = i;
   }
   if (spec_.pattern == Pattern::RpcFanout ||
-      spec_.pattern == Pattern::SkewedKv) {
+      spec_.pattern == Pattern::SkewedKv ||
+      spec_.pattern == Pattern::KvService) {
     server_ops_.assign(spec_.servers, 0);
     server_bytes_.assign(spec_.servers, 0);
   }
+  if (spec_.pattern == Pattern::KvService)
+    if (const KStatus st = build_kv_service(); !ok(st)) return st;
 
   built_ = true;
   return KStatus::Ok;
@@ -182,6 +187,96 @@ KStatus ScenarioEngine::build_transports() {
     default:
       break;  // RPC/KV/pipeline channels come up lazily on first use
   }
+  return KStatus::Ok;
+}
+
+KStatus ScenarioEngine::build_kv_service() {
+  const std::uint32_t chosts = spec_.hosts - spec_.servers;
+  const auto guaranteed = static_cast<std::uint32_t>(
+      spec_.tenants_per_host * spec_.guaranteed_fraction + 0.5);
+
+  svc::KvServerConfig sc;
+  sc.slot_size = spec_.value_bytes + 128;
+  sc.recv_credits = spec_.pipeline_window;
+  sc.completion_batch = spec_.completion_batch;
+  sc.inline_threshold = spec_.value_bytes;
+  // Rendezvous PUTs always take fresh arena space (commit-after-verify), so
+  // size the arena for the expected large-PUT volume plus one inline-sized
+  // slab per key, with 2x headroom for skewed placement.
+  const std::uint64_t total_ops = static_cast<std::uint64_t>(chosts) *
+                                  spec_.connections_per_client *
+                                  spec_.ops_per_tenant;
+  const std::uint64_t large_puts = static_cast<std::uint64_t>(
+      static_cast<double>(total_ops) * spec_.put_fraction *
+          spec_.large_fraction +
+      1.0);
+  const std::uint64_t large_slab = (spec_.large_value_bytes + 63ULL) & ~63ULL;
+  const std::uint64_t inline_slab = static_cast<std::uint64_t>(spec_.keys) *
+                                    ((spec_.value_bytes + 63ULL) & ~63ULL);
+  sc.arena_bytes = std::clamp<std::uint64_t>(
+      2 * (large_puts / std::max(1u, spec_.servers) * large_slab +
+           inline_slab),
+      1ULL << 20, 256ULL << 20);
+
+  kv_servers_.reserve(spec_.servers);
+  for (std::uint32_t s = 0; s < spec_.servers; ++s) {
+    auto srv = std::make_unique<svc::KvServer>(*cluster_, s, sc);
+    if (const KStatus st = srv->init(); !ok(st)) return st;
+    for (std::uint32_t t = 0; t < spec_.tenants_per_host; ++t) {
+      svc::KvServer::TenantConfig tc;
+      tc.name = "s" + std::to_string(s) + ".t" + std::to_string(t);
+      tc.quota_pages = spec_.tenant_quota_pages;
+      tc.tier = t < guaranteed ? pinmgr::QosTier::Guaranteed
+                               : pinmgr::QosTier::BestEffort;
+      (void)srv->add_tenant(tc);
+    }
+    kv_servers_.push_back(std::move(srv));
+  }
+
+  svc::KvClientConfig cc;
+  cc.slot_size = sc.slot_size;
+  cc.window = spec_.pipeline_window;
+  cc.value_window_bytes = spec_.large_value_bytes;
+  cc.inline_threshold = spec_.value_bytes;
+  cc.completion_batch = spec_.completion_batch;
+
+  kv_clients_.reserve(chosts);
+  kv_actors_.reserve(chosts);
+  for (std::uint32_t i = 0; i < chosts; ++i) {
+    const HostId h = spec_.servers + i;
+    auto cli = std::make_unique<svc::KvClient>(*cluster_, h,
+                                               "kvc.h" + std::to_string(h), cc);
+    if (const KStatus st = cli->open(); !ok(st)) return st;
+
+    KvActor a;
+    a.host = h;
+    a.client = i;
+    // Offset the uid space so kv actors never share a churner's rng stream.
+    a.rng = Rng(actor_seed(spec_.seed, (1ULL << 32) + h));
+    a.ops_remaining = spec_.connections_per_client * spec_.ops_per_tenant;
+    a.churn_remaining = spec_.conn_churn_per_client;
+    a.churn_every = a.churn_remaining
+                        ? std::max<std::uint32_t>(
+                              1, a.ops_remaining / (a.churn_remaining + 1))
+                        : 0;
+    a.conns.resize(spec_.connections_per_client);
+    for (std::uint32_t c = 0; c < spec_.connections_per_client; ++c) {
+      KvConnRef& ref = a.conns[c];
+      ref.server = c % spec_.servers;
+      ref.tenant = (c / spec_.servers) % spec_.tenants_per_host;
+      std::uint32_t conn = 0;
+      if (ok(cli->connect(*kv_servers_[ref.server], ref.tenant, conn))) {
+        ref.conn = conn;
+        ref.open = true;
+      }  // shed slots stay closed; the actor retries during the run
+    }
+    kv_clients_.push_back(std::move(cli));
+    kv_actors_.push_back(std::move(a));
+  }
+
+  std::uint64_t open = 0;
+  for (const auto& s : kv_servers_) open += s->open_conns();
+  kvsvc_stats_.peak_open_conns = open;
   return KStatus::Ok;
 }
 
@@ -289,6 +384,8 @@ void ScenarioEngine::seed_actors() {
     case Pattern::PsAllreduce:
     case Pattern::Collectives:
       break;  // driven by round events, not per-tenant actors
+    case Pattern::KvService:
+      break;  // kv actors were materialised by build_kv_service()
   }
 
   if (spec_.churn_regs_per_tenant > 0)
@@ -315,6 +412,11 @@ void ScenarioEngine::seed_actors() {
       default:
         break;
     }
+  }
+  for (std::size_t i = 0; i < kv_actors_.size(); ++i) {
+    KvActor& a = kv_actors_[i];
+    const Nanos start = a.rng.below(spec_.think_ns + 1);
+    sched_->post(start, a.host, [this, i] { run_kvsvc_op(i); });
   }
   if (spec_.pattern == Pattern::PsAllreduce && spec_.rounds > 0)
     sched_->post(0, 0, [this] { run_ps_begin_round(); });
@@ -646,7 +748,6 @@ void ScenarioEngine::run_collectives_round() {
     (void)mesh_->barrier();
   }
 
-  const std::uint64_t msgs_before = mesh_->stats().p2p_msgs;
   {
     VirtualStopwatch sw(cluster_->clock());
     const KStatus st = mesh_->barrier();
@@ -687,6 +788,151 @@ void ScenarioEngine::run_collectives_round() {
   record_latency(done - issued);
   if (++collective_round_ < spec_.rounds)
     sched_->post(done, 0, [this] { run_collectives_round(); });
+}
+
+// --- kv-server service tier --------------------------------------------------
+
+bool ScenarioEngine::kvsvc_reconnect(KvActor& a, KvConnRef& ref) {
+  std::uint32_t conn = 0;
+  if (!ok(kv_clients_[a.client]->connect(*kv_servers_[ref.server], ref.tenant,
+                                         conn))) {
+    ++kvsvc_stats_.reconnect_failed;
+    return false;
+  }
+  ref.conn = conn;
+  ref.open = true;
+  return true;
+}
+
+void ScenarioEngine::kvsvc_account(const svc::KvResult& r,
+                                   std::uint32_t server) {
+  ++counters_.transfers_attempted;
+  const bool served = r.data_ok && (r.status == svc::KvStatus::Ok ||
+                                    r.status == svc::KvStatus::NotFound);
+  served ? ++counters_.transfers_ok : ++counters_.transfers_failed;
+  if (r.op == svc::KvOp::Get && r.status == svc::KvStatus::Ok)
+    r.data_ok ? ++counters_.verify_ok : ++counters_.verify_failed;
+  else if (!r.data_ok)
+    ++counters_.verify_failed;
+  ++server_ops_[server];
+  server_bytes_[server] += r.value_len;
+}
+
+void ScenarioEngine::run_kvsvc_churn(KvActor& a) {
+  --a.churn_remaining;
+  a.ops_since_churn = 0;
+  svc::KvClient& cli = *kv_clients_[a.client];
+  KvConnRef* ref = nullptr;
+  for (std::uint32_t tries = 0;
+       tries < a.conns.size() && ref == nullptr; ++tries) {
+    KvConnRef& r = a.conns[a.next_conn++ % a.conns.size()];
+    if (r.open) ref = &r;
+  }
+  if (ref == nullptr) return;  // nothing connected to churn
+  svc::KvServer& srv = *kv_servers_[ref->server];
+
+  if (a.rng.chance(spec_.churn_abandon_fraction)) {
+    // Abrupt: leave requests in flight so the *server* discovers the loss -
+    // its replies bounce with ErrDisconnected and it must reclaim the
+    // connection's pins and governor charge on its own. These requests are
+    // lost by design and never enter the transfer accounting.
+    for (std::uint32_t i = 0;
+         i < spec_.pipeline_window && cli.can_issue(ref->conn); ++i) {
+      std::uint64_t req_id = 0;
+      if (!ok(cli.get(ref->conn, zipf_sample(a.rng), req_id))) break;
+    }
+    (void)cli.flush(ref->conn);
+    (void)cli.abandon(ref->conn);
+    while (srv.service() != 0) {
+    }
+    srv.drain();
+  } else {
+    const std::uint32_t sc = cli.server_conn(ref->conn);
+    (void)cli.close(ref->conn);
+    (void)srv.close(sc);
+  }
+  ref->open = false;
+  (void)kvsvc_reconnect(a, *ref);  // shed slots get retried by later events
+}
+
+void ScenarioEngine::run_kvsvc_op(std::size_t actor) {
+  KvActor& a = kv_actors_[actor];
+  const Nanos issued = sched_->now();
+  VirtualStopwatch sw(cluster_->clock());
+  svc::KvClient& cli = *kv_clients_[a.client];
+
+  std::uint32_t touched_server = UINT32_MAX;
+  kv_results_.clear();
+
+  if (a.churn_remaining > 0 && a.ops_since_churn >= a.churn_every) {
+    run_kvsvc_churn(a);
+  } else if (a.ops_remaining > 0) {
+    // Next usable connection, round-robin; closed (shed) slots get a
+    // reconnect attempt on the way past.
+    KvConnRef* ref = nullptr;
+    for (std::uint32_t tries = 0;
+         tries < a.conns.size() && ref == nullptr; ++tries) {
+      KvConnRef& r = a.conns[a.next_conn++ % a.conns.size()];
+      if (!r.open && !kvsvc_reconnect(a, r)) continue;
+      ref = &r;
+    }
+    if (ref == nullptr) {
+      // Every slot shed and the server still refuses: allow a few retries,
+      // then drop the remaining (never-issued) ops so the run terminates.
+      if (++a.stalls > 8) a.ops_remaining = 0;
+    } else {
+      a.stalls = 0;
+      touched_server = ref->server;
+      svc::KvServer& srv = *kv_servers_[ref->server];
+      // Fill the connection's pipeline window in one burst, flush the burst
+      // behind one doorbell, let the server run batched service cycles, then
+      // harvest the responses.
+      const std::uint32_t burst =
+          std::min(spec_.pipeline_window, a.ops_remaining);
+      for (std::uint32_t i = 0; i < burst && cli.can_issue(ref->conn); ++i) {
+        const bool put = a.rng.chance(spec_.put_fraction);
+        const std::uint64_t key = zipf_sample(a.rng);
+        const bool large = a.rng.chance(spec_.large_fraction);
+        std::uint64_t req_id = 0;
+        KStatus st;
+        if (put) {
+          const std::uint32_t len =
+              large ? spec_.large_value_bytes : spec_.value_bytes;
+          kv_value_scratch_.resize(len);
+          svc::KvClient::fill_value(kv_value_scratch_, key, spec_.seed);
+          st = cli.put(ref->conn, key, kv_value_scratch_, req_id);
+        } else {
+          st = cli.get(ref->conn, key, req_id);
+        }
+        if (!ok(st)) break;
+        put ? ++counters_.kv_puts : ++counters_.kv_gets;
+        a.issue_ns[req_id] = issued;
+        --a.ops_remaining;
+        ++a.ops_since_churn;
+      }
+      (void)cli.flush(ref->conn);
+      while (srv.service() != 0) {
+      }
+      while (cli.harvest(kv_results_) != 0) {
+      }
+    }
+  }
+
+  const Nanos done = sched_->charge_host(a.host, issued, sw.elapsed());
+  if (touched_server != UINT32_MAX) sched_->hold_host(touched_server, done);
+  for (const svc::KvResult& r : kv_results_) {
+    kvsvc_account(r, touched_server == UINT32_MAX ? 0 : touched_server);
+    const auto it = a.issue_ns.find(r.req_id);
+    const Nanos t0 = it == a.issue_ns.end() ? issued : it->second;
+    if (it != a.issue_ns.end()) a.issue_ns.erase(it);
+    record_latency(done - t0);
+  }
+  std::uint64_t open = 0;
+  for (const auto& s : kv_servers_) open += s->open_conns();
+  kvsvc_stats_.peak_open_conns = std::max(kvsvc_stats_.peak_open_conns, open);
+  if (a.ops_remaining > 0 || a.churn_remaining > 0)
+    sched_->post(done + spec_.think_ns, a.host,
+                 [this, actor] { run_kvsvc_op(actor); });
 }
 
 // --- registration churn ------------------------------------------------------
@@ -767,6 +1013,47 @@ void ScenarioEngine::teardown() {
   for (const auto& [key, ch] : channels_)
     counters_.bytes_moved += ch->stats().bytes_moved;
   if (comm_) counters_.bytes_moved += comm_->stats().bytes;
+
+  // kv-server pattern: capture the svc tier's accounting before destroying
+  // it. Clients go first (their disconnects are ordinary peer departures),
+  // then each server's shutdown must leave its node audit-clean.
+  for (const auto& c : kv_clients_) {
+    const svc::KvClientStats& cs = c->stats();
+    kvsvc_stats_.client_requests_lost += cs.requests_lost;
+    kvsvc_stats_.client_data_corrupt += cs.data_corrupt;
+    kvsvc_stats_.client_stale_completions += cs.stale_completions;
+    kvsvc_stats_.client_inline_bytes += cs.inline_bytes;
+    kvsvc_stats_.client_rendezvous_bytes += cs.rendezvous_bytes;
+    kvsvc_stats_.client_doorbell_flushes += cs.doorbell_flushes;
+  }
+  kv_clients_.clear();
+  for (const auto& s : kv_servers_) {
+    s->shutdown();
+    const svc::KvServerStats& ss = s->stats();
+    kvsvc_stats_.conns_accepted += ss.conns_accepted;
+    kvsvc_stats_.conns_shed += ss.conns_shed;
+    kvsvc_stats_.conns_closed += ss.conns_closed;
+    kvsvc_stats_.conns_abandoned += ss.conns_abandoned;
+    kvsvc_stats_.admission_rejected += ss.admission_rejected;
+    kvsvc_stats_.requests += ss.requests;
+    kvsvc_stats_.gets += ss.gets;
+    kvsvc_stats_.puts += ss.puts;
+    kvsvc_stats_.not_found += ss.not_found;
+    kvsvc_stats_.corrupt_payloads += ss.corrupt_payloads;
+    kvsvc_stats_.arena_full += ss.arena_full;
+    kvsvc_stats_.inline_bytes += ss.inline_bytes;
+    kvsvc_stats_.eager_copies += ss.eager_copies;
+    kvsvc_stats_.rendezvous_ops += ss.rendezvous_ops;
+    kvsvc_stats_.rendezvous_bytes += ss.rendezvous_bytes;
+    kvsvc_stats_.rendezvous_failed += ss.rendezvous_failed;
+    kvsvc_stats_.batches += ss.batches;
+    kvsvc_stats_.batched_completions += ss.batched_completions;
+    kvsvc_stats_.batched_replies += ss.batched_replies;
+    kvsvc_stats_.requests_dropped += ss.requests_dropped;
+    kvsvc_stats_.send_errors += ss.send_errors;
+    counters_.bytes_moved += ss.inline_bytes + ss.rendezvous_bytes;
+  }
+  kv_servers_.clear();
 
   for (ChurnActor& c : churners_) {
     Tenant& t = tenants_[c.host][c.tenant];
@@ -856,8 +1143,16 @@ void ScenarioEngine::fill_report() {
   report_.latency_p50_ns = percentile(0.50);
   report_.latency_p99_ns = percentile(0.99);
 
+  if (spec_.pattern == Pattern::KvService) {
+    kvsvc_stats_.p50_ns = percentile(0.50);
+    kvsvc_stats_.p95_ns = percentile(0.95);
+    kvsvc_stats_.p99_ns = percentile(0.99);
+    kvsvc_stats_.p999_ns = percentile(0.999);
+  }
+
   if (spec_.pattern == Pattern::RpcFanout ||
-      spec_.pattern == Pattern::SkewedKv) {
+      spec_.pattern == Pattern::SkewedKv ||
+      spec_.pattern == Pattern::KvService) {
     Table t({"server", "ops", "bytes"});
     for (std::uint32_t s = 0; s < spec_.servers; ++s)
       t.row({Table::num(std::uint64_t{s}), Table::num(server_ops_[s]),

@@ -30,6 +30,8 @@
 #include "mp/comm.h"
 #include "scenario/scheduler.h"
 #include "scenario/spec.h"
+#include "svc/kv_client.h"
+#include "svc/kv_server.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "via/node.h"
@@ -55,6 +57,52 @@ struct ScenarioCounters {
   std::uint64_t verify_ok = 0;
   std::uint64_t verify_failed = 0;       ///< payload markers that came back wrong
   std::uint64_t channels_created = 0;
+};
+
+/// Roll-up of the svc tier's own accounting for the kv-server pattern,
+/// aggregated across every KvServer/KvClient just before teardown destroys
+/// them. Deliberately NOT part of report_json (that byte surface is frozen by
+/// the E23 determinism gate); the E24 bench carries these through its own
+/// JSON report instead.
+struct KvServiceStats {
+  // Server side (summed over servers).
+  std::uint64_t conns_accepted = 0;
+  std::uint64_t conns_shed = 0;
+  std::uint64_t conns_closed = 0;
+  std::uint64_t conns_abandoned = 0;
+  std::uint64_t admission_rejected = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t not_found = 0;
+  std::uint64_t corrupt_payloads = 0;
+  std::uint64_t arena_full = 0;
+  std::uint64_t inline_bytes = 0;
+  std::uint64_t eager_copies = 0;
+  std::uint64_t rendezvous_ops = 0;
+  std::uint64_t rendezvous_bytes = 0;
+  std::uint64_t rendezvous_failed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_completions = 0;
+  std::uint64_t batched_replies = 0;
+  std::uint64_t requests_dropped = 0;
+  std::uint64_t send_errors = 0;
+  // Client side (summed over client hosts).
+  std::uint64_t client_requests_lost = 0;
+  std::uint64_t client_data_corrupt = 0;
+  std::uint64_t client_stale_completions = 0;
+  std::uint64_t client_inline_bytes = 0;
+  std::uint64_t client_rendezvous_bytes = 0;
+  std::uint64_t client_doorbell_flushes = 0;
+  std::uint64_t reconnect_failed = 0;
+  std::uint64_t peak_open_conns = 0;
+  // Client-visible operation latency (virtual ns, log2-bucket upper bounds).
+  Nanos p50_ns = 0;
+  Nanos p95_ns = 0;
+  Nanos p99_ns = 0;
+  Nanos p999_ns = 0;
+
+  bool operator==(const KvServiceStats&) const = default;
 };
 
 struct ScenarioReport {
@@ -123,6 +171,10 @@ class ScenarioEngine {
   [[nodiscard]] KStatus run();
 
   [[nodiscard]] const ScenarioReport& report() const { return report_; }
+  /// kv-server pattern only: the svc tier's aggregated accounting.
+  [[nodiscard]] const KvServiceStats& kv_service_stats() const {
+    return kvsvc_stats_;
+  }
   [[nodiscard]] const ScenarioSpec& spec() const { return spec_; }
   [[nodiscard]] via::Cluster& cluster() { return *cluster_; }
   [[nodiscard]] EventScheduler& scheduler() { return *sched_; }
@@ -148,11 +200,34 @@ class ScenarioEngine {
     std::vector<via::MemHandle> held;
     std::uint32_t next_slot = 0;
   };
+  /// One client connection of the kv-server pattern, with its fixed
+  /// (server, tenant) placement so churn reconnects land in the same spot.
+  struct KvConnRef {
+    std::uint32_t conn = 0;
+    std::uint32_t server = 0;
+    std::uint32_t tenant = 0;
+    bool open = false;
+  };
+  /// One kv-server client host: a KvClient plus its open-loop driver state.
+  struct KvActor {
+    HostId host = 0;
+    std::uint32_t client = 0;  ///< index into kv_clients_
+    Rng rng{1};
+    std::uint32_t ops_remaining = 0;
+    std::uint32_t churn_remaining = 0;
+    std::uint32_t churn_every = 0;  ///< ops between churn cycles
+    std::uint32_t ops_since_churn = 0;
+    std::uint32_t next_conn = 0;  ///< round-robin connection cursor
+    std::uint32_t stalls = 0;     ///< consecutive events with no usable conn
+    std::vector<KvConnRef> conns;
+    std::map<std::uint64_t, Nanos> issue_ns;  ///< req_id -> issue time
+  };
 
   // --- build helpers ---------------------------------------------------------
   [[nodiscard]] KStatus build_hosts();
   [[nodiscard]] KStatus build_tenants();
   [[nodiscard]] KStatus build_transports();
+  [[nodiscard]] KStatus build_kv_service();
   void build_zipf();
 
   // --- channels (lazy, per ordered host pair) --------------------------------
@@ -173,6 +248,14 @@ class ScenarioEngine {
   void run_ps_worker_check(std::uint32_t worker);
   void run_collectives_round();
   void run_churn_op(std::size_t actor);
+  void run_kvsvc_op(std::size_t actor);
+  /// One connection churn cycle (graceful close or mid-pipeline abandon,
+  /// then reconnect) on the actor's next open connection.
+  void run_kvsvc_churn(KvActor& a);
+  /// Reconnect a closed KvConnRef; false when the server shed it again.
+  [[nodiscard]] bool kvsvc_reconnect(KvActor& a, KvConnRef& ref);
+  /// Account one harvested KvResult into the scenario counters.
+  void kvsvc_account(const svc::KvResult& r, std::uint32_t server);
 
   /// One transfer attempt with failure accounting; true on success.
   bool do_transfer(msg::Channel* ch, std::uint32_t len,
@@ -190,7 +273,8 @@ class ScenarioEngine {
 
   [[nodiscard]] std::uint32_t first_client_host() const {
     return (spec_.pattern == Pattern::RpcFanout ||
-            spec_.pattern == Pattern::SkewedKv)
+            spec_.pattern == Pattern::SkewedKv ||
+            spec_.pattern == Pattern::KvService)
                ? spec_.servers
                : 0;
   }
@@ -210,6 +294,15 @@ class ScenarioEngine {
 
   std::vector<ClientActor> clients_;
   std::vector<ChurnActor> churners_;
+
+  // kv-server (svc tier) pattern state.
+  std::vector<std::unique_ptr<svc::KvServer>> kv_servers_;   ///< hosts 0..servers-1
+  std::vector<std::unique_ptr<svc::KvClient>> kv_clients_;   ///< one per client host
+  std::vector<KvActor> kv_actors_;
+  KvServiceStats kvsvc_stats_;
+  std::vector<svc::KvResult> kv_results_;     ///< per-event harvest scratch
+  std::vector<std::byte> kv_value_scratch_;   ///< per-event PUT value scratch
+
   std::vector<double> zipf_cdf_;
   std::vector<std::uint32_t> fanout_perm_;
 

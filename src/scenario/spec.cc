@@ -75,10 +75,9 @@ bool parse_bytes32(std::string_view v, std::uint32_t& out) {
 }
 
 bool parse_pattern(std::string_view v, Pattern& out) {
-  constexpr std::array<Pattern, 5> all = {Pattern::RpcFanout, Pattern::SkewedKv,
-                                          Pattern::PsAllreduce,
-                                          Pattern::Pipeline,
-                                          Pattern::Collectives};
+  constexpr std::array<Pattern, 6> all = {
+      Pattern::RpcFanout, Pattern::SkewedKv,  Pattern::PsAllreduce,
+      Pattern::Pipeline,  Pattern::Collectives, Pattern::KvService};
   for (const Pattern p : all) {
     if (v == to_string(p)) {
       out = p;
@@ -234,6 +233,24 @@ std::string ScenarioSpec::apply(std::string_view key, std::string_view value) {
     if (!parse_u32(value, ops_per_tenant)) return bad("ops_per_tenant");
   } else if (key == "rounds") {
     if (!parse_u32(value, rounds)) return bad("rounds");
+  } else if (key == "connections_per_client") {
+    if (!parse_u32(value, connections_per_client))
+      return bad("connections_per_client");
+  } else if (key == "pipeline_window") {
+    if (!parse_u32(value, pipeline_window)) return bad("pipeline_window");
+  } else if (key == "completion_batch") {
+    if (!parse_u32(value, completion_batch)) return bad("completion_batch");
+  } else if (key == "large_value_bytes") {
+    if (!parse_bytes32(value, large_value_bytes))
+      return bad("large_value_bytes");
+  } else if (key == "large_fraction") {
+    if (!parse_f64(value, large_fraction)) return bad("large_fraction");
+  } else if (key == "conn_churn_per_client") {
+    if (!parse_u32(value, conn_churn_per_client))
+      return bad("conn_churn_per_client");
+  } else if (key == "churn_abandon_fraction") {
+    if (!parse_f64(value, churn_abandon_fraction))
+      return bad("churn_abandon_fraction");
   } else if (key == "shard_bytes") {
     if (!parse_bytes32(value, shard_bytes)) return bad("shard_bytes");
   } else if (key == "record_bytes") {
@@ -301,6 +318,12 @@ std::uint64_t ScenarioSpec::planned_ops() const {
              churn;
     case Pattern::Collectives:
       return rounds + churn;  // one event per collective round
+    case Pattern::KvService: {
+      const std::uint64_t chosts =
+          hosts > servers ? static_cast<std::uint64_t>(hosts) - servers : 0;
+      // One client per host; ops_per_tenant ops per connection on average.
+      return chosts * connections_per_client * ops_per_tenant + churn;
+    }
   }
   return churn;
 }
@@ -308,7 +331,8 @@ std::uint64_t ScenarioSpec::planned_ops() const {
 std::string ScenarioSpec::validate() const {
   if (hosts < 2) return "hosts must be >= 2";
   if (tenants_per_host < 1) return "tenants_per_host must be >= 1";
-  if (pattern == Pattern::RpcFanout || pattern == Pattern::SkewedKv) {
+  if (pattern == Pattern::RpcFanout || pattern == Pattern::SkewedKv ||
+      pattern == Pattern::KvService) {
     if (servers == 0) return "servers must be >= 1";
     if (servers >= hosts) return "servers must leave at least one client host";
   }
@@ -316,7 +340,21 @@ std::string ScenarioSpec::validate() const {
     return "fanout must be >= 1";
   if (pattern == Pattern::RpcFanout && fanout > servers)
     return "fanout must be <= servers";
-  if (pattern == Pattern::SkewedKv && keys == 0) return "keys must be >= 1";
+  if ((pattern == Pattern::SkewedKv || pattern == Pattern::KvService) &&
+      keys == 0)
+    return "keys must be >= 1";
+  if (pattern == Pattern::KvService) {
+    if (connections_per_client == 0) return "connections_per_client must be >= 1";
+    if (pipeline_window == 0) return "pipeline_window must be >= 1";
+    if (completion_batch == 0) return "completion_batch must be >= 1";
+    if (value_bytes == 0) return "value_bytes must be >= 1";
+    if (large_value_bytes < value_bytes)
+      return "large_value_bytes must be >= value_bytes";
+    if (large_fraction < 0.0 || large_fraction > 1.0)
+      return "large_fraction must be in [0, 1]";
+    if (churn_abandon_fraction < 0.0 || churn_abandon_fraction > 1.0)
+      return "churn_abandon_fraction must be in [0, 1]";
+  }
   if (guaranteed_fraction < 0.0 || guaranteed_fraction > 1.0)
     return "guaranteed_fraction must be in [0, 1]";
   if (put_fraction < 0.0 || put_fraction > 1.0)

@@ -44,6 +44,7 @@ enum class Pattern : std::uint8_t {
   PsAllreduce,  ///< workers push shards to a parameter server (mp::Comm)
   Pipeline,     ///< records stream host 0 -> 1 -> ... -> N-1
   Collectives,  ///< msg::Mesh barrier/broadcast/allreduce/alltoall rounds
+  KvService,    ///< svc::KvServer/KvClient tier: pipelined, governed, zero-copy
 };
 
 [[nodiscard]] constexpr std::string_view to_string(Pattern p) {
@@ -53,6 +54,7 @@ enum class Pattern : std::uint8_t {
     case Pattern::PsAllreduce: return "ps-allreduce";
     case Pattern::Pipeline: return "pipeline";
     case Pattern::Collectives: return "collectives";
+    case Pattern::KvService: return "kv-server";
   }
   return "?";
 }
@@ -89,6 +91,16 @@ struct ScenarioSpec {
   double skew = 1.0;                  ///< kv Zipf exponent (0 = uniform)
   std::uint32_t ops_per_tenant = 64;  ///< rpc/kv ops, pipeline records/source
   std::uint32_t rounds = 4;           ///< ps-allreduce / collectives rounds
+
+  // --- kv-server (svc tier) ----------------------------------------------------
+  std::uint32_t connections_per_client = 4;  ///< conns each client host holds
+  std::uint32_t pipeline_window = 4;   ///< in-flight requests per connection
+  std::uint32_t completion_batch = 32; ///< CQ harvest / doorbell batch depth
+  std::uint32_t large_value_bytes = 4096;  ///< rendezvous-path value size
+  double large_fraction = 0.25;        ///< share of ops touching large values
+  std::uint32_t conn_churn_per_client = 0;  ///< close+reconnect cycles per client
+  double churn_abandon_fraction = 0.5; ///< share of churn cycles that are abrupt
+
   std::uint32_t shard_bytes = 4096;   ///< ps: gradient shard per worker
   std::uint32_t record_bytes = 4096;  ///< pipeline: record size
   Nanos think_ns = 10'000;            ///< per-actor inter-arrival gap

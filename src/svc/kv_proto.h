@@ -1,0 +1,95 @@
+// kv_proto.h - the wire protocol of the zero-copy KV service tier.
+//
+// One-round-trip RPC in the HERD mould: every request is a single eager
+// message carrying a fixed POD header; small values ride inline behind the
+// header, large values move by rendezvous - the request names the client's
+// registered window ("communicated out of band", VIA style) and the server
+// moves the bytes with one RDMA write (GET) or read (PUT) straight between
+// the client window and its value arena, skipping the eager copy entirely.
+//
+// Integrity: value bytes are covered end-to-end by fault::checksum32,
+// carried in the header (PUT) or the response (GET). A DMA or wire bit-flip
+// anywhere on the path - including mid-rendezvous - fails the request
+// cleanly (KvStatus::Corrupt) instead of silently storing or returning
+// garbage; headers themselves are validated by magic + length.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+
+#include "simkern/types.h"
+#include "via/memory_handle.h"
+
+namespace vialock::svc {
+
+inline constexpr std::uint32_t kReqMagic = 0x4B565251u;  // "KVRQ"
+inline constexpr std::uint32_t kRspMagic = 0x4B565250u;  // "KVRP"
+
+enum class KvOp : std::uint8_t { Get, Put };
+
+[[nodiscard]] constexpr std::string_view to_string(KvOp op) {
+  switch (op) {
+    case KvOp::Get: return "GET";
+    case KvOp::Put: return "PUT";
+  }
+  return "?";
+}
+
+enum class KvStatus : std::uint8_t {
+  Ok,
+  NotFound,          ///< GET of an absent key
+  BadRequest,        ///< malformed header (magic / length) - counted, dropped
+  ValueTooLarge,     ///< value exceeds the slot (inline) or window (rendezvous)
+  NoSpace,           ///< the tenant's value arena is exhausted
+  RendezvousFailed,  ///< window registration rejected or RDMA leg failed
+  Corrupt,           ///< value checksum mismatch: the payload was damaged
+};
+
+[[nodiscard]] constexpr std::string_view to_string(KvStatus s) {
+  switch (s) {
+    case KvStatus::Ok: return "OK";
+    case KvStatus::NotFound: return "NOT_FOUND";
+    case KvStatus::BadRequest: return "BAD_REQUEST";
+    case KvStatus::ValueTooLarge: return "VALUE_TOO_LARGE";
+    case KvStatus::NoSpace: return "NO_SPACE";
+    case KvStatus::RendezvousFailed: return "RENDEZVOUS_FAILED";
+    case KvStatus::Corrupt: return "CORRUPT";
+  }
+  return "?";
+}
+
+/// Request header, at the front of the request slot. `value_len` bytes of
+/// value follow inline when `op == Put` and the value is small enough;
+/// otherwise `window`/`window_addr` name where the value lives (PUT) or
+/// belongs (GET) in the client's registered memory.
+struct KvRequest {
+  std::uint32_t magic = kReqMagic;
+  KvOp op = KvOp::Get;
+  std::uint8_t rendezvous = 0;  ///< value moves by RDMA, not inline
+  std::uint8_t pad[2] = {};
+  std::uint64_t req_id = 0;     ///< echoed in the response (pipelining)
+  std::uint64_t key = 0;
+  std::uint32_t value_len = 0;  ///< PUT: value bytes; GET: window capacity
+  std::uint32_t value_crc = 0;  ///< PUT: checksum32 of the value bytes
+  via::MemHandle window;        ///< client's registered value window (POD)
+  simkern::VAddr window_addr = 0;
+};
+static_assert(std::is_trivially_copyable_v<KvRequest>);
+
+/// Response header, at the front of the response slot. A small GET value
+/// follows inline; a rendezvous GET's value has already been RDMA-written
+/// into the client window by the time this header arrives (the fabric
+/// preserves ordering on one VI).
+struct KvResponse {
+  std::uint32_t magic = kRspMagic;
+  KvStatus status = KvStatus::Ok;
+  std::uint8_t rendezvous = 0;
+  std::uint8_t pad[2] = {};
+  std::uint64_t req_id = 0;
+  std::uint32_t value_len = 0;
+  std::uint32_t value_crc = 0;  ///< GET: checksum32 of the value bytes
+};
+static_assert(std::is_trivially_copyable_v<KvResponse>);
+
+}  // namespace vialock::svc

@@ -29,6 +29,9 @@ Nic::Nic(simkern::Kernel& host, Clock& clock, const CostModel& costs,
     s.counter("bytes_tx", stats_.bytes_tx);
     s.counter("bytes_rx", stats_.bytes_rx);
     s.counter("tpt_writes", stats_.tpt_writes);
+    s.counter("doorbell_batches", stats_.doorbell_batches);
+    s.counter("cq_harvests", stats_.cq_harvests);
+    s.counter("cq_harvested", stats_.cq_harvested);
     s.counter("doorbells_dropped", stats_.doorbells_dropped);
     s.counter("dma_corruptions", stats_.dma_corruptions);
     s.counter("tpt_corruptions", stats_.tpt_corruptions);
@@ -249,11 +252,25 @@ std::optional<Nic::CqEntry> Nic::poll_cq(CqId cq) {
   return e;
 }
 
+std::uint32_t Nic::poll_cq_batch(CqId cq, std::uint32_t max,
+                                 std::vector<CqEntry>& out) {
+  if (cq >= cqs_.size() || max == 0) return 0;
+  clock_.advance(costs_.pci_reg_read);  // one tail read for the whole harvest
+  ++stats_.cq_harvests;
+  std::uint32_t n = 0;
+  while (n < max && !cqs_[cq].empty()) {
+    out.push_back(std::move(cqs_[cq].front()));
+    cqs_[cq].pop_front();
+    ++n;
+  }
+  stats_.cq_harvested += n;
+  return n;
+}
+
 void Nic::break_vi(Vi& v) { v.state = ViState::Error; }
 
 KStatus Nic::post_send(ViId id, Descriptor desc) {
   if (!vi_exists(id)) return KStatus::Inval;
-  Vi& v = vis_[id];
   // Stitched under the originating send's trace (the ambient context the
   // transport pushed): doorbell ring -> descriptor fetch -> DMA gather ->
   // wire (fabric.cc) -> remote scatter (deliver()).
@@ -278,6 +295,44 @@ KStatus Nic::post_send(ViId id, Descriptor desc) {
     }
   }
 
+  return submit_send(id, std::move(desc));
+}
+
+KStatus Nic::post_send_batch(ViId id, std::vector<Descriptor> descs) {
+  if (!vi_exists(id)) return KStatus::Inval;
+  if (descs.empty()) return KStatus::Ok;
+  const obs::ScopedSpan post_span(host_.spans(), "via.post_send_batch");
+  {
+    const obs::ScopedSpan doorbell_span(host_.spans(), "via.doorbell");
+    // One MMIO ring announces the chain; the engine still fetches each
+    // descriptor (dma_startup apiece), so only the doorbell amortises.
+    clock_.advance(costs_.doorbell +
+                   costs_.dma_startup * static_cast<Nanos>(descs.size()));
+  }
+  ++stats_.doorbells;
+  ++stats_.doorbell_batches;
+  stats_.sends_posted += descs.size();
+
+  // A lost doorbell ring loses the whole burst: the NIC never learns the
+  // chain exists, no completion is ever produced for any entry.
+  if (faults_) {
+    if (const auto d = faults_->check(fault::FaultSite::NicDoorbell);
+        d && (d->action == fault::FaultAction::Drop ||
+              d->action == fault::FaultAction::Fail)) {
+      ++stats_.doorbells_dropped;
+      return KStatus::Ok;
+    }
+  }
+
+  for (Descriptor& desc : descs) {
+    const KStatus st = submit_send(id, std::move(desc));
+    if (!ok(st)) return st;
+  }
+  return KStatus::Ok;
+}
+
+KStatus Nic::submit_send(ViId id, Descriptor desc) {
+  Vi& v = vis_[id];
   if (!v.connected()) {
     complete_send(v, std::move(desc), DescStatus::ErrDisconnected);
     return KStatus::Ok;

@@ -44,6 +44,10 @@ struct NicStats {
   std::uint64_t bytes_tx = 0;
   std::uint64_t bytes_rx = 0;
   std::uint64_t tpt_writes = 0;
+  // Batched submission/completion (E18's modes extended, experiment E24):
+  std::uint64_t doorbell_batches = 0;  ///< burst post_send doorbell rings
+  std::uint64_t cq_harvests = 0;       ///< batched CQ polls issued
+  std::uint64_t cq_harvested = 0;      ///< entries drained by batched polls
   // Injected hardware faults (fault::FaultEngine hooks):
   std::uint64_t doorbells_dropped = 0;   ///< descriptor silently lost
   std::uint64_t dma_corruptions = 0;     ///< payload bit-flip in flight
@@ -76,6 +80,12 @@ class Nic {
 
   // --- work queues (doorbell-triggered, executed synchronously) ----------------
   [[nodiscard]] KStatus post_send(ViId id, Descriptor desc);
+  /// Burst submission: ONE doorbell ring announces the whole descriptor
+  /// chain, then the engine fetches and executes each entry in order. The
+  /// per-send doorbell cost amortises across the burst (the posting-side
+  /// analogue of E18's completion modes). A dropped doorbell (NicDoorbell
+  /// fault) silently loses the entire burst, like real posted PCI writes.
+  [[nodiscard]] KStatus post_send_batch(ViId id, std::vector<Descriptor> descs);
   [[nodiscard]] KStatus post_recv(ViId id, Descriptor desc);
   [[nodiscard]] std::optional<Descriptor> poll_send(ViId id);
   [[nodiscard]] std::optional<Descriptor> poll_recv(ViId id);
@@ -91,6 +101,12 @@ class Nic {
   [[nodiscard]] KStatus attach_send_cq(ViId vi, CqId cq);
   [[nodiscard]] KStatus attach_recv_cq(ViId vi, CqId cq);
   [[nodiscard]] std::optional<CqEntry> poll_cq(CqId cq);
+  /// Drain up to `max` completions with ONE PCI status read (the CQ tail is
+  /// read once; entries behind it live in host-memory shadow copies).
+  /// Appends to `out`, returns the number drained - the completion-side
+  /// amortisation a server harvesting thousands of connections relies on.
+  [[nodiscard]] std::uint32_t poll_cq_batch(CqId cq, std::uint32_t max,
+                                            std::vector<CqEntry>& out);
 
   // --- TPT (programmed by the kernel agent over PCI) ----------------------------
   [[nodiscard]] Tpt& tpt() { return tpt_; }
@@ -147,6 +163,9 @@ class Nic {
   void complete_send(Vi& v, Descriptor desc, DescStatus st);
   void complete_recv(Vi& v, Descriptor desc);
   void break_vi(Vi& v);
+  /// Fetch-and-execute one posted send descriptor (everything post_send does
+  /// after the doorbell ring and fault check): gather, transmit, complete.
+  [[nodiscard]] KStatus submit_send(ViId id, Descriptor desc);
 
   simkern::Kernel& host_;
   Clock& clock_;

@@ -70,6 +70,14 @@ KStatus Vipl::rdma_read(ViId vi, const MemHandle& local_mh,
   return agent_.nic().post_send(vi, std::move(d));
 }
 
+KStatus Vipl::post_send_batch(ViId vi, std::span<const SendPost> posts) {
+  std::vector<Descriptor> descs;
+  descs.reserve(posts.size());
+  for (const SendPost& p : posts)
+    descs.push_back(build(DescOp::Send, p.mh, p.addr, p.len, p.cookie));
+  return agent_.nic().post_send_batch(vi, std::move(descs));
+}
+
 KStatus Vipl::post_send_sg(ViId vi, std::vector<DataSegment> segs,
                            std::uint64_t cookie) {
   if (segs.empty() || segs.size() > Descriptor::kMaxSegments)

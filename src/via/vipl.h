@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "util/status.h"
 #include "via/kernel_agent.h"
@@ -79,6 +80,20 @@ class Vipl {
   [[nodiscard]] std::optional<Descriptor> send_wait(ViId vi);
   [[nodiscard]] std::optional<Descriptor> recv_wait(ViId vi);
 
+  // --- batched submission / completion (E18's modes extended; E24) -----------
+  /// One entry of a post_send_batch burst.
+  struct SendPost {
+    MemHandle mh;
+    simkern::VAddr addr = 0;
+    std::uint32_t len = 0;
+    std::uint64_t cookie = 0;
+  };
+  /// Build and post a burst of sends behind a SINGLE doorbell ring: the
+  /// per-entry descriptor-build cost still applies, but the doorbell and its
+  /// MMIO round amortise across the burst (Nic::post_send_batch).
+  [[nodiscard]] KStatus post_send_batch(ViId vi,
+                                        std::span<const SendPost> posts);
+
   // --- completion queues (VipCreateCQ / VipCQDone) ---------------------------
   [[nodiscard]] CqId create_cq() { return agent_.nic().create_cq(); }
   [[nodiscard]] KStatus attach_send_cq(ViId vi, CqId cq) {
@@ -89,6 +104,12 @@ class Vipl {
   }
   [[nodiscard]] std::optional<Nic::CqEntry> cq_done(CqId cq) {
     return agent_.nic().poll_cq(cq);
+  }
+  /// Batched VipCQDone: drain up to `max` completions with one PCI status
+  /// read, appending to `out`. Returns the number drained.
+  [[nodiscard]] std::uint32_t cq_harvest(CqId cq, std::uint32_t max,
+                                         std::vector<Nic::CqEntry>& out) {
+    return agent_.nic().poll_cq_batch(cq, max, out);
   }
 
   [[nodiscard]] Nic& nic() { return agent_.nic(); }

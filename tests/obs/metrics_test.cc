@@ -129,6 +129,56 @@ TEST(Exporters, RenderP999InBothFormats) {
   EXPECT_NE(json.find("\"p999\": 131071"), std::string::npos);
 }
 
+TEST(Histogram, P95SitsBetweenP50AndP99) {
+  // 94 fast samples, 5 medium, 1 slow out of 100: rank floor(q * 99) puts
+  // p50 (rank 49) in the fast bucket, p95 (rank 94) on the first medium
+  // sample, p99 (rank 98) on the last medium one, and only the true max
+  // reaches the outlier's bucket.
+  Histogram h;
+  for (int i = 0; i < 94; ++i) h.add(100);
+  for (int i = 0; i < 5; ++i) h.add(10'000);
+  h.add(1'000'000);
+  EXPECT_EQ(h.quantile(0.50), 127u);
+  EXPECT_EQ(h.quantile(0.95), 16'383u);
+  EXPECT_EQ(h.quantile(0.99), 16'383u);
+  EXPECT_EQ(h.quantile(1.0), 1'048'575u);
+}
+
+TEST(Histogram, P95BucketEdges) {
+  // 19 samples at the top edge of [8,15] and one at the bottom edge of
+  // [16,31]: rank floor(0.95 * 19) = 18, the last sample of the low bucket,
+  // so p95 reports that bucket's upper bound exactly.
+  Histogram h;
+  for (int i = 0; i < 19; ++i) h.add(15);
+  h.add(16);
+  EXPECT_EQ(h.quantile(0.95), 15u);
+  // One more edge sample: rank floor(0.95 * 20) = 19 outranks the 19
+  // low-bucket samples, so p95 crosses into [16,31].
+  h.add(16);
+  EXPECT_EQ(h.quantile(0.95), 31u);
+}
+
+TEST(Snapshot, CarriesP95AndExportersRenderIt) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("svc.kv.op_ns");
+  for (int i = 0; i < 94; ++i) h.add(10);
+  for (int i = 0; i < 5; ++i) h.add(1'000);
+  h.add(100'000);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].p50, 15u);
+  EXPECT_EQ(snap[0].p95, 1'023u);
+  // Rank floor(0.999 * 99) = 98 is still the last medium sample; the single
+  // outlier only shows up in max.
+  EXPECT_EQ(snap[0].p999, 1'023u);
+  EXPECT_EQ(snap[0].max, 100'000u);
+  const std::string text = to_proc_text(snap);
+  EXPECT_NE(text.find("svc.kv.op_ns.p50 15\n"), std::string::npos);
+  EXPECT_NE(text.find("svc.kv.op_ns.p95 1023\n"), std::string::npos);
+  const std::string json = to_json(snap);
+  EXPECT_NE(json.find("\"p95\": 1023"), std::string::npos);
+}
+
 TEST(Histogram, MaxTracksZeroOnlySamples) {
   Histogram h;
   h.add(0);

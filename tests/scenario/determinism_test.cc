@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <tuple>
 
 #include "obs/export.h"
 #include "scenario/engine.h"
@@ -67,6 +68,38 @@ TEST(ScenarioDeterminism, DifferentSeedDiffersButAuditsClean) {
   EXPECT_EQ(c.report.counters.verify_failed, 0u);
   EXPECT_EQ(a.report.counters.kv_gets + a.report.counters.kv_puts,
             c.report.counters.kv_gets + c.report.counters.kv_puts);
+}
+
+TEST(ScenarioDeterminism, KvServicePatternIsSeedDeterministic) {
+  // The svc tier adds its own stats surface (kv_service_stats, outside the
+  // frozen report_json) - it must be as seed-deterministic as the report,
+  // including the abrupt-churn reclamation counters.
+  constexpr const char* kKvSpec =
+      "name = det-kv\npattern = kv-server\nhosts = 5\nservers = 1\n"
+      "tenants_per_host = 2\nops_per_tenant = 12\nkeys = 64\nskew = 1.1\n"
+      "value_bytes = 256\nlarge_value_bytes = 4096\nlarge_fraction = 0.3\n"
+      "put_fraction = 0.5\nconnections_per_client = 3\n"
+      "conn_churn_per_client = 2\n";
+  const auto run = [&](std::uint64_t seed) {
+    ParseResult parsed = parse_spec(kKvSpec);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    parsed.spec.seed = seed;
+    ScenarioEngine engine(parsed.spec);
+    EXPECT_TRUE(ok(engine.build()));
+    EXPECT_TRUE(ok(engine.run()));
+    return std::make_tuple(report_json(parsed.spec, engine.report()),
+                           engine.kv_service_stats(), engine.report());
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  const auto c = run(1234);
+  EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+  EXPECT_TRUE(std::get<1>(a) == std::get<1>(b));
+  EXPECT_NE(std::get<0>(a), std::get<0>(c));
+  // Different seed, same planned work, still a clean audit.
+  EXPECT_EQ(std::get<2>(a).counters.kv_gets + std::get<2>(a).counters.kv_puts,
+            std::get<2>(c).counters.kv_gets + std::get<2>(c).counters.kv_puts);
+  EXPECT_TRUE(std::get<2>(c).invariants_ok);
 }
 
 TEST(ScenarioDeterminism, WallClockNeverEntersTheReport) {

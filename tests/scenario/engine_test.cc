@@ -77,6 +77,77 @@ TEST(ScenarioEngine, CollectivesReportsE12Scalars) {
   EXPECT_TRUE(r.invariants_ok) << (r.violations.empty() ? "" : r.violations[0]);
 }
 
+TEST(ScenarioEngine, KvServicePatternServesBothPathsAndSurvivesChurn) {
+  // 4 client hosts x 4 connections x 16 ops, a quarter of them rendezvous
+  // values, every churn cycle an abrupt abandonment mid-pipeline.
+  const ParseResult parsed = parse_spec(
+      "name = t\npattern = kv-server\nhosts = 6\nservers = 2\n"
+      "tenants_per_host = 2\nops_per_tenant = 16\nkeys = 512\nskew = 1.1\n"
+      "value_bytes = 256\nlarge_value_bytes = 4096\nlarge_fraction = 0.25\n"
+      "put_fraction = 0.4\nconnections_per_client = 4\npipeline_window = 4\n"
+      "conn_churn_per_client = 2\nchurn_abandon_fraction = 1.0\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ScenarioEngine engine(parsed.spec);
+  ASSERT_TRUE(ok(engine.build()));
+  ASSERT_TRUE(ok(engine.run()));
+  const ScenarioReport& r = engine.report();
+  EXPECT_EQ(r.counters.kv_gets + r.counters.kv_puts, 4u * 4u * 16u);
+  EXPECT_EQ(r.counters.transfers_ok, 4u * 4u * 16u);
+  EXPECT_EQ(r.counters.transfers_failed, 0u);
+  EXPECT_EQ(r.counters.verify_failed, 0u);
+  EXPECT_TRUE(r.invariants_ok) << (r.violations.empty() ? "" : r.violations[0]);
+
+  const KvServiceStats& s = engine.kv_service_stats();
+  EXPECT_GE(s.conns_accepted, 16u);  // initial conns, plus churn reconnects
+  EXPECT_EQ(s.conns_shed, 0u);
+  // Every churn cycle was abrupt: the servers detected the vanished peers
+  // and reclaimed, and the deliberately dropped requests are accounted as
+  // client-side losses, not transfer failures.
+  EXPECT_GT(s.conns_abandoned, 0u);
+  EXPECT_GT(s.client_requests_lost, 0u);
+  // Both data paths moved bytes; the large path skipped the eager copy.
+  EXPECT_GT(s.inline_bytes, 0u);
+  EXPECT_GT(s.rendezvous_ops, 0u);
+  EXPECT_GT(s.rendezvous_bytes, 0u);
+  // (rendezvous_failed may be nonzero: abrupt churn abandons connections
+  // with staged GETs whose rendezvous write-back finds a broken VI - those
+  // requests are deliberate losses, never counted as transfers.)
+  // Completion batching was in effect on both sides.
+  EXPECT_GT(s.batched_completions, 0u);
+  EXPECT_GT(s.batched_replies, 0u);
+  EXPECT_GT(s.client_doorbell_flushes, 0u);
+  EXPECT_GE(s.peak_open_conns, 1u);
+  // Latency tail came out of the histogram in order.
+  EXPECT_GT(s.p50_ns, 0u);
+  EXPECT_LE(s.p50_ns, s.p99_ns);
+  EXPECT_LE(s.p99_ns, s.p999_ns);
+}
+
+TEST(ScenarioEngine, KvServiceShedsBestEffortUnderTinyQuota) {
+  // One BestEffort server tenant, 12 connection attempts at 1 ring page
+  // each against an 8-page quota (each client affords its 4 conns: ring +
+  // value window = 2 pages per conn): 8 accepts, the rest shed at the
+  // admission probe. The run still completes the work the surviving
+  // connections can carry and audits clean.
+  const ParseResult parsed = parse_spec(
+      "name = t\npattern = kv-server\nhosts = 4\nservers = 1\n"
+      "tenants_per_host = 1\nops_per_tenant = 4\nkeys = 16\n"
+      "value_bytes = 256\nlarge_value_bytes = 256\nlarge_fraction = 0\n"
+      "connections_per_client = 4\npipeline_window = 4\n"
+      "tenant_quota_pages = 8\nguaranteed_fraction = 0\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ScenarioEngine engine(parsed.spec);
+  ASSERT_TRUE(ok(engine.build()));
+  ASSERT_TRUE(ok(engine.run()));
+  const ScenarioReport& r = engine.report();
+  const KvServiceStats& s = engine.kv_service_stats();
+  EXPECT_EQ(s.conns_accepted, 8u);
+  EXPECT_GT(s.conns_shed, 0u);
+  EXPECT_GT(r.counters.transfers_ok, 0u);
+  EXPECT_EQ(r.counters.transfers_failed, 0u);
+  EXPECT_TRUE(r.invariants_ok) << (r.violations.empty() ? "" : r.violations[0]);
+}
+
 TEST(ScenarioEngine, ChurnRegistersAndTearsDownClean) {
   const ScenarioReport r = run_spec(
       "name = t\npattern = skewed-kv\nhosts = 4\nservers = 1\n"

@@ -1,0 +1,218 @@
+// kv_fault_test - fault injection on the rendezvous data path: wire/DMA
+// corruption mid-transfer, PinAdmission rejection mid-transfer, and a lost
+// RDMA leg must all fail the request cleanly - detected end-to-end, nothing
+// committed, zero stranded pinned frames or governor charge - and every
+// outcome is a deterministic function of the fault plan's seed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "svc_util.h"
+
+namespace vialock::svc {
+namespace {
+
+using fault::FaultAction;
+using fault::FaultRule;
+using fault::FaultSite;
+
+/// The armed-window NicDma event order for one request round trip is:
+/// event 0 = the client gathers the request slot, event 1 = the server
+/// gathers its payload (RDMA-write value or reply), event 2 = the reply.
+/// (The RdmaRead deliver path copies remote frames directly and has no
+/// gather, so PUT-side rendezvous corruption is exercised via GET.)
+constexpr std::uint64_t kServerGatherEvent = 1;
+
+TEST_F(KvBox, RendezvousGetCorruptionIsDetectedEndToEnd) {
+  const std::uint32_t t =
+      server->add_tenant({"t0", 256, pinmgr::QosTier::Guaranteed});
+  std::uint32_t conn = 0;
+  ASSERT_TRUE(ok(client->connect(*server, t, conn)));
+  ASSERT_EQ(put_now(conn, 42, 4096).status, KvStatus::Ok);
+
+  // Flip one byte while the server's NIC gathers the 4 KB RDMA write.
+  arm({.site = FaultSite::NicDma,
+       .action = FaultAction::Corrupt,
+       .probability = 1.0,
+       .after_events = kServerGatherEvent,
+       .max_triggers = 1});
+  const KvResult got = get_now(conn, 42);
+  EXPECT_EQ(got.status, KvStatus::Ok);
+  EXPECT_TRUE(got.rendezvous);
+  // The damage arrives silently; the end-to-end checksum catches it.
+  EXPECT_FALSE(got.data_ok);
+  EXPECT_EQ(client->stats().data_corrupt, 1u);
+
+  // The stored value itself is intact: a clean retry serves good bytes.
+  disarm();
+  const KvResult again = get_now(conn, 42);
+  EXPECT_EQ(again.status, KvStatus::Ok);
+  EXPECT_TRUE(again.data_ok);
+}
+
+TEST_F(KvBox, CorruptInlinePutIsRejectedNotCommitted) {
+  const std::uint32_t t =
+      server->add_tenant({"t0", 256, pinmgr::QosTier::Guaranteed});
+  std::uint32_t conn = 0;
+  ASSERT_TRUE(ok(client->connect(*server, t, conn)));
+
+  // Corrupt the client's very next gather: the request slot, header plus
+  // inline value. Where the flipped byte lands depends on the plan seed -
+  // in the value region it must surface as KvStatus::Corrupt and gate the
+  // commit; in the header it surfaces as a dropped bad_request. Sweep a
+  // fixed seed list (each arm() restarts the event count) so both clean
+  // outcomes are exercised deterministically.
+  std::uint64_t corrupt_seen = 0;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    arm({.site = FaultSite::NicDma,
+         .action = FaultAction::Corrupt,
+         .probability = 1.0,
+         .after_events = 0,
+         .max_triggers = 1},
+        seed);
+    const std::uint64_t key = 1000 + seed;
+    stage_put(conn, key, 240);
+    const std::vector<KvResult> r = pump(conn);
+    disarm();
+    if (r.size() == 1 && r[0].status == KvStatus::Corrupt) {
+      ++corrupt_seen;
+      // The damaged value was never committed.
+      EXPECT_EQ(get_now(conn, key).status, KvStatus::NotFound);
+    } else if (client->inflight(conn) > 0) {
+      // A header hit: the server dropped the unparseable request (or the
+      // reply no longer correlates), leaving a hole in the pipeline. Tear
+      // the connection down abruptly and reconnect - the reclamation path
+      // the teardown tests pin in detail.
+      ASSERT_TRUE(ok(client->abandon(conn)));
+      server->drain();
+      ASSERT_TRUE(ok(client->connect(*server, t, conn)));
+    }
+  }
+  EXPECT_GT(corrupt_seen, 0u);
+  EXPECT_EQ(server->stats().corrupt_payloads, corrupt_seen);
+  EXPECT_GT(server->stats().bad_requests, 0u);
+
+  // With the noise gone the same transfer commits and verifies.
+  EXPECT_EQ(put_now(conn, 9, 240).status, KvStatus::Ok);
+  EXPECT_TRUE(get_now(conn, 9).data_ok);
+}
+
+TEST_F(KvBox, PinAdmissionRejectionMidTransferStrandsNoCharge) {
+  const std::uint32_t t =
+      server->add_tenant({"t0", 256, pinmgr::QosTier::Guaranteed});
+  std::uint32_t conn = 0;
+  ASSERT_TRUE(ok(client->connect(*server, t, conn)));
+  ASSERT_EQ(put_now(conn, 1, 64).status, KvStatus::Ok);  // inline warm-up
+  const std::uint32_t charged_before = gov->total_charged();
+  const std::uint32_t pinned_before = cluster->node(sn).kernel().pinned_frames();
+
+  // The first large PUT needs an on-the-fly arena registration; the governor
+  // rejects the admission mid-transfer.
+  arm({.site = FaultSite::PinAdmission,
+       .action = FaultAction::Fail,
+       .probability = 1.0});
+  const KvResult put = put_now(conn, 77, 4096);
+  EXPECT_EQ(put.status, KvStatus::RendezvousFailed);
+  EXPECT_EQ(server->stats().rendezvous_failed, 1u);
+  // Clean failure: key absent, zero stranded charge, zero stranded pins.
+  EXPECT_EQ(server->tenant_keys(t), 1u);
+  EXPECT_EQ(gov->total_charged(), charged_before);
+  EXPECT_EQ(cluster->node(sn).kernel().pinned_frames(), pinned_before);
+
+  // Once admission recovers the same transfer goes through.
+  disarm();
+  const KvResult retry = put_now(conn, 77, 4096);
+  EXPECT_EQ(retry.status, KvStatus::Ok);
+  EXPECT_TRUE(retry.rendezvous);
+  EXPECT_EQ(server->tenant_keys(t), 2u);
+
+  // And the full teardown still audits clean.
+  ASSERT_TRUE(ok(client->close(conn)));
+  server->shutdown();
+  EXPECT_EQ(gov->total_charged(), 0u);
+  EXPECT_EQ(cluster->node(sn).kernel().pinned_frames(), 0u);
+}
+
+TEST_F(KvBox, LostRdmaLegBreaksTheConnButStrandsNothing) {
+  const std::uint32_t t =
+      server->add_tenant({"t0", 256, pinmgr::QosTier::Guaranteed});
+  std::uint32_t conn = 0;
+  ASSERT_TRUE(ok(client->connect(*server, t, conn)));
+
+  // Wire events in the armed window: 0 = request, 1 = the server's RdmaRead
+  // of the client window. A lost RdmaRead carries its response with it, and
+  // these are reliable VIs: the failed leg breaks the server-side VI, the
+  // reply bounces, and the server auto-abandons the connection - the full
+  // mid-transfer reclamation path.
+  arm({.site = FaultSite::Wire,
+       .action = FaultAction::Drop,
+       .probability = 1.0,
+       .after_events = 1,
+       .max_triggers = 1});
+  stage_put(conn, 42, 4096);
+  const std::vector<KvResult> r = pump(conn);
+  EXPECT_TRUE(r.empty());  // the reply died with the broken VI
+  EXPECT_EQ(server->stats().rendezvous_failed, 1u);
+  EXPECT_EQ(server->stats().conns_abandoned, 1u);
+  EXPECT_EQ(server->open_conns(), 0u);
+  // Nothing was committed under the lost transfer.
+  EXPECT_EQ(server->tenant_keys(t), 0u);
+
+  // Client-side cleanup of the half-dead connection, then the tier audits
+  // clean: zero stranded charge, zero stranded pins.
+  disarm();
+  ASSERT_TRUE(ok(client->abandon(conn)));
+  EXPECT_EQ(client->stats().requests_lost, 1u);
+  server->shutdown();
+  EXPECT_EQ(gov->total_charged(), 0u);
+  EXPECT_EQ(cluster->node(sn).kernel().pinned_frames(), 0u);
+}
+
+/// One noisy run: 12 inline PUTs under a 50% DMA-corruption rule. Returns
+/// the aggregate outcome scalars the determinism check compares.
+struct NoisyOutcome {
+  std::uint64_t ok = 0;
+  std::uint64_t corrupt = 0;
+  std::uint64_t bad_requests = 0;
+  std::uint64_t responses = 0;
+  bool operator==(const NoisyOutcome&) const = default;
+};
+
+NoisyOutcome run_noisy(std::uint64_t plan_seed) {
+  KvRig rig;
+  rig.build();
+  const std::uint32_t t =
+      rig.server->add_tenant({"t0", 256, pinmgr::QosTier::Guaranteed});
+  std::uint32_t conn = 0;
+  EXPECT_TRUE(ok(rig.client->connect(*rig.server, t, conn)));
+  rig.arm({.site = FaultSite::NicDma,
+           .action = FaultAction::Corrupt,
+           .probability = 0.5},
+          plan_seed);
+  NoisyOutcome out;
+  for (std::uint64_t k = 0; k < 12; ++k) {
+    // A corrupted header never gets a reply, permanently occupying a window
+    // slot - skip issuing once the window cannot take another request.
+    if (!rig.client->can_issue(conn)) break;
+    rig.stage_put(conn, k, 240);
+    for (const KvResult& r : rig.pump(conn)) {
+      if (r.status == KvStatus::Ok) ++out.ok;
+      if (r.status == KvStatus::Corrupt) ++out.corrupt;
+    }
+  }
+  out.bad_requests = rig.server->stats().bad_requests;
+  out.responses = rig.client->stats().responses;
+  return out;
+}
+
+TEST(KvFaultDeterminism, SameFaultSeedSameOutcome) {
+  const NoisyOutcome a = run_noisy(11);
+  const NoisyOutcome b = run_noisy(11);
+  EXPECT_TRUE(a == b);
+  // The noise actually bit (otherwise this test proves nothing).
+  EXPECT_GT(a.corrupt + a.bad_requests, 0u);
+  EXPECT_GT(a.ok, 0u);
+}
+
+}  // namespace
+}  // namespace vialock::svc
