@@ -29,6 +29,11 @@ Outcome run(EvictionPolicy policy) {
   via::Cluster cluster;
   via::NodeSpec spec = bench::eval_node(via::PolicyKind::Kiobuf);
   spec.nic.tpt_entries = 512;  // ~30 cached 16-page buffers after overheads
+  // Pin the classic one-entry-per-page layout: this ablation varies the
+  // eviction policy under TPT-entry pressure, and superpage compaction
+  // (DESIGN.md section 14) would absorb the pressure entirely (a 16-page
+  // buffer collapses to one entry, the TPT never fills, LRU == FIFO).
+  spec.nic.max_superpage_order = 0;
   const auto n0 = cluster.add_node(spec);
   const auto n1 = cluster.add_node(spec);
   Channel::Config cfg;

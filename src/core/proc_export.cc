@@ -12,7 +12,10 @@ std::string regcache_status(const RegCacheStats& s) {
      << "registrations " << s.registrations << "\n"
      << "deregistrations " << s.deregistrations << "\n"
      << "reclaim_evictions " << s.reclaim_evictions << "\n"
-     << "bad_releases " << s.bad_releases << "\n";
+     << "bad_releases " << s.bad_releases << "\n"
+     << "lookaside_hits " << s.lookaside_hits << "\n"
+     << "lookaside_misses " << s.lookaside_misses << "\n"
+     << "lookaside_invalidations " << s.lookaside_invalidations << "\n";
   return os.str();
 }
 

@@ -25,6 +25,9 @@ RegistrationCache::RegistrationCache(via::Vipl& vipl, Config config)
     s.counter("deregistrations", stats_.deregistrations);
     s.counter("reclaim_evictions", stats_.reclaim_evictions);
     s.counter("bad_releases", stats_.bad_releases);
+    s.counter("lookaside_hits", stats_.lookaside_hits);
+    s.counter("lookaside_misses", stats_.lookaside_misses);
+    s.counter("lookaside_invalidations", stats_.lookaside_invalidations);
     s.gauge("idle", idle_.size());
     s.gauge("live", rows_.size());
   });
@@ -158,7 +161,16 @@ void RegistrationCache::rebuild_tops() {
     tops_[b] = keys_[std::min((b + 1) << kBlockShift, n) - 1];
 }
 
+void RegistrationCache::lookaside_fill(simkern::VAddr addr, std::uint64_t len,
+                                       std::size_t row) {
+  lookaside_[lookaside_slot(addr, len)] =
+      LookasideSlot{addr, len, static_cast<std::uint32_t>(row), generation_};
+}
+
 void RegistrationCache::insert_entry(Entry&& e) {
+  // Structural change: every row index shifts, so every lookaside entry is
+  // stale. One generation bump retires them all.
+  lookaside_invalidate_all();
   const auto pos =
       std::lower_bound(rows_.begin(), rows_.end(), e) - rows_.begin();
   const auto [it, inserted] = ids_.emplace(e.handle.id, e.handle.vaddr);
@@ -174,6 +186,7 @@ void RegistrationCache::insert_entry(Entry&& e) {
 
 void RegistrationCache::erase_entry(
     std::map<std::uint64_t, simkern::VAddr>::iterator it) {
+  lookaside_invalidate_all();
   const std::size_t pos = row_of(it->second, it->first);
   assert(pos < rows_.size());
   Entry& e = rows_[pos];
@@ -200,16 +213,38 @@ KStatus RegistrationCache::acquire(simkern::VAddr addr, std::uint64_t len,
     return st;
   };
   ++tick_;
-  if (Entry* e = find_covering(addr, len)) {
+  const auto serve_hit = [&](Entry& e) {
     ++stats_.hits;
-    if (e->refs == 0) {
-      const auto idle = idle_.find(evict_key(*e));
-      if (idle != idle_.end() && idle->second == e->handle.id)
+    if (e.refs == 0) {
+      const auto idle = idle_.find(evict_key(e));
+      if (idle != idle_.end() && idle->second == e.handle.id)
         idle_.erase(idle);
     }
-    ++e->refs;
-    e->last_use = tick_;
-    out = e->handle;
+    ++e.refs;
+    e.last_use = tick_;
+    out = e.handle;
+  };
+
+  // Lookaside first: an exact (addr, len) repeat whose generation still
+  // matches resolves in one slot probe - no key scan at all. The stored row
+  // index is trustworthy because any insert/erase since the fill would have
+  // bumped generation_; with the entry set unchanged, find_covering would
+  // return this very row (asserted in debug builds).
+  const LookasideSlot& slot = lookaside_[lookaside_slot(addr, len)];
+  if (slot.gen == generation_ && slot.addr == addr && slot.len == len) {
+    assert(slot.row < rows_.size());
+    Entry& e = rows_[slot.row];
+    assert(find_covering(addr, len) == &e &&
+           "lookaside diverged from the authoritative index");
+    ++stats_.lookaside_hits;
+    serve_hit(e);
+    return charge(KStatus::Ok);
+  }
+  ++stats_.lookaside_misses;
+
+  if (Entry* e = find_covering(addr, len)) {
+    lookaside_fill(addr, len, static_cast<std::size_t>(e - rows_.data()));
+    serve_hit(*e);
     return charge(KStatus::Ok);
   }
 
@@ -227,6 +262,9 @@ KStatus RegistrationCache::acquire(simkern::VAddr addr, std::uint64_t len,
       e.last_use = tick_;
       e.seq = ++seq_;
       insert_entry(std::move(e));
+      // Fill after the insert: the bump it performed retired every older
+      // slot, and the fresh row index is valid under the new generation.
+      lookaside_fill(addr, len, row_of(handle.vaddr, handle.id));
       out = handle;
       return charge(KStatus::Ok);
     }

@@ -22,6 +22,7 @@
 // pinned pages cooperatively before the kernel has to swap hot ones.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -61,6 +62,12 @@ struct RegCacheStats {
                                    ///< already-idle entry (caller bug, kept
                                    ///< a safe no-op - never corrupts the
                                    ///< cache, in any build type)
+  std::uint64_t lookaside_hits = 0;    ///< acquire served by the lookaside
+                                       ///< (zero index scans)
+  std::uint64_t lookaside_misses = 0;  ///< acquire fell through to the
+                                       ///< dual-keyed index
+  std::uint64_t lookaside_invalidations = 0;  ///< generation bumps (every
+                                              ///< structural change)
 };
 
 class RegistrationCache : public pinmgr::ReclaimClient {
@@ -146,6 +153,38 @@ class RegistrationCache : public pinmgr::ReclaimClient {
   /// absent. O(log n) over the packed keys.
   [[nodiscard]] std::size_t row_of(simkern::VAddr vaddr,
                                    std::uint64_t id) const;
+
+  // --- per-VI lookaside ------------------------------------------------------
+  // A direct-mapped cache keyed on the exact (addr, len) of recent acquires,
+  // sitting in front of the dual-keyed index: a hit touches one slot and one
+  // row - zero key scans. Stored row indexes are only trusted while `gen`
+  // equals generation_, which insert_entry/erase_entry bump on EVERY
+  // structural change (both shift rows_). While the generation matches, the
+  // entry set is unchanged, so find_covering(addr, len) would return exactly
+  // the row recorded at fill time - an eviction, deregistration, or
+  // refresh-relocation can therefore never serve a stale TPT index through
+  // the lookaside (DESIGN.md section 14.3; debug builds assert equivalence).
+  struct LookasideSlot {
+    simkern::VAddr addr = 0;
+    std::uint64_t len = 0;
+    std::uint32_t row = 0;
+    std::uint64_t gen = 0;  ///< valid iff == generation_
+  };
+  static constexpr std::size_t kLookasideSlots = 64;
+  [[nodiscard]] static std::size_t lookaside_slot(simkern::VAddr addr,
+                                                  std::uint64_t len) {
+    // SplitMix64-style mix of the exact request key.
+    std::uint64_t h = addr ^ (len * 0x9E3779B97F4A7C15ULL);
+    h ^= h >> 30;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 27;
+    return static_cast<std::size_t>(h % kLookasideSlots);
+  }
+  void lookaside_fill(simkern::VAddr addr, std::uint64_t len, std::size_t row);
+  void lookaside_invalidate_all() {
+    ++generation_;
+    ++stats_.lookaside_invalidations;
+  }
   /// Rebuild tops_ from keys_ (O(n/64); runs on the insert/erase slow path).
   void rebuild_tops();
   void insert_entry(Entry&& e);
@@ -187,6 +226,8 @@ class RegistrationCache : public pinmgr::ReclaimClient {
   std::map<std::uint64_t, std::uint64_t> idle_;  ///< evict key -> id
   std::uint64_t tick_ = 0;
   std::uint64_t seq_ = 0;
+  std::array<LookasideSlot, kLookasideSlots> lookaside_{};
+  std::uint64_t generation_ = 1;  ///< starts above LookasideSlot::gen's 0
 };
 
 }  // namespace vialock::core

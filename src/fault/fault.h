@@ -46,9 +46,10 @@ enum class FaultSite : std::uint8_t {
   Connection,   ///< fabric transmit: fail (connection reset, both VIs break)
   PinAdmission, ///< PinGovernor::charge(): fail (spurious quota-check race)
   PinReclaim,   ///< PinGovernor::on_memory_pressure(): drop (reclaim pass fails)
+  TptAlloc,     ///< Tpt::alloc via the kernel agent: fail (table claim refused)
 };
 
-inline constexpr std::size_t kNumFaultSites = 11;
+inline constexpr std::size_t kNumFaultSites = 12;
 
 [[nodiscard]] constexpr std::string_view to_string(FaultSite s) {
   switch (s) {
@@ -63,6 +64,7 @@ inline constexpr std::size_t kNumFaultSites = 11;
     case FaultSite::Connection: return "connection";
     case FaultSite::PinAdmission: return "pin-admission";
     case FaultSite::PinReclaim: return "pin-reclaim";
+    case FaultSite::TptAlloc: return "tpt-alloc";
   }
   return "?";
 }

@@ -250,19 +250,21 @@ KStatus Comm::ensure_link(Rank i, Rank j) {
       !ok(st)) {
     return st;
   }
-  // Pre-post the receive credits on both ends.
+  // Pre-post the receive credits on both ends - one gather-list doorbell
+  // arms the whole credit ring per side.
   for (const Rank r : {i, j}) {
     Side& s = *sides_[r];
     const Rank peer = r == i ? j : i;
     Side::Link& link = s.links[peer];
+    std::vector<via::Vipl::RecvPost> posts;
+    posts.reserve(config_.eager_credits);
     for (std::uint32_t c = 0; c < config_.eager_credits; ++c) {
-      if (const KStatus st = s.vipl.post_recv(
-              link.vi, link.slots_mh,
-              link.slots + static_cast<std::uint64_t>(c) * slot, slot,
-              /*cookie=*/c);
-          !ok(st)) {
-        return st;
-      }
+      posts.push_back({link.slots_mh,
+                       link.slots + static_cast<std::uint64_t>(c) * slot, slot,
+                       /*cookie=*/c});
+    }
+    if (const KStatus st = s.vipl.post_recv_batch(link.vi, posts); !ok(st)) {
+      return st;
     }
   }
   return KStatus::Ok;

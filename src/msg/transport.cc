@@ -156,8 +156,17 @@ KStatus Channel::init() {
         !ok(st)) {
       return st;
     }
+    // Pre-post every receive slot with one gather-list submission: a single
+    // doorbell arms the whole ring instead of one PCI write per slot.
+    std::vector<via::Vipl::RecvPost> posts;
+    posts.reserve(side->num_slots);
     for (std::uint32_t i = 0; i < side->num_slots; ++i) {
-      if (const KStatus st = side->repost(i); !ok(st)) return st;
+      posts.push_back({side->slots_mh, side->slot_addr(i), side->slot_size,
+                       /*cookie=*/i});
+    }
+    if (const KStatus st = side->vipl.post_recv_batch(side->vi, posts);
+        !ok(st)) {
+      return st;
     }
     side->cache = std::make_unique<core::RegistrationCache>(
         side->vipl, core::RegistrationCache::Config{
@@ -382,7 +391,8 @@ KStatus Channel::reliable_push(Side& from, Side& to, std::uint8_t kind,
                                    : send_spans.active_context();
   hdr.trace_id = frame_ctx.trace_id;
   hdr.span_id = frame_ctx.span_id;
-  std::vector<std::byte> frame(sizeof(FrameHeader) + payload.size());
+  auto frame_lease = arena_.lease(sizeof(FrameHeader) + payload.size());
+  std::vector<std::byte>& frame = *frame_lease;
   static_cast<void>(wire::store_pod(frame, hdr));  // frame covers the header
   if (!payload.empty())
     std::memcpy(frame.data() + sizeof hdr, payload.data(), payload.size());
@@ -438,7 +448,8 @@ KStatus Channel::reliable_push(Side& from, Side& to, std::uint8_t kind,
       continue;
     }
     const auto slot = static_cast<std::uint32_t>(rc->cookie);
-    std::vector<std::byte> rx(rc->transferred);
+    auto rx_lease = arena_.lease(rc->transferred);
+    std::vector<std::byte>& rx = *rx_lease;
     const bool readable =
         rc->done_ok() &&
         ok(to.host.kernel().read_user(to.vipl.pid(), to.slot_addr(slot), rx));
@@ -507,8 +518,8 @@ KStatus Channel::push_ctrl(Side& from, Side& to, std::span<const std::byte> msg,
                            Descriptor& completion) {
   if (!config_.reliability.enabled)
     return eager_push(from, to, msg, completion);
-  std::vector<std::byte> out;
-  return reliable_push(from, to, kFrameCtrl, msg, out);
+  auto out_lease = arena_.lease(0);
+  return reliable_push(from, to, kFrameCtrl, msg, *out_lease);
 }
 
 KStatus Channel::acquire_with_retry(Side& side, VAddr addr, std::uint32_t len,
@@ -537,7 +548,8 @@ KStatus Channel::reliable_rdma(const MemHandle& src_mh, VAddr src_addr,
   // End-to-end integrity: checksum the source payload once; the FIN exchange
   // is modelled by verifying the receiver's copy against it after every
   // write attempt.
-  std::vector<std::byte> buf(len);
+  auto buf_lease = arena_.lease(len);
+  std::vector<std::byte>& buf = *buf_lease;
   if (const KStatus st = sk.read_user(src_pid_, src_addr, buf); !ok(st))
     return st;
   const std::uint32_t want = fault::checksum32(buf);
@@ -610,14 +622,16 @@ KStatus Channel::reliable_eager(std::uint64_t src_off, std::uint64_t dst_off,
                                 std::uint32_t len) {
   if (len + sizeof(FrameHeader) > config_.eager_slot_size)
     return KStatus::Inval;
-  std::vector<std::byte> payload(len);
+  auto payload_lease = arena_.lease(len);
+  std::vector<std::byte>& payload = *payload_lease;
   if (const KStatus st =
           sender_node().kernel().read_user(src_pid_, src_heap_ + src_off,
                                            payload);
       !ok(st)) {
     return st;
   }
-  std::vector<std::byte> out;
+  auto out_lease = arena_.lease(0);
+  std::vector<std::byte>& out = *out_lease;
   if (const KStatus st = reliable_push(*src_, *dst_, kFrameData, payload, out);
       !ok(st)) {
     return st;
@@ -782,7 +796,8 @@ KStatus Channel::pio_rendezvous(std::uint64_t src_off, std::uint64_t dst_off,
     ++stats_.window_imports;
   }
   simkern::Kernel& sk = sender_node().kernel();
-  std::vector<std::byte> chunk(64 * 1024);
+  auto chunk_lease = arena_.lease(64 * 1024);
+  std::vector<std::byte>& chunk = *chunk_lease;
   std::uint32_t done = 0;
   while (done < len) {
     const auto n = std::min<std::uint32_t>(
@@ -809,7 +824,8 @@ KStatus Channel::pio_rendezvous(std::uint64_t src_off, std::uint64_t dst_off,
   //    exporter's TPT, so an injected TPT corruption can land them in the
   //    wrong frame.
   if (config_.reliability.enabled) {
-    std::vector<std::byte> chk(len);
+    auto chk_lease = arena_.lease(len);
+    std::vector<std::byte>& chk = *chk_lease;
     if (const KStatus st =
             sk.read_user(src_pid_, src_heap_ + src_off, chk);
         !ok(st)) {

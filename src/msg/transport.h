@@ -42,6 +42,7 @@
 
 #include "core/reg_cache.h"
 #include "fault/fault.h"
+#include "util/arena.h"
 #include "via/node.h"
 #include "via/vipl.h"
 
@@ -219,6 +220,11 @@ class Channel {
   std::unique_ptr<Side> src_;
   std::unique_ptr<Side> dst_;
   bool initialised_ = false;
+
+  /// Scratch buffers for frame builds, checksum verifies and staging copies:
+  /// per-transfer lifetimes nest strictly, so the arena's LIFO leases replace
+  /// a malloc/free pair per transfer on the host hot path (no simulated cost).
+  util::BufferArena arena_;
 
   /// Metrics, published on the sender node's registry at init():
   /// "msg.ch.p<sender_pid>.d<receiver_pid>". Empty until then.

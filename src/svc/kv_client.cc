@@ -155,10 +155,16 @@ KStatus KvClient::connect(KvServer& server, std::uint32_t tenant,
   c.window_mh = window_mh;
   c.slot_busy.assign(config_.window, false);
 
-  // Post the response receives before the server can reply.
-  for (std::uint32_t i = 0; i < config_.window; ++i) {
-    (void)vipl_->post_recv(c.vi, c.rings_mh, rsp_slot(c, i), config_.slot_size,
-                           cookie_of(c.gen, i));
+  // Post the response receives before the server can reply - the whole
+  // window armed with one gather-list doorbell.
+  {
+    std::vector<via::Vipl::RecvPost> posts;
+    posts.reserve(config_.window);
+    for (std::uint32_t i = 0; i < config_.window; ++i) {
+      posts.push_back(
+          {c.rings_mh, rsp_slot(c, i), config_.slot_size, cookie_of(c.gen, i)});
+    }
+    (void)vipl_->post_recv_batch(c.vi, posts);
   }
 
   std::uint32_t server_conn = 0;

@@ -213,7 +213,16 @@ KStatus KvServer::accept(std::uint32_t tenant, via::NodeId client_node,
   c.rings = rings;
   c.rings_mh = mh;
   vi_to_conn_[vi] = id;
-  for (std::uint32_t i = 0; i < config_.recv_credits; ++i) repost(c, i);
+  {
+    // Arm the whole request ring with one gather-list doorbell.
+    std::vector<via::Vipl::RecvPost> posts;
+    posts.reserve(config_.recv_credits);
+    for (std::uint32_t i = 0; i < config_.recv_credits; ++i) {
+      posts.push_back(
+          {c.rings_mh, req_slot(c, i), config_.slot_size, cookie_of(c.gen, i)});
+    }
+    (void)tenant_of(c).vipl->post_recv_batch(c.vi, posts);
+  }
 
   ++stats_.conns_accepted;
   ++open_conns_;

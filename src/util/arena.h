@@ -1,0 +1,87 @@
+// arena.h - reusable byte-buffer arena for per-transfer bookkeeping.
+//
+// The transport and service tiers used to materialise a fresh
+// std::vector<std::byte> for every frame build, checksum verify, and staging
+// copy - malloc/free churn on the hottest host path, invisible to virtual
+// time but dominating wall-clock at E5/E24 scale. A BufferArena keeps a
+// small stack of buffers whose *capacity* survives between transfers: a
+// lease resizes (never reallocates, once warm) and returns the buffer to the
+// arena at scope exit. Leases nest - the transport's rendezvous path builds
+// a control frame while a payload buffer is live - and the stack discipline
+// matches the strictly nested lifetimes of per-transfer scratch data.
+//
+// Purely a host-side optimisation: no simulated cost, no effect on virtual
+// time or any deterministic report.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vialock::util {
+
+class BufferArena {
+ public:
+  /// RAII lease of one arena buffer, sized to `size` (contents zeroed).
+  /// Returns the buffer to the arena at destruction; leases must unwind in
+  /// LIFO order (scope nesting gives this for free).
+  class Lease {
+   public:
+    Lease(BufferArena& arena, std::size_t size) : arena_(arena) {
+      buf_ = &arena_.push(size);
+    }
+    ~Lease() { arena_.pop(buf_); }
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    [[nodiscard]] std::vector<std::byte>& operator*() { return *buf_; }
+    [[nodiscard]] std::vector<std::byte>* operator->() { return buf_; }
+    [[nodiscard]] std::vector<std::byte>& get() { return *buf_; }
+
+   private:
+    BufferArena& arena_;
+    std::vector<std::byte>* buf_;
+  };
+
+  [[nodiscard]] Lease lease(std::size_t size) { return Lease(*this, size); }
+
+  /// Buffers ever materialised (the arena's footprint high-water mark).
+  [[nodiscard]] std::size_t depth_high_water() const { return stack_.size(); }
+  /// Total leases served (each one a vector allocation in the old scheme).
+  [[nodiscard]] std::uint64_t leases() const { return leases_; }
+
+ private:
+  std::vector<std::byte>& push(std::size_t size) {
+    // Outstanding leases hold pointers into stack_, so it must never
+    // reallocate while one is live: capacity is reserved up front and the
+    // nesting depth bounded (real nesting is 2-3 deep).
+    assert(depth_ < kMaxDepth && "BufferArena nesting too deep");
+    if (depth_ == stack_.size()) stack_.emplace_back();
+    std::vector<std::byte>& b = stack_[depth_++];
+    ++leases_;
+    b.assign(size, std::byte{0});  // resize + clear; capacity is retained
+    return b;
+  }
+  void pop(std::vector<std::byte>* buf) {
+    assert(depth_ > 0 && buf == &stack_[depth_ - 1] &&
+           "BufferArena leases must unwind in LIFO order");
+    (void)buf;
+    --depth_;
+  }
+
+  static constexpr std::size_t kMaxDepth = 64;
+
+  static std::vector<std::vector<std::byte>> make_stack() {
+    std::vector<std::vector<std::byte>> s;
+    s.reserve(kMaxDepth);
+    return s;
+  }
+
+  std::vector<std::vector<std::byte>> stack_ = make_stack();
+  std::size_t depth_ = 0;
+  std::uint64_t leases_ = 0;
+};
+
+}  // namespace vialock::util

@@ -17,7 +17,9 @@ std::string agent_status(const AgentStats& s) {
      << "tpt_full " << s.tpt_full << "\n"
      << "admission_rejects " << s.admission_rejects << "\n"
      << "lazy_deregs " << s.lazy_deregs << "\n"
-     << "refresh_failures " << s.refresh_failures << "\n";
+     << "refresh_failures " << s.refresh_failures << "\n"
+     << "tpt_entries_programmed " << s.tpt_entries_programmed << "\n"
+     << "refresh_splits " << s.refresh_splits << "\n";
   return os.str();
 }
 
@@ -39,6 +41,8 @@ KernelAgent::KernelAgent(simkern::Kernel& kern, Nic& nic, LockPolicy& policy)
         s.counter("admission_rejects", stats_.admission_rejects);
         s.counter("lazy_deregs", stats_.lazy_deregs);
         s.counter("refresh_failures", stats_.refresh_failures);
+        s.counter("tpt_entries_programmed", stats_.tpt_entries_programmed);
+        s.counter("refresh_splits", stats_.refresh_splits);
         s.gauge("live_registrations", regs_.size());
       });
   kern_.procfs().mount("via/agent", this,
@@ -99,30 +103,23 @@ KStatus KernelAgent::register_mem(simkern::Pid pid, simkern::VAddr addr,
   }
 
   const auto pages = static_cast<std::uint32_t>(reg.lock.pfns.size());
-  TptIndex base = nic_.tpt().alloc(pages);
-  if (base == kInvalidTptIndex && governor_ &&
-      governor_->lazy_queue_depth() > 0) {
-    // Deferred deregistrations still hold TPT slots; drain and retry once.
-    (void)governor_->flush();
-    base = nic_.tpt().alloc(pages);
-  }
+  const std::vector<SuperpageRun> runs = decompose_superpages(
+      reg.lock.pfns, nic_.config().max_superpage_order);
+  const auto entries = static_cast<std::uint32_t>(runs.size());
+  const TptIndex base = tpt_alloc(entries);
   if (base == kInvalidTptIndex) {
+    // Roll back everything claimed so far: governor charge, then the pin.
     if (governor_) governor_->uncharge(pid, reg.lock.pfns);
     policy_.unlock(reg.lock);
     ++stats_.tpt_full;
     return charge(KStatus::NoSpc);
   }
-  tpt_alloc_pages_.add(pages);
-  for (std::uint32_t i = 0; i < pages; ++i) {
-    nic_.program_tpt(base + i, TptEntry{.valid = true,
-                                        .pfn = reg.lock.pfns[i],
-                                        .tag = tag,
-                                        .rdma_write_enable = opts.rdma_write,
-                                        .rdma_read_enable = opts.rdma_read});
-  }
+  tpt_alloc_pages_.add(entries);
+  program_runs(base, runs, reg.lock.pfns, tag, opts);
 
   out = MemHandle{.tpt_base = base,
                   .pages = pages,
+                  .tpt_count = entries,
                   .vaddr = addr,
                   .length = len,
                   .tag = tag,
@@ -173,9 +170,44 @@ KStatus KernelAgent::deregister_mem(const MemHandle& handle) {
   return charge(KStatus::Ok);
 }
 
+TptIndex KernelAgent::tpt_alloc(std::uint32_t count) {
+  if (faults_) {
+    if (const auto d = faults_->check(fault::FaultSite::TptAlloc);
+        d && (d->action == fault::FaultAction::Fail ||
+              d->action == fault::FaultAction::Drop)) {
+      return kInvalidTptIndex;
+    }
+  }
+  TptIndex base = nic_.tpt().alloc(count);
+  if (base == kInvalidTptIndex && governor_ &&
+      governor_->lazy_queue_depth() > 0) {
+    // Deferred deregistrations still hold TPT slots; drain and retry once.
+    (void)governor_->flush();
+    base = nic_.tpt().alloc(count);
+  }
+  return base;
+}
+
+void KernelAgent::program_runs(TptIndex base, std::span<const SuperpageRun> runs,
+                               std::span<const simkern::Pfn> pfns,
+                               ProtectionTag tag, RegisterOptions opts) {
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const SuperpageRun& r = runs[i];
+    nic_.program_tpt(base + static_cast<TptIndex>(i),
+                     TptEntry{.valid = true,
+                              .pfn = pfns[r.page_start],
+                              .tag = tag,
+                              .rdma_write_enable = opts.rdma_write,
+                              .rdma_read_enable = opts.rdma_read,
+                              .page_start = r.page_start,
+                              .order = r.order});
+  }
+  stats_.tpt_entries_programmed += runs.size();
+}
+
 std::uint32_t KernelAgent::finish_dereg(Registration& reg) {
   const std::uint32_t pages = reg.handle.pages;
-  nic_.tpt().release(reg.handle.tpt_base, pages);
+  nic_.tpt().release(reg.handle.tpt_base, reg.handle.tpt_count);
   if (governor_) governor_->uncharge(reg.lock.pid, reg.lock.pfns);
   policy_.unlock(reg.lock);
   ++stats_.deregistrations;
@@ -205,7 +237,7 @@ void KernelAgent::release_tenant(simkern::Pid pid) {
   if (governor_) governor_->remove_tenant(pid);
 }
 
-KStatus KernelAgent::refresh_tpt(const MemHandle& handle) {
+KStatus KernelAgent::refresh_tpt(MemHandle& handle) {
   const obs::ScopedSpan span(kern_.spans(), "via.refresh_tpt");
   const VirtualStopwatch sw(kern_.clock());
   const auto charge = [&](KStatus st) {
@@ -234,7 +266,7 @@ KStatus KernelAgent::refresh_tpt(const MemHandle& handle) {
   // would disagree with both the MMU and the pin accounting.
   const auto teardown = [&] {
     policy_.unlock(reg.lock);  // no-op on an inactive handle
-    nic_.tpt().release(reg.handle.tpt_base, reg.handle.pages);
+    nic_.tpt().release(reg.handle.tpt_base, reg.handle.tpt_count);
     regs_.erase(it);
     ++stats_.refresh_failures;
     kern_.trace().record(kern_.clock().now(),
@@ -266,11 +298,35 @@ KStatus KernelAgent::refresh_tpt(const MemHandle& handle) {
     }
   }
 
-  for (std::uint32_t i = 0; i < reg.handle.pages; ++i) {
-    TptEntry e = nic_.tpt().get(reg.handle.tpt_base + i);
-    e.pfn = reg.lock.pfns[i];
-    nic_.program_tpt(reg.handle.tpt_base + i, e);
+  const std::vector<SuperpageRun> runs = decompose_superpages(
+      reg.lock.pfns, nic_.config().max_superpage_order);
+  if (runs.size() == reg.handle.tpt_count) {
+    // Same shape: reprogram the existing range in place.
+    program_runs(reg.handle.tpt_base, runs, reg.lock.pfns, reg.handle.tag,
+                 reg.opts);
+  } else {
+    // The swapper relocated frames inside a superpage run, splitting (or
+    // re-merging) the decomposition. The entry count changed, so the old
+    // range no longer fits: claim a fresh range, program it, then release
+    // the old one. A failed claim must roll back everything acquired in
+    // this refresh - the new pin and the governor charge - on top of the
+    // usual teardown, or pinned_frames()/quota accounting leak.
+    ++stats_.refresh_splits;
+    const auto entries = static_cast<std::uint32_t>(runs.size());
+    const TptIndex nbase = tpt_alloc(entries);
+    if (nbase == kInvalidTptIndex) {
+      if (governor_) governor_->uncharge(pid, reg.lock.pfns);
+      ++stats_.tpt_full;
+      teardown();
+      return charge(KStatus::NoSpc);
+    }
+    tpt_alloc_pages_.add(entries);
+    program_runs(nbase, runs, reg.lock.pfns, reg.handle.tag, reg.opts);
+    nic_.tpt().release(reg.handle.tpt_base, reg.handle.tpt_count);
+    reg.handle.tpt_base = nbase;
+    reg.handle.tpt_count = entries;
   }
+  handle = reg.handle;
   return charge(KStatus::Ok);
 }
 

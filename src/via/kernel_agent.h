@@ -15,14 +15,17 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 
+#include "fault/fault.h"
 #include "pinmgr/pin_governor.h"
 #include "simkern/kernel.h"
 #include "util/status.h"
 #include "via/lock_policy.h"
 #include "via/nic.h"
+#include "via/superpage.h"
 
 namespace vialock::via {
 
@@ -36,6 +39,12 @@ struct AgentStats {
   std::uint64_t lazy_deregs = 0;        ///< deregs deferred to the governor
   std::uint64_t refresh_failures = 0;   ///< refresh_tpt torn a registration
                                         ///< down on a failed re-pin
+  std::uint64_t tpt_entries_programmed = 0;  ///< entries written (== pages
+                                             ///< at order 0; fewer with
+                                             ///< superpages)
+  std::uint64_t refresh_splits = 0;     ///< refresh reallocated the TPT range
+                                        ///< because relocation changed the
+                                        ///< superpage decomposition
 };
 
 /// /proc/via/agent: the agent's registration counters as "key value" lines.
@@ -99,19 +108,31 @@ class KernelAgent {
   /// tables. This is the "TLB-consistency" repair a U-Net/MM-style system
   /// would do; exposed so experiments can measure what re-registration costs.
   ///
-  /// Failure contract: refresh is a re-registration that keeps its TPT
-  /// slots, so if the re-pin cannot be completed (lock failure, page-count
-  /// mismatch, governor rejection) the registration is torn down entirely -
-  /// TPT slots released, nothing left pinned or charged, the handle dead
-  /// (stats().refresh_failures counts it). A failed refresh never leaves a
-  /// half-alive registration whose TPT entries disagree with the pin
-  /// accounting - the paper's section 3.2 inconsistency class.
-  [[nodiscard]] KStatus refresh_tpt(const MemHandle& handle);
+  /// Failure contract: refresh is a re-registration, so if the re-pin
+  /// cannot be completed (lock failure, page-count mismatch, governor
+  /// rejection, TPT alloc failure on a superpage split) the registration is
+  /// torn down entirely - TPT slots released, nothing left pinned or
+  /// charged, the handle dead (stats().refresh_failures counts it). A
+  /// failed refresh never leaves a half-alive registration whose TPT
+  /// entries disagree with the pin accounting - the paper's section 3.2
+  /// inconsistency class.
+  ///
+  /// With superpages, relocation of one frame inside a superpage run
+  /// changes the decomposition: refresh then allocates a fresh TPT range
+  /// for the new (split) layout, programs it, and releases the old range
+  /// (stats().refresh_splits). The caller's handle is updated in place -
+  /// tpt_base/tpt_count may change on success and the handle is dead after
+  /// a failure.
+  [[nodiscard]] KStatus refresh_tpt(MemHandle& handle);
 
   /// Route registrations through `governor` (nullptr detaches). The governor
   /// must outlive the agent or be detached first.
   void set_governor(pinmgr::PinGovernor* governor) { governor_ = governor; }
   [[nodiscard]] pinmgr::PinGovernor* governor() { return governor_; }
+
+  /// Attach the chaos engine (nullptr detaches): arms the TptAlloc site so
+  /// table-claim failures are injectable mid-registration and mid-refresh.
+  void set_fault_engine(fault::FaultEngine* engine) { faults_ = engine; }
 
   /// Tenant teardown: flush the governor's deferred deregistrations, then
   /// eagerly deregister every live registration of `pid` and drop its
@@ -137,10 +158,20 @@ class KernelAgent {
   /// TPT release + uncharge + unlock + stats; returns pages released.
   std::uint32_t finish_dereg(Registration& reg);
 
+  /// Tpt::alloc with the injectable TptAlloc fault site in front and one
+  /// lazy-queue flush retry behind (deferred deregs still hold slots).
+  [[nodiscard]] TptIndex tpt_alloc(std::uint32_t count);
+
+  /// Program `runs` of `pfns` into entries [base, base+runs.size()).
+  void program_runs(TptIndex base, std::span<const SuperpageRun> runs,
+                    std::span<const simkern::Pfn> pfns, ProtectionTag tag,
+                    RegisterOptions opts);
+
   simkern::Kernel& kern_;
   Nic& nic_;
   LockPolicy& policy_;
   pinmgr::PinGovernor* governor_ = nullptr;
+  fault::FaultEngine* faults_ = nullptr;
   AgentStats stats_;
   // Ioctl latency histograms, owned by the kernel's metric registry.
   obs::Histogram& register_ns_;

@@ -15,7 +15,9 @@ namespace vialock::via {
 
 struct MemHandle {
   TptIndex tpt_base = kInvalidTptIndex;
-  std::uint32_t pages = 0;          ///< TPT entries occupied
+  std::uint32_t pages = 0;          ///< user pages covered by the region
+  std::uint32_t tpt_count = 0;      ///< TPT entries occupied (== pages at
+                                    ///< order 0; fewer with superpages)
   simkern::VAddr vaddr = 0;         ///< registered start (may be unaligned)
   std::uint64_t length = 0;
   ProtectionTag tag = kInvalidTag;

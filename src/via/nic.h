@@ -28,6 +28,11 @@ class Fabric;
 struct NicConfig {
   std::uint32_t tpt_entries = 8192;  ///< 32 MB of registerable memory
   std::uint32_t max_vis = 256;
+  /// Largest superpage order the TPT supports: one entry may cover up to
+  /// 2^max_superpage_order contiguous identically-tagged frames (tpt.h).
+  /// 0 forces the classic one-entry-per-page layout (the paper's model);
+  /// tests asserting per-page TPT geometry pin it to 0 via test::small_node.
+  std::uint8_t max_superpage_order = 9;
 };
 
 struct NicStats {
@@ -45,7 +50,7 @@ struct NicStats {
   std::uint64_t bytes_rx = 0;
   std::uint64_t tpt_writes = 0;
   // Batched submission/completion (E18's modes extended, experiment E24):
-  std::uint64_t doorbell_batches = 0;  ///< burst post_send doorbell rings
+  std::uint64_t doorbell_batches = 0;  ///< burst post_send/post_recv rings
   std::uint64_t cq_harvests = 0;       ///< batched CQ polls issued
   std::uint64_t cq_harvested = 0;      ///< entries drained by batched polls
   // Injected hardware faults (fault::FaultEngine hooks):
@@ -84,9 +89,16 @@ class Nic {
   /// chain, then the engine fetches and executes each entry in order. The
   /// per-send doorbell cost amortises across the burst (the posting-side
   /// analogue of E18's completion modes). A dropped doorbell (NicDoorbell
-  /// fault) silently loses the entire burst, like real posted PCI writes.
+  /// fault) loses exactly the descriptor whose fetch it covered - the chain
+  /// is linked in host memory, so the engine resynchronises on the next
+  /// entry and the rest of the burst still posts.
   [[nodiscard]] KStatus post_send_batch(ViId id, std::vector<Descriptor> descs);
   [[nodiscard]] KStatus post_recv(ViId id, Descriptor desc);
+  /// Burst receive pre-posting: ONE doorbell ring arms the whole chain.
+  /// Receive descriptors are only fetched on packet arrival, so - unlike
+  /// post_send_batch - nothing executes here; the doorbell cost amortises
+  /// across connection setup / credit-refill loops.
+  [[nodiscard]] KStatus post_recv_batch(ViId id, std::vector<Descriptor> descs);
   [[nodiscard]] std::optional<Descriptor> poll_send(ViId id);
   [[nodiscard]] std::optional<Descriptor> poll_recv(ViId id);
 
@@ -140,6 +152,7 @@ class Nic {
                                    std::vector<std::byte>* read_back);
 
   [[nodiscard]] const NicStats& stats() const { return stats_; }
+  [[nodiscard]] const NicConfig& config() const { return config_; }
   [[nodiscard]] simkern::Kernel& host() { return host_; }
 
   /// Arm fault injection on the hardware paths: NicDoorbell (post_send
@@ -180,6 +193,8 @@ class Nic {
   NicStats stats_;
   // Payload size distribution of packets delivered by the DMA engine.
   obs::Histogram& dma_bytes_;
+  // Descriptors announced per batched doorbell ring (send + recv bursts).
+  obs::Histogram& descs_per_ring_;
 };
 
 }  // namespace vialock::via

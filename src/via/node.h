@@ -54,12 +54,13 @@ class Node {
   }
   [[nodiscard]] pinmgr::PinGovernor* governor() { return governor_.get(); }
 
-  /// Arm fault injection on this node's kernel, NIC, and governor (nullptr
-  /// disarms).
+  /// Arm fault injection on this node's kernel, NIC, kernel agent, and
+  /// governor (nullptr disarms).
   void set_fault_engine(fault::FaultEngine* engine) {
     faults_ = engine;
     kernel_.set_fault_engine(engine);
     nic_.set_fault_engine(engine);
+    agent_.set_fault_engine(engine);
     if (governor_) governor_->set_fault_engine(engine);
   }
 

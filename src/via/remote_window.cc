@@ -19,7 +19,7 @@ std::optional<RemoteWindow> RemoteWindow::import(Fabric& fabric,
   const Tpt& tpt = fabric.nic(remote_node).tpt();
   const auto base_off = exported.offset_of(exported.vaddr, 1);
   if (!base_off) return std::nullopt;
-  if (!tpt.translate(exported.tpt_base, exported.pages, *base_off,
+  if (!tpt.translate(exported.tpt_base, exported.tpt_count, *base_off,
                      exported.tag, false, false)) {
     return std::nullopt;
   }
@@ -39,7 +39,7 @@ KStatus RemoteWindow::access(std::uint64_t offset, std::span<std::byte> rd,
   std::uint64_t done = 0;
   while (done < len) {
     const auto tr = remote_nic.tpt().translate(
-        handle_.tpt_base, handle_.pages, *base_off + done, handle_.tag,
+        handle_.tpt_base, handle_.tpt_count, *base_off + done, handle_.tag,
         /*rdma_write=*/false, /*rdma_read=*/false);
     if (!tr) return KStatus::Fault;  // deregistered or protection change
     const auto chunk =

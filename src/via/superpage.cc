@@ -1,0 +1,29 @@
+#include "via/superpage.h"
+
+#include <bit>
+
+namespace vialock::via {
+
+std::vector<SuperpageRun> decompose_superpages(
+    std::span<const simkern::Pfn> pfns, std::uint8_t max_order) {
+  std::vector<SuperpageRun> runs;
+  const auto n = static_cast<std::uint32_t>(pfns.size());
+  std::uint32_t i = 0;
+  while (i < n) {
+    // Length of the contiguous ascending frame run starting at page i.
+    std::uint32_t len = 1;
+    while (i + len < n && pfns[i + len] == pfns[i] + len) ++len;
+    // Cut the run into power-of-two chunks, largest first.
+    std::uint32_t off = 0;
+    while (off < len) {
+      const auto fit = static_cast<std::uint8_t>(std::bit_width(len - off) - 1);
+      const std::uint8_t order = fit < max_order ? fit : max_order;
+      runs.push_back(SuperpageRun{i + off, order});
+      off += 1u << order;
+    }
+    i += len;
+  }
+  return runs;
+}
+
+}  // namespace vialock::via

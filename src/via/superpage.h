@@ -1,0 +1,34 @@
+// superpage.h - decomposing a pinned frame list into superpage TPT runs.
+//
+// The kernel agent receives a per-page pfn vector from the lock policy and
+// must program TPT entries covering it. With superpages enabled an entry may
+// cover any 2^k run of physically contiguous frames (tpt.h), so the frame
+// list is greedily cut into maximal power-of-two chunks: each contiguous
+// ascending pfn run is emitted largest-order-first, capped by the NIC's
+// max_superpage_order. Order 0 everywhere reproduces the classic
+// one-entry-per-page layout bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simkern/types.h"
+
+namespace vialock::via {
+
+/// One programmed TPT entry's coverage: pages [page_start, page_start+2^order)
+/// of the registration, backed by frames [pfn(page_start), ...+2^order).
+struct SuperpageRun {
+  std::uint32_t page_start = 0;
+  std::uint8_t order = 0;
+
+  [[nodiscard]] std::uint32_t pages() const { return 1u << order; }
+};
+
+/// Greedy decomposition of `pfns` into the fewest largest-order runs with
+/// order <= max_order. Deterministic: depends only on the pfn values.
+[[nodiscard]] std::vector<SuperpageRun> decompose_superpages(
+    std::span<const simkern::Pfn> pfns, std::uint8_t max_order);
+
+}  // namespace vialock::via

@@ -26,17 +26,44 @@ std::optional<Tpt::Translation> Tpt::translate(TptIndex base,
                                                ProtectionTag tag,
                                                bool rdma_write,
                                                bool rdma_read) const {
-  const auto page = static_cast<std::uint32_t>(offset >> simkern::kPageShift);
-  if (page >= count) return std::nullopt;
-  const TptIndex idx = base + page;
-  if (idx >= capacity()) return std::nullopt;
-  const TptEntry& e = entries_[idx];
-  if (!e.valid) return std::nullopt;
-  if (e.tag != tag) return std::nullopt;  // the protection-tag check
-  if (rdma_write && !e.rdma_write_enable) return std::nullopt;
-  if (rdma_read && !e.rdma_read_enable) return std::nullopt;
-  return Translation{e.pfn,
-                     static_cast<std::uint32_t>(offset & simkern::kPageMask)};
+  const auto page = static_cast<std::uint64_t>(offset >> simkern::kPageShift);
+  if (count == 0 || base >= capacity() || count > capacity() - base)
+    return std::nullopt;
+
+  // Fast path: in the order-0 dense layout entry i covers exactly page i, so
+  // probing base+page resolves without a search. A single-entry region (one
+  // superpage) hits the same probe via the min() clamp.
+  const TptEntry* e = nullptr;
+  const auto probe = static_cast<std::uint32_t>(
+      page < count ? page : static_cast<std::uint64_t>(count) - 1);
+  const TptEntry& guess = entries_[base + probe];
+  if (guess.page_start <= page && page - guess.page_start < guess.span_pages()) {
+    e = &guess;
+  } else {
+    // Mixed-order layout: entries hold ascending page_start; find the last
+    // entry whose run begins at or before `page`.
+    std::uint32_t lo = 0;
+    std::uint32_t hi = count;
+    while (lo < hi) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      if (entries_[base + mid].page_start <= page)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    if (lo == 0) return std::nullopt;
+    const TptEntry& cand = entries_[base + lo - 1];
+    if (page - cand.page_start >= cand.span_pages()) return std::nullopt;
+    e = &cand;
+  }
+
+  if (!e->valid) return std::nullopt;
+  if (e->tag != tag) return std::nullopt;  // the protection-tag check
+  if (rdma_write && !e->rdma_write_enable) return std::nullopt;
+  if (rdma_read && !e->rdma_read_enable) return std::nullopt;
+  return Translation{
+      e->pfn + static_cast<simkern::Pfn>(page - e->page_start),
+      static_cast<std::uint32_t>(offset & simkern::kPageMask)};
 }
 
 }  // namespace vialock::via

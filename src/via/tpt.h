@@ -26,12 +26,22 @@ inline constexpr ProtectionTag kInvalidTag = 0;
 using TptIndex = std::uint32_t;
 inline constexpr TptIndex kInvalidTptIndex = static_cast<TptIndex>(-1);
 
+/// One TPT entry maps a *run* of 2^order contiguous, identically-tagged
+/// frames: page_start is the first registration-relative page the run
+/// covers and pfn the frame backing that first page (page_start + i maps to
+/// pfn + i). Order 0 is the classic one-entry-per-page layout; higher
+/// orders are "superpages" that let a large registration occupy
+/// O(1)-O(log N) entries instead of N.
 struct TptEntry {
   bool valid = false;
   simkern::Pfn pfn = simkern::kInvalidPfn;
   ProtectionTag tag = kInvalidTag;
   bool rdma_write_enable = false;
   bool rdma_read_enable = false;
+  std::uint32_t page_start = 0;  ///< registration-relative first page covered
+  std::uint8_t order = 0;        ///< entry spans 2^order pages
+
+  [[nodiscard]] std::uint32_t span_pages() const { return 1u << order; }
 };
 
 class Tpt {
@@ -74,6 +84,10 @@ class Tpt {
 
   /// Translate (base entry, byte offset) under `tag`; checks validity, tag
   /// match and - when `rdma_write`/`rdma_read` - the RDMA enable attributes.
+  /// `count` is the number of TPT entries the region occupies (the handle's
+  /// tpt_count); the entries must hold ascending page_start values, which
+  /// registration guarantees. Order-0 dense layouts (page_start == index)
+  /// hit a direct-probe fast path; mixed-order layouts binary-search.
   [[nodiscard]] std::optional<Translation> translate(TptIndex base,
                                                      std::uint32_t count,
                                                      std::uint64_t offset,

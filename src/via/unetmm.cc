@@ -44,14 +44,18 @@ KStatus UnetMmAgent::register_mem(Pid pid, VAddr addr, std::uint64_t len,
     }
     const auto pfn = kern_.resolve(pid, v);
     assert(pfn.has_value());
+    // U-Net/MM invalidates and repairs entries one page at a time, so this
+    // agent always programs the order-0 dense layout (page_start == index).
     nic_.program_tpt(base + i, TptEntry{.valid = true,
                                         .pfn = *pfn,
                                         .tag = tag,
                                         .rdma_write_enable = true,
-                                        .rdma_read_enable = true});
+                                        .rdma_read_enable = true,
+                                        .page_start = i});
   }
   out = MemHandle{.tpt_base = base,
                   .pages = pages,
+                  .tpt_count = pages,
                   .vaddr = addr,
                   .length = len,
                   .tag = tag,

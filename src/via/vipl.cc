@@ -78,6 +78,14 @@ KStatus Vipl::post_send_batch(ViId vi, std::span<const SendPost> posts) {
   return agent_.nic().post_send_batch(vi, std::move(descs));
 }
 
+KStatus Vipl::post_recv_batch(ViId vi, std::span<const RecvPost> posts) {
+  std::vector<Descriptor> descs;
+  descs.reserve(posts.size());
+  for (const RecvPost& p : posts)
+    descs.push_back(build(DescOp::Recv, p.mh, p.addr, p.len, p.cookie));
+  return agent_.nic().post_recv_batch(vi, std::move(descs));
+}
+
 KStatus Vipl::post_send_sg(ViId vi, std::vector<DataSegment> segs,
                            std::uint64_t cookie) {
   if (segs.empty() || segs.size() > Descriptor::kMaxSegments)

@@ -94,6 +94,20 @@ class Vipl {
   [[nodiscard]] KStatus post_send_batch(ViId vi,
                                         std::span<const SendPost> posts);
 
+  /// One entry of a post_recv_batch burst (same shape as SendPost; a
+  /// distinct type keeps send/recv call sites from mixing).
+  struct RecvPost {
+    MemHandle mh;
+    simkern::VAddr addr = 0;
+    std::uint32_t len = 0;
+    std::uint64_t cookie = 0;
+  };
+  /// Build and pre-post a burst of receives behind a SINGLE doorbell ring
+  /// (Nic::post_recv_batch) - the connection-setup / credit-refill
+  /// amortisation the msg/svc tiers use.
+  [[nodiscard]] KStatus post_recv_batch(ViId vi,
+                                        std::span<const RecvPost> posts);
+
   // --- completion queues (VipCreateCQ / VipCQDone) ---------------------------
   [[nodiscard]] CqId create_cq() { return agent_.nic().create_cq(); }
   [[nodiscard]] KStatus attach_send_cq(ViId vi, CqId cq) {

@@ -11,13 +11,16 @@ namespace {
 
 using simkern::kPageSize;
 
-TptEntry entry(simkern::Pfn pfn, ProtectionTag tag, bool w = true,
-               bool r = true) {
+// An order-0 entry covering registration-relative page `page_start` (entries
+// within a region must carry ascending page_start for translate()).
+TptEntry entry(std::uint32_t page_start, simkern::Pfn pfn, ProtectionTag tag,
+               bool w = true, bool r = true) {
   return TptEntry{.valid = true,
                   .pfn = pfn,
                   .tag = tag,
                   .rdma_write_enable = w,
-                  .rdma_read_enable = r};
+                  .rdma_read_enable = r,
+                  .page_start = page_start};
 }
 
 TEST(Tpt, AllocContiguousFirstFit) {
@@ -86,8 +89,8 @@ TEST(Tpt, ExtentIndexTracksFragmentation) {
 TEST(Tpt, TranslateComputesPfnAndOffset) {
   Tpt tpt(8);
   const TptIndex base = tpt.alloc(2);
-  tpt.set(base, entry(100, 7));
-  tpt.set(base + 1, entry(200, 7));
+  tpt.set(base, entry(0, 100, 7));
+  tpt.set(base + 1, entry(1, 200, 7));
   const auto t0 = tpt.translate(base, 2, 10, 7, false, false);
   ASSERT_TRUE(t0.has_value());
   EXPECT_EQ(t0->pfn, 100u);
@@ -101,15 +104,15 @@ TEST(Tpt, TranslateComputesPfnAndOffset) {
 TEST(Tpt, TranslateRejectsOutOfRange) {
   Tpt tpt(8);
   const TptIndex base = tpt.alloc(2);
-  tpt.set(base, entry(100, 7));
-  tpt.set(base + 1, entry(200, 7));
+  tpt.set(base, entry(0, 100, 7));
+  tpt.set(base + 1, entry(1, 200, 7));
   EXPECT_FALSE(tpt.translate(base, 2, 2 * kPageSize, 7, false, false));
 }
 
 TEST(Tpt, TranslateRejectsWrongTag) {
   Tpt tpt(8);
   const TptIndex base = tpt.alloc(1);
-  tpt.set(base, entry(100, 7));
+  tpt.set(base, entry(0, 100, 7));
   EXPECT_FALSE(tpt.translate(base, 1, 0, 8, false, false));
   EXPECT_TRUE(tpt.translate(base, 1, 0, 7, false, false));
 }
@@ -123,8 +126,8 @@ TEST(Tpt, TranslateRejectsInvalidEntry) {
 TEST(Tpt, RdmaEnableBitsEnforced) {
   Tpt tpt(8);
   const TptIndex base = tpt.alloc(2);
-  tpt.set(base, entry(100, 7, /*w=*/false, /*r=*/true));
-  tpt.set(base + 1, entry(101, 7, /*w=*/true, /*r=*/false));
+  tpt.set(base, entry(0, 100, 7, /*w=*/false, /*r=*/true));
+  tpt.set(base + 1, entry(1, 101, 7, /*w=*/true, /*r=*/false));
   EXPECT_FALSE(tpt.translate(base, 2, 0, 7, /*w=*/true, false));
   EXPECT_TRUE(tpt.translate(base, 2, 0, 7, false, /*r=*/true));
   EXPECT_TRUE(tpt.translate(base, 2, kPageSize, 7, /*w=*/true, false));
@@ -134,7 +137,7 @@ TEST(Tpt, RdmaEnableBitsEnforced) {
 TEST(Tpt, ReleaseInvalidatesEntries) {
   Tpt tpt(8);
   const TptIndex base = tpt.alloc(1);
-  tpt.set(base, entry(100, 7));
+  tpt.set(base, entry(0, 100, 7));
   tpt.release(base, 1);
   const TptIndex again = tpt.alloc(1);
   ASSERT_EQ(again, base);  // first-fit reuses the slot

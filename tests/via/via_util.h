@@ -17,6 +17,10 @@ inline via::NodeSpec small_node(via::PolicyKind policy = via::PolicyKind::Kiobuf
   via::NodeSpec spec;
   spec.kernel = small_config(frames);
   spec.nic.tpt_entries = tpt_entries;
+  // Unit tests assert per-page TPT geometry (entry i <-> page i, used() ==
+  // pages); pin the classic order-0 layout. Superpage-specific tests build
+  // their own NodeSpec with a nonzero order.
+  spec.nic.max_superpage_order = 0;
   spec.policy = policy;
   return spec;
 }
