@@ -58,6 +58,10 @@ struct BenchFlags {
   bool trace = false;
   std::string compare_path;
   double compare_threshold = 0.10;
+  /// `--threads <n>` / `--threads=<n>`: worker threads for benches that run
+  /// scenarios through an executor (0 = the bench's own default; 1 = the
+  /// serial oracle). Mirrors the scenario_runner / spec `threads` knob.
+  std::uint32_t threads = 0;
 
   BenchFlags(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
@@ -74,6 +78,10 @@ struct BenchFlags {
         compare_path = a.substr(10);
       } else if (a.rfind("--compare-threshold=", 0) == 0) {
         compare_threshold = std::stod(a.substr(20));
+      } else if (a == "--threads" && i + 1 < argc) {
+        threads = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+      } else if (a.rfind("--threads=", 0) == 0) {
+        threads = static_cast<std::uint32_t>(std::stoul(a.substr(10)));
       }
     }
   }

@@ -29,6 +29,7 @@ FaultEngine::FaultEngine(FaultPlan plan, const Clock& clock)
 }
 
 std::optional<FaultDecision> FaultEngine::check(FaultSite site) {
+  sync::Guard g(mu_);
   const auto si = static_cast<std::size_t>(site);
   const std::uint64_t event_index = stats_.events_seen[si]++;
   const Nanos now = clock_.now();

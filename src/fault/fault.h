@@ -22,6 +22,8 @@
 #include <string_view>
 #include <vector>
 
+#include "sync/mutex.h"
+#include "sync/policy.h"
 #include "util/clock.h"
 #include "util/rng.h"
 
@@ -176,7 +178,14 @@ class FaultEngine {
   /// (addr = site, pfn = rule index), for post-mortem dumps.
   void mirror_to(TraceRing* trace) { trace_ = trace; }
 
+  /// Execution mode: threaded serializes check() (the rule RNG streams and
+  /// the journal are shared state). Note the *sequence* of draws then
+  /// depends on worker interleaving, so threaded chaos runs are compared on
+  /// invariants, not on exact injection schedules (DESIGN.md section 15).
+  void set_policy(sync::SyncPolicy p) { mu_.set_policy(p); }
+
  private:
+  sync::Mutex mu_;
   FaultPlan plan_;
   const Clock& clock_;
   std::vector<Rng> rule_rngs_;   ///< one independent stream per rule

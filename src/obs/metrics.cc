@@ -15,6 +15,7 @@ void MetricSink::emit(std::string_view name, MetricKind kind,
 }
 
 Counter& MetricRegistry::counter(std::string_view name) {
+  sync::Guard g(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -24,6 +25,7 @@ Counter& MetricRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricRegistry::gauge(std::string_view name) {
+  sync::Guard g(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -32,6 +34,7 @@ Gauge& MetricRegistry::gauge(std::string_view name) {
 }
 
 Histogram& MetricRegistry::histogram(std::string_view name) {
+  sync::Guard g(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -42,16 +45,19 @@ Histogram& MetricRegistry::histogram(std::string_view name) {
 
 void MetricRegistry::register_source(std::string name, const void* owner,
                                      SourceFn fn) {
+  sync::Guard g(mu_);
   sources_.insert_or_assign(std::move(name), Source{owner, std::move(fn)});
 }
 
 void MetricRegistry::unregister_source(std::string_view name,
                                        const void* owner) {
+  sync::Guard g(mu_);
   const auto it = sources_.find(name);
   if (it != sources_.end() && it->second.owner == owner) sources_.erase(it);
 }
 
 Snapshot MetricRegistry::snapshot() const {
+  sync::Guard g(mu_);
   Snapshot out;
   for (const auto& [name, c] : counters_) {
     Metric m;

@@ -35,6 +35,10 @@
 #include <string_view>
 #include <vector>
 
+#include "sync/mutex.h"
+#include "sync/policy.h"
+#include "sync/relaxed.h"
+
 namespace vialock::obs {
 
 enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
@@ -48,15 +52,17 @@ enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
   return "?";
 }
 
-/// Monotonic event count.
+/// Monotonic event count. Relaxed-atomic so instruments owned by a registry
+/// shared across real threads (the E26 microbench drives one host's agent
+/// from N threads) stay tear-free; serial cost is a plain relaxed RMW.
 class Counter {
  public:
   void inc(std::uint64_t n = 1) { value_ += n; }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
+  [[nodiscard]] std::uint64_t value() const { return value_.load(); }
   void reset() { value_ = 0; }
 
  private:
-  std::uint64_t value_ = 0;
+  sync::Relaxed value_;
 };
 
 /// Point-in-time level (queue depth, frames in use).
@@ -64,10 +70,10 @@ class Gauge {
  public:
   void set(std::uint64_t v) { value_ = v; }
   void add(std::int64_t d) { value_ += static_cast<std::uint64_t>(d); }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
+  [[nodiscard]] std::uint64_t value() const { return value_.load(); }
 
  private:
-  std::uint64_t value_ = 0;
+  sync::Relaxed value_;
 };
 
 /// Log2-bucketed histogram for latency-like quantities (same bucketing as
@@ -85,19 +91,24 @@ class Histogram {
     ++buckets_[bucket_of(v)];
     ++count_;
     sum_ += v;
-    if (count_ == 1 || v > max_) max_ = v;
+    max_.fetch_max(v);  // values are unsigned, so a running max from 0 works
   }
 
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] std::uint64_t sum() const { return sum_; }
-  [[nodiscard]] std::uint64_t max() const { return count_ ? max_ : 0; }
-  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+  [[nodiscard]] std::uint64_t count() const { return count_.load(); }
+  [[nodiscard]] std::uint64_t sum() const { return sum_.load(); }
+  [[nodiscard]] std::uint64_t max() const {
+    return count_.load() ? max_.load() : 0;
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load();
+  }
 
   /// Upper bound of the bucket holding quantile q in [0,1]; 0 when empty.
   [[nodiscard]] std::uint64_t quantile(double q) const {
-    if (count_ == 0) return 0;
+    const std::uint64_t n = count_.load();
+    if (n == 0) return 0;
     const auto target =
-        static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+        static_cast<std::uint64_t>(q * static_cast<double>(n - 1));
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < kBuckets; ++i) {
       seen += buckets_[i];
@@ -115,10 +126,10 @@ class Histogram {
   }
 
  private:
-  std::uint64_t buckets_[kBuckets]{};
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t max_ = 0;
+  sync::Relaxed buckets_[kBuckets];
+  sync::Relaxed count_;
+  sync::Relaxed sum_;
+  sync::Relaxed max_;
 };
 
 /// One metric in a snapshot. Counters/gauges carry `value`; histograms carry
@@ -187,12 +198,20 @@ class MetricRegistry {
   /// Merge owned instruments and pulled sources, sorted by metric name.
   [[nodiscard]] Snapshot snapshot() const;
 
+  /// Execution mode: threaded serializes the instrument/source maps (handle
+  /// get-or-create can race between real threads); the instruments
+  /// themselves are relaxed atomics, so hot-path updates stay lock-free.
+  /// Each host owns its registry; merged reads happen after workers join.
+  void set_policy(sync::SyncPolicy p) { mu_.set_policy(p); }
+
  private:
   struct Source {
     const void* owner = nullptr;
     SourceFn fn;
   };
 
+  /// Serializes the maps below, never held during instrument updates.
+  mutable sync::Mutex mu_;
   // Ordered maps: iteration (and therefore snapshot order before the final
   // sort) is deterministic. unique_ptr keeps instrument addresses stable
   // across later insertions.

@@ -20,6 +20,7 @@ const std::vector<SpanId>* SpanRecorder::find_track(std::uint32_t tid) const {
 }
 
 TraceContext SpanRecorder::active_context(std::uint32_t tid) const {
+  sync::Guard g(mu_);
   if (const auto* stack = find_track(tid); stack && !stack->empty()) {
     return context_of(stack->back());
   }
@@ -30,6 +31,7 @@ TraceContext SpanRecorder::active_context(std::uint32_t tid) const {
 }
 
 TraceContext SpanRecorder::context_of(SpanId id) const {
+  sync::Guard g(mu_);  // recursive: active_context calls in holding mu_
   if (id == kInvalidSpan || id >= spans_.size()) return {};
   const Span& s = spans_[id];
   return TraceContext{s.trace_id, s.span_id, s.parent_id};
@@ -37,6 +39,7 @@ TraceContext SpanRecorder::context_of(SpanId id) const {
 
 SpanId SpanRecorder::begin(std::string_view name, std::uint32_t tid) {
   if (!enabled_) return kInvalidSpan;
+  sync::Guard g(mu_);
   if (spans_.size() >= max_spans_) {
     ++dropped_;
     return kInvalidSpan;
@@ -72,6 +75,7 @@ SpanId SpanRecorder::begin(std::string_view name, std::uint32_t tid) {
 
 void SpanRecorder::end(SpanId id) {
   if (id == kInvalidSpan) return;
+  sync::Guard g(mu_);
   if (id >= spans_.size() || spans_[id].closed()) {
     ++unbalanced_closes_;
     return;

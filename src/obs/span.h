@@ -36,6 +36,8 @@
 #include <string_view>
 #include <vector>
 
+#include "sync/mutex.h"
+#include "sync/policy.h"
 #include "util/clock.h"
 #include "util/rng.h"
 #include "util/trace.h"
@@ -80,6 +82,13 @@ class SpanRecorder {
 
   void enable(bool on) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Execution mode: threaded serializes begin/end (recorders are per host
+  /// and thread-confined by the engine's host guards, but the shared-agent
+  /// microbench can drive one recorder from several real threads; note the
+  /// span ORDER then depends on interleaving, so threaded traces are not
+  /// byte-comparable - DESIGN.md section 15). Serial is a no-op branch.
+  void set_policy(sync::SyncPolicy p) { mu_.set_policy(p); }
 
   /// Also record SpanBegin/SpanEnd events into `ring` (nullptr detaches).
   void mirror_to(TraceRing* ring) { ring_ = ring; }
@@ -151,6 +160,8 @@ class SpanRecorder {
 
   const Clock& clock_;
   std::size_t max_spans_;
+  /// Serializes spans_/tracks_/ctx_stack_ mutations in threaded mode.
+  mutable sync::Mutex mu_;
   bool enabled_ = false;
   TraceRing* ring_ = nullptr;
   std::vector<Span> spans_;

@@ -36,19 +36,24 @@ PinGovernor::PinGovernor(simkern::Kernel& kern, GovernorConfig config)
 }
 
 PinGovernor::~PinGovernor() {
-  drain();
+  {
+    sync::Guard g(mu_);
+    drain();
+  }
   kern_.metrics().unregister_source("pinmgr", this);
   kern_.procfs().unmount("pinmgr", this);
 }
 
 void PinGovernor::set_tenant(simkern::Pid pid, std::uint32_t quota_pages,
                              QosTier tier) {
+  sync::Guard g(mu_);
   Tenant& t = tenant(pid);
   t.quota = quota_pages;
   t.tier = tier;
 }
 
 void PinGovernor::remove_tenant(simkern::Pid pid) {
+  sync::Guard g(mu_);
   auto it = tenants_.find(pid);
   if (it == tenants_.end()) return;
   Tenant& t = it->second;
@@ -79,11 +84,13 @@ void PinGovernor::remove_tenant(simkern::Pid pid) {
 }
 
 std::uint32_t PinGovernor::tenant_charged(simkern::Pid pid) const {
+  sync::Guard g(mu_);
   auto it = tenants_.find(pid);
   return it == tenants_.end() ? 0 : it->second.charged;
 }
 
 std::vector<TenantInfo> PinGovernor::tenants() const {
+  sync::Guard g(mu_);
   std::vector<TenantInfo> out;
   out.reserve(tenants_.size());
   for (const auto& [pid, t] : tenants_) {
@@ -125,6 +132,7 @@ std::uint32_t PinGovernor::fresh_frames(
 }
 
 std::uint32_t PinGovernor::admission_headroom(simkern::Pid pid) const {
+  sync::Guard g(mu_);
   QosTier tier = config_.default_tier;
   std::uint32_t quota = config_.default_quota;
   std::uint32_t charged = 0;
@@ -142,6 +150,7 @@ std::uint32_t PinGovernor::admission_headroom(simkern::Pid pid) const {
 
 KStatus PinGovernor::charge(simkern::Pid pid,
                             std::span<const simkern::Pfn> pfns) {
+  sync::Guard g(mu_);
   const VirtualStopwatch sw(kern_.clock());
   kern_.clock().advance(kern_.costs().pin_admission);
   Tenant& t = tenant(pid);
@@ -215,6 +224,7 @@ KStatus PinGovernor::charge(simkern::Pid pid,
 
 void PinGovernor::uncharge(simkern::Pid pid,
                            std::span<const simkern::Pfn> pfns) {
+  sync::Guard g(mu_);
   auto it = tenants_.find(pid);
   assert(it != tenants_.end() && "uncharge of unknown tenant");
   if (it == tenants_.end()) return;
@@ -242,6 +252,7 @@ void PinGovernor::uncharge(simkern::Pid pid,
 }
 
 bool PinGovernor::defer_dereg(PendingDereg d) {
+  sync::Guard g(mu_);
   if (!lazy_enabled() || draining_) return false;
   // A user-level append to the deferred-dereg ring: no kernel entry here -
   // that is the whole point (the batch is submitted in one ioctl at drain).
@@ -255,6 +266,7 @@ bool PinGovernor::defer_dereg(PendingDereg d) {
 }
 
 std::uint32_t PinGovernor::flush() {
+  sync::Guard g(mu_);
   ++stats_.flushes;
   return drain();
 }
@@ -279,6 +291,12 @@ std::uint32_t PinGovernor::drain() {
 }
 
 std::uint32_t PinGovernor::on_memory_pressure(std::uint32_t target_pages) {
+  // Reclaim runs with kernel locks held (the reclaim gate, a task mutex), so
+  // it must never BLOCK on the governor: an admission in progress on another
+  // worker holds mu_ while unmapping kiobufs, which needs those same kernel
+  // locks. Skipping the pass under contention is safe - it is best-effort.
+  sync::TryGuard g(mu_);
+  if (!g.held()) return 0;
   if (draining_) return 0;
   ++stats_.reclaim_invocations;
   // Injected reclaim failure: the pass runs but releases nothing (models a
@@ -323,10 +341,12 @@ std::uint32_t PinGovernor::reclaim_from_clients(std::uint32_t target_pages) {
 }
 
 void PinGovernor::add_reclaim_client(ReclaimClient* client) {
+  sync::Guard g(mu_);
   clients_.push_back(client);
 }
 
 void PinGovernor::remove_reclaim_client(ReclaimClient* client) {
+  sync::Guard g(mu_);
   std::erase(clients_, client);
 }
 

@@ -37,6 +37,8 @@
 
 #include "fault/fault.h"
 #include "simkern/kernel.h"
+#include "sync/mutex.h"
+#include "sync/policy.h"
 #include "util/status.h"
 
 namespace vialock::pinmgr {
@@ -136,6 +138,7 @@ class PinGovernor final : public simkern::PressureHandler {
   /// never strands frames in global_pins_ / total_charged_.
   void remove_tenant(simkern::Pid pid);
   [[nodiscard]] bool tenant_known(simkern::Pid pid) const {
+    sync::Guard g(mu_);
     return tenants_.contains(pid);
   }
   [[nodiscard]] std::uint32_t tenant_charged(simkern::Pid pid) const;
@@ -171,7 +174,10 @@ class PinGovernor final : public simkern::PressureHandler {
   /// Epoch barrier: complete every queued deregistration now. Returns the
   /// number of entries drained.
   std::uint32_t flush();
-  [[nodiscard]] std::size_t lazy_queue_depth() const { return queue_.size(); }
+  [[nodiscard]] std::size_t lazy_queue_depth() const {
+    sync::Guard g(mu_);
+    return queue_.size();
+  }
 
   // --- cooperative reclaim -----------------------------------------------------
   /// vmscan's pressure callback: drain the lazy queue, then evict cold idle
@@ -182,11 +188,20 @@ class PinGovernor final : public simkern::PressureHandler {
 
   void set_fault_engine(fault::FaultEngine* engine) { faults_ = engine; }
 
+  /// Execution mode: threaded arms the governor's mutex (recursive - the
+  /// drain path re-enters through uncharge, and admission rescue re-enters
+  /// through client evictions); serial keeps it a no-op branch. The pressure
+  /// path only ever try-locks it, so reclaim never blocks on admission.
+  void set_policy(sync::SyncPolicy p) { mu_.set_policy(p); }
+
   // --- accessors ---------------------------------------------------------------
   [[nodiscard]] const GovernorConfig& config() const { return config_; }
   [[nodiscard]] const GovernorStats& stats() const { return stats_; }
   /// Distinct frames currently charged host-wide.
-  [[nodiscard]] std::uint32_t total_charged() const { return total_charged_; }
+  [[nodiscard]] std::uint32_t total_charged() const {
+    sync::Guard g(mu_);
+    return total_charged_;
+  }
   /// Effective host ceiling in pages.
   [[nodiscard]] std::uint32_t ceiling() const {
     return config_.host_ceiling ? config_.host_ceiling : kern_.pin_budget();
@@ -215,6 +230,12 @@ class PinGovernor final : public simkern::PressureHandler {
 
   simkern::Kernel& kern_;
   GovernorConfig config_;
+  /// Serializes every public entry (stats_, tenants_, global_pins_, queue_).
+  /// Recursive: drain()'s release callbacks and client evictions re-enter
+  /// uncharge()/defer_dereg() on the same thread. Lock order: mu_ before any
+  /// kernel lock (drain unmaps kiobufs); never the reverse - the kernel's
+  /// pressure path reaches the governor only through a try-lock.
+  mutable sync::Mutex mu_;
   GovernorStats stats_;
   /// Admission-path latency (owned by the kernel's metric registry).
   obs::Histogram& charge_ns_;

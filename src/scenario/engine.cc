@@ -42,6 +42,40 @@ std::uint64_t read_marker(std::span<const std::byte> buf) {
   return v;
 }
 
+/// Scoped cross-host mutual exclusion for one event body: locks the Node
+/// mutex of every host the event touches, always in ascending host-id order
+/// so concurrent guard sets can never deadlock (DESIGN.md section 15). This
+/// is the only cross-worker exclusion the threaded executor relies on -
+/// within a lane (one host) events are already ordered. `armed` is the
+/// engine's threaded flag; a serial run skips even the sort.
+class HostGuard {
+ public:
+  HostGuard(via::Cluster& cluster, bool armed, std::vector<HostId> hosts)
+      : cluster_(cluster) {
+    if (!armed) return;
+    hosts_ = std::move(hosts);
+    std::sort(hosts_.begin(), hosts_.end());
+    hosts_.erase(std::unique(hosts_.begin(), hosts_.end()), hosts_.end());
+    for (const HostId h : hosts_) cluster_.node(h).mu().lock();
+  }
+  HostGuard(const HostGuard&) = delete;
+  HostGuard& operator=(const HostGuard&) = delete;
+  ~HostGuard() {
+    for (auto it = hosts_.rbegin(); it != hosts_.rend(); ++it)
+      cluster_.node(*it).mu().unlock();
+  }
+
+ private:
+  via::Cluster& cluster_;
+  std::vector<HostId> hosts_;
+};
+
+std::vector<HostId> all_hosts(std::uint32_t n) {
+  std::vector<HostId> v(n);
+  for (std::uint32_t i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
 }  // namespace
 
 ScenarioEngine::ScenarioEngine(ScenarioSpec spec) : spec_(std::move(spec)) {}
@@ -54,7 +88,9 @@ KStatus ScenarioEngine::build() {
   if (!spec_.validate().empty()) return KStatus::Inval;
 
   cluster_ = std::make_unique<via::Cluster>();
-  sched_ = std::make_unique<EventScheduler>(spec_.hosts);
+  sched_ = std::make_unique<EventScheduler>(spec_.hosts, sync_policy());
+  channels_mu_.set_policy(sync_policy());
+  fanout_mu_.set_policy(sync_policy());
 
   if (const KStatus st = build_hosts(); !ok(st)) return st;
   if (const KStatus st = build_tenants(); !ok(st)) return st;
@@ -64,6 +100,7 @@ KStatus ScenarioEngine::build() {
     plan.seed = spec_.seed;
     plan.rules = spec_.fault_rules;
     faults_ = std::make_unique<fault::FaultEngine>(plan, cluster_->clock());
+    faults_->set_policy(sync_policy());
     cluster_->inject_faults(faults_.get());
   }
 
@@ -102,6 +139,7 @@ KStatus ScenarioEngine::build_hosts() {
                        ? spec_.nic_vis
                        : std::max<std::uint32_t>(256, 2 * spec_.hosts);
   ns.policy = spec_.policy;
+  ns.sync = sync_policy();
   cluster_->add_nodes(ns, spec_.hosts);
   return KStatus::Ok;
 }
@@ -331,6 +369,10 @@ msg::Channel::Config ScenarioEngine::channel_config(HostId from,
 }
 
 msg::Channel* ScenarioEngine::channel(HostId from, HostId to) {
+  // Held across init(): the caller's HostGuard covers both endpoints, so the
+  // kernel work is already exclusive; this lock only keeps the map (and the
+  // build-exactly-once property) consistent across host pairs.
+  sync::Guard g(channels_mu_);
   const auto key = std::make_pair(from, to);
   if (const auto it = channels_.find(key); it != channels_.end())
     return it->second.get();
@@ -435,7 +477,10 @@ void ScenarioEngine::seed_actors() {
 void ScenarioEngine::pick_fanout_targets(Rng& rng, std::uint32_t* out,
                                          std::uint32_t k) {
   // Partial Fisher-Yates over the persistent permutation: a uniform
-  // k-subset of servers per request in O(k).
+  // k-subset of servers per request in O(k). The permutation is shared
+  // across clients (the serial byte surface depends on that), so threaded
+  // draws serialize here.
+  sync::Guard g(fanout_mu_);
   const auto n = static_cast<std::uint32_t>(fanout_perm_.size());
   for (std::uint32_t i = 0; i < k; ++i) {
     const auto j = i + static_cast<std::uint32_t>(rng.below(n - i));
@@ -447,11 +492,14 @@ void ScenarioEngine::pick_fanout_targets(Rng& rng, std::uint32_t* out,
 void ScenarioEngine::run_rpc_op(std::size_t actor) {
   ClientActor& a = clients_[actor];
   const Nanos issued = sched_->now();
-  VirtualStopwatch sw(cluster_->clock());
 
   std::uint32_t targets[64];
   const std::uint32_t k = std::min<std::uint32_t>(spec_.fanout, 64);
   pick_fanout_targets(a.rng, targets, k);
+  std::vector<HostId> lockset(targets, targets + k);
+  lockset.push_back(a.host);
+  HostGuard hg(*cluster_, sync_policy().is_threaded(), std::move(lockset));
+  ThreadCostMeter sw;
   Nanos done = issued;
   for (std::uint32_t i = 0; i < k; ++i) {
     const HostId srv = targets[i];
@@ -483,11 +531,12 @@ std::uint32_t ScenarioEngine::zipf_sample(Rng& rng) const {
 void ScenarioEngine::run_kv_op(std::size_t actor) {
   ClientActor& a = clients_[actor];
   const Nanos issued = sched_->now();
-  VirtualStopwatch sw(cluster_->clock());
 
   const bool put = a.rng.chance(spec_.put_fraction);
   const std::uint32_t key = zipf_sample(a.rng);
   const HostId srv = key % spec_.servers;
+  HostGuard hg(*cluster_, sync_policy().is_threaded(), {a.host, srv});
+  ThreadCostMeter sw;
   msg::Channel* req = channel(a.host, srv);
   msg::Channel* resp = channel(srv, a.host);
 
@@ -530,11 +579,23 @@ void ScenarioEngine::run_kv_op(std::size_t actor) {
 void ScenarioEngine::run_pipeline_emit(std::size_t actor) {
   ClientActor& a = clients_[actor];
   const Nanos issued = sched_->now();
-  VirtualStopwatch sw(cluster_->clock());
-
   const std::uint64_t record = page_round(spec_.record_bytes);
   const std::uint64_t slots = std::max<std::uint64_t>(
       1, std::min<std::uint64_t>(64, spec_.channel_heap_bytes / record));
+  // Backpressure: at most `slots` records in flight end to end. With that
+  // credit, record seq-slots has retired before seq is emitted, so the slot
+  // it shared on every channel has been drained - restaging cannot corrupt
+  // a record still traversing the pipe. Emit events all live on host 0's
+  // lane, so pipeline_seq_ needs no lock; pipeline_retired_ is relaxed.
+  if (pipeline_seq_ - pipeline_retired_.load() >= slots) {
+    sched_->post(issued + std::max<Nanos>(spec_.think_ns, 100), a.host,
+                 [this, actor] { run_pipeline_emit(actor); });
+    return;
+  }
+  // The guard covers the first hop's host.
+  HostGuard hg(*cluster_, sync_policy().is_threaded(), {0, 1});
+  ThreadCostMeter sw;
+
   const std::uint64_t seq = pipeline_seq_++;
   const std::uint64_t slot_off = (seq % slots) * record;
   const std::uint64_t marker = actor_seed(spec_.seed, kGolden ^ seq);
@@ -555,6 +616,8 @@ void ScenarioEngine::run_pipeline_emit(std::size_t actor) {
     sched_->post(done, 1, [this, slot_off, marker] {
       run_pipeline_hop(1, slot_off, marker);
     });
+  else
+    ++pipeline_retired_;  // dropped on the first wire: credit comes back
   if (--a.remaining > 0)
     sched_->post(done + spec_.think_ns, a.host,
                  [this, actor] { run_pipeline_emit(actor); });
@@ -563,7 +626,10 @@ void ScenarioEngine::run_pipeline_emit(std::size_t actor) {
 void ScenarioEngine::run_pipeline_hop(HostId host, std::uint64_t slot_off,
                                       std::uint64_t marker) {
   const Nanos issued = sched_->now();
-  VirtualStopwatch sw(cluster_->clock());
+  std::vector<HostId> lockset{host - 1, host};
+  if (host + 1 < spec_.hosts) lockset.push_back(host + 1);
+  HostGuard hg(*cluster_, sync_policy().is_threaded(), std::move(lockset));
+  ThreadCostMeter sw;
 
   msg::Channel* in = channel(host - 1, host);
   if (host == spec_.hosts - 1) {
@@ -575,6 +641,7 @@ void ScenarioEngine::run_pipeline_hop(HostId host, std::uint64_t slot_off,
         ++counters_.verify_failed;
     }
     ++counters_.records_delivered;
+    ++pipeline_retired_;
     const Nanos done = sched_->charge_host(host, issued, sw.elapsed());
     record_latency(done - issued);
     return;
@@ -597,13 +664,17 @@ void ScenarioEngine::run_pipeline_hop(HostId host, std::uint64_t slot_off,
     sched_->post(done, host + 1, [this, host, slot_off, marker] {
       run_pipeline_hop(host + 1, slot_off, marker);
     });
+  else
+    ++pipeline_retired_;  // record died mid-pipe: release its slot credit
 }
 
 // --- parameter-server allreduce ----------------------------------------------
 
 void ScenarioEngine::run_ps_begin_round() {
   const Nanos issued = sched_->now();
-  VirtualStopwatch sw(cluster_->clock());
+  // Round boundaries touch every rank's comm state: lock the cluster.
+  HostGuard hg(*cluster_, sync_policy().is_threaded(), all_hosts(spec_.hosts));
+  ThreadCostMeter sw;
   const std::uint32_t workers = spec_.hosts - 1;
   const std::uint64_t region = page_round(spec_.shard_bytes);
 
@@ -621,7 +692,8 @@ void ScenarioEngine::run_ps_begin_round() {
 
 void ScenarioEngine::run_ps_push(std::uint32_t worker) {
   const Nanos issued = sched_->now();
-  VirtualStopwatch sw(cluster_->clock());
+  HostGuard hg(*cluster_, sync_policy().is_threaded(), {0, worker});
+  ThreadCostMeter sw;
 
   // Round-dependent gradient: u64s all equal to (round+1)*worker, so the
   // reduced sum is predictable and the result broadcast verifiable.
@@ -654,7 +726,9 @@ void ScenarioEngine::run_ps_push(std::uint32_t worker) {
 
 void ScenarioEngine::run_ps_arrival(std::uint32_t worker) {
   const Nanos issued = sched_->now();
-  VirtualStopwatch sw(cluster_->clock());
+  // The last arrival reduces and broadcasts to every worker: lock them all.
+  HostGuard hg(*cluster_, sync_policy().is_threaded(), all_hosts(spec_.hosts));
+  ThreadCostMeter sw;
   const std::uint32_t workers = spec_.hosts - 1;
   const std::uint64_t region = page_round(spec_.shard_bytes);
   const std::uint32_t count = spec_.shard_bytes / 8;
@@ -718,7 +792,8 @@ void ScenarioEngine::run_ps_arrival(std::uint32_t worker) {
 
 void ScenarioEngine::run_ps_worker_check(std::uint32_t worker) {
   const Nanos issued = sched_->now();
-  VirtualStopwatch sw(cluster_->clock());
+  HostGuard hg(*cluster_, sync_policy().is_threaded(), {0, worker});
+  ThreadCostMeter sw;
   if (ps_result_reqs_[worker - 1] != mp::kInvalidReq &&
       comm_->wait(ps_result_reqs_[worker - 1])) {
     std::array<std::byte, 8> got{};
@@ -738,7 +813,10 @@ void ScenarioEngine::run_ps_worker_check(std::uint32_t worker) {
 
 void ScenarioEngine::run_collectives_round() {
   const Nanos issued = sched_->now();
-  VirtualStopwatch total(cluster_->clock());
+  // A collective involves every rank; the cluster-wide guard also keeps the
+  // report_ scalar accumulation below single-writer.
+  HostGuard hg(*cluster_, sync_policy().is_threaded(), all_hosts(spec_.hosts));
+  ThreadCostMeter total;
 
   if (collective_round_ == 0) {
     // Replays bench_e12 exactly: stage the root payload, one warmup
@@ -749,7 +827,7 @@ void ScenarioEngine::run_collectives_round() {
   }
 
   {
-    VirtualStopwatch sw(cluster_->clock());
+    ThreadCostMeter sw;
     const KStatus st = mesh_->barrier();
     report_.barrier_ns += sw.elapsed();
     ++counters_.transfers_attempted;
@@ -757,7 +835,7 @@ void ScenarioEngine::run_collectives_round() {
   }
   {
     const std::uint64_t before = mesh_->stats().p2p_msgs;
-    VirtualStopwatch sw(cluster_->clock());
+    ThreadCostMeter sw;
     const KStatus st = mesh_->broadcast(0, 0, spec_.payload_bytes);
     report_.broadcast_ns += sw.elapsed();
     report_.bcast_msgs += mesh_->stats().p2p_msgs - before;
@@ -765,14 +843,14 @@ void ScenarioEngine::run_collectives_round() {
     ok(st) ? ++counters_.transfers_ok : ++counters_.transfers_failed;
   }
   {
-    VirtualStopwatch sw(cluster_->clock());
+    ThreadCostMeter sw;
     const KStatus st = mesh_->allreduce_sum(0, spec_.allreduce_count);
     report_.allreduce_ns += sw.elapsed();
     ++counters_.transfers_attempted;
     ok(st) ? ++counters_.transfers_ok : ++counters_.transfers_failed;
   }
   {
-    VirtualStopwatch sw(cluster_->clock());
+    ThreadCostMeter sw;
     const KStatus st = mesh_->alltoall(128 * 1024, spec_.alltoall_block);
     report_.alltoall_ns += sw.elapsed();
     ++counters_.transfers_attempted;
@@ -858,11 +936,16 @@ void ScenarioEngine::run_kvsvc_churn(KvActor& a) {
 void ScenarioEngine::run_kvsvc_op(std::size_t actor) {
   KvActor& a = kv_actors_[actor];
   const Nanos issued = sched_->now();
-  VirtualStopwatch sw(cluster_->clock());
+  // An actor's connections fan over every server, and harvest() can surface
+  // completions from any of them: lock the client host plus all servers.
+  std::vector<HostId> lockset = all_hosts(spec_.servers);
+  lockset.push_back(a.host);
+  HostGuard hg(*cluster_, sync_policy().is_threaded(), std::move(lockset));
+  ThreadCostMeter sw;
   svc::KvClient& cli = *kv_clients_[a.client];
 
   std::uint32_t touched_server = UINT32_MAX;
-  kv_results_.clear();
+  std::vector<svc::KvResult> results;  ///< per-event harvest scratch
 
   if (a.churn_remaining > 0 && a.ops_since_churn >= a.churn_every) {
     run_kvsvc_churn(a);
@@ -898,9 +981,9 @@ void ScenarioEngine::run_kvsvc_op(std::size_t actor) {
         if (put) {
           const std::uint32_t len =
               large ? spec_.large_value_bytes : spec_.value_bytes;
-          kv_value_scratch_.resize(len);
-          svc::KvClient::fill_value(kv_value_scratch_, key, spec_.seed);
-          st = cli.put(ref->conn, key, kv_value_scratch_, req_id);
+          std::vector<std::byte> value(len);
+          svc::KvClient::fill_value(value, key, spec_.seed);
+          st = cli.put(ref->conn, key, value, req_id);
         } else {
           st = cli.get(ref->conn, key, req_id);
         }
@@ -913,14 +996,14 @@ void ScenarioEngine::run_kvsvc_op(std::size_t actor) {
       (void)cli.flush(ref->conn);
       while (srv.service() != 0) {
       }
-      while (cli.harvest(kv_results_) != 0) {
+      while (cli.harvest(results) != 0) {
       }
     }
   }
 
   const Nanos done = sched_->charge_host(a.host, issued, sw.elapsed());
   if (touched_server != UINT32_MAX) sched_->hold_host(touched_server, done);
-  for (const svc::KvResult& r : kv_results_) {
+  for (const svc::KvResult& r : results) {
     kvsvc_account(r, touched_server == UINT32_MAX ? 0 : touched_server);
     const auto it = a.issue_ns.find(r.req_id);
     const Nanos t0 = it == a.issue_ns.end() ? issued : it->second;
@@ -941,7 +1024,8 @@ void ScenarioEngine::run_churn_op(std::size_t actor) {
   ChurnActor& c = churners_[actor];
   Tenant& t = tenants_[c.host][c.tenant];
   const Nanos issued = sched_->now();
-  VirtualStopwatch sw(cluster_->clock());
+  HostGuard hg(*cluster_, sync_policy().is_threaded(), {c.host});
+  ThreadCostMeter sw;
 
   const std::uint64_t slab_slot = page_round(spec_.churn_bytes);
   if (c.held.size() >= spec_.churn_hold) {
@@ -994,10 +1078,22 @@ Nanos ScenarioEngine::percentile(double q) const {
 // --- run / teardown / audit --------------------------------------------------
 
 KStatus ScenarioEngine::run() {
+  if (spec_.threads > 1) {
+    ThreadedExecutor exec(spec_.threads);
+    return run(exec);
+  }
+  SerialExecutor exec;
+  return run(exec);
+}
+
+KStatus ScenarioEngine::run(Executor& exec) {
   assert(built_ && !ran_);
+  // A multi-threaded executor depends on the locks build() armed; a spec
+  // built serial has no-op locks everywhere and must stay single-threaded.
+  if (exec.threads() > 1 && !sync_policy().is_threaded()) return KStatus::Inval;
   ran_ = true;
   seed_actors();
-  sched_->run();
+  exec.run(*sched_);
   report_.makespan_ns = sched_->now();
   teardown();
   audit();
@@ -1095,10 +1191,10 @@ void ScenarioEngine::audit() {
   if (spec_.fault_rules.empty()) {
     if (counters_.transfers_failed > 0)
       violation("lost transfers in a fault-free run: " +
-                std::to_string(counters_.transfers_failed));
+                std::to_string(counters_.transfers_failed.load()));
     if (counters_.verify_failed > 0)
       violation("payload verification failures in a fault-free run: " +
-                std::to_string(counters_.verify_failed));
+                std::to_string(counters_.verify_failed.load()));
   }
   for (HostId h = 0; h < spec_.hosts; ++h) {
     via::Node& node = cluster_->node(h);

@@ -28,8 +28,10 @@
 #include "msg/mesh.h"
 #include "msg/transport.h"
 #include "mp/comm.h"
+#include "scenario/executor.h"
 #include "scenario/scheduler.h"
 #include "scenario/spec.h"
+#include "sync/sync.h"
 #include "svc/kv_client.h"
 #include "svc/kv_server.h"
 #include "util/rng.h"
@@ -41,22 +43,24 @@ namespace vialock::scenario {
 
 /// Everything the engine counts while a scenario runs. All values derive
 /// from the virtual clock and seeded RNG streams - never from wall time.
+/// Relaxed counters: threaded events on disjoint host sets bump these
+/// concurrently; the totals are exact either way (serial no-op cost).
 struct ScenarioCounters {
-  std::uint64_t transfers_attempted = 0;
-  std::uint64_t transfers_ok = 0;
-  std::uint64_t transfers_failed = 0;
-  std::uint64_t bytes_moved = 0;         ///< payload bytes through channels/comm
-  std::uint64_t registrations_ok = 0;    ///< churn-actor registrations admitted
-  std::uint64_t registrations_failed = 0;///< churn-actor registrations rejected
-  std::uint64_t deregistrations = 0;     ///< churn-actor deregistrations
-  std::uint64_t rpcs = 0;
-  std::uint64_t kv_gets = 0;
-  std::uint64_t kv_puts = 0;
-  std::uint64_t records_delivered = 0;
-  std::uint64_t allreduce_rounds = 0;
-  std::uint64_t verify_ok = 0;
-  std::uint64_t verify_failed = 0;       ///< payload markers that came back wrong
-  std::uint64_t channels_created = 0;
+  sync::Relaxed transfers_attempted = 0;
+  sync::Relaxed transfers_ok = 0;
+  sync::Relaxed transfers_failed = 0;
+  sync::Relaxed bytes_moved = 0;         ///< payload bytes through channels/comm
+  sync::Relaxed registrations_ok = 0;    ///< churn-actor registrations admitted
+  sync::Relaxed registrations_failed = 0;///< churn-actor registrations rejected
+  sync::Relaxed deregistrations = 0;     ///< churn-actor deregistrations
+  sync::Relaxed rpcs = 0;
+  sync::Relaxed kv_gets = 0;
+  sync::Relaxed kv_puts = 0;
+  sync::Relaxed records_delivered = 0;
+  sync::Relaxed allreduce_rounds = 0;
+  sync::Relaxed verify_ok = 0;
+  sync::Relaxed verify_failed = 0;       ///< payload markers that came back wrong
+  sync::Relaxed channels_created = 0;
 };
 
 /// Roll-up of the svc tier's own accounting for the kv-server pattern,
@@ -165,10 +169,18 @@ class ScenarioEngine {
   ScenarioEngine(const ScenarioEngine&) = delete;
   ScenarioEngine& operator=(const ScenarioEngine&) = delete;
 
-  /// Materialise the cluster, tenants, governors, faults, mesh/comm.
+  /// Materialise the cluster, tenants, governors, faults, mesh/comm. The
+  /// spec's `threads` decides the execution mode: 1 builds everything with
+  /// serial (no-op) locks, >1 arms every sync:: primitive in the tree.
   [[nodiscard]] KStatus build();
   /// Seed actors, drain the scheduler, tear down, audit. build() first.
+  /// Picks the executor from the spec: SerialExecutor (threads = 1, the
+  /// deterministic oracle) or ThreadedExecutor (threads > 1).
   [[nodiscard]] KStatus run();
+  /// Same, draining through a caller-supplied executor. A multi-threaded
+  /// executor requires a spec built with threads > 1 (the locks it needs
+  /// were armed at build() time); mismatches return Inval.
+  [[nodiscard]] KStatus run(Executor& exec);
 
   [[nodiscard]] const ScenarioReport& report() const { return report_; }
   /// kv-server pattern only: the svc tier's aggregated accounting.
@@ -235,6 +247,12 @@ class ScenarioEngine {
   [[nodiscard]] msg::Channel::Config channel_config(HostId from, HostId to) const;
   [[nodiscard]] std::uint32_t max_payload() const;
 
+  /// The execution mode every lock in the tree is constructed with.
+  [[nodiscard]] sync::SyncPolicy sync_policy() const {
+    return spec_.threads > 1 ? sync::SyncPolicy::threaded()
+                             : sync::SyncPolicy::serial();
+  }
+
   // --- actors ----------------------------------------------------------------
   void seed_actors();
   void run_rpc_op(std::size_t actor);
@@ -289,6 +307,11 @@ class ScenarioEngine {
   std::unique_ptr<fault::FaultEngine> faults_;
 
   std::map<std::pair<HostId, HostId>, std::unique_ptr<msg::Channel>> channels_;
+  /// Serializes lazy channel creation: two threaded events on disjoint host
+  /// pairs may first-touch channels_ concurrently. Held across init() so a
+  /// pair is built exactly once; never acquired with another engine lock
+  /// held, so it orders cleanly before the per-node kernel locks.
+  sync::Mutex channels_mu_;
   std::unique_ptr<msg::Mesh> mesh_;   ///< Collectives pattern
   std::unique_ptr<mp::Comm> comm_;    ///< PsAllreduce pattern
 
@@ -300,11 +323,15 @@ class ScenarioEngine {
   std::vector<std::unique_ptr<svc::KvClient>> kv_clients_;   ///< one per client host
   std::vector<KvActor> kv_actors_;
   KvServiceStats kvsvc_stats_;
-  std::vector<svc::KvResult> kv_results_;     ///< per-event harvest scratch
-  std::vector<std::byte> kv_value_scratch_;   ///< per-event PUT value scratch
 
   std::vector<double> zipf_cdf_;
+  /// Persistent Fisher-Yates permutation shared by every RPC client (the
+  /// serial byte surface depends on it staying shared); fanout_mu_ keeps
+  /// threaded target draws atomic. Threaded target *choices* then depend on
+  /// event interleaving, but the audit surface (op and transfer counts)
+  /// does not - DESIGN.md section 15.
   std::vector<std::uint32_t> fanout_perm_;
+  sync::Mutex fanout_mu_;
 
   // Parameter-server state.
   std::vector<mp::ReqId> ps_recv_reqs_;    ///< PS-side, indexed by worker-1
@@ -315,14 +342,18 @@ class ScenarioEngine {
 
   std::uint32_t collective_round_ = 0;
   std::uint64_t pipeline_seq_ = 0;
+  /// Records that left the pipe: delivered at the tail, or died on a failed
+  /// transfer. The emitter stalls while seq - retired would exceed the
+  /// channel slot ring, so a slot is provably drained before it is restaged.
+  sync::Relaxed pipeline_retired_ = 0;
 
   // Per-server KV/RPC load (breakdown table).
   std::vector<std::uint64_t> server_ops_;
   std::vector<std::uint64_t> server_bytes_;
 
   ScenarioCounters counters_;
-  std::array<std::uint64_t, 64> lat_hist_{};
-  std::uint64_t lat_samples_ = 0;
+  std::array<sync::Relaxed, 64> lat_hist_{};
+  sync::Relaxed lat_samples_ = 0;
   ScenarioReport report_;
 };
 

@@ -1,0 +1,67 @@
+// executor.h - execution modes for the event scheduler (DESIGN.md sec 15).
+//
+// An Executor owns *how* the event heap is drained; the scheduler owns
+// *what* runs. SerialExecutor is the deterministic oracle: it delegates to
+// EventScheduler::run(), the byte-identical single-threaded loop every CI
+// determinism gate replays. ThreadedExecutor runs one worker per hardware
+// lane and drains the heap in epochs:
+//
+//   1. pop every pending event (already (when, seq)-sorted),
+//   2. partition into per-host lanes, preserving order - all of one host's
+//      events stay on one lane, so per-host state needs no locking,
+//   3. workers claim whole lanes from a shared atomic cursor (epoch-bounded
+//      work stealing: a fast worker takes the next unclaimed lane),
+//   4. barrier; events posted during the epoch form the next epoch.
+//
+// Causality needs no cross-worker ordering: an event only depends on events
+// that (transitively) posted it, and a posted event always lands in a later
+// epoch. Cross-host mutual exclusion within an epoch is the engine's
+// HostGuard discipline, not the executor's problem.
+//
+// The audit surface (ops served, zero lost/corrupt, residual pins/charge,
+// self_check) is identical to a serial run of the same spec + seed - the
+// differential suite enforces it. Scenario-time scalars (makespan, busy
+// time, latency percentiles) may differ: epochs interleave host timelines
+// differently than the serial total order.
+#pragma once
+
+#include <cstdint>
+
+#include "scenario/scheduler.h"
+
+namespace vialock::scenario {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Worker count (1 for the serial oracle).
+  [[nodiscard]] virtual std::uint32_t threads() const = 0;
+
+  /// Drain the scheduler to empty. Returns events dispatched.
+  virtual std::uint64_t run(EventScheduler& sched) = 0;
+};
+
+/// The deterministic single-threaded oracle (EventScheduler::run()).
+class SerialExecutor final : public Executor {
+ public:
+  [[nodiscard]] std::uint32_t threads() const override { return 1; }
+  std::uint64_t run(EventScheduler& sched) override { return sched.run(); }
+};
+
+/// Epoch-draining worker pool; see file comment. Workers are labeled with
+/// simulated NUMA domains (round-robin over two sockets) so the CNA locks'
+/// domain-preference path runs even on single-socket machines.
+class ThreadedExecutor final : public Executor {
+ public:
+  explicit ThreadedExecutor(std::uint32_t threads)
+      : threads_(threads < 1 ? 1 : threads) {}
+
+  [[nodiscard]] std::uint32_t threads() const override { return threads_; }
+  std::uint64_t run(EventScheduler& sched) override;
+
+ private:
+  std::uint32_t threads_;
+};
+
+}  // namespace vialock::scenario

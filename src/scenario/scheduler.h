@@ -20,13 +20,23 @@
 // clock still accumulates total simulated CPU/wire cost - both are reported.
 // Determinism: given the same posted events (same spec + seed), the dispatch
 // order, every measured cost, and all statistics are bit-identical.
+//
+// Execution modes (DESIGN.md section 15): run() is the serial oracle - the
+// loop above, byte-identical to what it always was. A ThreadedExecutor
+// instead drains the heap in epochs via drain_epoch() and dispatches each
+// event through dispatch() from a worker thread; post() is mutex-protected
+// (serial policy: a no-op branch) so event bodies can post follow-ups from
+// any worker, and now() reports the dispatching event's timestamp through a
+// thread-local so event bodies read the same value they would serially.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <vector>
 
+#include "sync/sync.h"
 #include "util/clock.h"
 
 namespace vialock::scenario {
@@ -38,23 +48,38 @@ class EventScheduler {
   /// An event's body. Runs substrate work; posts follow-up events.
   using Action = std::function<void()>;
 
-  explicit EventScheduler(std::uint32_t hosts) : ready_(hosts, 0) {}
+  struct Event {
+    Nanos when = 0;
+    std::uint64_t seq = 0;
+    HostId host = 0;
+    Action fn;
+  };
+
+  explicit EventScheduler(std::uint32_t hosts,
+                          sync::SyncPolicy policy = sync::SyncPolicy::serial())
+      : ready_(hosts, 0) {
+    post_mu_.set_policy(policy);
+  }
 
   /// Enqueue `fn` at scenario time `when` on behalf of `host`. Events that
-  /// share a timestamp dispatch in post order (seq tie-break).
+  /// share a timestamp dispatch in post order (seq tie-break). Thread-safe
+  /// under the threaded policy.
   void post(Nanos when, HostId host, Action fn) {
+    sync::Guard g(post_mu_);
     heap_.push(Event{when, next_seq_++, host, std::move(fn)});
     if (heap_.size() > stats_.peak_pending) stats_.peak_pending = heap_.size();
   }
 
-  /// Drain the heap. Returns the number of events dispatched.
+  /// Drain the heap serially. Returns the number of events dispatched.
+  /// This loop is the determinism oracle - do not reorder it.
   std::uint64_t run() {
     std::uint64_t dispatched = 0;
     while (!heap_.empty()) {
       // Move the action out before popping; pop invalidates the reference.
       Event ev = std::move(const_cast<Event&>(heap_.top()));
       heap_.pop();
-      if (ev.when > now_) now_ = ev.when;
+      if (ev.when > now_.load(std::memory_order_relaxed))
+        now_.store(ev.when, std::memory_order_relaxed);
       current_host_ = ev.host;
       ev.fn();
       ++dispatched;
@@ -63,11 +88,51 @@ class EventScheduler {
     return dispatched;
   }
 
-  [[nodiscard]] Nanos now() const { return now_; }
+  // --- threaded-executor surface ---------------------------------------------
+  /// Pop every currently-pending event, in (when, seq) order, into `out`.
+  /// Returns false when the heap is empty. Events posted while dispatching
+  /// these land in the *next* epoch, which is what makes causality
+  /// (post -> later epoch) hold without cross-worker ordering.
+  bool drain_epoch(std::vector<Event>& out) {
+    out.clear();
+    sync::Guard g(post_mu_);
+    if (heap_.empty()) return false;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) {
+      out.push_back(std::move(const_cast<Event&>(heap_.top())));
+      heap_.pop();
+    }
+    return true;
+  }
+
+  /// Run one drained event on the calling worker thread: now() reports the
+  /// event's timestamp (thread-locally) for the duration of its body, and
+  /// the makespan watermark advances to at least `ev.when`.
+  void dispatch(Event& ev) {
+    Nanos cur = now_.load(std::memory_order_relaxed);
+    while (cur < ev.when &&
+           !now_.compare_exchange_weak(cur, ev.when,
+                                       std::memory_order_relaxed)) {
+    }
+    tls_now() = ev.when;
+    tls_now_active() = true;
+    ev.fn();
+    tls_now_active() = false;
+    ++stats_.dispatched;
+  }
+
+  [[nodiscard]] Nanos now() const {
+    if (tls_now_active()) return tls_now();
+    return now_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] bool idle() const { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
 
   // --- per-host bookkeeping ---------------------------------------------------
+  // ready_ entries need no atomics even threaded: an event only touches the
+  // ready times of hosts in its lock set (engine HostGuard), and lanes keep
+  // same-host events ordered.
+
   /// Earliest scenario time `host` can start its next operation.
   [[nodiscard]] Nanos host_ready(HostId host) const { return ready_[host]; }
 
@@ -88,19 +153,13 @@ class EventScheduler {
   }
 
   struct Stats {
-    std::uint64_t dispatched = 0;
-    std::size_t peak_pending = 0;
-    Nanos busy_ns = 0;  ///< summed per-host busy time (vs. makespan = now())
+    sync::Relaxed dispatched = 0;
+    std::size_t peak_pending = 0;  // maintained under the post mutex
+    sync::Relaxed busy_ns = 0;  ///< summed per-host busy time (vs. makespan)
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
-  struct Event {
-    Nanos when = 0;
-    std::uint64_t seq = 0;
-    HostId host = 0;
-    Action fn;
-  };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.when != b.when) return a.when > b.when;
@@ -108,11 +167,21 @@ class EventScheduler {
     }
   };
 
+  static bool& tls_now_active() {
+    thread_local bool active = false;
+    return active;
+  }
+  static Nanos& tls_now() {
+    thread_local Nanos t = 0;
+    return t;
+  }
+
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::vector<Nanos> ready_;
   std::uint64_t next_seq_ = 0;
-  Nanos now_ = 0;
+  std::atomic<Nanos> now_{0};
   HostId current_host_ = 0;
+  sync::Mutex post_mu_;
   Stats stats_;
 };
 

@@ -191,6 +191,8 @@ std::string ScenarioSpec::apply(std::string_view key, std::string_view value) {
     if (!parse_u64(value, seed)) return bad("seed");
   } else if (key == "hosts") {
     if (!parse_u32(value, hosts)) return bad("hosts");
+  } else if (key == "threads") {
+    if (!parse_u32(value, threads)) return bad("threads");
   } else if (key == "host_frames") {
     if (!parse_u32(value, host_frames)) return bad("host_frames");
   } else if (key == "host_swap_slots") {
@@ -330,6 +332,8 @@ std::uint64_t ScenarioSpec::planned_ops() const {
 
 std::string ScenarioSpec::validate() const {
   if (hosts < 2) return "hosts must be >= 2";
+  if (threads == 0) return "threads must be >= 1";
+  if (threads > 256) return "threads must be <= 256";
   if (tenants_per_host < 1) return "tenants_per_host must be >= 1";
   if (pattern == Pattern::RpcFanout || pattern == Pattern::SkewedKv ||
       pattern == Pattern::KvService) {
@@ -416,6 +420,7 @@ std::string summary(const ScenarioSpec& spec) {
   out << spec.name << ": " << to_string(spec.pattern) << ", " << spec.hosts
       << " hosts x " << spec.tenants_per_host << " tenants, ~"
       << spec.planned_ops() << " ops, seed " << spec.seed;
+  if (spec.threads > 1) out << ", " << spec.threads << " threads";
   if (!spec.fault_rules.empty())
     out << ", " << spec.fault_rules.size() << " fault rule(s)";
   return out.str();

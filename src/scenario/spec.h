@@ -64,6 +64,13 @@ struct ScenarioSpec {
   Pattern pattern = Pattern::SkewedKv;
   std::uint64_t seed = 1;
   std::uint32_t hosts = 8;
+  /// Execution mode (DESIGN.md section 15): 1 runs the deterministic serial
+  /// oracle; >1 arms every sync:: primitive at build time and drains the
+  /// event heap with that many worker threads. The audit surface (ops, zero
+  /// lost/corrupt payloads, residual pins/charges, self-check) is identical
+  /// to the serial run of the same spec + seed; time-shaped scalars
+  /// (makespan, busy, latency percentiles) may differ.
+  std::uint32_t threads = 1;
 
   // --- per-host platform sizing -------------------------------------------------
   std::uint32_t host_frames = 1024;      ///< physical frames per simulated host

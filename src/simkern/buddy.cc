@@ -36,6 +36,7 @@ Pfn BuddyAllocator::alloc(std::uint32_t order) {
       return kInvalidPfn;  // as if memory were exhausted; callers reclaim
     }
   }
+  sync::Guard g(mu_);
   std::uint32_t o = order;
   while (o <= kMaxOrder && free_lists_[o].empty()) ++o;
   if (o > kMaxOrder) return kInvalidPfn;
@@ -69,6 +70,7 @@ Pfn BuddyAllocator::alloc(std::uint32_t order) {
 
 void BuddyAllocator::free(Pfn pfn, std::uint32_t order) {
   assert(order <= kMaxOrder);
+  sync::Guard g(mu_);
   const std::uint32_t n = 1U << order;
   for (Pfn f = pfn; f < pfn + n; ++f) {
     assert(mem_.page(f).count == 0 && "freeing a frame still referenced");
@@ -94,6 +96,7 @@ void BuddyAllocator::free(Pfn pfn, std::uint32_t order) {
 }
 
 std::uint32_t BuddyAllocator::free_blocks(std::uint32_t order) const {
+  sync::Guard g(mu_);
   return static_cast<std::uint32_t>(free_lists_[order].size());
 }
 

@@ -14,6 +14,9 @@
 #include "fault/fault.h"
 #include "simkern/page.h"
 #include "simkern/types.h"
+#include "sync/mutex.h"
+#include "sync/policy.h"
+#include "sync/relaxed.h"
 
 namespace vialock::simkern {
 
@@ -37,7 +40,9 @@ class BuddyAllocator {
   /// already be 0 when called from __free_page; this sets list membership).
   void free(Pfn pfn, std::uint32_t order = 0);
 
-  [[nodiscard]] std::uint32_t free_frames() const { return free_frames_; }
+  [[nodiscard]] std::uint32_t free_frames() const {
+    return static_cast<std::uint32_t>(free_frames_.load());
+  }
   [[nodiscard]] std::uint32_t total_frames() const { return total_frames_; }
 
   /// Number of blocks currently on the free list of `order`.
@@ -49,6 +54,10 @@ class BuddyAllocator {
   [[nodiscard]] std::uint64_t injected_failures() const {
     return injected_failures_;
   }
+
+  /// Execution mode: threaded arms the internal CNA mutex serializing the
+  /// free lists; serial keeps it a no-op branch.
+  void set_policy(sync::SyncPolicy p) { mu_.set_policy(p); }
 
  private:
   struct FrameState {
@@ -63,9 +72,10 @@ class BuddyAllocator {
   std::array<std::vector<Pfn>, kMaxOrder + 1> free_lists_;
   std::vector<FrameState> state_;
   fault::FaultEngine* faults_ = nullptr;
-  std::uint32_t free_frames_ = 0;
+  mutable sync::Mutex mu_;      ///< serializes free lists + frame state
+  sync::Relaxed free_frames_;   ///< readable without the lock (watermarks)
   std::uint32_t total_frames_ = 0;
-  std::uint64_t injected_failures_ = 0;
+  sync::Relaxed injected_failures_;
 };
 
 }  // namespace vialock::simkern

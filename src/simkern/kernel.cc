@@ -3,6 +3,7 @@
 #include "simkern/kernel.h"
 
 #include <cassert>
+#include <thread>
 
 #include "obs/export.h"
 #include "simkern/procfs.h"
@@ -16,6 +17,16 @@ Kernel::Kernel(const KernelConfig& config, Clock& clock, CostModel costs)
       phys_(config.frames),
       buddy_(phys_, config.reserved_low),
       swap_(config.swap_slots, clock, costs_) {
+  // Arm the execution-mode policy on every kernel lock (serial = no-ops).
+  buddy_.set_policy(config_.sync);
+  swap_.set_policy(config_.sync);
+  range_lock_.set_policy(config_.sync);
+  reclaim_mu_.set_policy(config_.sync);
+  tasks_mu_.set_policy(config_.sync);
+  io_mu_.set_policy(config_.sync);
+  metrics_.set_policy(config_.sync);
+  spans_.set_policy(config_.sync);
+  trace_.set_policy(config_.sync);
   spans_.mirror_to(&trace_);
   reclaim_ns_hist_ = &metrics_.histogram("simkern.vm.reclaim_ns");
   reclaim_freed_hist_ = &metrics_.histogram("simkern.vm.reclaim_freed_pages");
@@ -79,11 +90,13 @@ void Kernel::set_fault_engine(fault::FaultEngine* engine) {
 // ---------------------------------------------------------------------------
 
 Pid Kernel::create_task(std::string name, Capability caps) {
+  sync::Guard g(tasks_mu_);
   const Pid pid = next_pid_++;
   auto t = std::make_unique<Task>();
   t->pid = pid;
   t->name = std::move(name);
   t->caps = caps;
+  t->mu.set_policy(config_.sync);
   tasks_.emplace(pid, std::move(t));
   task_order_.push_back(pid);
   return pid;
@@ -91,8 +104,11 @@ Pid Kernel::create_task(std::string name, Capability caps) {
 
 Pid Kernel::fork_task(Pid parent) {
   Task& p = task(parent);
+  sync::Guard gp(p.mu);  // task mutex before tasks_mu_ (create_task) - the
+                         // one canonical order; exit_task matches it.
   const Pid pid = create_task(p.name + "-child", p.caps);
   Task& c = task(pid);
+  sync::Guard gc(c.mu);  // the child is visible to reclaim's try-walk already
   c.rlimit_memlock = p.rlimit_memlock;
 
   p.mm.vmas.for_each([&](const Vma& vma) {
@@ -128,12 +144,19 @@ Pid Kernel::fork_task(Pid parent) {
 }
 
 void Kernel::exit_task(Pid pid) {
+  // Precondition (documented, not locked around): no concurrent kernel entry
+  // on `pid` - every workload exits a task only after its worker quiesced.
+  // The task mutex is released before the Task is destroyed.
   Task& t = task(pid);
-  t.mm.vmas.for_each([&](const Vma& vma) {
-    t.mm.pt.clear_range(vma.start, vma.end,
-                        [&](VAddr v, Pte& pte) { drop_pte(t, v, pte); });
-  });
-  t.alive = false;
+  {
+    sync::Guard g(t.mu);
+    t.mm.vmas.for_each([&](const Vma& vma) {
+      t.mm.pt.clear_range(vma.start, vma.end,
+                          [&](VAddr v, Pte& pte) { drop_pte(t, v, pte); });
+    });
+    t.alive = false;
+  }
+  sync::Guard gt(tasks_mu_);
   tasks_.erase(pid);
   std::erase(task_order_, pid);
 }
@@ -162,6 +185,7 @@ std::optional<VAddr> Kernel::sys_mmap_anon(Pid pid, std::uint64_t len,
   clock_.advance(costs_.syscall);
   if (len == 0 || !task_exists(pid)) return std::nullopt;
   Task& t = task(pid);
+  sync::Guard g(t.mu);
   const std::uint64_t alen = page_align_up(len);
   const auto addr =
       t.mm.vmas.find_free_range(alen, t.mm.mmap_base, PageTable::kUserTop);
@@ -179,6 +203,7 @@ KStatus Kernel::sys_munmap(Pid pid, VAddr addr, std::uint64_t len) {
   if (!task_exists(pid)) return KStatus::NoEnt;
   if (len == 0 || (addr & kPageMask) != 0) return KStatus::Inval;
   Task& t = task(pid);
+  sync::Guard g(t.mu);
   const VAddr end = page_align_up(addr + len);
   t.mm.pt.clear_range(addr, end,
                       [&](VAddr v, Pte& pte) { drop_pte(t, v, pte); });
@@ -194,6 +219,7 @@ KStatus Kernel::sys_mprotect(Pid pid, VAddr addr, std::uint64_t len,
   if (!task_exists(pid)) return KStatus::NoEnt;
   if (len == 0) return KStatus::Inval;
   Task& t = task(pid);
+  sync::Guard g(t.mu);
   const VAddr start = page_align_down(addr);
   const VAddr end = page_align_up(addr + len);
   std::uint32_t ops = 0;
@@ -219,6 +245,7 @@ std::optional<VAddr> Kernel::map_device_page(Pid pid, Pfn dev_pfn,
   if (!task_exists(pid) || !phys_.valid(dev_pfn)) return std::nullopt;
   if (!phys_.page(dev_pfn).reserved()) return std::nullopt;  // devices only
   Task& t = task(pid);
+  sync::Guard g(t.mu);
   const auto addr =
       t.mm.vmas.find_free_range(kPageSize, t.mm.mmap_base, PageTable::kUserTop);
   if (!addr) return std::nullopt;
@@ -244,6 +271,7 @@ KStatus Kernel::sys_madvise_dontfork(Pid pid, VAddr addr, std::uint64_t len,
   if (!task_exists(pid)) return KStatus::NoEnt;
   if (len == 0) return KStatus::Inval;
   Task& t = task(pid);
+  sync::Guard g(t.mu);
   const VAddr start = page_align_down(addr);
   const VAddr end = page_align_up(addr + len);
   std::uint32_t ops = 0;
@@ -299,6 +327,16 @@ Pfn Kernel::get_free_page() {
     (void)try_to_free_pages(config_.swap_cluster);
     pfn = buddy_.alloc(0);
   }
+  if (pfn == kInvalidPfn && config_.sync.is_threaded()) {
+    // Threaded only: try_to_free_pages may have returned 0 because another
+    // worker holds the reclaim gate. Yield to it and retry before declaring
+    // OOM. The serial path above is untouched (determinism oracle).
+    for (int attempt = 0; attempt < 64 && pfn == kInvalidPfn; ++attempt) {
+      std::this_thread::yield();
+      (void)try_to_free_pages(config_.swap_cluster);
+      pfn = buddy_.alloc(0);
+    }
+  }
   if (pfn == kInvalidPfn) {
     ++stats_.oom_failures;
     return kInvalidPfn;
@@ -341,6 +379,7 @@ ShmId Kernel::shm_create(std::uint64_t bytes) {
   ++stats_.syscalls;
   clock_.advance(costs_.syscall);
   if (bytes == 0) return kInvalidShm;
+  sync::Guard g(tasks_mu_);
   ShmSegment seg;
   seg.bytes = page_align_up(bytes);
   seg.frames.assign(seg.bytes >> kPageShift, kInvalidPfn);
@@ -355,6 +394,8 @@ std::optional<VAddr> Kernel::shm_attach(Pid pid, ShmId id) {
   if (!task_exists(pid) || id >= shms_.size() || !shms_[id].alive)
     return std::nullopt;
   Task& t = task(pid);
+  sync::Guard g(t.mu);
+  sync::Guard gs(tasks_mu_);  // task mutex -> tasks_mu_, same as exit_task
   const std::uint64_t bytes = shms_[id].bytes;
   const auto addr =
       t.mm.vmas.find_free_range(bytes, t.mm.mmap_base, PageTable::kUserTop);
@@ -372,6 +413,7 @@ KStatus Kernel::shm_destroy(ShmId id) {
   ++stats_.syscalls;
   clock_.advance(costs_.syscall);
   if (id >= shms_.size() || !shms_[id].alive) return KStatus::NoEnt;
+  sync::Guard g(tasks_mu_);
   ShmSegment& seg = shms_[id];
   for (Pfn& pfn : seg.frames) {
     if (pfn != kInvalidPfn) {
@@ -412,9 +454,9 @@ std::vector<std::string> Kernel::self_check() const {
     complain("free-frame mismatch: page map " + std::to_string(free_by_map) +
              " vs buddy " + std::to_string(buddy_.free_frames()));
   }
-  if (pinned_by_map != pinned_frames_) {
+  if (pinned_by_map != pinned_frames_.load()) {
     complain("pin accounting drift: page map " + std::to_string(pinned_by_map) +
-             " vs counter " + std::to_string(pinned_frames_));
+             " vs counter " + std::to_string(pinned_frames_.load()));
   }
 
   // Per-task: RSS, PTE sanity, swap references.
@@ -461,6 +503,7 @@ std::vector<std::string> Kernel::self_check() const {
 
 KStatus Kernel::start_kernel_io(Pfn pfn) {
   if (!phys_.valid(pfn)) return KStatus::Inval;
+  sync::Guard g(io_mu_);
   Page& pg = phys_.page(pfn);
   if (pg.locked()) return KStatus::Busy;
   pg.flags |= PageFlag::Locked;
@@ -470,6 +513,7 @@ KStatus Kernel::start_kernel_io(Pfn pfn) {
 }
 
 void Kernel::end_kernel_io(Pfn pfn) {
+  sync::Guard g(io_mu_);
   auto it = inflight_io_.find(pfn);
   if (it == inflight_io_.end()) return;
   inflight_io_.erase(it);

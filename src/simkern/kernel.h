@@ -31,6 +31,7 @@
 #include "simkern/swap.h"
 #include "simkern/task.h"
 #include "simkern/types.h"
+#include "sync/sync.h"
 #include "util/clock.h"
 #include "util/cost_model.h"
 #include "util/status.h"
@@ -55,44 +56,53 @@ struct KernelConfig {
   /// *additional* adjacent swapped pages of the same VMA are read in the same
   /// disk pass (sequential, no extra seek). 0 disables read-ahead.
   std::uint32_t swap_readahead = 0;
+  /// Execution mode (DESIGN.md section 15). Serial keeps every kernel lock a
+  /// no-op branch; threaded arms the per-task mutexes, the registration
+  /// range lock and the allocator/swap CNA mutexes.
+  sync::SyncPolicy sync;
 };
 
+// Counters are sync::Relaxed (copyable relaxed-atomic u64) so threaded-mode
+// event bodies can bump them from any worker; serial reads stay exact.
 struct KernelStats {
-  std::uint64_t syscalls = 0;
-  std::uint64_t minor_faults = 0;
-  std::uint64_t major_faults = 0;
-  std::uint64_t cow_breaks = 0;
-  std::uint64_t segv = 0;
-  std::uint64_t pages_swapped_out = 0;
-  std::uint64_t pages_swapped_in = 0;
-  std::uint64_t readahead_pages = 0;  ///< swapped in speculatively
-  std::uint64_t reclaim_runs = 0;
-  std::uint64_t clock_scanned = 0;
-  std::uint64_t pressure_callbacks = 0;       ///< cooperative-reclaim invocations
-  std::uint64_t pressure_pages_released = 0;  ///< pages handlers made reclaimable
-  std::uint64_t swap_skip_vma_locked = 0;
-  std::uint64_t swap_skip_page_locked = 0;
-  std::uint64_t swap_skip_reserved = 0;
-  std::uint64_t swap_skip_pinned = 0;
-  std::uint64_t swap_skip_referenced = 0;
-  std::uint64_t oom_failures = 0;
-  std::uint64_t mlock_calls = 0;
-  std::uint64_t munlock_calls = 0;
-  std::uint64_t kiobuf_maps = 0;
-  std::uint64_t kiobuf_pages_pinned = 0;
-  std::uint64_t kiobuf_pin_rejections = 0;  ///< maps refused at the pin budget
-  std::uint64_t kiobuf_fault_rejections = 0;  ///< maps refused by injection
+  sync::Relaxed syscalls;
+  sync::Relaxed minor_faults;
+  sync::Relaxed major_faults;
+  sync::Relaxed cow_breaks;
+  sync::Relaxed segv;
+  sync::Relaxed pages_swapped_out;
+  sync::Relaxed pages_swapped_in;
+  sync::Relaxed readahead_pages;  ///< swapped in speculatively
+  sync::Relaxed reclaim_runs;
+  sync::Relaxed clock_scanned;
+  sync::Relaxed pressure_callbacks;       ///< cooperative-reclaim invocations
+  sync::Relaxed pressure_pages_released;  ///< pages handlers made reclaimable
+  sync::Relaxed swap_skip_vma_locked;
+  sync::Relaxed swap_skip_page_locked;
+  sync::Relaxed swap_skip_reserved;
+  sync::Relaxed swap_skip_pinned;
+  sync::Relaxed swap_skip_referenced;
+  /// Reclaim skipped a page because a registration/mlock holds its range
+  /// (threaded mode only - the window the range lock closes).
+  sync::Relaxed swap_skip_range_locked;
+  sync::Relaxed oom_failures;
+  sync::Relaxed mlock_calls;
+  sync::Relaxed munlock_calls;
+  sync::Relaxed kiobuf_maps;
+  sync::Relaxed kiobuf_pages_pinned;
+  sync::Relaxed kiobuf_pin_rejections;    ///< maps refused at the pin budget
+  sync::Relaxed kiobuf_fault_rejections;  ///< maps refused by injection
   // Page cache / file I/O (filecache.cc):
-  std::uint64_t file_reads = 0;
-  std::uint64_t file_writes = 0;
-  std::uint64_t pagecache_hits = 0;
-  std::uint64_t pagecache_misses = 0;
-  std::uint64_t pagecache_reclaimed = 0;  ///< cache pages freed by shrink_mmap
-  std::uint64_t pagecache_writebacks = 0;
+  sync::Relaxed file_reads;
+  sync::Relaxed file_writes;
+  sync::Relaxed pagecache_hits;
+  sync::Relaxed pagecache_misses;
+  sync::Relaxed pagecache_reclaimed;  ///< cache pages freed by shrink_mmap
+  sync::Relaxed pagecache_writebacks;
   // Hazard counters for the page-flag (Giganet-style) approach, experiment E7:
-  std::uint64_t io_flag_collisions = 0;   ///< driver set PG_locked over live I/O
-  std::uint64_t io_lock_clobbered = 0;    ///< PG_locked vanished during kernel I/O
-  std::uint64_t io_page_stolen = 0;       ///< frame freed/remapped during kernel I/O
+  sync::Relaxed io_flag_collisions;  ///< driver set PG_locked over live I/O
+  sync::Relaxed io_lock_clobbered;   ///< PG_locked vanished during kernel I/O
+  sync::Relaxed io_page_stolen;      ///< frame freed/remapped during kernel I/O
 };
 
 /// Observer of translation invalidations, the hook a U-Net/MM-style system
@@ -300,7 +310,13 @@ class Kernel {
   [[nodiscard]] const KernelConfig& config() const { return config_; }
   [[nodiscard]] std::uint32_t free_frames() const { return buddy_.free_frames(); }
   /// Frames currently pinned (kiobuf pin accounting, deduplicated per frame).
-  [[nodiscard]] std::uint32_t pinned_frames() const { return pinned_frames_; }
+  [[nodiscard]] std::uint32_t pinned_frames() const {
+    return static_cast<std::uint32_t>(pinned_frames_.load());
+  }
+  /// The registration range lock (DESIGN.md section 15): map_user_kiobuf /
+  /// unmap_kiobuf / do_mlock hold their page range exclusive, the reclaim
+  /// walk try-locks per page. Exposed for tests and lock-contention stats.
+  [[nodiscard]] sync::RangeLock& range_lock() { return range_lock_; }
   /// Effective pin budget (config value, defaulting to 3/4 of RAM).
   [[nodiscard]] std::uint32_t pin_budget() const {
     return config_.max_pinned_frames ? config_.max_pinned_frames
@@ -346,7 +362,16 @@ class Kernel {
   std::uint32_t clock_hand_ = 0; ///< shrink_mmap clock-scan position
 
   std::unordered_map<Pfn, std::uint8_t> inflight_io_;  ///< kernel I/O in progress
-  std::uint32_t pinned_frames_ = 0;  ///< frames with pin_count > 0
+  sync::Relaxed pinned_frames_;  ///< frames with pin_count > 0
+
+  // Threaded-mode locks (DESIGN.md section 15); all no-op branches serially.
+  // Canonical order: range lock -> task mutex -> buddy/swap leaf locks.
+  // Holders of kernel locks never *block* upward (reclaim and the pressure
+  // callbacks only try-lock), which is what keeps the graph acyclic.
+  sync::RangeLock range_lock_;  ///< (pid, page range) registration lock
+  sync::Mutex reclaim_mu_;      ///< single-reclaimer gate (try-lock only)
+  sync::Mutex tasks_mu_;        ///< guards tasks_/task_order_/next_pid_/shms_
+  sync::Mutex io_mu_;           ///< guards inflight_io_
 
   // kiobuf.cc internals: frame-deduplicated pin accounting.
   void account_pin(Pfn pfn);

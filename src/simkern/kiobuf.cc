@@ -44,6 +44,14 @@ KStatus Kernel::map_user_kiobuf(Pid pid, Kiobuf& iobuf, VAddr addr,
   const VAddr start = page_align_down(addr);
   const VAddr end = page_align_up(addr + len);
 
+  // The paper's window, closed: between make_present() and account_pin() a
+  // page is resident but not yet pinned, so a concurrent reclaim walk could
+  // swap it and the NIC would learn a stale translation. Holding [start,
+  // end) exclusive makes the walker's per-page try_lock fail for the whole
+  // registration instead. Range lock before task mutex (canonical order).
+  sync::RangeGuard rg(range_lock_, pid, start, end, sync::RangeMode::Exclusive);
+  sync::Guard g(t.mu);
+
   iobuf.pfns.clear();
   iobuf.pfns.reserve((end - start) >> kPageShift);
 
@@ -110,6 +118,14 @@ KStatus Kernel::map_user_kiobuf(Pid pid, Kiobuf& iobuf, VAddr addr,
 
 void Kernel::unmap_kiobuf(Kiobuf& iobuf) {
   if (!iobuf.mapped) return;
+  // Unpinning is not atomic per buffer: hold the range exclusive so the
+  // reclaim walk cannot swap pages whose pin just dropped while the rest of
+  // the teardown is mid-flight. No task mutex needed - only frames are
+  // touched. (The governor's deferred-dereg drain lands here too.)
+  const VAddr start = page_align_down(iobuf.addr);
+  const VAddr end = page_align_up(iobuf.addr + iobuf.length);
+  sync::RangeGuard rg(range_lock_, iobuf.pid, start, end,
+                      sync::RangeMode::Exclusive);
   if (iobuf.io_locked) unlock_kiovec(iobuf);
   for (const Pfn pfn : iobuf.pfns) {
     account_unpin(pfn);

@@ -49,6 +49,11 @@ KStatus Kernel::do_mlock(Pid pid, VAddr addr, std::uint64_t len, bool lock) {
   Task& t = task(pid);
   const VAddr start = page_align_down(addr);
   const VAddr end = page_align_up(addr + len);
+  // Range lock before task mutex (canonical order): while [start, end) is
+  // held exclusive the reclaim walk's per-page try_lock fails, so pages
+  // cannot be swapped between the VM_LOCKED flag flip and make_present.
+  sync::RangeGuard rg(range_lock_, pid, start, end, sync::RangeMode::Exclusive);
+  sync::Guard g(t.mu);
 
   std::uint32_t vma_ops = 0;
   const bool covered = t.mm.vmas.set_flags_range(

@@ -208,6 +208,7 @@ KStatus Kernel::access_range(Pid pid, VAddr addr, std::uint64_t len,
   if (!task_exists(pid)) return KStatus::NoEnt;
   if (len == 0) return KStatus::Ok;
   Task& t = task(pid);
+  sync::Guard g(t.mu);
 
   std::uint64_t done = 0;
   while (done < len) {
@@ -262,6 +263,7 @@ KStatus Kernel::touch(Pid pid, VAddr addr, bool write) {
 KStatus Kernel::copy_user(Pid pid, VAddr dst, VAddr src, std::uint64_t len) {
   if (!task_exists(pid)) return KStatus::NoEnt;
   Task& t = task(pid);
+  sync::Guard g(t.mu);
   std::uint64_t done = 0;
   while (done < len) {
     const VAddr s = src + done;
@@ -303,6 +305,7 @@ KStatus Kernel::copy_user(Pid pid, VAddr dst, VAddr src, std::uint64_t len) {
 KStatus Kernel::make_present(Pid pid, VAddr addr, bool write) {
   if (!task_exists(pid)) return KStatus::NoEnt;
   Task& t = task(pid);
+  sync::Guard g(t.mu);  // recursive: map_user_kiobuf/do_mlock already hold it
   const VAddr page_addr = page_align_down(addr);
   Pte* pte = t.mm.pt.walk(page_addr);
   if (!needs_fault(pte, write)) return KStatus::Ok;

@@ -6,6 +6,7 @@
 namespace vialock::simkern {
 
 SwapSlot SwapDevice::alloc() {
+  sync::Guard g(mu_);
   if (free_slots_.empty()) return kInvalidSwapSlot;
   // Next-fit: the first free slot at or after the hint, wrapping to the
   // lowest free slot - the same slot the legacy linear scan would pick.
@@ -20,11 +21,13 @@ SwapSlot SwapDevice::alloc() {
 }
 
 void SwapDevice::dup(SwapSlot slot) {
+  sync::Guard g(mu_);
   assert(slot < map_.size() && map_[slot] > 0);
   ++map_[slot];
 }
 
 void SwapDevice::free(SwapSlot slot) {
+  sync::Guard g(mu_);
   assert(slot < map_.size() && map_[slot] > 0);
   if (--map_[slot] == 0) {
     --used_;

@@ -19,6 +19,9 @@
 
 #include "fault/fault.h"
 #include "simkern/types.h"
+#include "sync/mutex.h"
+#include "sync/policy.h"
+#include "sync/relaxed.h"
 #include "util/clock.h"
 #include "util/cost_model.h"
 #include "util/status.h"
@@ -65,7 +68,13 @@ class SwapDevice {
   /// Arm fault injection (sites SwapRead / SwapWrite); nullptr disarms.
   void set_fault_engine(fault::FaultEngine* engine) { faults_ = engine; }
 
-  [[nodiscard]] std::uint32_t used_slots() const { return used_; }
+  /// Execution mode: threaded arms the internal CNA mutex serializing the
+  /// swap map; serial keeps it a no-op branch.
+  void set_policy(sync::SyncPolicy p) { mu_.set_policy(p); }
+
+  [[nodiscard]] std::uint32_t used_slots() const {
+    return static_cast<std::uint32_t>(used_.load());
+  }
   [[nodiscard]] std::uint64_t total_writes() const { return writes_; }
   [[nodiscard]] std::uint64_t total_reads() const { return reads_; }
   [[nodiscard]] std::uint64_t io_errors() const { return io_errors_; }
@@ -94,13 +103,14 @@ class SwapDevice {
   Clock& clock_;
   const CostModel& costs_;
   fault::FaultEngine* faults_ = nullptr;
-  std::uint32_t used_ = 0;
-  std::uint32_t scan_hint_ = 0;  ///< next-fit allocation cursor
-  std::uint64_t writes_ = 0;
-  std::uint64_t reads_ = 0;
-  std::uint64_t io_errors_ = 0;
-  std::uint64_t io_delays_ = 0;
-  std::uint64_t io_corruptions_ = 0;
+  sync::Mutex mu_;               ///< serializes map_/free_slots_/scan_hint_
+  sync::Relaxed used_;
+  std::uint32_t scan_hint_ = 0;  ///< next-fit allocation cursor (under mu_)
+  sync::Relaxed writes_;
+  sync::Relaxed reads_;
+  sync::Relaxed io_errors_;
+  sync::Relaxed io_delays_;
+  sync::Relaxed io_corruptions_;
 };
 
 }  // namespace vialock::simkern

@@ -12,6 +12,7 @@
 #include "simkern/pagetable.h"
 #include "simkern/types.h"
 #include "simkern/vma.h"
+#include "sync/mutex.h"
 #include "util/flags.h"
 
 namespace vialock::simkern {
@@ -46,6 +47,11 @@ struct Task {
   AddressSpace mm;
   VAddr swap_cursor = 0;  ///< swap_out_process resume address (task->swap_address)
   bool alive = true;
+  /// Per-task lock (the mmap_sem of this model): every kernel entry that
+  /// reads or mutates this task's VMA set or page table holds it; the
+  /// reclaim walk only try-locks it and skips tasks that are mid-syscall.
+  /// Recursive, so map_user_kiobuf -> make_present style nesting is fine.
+  sync::Mutex mu;
 
   [[nodiscard]] bool capable(Capability c) const { return has(caps, c); }
 };

@@ -23,6 +23,12 @@
 namespace vialock::simkern {
 
 std::uint32_t Kernel::try_to_free_pages(std::uint32_t target) {
+  // Single-reclaimer gate: if another worker is already reclaiming, report
+  // zero and let the caller retry after a yield (get_free_page does). A
+  // blocking wait here could deadlock - the reclaimer may want locks our
+  // caller holds. Recursive, so reclaim-from-pressure-callback still enters.
+  sync::TryGuard gate(reclaim_mu_);
+  if (!gate.held()) return 0;
   ++stats_.reclaim_runs;
   const obs::ScopedSpan span(spans_, "simkern.try_to_free_pages");
   const VirtualStopwatch sw(clock_);
@@ -108,6 +114,10 @@ std::uint32_t Kernel::swap_out(std::uint32_t target) {
 }
 
 std::uint32_t Kernel::swap_out_task(Task& t, std::uint32_t target) {
+  // A task mid-syscall on another worker is skipped, not waited for: the
+  // walker must never block while holding the reclaim gate (lock order).
+  sync::TryGuard tg(t.mu);
+  if (!tg.held()) return 0;
   std::uint32_t freed = 0;
   const auto vmas = t.mm.vmas.in_order();
   if (vmas.empty()) return 0;
@@ -159,6 +169,16 @@ std::uint32_t Kernel::swap_out_task(Task& t, std::uint32_t target) {
       if (pte->accessed) {
         pte->accessed = false;  // ageing: one round of grace for hot pages
         ++stats_.swap_skip_referenced;
+        continue;
+      }
+      // Range-lock check (threaded mode): a registration, mlock or kiobuf
+      // teardown holding this page's range exclusive makes it untouchable
+      // even before/after its pin is visible. try_lock only - blocking here
+      // would deadlock against holders waiting out the reclaim gate.
+      auto prg = sync::RangeGuard::try_(range_lock_, t.pid, v, v + kPageSize,
+                                        sync::RangeMode::Exclusive);
+      if (!prg.held()) {
+        ++stats_.swap_skip_range_locked;
         continue;
       }
 

@@ -1,0 +1,67 @@
+// gate.h - epoch start/done gate for worker pools, part of the sync facade.
+//
+// The one place a blocking OS primitive (mutex + condition variable) is
+// appropriate here: parking a worker pool between epochs. Lives in
+// src/sync/ so no other subsystem names a concrete lock type.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace vialock::sync {
+
+/// Coordinates N workers through numbered epochs: the coordinator announces
+/// an epoch and waits for all workers to finish it; workers park between
+/// epochs. stop() releases everyone for shutdown.
+class WorkerGate {
+ public:
+  /// Coordinator: announce the next epoch for `workers` workers.
+  void start_epoch(std::uint32_t workers) {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      working_ = workers;
+      ++epoch_;
+    }
+    cv_start_.notify_all();
+  }
+
+  /// Worker: park until an epoch newer than `seen` (returns its number) or
+  /// shutdown (returns 0; epoch numbers start at 1).
+  [[nodiscard]] std::uint64_t await_epoch(std::uint64_t seen) {
+    std::unique_lock<std::mutex> l(mu_);
+    cv_start_.wait(l, [&] { return stop_ || epoch_ != seen; });
+    return stop_ ? 0 : epoch_;
+  }
+
+  /// Worker: report this epoch's share done.
+  void done() {
+    std::lock_guard<std::mutex> l(mu_);
+    if (--working_ == 0) cv_done_.notify_one();
+  }
+
+  /// Coordinator: block until every worker reported done().
+  void await_done() {
+    std::unique_lock<std::mutex> l(mu_);
+    cv_done_.wait(l, [&] { return working_ == 0; });
+  }
+
+  /// Coordinator: release parked workers for shutdown.
+  void stop() {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      stop_ = true;
+    }
+    cv_start_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;
+  std::uint32_t working_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace vialock::sync

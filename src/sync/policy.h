@@ -1,0 +1,43 @@
+// policy.h - the sync facade's mode switch (DESIGN.md section 15).
+//
+// Every lock in the tree is a sync:: primitive constructed from a
+// SyncPolicy. Serial mode turns each primitive into a no-op (one
+// predictable branch), so the deterministic single-threaded oracle pays
+// nothing for the locking the threaded mode needs. No subsystem outside
+// src/sync/ names a concrete lock implementation; they hold sync::Mutex /
+// sync::RangeLock members and the policy decides what those cost.
+#pragma once
+
+#include <cstdint>
+
+namespace vialock::sync {
+
+enum class SyncMode : std::uint8_t {
+  Serial,    ///< single-threaded oracle: all primitives are no-ops
+  Threaded,  ///< real threads: CNA mutexes + range locks are live
+};
+
+struct SyncPolicy {
+  SyncMode mode = SyncMode::Serial;
+
+  [[nodiscard]] static constexpr SyncPolicy serial() {
+    return {SyncMode::Serial};
+  }
+  [[nodiscard]] static constexpr SyncPolicy threaded() {
+    return {SyncMode::Threaded};
+  }
+  [[nodiscard]] constexpr bool is_threaded() const {
+    return mode == SyncMode::Threaded;
+  }
+};
+
+/// Simulated NUMA domain of the calling thread. Executors label their
+/// workers once at spawn; the CNA mutex uses it to prefer same-domain
+/// handoff. Defaults to domain 0 (every thread local), which degrades the
+/// CNA lock to a plain fair queue lock - still correct.
+inline thread_local int t_numa_domain = 0;
+
+inline void set_thread_numa(int domain) { t_numa_domain = domain; }
+[[nodiscard]] inline int thread_numa() { return t_numa_domain; }
+
+}  // namespace vialock::sync

@@ -1,0 +1,227 @@
+// range_lock.h - address-range lock behind the sync facade.
+//
+// Guards address-range operations (registration/mlock/VMA split vs the
+// reclaim walk) the way Kogan, Dice & Issa's scalable range lock does
+// (arXiv 2006.12144): acquiring [lo, hi) inserts the range into a shared
+// set of held ranges and conflicts only with overlapping ranges, so
+// disjoint-range operations - the common case for concurrent registration
+// - proceed in parallel. Ranges are namespaced by a 64-bit `space` (the
+// pid here), acquire shared or exclusive, and reclaim uses try_lock so a
+// walker skips pages a registration is mid-flight on instead of blocking.
+//
+// Simplifications vs the paper, both deliberate: the range set is a flat
+// vector under an internal CNA mutex rather than a lock-free skip list
+// (held-range counts here are tens, not thousands), and waiters take FIFO
+// tickets - a blocked exclusive acquirer stalls later overlapping
+// acquirers - which buys the writer-starvation freedom the paper gets
+// from its insert-before-wait protocol.
+//
+// Serial mode turns every operation into a single branch.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "sync/mutex.h"
+#include "sync/policy.h"
+#include "sync/relaxed.h"
+
+namespace vialock::sync {
+
+enum class RangeMode : std::uint8_t { Shared, Exclusive };
+
+class RangeLock {
+ public:
+  RangeLock() = default;
+  explicit RangeLock(SyncPolicy p) { set_policy(p); }
+  RangeLock(const RangeLock&) = delete;
+  RangeLock& operator=(const RangeLock&) = delete;
+
+  /// Switch modes; only legal while no range is held or waited on.
+  void set_policy(SyncPolicy p) {
+    enabled_ = p.is_threaded();
+    mu_.set_policy(p);
+  }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Acquire [lo, hi) in `space`. Blocks (yielding) while any overlapping
+  /// incompatible range is held or an older waiter is queued on it.
+  /// Overlapping shared holders proceed in parallel. Must not be called
+  /// for a range overlapping one the same thread already holds exclusive
+  /// (use try_lock there - that is the reclaim-vs-own-registration case).
+  void lock(std::uint64_t space, std::uint64_t lo, std::uint64_t hi,
+            RangeMode mode) {
+    if (!enabled_) return;
+    const std::thread::id tid = std::this_thread::get_id();
+    std::uint64_t ticket = 0;
+    bool queued = false;
+    for (;;) {
+      {
+        Guard g(mu_);
+        if (grantable(space, lo, hi, mode,
+                      queued ? ticket : kNoTicket)) {
+          held_.push_back({space, lo, hi, mode, tid});
+          if (queued) drop_waiter(ticket);
+          ++acquired_;
+          return;
+        }
+        if (!queued) {
+          ticket = next_ticket_++;
+          waiters_.push_back({space, lo, hi, mode, ticket});
+          queued = true;
+          ++contended_;
+        }
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  /// One-shot attempt against the held set (queued waiters are not
+  /// consulted: a try_lock never waits, so it cannot starve them).
+  [[nodiscard]] bool try_lock(std::uint64_t space, std::uint64_t lo,
+                              std::uint64_t hi, RangeMode mode) {
+    if (!enabled_) return true;
+    Guard g(mu_);
+    if (!grantable(space, lo, hi, mode, kNoTicket)) return false;
+    held_.push_back({space, lo, hi, mode, std::this_thread::get_id()});
+    ++acquired_;
+    return true;
+  }
+
+  void unlock(std::uint64_t space, std::uint64_t lo, std::uint64_t hi) {
+    if (!enabled_) return;
+    const std::thread::id tid = std::this_thread::get_id();
+    Guard g(mu_);
+    for (std::size_t i = held_.size(); i-- > 0;) {
+      const Entry& e = held_[i];
+      if (e.space == space && e.lo == lo && e.hi == hi && e.owner == tid) {
+        held_[i] = held_.back();
+        held_.pop_back();
+        return;
+      }
+    }
+  }
+
+  /// Acquisitions that found an incompatible holder/waiter on first try.
+  [[nodiscard]] std::uint64_t contended() const { return contended_; }
+  [[nodiscard]] std::uint64_t acquired() const { return acquired_; }
+
+ private:
+  static constexpr std::uint64_t kNoTicket = ~std::uint64_t{0};
+
+  struct Entry {
+    std::uint64_t space, lo, hi;
+    RangeMode mode;
+    std::thread::id owner;
+  };
+  struct Waiter {
+    std::uint64_t space, lo, hi;
+    RangeMode mode;
+    std::uint64_t ticket;
+  };
+
+  static bool overlap(const std::uint64_t alo, const std::uint64_t ahi,
+                      const std::uint64_t blo, const std::uint64_t bhi) {
+    return alo < bhi && blo < ahi;
+  }
+  static bool incompatible(RangeMode a, RangeMode b) {
+    return a == RangeMode::Exclusive || b == RangeMode::Exclusive;
+  }
+
+  /// Grantable when no incompatible overlapping range is held and no
+  /// older waiter (smaller ticket) wants an incompatible overlap - the
+  /// FIFO rule that keeps a stream of shared acquirers from starving a
+  /// queued exclusive one.
+  [[nodiscard]] bool grantable(std::uint64_t space, std::uint64_t lo,
+                               std::uint64_t hi, RangeMode mode,
+                               std::uint64_t ticket) const {
+    for (const Entry& e : held_) {
+      if (e.space == space && overlap(lo, hi, e.lo, e.hi) &&
+          incompatible(mode, e.mode))
+        return false;
+    }
+    for (const Waiter& w : waiters_) {
+      if (w.ticket < ticket && w.space == space &&
+          overlap(lo, hi, w.lo, w.hi) && incompatible(mode, w.mode))
+        return false;
+    }
+    return true;
+  }
+
+  void drop_waiter(std::uint64_t ticket) {
+    for (std::size_t i = 0; i < waiters_.size(); ++i) {
+      if (waiters_[i].ticket == ticket) {
+        waiters_[i] = waiters_.back();
+        waiters_.pop_back();
+        return;
+      }
+    }
+  }
+
+  Mutex mu_;  // protects held_/waiters_/next_ticket_
+  std::vector<Entry> held_;
+  std::vector<Waiter> waiters_;
+  std::uint64_t next_ticket_ = 0;
+  Relaxed acquired_;
+  Relaxed contended_;
+  bool enabled_ = false;
+};
+
+/// RAII scope for a held range. Default-constructed = holding nothing;
+/// `RangeGuard::try_(...)` returns an empty guard when the range is busy.
+class RangeGuard {
+ public:
+  RangeGuard() = default;
+  RangeGuard(RangeLock& rl, std::uint64_t space, std::uint64_t lo,
+             std::uint64_t hi, RangeMode mode)
+      : rl_(&rl), space_(space), lo_(lo), hi_(hi) {
+    rl_->lock(space_, lo_, hi_, mode);
+  }
+  ~RangeGuard() { release(); }
+  RangeGuard(const RangeGuard&) = delete;
+  RangeGuard& operator=(const RangeGuard&) = delete;
+  RangeGuard(RangeGuard&& o) noexcept
+      : rl_(o.rl_), space_(o.space_), lo_(o.lo_), hi_(o.hi_) {
+    o.rl_ = nullptr;
+  }
+  RangeGuard& operator=(RangeGuard&& o) noexcept {
+    if (this != &o) {
+      release();
+      rl_ = o.rl_;
+      space_ = o.space_;
+      lo_ = o.lo_;
+      hi_ = o.hi_;
+      o.rl_ = nullptr;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] static RangeGuard try_(RangeLock& rl, std::uint64_t space,
+                                       std::uint64_t lo, std::uint64_t hi,
+                                       RangeMode mode) {
+    RangeGuard g;
+    if (rl.try_lock(space, lo, hi, mode)) {
+      g.rl_ = &rl;
+      g.space_ = space;
+      g.lo_ = lo;
+      g.hi_ = hi;
+    }
+    return g;
+  }
+
+  /// True when the range is actually held (or the lock is in serial mode,
+  /// where every acquisition trivially succeeds).
+  [[nodiscard]] bool held() const { return rl_ != nullptr; }
+
+  void release() {
+    if (rl_ != nullptr) rl_->unlock(space_, lo_, hi_);
+    rl_ = nullptr;
+  }
+
+ private:
+  RangeLock* rl_ = nullptr;
+  std::uint64_t space_ = 0, lo_ = 0, hi_ = 0;
+};
+
+}  // namespace vialock::sync

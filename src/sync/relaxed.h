@@ -1,0 +1,67 @@
+// relaxed.h - a copyable relaxed-atomic u64 for statistics counters.
+//
+// Stats structs (KernelStats, AgentStats, ScenarioCounters, ...) are
+// bumped from hot paths that run concurrently in threaded mode. Wrapping
+// each field in sync::Relaxed keeps every `++stats_.x` / `stats_.x += n`
+// call site compiling unchanged while making the increment a relaxed
+// atomic RMW: no torn reads, no TSan reports, no ordering cost. Copying
+// (for report snapshots) takes a relaxed load - snapshots are only read
+// after the workers have joined, so that is exact there.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace vialock::sync {
+
+class Relaxed {
+ public:
+  constexpr Relaxed(std::uint64_t v = 0) noexcept : v_(v) {}  // NOLINT implicit
+  Relaxed(const Relaxed& o) noexcept : v_(o.load()) {}
+  Relaxed& operator=(const Relaxed& o) noexcept {
+    v_.store(o.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  Relaxed& operator=(std::uint64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  operator std::uint64_t() const noexcept { return load(); }  // NOLINT implicit
+  [[nodiscard]] std::uint64_t load() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+  Relaxed& operator++() noexcept {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  std::uint64_t operator++(int) noexcept {
+    return v_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Relaxed& operator--() noexcept {
+    v_.fetch_sub(1, std::memory_order_relaxed);
+    return *this;
+  }
+  Relaxed& operator+=(std::uint64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+  Relaxed& operator-=(std::uint64_t d) noexcept {
+    v_.fetch_sub(d, std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Monotonic max update (histogram max tracking).
+  void fetch_max(std::uint64_t v) noexcept {
+    std::uint64_t cur = load();
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_;
+};
+
+}  // namespace vialock::sync

@@ -1,0 +1,9 @@
+// sync.h - umbrella for the sync facade: SyncPolicy, Mutex/Guard,
+// RangeLock/RangeGuard, Relaxed. Subsystems include this and nothing else
+// for synchronization (DESIGN.md section 15).
+#pragma once
+
+#include "sync/mutex.h"       // IWYU pragma: export
+#include "sync/policy.h"      // IWYU pragma: export
+#include "sync/range_lock.h"  // IWYU pragma: export
+#include "sync/relaxed.h"     // IWYU pragma: export

@@ -3,8 +3,17 @@
 // Every component (memory subsystem, swap device, NIC DMA engine, wire) charges
 // its costs against one shared Clock, so experiment timings are exactly
 // reproducible run-to-run and independent of the host machine.
+//
+// Threaded execution (DESIGN.md section 15) keeps the same model: the global
+// total stays exact under concurrent advance() because it is a relaxed atomic,
+// and each thread additionally accumulates the costs *it* charged into a
+// thread-local meter. A ThreadCostMeter measures that per-thread delta, which
+// is what an event body costs regardless of what other workers charge
+// concurrently; in a single-threaded run it equals the VirtualStopwatch delta
+// exactly.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace vialock {
@@ -18,18 +27,31 @@ class Clock {
   Clock() = default;
 
   /// Charge `cost` virtual nanoseconds.
-  void advance(Nanos cost) { now_ += cost; }
+  void advance(Nanos cost) {
+    now_.fetch_add(cost, std::memory_order_relaxed);
+    thread_charged() += cost;
+  }
 
-  [[nodiscard]] Nanos now() const { return now_; }
+  [[nodiscard]] Nanos now() const {
+    return now_.load(std::memory_order_relaxed);
+  }
 
   /// Reset to t=0 (used between benchmark repetitions).
-  void reset() { now_ = 0; }
+  void reset() { now_.store(0, std::memory_order_relaxed); }
+
+  /// Total cost the *calling thread* has charged (any clock; threads never
+  /// interleave clocks mid-measurement).
+  [[nodiscard]] static Nanos& thread_charged() {
+    thread_local Nanos charged = 0;
+    return charged;
+  }
 
  private:
-  Nanos now_ = 0;
+  std::atomic<Nanos> now_{0};
 };
 
 /// Scoped stopwatch over a Clock: measures virtual time spent in a region.
+/// Reads the global total - only meaningful where a single thread runs.
 class VirtualStopwatch {
  public:
   explicit VirtualStopwatch(const Clock& clock) : clock_(clock), start_(clock.now()) {}
@@ -38,6 +60,21 @@ class VirtualStopwatch {
 
  private:
   const Clock& clock_;
+  Nanos start_;
+};
+
+/// Scoped cost meter over the calling thread's charges: measures the virtual
+/// cost this thread incurred in a region, unaffected by concurrent workers.
+/// Single-threaded it equals VirtualStopwatch over the shared clock.
+class ThreadCostMeter {
+ public:
+  ThreadCostMeter() : start_(Clock::thread_charged()) {}
+
+  [[nodiscard]] Nanos elapsed() const {
+    return Clock::thread_charged() - start_;
+  }
+
+ private:
   Nanos start_;
 };
 

@@ -12,6 +12,8 @@
 #include <string_view>
 #include <vector>
 
+#include "sync/mutex.h"
+#include "sync/policy.h"
 #include "util/clock.h"
 
 namespace vialock {
@@ -108,9 +110,14 @@ class TraceRing {
   void enable(bool on) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  /// Execution mode: threaded serializes record() (disabled tracing stays a
+  /// single branch either way); serial keeps the lock a no-op.
+  void set_policy(sync::SyncPolicy p) { mu_.set_policy(p); }
+
   void record(Nanos when, TraceEvent event, std::uint32_t pid,
               std::uint64_t addr, std::uint32_t pfn) {
     if (!enabled_) return;
+    sync::Guard g(mu_);
     ring_[head_] = Entry{when, event, pid, addr, pfn};
     head_ = (head_ + 1) % ring_.size();
     if (count_ < ring_.size()) ++count_;
@@ -136,6 +143,7 @@ class TraceRing {
 
  private:
   std::vector<Entry> ring_;
+  mutable sync::Mutex mu_;  ///< serializes record() in threaded mode
   std::size_t head_ = 0;
   std::size_t count_ = 0;
   bool enabled_ = false;

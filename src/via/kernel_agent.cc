@@ -10,16 +10,16 @@ namespace vialock::via {
 
 std::string agent_status(const AgentStats& s) {
   std::ostringstream os;
-  os << "registrations " << s.registrations << "\n"
-     << "deregistrations " << s.deregistrations << "\n"
-     << "pages_registered " << s.pages_registered << "\n"
-     << "lock_failures " << s.lock_failures << "\n"
-     << "tpt_full " << s.tpt_full << "\n"
-     << "admission_rejects " << s.admission_rejects << "\n"
-     << "lazy_deregs " << s.lazy_deregs << "\n"
-     << "refresh_failures " << s.refresh_failures << "\n"
-     << "tpt_entries_programmed " << s.tpt_entries_programmed << "\n"
-     << "refresh_splits " << s.refresh_splits << "\n";
+  os << "registrations " << s.registrations.load() << "\n"
+     << "deregistrations " << s.deregistrations.load() << "\n"
+     << "pages_registered " << s.pages_registered.load() << "\n"
+     << "lock_failures " << s.lock_failures.load() << "\n"
+     << "tpt_full " << s.tpt_full.load() << "\n"
+     << "admission_rejects " << s.admission_rejects.load() << "\n"
+     << "lazy_deregs " << s.lazy_deregs.load() << "\n"
+     << "refresh_failures " << s.refresh_failures.load() << "\n"
+     << "tpt_entries_programmed " << s.tpt_entries_programmed.load() << "\n"
+     << "refresh_splits " << s.refresh_splits.load() << "\n";
   return os.str();
 }
 
@@ -58,6 +58,7 @@ ProtectionTag KernelAgent::create_ptag(simkern::Pid pid) {
   kern_.clock().advance(kern_.costs().syscall);
   ++kern_.mutable_stats().syscalls;
   if (!kern_.task_exists(pid)) return kInvalidTag;
+  sync::Guard g(mu_);
   return next_tag_++;
 }
 
@@ -117,15 +118,18 @@ KStatus KernelAgent::register_mem(simkern::Pid pid, simkern::VAddr addr,
   tpt_alloc_pages_.add(entries);
   program_runs(base, runs, reg.lock.pfns, tag, opts);
 
-  out = MemHandle{.tpt_base = base,
-                  .pages = pages,
-                  .tpt_count = entries,
-                  .vaddr = addr,
-                  .length = len,
-                  .tag = tag,
-                  .id = next_reg_id_++};
-  reg.handle = out;
-  regs_.emplace(out.id, std::move(reg));
+  {
+    sync::Guard g(mu_);
+    out = MemHandle{.tpt_base = base,
+                    .pages = pages,
+                    .tpt_count = entries,
+                    .vaddr = addr,
+                    .length = len,
+                    .tag = tag,
+                    .id = next_reg_id_++};
+    reg.handle = out;
+    regs_.emplace(out.id, std::move(reg));
+  }
   ++stats_.registrations;
   stats_.pages_registered += pages;
   kern_.trace().record(kern_.clock().now(),
@@ -141,14 +145,20 @@ KStatus KernelAgent::deregister_mem(const MemHandle& handle) {
     dereg_ns_.add(sw.elapsed());
     return st;
   };
-  auto it = regs_.find(handle.id);
-  if (it == regs_.end()) {
+  std::shared_ptr<Registration> reg;
+  {
+    sync::Guard g(mu_);
+    auto it = regs_.find(handle.id);
+    if (it != regs_.end()) {
+      reg = std::make_shared<Registration>(std::move(it->second));
+      regs_.erase(it);
+    }
+  }
+  if (!reg) {
     kern_.clock().advance(kern_.costs().syscall);  // the failed ioctl
     ++kern_.mutable_stats().syscalls;
     return charge(KStatus::NoEnt);
   }
-  auto reg = std::make_shared<Registration>(std::move(it->second));
-  regs_.erase(it);
 
   if (governor_ && governor_->lazy_enabled()) {
     // Defer: append to the governor's user-level dereg ring (no kernel
@@ -222,16 +232,24 @@ void KernelAgent::release_tenant(simkern::Pid pid) {
   // set (an epoch barrier - correctness-critical point).
   if (governor_) (void)governor_->flush();
   std::vector<std::uint64_t> ids;
-  for (const auto& [id, reg] : regs_) {
-    if (reg.lock.pid == pid) ids.push_back(id);
+  {
+    sync::Guard g(mu_);
+    for (const auto& [id, reg] : regs_) {
+      if (reg.lock.pid == pid) ids.push_back(id);
+    }
   }
   std::sort(ids.begin(), ids.end());  // regs_ is unordered; keep runs identical
   for (const std::uint64_t id : ids) {
     kern_.clock().advance(kern_.costs().syscall);
     ++kern_.mutable_stats().syscalls;
-    auto it = regs_.find(id);
-    Registration reg = std::move(it->second);
-    regs_.erase(it);
+    Registration reg;
+    {
+      sync::Guard g(mu_);
+      auto it = regs_.find(id);
+      if (it == regs_.end()) continue;  // raced with a concurrent dereg
+      reg = std::move(it->second);
+      regs_.erase(it);
+    }
     finish_dereg(reg);
   }
   if (governor_) governor_->remove_tenant(pid);
@@ -246,9 +264,16 @@ KStatus KernelAgent::refresh_tpt(MemHandle& handle) {
   };
   kern_.clock().advance(kern_.costs().syscall);
   ++kern_.mutable_stats().syscalls;
-  auto it = regs_.find(handle.id);
-  if (it == regs_.end()) return charge(KStatus::NoEnt);
-  Registration& reg = it->second;
+  Registration* regp = nullptr;
+  {
+    sync::Guard g(mu_);
+    auto it = regs_.find(handle.id);
+    if (it != regs_.end()) regp = &it->second;
+  }
+  if (!regp) return charge(KStatus::NoEnt);
+  // The element reference survives concurrent rehashes; callers must not
+  // deregister a handle while a refresh of it is in flight.
+  Registration& reg = *regp;
 
   // Semantically a re-registration that keeps its TPT slots: drop the old
   // pin and take a fresh one, so the policy's reference accounting follows
@@ -267,7 +292,10 @@ KStatus KernelAgent::refresh_tpt(MemHandle& handle) {
   const auto teardown = [&] {
     policy_.unlock(reg.lock);  // no-op on an inactive handle
     nic_.tpt().release(reg.handle.tpt_base, reg.handle.tpt_count);
-    regs_.erase(it);
+    {
+      sync::Guard g(mu_);
+      regs_.erase(handle.id);  // by id: iterators don't survive rehashes
+    }
     ++stats_.refresh_failures;
     kern_.trace().record(kern_.clock().now(),
                          vialock::TraceEvent::RegionDeregistered, pid, addr,
@@ -331,6 +359,7 @@ KStatus KernelAgent::refresh_tpt(MemHandle& handle) {
 }
 
 const LockHandle* KernelAgent::lock_handle(std::uint64_t reg_id) const {
+  sync::Guard g(mu_);
   auto it = regs_.find(reg_id);
   return it == regs_.end() ? nullptr : &it->second.lock;
 }

@@ -22,6 +22,9 @@
 #include "fault/fault.h"
 #include "pinmgr/pin_governor.h"
 #include "simkern/kernel.h"
+#include "sync/mutex.h"
+#include "sync/policy.h"
+#include "sync/relaxed.h"
 #include "util/status.h"
 #include "via/lock_policy.h"
 #include "via/nic.h"
@@ -29,22 +32,24 @@
 
 namespace vialock::via {
 
+// Relaxed-atomic counters: several real threads can drive one agent in the
+// E26 registration microbench; serial behaviour is unchanged.
 struct AgentStats {
-  std::uint64_t registrations = 0;
-  std::uint64_t deregistrations = 0;
-  std::uint64_t pages_registered = 0;
-  std::uint64_t lock_failures = 0;
-  std::uint64_t tpt_full = 0;
-  std::uint64_t admission_rejects = 0;  ///< governor refused a registration
-  std::uint64_t lazy_deregs = 0;        ///< deregs deferred to the governor
-  std::uint64_t refresh_failures = 0;   ///< refresh_tpt torn a registration
-                                        ///< down on a failed re-pin
-  std::uint64_t tpt_entries_programmed = 0;  ///< entries written (== pages
-                                             ///< at order 0; fewer with
-                                             ///< superpages)
-  std::uint64_t refresh_splits = 0;     ///< refresh reallocated the TPT range
-                                        ///< because relocation changed the
-                                        ///< superpage decomposition
+  sync::Relaxed registrations;
+  sync::Relaxed deregistrations;
+  sync::Relaxed pages_registered;
+  sync::Relaxed lock_failures;
+  sync::Relaxed tpt_full;
+  sync::Relaxed admission_rejects;  ///< governor refused a registration
+  sync::Relaxed lazy_deregs;        ///< deregs deferred to the governor
+  sync::Relaxed refresh_failures;   ///< refresh_tpt torn a registration
+                                    ///< down on a failed re-pin
+  sync::Relaxed tpt_entries_programmed;  ///< entries written (== pages
+                                         ///< at order 0; fewer with
+                                         ///< superpages)
+  sync::Relaxed refresh_splits;     ///< refresh reallocated the TPT range
+                                    ///< because relocation changed the
+                                    ///< superpage decomposition
 };
 
 /// /proc/via/agent: the agent's registration counters as "key value" lines.
@@ -134,6 +139,14 @@ class KernelAgent {
   /// table-claim failures are injectable mid-registration and mid-refresh.
   void set_fault_engine(fault::FaultEngine* engine) { faults_ = engine; }
 
+  /// Execution mode: threaded arms the agent's registration-table mutex and
+  /// forwards the policy to the lock policy underneath; serial keeps every
+  /// lock a no-op branch.
+  void set_policy(sync::SyncPolicy p) {
+    mu_.set_policy(p);
+    policy_.set_policy(p);
+  }
+
   /// Tenant teardown: flush the governor's deferred deregistrations, then
   /// eagerly deregister every live registration of `pid` and drop its
   /// governor accounting - nothing may leak when a tenant exits.
@@ -144,9 +157,13 @@ class KernelAgent {
   [[nodiscard]] Nic& nic() { return nic_; }
   [[nodiscard]] simkern::Kernel& kern() { return kern_; }
 
-  /// The lock handle of a live registration (experiment introspection).
+  /// The lock handle of a live registration (experiment introspection). The
+  /// pointer stays valid until that registration is deregistered.
   [[nodiscard]] const LockHandle* lock_handle(std::uint64_t reg_id) const;
-  [[nodiscard]] std::size_t live_registrations() const { return regs_.size(); }
+  [[nodiscard]] std::size_t live_registrations() const {
+    sync::Guard g(mu_);
+    return regs_.size();
+  }
 
  private:
   struct Registration {
@@ -178,6 +195,11 @@ class KernelAgent {
   obs::Histogram& dereg_ns_;
   obs::Histogram& refresh_ns_;
   obs::Histogram& tpt_alloc_pages_;
+  /// Guards regs_ / next_reg_id_ / next_tag_ ONLY, and only briefly: never
+  /// held across policy, governor or kernel calls (the governor's drain path
+  /// re-enters the agent through finish_dereg, and the policy takes kernel
+  /// locks - holding mu_ across either would close a cycle).
+  mutable sync::Mutex mu_;
   std::unordered_map<std::uint64_t, Registration> regs_;
   std::uint64_t next_reg_id_ = 1;
   ProtectionTag next_tag_ = 1;

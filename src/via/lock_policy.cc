@@ -119,15 +119,28 @@ KStatus MlockLockPolicy::lock(Pid pid, VAddr addr, std::uint64_t len,
   const RangeKey key{pid, simkern::page_align_down(addr),
                      simkern::page_align_up(addr + len)};
   if (opts_.track_ranges) {
-    auto& count = range_counts_[key];
-    if (count == 0) {
+    // The refcount moves under mu_, but the syscall runs outside it: do_mlock
+    // takes the range lock and the task mutex, and holding mu_ across that
+    // would deadlock against the governor drain path (see lock_policy.h).
+    // The 0->1 claimant performs the syscall; concurrent same-range lockers
+    // see a nonzero count and ride on it. mlock is idempotent per VMA, so a
+    // racing duplicate syscall (count observed 0 twice) would be harmless;
+    // per-range lock/unlock ordering is the registration owner's to keep.
+    bool first;
+    {
+      sync::Guard g(mu_);
+      first = range_counts_[key]++ == 0;
+    }
+    if (first) {
       const KStatus st = do_lock_syscall(pid, addr, len, /*lock=*/true);
       if (!ok(st)) {
-        range_counts_.erase(key);
+        sync::Guard g(mu_);
+        auto it = range_counts_.find(key);
+        if (it != range_counts_.end() && --it->second == 0)
+          range_counts_.erase(it);
         return st;
       }
     }
-    ++count;
   } else {
     const KStatus st = do_lock_syscall(pid, addr, len, /*lock=*/true);
     if (!ok(st)) return st;
@@ -148,12 +161,16 @@ void MlockLockPolicy::unlock(LockHandle& h) {
   const RangeKey key{h.pid, simkern::page_align_down(h.addr),
                      simkern::page_align_up(h.addr + h.len)};
   if (opts_.track_ranges) {
-    auto it = range_counts_.find(key);
-    assert(it != range_counts_.end() && it->second > 0);
-    if (--it->second == 0) {
-      range_counts_.erase(it);
-      (void)do_lock_syscall(h.pid, h.addr, h.len, /*lock=*/false);
+    bool last;
+    {
+      sync::Guard g(mu_);
+      auto it = range_counts_.find(key);
+      assert(it != range_counts_.end() && it->second > 0);
+      last = --it->second == 0;
+      if (last) range_counts_.erase(it);
     }
+    // Syscall outside mu_ for the same lock-order reason as in lock().
+    if (last) (void)do_lock_syscall(h.pid, h.addr, h.len, /*lock=*/false);
   } else {
     // "mlock calls do not nest, i.e. a single unlock operation annuls
     // multiple lock operations on the same address."

@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "simkern/kernel.h"
+#include "sync/mutex.h"
+#include "sync/policy.h"
 #include "util/status.h"
 
 namespace vialock::via {
@@ -65,6 +67,11 @@ class LockPolicy {
   /// Needs root / CAP_IPC_LOCK or a kernel patch.
   [[nodiscard]] virtual bool needs_privilege() const { return false; }
 
+  /// Execution mode: threaded arms the policy's internal mutex (driver-side
+  /// bookkeeping such as mlock range refcounts); serial keeps it a no-op.
+  /// The kernel's own structures are guarded by the kernel, not here.
+  void set_policy(sync::SyncPolicy p) { mu_.set_policy(p); }
+
  protected:
   explicit LockPolicy(simkern::Kernel& kern) : kern_(kern) {}
 
@@ -77,6 +84,11 @@ class LockPolicy {
                                              std::vector<simkern::Pfn>& pfns);
 
   simkern::Kernel& kern_;
+  /// Guards subclass driver-side state only; never held across kernel calls
+  /// (do_mlock takes the per-task mutex - holding mu_ there would close a
+  /// cycle with the governor drain path, which unlocks through the policy
+  /// while reclaim holds task mutexes).
+  mutable sync::Mutex mu_;
 };
 
 /// Berkeley-VIA / M-VIA: page refcount only. Unreliable by construction.

@@ -17,6 +17,8 @@
 
 #include "fault/fault.h"
 #include "simkern/kernel.h"
+#include "sync/policy.h"
+#include "sync/relaxed.h"
 #include "via/descriptor.h"
 #include "via/tpt.h"
 #include "via/vi.h"
@@ -35,30 +37,33 @@ struct NicConfig {
   std::uint8_t max_superpage_order = 9;
 };
 
+// Relaxed-atomic counters: in threaded mode several real threads can drive
+// one NIC (the E26 registration microbench); in scenario runs the engine's
+// per-host guards already serialize access, and serial mode is unchanged.
 struct NicStats {
-  std::uint64_t doorbells = 0;
-  std::uint64_t sends_posted = 0;
-  std::uint64_t recvs_posted = 0;
-  std::uint64_t sends_ok = 0;
-  std::uint64_t recvs_ok = 0;
-  std::uint64_t rdma_writes = 0;
-  std::uint64_t rdma_reads = 0;
-  std::uint64_t protection_errors = 0;
-  std::uint64_t no_recv_desc = 0;
-  std::uint64_t length_errors = 0;
-  std::uint64_t bytes_tx = 0;
-  std::uint64_t bytes_rx = 0;
-  std::uint64_t tpt_writes = 0;
+  sync::Relaxed doorbells;
+  sync::Relaxed sends_posted;
+  sync::Relaxed recvs_posted;
+  sync::Relaxed sends_ok;
+  sync::Relaxed recvs_ok;
+  sync::Relaxed rdma_writes;
+  sync::Relaxed rdma_reads;
+  sync::Relaxed protection_errors;
+  sync::Relaxed no_recv_desc;
+  sync::Relaxed length_errors;
+  sync::Relaxed bytes_tx;
+  sync::Relaxed bytes_rx;
+  sync::Relaxed tpt_writes;
   // Batched submission/completion (E18's modes extended, experiment E24):
-  std::uint64_t doorbell_batches = 0;  ///< burst post_send/post_recv rings
-  std::uint64_t cq_harvests = 0;       ///< batched CQ polls issued
-  std::uint64_t cq_harvested = 0;      ///< entries drained by batched polls
+  sync::Relaxed doorbell_batches;  ///< burst post_send/post_recv rings
+  sync::Relaxed cq_harvests;       ///< batched CQ polls issued
+  sync::Relaxed cq_harvested;      ///< entries drained by batched polls
   // Injected hardware faults (fault::FaultEngine hooks):
-  std::uint64_t doorbells_dropped = 0;   ///< descriptor silently lost
-  std::uint64_t dma_corruptions = 0;     ///< payload bit-flip in flight
-  std::uint64_t dma_delays = 0;          ///< DMA engine latency spike
-  std::uint64_t tpt_corruptions = 0;     ///< TPT entry written with bad pfn
-  std::uint64_t tpt_evictions = 0;       ///< TPT entry written invalid
+  sync::Relaxed doorbells_dropped;   ///< descriptor silently lost
+  sync::Relaxed dma_corruptions;     ///< payload bit-flip in flight
+  sync::Relaxed dma_delays;          ///< DMA engine latency spike
+  sync::Relaxed tpt_corruptions;     ///< TPT entry written with bad pfn
+  sync::Relaxed tpt_evictions;       ///< TPT entry written invalid
 };
 
 class Nic {
@@ -159,6 +164,12 @@ class Nic {
   /// descriptors silently lost), NicDma (payload bit-flips / latency spikes)
   /// and TptWrite (entries corrupted or evicted as they are programmed).
   void set_fault_engine(fault::FaultEngine* engine) { faults_ = engine; }
+
+  /// Execution mode. Threaded arms the TPT's internal mutex (the only NIC
+  /// structure mutated from concurrent registration paths); VI/CQ state is
+  /// serialized by the scenario engine's per-host guards, stats are relaxed
+  /// atomics. Serial keeps every lock a no-op branch.
+  void set_policy(sync::SyncPolicy p) { tpt_.set_policy(p); }
 
  private:
   /// Gather `seg` (under `tag`) from host physical memory, appending to `out`.

@@ -8,6 +8,8 @@
 
 #include "pinmgr/pin_governor.h"
 #include "simkern/kernel.h"
+#include "sync/mutex.h"
+#include "sync/policy.h"
 #include "util/clock.h"
 #include "util/cost_model.h"
 #include "via/fabric.h"
@@ -21,16 +23,25 @@ struct NodeSpec {
   simkern::KernelConfig kernel;
   NicConfig nic;
   PolicyKind policy = PolicyKind::Kiobuf;
+  /// Execution mode for every lock inside this node (kernel, NIC TPT, lock
+  /// policy, agent, governor). Serial (the default) keeps them all no-op
+  /// branches; threaded arms them. Overrides spec.kernel.sync.
+  sync::SyncPolicy sync;
 };
 
 /// A host: simulated kernel, VIA NIC, kernel agent with its lock policy.
 class Node {
  public:
   Node(const NodeSpec& spec, Clock& clock, const CostModel& costs)
-      : kernel_(spec.kernel, clock, costs),
+      : sync_(spec.sync),
+        kernel_(with_sync(spec), clock, costs),
         nic_(kernel_, clock, costs, spec.nic),
-        policy_(make_policy(spec.policy, kernel_)),
-        agent_(kernel_, nic_, *policy_) {}
+        policy_(make_policy(spec.policy, kernel_, spec.sync)),
+        agent_(kernel_, nic_, *policy_) {
+    nic_.set_policy(sync_);
+    agent_.set_policy(sync_);
+    mu_.set_policy(sync_);
+  }
 
   [[nodiscard]] simkern::Kernel& kernel() { return kernel_; }
   [[nodiscard]] Nic& nic() { return nic_; }
@@ -47,12 +58,21 @@ class Node {
       kernel_.remove_pressure_handler(governor_.get());
     }
     governor_ = std::make_unique<pinmgr::PinGovernor>(kernel_, config);
+    governor_->set_policy(sync_);
     governor_->set_fault_engine(faults_);
     agent_.set_governor(governor_.get());
     kernel_.add_pressure_handler(governor_.get());
     return *governor_;
   }
   [[nodiscard]] pinmgr::PinGovernor* governor() { return governor_.get(); }
+
+  [[nodiscard]] sync::SyncPolicy sync() const { return sync_; }
+
+  /// The node's host mutex: the threaded scenario executor holds the mutexes
+  /// of every host an event touches (in ascending node-id order) for the
+  /// event's duration, which is what keeps VI/CQ state, channels and the
+  /// kernel's single-threaded invariants safe without per-structure locks.
+  [[nodiscard]] sync::Mutex& mu() { return mu_; }
 
   /// Arm fault injection on this node's kernel, NIC, kernel agent, and
   /// governor (nullptr disarms).
@@ -65,6 +85,14 @@ class Node {
   }
 
  private:
+  [[nodiscard]] static simkern::KernelConfig with_sync(const NodeSpec& spec) {
+    simkern::KernelConfig k = spec.kernel;
+    k.sync = spec.sync;
+    return k;
+  }
+
+  sync::SyncPolicy sync_;
+  sync::Mutex mu_;
   simkern::Kernel kernel_;
   Nic nic_;
   std::unique_ptr<LockPolicy> policy_;

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string_view>
 
+#include "sync/policy.h"
 #include "via/lock_policy.h"
 
 namespace vialock::via {
@@ -33,23 +34,33 @@ inline constexpr std::array<PolicyKind, 5> kAllPolicies = {
   return "?";
 }
 
+/// Construct the policy in the given execution mode. The serial default
+/// leaves the policy's internal mutex a no-op branch; threaded arms it (the
+/// only behavioural difference - placement and accounting are identical).
 [[nodiscard]] inline std::unique_ptr<LockPolicy> make_policy(
-    PolicyKind kind, simkern::Kernel& kern) {
+    PolicyKind kind, simkern::Kernel& kern, sync::SyncPolicy sync = {}) {
+  std::unique_ptr<LockPolicy> p;
   switch (kind) {
     case PolicyKind::Refcount:
-      return std::make_unique<RefcountLockPolicy>(kern);
+      p = std::make_unique<RefcountLockPolicy>(kern);
+      break;
     case PolicyKind::PageFlag:
-      return std::make_unique<PageFlagLockPolicy>(kern);
+      p = std::make_unique<PageFlagLockPolicy>(kern);
+      break;
     case PolicyKind::Mlock:
-      return std::make_unique<MlockLockPolicy>(kern);
+      p = std::make_unique<MlockLockPolicy>(kern);
+      break;
     case PolicyKind::MlockTracked:
-      return std::make_unique<MlockLockPolicy>(
+      p = std::make_unique<MlockLockPolicy>(
           kern, MlockLockPolicy::Options{.userdma_patch = false,
                                          .track_ranges = true});
+      break;
     case PolicyKind::Kiobuf:
-      return std::make_unique<KiobufLockPolicy>(kern);
+      p = std::make_unique<KiobufLockPolicy>(kern);
+      break;
   }
-  return nullptr;
+  if (p) p->set_policy(sync);
+  return p;
 }
 
 }  // namespace vialock::via

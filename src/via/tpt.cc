@@ -6,6 +6,7 @@ namespace vialock::via {
 
 TptIndex Tpt::alloc(std::uint32_t count) {
   if (count == 0 || count > capacity()) return kInvalidTptIndex;
+  sync::Guard g(mu_);
   const auto base = free_.find_first_fit(count);
   if (!base) return kInvalidTptIndex;
   free_.reserve(*base, count);
@@ -15,6 +16,7 @@ TptIndex Tpt::alloc(std::uint32_t count) {
 
 void Tpt::release(TptIndex base, std::uint32_t count) {
   assert(base + count <= capacity());
+  sync::Guard g(mu_);
   free_.release(base, count);  // checks double-free in debug builds
   for (std::uint32_t j = base; j < base + count; ++j) entries_[j] = TptEntry{};
   used_ -= count;

@@ -13,6 +13,9 @@
 #include <vector>
 
 #include "simkern/types.h"
+#include "sync/mutex.h"
+#include "sync/policy.h"
+#include "sync/relaxed.h"
 #include "util/extent_map.h"
 #include "util/status.h"
 
@@ -52,8 +55,15 @@ class Tpt {
   [[nodiscard]] std::uint32_t capacity() const {
     return static_cast<std::uint32_t>(entries_.size());
   }
-  [[nodiscard]] std::uint32_t used() const { return used_; }
-  [[nodiscard]] std::uint32_t free_entries() const { return capacity() - used_; }
+  [[nodiscard]] std::uint32_t used() const {
+    return static_cast<std::uint32_t>(used_.load());
+  }
+  [[nodiscard]] std::uint32_t free_entries() const { return capacity() - used(); }
+
+  /// Execution mode: threaded arms the internal mutex serializing the
+  /// free-extent index (agents on different real threads can claim and
+  /// release table ranges concurrently); serial keeps it a no-op branch.
+  void set_policy(sync::SyncPolicy p) { mu_.set_policy(p); }
 
   /// Allocate `count` contiguous entries; kInvalidTptIndex if no hole fits.
   /// First-fit in address order over the free-extent index, so placements
@@ -63,10 +73,12 @@ class Tpt {
 
   /// Free holes in the table (fragmentation metric).
   [[nodiscard]] std::size_t free_extent_count() const {
+    sync::Guard g(mu_);
     return free_.extent_count();
   }
   /// Largest allocation that could currently succeed.
   [[nodiscard]] std::uint32_t largest_free_run() const {
+    sync::Guard g(mu_);
     return free_.largest_extent();
   }
 
@@ -100,7 +112,13 @@ class Tpt {
   /// Ordered free-extent index over [0, capacity): allocation and release
   /// cost O(log holes) instead of scanning every entry.
   ExtentMap<TptIndex, std::uint32_t> free_;
-  std::uint32_t used_ = 0;
+  /// Serializes free_ (alloc/release/fragmentation reads). Entry contents
+  /// (set/get/translate) are NOT guarded: an entry range belongs to exactly
+  /// one registration between alloc and release, and registration-vs-DMA
+  /// ordering within a range is the owning host's (or the caller's) problem -
+  /// the same discipline real TPT hardware imposes.
+  mutable sync::Mutex mu_;
+  sync::Relaxed used_;
 };
 
 }  // namespace vialock::via

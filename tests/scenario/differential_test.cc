@@ -1,0 +1,171 @@
+// differential_test - the threaded execution mode's correctness oracle
+// (DESIGN.md section 15): for every traffic pattern, a threaded run must
+// reproduce the serial run's audit surface for the same spec + seed.
+//
+// The audit surface is the work done and its integrity - operation counts,
+// registration balance, zero lost or corrupted payloads, a clean invariant
+// audit. Time-shaped scalars (makespan, busy time, latency percentiles,
+// per-server breakdown) are NOT compared: epochs interleave host timelines
+// differently than the serial total order, so scenario time legitimately
+// differs. Fault runs are compared on invariants only - which operation a
+// fault rule's trigger counter lands on depends on event interleaving.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "scenario/engine.h"
+#include "scenario/executor.h"
+#include "scenario/spec.h"
+
+namespace vialock::scenario {
+namespace {
+
+/// The scalars every execution mode must agree on (see file comment).
+struct AuditSurface {
+  std::uint64_t transfers_attempted = 0;
+  std::uint64_t transfers_ok = 0;
+  std::uint64_t transfers_failed = 0;
+  std::uint64_t registrations_ok = 0;
+  std::uint64_t registrations_failed = 0;
+  std::uint64_t deregistrations = 0;
+  std::uint64_t rpcs = 0;
+  std::uint64_t kv_gets = 0;
+  std::uint64_t kv_puts = 0;
+  std::uint64_t records_delivered = 0;
+  std::uint64_t allreduce_rounds = 0;
+  std::uint64_t agent_registrations = 0;
+  std::uint64_t agent_deregistrations = 0;
+  bool invariants_ok = false;
+
+  bool operator==(const AuditSurface&) const = default;
+};
+
+AuditSurface surface_of(const ScenarioReport& r) {
+  return {r.counters.transfers_attempted.load(),
+          r.counters.transfers_ok.load(),
+          r.counters.transfers_failed.load(),
+          r.counters.registrations_ok.load(),
+          r.counters.registrations_failed.load(),
+          r.counters.deregistrations.load(),
+          r.counters.rpcs.load(),
+          r.counters.kv_gets.load(),
+          r.counters.kv_puts.load(),
+          r.counters.records_delivered.load(),
+          r.counters.allreduce_rounds.load(),
+          r.agent_registrations,
+          r.agent_deregistrations,
+          r.invariants_ok};
+}
+
+std::string describe(const AuditSurface& s) {
+  return "attempted=" + std::to_string(s.transfers_attempted) +
+         " ok=" + std::to_string(s.transfers_ok) +
+         " failed=" + std::to_string(s.transfers_failed) +
+         " reg_ok=" + std::to_string(s.registrations_ok) +
+         " reg_fail=" + std::to_string(s.registrations_failed) +
+         " dereg=" + std::to_string(s.deregistrations) +
+         " rpcs=" + std::to_string(s.rpcs) +
+         " gets=" + std::to_string(s.kv_gets) +
+         " puts=" + std::to_string(s.kv_puts) +
+         " records=" + std::to_string(s.records_delivered) +
+         " rounds=" + std::to_string(s.allreduce_rounds) +
+         " agent_reg=" + std::to_string(s.agent_registrations) +
+         " agent_dereg=" + std::to_string(s.agent_deregistrations) +
+         " invariants=" + (s.invariants_ok ? "ok" : "VIOLATED");
+}
+
+ScenarioReport run_spec(const std::string& text, std::uint32_t threads) {
+  ParseResult parsed = parse_spec(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.error;
+  parsed.spec.threads = threads;
+  ScenarioEngine engine(parsed.spec);
+  EXPECT_TRUE(ok(engine.build()));
+  EXPECT_TRUE(ok(engine.run()));
+  return engine.report();
+}
+
+/// Serial run, then the same spec at 2/4/8 worker threads; every surface
+/// must match the oracle's exactly.
+void expect_threaded_matches_serial(const std::string& text) {
+  const AuditSurface oracle = surface_of(run_spec(text, 1));
+  EXPECT_TRUE(oracle.invariants_ok) << describe(oracle);
+  for (const std::uint32_t threads : {2u, 4u, 8u}) {
+    const AuditSurface got = surface_of(run_spec(text, threads));
+    EXPECT_EQ(oracle, got) << "threads=" << threads << "\nserial:   "
+                           << describe(oracle) << "\nthreaded: "
+                           << describe(got);
+  }
+}
+
+TEST(ScenarioDifferential, RpcFanoutThreadedMatchesSerial) {
+  expect_threaded_matches_serial(
+      "name = diff-rpc\npattern = rpc-fanout\nhosts = 10\nservers = 4\n"
+      "fanout = 3\ntenants_per_host = 2\nops_per_tenant = 20\n"
+      "churn_regs_per_tenant = 6\n");
+}
+
+TEST(ScenarioDifferential, SkewedKvThreadedMatchesSerial) {
+  expect_threaded_matches_serial(
+      "name = diff-kv\npattern = skewed-kv\nhosts = 10\nservers = 3\n"
+      "tenants_per_host = 2\nops_per_tenant = 20\nskew = 1.1\n"
+      "value_bytes = 2048\nput_fraction = 0.4\n");
+}
+
+TEST(ScenarioDifferential, KvServerThreadedMatchesSerial) {
+  expect_threaded_matches_serial(
+      "name = diff-kvsvc\npattern = kv-server\nhosts = 6\nservers = 2\n"
+      "tenants_per_host = 2\nops_per_tenant = 16\nkeys = 128\nskew = 1.1\n"
+      "value_bytes = 256\nlarge_value_bytes = 4096\nlarge_fraction = 0.25\n"
+      "put_fraction = 0.5\nconnections_per_client = 2\n"
+      "conn_churn_per_client = 1\n");
+}
+
+TEST(ScenarioDifferential, PsAllreduceThreadedMatchesSerial) {
+  expect_threaded_matches_serial(
+      "name = diff-ps\npattern = ps-allreduce\nhosts = 8\nrounds = 3\n"
+      "shard_bytes = 2048\n");
+}
+
+TEST(ScenarioDifferential, CollectivesThreadedMatchesSerial) {
+  expect_threaded_matches_serial(
+      "name = diff-coll\npattern = collectives\nhosts = 8\nrounds = 2\n"
+      "payload_bytes = 16384\nallreduce_count = 64\nalltoall_block = 2048\n");
+}
+
+TEST(ScenarioDifferential, FaultRunInvariantsHoldThreaded) {
+  // Which op a probabilistic fault rule fires on depends on the global
+  // event interleaving, so op counts legitimately differ threaded; the
+  // *invariant audit* (nothing leaked, nothing silently corrupted, failure
+  // accounting balanced) must hold in every mode.
+  const std::string text =
+      "name = diff-fault\npattern = skewed-kv\nhosts = 8\nservers = 2\n"
+      "tenants_per_host = 2\nops_per_tenant = 20\nskew = 1.1\n"
+      "churn_regs_per_tenant = 4\nfault = wire drop p=0.02 max=40\n"
+      "fault = pin-admission fail p=0.02 max=20\n";
+  const ScenarioReport serial = run_spec(text, 1);
+  EXPECT_TRUE(serial.invariants_ok)
+      << (serial.violations.empty() ? "" : serial.violations[0]);
+  for (const std::uint32_t threads : {2u, 4u}) {
+    const ScenarioReport threaded = run_spec(text, threads);
+    EXPECT_TRUE(threaded.invariants_ok)
+        << "threads=" << threads << " "
+        << (threaded.violations.empty() ? "" : threaded.violations[0]);
+  }
+}
+
+TEST(ScenarioDifferential, ExecutorSpecMismatchIsRejected) {
+  ParseResult parsed = parse_spec(
+      "name = diff-mismatch\npattern = skewed-kv\nhosts = 4\nservers = 1\n"
+      "tenants_per_host = 1\nops_per_tenant = 4\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ScenarioEngine engine(parsed.spec);  // threads = 1: serial no-op locks
+  ASSERT_TRUE(ok(engine.build()));
+  ThreadedExecutor exec(4);
+  // Draining a serial-built cluster with real workers would race on no-op
+  // locks; the engine refuses instead.
+  EXPECT_EQ(engine.run(exec), KStatus::Inval);
+}
+
+}  // namespace
+}  // namespace vialock::scenario
