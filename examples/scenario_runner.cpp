@@ -8,6 +8,10 @@
 // Flags:
 //   --json          write SCENARIO_<name>.json (the canonical report_json)
 //   --trace-export  write TRACE_SCENARIO_<name>.json (merged chrome trace)
+//   --timeline      sample continuously and write TIMELINE_<name>.json
+//                   (with --trace-export: counter overlays in the trace too)
+//   --watch         print the sampled timeline as a table after the run
+//                   (memory pressure per tick, SLO firings marked)
 //   --quiet         suppress the report tables (exit code still meaningful)
 //
 // Exit code 0 when the run completed with all invariants intact, 1 otherwise.
@@ -22,6 +26,7 @@
 #include <vector>
 
 #include "obs/export.h"
+#include "obs/sampler.h"
 #include "scenario/engine.h"
 #include "scenario/spec.h"
 #include "util/table.h"
@@ -94,10 +99,44 @@ void print_report(const ScenarioSpec& spec, const ScenarioReport& r) {
     std::cout << "violation: " << v << "\n";
 }
 
+/// --watch: the sampled timeline as a table, at most ~24 evenly-strided
+/// rows so a megatick run stays readable. Shows the memory-pressure gauges
+/// (the dynamics the paper's reclaim story cares about) and marks the ticks
+/// where an SLO watchdog fired.
+void print_watch(const obs::Sampler& sampler) {
+  const auto& samples = sampler.samples();
+  std::cout << "\n--- timeline (" << sampler.ticks() << " ticks, interval "
+            << Table::nanos(sampler.interval()) << ", " << samples.size()
+            << " retained) ---\n";
+  if (samples.empty()) return;
+  Table t({"t", "pinned", "free", "page_cache", "slo"});
+  const std::size_t stride = std::max<std::size_t>(1, samples.size() / 24);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i % stride != 0 && i + 1 != samples.size()) continue;
+    const auto& s = samples[i];
+    std::uint64_t pinned = 0, free_frames = 0, cache = 0;
+    (void)obs::Sampler::resolve(s.metrics, "simkern.mem.pinned_frames", pinned);
+    (void)obs::Sampler::resolve(s.metrics, "simkern.mem.free_frames", free_frames);
+    (void)obs::Sampler::resolve(s.metrics, "simkern.mem.page_cache_pages", cache);
+    std::string slo;
+    for (const auto& f : sampler.firings())
+      if (f.when == s.when)
+        slo += (slo.empty() ? "" : " ") +
+               sampler.rules()[f.rule].metric + "!";
+    t.row({Table::nanos(s.when), Table::num(pinned), Table::num(free_frames),
+           Table::num(cache), slo.empty() ? "-" : slo});
+  }
+  t.print();
+  for (const auto& f : sampler.firings())
+    std::cout << "slo fired: " << sampler.rules()[f.rule].metric << " at "
+              << Table::nanos(f.when) << " (observed " << f.observed << ")\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false, trace = false, quiet = false;
+  bool timeline = false, watch = false;
   std::string spec_arg;
   std::vector<std::pair<std::string, std::string>> overrides;
   for (int i = 1; i < argc; ++i) {
@@ -105,6 +144,8 @@ int main(int argc, char** argv) {
     if (a == "--list") return list_specs();
     if (a == "--json") { json = true; continue; }
     if (a == "--trace-export") { trace = true; continue; }
+    if (a == "--timeline") { timeline = true; continue; }
+    if (a == "--watch") { watch = true; continue; }
     if (a == "--quiet") { quiet = true; continue; }
     const auto eq = a.find('=');
     if (eq != std::string::npos && a.rfind("--", 0) != 0) {
@@ -117,7 +158,8 @@ int main(int argc, char** argv) {
   }
   if (spec_arg.empty()) {
     std::cerr << "usage: scenario_runner (--list | <spec> [key=value...] "
-                 "[--json] [--trace-export] [--quiet])\n";
+                 "[--json] [--trace-export] [--timeline] [--watch] "
+                 "[--quiet])\n";
     return 2;
   }
 
@@ -153,6 +195,13 @@ int main(int argc, char** argv) {
           .spans()
           .enable(true);
   }
+  if (timeline || watch) {
+    engine.enable_timeline();
+    if (trace)
+      // Memory-pressure counter overlays next to the spans (chrome trace
+      // renders ph "C" events as stacked area charts).
+      engine.set_trace_metrics({"simkern.mem.pinned_frames", "simkern.mem.free_frames"});
+  }
   if (!ok(engine.run())) {
     std::cerr << "scenario run failed\n";
     return 1;
@@ -165,6 +214,22 @@ int main(int argc, char** argv) {
     out << report_json(engine.spec(), report);
     std::cout << "wrote " << path << "\n";
   }
+  if (watch && engine.sampler() != nullptr) print_watch(*engine.sampler());
+  if (timeline && engine.sampler() != nullptr) {
+    const std::string path = "TIMELINE_" + engine.spec().name + ".json";
+    std::ofstream out(path);
+    out << engine.sampler()->timeline_json(engine.spec().name,
+                                           engine.spec().seed);
+    std::cout << "wrote " << path << "\n";
+  }
+  for (std::size_t i = 0; i < engine.flight_dumps().size(); ++i) {
+    const auto& [reason, doc] = engine.flight_dumps()[i];
+    const std::string path = "FLIGHT_" + engine.spec().name + "_" +
+                             std::to_string(i) + ".json";
+    std::ofstream out(path);
+    out << doc;
+    std::cout << "wrote " << path << " (" << reason << ")\n";
+  }
   if (trace) {
     std::vector<const obs::SpanRecorder*> recorders;
     for (std::size_t i = 0; i < engine.cluster().size(); ++i)
@@ -174,7 +239,10 @@ int main(int argc, char** argv) {
                                .spans());
     const std::string path = "TRACE_SCENARIO_" + engine.spec().name + ".json";
     std::ofstream out(path);
-    out << obs::chrome_trace(recorders);
+    const std::string overlay = engine.sampler() != nullptr
+                                    ? engine.sampler()->chrome_counter_events()
+                                    : std::string();
+    out << obs::chrome_trace(recorders, overlay);
     std::cout << "wrote " << path << "\n";
   }
   return report.invariants_ok ? 0 : 1;

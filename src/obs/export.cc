@@ -8,23 +8,13 @@ namespace vialock::obs {
 
 namespace {
 
-/// Virtual nanoseconds as decimal microseconds ("12.345"), integer math only.
-std::string micros(Nanos ns) {
-  std::string out = std::to_string(ns / 1000);
-  const auto frac = static_cast<std::uint32_t>(ns % 1000);
-  out += '.';
-  out += static_cast<char>('0' + frac / 100);
-  out += static_cast<char>('0' + frac / 10 % 10);
-  out += static_cast<char>('0' + frac % 10);
-  return out;
-}
-
 /// One complete-event ("X") line for a closed span under process `pid`.
 void emit_span(std::ostringstream& os, const SpanRecorder::Span& s,
                std::uint32_t pid) {
   os << "\n  {\"name\": " << json_quote(s.name)
-     << ", \"cat\": \"vialock\", \"ph\": \"X\", \"ts\": " << micros(s.start)
-     << ", \"dur\": " << micros(s.dur) << ", \"pid\": " << pid
+     << ", \"cat\": \"vialock\", \"ph\": \"X\", \"ts\": "
+     << trace_micros(s.start) << ", \"dur\": " << trace_micros(s.dur)
+     << ", \"pid\": " << pid
      << ", \"tid\": " << s.tid << ", \"args\": {\"depth\": " << s.depth;
   if (s.trace_id != 0) {
     os << ", \"trace\": \"" << json_hex(s.trace_id) << "\", \"span\": \""
@@ -59,17 +49,40 @@ std::string json_hex(std::uint64_t v) {
   return "0x" + out;
 }
 
+std::string trace_micros(Nanos ns) {
+  std::string out = std::to_string(ns / 1000);
+  const auto frac = static_cast<std::uint32_t>(ns % 1000);
+  out += '.';
+  out += static_cast<char>('0' + frac / 100);
+  out += static_cast<char>('0' + frac / 10 % 10);
+  out += static_cast<char>('0' + frac % 10);
+  return out;
+}
+
+std::array<std::pair<std::string_view, std::uint64_t>, 7> histogram_fields(
+    const Metric& m) {
+  return {{{"count", m.count},
+           {"sum", m.sum},
+           {"p50", m.p50},
+           {"p95", m.p95},
+           {"p99", m.p99},
+           {"p999", m.p999},
+           {"max", m.max}}};
+}
+
+void append_histogram_json(std::ostream& os, const Metric& m) {
+  for (const auto& [field, v] : histogram_fields(m)) {
+    os << ", \"" << field << "\": " << v;
+  }
+}
+
 std::string to_proc_text(const Snapshot& snap) {
   std::ostringstream os;
   for (const Metric& m : snap) {
     if (m.kind == MetricKind::Histogram) {
-      os << m.name << ".count " << m.count << "\n"
-         << m.name << ".sum " << m.sum << "\n"
-         << m.name << ".p50 " << m.p50 << "\n"
-         << m.name << ".p95 " << m.p95 << "\n"
-         << m.name << ".p99 " << m.p99 << "\n"
-         << m.name << ".p999 " << m.p999 << "\n"
-         << m.name << ".max " << m.max << "\n";
+      for (const auto& [field, v] : histogram_fields(m)) {
+        os << m.name << "." << field << " " << v << "\n";
+      }
     } else {
       os << m.name << " " << m.value << "\n";
     }
@@ -85,10 +98,8 @@ std::string to_json(const Snapshot& snap) {
     os << (i ? "," : "") << "\n    {\"name\": " << json_quote(m.name)
        << ", \"kind\": " << json_quote(to_string(m.kind));
     if (m.kind == MetricKind::Histogram) {
-      os << ", \"count\": " << m.count << ", \"sum\": " << m.sum
-         << ", \"p50\": " << m.p50 << ", \"p95\": " << m.p95
-         << ", \"p99\": " << m.p99 << ", \"p999\": " << m.p999
-         << ", \"max\": " << m.max << ", \"buckets\": [";
+      append_histogram_json(os, m);
+      os << ", \"buckets\": [";
       for (std::size_t b = 0; b < m.buckets.size(); ++b) {
         os << (b ? ", " : "") << "[" << m.buckets[b].first << ", "
            << m.buckets[b].second << "]";
@@ -108,6 +119,11 @@ std::string chrome_trace(const SpanRecorder& rec) {
 }
 
 std::string chrome_trace(const std::vector<const SpanRecorder*>& recs) {
+  return chrome_trace(recs, std::string_view{});
+}
+
+std::string chrome_trace(const std::vector<const SpanRecorder*>& recs,
+                         std::string_view extra_events) {
   std::ostringstream os;
   os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
   bool first = true;
@@ -168,12 +184,16 @@ std::string chrome_trace(const std::vector<const SpanRecorder*>& recs) {
       const char* ph = i == 0 ? "s" : (i + 1 == chain.size() ? "f" : "t");
       os << (first ? "" : ",") << "\n  {\"name\": \"trace\", "
          << "\"cat\": \"vialock\", \"ph\": \"" << ph << "\", \"id\": \""
-         << json_hex(trace_id) << "\", \"ts\": " << micros(p.start)
+         << json_hex(trace_id) << "\", \"ts\": " << trace_micros(p.start)
          << ", \"pid\": " << p.pid << ", \"tid\": " << p.tid;
       if (ph[0] == 'f') os << ", \"bp\": \"e\"";
       os << "}";
       first = false;
     }
+  }
+  if (!extra_events.empty()) {
+    os << (first ? "" : ",") << extra_events;
+    first = false;
   }
   os << (first ? "" : "\n") << "]}\n";
   return os.str();

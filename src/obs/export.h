@@ -22,14 +22,31 @@
 // connected arrow chain across endpoints.
 #pragma once
 
+#include <array>
+#include <iosfwd>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/span.h"
 
 namespace vialock::obs {
+
+/// The seven scalar fields a histogram exports, in canonical order (count,
+/// sum, p50, p95, p99, p999, max). Every exporter renders from this one
+/// list, so a new quantile cannot silently diverge between them.
+[[nodiscard]] std::array<std::pair<std::string_view, std::uint64_t>, 7>
+histogram_fields(const Metric& m);
+
+/// histogram_fields(m) as JSON object members: `, "count": c, ..., "max": x`
+/// (leading comma included) - shared by to_json and the flight recorder.
+void append_histogram_json(std::ostream& os, const Metric& m);
+
+/// Virtual nanoseconds as decimal microseconds ("12.345"), integer math
+/// only - the chrome-trace timestamp format.
+[[nodiscard]] std::string trace_micros(Nanos ns);
 
 [[nodiscard]] std::string to_proc_text(const Snapshot& snap);
 
@@ -41,6 +58,15 @@ namespace vialock::obs {
 /// `recs`), with flow events stitching traces that span multiple recorders.
 [[nodiscard]] std::string chrome_trace(
     const std::vector<const SpanRecorder*>& recs);
+
+/// Merged export with pre-rendered extra events (the sampler's counter-event
+/// overlay) spliced into the traceEvents array. `extra_events` must be zero
+/// or more complete event objects, each prefixed "\n  " and separated by
+/// commas, with no leading or trailing comma (Sampler::chrome_counter_events
+/// renders exactly that shape).
+[[nodiscard]] std::string chrome_trace(
+    const std::vector<const SpanRecorder*>& recs,
+    std::string_view extra_events);
 
 /// JSON string literal with the repo's escaping rules (", \, newline).
 [[nodiscard]] std::string json_quote(std::string_view s);

@@ -54,10 +54,7 @@ std::string FlightRecorder::dump(std::string_view reason,
     os << (first ? "" : ",") << "\n    {\"name\": " << json_quote(m.name)
        << ", \"kind\": " << json_quote(to_string(m.kind));
     if (m.kind == MetricKind::Histogram) {
-      os << ", \"count\": " << m.count << ", \"sum\": " << m.sum
-         << ", \"p50\": " << m.p50 << ", \"p95\": " << m.p95
-         << ", \"p99\": " << m.p99 << ", \"p999\": " << m.p999
-         << ", \"max\": " << m.max;
+      append_histogram_json(os, m);
     } else {
       os << ", \"value\": " << m.value;
     }

@@ -2,16 +2,140 @@
 
 #include <algorithm>
 
+#include "sync/range_lock.h"
+
 namespace vialock::obs {
+
+bool MetricSink::name_matches(const std::string& full,
+                              std::string_view name) const {
+  if (prefix_.empty()) return full == name;
+  return full.size() == prefix_.size() + 1 + name.size() &&
+         full.compare(0, prefix_.size(), prefix_) == 0 &&
+         full[prefix_.size()] == '.' &&
+         full.compare(prefix_.size() + 1, name.size(), name) == 0;
+}
+
+Metric* MetricSink::reuse_slot(std::string_view name, MetricKind kind) {
+  if (cursor_ == nullptr) return nullptr;
+  if (*cursor_ < out_.size()) {
+    Metric& m = out_[*cursor_];
+    if (m.kind == kind && (trusted_ || name_matches(m.name, name))) {
+      ++*cursor_;
+      return &m;
+    }
+  }
+  // Layout diverged: drop the stale tail and append fresh from here on.
+  out_.resize(*cursor_);
+  cursor_ = nullptr;
+  fallback_ = true;
+  return nullptr;
+}
+
+void add_buckets(
+    std::vector<std::pair<std::uint32_t, std::uint64_t>>& dst,
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>>& src) {
+  std::size_t i = 0;
+  for (const auto& [idx, n] : src) {
+    while (i < dst.size() && dst[i].first < idx) ++i;
+    if (i < dst.size() && dst[i].first == idx) {
+      dst[i].second += n;
+    } else {
+      dst.insert(dst.begin() + static_cast<std::ptrdiff_t>(i), {idx, n});
+    }
+  }
+}
 
 void MetricSink::emit(std::string_view name, MetricKind kind,
                       std::uint64_t v) {
+  if (fold_map_ != nullptr) {
+    const std::uint32_t t = (*fold_map_)[(*cursor_)++];
+    if (t != kNoFoldSlot) out_[t].value += v;
+    return;
+  }
+  if (Metric* m = reuse_slot(name, kind)) {
+    m->value = v;
+    return;
+  }
   Metric m;
   m.name.reserve(prefix_.size() + 1 + name.size());
-  m.name.append(prefix_).append(".").append(name);
+  if (!prefix_.empty()) m.name.append(prefix_).append(".");
+  m.name.append(name);
   m.kind = kind;
   m.value = v;
   out_.push_back(std::move(m));
+}
+
+void MetricSink::histogram(
+    std::string_view name, std::uint64_t count, std::uint64_t sum,
+    std::uint64_t max, std::uint64_t p50, std::uint64_t p95, std::uint64_t p99,
+    std::uint64_t p999,
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets) {
+  if (fold_map_ != nullptr) {
+    const std::uint32_t t = (*fold_map_)[(*cursor_)++];
+    if (t != kNoFoldSlot) {
+      Metric& d = out_[t];
+      d.count += count;
+      d.sum += sum;
+      d.max = std::max(d.max, max);
+      add_buckets(d.buckets, buckets);
+    }
+    return;
+  }
+  Metric* m = reuse_slot(name, MetricKind::Histogram);
+  if (m == nullptr) {
+    Metric fresh;
+    fresh.name.reserve(prefix_.size() + 1 + name.size());
+    if (!prefix_.empty()) fresh.name.append(prefix_).append(".");
+    fresh.name.append(name);
+    fresh.kind = MetricKind::Histogram;
+    out_.push_back(std::move(fresh));
+    m = &out_.back();
+  }
+  m->count = count;
+  m->sum = sum;
+  m->max = max;
+  m->p50 = p50;
+  m->p95 = p95;
+  m->p99 = p99;
+  m->p999 = p999;
+  m->buckets = std::move(buckets);
+}
+
+void Histogram::snapshot_to(Metric& m) const {
+  std::uint64_t b[kBuckets];
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    b[i] = buckets_[i].load();
+    n += b[i];
+  }
+  m.count = n;
+  m.sum = sum_.load();
+  m.max = n != 0 ? max_.load() : 0;
+  m.buckets.clear();  // keeps capacity: steady state allocates nothing
+  if (n == 0) {
+    m.p50 = m.p95 = m.p99 = m.p999 = 0;
+    return;
+  }
+  // Same walk as quantile(), all four tails in one pass: a quantile is the
+  // upper bound of the bucket where the running count first exceeds its
+  // target. Every target is <= n-1 < n, so each always resolves.
+  const auto target = [n](double q) {
+    return static_cast<std::uint64_t>(q * static_cast<double>(n - 1));
+  };
+  const std::uint64_t t50 = target(0.50), t95 = target(0.95),
+                      t99 = target(0.99), t999 = target(0.999);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (b[i] == 0) continue;
+    m.buckets.emplace_back(static_cast<std::uint32_t>(i), b[i]);
+    const std::uint64_t prev = seen;
+    seen += b[i];
+    const std::uint64_t ub = upper_bound(i);
+    if (prev <= t50 && seen > t50) m.p50 = ub;
+    if (prev <= t95 && seen > t95) m.p95 = ub;
+    if (prev <= t99 && seen > t99) m.p99 = ub;
+    if (prev <= t999 && seen > t999) m.p999 = ub;
+  }
 }
 
 Counter& MetricRegistry::counter(std::string_view name) {
@@ -20,6 +144,7 @@ Counter& MetricRegistry::counter(std::string_view name) {
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
              .first;
+    ++layout_gen_;
   }
   return *it->second;
 }
@@ -29,6 +154,7 @@ Gauge& MetricRegistry::gauge(std::string_view name) {
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+    ++layout_gen_;
   }
   return *it->second;
 }
@@ -39,6 +165,7 @@ Histogram& MetricRegistry::histogram(std::string_view name) {
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
              .first;
+    ++layout_gen_;
   }
   return *it->second;
 }
@@ -47,18 +174,26 @@ void MetricRegistry::register_source(std::string name, const void* owner,
                                      SourceFn fn) {
   sync::Guard g(mu_);
   sources_.insert_or_assign(std::move(name), Source{owner, std::move(fn)});
+  ++layout_gen_;
 }
 
 void MetricRegistry::unregister_source(std::string_view name,
                                        const void* owner) {
   sync::Guard g(mu_);
   const auto it = sources_.find(name);
-  if (it != sources_.end() && it->second.owner == owner) sources_.erase(it);
+  if (it != sources_.end() && it->second.owner == owner) {
+    sources_.erase(it);
+    ++layout_gen_;
+  }
 }
 
 Snapshot MetricRegistry::snapshot() const {
   sync::Guard g(mu_);
   Snapshot out;
+  // Sources emit ~16-32 metrics each; reserving avoids the realloc ladder
+  // on the sampler's per-tick hot path (E27 overhead gate).
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() +
+              24 * sources_.size());
   for (const auto& [name, c] : counters_) {
     Metric m;
     m.name = name;
@@ -98,6 +233,134 @@ Snapshot MetricRegistry::snapshot() const {
   std::sort(out.begin(), out.end(),
             [](const Metric& a, const Metric& b) { return a.name < b.name; });
   return out;
+}
+
+bool MetricRegistry::snapshot_into(Snapshot& out,
+                                   std::uint64_t& layout_gen) const {
+  sync::Guard g(mu_);
+  // The buffer was last filled from this exact layout: skip per-metric name
+  // verification (kind is still checked; a mismatch degrades to a rebuild).
+  const bool trusted = layout_gen == layout_gen_ && !out.empty();
+  std::size_t cur = 0;
+  bool reuse = !out.empty();
+
+  // In-place slot for an owned instrument, or a fresh append once the
+  // layout diverged (the tail past `cur` is stale and gets truncated).
+  const auto slot = [&out, &cur, &reuse, trusted](
+                        const std::string& name, MetricKind kind) -> Metric* {
+    if (reuse && cur < out.size() && out[cur].kind == kind &&
+        (trusted || out[cur].name == name)) {
+      return &out[cur++];
+    }
+    if (reuse) {
+      out.resize(cur);
+      reuse = false;
+    }
+    Metric m;
+    m.name = name;
+    m.kind = kind;
+    out.push_back(std::move(m));
+    return &out.back();
+  };
+
+  for (const auto& [name, c] : counters_)
+    slot(name, MetricKind::Counter)->value = c->value();
+  for (const auto& [name, ga] : gauges_)
+    slot(name, MetricKind::Gauge)->value = ga->value();
+  for (const auto& [name, h] : histograms_)
+    h->snapshot_to(*slot(name, MetricKind::Histogram));
+  for (const auto& [name, src] : sources_) {
+    MetricSink sink(name, out, reuse ? &cur : nullptr, trusted);
+    src.fn(sink);
+    if (sink.fell_back()) reuse = false;
+  }
+  if (reuse && cur != out.size()) {
+    out.resize(cur);  // sources emitted fewer metrics than last time
+    reuse = false;
+  }
+  layout_gen = layout_gen_;
+  return reuse;
+}
+
+bool MetricRegistry::fold_into(Snapshot& target,
+                               const std::vector<std::uint32_t>& map,
+                               std::uint64_t layout_gen) const {
+  sync::Guard g(mu_);
+  if (layout_gen != layout_gen_) return false;
+  // The generation match proves `map` was planned from this exact layout
+  // (and the register_source contract keeps source emissions fixed), so
+  // every emission below lands on its planned slot positionally.
+  std::size_t cur = 0;
+  for (const auto& [name, c] : counters_) {
+    const std::uint32_t t = map[cur++];
+    if (t != kNoFoldSlot) target[t].value += c->value();
+  }
+  for (const auto& [name, ga] : gauges_) {
+    const std::uint32_t t = map[cur++];
+    if (t != kNoFoldSlot) target[t].value += ga->value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::uint32_t t = map[cur++];
+    if (t == kNoFoldSlot) continue;
+    Metric& d = target[t];
+    std::uint64_t n = 0;
+    std::size_t di = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t bn = h->bucket(i);
+      if (bn == 0) continue;
+      n += bn;
+      const auto idx = static_cast<std::uint32_t>(i);
+      while (di < d.buckets.size() && d.buckets[di].first < idx) ++di;
+      if (di < d.buckets.size() && d.buckets[di].first == idx) {
+        d.buckets[di].second += bn;
+      } else {
+        d.buckets.insert(d.buckets.begin() + static_cast<std::ptrdiff_t>(di),
+                         {idx, bn});
+      }
+    }
+    d.count += n;
+    d.sum += h->sum();
+    if (n != 0) d.max = std::max(d.max, h->max());
+  }
+  for (const auto& [name, src] : sources_) {
+    MetricSink sink(MetricSink::FoldTag{}, name, target, map, &cur);
+    src.fn(sink);
+  }
+  return true;
+}
+
+void emit_contention(MetricSink& sink, std::string_view lock,
+                     const sync::ContentionStats& s) {
+  std::string p(lock);
+  p += '.';
+  sink.counter(p + "acquisitions", s.acquisitions.load());
+  sink.counter(p + "contended", s.contended.load());
+  sink.counter(p + "handoffs", s.handoffs.load());
+  sink.counter(p + "secondary_handoffs", s.secondary_handoffs.load());
+  sink.counter(p + "flushes", s.flushes.load());
+  sink.counter(p + "try_failures", s.try_failures.load());
+  const sync::WaitHistogram& h = s.wait_ns;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+  for (std::size_t i = 0; i < sync::WaitHistogram::kBuckets; ++i) {
+    if (const std::uint64_t n = h.buckets[i].load(); n != 0)
+      buckets.emplace_back(static_cast<std::uint32_t>(i), n);
+  }
+  sink.histogram(p + "wait_ns", h.count.load(), h.sum.load(),
+                 h.count.load() != 0 ? h.max.load() : 0, h.quantile(0.50),
+                 h.quantile(0.95), h.quantile(0.99), h.quantile(0.999),
+                 std::move(buckets));
+}
+
+void emit_range_lock(MetricSink& sink, std::string_view lock,
+                     const sync::RangeLock& rl,
+                     const sync::RangeContentionStats& s) {
+  std::string p(lock);
+  p += '.';
+  sink.counter(p + "acquired", rl.acquired());
+  sink.counter(p + "contended", rl.contended());
+  sink.counter(p + "wait_rounds", s.wait_rounds.load());
+  sink.counter(p + "try_failures", s.try_failures.load());
+  sink.gauge(p + "peak_waiters", s.peak_waiters.load());
 }
 
 }  // namespace vialock::obs

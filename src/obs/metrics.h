@@ -39,6 +39,10 @@
 #include "sync/policy.h"
 #include "sync/relaxed.h"
 
+namespace vialock::sync {
+class RangeLock;
+}  // namespace vialock::sync
+
 namespace vialock::obs {
 
 enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
@@ -125,6 +129,12 @@ class Histogram {
     return i == 0 ? 0 : (i >= 64 ? ~0ULL : (1ULL << i) - 1);
   }
 
+  /// Fill a snapshot Metric (count/sum/max, non-empty buckets, all four
+  /// tail quantiles) in a single pass over the bucket array - the sampler
+  /// calls this on every tick for every owned histogram, where the separate
+  /// quantile() walks would touch the (cache-cold) buckets six times over.
+  void snapshot_to(struct Metric& m) const;
+
  private:
   sync::Relaxed buckets_[kBuckets];
   sync::Relaxed count_;
@@ -152,6 +162,14 @@ struct Metric {
 /// All metrics, sorted by name (deterministic across same-seed runs).
 using Snapshot = std::vector<Metric>;
 
+/// Merge-plan slot meaning "skip this emission" (cross-kind name clash).
+inline constexpr std::uint32_t kNoFoldSlot = ~std::uint32_t{0};
+
+/// Add `src`'s (bucket index, count) pairs into the sorted list `dst` in
+/// place (no temporary): the cross-host histogram merge primitive.
+void add_buckets(std::vector<std::pair<std::uint32_t, std::uint64_t>>& dst,
+                 const std::vector<std::pair<std::uint32_t, std::uint64_t>>& src);
+
 /// The emit interface pull sources write through. Names are automatically
 /// prefixed with the source's registered name ("via.agent" + "hits" ->
 /// "via.agent.hits").
@@ -159,6 +177,27 @@ class MetricSink {
  public:
   MetricSink(std::string_view prefix, Snapshot& out)
       : prefix_(prefix), out_(out) {}
+  /// Reuse mode (snapshot_into): when `cursor` is non-null, each emit first
+  /// tries to overwrite out[*cursor] in place - matching name and kind, no
+  /// string allocation - and falls back to fresh appends (truncating the
+  /// stale tail) the moment the emission layout diverges from the buffer.
+  /// `trusted` additionally skips the name comparison (kind is still
+  /// checked): the registry passes it when its layout generation proves the
+  /// buffer was filled from the same source list, so the steady-state tick
+  /// never touches the stored name strings at all.
+  MetricSink(std::string_view prefix, Snapshot& out, std::size_t* cursor,
+             bool trusted = false)
+      : prefix_(prefix), out_(out), cursor_(cursor), trusted_(trusted) {}
+
+  /// Fold mode (MetricRegistry::fold_into): each emit combines its value
+  /// straight into `target[map[*cursor]]` - counters/gauges add, histograms
+  /// merge - and never touches names or allocates. Only safe when the
+  /// caller has proven (via the registry's layout generation) that the map
+  /// was planned from this exact emission layout.
+  struct FoldTag {};
+  MetricSink(FoldTag, std::string_view prefix, Snapshot& target,
+             const std::vector<std::uint32_t>& map, std::size_t* cursor)
+      : prefix_(prefix), out_(target), cursor_(cursor), fold_map_(&map) {}
 
   void counter(std::string_view name, std::uint64_t v) {
     emit(name, MetricKind::Counter, v);
@@ -166,12 +205,30 @@ class MetricSink {
   void gauge(std::string_view name, std::uint64_t v) {
     emit(name, MetricKind::Gauge, v);
   }
+  /// Emit a pre-aggregated histogram (a pull source exporting a stats
+  /// struct's wait histogram). Bucket indices use the same log2 scheme as
+  /// obs::Histogram, so cross-host merges can recompute quantiles.
+  void histogram(std::string_view name, std::uint64_t count, std::uint64_t sum,
+                 std::uint64_t max, std::uint64_t p50, std::uint64_t p95,
+                 std::uint64_t p99, std::uint64_t p999,
+                 std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets);
+
+  /// True once a reuse-mode emit had to abandon in-place overwrites.
+  [[nodiscard]] bool fell_back() const { return fallback_; }
 
  private:
   void emit(std::string_view name, MetricKind kind, std::uint64_t v);
+  /// The in-place slot for a reuse-mode emit, or nullptr (append fresh).
+  [[nodiscard]] Metric* reuse_slot(std::string_view name, MetricKind kind);
+  [[nodiscard]] bool name_matches(const std::string& full,
+                                  std::string_view name) const;
 
   std::string_view prefix_;
   Snapshot& out_;
+  std::size_t* cursor_ = nullptr;
+  const std::vector<std::uint32_t>* fold_map_ = nullptr;
+  bool trusted_ = false;
+  bool fallback_ = false;
 };
 
 class MetricRegistry {
@@ -189,7 +246,10 @@ class MetricRegistry {
   using SourceFn = std::function<void(MetricSink&)>;
   /// Register `fn` to emit metrics under `name.` at snapshot time. A name
   /// already registered is taken over (the previous owner's later
-  /// unregister_source becomes a no-op).
+  /// unregister_source becomes a no-op). Contract: `fn` emits a fixed list
+  /// of (name, kind) for the lifetime of the registration - values change,
+  /// layout does not (snapshot_into's trusted reuse depends on it; emit a
+  /// zero rather than skipping a metric conditionally).
   void register_source(std::string name, const void* owner, SourceFn fn);
   /// Remove `name` if - and only if - `owner` still owns it.
   void unregister_source(std::string_view name, const void* owner);
@@ -197,6 +257,32 @@ class MetricRegistry {
 
   /// Merge owned instruments and pulled sources, sorted by metric name.
   [[nodiscard]] Snapshot snapshot() const;
+
+  /// Snapshot into a caller-owned buffer in *emission* order (not sorted),
+  /// reusing it in place when the metric layout is unchanged since the
+  /// buffer was last filled - the steady state allocates nothing and, when
+  /// `layout_gen` still matches the registry's layout generation (bumped by
+  /// every instrument creation and source (un)registration), skips the
+  /// per-metric name verification entirely; both are what keep the
+  /// sampler's per-tick cost inside the E27 overhead gate. `layout_gen` is
+  /// updated to the current generation. Returns true when the whole buffer
+  /// was reused in place (same names, kinds and order); false when it was
+  /// (partially) rebuilt, telling the caller to recompute anything derived
+  /// from the layout. Note the trusted fast path relies on the
+  /// register_source() contract: a source callback emits a fixed list of
+  /// (name, kind) for the lifetime of its registration.
+  bool snapshot_into(Snapshot& out, std::uint64_t& layout_gen) const;
+
+  /// Fold current instrument values directly into `target` through the
+  /// merge plan `map` (emission index -> target slot, kNoFoldSlot skips):
+  /// counters/gauges add into the slot's value, histograms merge buckets
+  /// and running stats (quantiles are left for the caller to recompute
+  /// from the merged buckets). This is the sampler's steady-state tick -
+  /// it touches no names, writes no intermediate buffer and allocates
+  /// nothing. Returns false *without folding anything* when `layout_gen`
+  /// no longer matches; the caller must re-snapshot and re-plan.
+  bool fold_into(Snapshot& target, const std::vector<std::uint32_t>& map,
+                 std::uint64_t layout_gen) const;
 
   /// Execution mode: threaded serializes the instrument/source maps (handle
   /// get-or-create can race between real threads); the instruments
@@ -212,6 +298,11 @@ class MetricRegistry {
 
   /// Serializes the maps below, never held during instrument updates.
   mutable sync::Mutex mu_;
+  /// Bumped whenever the metric *layout* can change (instrument creation,
+  /// source (un)registration); lets snapshot_into prove buffer reuse is
+  /// safe without re-verifying names. Starts at 1 so a caller's zero-
+  /// initialised cached generation never matches spuriously.
+  std::uint64_t layout_gen_ = 1;
   // Ordered maps: iteration (and therefore snapshot order before the final
   // sort) is deterministic. unique_ptr keeps instrument addresses stable
   // across later insertions.
@@ -220,5 +311,19 @@ class MetricRegistry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
   std::map<std::string, Source, std::less<>> sources_;
 };
+
+// --- contention profiler bridges (sync/contention.h) ------------------------
+// sync must not depend on obs, so rendering a lock's stats block into
+// registry metrics lives here. Call from a registered source; metrics are
+// emitted under "<lock>." and the source prefix applies on top ("sync"
+// source + lock "reclaim_mu" -> "sync.reclaim_mu.acquisitions").
+
+void emit_contention(MetricSink& sink, std::string_view lock,
+                     const sync::ContentionStats& s);
+
+/// Emits the lock's built-in acquired/contended pair plus the stats block.
+void emit_range_lock(MetricSink& sink, std::string_view lock,
+                     const sync::RangeLock& rl,
+                     const sync::RangeContentionStats& s);
 
 }  // namespace vialock::obs

@@ -31,6 +31,10 @@ PinGovernor::PinGovernor(simkern::Kernel& kern, GovernorConfig config)
     s.gauge("total_charged", total_charged_);
     s.gauge("tenants", tenants_.size());
     s.gauge("lazy_queue_depth", queue_.size());
+    // SLO-relevant: pages left under the host ceiling before admissions
+    // start bouncing - the watchdogs alarm on this approaching zero.
+    const std::uint32_t cap = ceiling();
+    s.gauge("ceiling_headroom", cap > total_charged_ ? cap - total_charged_ : 0);
   });
   kern_.procfs().mount("pinmgr", this, [this] { return pinstat(*this); });
 }

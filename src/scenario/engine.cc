@@ -1092,13 +1092,81 @@ KStatus ScenarioEngine::run(Executor& exec) {
   // built serial has no-op locks everywhere and must stay single-threaded.
   if (exec.threads() > 1 && !sync_policy().is_threaded()) return KStatus::Inval;
   ran_ = true;
+  setup_sampler(exec);
   seed_actors();
   exec.run(*sched_);
   report_.makespan_ns = sched_->now();
+  if (sampler_) {
+    // Close the timeline with one sample at the drained clock, so short
+    // runs (makespan < interval) still export the end-of-run view. Skip it
+    // when the last interval tick already landed exactly there.
+    const Nanos end = sched_->now();
+    if (sampler_->samples().empty() || sampler_->samples().back().when != end)
+      sampler_->sample(end);
+  }
   teardown();
   audit();
   fill_report();
   return KStatus::Ok;
+}
+
+void ScenarioEngine::setup_sampler(Executor& exec) {
+  const bool wanted = spec_.sample_interval > 0 || !spec_.slo_rules.empty() ||
+                      timeline_requested_;
+  if (!wanted) return;
+
+  obs::Sampler::Config cfg;
+  if (spec_.sample_interval > 0) cfg.interval = spec_.sample_interval;
+  cfg.trace_metrics = trace_metrics_;
+  sampler_ = std::make_unique<obs::Sampler>(std::move(cfg));
+  for (HostId h = 0; h < spec_.hosts; ++h)
+    sampler_->add_registry(&cluster_->node(h).kernel().metrics());
+
+  if (sync_policy().is_threaded()) {
+    // Scheduler post-lock contention plus per-worker cpu time. The extra
+    // captures the executor, which outlives every sample() call: ticks fire
+    // inside exec.run(), and the final end-of-run sample is taken in run()
+    // while `exec` is still on the caller's stack.
+    sched_->post_mutex().set_stats(&post_mu_stats_);
+    Executor* ep = &exec;
+    sampler_->add_extra("obs", [this, ep](obs::MetricSink& s) {
+      obs::emit_contention(s, "sched.post_mu", post_mu_stats_);
+      for (std::uint32_t w = 0; w < ep->threads(); ++w)
+        s.gauge("worker." + std::to_string(w) + ".cpu_ns",
+                ep->worker_cpu_ns(w));
+    });
+  }
+
+  for (const SloRule& r : spec_.slo_rules) {
+    obs::SloSpec s;
+    s.metric = r.metric;
+    s.op = r.op == "lt"   ? obs::SloOp::Lt
+           : r.op == "gt" ? obs::SloOp::Gt
+           : r.op == "ge" ? obs::SloOp::Ge
+                          : obs::SloOp::Le;
+    s.threshold = r.threshold;
+    s.window = r.window;
+    sampler_->add_slo(std::move(s));
+  }
+  if (!spec_.slo_rules.empty()) {
+    // Arm host 0's flight recorder so the first violated tick captures a
+    // postmortem of the still-running cluster - before teardown destroys
+    // the state and before audit() flips invariants_ok.
+    simkern::Kernel& k0 = cluster_->node(0).kernel();
+    k0.flight().set_seed(spec_.seed);
+    k0.flight().set_sink(
+        [this](std::string_view reason, const std::string& json) {
+          flight_dumps_.emplace_back(std::string(reason), json);
+        });
+    sampler_->set_slo_hook(
+        [this](const obs::SloSpec& rule, const obs::SloFiring&) {
+          cluster_->node(0).kernel().flight_dump("slo:" + rule.metric);
+        });
+  }
+
+  // Serial: the scheduler fires interval ticks between events. Threaded:
+  // the executor fires one tick per drained epoch (scheduler.h).
+  sched_->set_tick(sampler_->interval(), [this](Nanos t) { sampler_->sample(t); });
 }
 
 void ScenarioEngine::teardown() {
@@ -1207,6 +1275,16 @@ void ScenarioEngine::audit() {
                 " frames still pinned after teardown");
     for (const std::string& s : node.kernel().self_check())
       violation("host " + std::to_string(h) + " self-check: " + s);
+  }
+  if (sampler_) {
+    for (const obs::SloFiring& f : sampler_->firings()) {
+      const obs::SloSpec& r = sampler_->rules()[f.rule];
+      violation("slo violated: " + r.metric + " " +
+                std::string(obs::to_string(r.op)) + " " +
+                std::to_string(r.threshold) + " observed " +
+                std::to_string(f.observed) + " at " + std::to_string(f.when) +
+                "ns");
+    }
   }
   report_.invariants_ok = report_.violations.empty();
 }

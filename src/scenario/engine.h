@@ -28,6 +28,7 @@
 #include "msg/mesh.h"
 #include "msg/transport.h"
 #include "mp/comm.h"
+#include "obs/sampler.h"
 #include "scenario/executor.h"
 #include "scenario/scheduler.h"
 #include "scenario/spec.h"
@@ -191,6 +192,28 @@ class ScenarioEngine {
   [[nodiscard]] via::Cluster& cluster() { return *cluster_; }
   [[nodiscard]] EventScheduler& scheduler() { return *sched_; }
 
+  // --- telemetry (obs::Sampler, DESIGN.md section 16) ------------------------
+  /// Force run() to create the sampler even when the spec sets no
+  /// sample_interval and no SLO rules (scenario_runner --timeline). Call
+  /// before run().
+  void enable_timeline() { timeline_requested_ = true; }
+  /// Metric references to render as chrome-trace counter overlays
+  /// (Sampler::chrome_counter_events). Call before run().
+  void set_trace_metrics(std::vector<std::string> refs) {
+    trace_metrics_ = std::move(refs);
+  }
+  /// The run's telemetry sampler, or nullptr when the run had none (no
+  /// sample_interval, no SLO rules, enable_timeline() not called).
+  [[nodiscard]] obs::Sampler* sampler() { return sampler_.get(); }
+  [[nodiscard]] const obs::Sampler* sampler() const { return sampler_.get(); }
+  /// Flight dumps captured during the run, (reason, document) in firing
+  /// order. SLO rules arm host 0's recorder, so a watchdog that trips dumps
+  /// *before* audit() flips the run's status.
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  flight_dumps() const {
+    return flight_dumps_;
+  }
+
  private:
   struct Tenant {
     simkern::Pid pid = simkern::kInvalidPid;
@@ -283,6 +306,10 @@ class ScenarioEngine {
   void record_latency(Nanos ns);
   [[nodiscard]] Nanos percentile(double q) const;
 
+  /// Lazily build the sampler (registries, extras, SLO rules, flight sink,
+  /// scheduler tick) when the spec or the caller asked for telemetry.
+  void setup_sampler(Executor& exec);
+
   // --- teardown / audit ------------------------------------------------------
   void teardown();
   void audit();
@@ -350,6 +377,13 @@ class ScenarioEngine {
   // Per-server KV/RPC load (breakdown table).
   std::vector<std::uint64_t> server_ops_;
   std::vector<std::uint64_t> server_bytes_;
+
+  // Telemetry (DESIGN.md section 16).
+  std::unique_ptr<obs::Sampler> sampler_;
+  bool timeline_requested_ = false;
+  std::vector<std::string> trace_metrics_;
+  sync::ContentionStats post_mu_stats_;  ///< scheduler post-lock profile
+  std::vector<std::pair<std::string, std::string>> flight_dumps_;
 
   ScenarioCounters counters_;
   std::array<sync::Relaxed, 64> lat_hist_{};

@@ -58,6 +58,7 @@ std::uint64_t ThreadedExecutor::run(EventScheduler& sched) {
         if (i >= lanes.lanes.size()) break;
         for (auto& ev : lanes.lanes[i]) sched.dispatch(ev);
       }
+      worker_cpu_[worker_index] = Clock::thread_charged();
       gate.done();
     }
   };
@@ -75,6 +76,11 @@ std::uint64_t ThreadedExecutor::run(EventScheduler& sched) {
     next_lane.store(0, std::memory_order_relaxed);
     gate.start_epoch(threads_);
     gate.await_done();
+    // One sample tick per epoch, from the driver thread while every worker
+    // is parked at the barrier: race-free, and the tick count depends only
+    // on posting causality - not the worker count - so it stays on the
+    // differential audit surface.
+    sched.epoch_tick();
   }
   gate.stop();
   for (auto& t : pool) t.join();

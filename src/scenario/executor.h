@@ -26,8 +26,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "scenario/scheduler.h"
+#include "sync/relaxed.h"
 
 namespace vialock::scenario {
 
@@ -40,6 +42,14 @@ class Executor {
 
   /// Drain the scheduler to empty. Returns events dispatched.
   virtual std::uint64_t run(EventScheduler& sched) = 0;
+
+  /// Virtual ns charged by worker `i` so far (its Clock::thread_charged(),
+  /// republished at each epoch barrier). 0 when the executor does not
+  /// track per-worker cost - the serial oracle charges everything on the
+  /// driver thread, which the engine already reports as total cost.
+  [[nodiscard]] virtual std::uint64_t worker_cpu_ns(std::uint32_t) const {
+    return 0;
+  }
 };
 
 /// The deterministic single-threaded oracle (EventScheduler::run()).
@@ -55,13 +65,20 @@ class SerialExecutor final : public Executor {
 class ThreadedExecutor final : public Executor {
  public:
   explicit ThreadedExecutor(std::uint32_t threads)
-      : threads_(threads < 1 ? 1 : threads) {}
+      : threads_(threads < 1 ? 1 : threads), worker_cpu_(threads_) {}
 
   [[nodiscard]] std::uint32_t threads() const override { return threads_; }
   std::uint64_t run(EventScheduler& sched) override;
 
+  /// Epoch-grained (workers republish at each barrier), so a mid-run read
+  /// from the driver thread's tick hook is a consistent recent value.
+  [[nodiscard]] std::uint64_t worker_cpu_ns(std::uint32_t i) const override {
+    return i < worker_cpu_.size() ? worker_cpu_[i].load() : 0;
+  }
+
  private:
   std::uint32_t threads_;
+  std::vector<sync::Relaxed> worker_cpu_;
 };
 
 }  // namespace vialock::scenario

@@ -70,6 +70,26 @@ class EventScheduler {
     if (heap_.size() > stats_.peak_pending) stats_.peak_pending = heap_.size();
   }
 
+  /// Install a periodic sampling hook (the obs::Sampler driver). The serial
+  /// loop fires it at every multiple of `interval` - first tick at
+  /// t=interval - just before dispatching the first event at-or-after that
+  /// time, so a tick observes exactly the state every earlier event left
+  /// behind. Threaded runs ignore the interval and fire once per epoch via
+  /// epoch_tick(). The hook must not post events or charge virtual time:
+  /// sampling cannot perturb the simulation timeline either way.
+  void set_tick(Nanos interval, std::function<void(Nanos)> fn) {
+    tick_interval_ = interval;
+    next_tick_ = interval;
+    tick_ = std::move(fn);
+  }
+
+  /// Fire the tick hook once at the current watermark. The threaded
+  /// executor calls this from the driver thread after each epoch barrier,
+  /// so the hook never races workers.
+  void epoch_tick() {
+    if (tick_) tick_(now_.load(std::memory_order_relaxed));
+  }
+
   /// Drain the heap serially. Returns the number of events dispatched.
   /// This loop is the determinism oracle - do not reorder it.
   std::uint64_t run() {
@@ -78,6 +98,12 @@ class EventScheduler {
       // Move the action out before popping; pop invalidates the reference.
       Event ev = std::move(const_cast<Event&>(heap_.top()));
       heap_.pop();
+      if (tick_ && tick_interval_ != 0) {
+        while (next_tick_ <= ev.when) {
+          tick_(next_tick_);
+          next_tick_ += tick_interval_;
+        }
+      }
       if (ev.when > now_.load(std::memory_order_relaxed))
         now_.store(ev.when, std::memory_order_relaxed);
       current_host_ = ev.host;
@@ -152,6 +178,10 @@ class EventScheduler {
     if (until > ready_[host]) ready_[host] = until;
   }
 
+  /// The post mutex, exposed so the engine can attach contention stats
+  /// (obs::emit_contention) in threaded runs.
+  [[nodiscard]] sync::Mutex& post_mutex() { return post_mu_; }
+
   struct Stats {
     sync::Relaxed dispatched = 0;
     std::size_t peak_pending = 0;  // maintained under the post mutex
@@ -183,6 +213,9 @@ class EventScheduler {
   HostId current_host_ = 0;
   sync::Mutex post_mu_;
   Stats stats_;
+  Nanos tick_interval_ = 0;  // 0 = interval ticks disabled
+  Nanos next_tick_ = 0;
+  std::function<void(Nanos)> tick_;
 };
 
 }  // namespace vialock::scenario

@@ -177,6 +177,35 @@ std::string parse_fault_rule(std::string_view value, fault::FaultRule& rule) {
   return "";
 }
 
+/// `slo = <metric> <op> <value> [window=4]`
+std::string parse_slo_rule(std::string_view value, SloRule& rule) {
+  std::istringstream in{std::string(value)};
+  std::string metric, op, threshold;
+  in >> metric >> op >> threshold;
+  if (metric.empty() || op.empty() || threshold.empty())
+    return "slo rule needs '<metric> <op> <value>'";
+  if (op != "lt" && op != "le" && op != "gt" && op != "ge")
+    return "unknown slo operator '" + op + "'";
+  if (!parse_u64(threshold, rule.threshold))
+    return "bad slo threshold value '" + threshold + "'";
+  rule.metric = metric;
+  rule.op = op;
+  std::string opt;
+  while (in >> opt) {
+    const auto eq = opt.find('=');
+    if (eq == std::string::npos) return "malformed slo option '" + opt + "'";
+    const std::string_view k = std::string_view(opt).substr(0, eq);
+    const std::string_view v = std::string_view(opt).substr(eq + 1);
+    if (k == "window") {
+      if (!parse_u64(v, rule.window) || rule.window == 0)
+        return "slo window must be >= 1";
+    } else {
+      return "unknown slo option '" + std::string(k) + "'";
+    }
+  }
+  return "";
+}
+
 }  // namespace
 
 std::string ScenarioSpec::apply(std::string_view key, std::string_view value) {
@@ -284,6 +313,13 @@ std::string ScenarioSpec::apply(std::string_view key, std::string_view value) {
     if (std::string err = parse_fault_rule(value, rule); !err.empty())
       return err;
     fault_rules.push_back(rule);
+  } else if (key == "sample_interval") {
+    if (!parse_u64(value, sample_interval)) return bad("sample_interval");
+  } else if (key == "slo") {
+    SloRule rule;
+    if (std::string err = parse_slo_rule(value, rule); !err.empty())
+      return err;
+    slo_rules.push_back(std::move(rule));
   } else {
     return "unknown key '" + std::string(key) + "'";
   }
@@ -423,6 +459,8 @@ std::string summary(const ScenarioSpec& spec) {
   if (spec.threads > 1) out << ", " << spec.threads << " threads";
   if (!spec.fault_rules.empty())
     out << ", " << spec.fault_rules.size() << " fault rule(s)";
+  if (!spec.slo_rules.empty())
+    out << ", " << spec.slo_rules.size() << " slo rule(s)";
   return out.str();
 }
 

@@ -59,6 +59,20 @@ enum class Pattern : std::uint8_t {
   return "?";
 }
 
+/// Online SLO watchdog rule, from a `slo = <metric> <op> <value> [window=K]`
+/// line. `metric` is a metric reference the sampler resolves at each tick: a
+/// plain snapshot name, or a histogram name suffixed .p50/.p95/.p99/.p999/
+/// .count/.sum/.max ("svc.kv.op_ns.p99"). `op` (lt/le/gt/ge, validated at
+/// parse time) states what the metric is *required* to satisfy against
+/// `threshold`; the engine converts to obs::SloSpec and a violated rule
+/// flight-dumps and fails the audit. `window` spaces repeat firings.
+struct SloRule {
+  std::string metric;
+  std::string op = "le";
+  std::uint64_t threshold = 0;
+  std::uint64_t window = 1;
+};
+
 struct ScenarioSpec {
   std::string name = "unnamed";
   Pattern pattern = Pattern::SkewedKv;
@@ -133,6 +147,15 @@ struct ScenarioSpec {
   /// FaultEngine (seeded with `seed`) across the whole cluster when rules
   /// are present.
   std::vector<fault::FaultRule> fault_rules;
+
+  // --- telemetry (obs::Sampler, DESIGN.md section 16) --------------------------
+  /// Serial-mode sampling period in virtual ns; 0 = no interval override
+  /// (the engine still samples - at its 1ms default - whenever SLO rules
+  /// are present or a timeline export was requested). Threaded runs sample
+  /// once per scheduler epoch regardless.
+  Nanos sample_interval = 0;
+  /// Watchdog rules evaluated at every sample tick.
+  std::vector<SloRule> slo_rules;
 
   /// Apply one `key = value` override (what the parser does per line; also
   /// how drivers specialise a bundled spec, e.g. E12 sweeping `hosts`).

@@ -59,6 +59,23 @@ Kernel::Kernel(const KernelConfig& config, Clock& clock, CostModel costs)
     s.counter("spans.unbalanced_closes", spans_.unbalanced_closes());
     s.counter("flight.dumps", flight_.dumps());
   });
+  if (config_.sync.is_threaded()) {
+    // Contention profiler: only the threaded build pays the (pointer-check)
+    // cost, and only threaded snapshots grow sync.* metrics - the serial
+    // export surface stays byte-identical to what the E23 gate froze.
+    range_lock_.set_stats(&range_lock_stats_);
+    range_lock_.internal_mutex().set_stats(&range_mu_stats_);
+    reclaim_mu_.set_stats(&reclaim_mu_stats_);
+    tasks_mu_.set_stats(&tasks_mu_stats_);
+    io_mu_.set_stats(&io_mu_stats_);
+    metrics_.register_source("sync", this, [this](obs::MetricSink& s) {
+      obs::emit_contention(s, "reclaim_mu", reclaim_mu_stats_);
+      obs::emit_contention(s, "tasks_mu", tasks_mu_stats_);
+      obs::emit_contention(s, "io_mu", io_mu_stats_);
+      obs::emit_contention(s, "range_mu", range_mu_stats_);
+      obs::emit_range_lock(s, "range_lock", range_lock_, range_lock_stats_);
+    });
+  }
   procfs_.mount("meminfo", this, [this] { return meminfo(*this); });
   procfs_.mount("vmstat", this, [this] { return vmstat(*this); });
   procfs_.mount("metrics", this,

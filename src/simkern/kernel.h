@@ -372,6 +372,14 @@ class Kernel {
   sync::Mutex reclaim_mu_;      ///< single-reclaimer gate (try-lock only)
   sync::Mutex tasks_mu_;        ///< guards tasks_/task_order_/next_pid_/shms_
   sync::Mutex io_mu_;           ///< guards inflight_io_
+  // Contention profiler blocks for the locks above, exported through the
+  // "sync" metric source - attached (and the source registered) only in
+  // threaded mode, so serial snapshots and /proc text are byte-unchanged.
+  sync::ContentionStats reclaim_mu_stats_;
+  sync::ContentionStats tasks_mu_stats_;
+  sync::ContentionStats io_mu_stats_;
+  sync::ContentionStats range_mu_stats_;  ///< the range lock's internal mutex
+  sync::RangeContentionStats range_lock_stats_;
 
   // kiobuf.cc internals: frame-deduplicated pin accounting.
   void account_pin(Pfn pfn);

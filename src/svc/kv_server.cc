@@ -67,6 +67,16 @@ KvServer::KvServer(via::Cluster& cluster, via::NodeId node,
     s.counter("requests_dropped", stats_.requests_dropped);
     s.counter("send_errors", stats_.send_errors);
     s.gauge("open_conns", open_conns_);
+    // SLO-relevant backpressure gauges: replies posted but not yet seen
+    // complete (pipeline depth the watchdogs track alongside op_ns.p99),
+    // and how much of the tenant value arenas is bump-allocated.
+    std::uint64_t inflight = 0;
+    for (const Conn& c : conns_)
+      if (c.open) inflight += c.rsp_inflight;
+    s.gauge("rsp_inflight", inflight);
+    std::uint64_t arena_used = 0;
+    for (const auto& t : tenants_) arena_used += t->arena_off;
+    s.gauge("arena_used_bytes", arena_used);
   });
 }
 

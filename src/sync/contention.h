@@ -1,0 +1,95 @@
+// contention.h - optional per-lock contention statistics for the sync facade.
+//
+// The threaded execution mode's most important new signals are how the CNA
+// mutex (arXiv 1810.05600) and the range lock (arXiv 2006.12144) actually
+// behave under load: how often an acquisition finds the queue occupied, how
+// long the waiter spins, how often a release bypasses remote waiters onto
+// the secondary queue, and how often the fairness flush has to splice them
+// back. A ContentionStats block records exactly that; a lock carries only a
+// nullable pointer to one, so the owner of an *interesting* lock (a node's
+// host mutex, the kernel's reclaim/task locks, the scheduler's post mutex)
+// opts in while the thousands of uninstrumented locks pay one pointer.
+//
+// Serial mode never touches any of this: every counter update sits behind
+// the primitives' `if (!enabled_)` early return, so the serial hot path
+// stays a single branch and serial metric exports show no sync.* entries
+// at all.
+//
+// Wait times are measured in *wall* nanoseconds (steady_clock around the
+// spin loop) - virtual time does not advance while a waiter spins, and the
+// whole block is only populated in threaded runs, where the determinism
+// contract already excludes time-shaped scalars (DESIGN.md section 15).
+// This header must not depend on src/obs (obs depends on sync), so it
+// carries its own small log2 wait histogram; obs::emit_contention()
+// (obs/metrics.h) renders it through the metric registry.
+#pragma once
+
+#include <cstdint>
+
+#include "sync/relaxed.h"
+
+namespace vialock::sync {
+
+/// Log2-bucketed wait-time histogram (bucket i = values of bit-width i,
+/// the same bucketing as obs::Histogram, compacted to 48 buckets - 2^47 ns
+/// is ~39 hours, far past any wait this repo can produce).
+struct WaitHistogram {
+  static constexpr std::size_t kBuckets = 48;
+
+  void add(std::uint64_t ns) {
+    buckets[bucket_of(ns)] += 1;
+    count += 1;
+    sum += ns;
+    max.fetch_max(ns);
+  }
+
+  /// Upper bound of the bucket holding quantile q in [0,1]; 0 when empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const {
+    const std::uint64_t n = count.load();
+    if (n == 0) return 0;
+    const auto target =
+        static_cast<std::uint64_t>(q * static_cast<double>(n - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets[i];
+      if (seen > target) return upper_bound(i);
+    }
+    return upper_bound(kBuckets - 1);
+  }
+
+  [[nodiscard]] static constexpr std::size_t bucket_of(std::uint64_t v) {
+    if (v == 0) return 0;
+    const auto w = static_cast<std::size_t>(64 - __builtin_clzll(v));
+    return w < kBuckets ? w : kBuckets - 1;
+  }
+  [[nodiscard]] static constexpr std::uint64_t upper_bound(std::size_t i) {
+    return i == 0 ? 0 : (1ULL << i) - 1;
+  }
+
+  Relaxed buckets[kBuckets];
+  Relaxed count;
+  Relaxed sum;
+  Relaxed max;
+};
+
+/// Counters for one instrumented sync::Mutex. All Relaxed: updates come
+/// from whichever worker holds (or wants) the lock; totals are exact.
+struct ContentionStats {
+  Relaxed acquisitions;        ///< non-recursive lock()/try_lock() grants
+  Relaxed contended;           ///< lock() calls that found a queue and spun
+  Relaxed handoffs;            ///< releases that passed the lock to a waiter
+  Relaxed secondary_handoffs;  ///< releases with remote waiters parked
+  Relaxed flushes;             ///< fairness flushes (secondary queue spliced)
+  Relaxed try_failures;        ///< try_lock() attempts that found the queue busy
+  WaitHistogram wait_ns;       ///< contended-acquisition spin time (wall ns)
+};
+
+/// Counters for one instrumented sync::RangeLock beyond its built-in
+/// acquired/contended pair: how blocked tickets behave while queued.
+struct RangeContentionStats {
+  Relaxed wait_rounds;   ///< grantability re-checks by queued waiters
+  Relaxed try_failures;  ///< try_lock conflicts (reclaim skipping a range)
+  Relaxed peak_waiters;  ///< deepest waiter queue observed
+};
+
+}  // namespace vialock::sync

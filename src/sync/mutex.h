@@ -21,11 +21,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "sync/contention.h"
 #include "sync/policy.h"
 
 namespace vialock::sync {
@@ -42,6 +44,11 @@ class Mutex {
   void set_policy(SyncPolicy p) { enabled_ = p.is_threaded(); }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  /// Opt this lock into the contention profiler (nullptr detaches). The
+  /// stats block must outlive the mutex; attach before workers spawn.
+  /// Serial mode never reads or writes it.
+  void set_stats(ContentionStats* stats) { stats_ = stats; }
+
   void lock() {
     if (!enabled_) return;
     const std::thread::id tid = std::this_thread::get_id();
@@ -54,6 +61,7 @@ class Mutex {
     holder_ = me;
     owner_.store(tid, std::memory_order_relaxed);
     depth_ = 1;
+    if (stats_ != nullptr) stats_->acquisitions += 1;
   }
 
   /// One-shot attempt; succeeds only when the queue is empty (or on
@@ -65,7 +73,10 @@ class Mutex {
       ++depth_;
       return true;
     }
-    if (tail_.load(std::memory_order_relaxed) != nullptr) return false;
+    if (tail_.load(std::memory_order_relaxed) != nullptr) {
+      if (stats_ != nullptr) stats_->try_failures += 1;
+      return false;
+    }
     Node* me = node_pool().take();
     me->reset();
     Node* expected = nullptr;
@@ -73,12 +84,14 @@ class Mutex {
                                        std::memory_order_acq_rel,
                                        std::memory_order_relaxed)) {
       node_pool().give(me);
+      if (stats_ != nullptr) stats_->try_failures += 1;
       return false;
     }
     me->spin.store(kLocked, std::memory_order_relaxed);
     holder_ = me;
     owner_.store(tid, std::memory_order_relaxed);
     depth_ = 1;
+    if (stats_ != nullptr) stats_->acquisitions += 1;
     return true;
   }
 
@@ -148,12 +161,26 @@ class Mutex {
       return;
     }
     prev->next.store(me, std::memory_order_release);
+    if (stats_ == nullptr) {
+      while (me->spin.load(std::memory_order_acquire) == 0)
+        std::this_thread::yield();
+      return;
+    }
+    // Contended acquisition: meter the spin in wall ns (virtual time does
+    // not advance while waiting; see contention.h).
+    stats_->contended += 1;
+    const auto begin = std::chrono::steady_clock::now();
     while (me->spin.load(std::memory_order_acquire) == 0)
       std::this_thread::yield();
+    stats_->wait_ns.add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - begin)
+            .count()));
   }
 
   void release(Node* me) {
     const std::uintptr_t sp = me->spin.load(std::memory_order_relaxed);
+    if (stats_ != nullptr && sp != kLocked) stats_->secondary_handoffs += 1;
     Node* next = me->next.load(std::memory_order_acquire);
     if (next == nullptr) {
       if (sp == kLocked) {
@@ -170,6 +197,7 @@ class Mutex {
         if (tail_.compare_exchange_strong(expected, sec->sec_tail,
                                           std::memory_order_acq_rel,
                                           std::memory_order_relaxed)) {
+          if (stats_ != nullptr) stats_->handoffs += 1;
           sec->spin.store(kLocked, std::memory_order_release);
           return;
         }
@@ -178,9 +206,11 @@ class Mutex {
       while ((next = me->next.load(std::memory_order_acquire)) == nullptr)
         std::this_thread::yield();
     }
+    if (stats_ != nullptr) stats_->handoffs += 1;
     if (sp != kLocked && ++handoffs_ % kFlushPeriod == 0) {
       // Fairness flush: hand to the parked remote waiters, appending the
       // current main queue behind them.
+      if (stats_ != nullptr) stats_->flushes += 1;
       Node* sec = reinterpret_cast<Node*>(sp);
       sec->sec_tail->next.store(next, std::memory_order_relaxed);
       sec->spin.store(kLocked, std::memory_order_release);
@@ -238,6 +268,7 @@ class Mutex {
   Node* holder_ = nullptr;      // holder's queue node; guarded by the lock
   std::uint32_t depth_ = 0;     // recursion depth; guarded by the lock
   std::uint32_t handoffs_ = 0;  // local handoffs since last flush; ditto
+  ContentionStats* stats_ = nullptr;  // optional profiler block (contention.h)
   bool enabled_ = false;
 };
 

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "sync/contention.h"
 #include "sync/mutex.h"
 #include "sync/policy.h"
 #include "sync/relaxed.h"
@@ -44,6 +45,13 @@ class RangeLock {
     mu_.set_policy(p);
   }
   [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Opt this lock into the contention profiler (nullptr detaches). The
+  /// stats block must outlive the lock; attach before workers spawn.
+  /// Serial mode never reads or writes it. The internal mutex can be
+  /// instrumented separately via `internal_mutex().set_stats(...)`.
+  void set_stats(RangeContentionStats* stats) { stats_ = stats; }
+  [[nodiscard]] Mutex& internal_mutex() { return mu_; }
 
   /// Acquire [lo, hi) in `space`. Blocks (yielding) while any overlapping
   /// incompatible range is held or an older waiter is queued on it.
@@ -71,6 +79,10 @@ class RangeLock {
           waiters_.push_back({space, lo, hi, mode, ticket});
           queued = true;
           ++contended_;
+          if (stats_ != nullptr)
+            stats_->peak_waiters.fetch_max(waiters_.size());
+        } else if (stats_ != nullptr) {
+          stats_->wait_rounds += 1;
         }
       }
       std::this_thread::yield();
@@ -83,7 +95,10 @@ class RangeLock {
                               std::uint64_t hi, RangeMode mode) {
     if (!enabled_) return true;
     Guard g(mu_);
-    if (!grantable(space, lo, hi, mode, kNoTicket)) return false;
+    if (!grantable(space, lo, hi, mode, kNoTicket)) {
+      if (stats_ != nullptr) stats_->try_failures += 1;
+      return false;
+    }
     held_.push_back({space, lo, hi, mode, std::this_thread::get_id()});
     ++acquired_;
     return true;
@@ -165,6 +180,7 @@ class RangeLock {
   std::uint64_t next_ticket_ = 0;
   Relaxed acquired_;
   Relaxed contended_;
+  RangeContentionStats* stats_ = nullptr;  // optional profiler block
   bool enabled_ = false;
 };
 

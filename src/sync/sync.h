@@ -3,6 +3,7 @@
 // for synchronization (DESIGN.md section 15).
 #pragma once
 
+#include "sync/contention.h"  // IWYU pragma: export
 #include "sync/mutex.h"       // IWYU pragma: export
 #include "sync/policy.h"      // IWYU pragma: export
 #include "sync/range_lock.h"  // IWYU pragma: export

@@ -41,6 +41,16 @@ class Node {
     nic_.set_policy(sync_);
     agent_.set_policy(sync_);
     mu_.set_policy(sync_);
+    if (sync_.is_threaded()) {
+      // Host-mutex contention (the HostGuard lock the threaded executor
+      // takes per event) surfaces through the kernel's registry alongside
+      // the kernel-lock profile; serial exports are untouched.
+      mu_.set_stats(&mu_stats_);
+      kernel_.metrics().register_source(
+          "sync.host", this, [this](obs::MetricSink& s) {
+            obs::emit_contention(s, "mu", mu_stats_);
+          });
+    }
   }
 
   [[nodiscard]] simkern::Kernel& kernel() { return kernel_; }
@@ -92,6 +102,7 @@ class Node {
   }
 
   sync::SyncPolicy sync_;
+  sync::ContentionStats mu_stats_;  ///< host-mutex profile (threaded only)
   sync::Mutex mu_;
   simkern::Kernel kernel_;
   Nic nic_;

@@ -1,0 +1,310 @@
+// sampler_test.cc - unit tests for the continuous-telemetry sampler
+// (DESIGN.md section 16): cluster merge semantics, the cached merge plan
+// (relayouts only when a source's layout changes), the bounded sample ring,
+// metric-reference resolution, SLO once-per-window firing, and the
+// delta/rate derivation in the timeline export.
+#include "obs/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace vialock::obs {
+namespace {
+
+const Metric* find(const Sampler::Sample& s, std::string_view name) {
+  for (const Metric& m : s.metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+// --- cluster merge -----------------------------------------------------------
+
+TEST(Sampler, MergesRegistriesAndExtras) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.counter("ops").inc(3);
+  b.counter("ops").inc(4);
+  a.gauge("depth").set(10);
+  b.gauge("depth").set(2);
+  a.histogram("lat_ns").add(100);
+  a.histogram("lat_ns").add(1000);
+  b.histogram("lat_ns").add(100000);
+
+  Sampler smp;
+  smp.add_registry(&a);
+  smp.add_registry(&b);
+  std::uint64_t side = 7;
+  smp.add_extra("x", [&side](MetricSink& s) { s.gauge("side", side); });
+  smp.sample(1'000'000);
+
+  ASSERT_EQ(smp.samples().size(), 1u);
+  const Sampler::Sample& s = smp.samples().front();
+  EXPECT_EQ(s.when, 1'000'000);
+
+  const Metric* ops = find(s, "ops");
+  ASSERT_NE(ops, nullptr);
+  EXPECT_EQ(ops->kind, MetricKind::Counter);
+  EXPECT_EQ(ops->value, 7u);  // 3 + 4
+
+  const Metric* depth = find(s, "depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->value, 12u);  // gauges sum across hosts
+
+  const Metric* lat = find(s, "lat_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->kind, MetricKind::Histogram);
+  EXPECT_EQ(lat->count, 3u);
+  EXPECT_EQ(lat->sum, 101'100u);
+  // Quantiles recomputed over the merged buckets with the same nearest-rank
+  // walk as Histogram::quantile: target = floor(0.99 * (3 - 1)) = rank 1,
+  // the 1000-sample's bucket - not host a's local tail, and max still sees
+  // host b's outlier.
+  EXPECT_EQ(lat->p99, Histogram::upper_bound(Histogram::bucket_of(1000)));
+  EXPECT_EQ(lat->max, 100000u);
+
+  const Metric* side_m = find(s, "x.side");
+  ASSERT_NE(side_m, nullptr);
+  EXPECT_EQ(side_m->value, 7u);
+
+  // Samples are sorted by name (resolve() binary-searches them).
+  for (std::size_t i = 1; i < s.metrics.size(); ++i)
+    EXPECT_LT(s.metrics[i - 1].name, s.metrics[i].name);
+}
+
+TEST(Sampler, SteadyStateReusesMergePlan) {
+  MetricRegistry reg;
+  reg.counter("ops").inc(1);
+  Sampler smp;
+  smp.add_registry(&reg);
+
+  smp.sample(1);
+  smp.sample(2);
+  smp.sample(3);
+  EXPECT_EQ(smp.relayouts(), 1u);  // first tick plans, the rest fold
+
+  // A layout change (new instrument, e.g. a channel registering mid-run)
+  // forces exactly one re-plan; the new metric appears from that tick on.
+  reg.counter("late").inc(9);
+  smp.sample(4);
+  smp.sample(5);
+  EXPECT_EQ(smp.relayouts(), 2u);
+  EXPECT_EQ(find(smp.samples()[2], "late"), nullptr);
+  const Metric* late = find(smp.samples()[3], "late");
+  ASSERT_NE(late, nullptr);
+  EXPECT_EQ(late->value, 9u);
+
+  // Values keep moving through the cached plan without re-planning.
+  reg.counter("ops").inc(5);
+  smp.sample(6);
+  EXPECT_EQ(smp.relayouts(), 2u);
+  EXPECT_EQ(find(smp.samples().back(), "ops")->value, 6u);
+}
+
+TEST(Sampler, RingDropsOldestBeyondBound) {
+  MetricRegistry reg;
+  reg.counter("ops").inc(1);
+  Sampler::Config cfg;
+  cfg.max_samples = 4;
+  Sampler smp(std::move(cfg));
+  smp.add_registry(&reg);
+
+  for (Nanos t = 1; t <= 6; ++t) smp.sample(t * 100);
+  EXPECT_EQ(smp.ticks(), 6u);
+  EXPECT_EQ(smp.dropped(), 2u);
+  ASSERT_EQ(smp.samples().size(), 4u);
+  EXPECT_EQ(smp.samples().front().when, 300);  // 100 and 200 were dropped
+  EXPECT_EQ(smp.samples().back().when, 600);
+}
+
+// --- metric references -------------------------------------------------------
+
+TEST(Sampler, ResolvesPlainNamesAndHistogramFields) {
+  MetricRegistry reg;
+  reg.counter("ops").inc(41);
+  Histogram& h = reg.histogram("lat_ns");
+  for (int i = 0; i < 100; ++i) h.add(64);
+  h.add(100000);
+  Sampler smp;
+  smp.add_registry(&reg);
+  smp.sample(1);
+  const auto& m = smp.samples().front().metrics;
+
+  std::uint64_t v = 0;
+  EXPECT_TRUE(Sampler::resolve(m, "ops", v));
+  EXPECT_EQ(v, 41u);
+  EXPECT_TRUE(Sampler::resolve(m, "lat_ns", v));
+  EXPECT_EQ(v, 101u);  // plain histogram name = count
+  EXPECT_TRUE(Sampler::resolve(m, "lat_ns.count", v));
+  EXPECT_EQ(v, 101u);
+  EXPECT_TRUE(Sampler::resolve(m, "lat_ns.sum", v));
+  EXPECT_EQ(v, 100u * 64u + 100000u);
+  EXPECT_TRUE(Sampler::resolve(m, "lat_ns.p50", v));
+  EXPECT_EQ(v, Histogram::upper_bound(Histogram::bucket_of(64)));
+  EXPECT_TRUE(Sampler::resolve(m, "lat_ns.max", v));
+  EXPECT_EQ(v, 100000u);
+  EXPECT_FALSE(Sampler::resolve(m, "lat_ns.p42", v));
+  EXPECT_FALSE(Sampler::resolve(m, "nope", v));
+  EXPECT_FALSE(Sampler::resolve(m, "ops.p99", v));  // not a histogram
+}
+
+// --- SLO watchdogs -----------------------------------------------------------
+
+TEST(Sampler, SloFiresOncePerWindowWhilePersistentlyViolated) {
+  MetricRegistry reg;
+  reg.gauge("pressure").set(10);
+  Sampler smp;
+  smp.add_registry(&reg);
+  SloSpec rule;
+  rule.metric = "pressure";
+  rule.op = SloOp::Le;  // required <= 3: persistently violated
+  rule.threshold = 3;
+  rule.window = 3;
+  smp.add_slo(rule);
+  std::uint64_t hook_calls = 0;
+  smp.set_slo_hook([&hook_calls](const SloSpec&, const SloFiring&) {
+    ++hook_calls;
+  });
+
+  for (Nanos t = 1; t <= 7; ++t) smp.sample(t);
+  // Ticks 0..6: fires at 0, sleeps 2, fires at 3, sleeps 2, fires at 6.
+  ASSERT_EQ(smp.firings().size(), 3u);
+  EXPECT_EQ(hook_calls, 3u);
+  EXPECT_EQ(smp.firings()[0].tick, 0u);
+  EXPECT_EQ(smp.firings()[1].tick, 3u);
+  EXPECT_EQ(smp.firings()[2].tick, 6u);
+  EXPECT_EQ(smp.firings()[0].observed, 10u);
+
+  // Recovery rearms immediately after the cooldown: satisfied ticks never
+  // fire, the next violated tick does.
+  reg.gauge("pressure").set(0);
+  smp.sample(8);
+  smp.sample(9);
+  smp.sample(10);
+  ASSERT_EQ(smp.firings().size(), 3u);
+  reg.gauge("pressure").set(10);
+  smp.sample(11);
+  ASSERT_EQ(smp.firings().size(), 4u);
+}
+
+TEST(Sampler, SloOnMissingMetricNeverFires) {
+  MetricRegistry reg;
+  reg.counter("ops").inc(1);
+  Sampler smp;
+  smp.add_registry(&reg);
+  SloSpec rule;
+  rule.metric = "does.not.exist";
+  rule.op = SloOp::Le;
+  rule.threshold = 0;
+  smp.add_slo(rule);
+  smp.sample(1);
+  smp.sample(2);
+  EXPECT_TRUE(smp.firings().empty());
+}
+
+// --- exports -----------------------------------------------------------------
+
+TEST(Sampler, TimelineDerivesDeltaAndRate) {
+  MetricRegistry reg;
+  Counter& ops = reg.counter("ops");
+  Sampler smp;
+  smp.add_registry(&reg);
+
+  ops.inc(10);
+  smp.sample(1'000'000);
+  ops.inc(4);
+  smp.sample(2'000'000);
+  ops.inc(1);
+  smp.sample(3'000'000);
+
+  const std::string json = smp.timeline_json("unit", 42);
+  // Point = [t_ns, value, delta-vs-previous, rate-per-second].
+  EXPECT_NE(json.find("[1000000, 10, 0, 0]"), std::string::npos) << json;
+  EXPECT_NE(json.find("[2000000, 14, 4, 4000]"), std::string::npos) << json;
+  EXPECT_NE(json.find("[3000000, 15, 1, 1000]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ticks\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"interval_ns\": 1000000"), std::string::npos);
+}
+
+TEST(Sampler, TimelineGaugeDeltasGoNegative) {
+  MetricRegistry reg;
+  Gauge& g = reg.gauge("depth");
+  Sampler smp;
+  smp.add_registry(&reg);
+  g.set(8);
+  smp.sample(1'000'000);
+  g.set(3);
+  smp.sample(2'000'000);
+  const std::string json = smp.timeline_json("unit", 0);
+  EXPECT_NE(json.find("[2000000, 3, -5, -5000]"), std::string::npos) << json;
+}
+
+TEST(Sampler, TimelineSplitsHistogramsIntoCountAndP99Series) {
+  MetricRegistry reg;
+  reg.histogram("lat_ns").add(100);
+  Sampler smp;
+  smp.add_registry(&reg);
+  smp.sample(1'000'000);
+  const std::string json = smp.timeline_json("unit", 0);
+  EXPECT_NE(json.find("\"lat_ns.count\""), std::string::npos);
+  EXPECT_NE(json.find("\"lat_ns.p99\""), std::string::npos);
+}
+
+TEST(Sampler, ChromeCounterOverlayRendersConfiguredMetrics) {
+  MetricRegistry reg;
+  reg.counter("ops").inc(5);
+  Sampler::Config cfg;
+  cfg.trace_metrics = {"ops", "not.there"};
+  Sampler smp(std::move(cfg));
+  smp.add_registry(&reg);
+  smp.sample(2'000);
+
+  const std::string ev = smp.chrome_counter_events();
+  EXPECT_NE(ev.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(ev.find("\"name\": \"ops\""), std::string::npos);
+  EXPECT_NE(ev.find("\"value\": 5"), std::string::npos);
+  EXPECT_EQ(ev.find("not.there"), std::string::npos);
+  // The shape the chrome_trace(recs, extra) overload splices verbatim.
+  EXPECT_EQ(ev.substr(0, 4), "\n  {");
+}
+
+// --- shared histogram renderer ----------------------------------------------
+
+TEST(HistogramFields, AllExportersRenderTheSameSevenFields) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("lat_ns");
+  for (int i = 0; i < 50; ++i) h.add(128);
+  h.add(4096);
+
+  Sampler smp;
+  smp.add_registry(&reg);
+  smp.sample(1);
+  const Metric* m = find(smp.samples().front(), "lat_ns");
+  ASSERT_NE(m, nullptr);
+
+  const auto fields = histogram_fields(*m);
+  ASSERT_EQ(fields.size(), 7u);
+  EXPECT_EQ(fields[0].first, "count");
+  EXPECT_EQ(fields[0].second, 51u);
+  EXPECT_EQ(fields[1].first, "sum");
+  EXPECT_EQ(fields[6].first, "max");
+  EXPECT_EQ(fields[6].second, 4096u);
+
+  // The JSON exporter renders exactly those fields in that order.
+  const std::string json = to_json(reg.snapshot());
+  std::size_t at = json.find("\"lat_ns\"");
+  ASSERT_NE(at, std::string::npos);
+  for (const auto& [name, value] : fields) {
+    const std::string frag =
+        "\"" + std::string(name) + "\": " + std::to_string(value);
+    at = json.find(frag, at);
+    EXPECT_NE(at, std::string::npos) << frag << " missing/out of order";
+  }
+}
+
+}  // namespace
+}  // namespace vialock::obs

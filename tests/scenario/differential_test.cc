@@ -13,7 +13,9 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 
+#include "obs/sampler.h"
 #include "scenario/engine.h"
 #include "scenario/executor.h"
 #include "scenario/spec.h"
@@ -151,6 +153,38 @@ TEST(ScenarioDifferential, FaultRunInvariantsHoldThreaded) {
     EXPECT_TRUE(threaded.invariants_ok)
         << "threads=" << threads << " "
         << (threaded.violations.empty() ? "" : threaded.violations[0]);
+  }
+}
+
+TEST(ScenarioDifferential, SamplerTickCountAgreesAcrossWorkerCounts) {
+  // Threaded runs sample once per drained epoch, and the epoch structure is
+  // a property of event causality (everything posted during an epoch lands
+  // in the next), not of how many workers drained it - so the telemetry
+  // tick count is part of the audit surface across worker counts. Serial
+  // runs tick on the virtual-time interval instead, so serial is
+  // deliberately NOT compared here.
+  const std::string text =
+      "name = diff-timeline\npattern = skewed-kv\nhosts = 8\nservers = 2\n"
+      "tenants_per_host = 2\nops_per_tenant = 20\nskew = 1.1\n"
+      "churn_regs_per_tenant = 4\nsample_interval = 200000\n";
+  const auto ticks_at = [&text](std::uint32_t threads) {
+    ParseResult parsed = parse_spec(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    parsed.spec.threads = threads;
+    ScenarioEngine engine(parsed.spec);
+    EXPECT_TRUE(ok(engine.build()));
+    EXPECT_TRUE(ok(engine.run()));
+    EXPECT_TRUE(engine.report().invariants_ok);
+    const obs::Sampler* smp = engine.sampler();
+    EXPECT_NE(smp, nullptr);
+    return std::pair<std::uint64_t, std::uint64_t>{
+        smp ? smp->ticks() : 0, smp ? smp->samples().size() : 0};
+  };
+  const auto oracle = ticks_at(2);
+  EXPECT_GT(oracle.first, 0u);
+  for (const std::uint32_t threads : {4u, 8u}) {
+    const auto got = ticks_at(threads);
+    EXPECT_EQ(got, oracle) << "threads=" << threads;
   }
 }
 
